@@ -1,0 +1,185 @@
+package aorta
+
+import (
+	"net"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/core"
+	"aorta/internal/device"
+	"aorta/internal/device/camera"
+	"aorta/internal/device/mote"
+	"aorta/internal/device/phone"
+	"aorta/internal/geo"
+	"aorta/internal/lab"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/vclock"
+)
+
+// Engine is the Aorta pervasive query processing engine. Create one with
+// NewEngine (custom wiring) or NewLab (a complete simulated testbed).
+type Engine = core.Engine
+
+// Config configures an Engine; zero values select production defaults.
+type Config = core.Config
+
+// ExecResult is the outcome of one Engine.Exec statement.
+type ExecResult = core.ExecResult
+
+// QueryInfo summarizes a registered continuous query.
+type QueryInfo = core.Info
+
+// Outcome records the completion (or failure) of one action request.
+type Outcome = core.Outcome
+
+// FailureKind classifies action failures.
+type FailureKind = core.FailureKind
+
+// MetricsSnapshot aggregates engine activity counters.
+type MetricsSnapshot = core.MetricsSnapshot
+
+// ActionContext carries execution context into an action implementation.
+type ActionContext = core.ActionContext
+
+// ActionFunc is the code block of a user-defined action.
+type ActionFunc = core.ActionFunc
+
+// ActionDef fully specifies a user action: profile, implementation and
+// cost model.
+type ActionDef = core.ActionDef
+
+// StoredPhoto is one photo archived by the built-in photo() action.
+type StoredPhoto = core.StoredPhoto
+
+// DeviceInfo describes a device registered with the communication layer.
+type DeviceInfo = comm.DeviceInfo
+
+// Tuple is one row of a virtual device table.
+type Tuple = comm.Tuple
+
+// Point is a location on the floor plan, in metres.
+type Point = geo.Point
+
+// Mount is a PTZ camera's installation geometry.
+type Mount = geo.Mount
+
+// Orientation is a PTZ head position.
+type Orientation = geo.Orientation
+
+// Clock abstracts time so workloads can run scaled or manual.
+type Clock = vclock.Clock
+
+// Network is the in-memory simulated device network with per-link fault
+// injection.
+type Network = netsim.Network
+
+// LinkConfig describes simulated link faults (latency, loss, outage).
+type LinkConfig = netsim.LinkConfig
+
+// Registry holds device catalogs, atomic operation costs and action
+// profiles.
+type Registry = profile.Registry
+
+// ActionProfile describes an action's composition for the cost model.
+type ActionProfile = profile.ActionProfile
+
+// Lab is a complete simulated pervasive-computing testbed: devices,
+// network and engine, pre-wired.
+type Lab = lab.Lab
+
+// LabConfig sizes a Lab; zero values give the paper's setup (2 cameras,
+// 10 motes, 1 phone, 100× clock).
+type LabConfig = lab.Config
+
+// Failure kinds reported in MetricsSnapshot.Failures.
+const (
+	FailNone          = core.FailNone
+	FailConnect       = core.FailConnect
+	FailBlurred       = core.FailBlurred
+	FailWrongPosition = core.FailWrongPosition
+	FailStale         = core.FailStale
+	FailOther         = core.FailOther
+)
+
+// Built-in device type names.
+const (
+	DeviceCamera = profile.DeviceCamera
+	DeviceSensor = profile.DeviceSensor
+	DevicePhone  = profile.DevicePhone
+)
+
+// NewEngine builds an engine over a custom transport. Most applications
+// use NewLab instead.
+func NewEngine(cfg Config) (*Engine, error) { return core.New(cfg) }
+
+// NewLab builds a complete simulated testbed: cameras, motes and phones
+// served over an in-memory network, registered with a ready engine.
+func NewLab(cfg LabConfig) (*Lab, error) { return lab.New(cfg) }
+
+// NewNetwork creates an in-memory device network using clk for latency
+// and seed for fault randomness.
+func NewNetwork(clk Clock, seed int64) *Network { return netsim.NewNetwork(clk, seed) }
+
+// NewScaledClock returns a clock running factor times faster than wall
+// time; a 100× clock runs a 10-minute study in 6 seconds.
+func NewScaledClock(factor float64) *vclock.Scaled { return vclock.NewScaled(factor) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return vclock.Real{} }
+
+// DefaultRegistry returns the built-in device catalogs (camera, sensor,
+// phone) and system action library (photo, beep, blink, sendphoto,
+// notify).
+func DefaultRegistry() (*Registry, error) { return profile.DefaultRegistry() }
+
+// DefaultMount returns an AXIS-2130-like ceiling mount at p facing
+// forwardDeg (counter-clockwise degrees from +X).
+func DefaultMount(p Point, forwardDeg float64) Mount { return geo.DefaultMount(p, forwardDeg) }
+
+// ParseActionProfile parses an action-profile XML document.
+func ParseActionProfile(data []byte) (*ActionProfile, error) { return profile.ParseAction(data) }
+
+// Device-farm surface: emulated devices servable over any net.Listener
+// (in-memory via Network.Listen, or real TCP), for deployments that keep
+// the engine and the devices in separate processes.
+
+// DeviceModel is one emulated physical device.
+type DeviceModel = device.Model
+
+// DeviceServer exposes a DeviceModel over a listener speaking the Aorta
+// wire protocol.
+type DeviceServer = device.Server
+
+// Camera is an AXIS-2130-like PTZ camera emulator, complete with the
+// interference semantics that make engine-side locking necessary.
+type Camera = camera.Camera
+
+// Mote is a MICA2-like sensor mote emulator.
+type Mote = mote.Mote
+
+// MoteConfig holds optional mote parameters.
+type MoteConfig = mote.Config
+
+// Phone is an MMS-capable phone emulator.
+type Phone = phone.Phone
+
+// ServeDevice serves model on l until the returned server is closed.
+func ServeDevice(l net.Listener, model DeviceModel) *DeviceServer { return device.Serve(l, model) }
+
+// NewCamera returns a PTZ camera emulator with the given mount geometry.
+func NewCamera(id string, mount Mount, clk Clock) *Camera { return camera.New(id, mount, clk) }
+
+// NewMote returns a sensor mote emulator at loc.
+func NewMote(id string, loc Point, clk Clock, cfg MoteConfig) *Mote {
+	return mote.New(id, loc, clk, cfg)
+}
+
+// NewPhone returns an in-coverage phone emulator.
+func NewPhone(id, number, owner string, clk Clock) *Phone { return phone.New(id, number, owner, clk) }
+
+// TCPDialer dials real TCP device connections for cross-process farms.
+func TCPDialer(timeout time.Duration) Dialer { return &netsim.TCP{Timeout: timeout} }
+
+// Dialer opens stream connections to device addresses.
+type Dialer = netsim.Dialer

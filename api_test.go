@@ -1,0 +1,213 @@
+package aorta_test
+
+// Tests of the public API surface, including the cross-process deployment
+// path: emulated devices served over real TCP, an engine dialing them
+// with the TCP transport — exactly what cmd/devfarm + cmd/aortad do.
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"aorta"
+)
+
+func TestPublicLabQueryRoundTrip(t *testing.T) {
+	l, err := aorta.NewLab(aorta.LabConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := context.Background()
+	if err := l.Engine.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Engine.Exec(ctx, `SELECT s.id FROM sensor s WHERE s.battery > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestPublicSchedulingSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := aorta.UniformWorkload(12, 6, rng)
+	for _, alg := range []aorta.Scheduler{
+		aorta.SchedulerLERFASRFE(), aorta.SchedulerSRFAE(), aorta.SchedulerLS(),
+		aorta.SchedulerSA(), aorta.SchedulerRandom(),
+	} {
+		res, err := aorta.RunScheduler(alg, p, rng, aorta.DefaultAccounting())
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.Makespan <= 0 {
+			t.Errorf("%s: makespan = %v", alg.Name(), res.Makespan)
+		}
+	}
+	if _, err := aorta.SkewedWorkload(10, 5, 0.4, rng); err != nil {
+		t.Fatal(err)
+	}
+	small := aorta.UniformWorkload(5, 3, rng)
+	if _, err := aorta.RunScheduler(aorta.SchedulerOptimal(), small, rng, aorta.DefaultAccounting()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicRegistryAndProfiles(t *testing.T) {
+	reg, err := aorta.DefaultRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Action("photo"); !ok {
+		t.Error("photo profile missing")
+	}
+	ap, err := aorta.ParseActionProfile([]byte(
+		`<action name="wave" device_type="camera" exclusive="true"><seq><op name="pan" amount="pan_delta"/></seq></action>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Name != "wave" || !ap.Exclusive {
+		t.Errorf("profile = %+v", ap)
+	}
+}
+
+// TestTCPFarmEndToEnd is the devfarm/aortad deployment in-process: devices
+// on real loopback TCP, the engine dialing them via the TCP transport,
+// the full snapshot query driving a camera.
+func TestTCPFarmEndToEnd(t *testing.T) {
+	clk := aorta.NewScaledClock(100)
+	serve := func(m aorta.DeviceModel) string {
+		t.Helper()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Skipf("loopback unavailable: %v", err)
+		}
+		srv := aorta.ServeDevice(l, m)
+		t.Cleanup(func() { srv.Close() })
+		return l.Addr().String()
+	}
+
+	mount := aorta.DefaultMount(aorta.Point{X: 0, Y: 4, Z: 3}, 0)
+	cam := aorta.NewCamera("camera-1", mount, clk)
+	camAddr := serve(cam)
+	moteLoc := aorta.Point{X: 5, Y: 4}
+	mote := aorta.NewMote("mote-1", moteLoc, clk, aorta.MoteConfig{Seed: 3})
+	moteAddr := serve(mote)
+
+	eng, err := aorta.NewEngine(aorta.Config{
+		Clock:  clk,
+		Dialer: aorta.TCPDialer(2 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterDevice(aorta.DeviceInfo{
+		ID: "camera-1", Type: aorta.DeviceCamera, Addr: camAddr,
+	}, mount); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterDevice(aorta.DeviceInfo{
+		ID: "mote-1", Type: aorta.DeviceSensor, Addr: moteAddr,
+		Static: map[string]any{"loc": moteLoc, "depth": 1},
+	}, aorta.Mount{}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if err := eng.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	if _, err := eng.Exec(ctx, `CREATE AQ snap AS
+		SELECT photo(c.ip, s.loc, "photos/tcp")
+		FROM sensor s, camera c
+		WHERE s.accel_x > 500 AND coverage(c.id, s.loc)
+		EVERY "2s"`); err != nil {
+		t.Fatal(err)
+	}
+	mote.Stimulate("x", 900, 4*time.Second)
+
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) && len(eng.Photos()) == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	photos := eng.Photos()
+	if len(photos) == 0 {
+		t.Fatalf("no photo over TCP; metrics=%+v outcomes=%d", eng.Metrics(), len(eng.Outcomes()))
+	}
+	if photos[0].DeviceID != "camera-1" || photos[0].Photo.Blurred {
+		t.Errorf("photo = %+v", photos[0])
+	}
+	if cam.PhotosTaken() == 0 {
+		t.Error("camera emulator saw no capture")
+	}
+}
+
+// TestPublicUserActionOverLab registers a custom ActionDef through the
+// public API and fires it from SQL.
+func TestPublicUserActionOverLab(t *testing.T) {
+	l, err := aorta.NewLab(aorta.LabConfig{Motes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := context.Background()
+
+	reg, err := aorta.DefaultRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blink, _ := reg.Action("blink")
+	fired := make(chan string, 4)
+	def := &aorta.ActionDef{
+		Name:    "flash",
+		Profile: blink,
+		Fn: func(ctx context.Context, actx *aorta.ActionContext, args []any) (any, error) {
+			fired <- actx.DeviceID
+			return actx.Engine.Layer().Exec(ctx, actx.DeviceID, "blink", nil)
+		},
+	}
+	if err := l.Engine.RegisterUserAction(def); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Engine.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Engine.Exec(ctx, `CREATE AQ flashq AS
+		SELECT flash(s.id) FROM sensor s WHERE s.accel_x > 500 EVERY "2s"`); err != nil {
+		t.Fatal(err)
+	}
+	l.StimulateMote(1, 900, 3*time.Second)
+	select {
+	case dev := <-fired:
+		if dev != "mote-2" {
+			t.Errorf("flash fired on %s, want mote-2", dev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flash action never fired")
+	}
+	// The mote actually blinked.
+	waitUntil(t, 3*time.Second, func() bool {
+		_, blinks := l.Motes[1].Counters()
+		return blinks >= 1
+	})
+}
+
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	if !cond() {
+		t.Fatal("condition never became true")
+	}
+}

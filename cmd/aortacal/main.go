@@ -1,0 +1,134 @@
+// Command aortacal is the paper's "homegrown program" (§3.1): it measures
+// the cost of every atomic operation on live devices and emits the
+// atomic_operation_cost.xml tables the cost model consumes.
+//
+//	aortacal                          # calibrate the built-in lab's devices
+//	aortacal -devices farm.json       # calibrate an external TCP farm
+//	aortacal -o costs/                # write one XML file per device type
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aorta/internal/calibrate"
+	"aorta/internal/comm"
+	"aorta/internal/core"
+	"aorta/internal/geo"
+	"aorta/internal/lab"
+	"aorta/internal/manifest"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/vclock"
+)
+
+func main() {
+	var (
+		devices = flag.String("devices", "", "external farm manifest; empty = built-in lab")
+		outDir  = flag.String("o", "", "directory for XML output files; empty = stdout")
+		trials  = flag.Int("trials", 3, "repetitions per fixed-cost operation")
+		scale   = flag.Float64("scale", 100, "built-in lab: clock scale")
+	)
+	flag.Parse()
+	if err := run(*devices, *outDir, *trials, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "aortacal:", err)
+		os.Exit(1)
+	}
+}
+
+// target is one device to calibrate per type.
+type target struct {
+	id         string
+	deviceType string
+	fixedOps   []string // empty for cameras (special-cased)
+}
+
+func run(devicesPath, outDir string, trials int, scale float64) error {
+	var layer *comm.Layer
+	var clk vclock.Clock
+	var targets []target
+
+	if devicesPath == "" {
+		l, err := lab.New(lab.Config{ClockScale: scale})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		layer = l.Engine.Layer()
+		clk = l.Clock
+		targets = []target{
+			{id: "camera-1", deviceType: profile.DeviceCamera},
+			{id: "mote-1", deviceType: profile.DeviceSensor, fixedOps: []string{"beep", "blink", "sample"}},
+			{id: "phone-1", deviceType: profile.DevicePhone, fixedOps: []string{"send_sms", "ring"}},
+		}
+		fmt.Fprintln(os.Stderr, "calibrating the built-in lab (camera-1, mote-1, phone-1)")
+	} else {
+		m, err := manifest.Read(devicesPath)
+		if err != nil {
+			return err
+		}
+		clk = vclock.Real{}
+		eng, err := core.New(core.Config{Clock: clk, Dialer: &netsim.TCP{}})
+		if err != nil {
+			return err
+		}
+		seen := make(map[string]bool)
+		for i := range m.Devices {
+			d := &m.Devices[i]
+			var mount geo.Mount
+			if d.Mount != nil {
+				mount = *d.Mount
+			}
+			if err := eng.RegisterDevice(comm.DeviceInfo{ID: d.ID, Type: d.Type, Addr: d.Addr, Static: d.Static()}, mount); err != nil {
+				return err
+			}
+			// One calibration target per device type.
+			if seen[d.Type] {
+				continue
+			}
+			seen[d.Type] = true
+			tg := target{id: d.ID, deviceType: d.Type}
+			switch d.Type {
+			case profile.DeviceSensor:
+				tg.fixedOps = []string{"beep", "blink", "sample"}
+			case profile.DevicePhone:
+				tg.fixedOps = []string{"send_sms", "ring"}
+			}
+			targets = append(targets, tg)
+		}
+		layer = eng.Layer()
+		fmt.Fprintf(os.Stderr, "calibrating %d device types from %s\n", len(targets), devicesPath)
+	}
+
+	ctx := context.Background()
+	cfg := calibrate.Config{Trials: trials, Clock: clk}
+	for _, tg := range targets {
+		var costs *profile.AtomicCosts
+		var err error
+		if tg.deviceType == profile.DeviceCamera {
+			costs, err = calibrate.Camera(ctx, layer, tg.id, cfg)
+		} else {
+			costs, err = calibrate.Fixed(ctx, layer, tg.id, tg.deviceType, tg.fixedOps, cfg)
+		}
+		if err != nil {
+			return fmt.Errorf("calibrate %s: %w", tg.id, err)
+		}
+		data, err := costs.Marshal()
+		if err != nil {
+			return err
+		}
+		if outDir == "" {
+			fmt.Printf("-- %s (measured on %s)\n%s\n", tg.deviceType, tg.id, data)
+			continue
+		}
+		path := filepath.Join(outDir, tg.deviceType+"_costs.xml")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Command aortactl is the interactive client for cmd/aortad: a small SQL
+// shell over the daemon's line protocol.
+//
+//	aortactl                          # interactive shell
+//	aortactl -e 'SHOW DEVICES'        # one-shot statement
+//	echo 'SHOW QUERIES' | aortactl    # piped statements
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7730", "aortad address")
+		stmt = flag.String("e", "", "execute one statement and exit")
+	)
+	flag.Parse()
+	if err := run(*addr, *stmt); err != nil {
+		fmt.Fprintln(os.Stderr, "aortactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, oneShot string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("connect to aortad at %s: %w", addr, err)
+	}
+	defer conn.Close()
+	server := bufio.NewScanner(conn)
+	server.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+
+	exec := func(line string) error {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			return err
+		}
+		if !server.Scan() {
+			if err := server.Err(); err != nil {
+				return err
+			}
+			return io.EOF
+		}
+		printResponse(os.Stdout, server.Bytes())
+		return nil
+	}
+
+	if oneShot != "" {
+		return exec(oneShot)
+	}
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("aortactl — Aorta SQL shell (\\metrics, \\photos, \\stimulate i mg sec, \\quit)")
+	}
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		if interactive {
+			fmt.Print("aorta> ")
+		}
+		if !in.Scan() {
+			return in.Err()
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if line == "\\quit" || line == "exit" || line == "quit" {
+			return nil
+		}
+		if err := exec(line); err != nil {
+			return err
+		}
+	}
+}
+
+// printResponse pretty-prints one JSON response line.
+func printResponse(w io.Writer, data []byte) {
+	var resp struct {
+		OK      bool             `json:"ok"`
+		Error   string           `json:"error"`
+		Message string           `json:"message"`
+		Rows    []map[string]any `json:"rows"`
+		Queries []map[string]any `json:"queries"`
+		Names   []string         `json:"names"`
+		Metrics map[string]any   `json:"metrics"`
+		Photos  []map[string]any `json:"photos"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		fmt.Fprintln(w, string(data))
+		return
+	}
+	switch {
+	case resp.Error != "":
+		fmt.Fprintln(w, "error:", resp.Error)
+	case len(resp.Rows) > 0:
+		printTable(w, resp.Rows)
+	case len(resp.Queries) > 0:
+		printTable(w, resp.Queries)
+	case len(resp.Photos) > 0:
+		printTable(w, resp.Photos)
+	case len(resp.Names) > 0:
+		for _, n := range resp.Names {
+			fmt.Fprintln(w, " ", n)
+		}
+	case resp.Metrics != nil:
+		out, _ := json.MarshalIndent(resp.Metrics, "", "  ")
+		fmt.Fprintln(w, string(out))
+	case resp.Message != "":
+		fmt.Fprintln(w, resp.Message)
+	default:
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+// printTable renders homogeneous row maps as a column-aligned table.
+func printTable(w io.Writer, rows []map[string]any) {
+	cols := map[string]bool{}
+	for _, r := range rows {
+		for k := range r {
+			cols[k] = true
+		}
+	}
+	names := make([]string, 0, len(cols))
+	for k := range cols {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	widths := make([]int, len(names))
+	cells := make([][]string, len(rows))
+	for i, name := range names {
+		widths[i] = len(name)
+	}
+	for ri, r := range rows {
+		cells[ri] = make([]string, len(names))
+		for ci, name := range names {
+			v := ""
+			if raw, ok := r[name]; ok {
+				v = fmt.Sprintf("%v", raw)
+			}
+			cells[ri][ci] = v
+			if len(v) > widths[ci] {
+				widths[ci] = len(v)
+			}
+		}
+	}
+	for i, name := range names {
+		fmt.Fprintf(w, "%-*s  ", widths[i], name)
+	}
+	fmt.Fprintln(w)
+	for _, row := range cells {
+		for i, v := range row {
+			fmt.Fprintf(w, "%-*s  ", widths[i], v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "(%d rows)\n", len(rows))
+}
+
+// isTerminal reports whether stdin looks interactive.
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, payload string) string {
+	t.Helper()
+	var sb strings.Builder
+	printResponse(&sb, []byte(payload))
+	return sb.String()
+}
+
+func TestPrintResponseError(t *testing.T) {
+	out := render(t, `{"ok":false,"error":"no query \"x\""}`)
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "no query") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPrintResponseRowsTable(t *testing.T) {
+	out := render(t, `{"ok":true,"rows":[{"s.id":"mote-1","s.temp":21.7},{"s.id":"mote-2","s.temp":22.3}]}`)
+	if !strings.Contains(out, "s.id") || !strings.Contains(out, "mote-2") {
+		t.Errorf("out = %q", out)
+	}
+	if !strings.Contains(out, "(2 rows)") {
+		t.Errorf("missing row count: %q", out)
+	}
+	// Column alignment: header and first row start with the same column.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("table too short: %q", out)
+	}
+}
+
+func TestPrintResponseNames(t *testing.T) {
+	out := render(t, `{"ok":true,"names":["photo","beep"]}`)
+	if !strings.Contains(out, "photo") || !strings.Contains(out, "beep") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPrintResponseMessage(t *testing.T) {
+	out := render(t, `{"ok":true,"message":"query snap registered"}`)
+	if !strings.Contains(out, "registered") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPrintResponseMetrics(t *testing.T) {
+	out := render(t, `{"ok":true,"metrics":{"Requests":5,"Successes":4}}`)
+	if !strings.Contains(out, "Requests") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPrintResponsePlainOK(t *testing.T) {
+	if out := render(t, `{"ok":true}`); !strings.Contains(out, "ok") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPrintResponseGarbagePassthrough(t *testing.T) {
+	if out := render(t, `not-json`); !strings.Contains(out, "not-json") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPrintTableMissingCells(t *testing.T) {
+	out := render(t, `{"ok":true,"rows":[{"a":1},{"b":2}]}`)
+	if !strings.Contains(out, "(2 rows)") {
+		t.Errorf("out = %q", out)
+	}
+}

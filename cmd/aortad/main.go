@@ -1,0 +1,243 @@
+// Command aortad is the Aorta daemon: an engine plus a device farm,
+// accepting extended-SQL statements over TCP (one statement per line,
+// one JSON response per line). Use cmd/aortactl as the client.
+//
+// Two farm modes:
+//
+//   - built-in simulated lab (default): -cameras/-motes/-phones devices on
+//     an in-memory network with an optionally scaled clock;
+//   - external farm: -devices farm.json registers the TCP devices served
+//     by cmd/devfarm.
+//
+// Besides SQL, the protocol accepts backslash commands:
+//
+//	\metrics              engine action metrics
+//	\photos               photos stored by photo()
+//	\stimulate <i> <mg> <sec>   inject an event at mote i (lab mode)
+//	\quit                 close the connection
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/core"
+	"aorta/internal/geo"
+	"aorta/internal/lab"
+	"aorta/internal/manifest"
+	"aorta/internal/netsim"
+	"aorta/internal/vclock"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7730", "SQL service address")
+		devices = flag.String("devices", "", "external farm manifest (from devfarm); empty = built-in lab")
+		cameras = flag.Int("cameras", 2, "built-in lab: cameras")
+		motes   = flag.Int("motes", 10, "built-in lab: motes")
+		phones  = flag.Int("phones", 1, "built-in lab: phones")
+		scale   = flag.Float64("scale", 1, "built-in lab: clock scale")
+		verbose = flag.Bool("v", false, "log engine events to stderr")
+	)
+	flag.Parse()
+	if err := run(*listen, *devices, *cameras, *motes, *phones, *scale, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "aortad:", err)
+		os.Exit(1)
+	}
+}
+
+// server holds the running daemon state.
+type server struct {
+	engine *core.Engine
+	lab    *lab.Lab // nil in external-farm mode
+}
+
+func run(listen, devicesPath string, cameras, motes, phones int, scale float64, verbose bool) error {
+	srv := &server{}
+	ctx := context.Background()
+	var logger *slog.Logger
+	if verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	if devicesPath == "" {
+		l, err := lab.New(lab.Config{
+			Cameras: cameras, Motes: motes, Phones: phones, ClockScale: scale,
+			Engine: core.Config{Logger: logger},
+		})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		srv.lab = l
+		srv.engine = l.Engine
+		fmt.Printf("built-in lab: %d cameras, %d motes, %d phones (clock %gx)\n",
+			cameras, motes, phones, scale)
+	} else {
+		m, err := manifest.Read(devicesPath)
+		if err != nil {
+			return err
+		}
+		eng, err := core.New(core.Config{
+			Clock:  vclock.Real{},
+			Dialer: &netsim.TCP{Timeout: 2 * time.Second},
+			Logger: logger,
+		})
+		if err != nil {
+			return err
+		}
+		for i := range m.Devices {
+			d := &m.Devices[i]
+			var mount geo.Mount
+			if d.Mount != nil {
+				mount = *d.Mount
+			}
+			info := comm.DeviceInfo{ID: d.ID, Type: d.Type, Addr: d.Addr, Static: d.Static()}
+			if err := eng.RegisterDevice(info, mount); err != nil {
+				return err
+			}
+		}
+		srv.engine = eng
+		fmt.Printf("external farm: %d devices from %s\n", len(m.Devices), devicesPath)
+	}
+
+	if err := srv.engine.Start(ctx); err != nil {
+		return err
+	}
+	defer srv.engine.Stop()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("aortad listening on %s\n", ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				srv.handle(ctx, conn)
+			}()
+		}
+	}()
+
+	<-stop
+	fmt.Println("shutting down")
+	ln.Close()
+	wg.Wait()
+	return nil
+}
+
+// response is the JSON reply to one statement.
+type response struct {
+	OK      bool                  `json:"ok"`
+	Error   string                `json:"error,omitempty"`
+	Message string                `json:"message,omitempty"`
+	Rows    []map[string]any      `json:"rows,omitempty"`
+	Queries []core.Info           `json:"queries,omitempty"`
+	Names   []string              `json:"names,omitempty"`
+	Metrics *core.MetricsSnapshot `json:"metrics,omitempty"`
+	Photos  []photoInfo           `json:"photos,omitempty"`
+}
+
+type photoInfo struct {
+	Directory string `json:"directory"`
+	Device    string `json:"device"`
+	Blurred   bool   `json:"blurred"`
+	SizeKB    int    `json:"size_kb"`
+}
+
+func (s *server) handle(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if line == "\\quit" {
+				return
+			}
+			_ = enc.Encode(s.command(line))
+			continue
+		}
+		resp := response{OK: true}
+		res, err := s.engine.Exec(ctx, line)
+		if err != nil {
+			resp.OK = false
+			resp.Error = err.Error()
+		} else {
+			resp.Message = res.Message
+			resp.Rows = res.Rows
+			resp.Queries = res.Queries
+			resp.Names = res.Names
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// command handles backslash commands.
+func (s *server) command(line string) *response {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\metrics":
+		m := s.engine.Metrics()
+		return &response{OK: true, Metrics: &m}
+	case "\\photos":
+		var out []photoInfo
+		for _, p := range s.engine.Photos() {
+			out = append(out, photoInfo{
+				Directory: p.Directory, Device: p.DeviceID,
+				Blurred: p.Photo.Blurred, SizeKB: p.Photo.SizeKB,
+			})
+		}
+		return &response{OK: true, Photos: out, Message: fmt.Sprintf("%d photos", len(out))}
+	case "\\stimulate":
+		if s.lab == nil {
+			return &response{Error: "\\stimulate only works with the built-in lab"}
+		}
+		if len(fields) != 4 {
+			return &response{Error: "usage: \\stimulate <mote-index> <magnitude> <seconds>"}
+		}
+		idx, err1 := strconv.Atoi(fields[1])
+		mag, err2 := strconv.ParseFloat(fields[2], 64)
+		secs, err3 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return &response{Error: "usage: \\stimulate <mote-index> <magnitude> <seconds>"}
+		}
+		s.lab.StimulateMote(idx, mag, time.Duration(secs*float64(time.Second)))
+		return &response{OK: true, Message: fmt.Sprintf("mote %d stimulated at %.0f mg for %.0fs", idx, mag, secs)}
+	default:
+		return &response{Error: "unknown command " + fields[0]}
+	}
+}

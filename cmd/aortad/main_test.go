@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"aorta/internal/lab"
+)
+
+// startServer builds a lab-backed server and serves its line protocol
+// over an in-memory pipe, returning a client-side reader/writer.
+func startServer(t *testing.T) (net.Conn, *server) {
+	t.Helper()
+	l, err := lab.New(lab.Config{Motes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	if err := l.Engine.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{engine: l.Engine, lab: l}
+	client, serverConn := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.handle(context.Background(), serverConn)
+	}()
+	t.Cleanup(func() {
+		client.Close()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Error("handler did not exit")
+		}
+	})
+	return client, srv
+}
+
+// exchange sends one line and decodes the JSON response.
+func exchange(t *testing.T, conn net.Conn, sc *bufio.Scanner, line string) response {
+	t.Helper()
+	if _, err := conn.Write([]byte(line + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatalf("no response to %q: %v", line, sc.Err())
+	}
+	var resp response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response %q: %v", sc.Text(), err)
+	}
+	return resp
+}
+
+func TestProtocolSQLAndCommands(t *testing.T) {
+	conn, _ := startServer(t)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	// SHOW DEVICES: 3 motes + 2 cameras + 1 phone.
+	resp := exchange(t, conn, sc, "SHOW DEVICES")
+	if !resp.OK || len(resp.Names) != 6 {
+		t.Fatalf("SHOW DEVICES = %+v", resp)
+	}
+
+	// Ad-hoc select returns rows.
+	resp = exchange(t, conn, sc, `SELECT s.id FROM sensor s WHERE s.temp > -100`)
+	if !resp.OK || len(resp.Rows) != 3 {
+		t.Fatalf("select = %+v", resp)
+	}
+
+	// Register a continuous query.
+	resp = exchange(t, conn, sc, `CREATE AQ snap AS SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc) EVERY "2s"`)
+	if !resp.OK || !strings.Contains(resp.Message, "snap") {
+		t.Fatalf("create = %+v", resp)
+	}
+	resp = exchange(t, conn, sc, "SHOW QUERIES")
+	if !resp.OK || len(resp.Queries) != 1 {
+		t.Fatalf("queries = %+v", resp)
+	}
+
+	// Stimulate through the control command and wait for a photo.
+	resp = exchange(t, conn, sc, `\stimulate 1 900 30`)
+	if !resp.OK {
+		t.Fatalf("stimulate = %+v", resp)
+	}
+	deadline := time.Now().Add(8 * time.Second)
+	var photos int
+	for time.Now().Before(deadline) {
+		resp = exchange(t, conn, sc, `\photos`)
+		photos = len(resp.Photos)
+		if photos > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if photos == 0 {
+		t.Fatal("no photos after stimulate")
+	}
+
+	// Metrics round-trip.
+	resp = exchange(t, conn, sc, `\metrics`)
+	if !resp.OK || resp.Metrics == nil || resp.Metrics.Requests == 0 {
+		t.Fatalf("metrics = %+v", resp)
+	}
+
+	// SQL errors are reported, not fatal.
+	resp = exchange(t, conn, sc, "SELEKT nonsense")
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("bad SQL = %+v", resp)
+	}
+
+	// Unknown and malformed control commands.
+	resp = exchange(t, conn, sc, `\dance`)
+	if resp.Error == "" {
+		t.Fatalf("unknown command = %+v", resp)
+	}
+	resp = exchange(t, conn, sc, `\stimulate nope`)
+	if resp.Error == "" {
+		t.Fatalf("malformed stimulate = %+v", resp)
+	}
+}
+
+func TestProtocolQuit(t *testing.T) {
+	conn, _ := startServer(t)
+	if _, err := conn.Write([]byte("\\quit\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes the connection; subsequent reads must fail.
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open after \\quit")
+	}
+}
+
+func TestProtocolSkipsBlankLines(t *testing.T) {
+	conn, _ := startServer(t)
+	sc := bufio.NewScanner(conn)
+	if _, err := conn.Write([]byte("\n\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp := exchange(t, conn, sc, "SHOW ACTIONS")
+	if !resp.OK || len(resp.Names) == 0 {
+		t.Fatalf("actions = %+v", resp)
+	}
+}

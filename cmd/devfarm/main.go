@@ -1,0 +1,132 @@
+// Command devfarm serves a farm of emulated devices — PTZ cameras, MICA2
+// motes and MMS phones — over real TCP, and writes a manifest that
+// cmd/aortad consumes to register them. It is the deployment mode in
+// which the engine and the devices live in different processes (or
+// machines), exercising the same wire protocol as the in-memory labs.
+//
+// Usage:
+//
+//	devfarm -cameras 2 -motes 10 -phones 1 -manifest farm.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aorta/internal/device"
+	"aorta/internal/device/camera"
+	"aorta/internal/device/mote"
+	"aorta/internal/device/phone"
+	"aorta/internal/geo"
+	"aorta/internal/manifest"
+	"aorta/internal/vclock"
+)
+
+func main() {
+	var (
+		cameras      = flag.Int("cameras", 2, "number of PTZ cameras")
+		motes        = flag.Int("motes", 10, "number of sensor motes")
+		phones       = flag.Int("phones", 1, "number of phones")
+		host         = flag.String("host", "127.0.0.1", "address to bind")
+		manifestPath = flag.String("manifest", "farm.json", "manifest output path")
+		scale        = flag.Float64("scale", 1, "clock scale (1 = real time)")
+		stimulate    = flag.Bool("stimulate", false, "periodically stimulate random motes")
+	)
+	flag.Parse()
+	if err := run(*cameras, *motes, *phones, *host, *manifestPath, *scale, *stimulate); err != nil {
+		fmt.Fprintln(os.Stderr, "devfarm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cameras, motes, phones int, host, manifestPath string, scale float64, stimulate bool) error {
+	var clk vclock.Clock = vclock.Real{}
+	if scale > 1 {
+		clk = vclock.NewScaled(scale)
+	}
+
+	var m manifest.Manifest
+	var servers []*device.Server
+	defer func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}()
+
+	serve := func(model device.Model) (string, error) {
+		l, err := net.Listen("tcp", host+":0")
+		if err != nil {
+			return "", err
+		}
+		servers = append(servers, device.Serve(l, model))
+		return l.Addr().String(), nil
+	}
+
+	var moteModels []*mote.Mote
+	for i := 0; i < cameras; i++ {
+		id := fmt.Sprintf("camera-%d", i+1)
+		mount := geo.DefaultMount(geo.Point{X: float64(i) * 14, Y: 4, Z: 3}, float64((i%2)*180))
+		addr, err := serve(camera.New(id, mount, clk))
+		if err != nil {
+			return err
+		}
+		m.Devices = append(m.Devices, manifest.Device{ID: id, Type: "camera", Addr: addr, Mount: &mount})
+		fmt.Printf("camera %s at %s (mount %v facing %.0f°)\n", id, addr, mount.Position, mount.ForwardDeg)
+	}
+	for i := 0; i < motes; i++ {
+		id := fmt.Sprintf("mote-%d", i+1)
+		loc := geo.Point{X: 2 + float64(i%5)*2.5, Y: 1 + float64(i/5)*2.5}
+		mm := mote.New(id, loc, clk, mote.Config{Depth: 1 + i%3, Seed: int64(i)})
+		moteModels = append(moteModels, mm)
+		addr, err := serve(mm)
+		if err != nil {
+			return err
+		}
+		m.Devices = append(m.Devices, manifest.Device{ID: id, Type: "sensor", Addr: addr, Loc: &loc, Depth: 1 + i%3})
+		fmt.Printf("mote %s at %s (loc %v)\n", id, addr, loc)
+	}
+	for i := 0; i < phones; i++ {
+		id := fmt.Sprintf("phone-%d", i+1)
+		number := fmt.Sprintf("+8525550%02d", i+1)
+		addr, err := serve(phone.New(id, number, fmt.Sprintf("manager-%d", i+1), clk))
+		if err != nil {
+			return err
+		}
+		m.Devices = append(m.Devices, manifest.Device{ID: id, Type: "phone", Addr: addr, Number: number, Owner: fmt.Sprintf("manager-%d", i+1)})
+		fmt.Printf("phone %s at %s (%s)\n", id, addr, number)
+	}
+
+	if err := manifest.Write(manifestPath, &m); err != nil {
+		return err
+	}
+	fmt.Printf("manifest written to %s; serving %d devices (ctrl-c to stop)\n", manifestPath, len(m.Devices))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+
+	if stimulate && len(moteModels) > 0 {
+		go func() {
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				case <-clk.After(15 * time.Second):
+				}
+				mm := moteModels[i%len(moteModels)]
+				mm.Stimulate("x", 900, 5*time.Second)
+				fmt.Printf("stimulated %s\n", mm.ID())
+			}
+		}()
+	}
+
+	<-stop
+	close(done)
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,123 @@
+package aorta_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"aorta"
+)
+
+// ExampleNewLab builds the default simulated pervasive lab and queries
+// the sensor virtual table.
+func ExampleNewLab() {
+	l, err := aorta.NewLab(aorta.LabConfig{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer l.Close()
+	if err := l.Engine.Start(context.Background()); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	res, err := l.Engine.Exec(context.Background(), `SELECT count(*) FROM sensor s`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("motes:", res.Rows[0]["count(*)"])
+	// Output: motes: 10
+}
+
+// ExampleRunScheduler compares the paper's Algorithm 2 (SRFAE) with the
+// RANDOM baseline on one uniform workload.
+func ExampleRunScheduler() {
+	rng := rand.New(rand.NewSource(2005))
+	problem := aorta.UniformWorkload(20, 10, rng)
+
+	srfae, err := aorta.RunScheduler(aorta.SchedulerSRFAE(), problem, rng, aorta.DefaultAccounting())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	random, err := aorta.RunScheduler(aorta.SchedulerRandom(), problem, rng, aorta.DefaultAccounting())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("SRFAE beats RANDOM:", srfae.Makespan < random.Makespan)
+	// Output: SRFAE beats RANDOM: true
+}
+
+// ExampleParseActionProfile parses a user-authored action profile and
+// estimates its cost against the built-in camera cost table.
+func ExampleParseActionProfile() {
+	profile, err := aorta.ParseActionProfile([]byte(`
+		<action name="glance" device_type="camera" exclusive="true">
+		  <seq>
+		    <op name="connect"/>
+		    <op name="capture_small"/>
+		  </seq>
+		</action>`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	reg, err := aorta.DefaultRegistry()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	costs, _ := reg.Costs(aorta.DeviceCamera)
+	cost, err := profile.EstimateCost(costs, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s costs %s\n", profile.Name, cost)
+	// Output: glance costs 200ms
+}
+
+// ExampleEngine_Exec registers the paper's snapshot query and inspects
+// its compiled plan.
+func ExampleEngine_Exec() {
+	l, err := aorta.NewLab(aorta.LabConfig{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer l.Close()
+
+	res, err := l.Engine.Exec(context.Background(), `
+		EXPLAIN SELECT photo(c.ip, s.loc, "photos/admin")
+		FROM sensor s, camera c
+		WHERE s.accel_x > 500 AND coverage(c.id, s.loc)
+		EVERY "2s"`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, line := range res.Names {
+		fmt.Println(line)
+	}
+	// Output:
+	// continuous query (epoch 2s)
+	//   scan sensor as s [accel_x, id, loc] (10 devices registered)
+	//   scan camera as c [id, ip] (2 devices registered)
+	//   filter (s.accel_x > 500 AND coverage(c.id, s.loc))
+	//   action photo on camera table (alias c) [shared operator, scheduler SRFAE, exclusive lock]
+}
+
+// ExampleMount_Aim solves the PTZ orientation that points a ceiling
+// camera at a floor location.
+func ExampleMount_Aim() {
+	mount := aorta.DefaultMount(aorta.Point{X: 0, Y: 4, Z: 3}, 0)
+	aim, ok := mount.Aim(aorta.Point{X: 3, Y: 4, Z: 0})
+	fmt.Println("coverable:", ok)
+	fmt.Printf("pan %.0f° tilt %.0f°\n", aim.Pan, aim.Tilt)
+	// Output:
+	// coverable: true
+	// pan 0° tilt 45°
+}

@@ -1,0 +1,118 @@
+// Surveillance: the paper's §1 building-monitoring scenario.
+//
+// A surveillance application watches acceleration sensors on doors; when
+// one detects movement it photographs the location on a remotely
+// controlled camera and forwards the photo to the off-duty manager's cell
+// phone via MMS. The MMS delivery uses the paper's §2.2 user-defined
+// action, registered through CREATE ACTION with a Go function standing in
+// for the DLL.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"aorta"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "surveillance:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	l, err := aorta.NewLab(aorta.LabConfig{Motes: 4})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	ctx := context.Background()
+	if err := l.Engine.Start(ctx); err != nil {
+		return err
+	}
+
+	// Register the user-defined sendphoto action exactly as the paper
+	// does: bind the "DLL" (here, a registered Go implementation) and a
+	// profile, then CREATE ACTION.
+	l.Engine.RegisterLibrary("lib/users/sendphoto.dll", sendphotoImpl)
+	if _, err := l.Engine.Exec(ctx, `
+		CREATE ACTION sendphoto2(String phone_no, String photo_pathname)
+		AS "lib/users/sendphoto.dll"
+		PROFILE "registry:sendphoto"`); err != nil {
+		return err
+	}
+
+	// Query 1: photograph any door that moves.
+	if _, err := l.Engine.Exec(ctx, `
+		CREATE AQ watchdoors AS
+		SELECT photo(c.ip, s.loc, "photos/security")
+		FROM sensor s, camera c
+		WHERE s.accel_x > 500 AND coverage(c.id, s.loc)
+		EVERY "2s"`); err != nil {
+		return err
+	}
+	// Query 2: forward the evidence to the manager's phone.
+	if _, err := l.Engine.Exec(ctx, `
+		CREATE AQ alertmanager AS
+		SELECT sendphoto2(p.number, "photos/security")
+		FROM sensor s, phone p
+		WHERE s.accel_x > 500
+		EVERY "2s"`); err != nil {
+		return err
+	}
+
+	fmt.Println("surveillance armed: 4 door sensors, 2 cameras, 1 phone")
+
+	// An intruder pushes door 2, then door 4 a few virtual seconds later.
+	l.StimulateMote(1, 850, 3*time.Second)
+	time.Sleep(60 * time.Millisecond) // 6 virtual seconds at 100×
+	l.StimulateMote(3, 1200, 3*time.Second)
+
+	// Wait for photos and MMS deliveries.
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(l.Engine.Photos()) >= 2 && len(l.Phones[0].Inbox()) >= 2 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	fmt.Println("\n--- photos taken ---")
+	for _, p := range l.Engine.Photos() {
+		fmt.Printf("  %s by %s at %s\n", p.Directory, p.DeviceID, p.Photo.At)
+	}
+	fmt.Println("--- manager's phone inbox ---")
+	for _, msg := range l.Phones[0].Inbox() {
+		fmt.Printf("  [%s] %s (%d KB)\n", msg.Kind, msg.PhotoPath, msg.SizeKB)
+	}
+	m := l.Engine.Metrics()
+	fmt.Printf("\nrequests=%d successes=%d failure rate=%.0f%%\n",
+		m.Requests, m.Successes, m.FailureRate*100)
+	if len(l.Engine.Photos()) == 0 || len(l.Phones[0].Inbox()) == 0 {
+		return fmt.Errorf("scenario incomplete: %d photos, %d messages",
+			len(l.Engine.Photos()), len(l.Phones[0].Inbox()))
+	}
+	return nil
+}
+
+// sendphotoImpl is the user's "DLL": deliver the latest photo stored under
+// the given path to the phone. It reuses the engine's communication layer
+// through the action context.
+func sendphotoImpl(ctx context.Context, actx *aorta.ActionContext, args []any) (any, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("sendphoto2 takes 2 args, got %d", len(args))
+	}
+	path, _ := args[1].(string)
+	sizeKB := 40
+	for _, sp := range actx.Engine.Photos() {
+		if sp.Directory == path {
+			sizeKB = sp.Photo.SizeKB
+		}
+	}
+	return actx.Engine.Layer().Exec(ctx, actx.DeviceID, "send_mms",
+		map[string]any{"photo_path": path, "size_kb": sizeKB})
+}

@@ -1,0 +1,3 @@
+module aorta
+
+go 1.22

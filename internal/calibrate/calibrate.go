@@ -1,0 +1,178 @@
+// Package calibrate implements the paper's "homegrown programs" (§3.1):
+// utilities that measure the cost of every atomic operation on a live
+// device and produce the atomic_operation_cost.xml table the optimizer's
+// cost model consumes. The cost metric is the paper's — the time required
+// to finish the operation, on the system clock.
+//
+// For a camera, the rate-based head-motor operations are measured by
+// commanding single-axis sweeps of known angular distance; fixed-cost
+// operations everywhere are measured as the mean of repeated executions.
+package calibrate
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/device/camera"
+	"aorta/internal/profile"
+	"aorta/internal/stats"
+	"aorta/internal/vclock"
+)
+
+// Config controls a calibration run.
+type Config struct {
+	// Trials is how many times each fixed-cost operation is repeated
+	// (default 3).
+	Trials int
+	// Clock measures elapsed time (must be the layer's clock).
+	Clock vclock.Clock
+}
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 3
+	}
+	return c.Trials
+}
+
+// measureExec times one atomic operation on an open session.
+func measureExec(ctx context.Context, clk vclock.Clock, sess *comm.Session, op string, args any) (time.Duration, error) {
+	start := clk.Now()
+	if _, err := sess.Exec(ctx, op, args); err != nil {
+		return 0, fmt.Errorf("calibrate: %s: %w", op, err)
+	}
+	return clk.Since(start), nil
+}
+
+// measureFixed repeats an operation and returns the mean duration.
+func measureFixed(ctx context.Context, cfg Config, sess *comm.Session, op string, args any) (time.Duration, error) {
+	var samples []time.Duration
+	for i := 0; i < cfg.trials(); i++ {
+		d, err := measureExec(ctx, cfg.Clock, sess, op, args)
+		if err != nil {
+			return 0, err
+		}
+		samples = append(samples, d)
+	}
+	return stats.MeanDuration(samples), nil
+}
+
+// Camera measures an AXIS-2130-like camera: connect time, per-size
+// capture and store costs, and the pan/tilt/zoom motor rates.
+func Camera(ctx context.Context, layer *comm.Layer, id string, cfg Config) (*profile.AtomicCosts, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("calibrate: Config.Clock is required")
+	}
+	// Calibration sweeps run up to several seconds — far beyond the
+	// normal probe TIMEOUT; raise it for the run and restore after.
+	restore := raiseTimeout(layer, profile.DeviceCamera)
+	defer restore()
+
+	// Connect cost: dial round trip.
+	start := cfg.Clock.Now()
+	sess, err := layer.Connect(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	connectCost := cfg.Clock.Since(start)
+
+	out := &profile.AtomicCosts{DeviceType: profile.DeviceCamera}
+	add := func(name string, fixedMS, rate float64) {
+		out.Ops = append(out.Ops, profile.OpCost{Name: name, FixedMS: fixedMS, RateUnitsPerSec: rate})
+	}
+	add("connect", float64(connectCost.Milliseconds()), 0)
+
+	// Motor rates: single-axis sweeps of known distance. Home first so
+	// the sweep distance is exact.
+	home := func() error {
+		_, err := sess.Exec(ctx, "move", &camera.MoveArgs{Pan: 0, Tilt: 0, Zoom: 1})
+		return err
+	}
+	sweep := func(args camera.MoveArgs, distance float64) (float64, error) {
+		if err := home(); err != nil {
+			return 0, err
+		}
+		d, err := measureExec(ctx, cfg.Clock, sess, "move", &args)
+		if err != nil {
+			return 0, err
+		}
+		if d <= 0 {
+			return 0, fmt.Errorf("calibrate: zero-duration sweep")
+		}
+		return distance / d.Seconds(), nil
+	}
+	panRate, err := sweep(camera.MoveArgs{Pan: 136, Tilt: 0, Zoom: 1}, 136)
+	if err != nil {
+		return nil, err
+	}
+	add("pan", 0, panRate)
+	tiltRate, err := sweep(camera.MoveArgs{Pan: 0, Tilt: 81, Zoom: 1}, 81)
+	if err != nil {
+		return nil, err
+	}
+	add("tilt", 0, tiltRate)
+	zoomRate, err := sweep(camera.MoveArgs{Pan: 0, Tilt: 0, Zoom: 3.4}, 2.4)
+	if err != nil {
+		return nil, err
+	}
+	add("zoom", 0, zoomRate)
+
+	// Captures and store are fixed-cost.
+	for _, size := range []string{"small", "medium", "large"} {
+		d, err := measureFixed(ctx, cfg, sess, "capture", &camera.CaptureArgs{Size: size})
+		if err != nil {
+			return nil, err
+		}
+		add("capture_"+size, msOf(d), 0)
+	}
+	d, err := measureFixed(ctx, cfg, sess, "store", nil)
+	if err != nil {
+		return nil, err
+	}
+	add("store", msOf(d), 0)
+	return out, nil
+}
+
+// Fixed measures a set of fixed-cost operations on any device type,
+// returning one table row per operation.
+func Fixed(ctx context.Context, layer *comm.Layer, id, deviceType string, ops []string, cfg Config) (*profile.AtomicCosts, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("calibrate: Config.Clock is required")
+	}
+	restore := raiseTimeout(layer, deviceType)
+	defer restore()
+
+	start := cfg.Clock.Now()
+	sess, err := layer.Connect(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	connectCost := cfg.Clock.Since(start)
+
+	out := &profile.AtomicCosts{DeviceType: deviceType}
+	out.Ops = append(out.Ops, profile.OpCost{Name: "connect", FixedMS: msOf(connectCost)})
+	for _, op := range ops {
+		d, err := measureFixed(ctx, cfg, sess, op, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Ops = append(out.Ops, profile.OpCost{Name: op, FixedMS: msOf(d)})
+	}
+	return out, nil
+}
+
+// raiseTimeout lifts a device type's TIMEOUT to cover calibration sweeps
+// and returns a restore function.
+func raiseTimeout(layer *comm.Layer, deviceType string) func() {
+	old := layer.Timeout(deviceType)
+	layer.SetTimeout(deviceType, 30*time.Second)
+	return func() { layer.SetTimeout(deviceType, old) }
+}
+
+func msOf(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -1,0 +1,145 @@
+package calibrate
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"aorta/internal/device/camera"
+	"aorta/internal/lab"
+	"aorta/internal/profile"
+)
+
+// newLab builds a small lab with a slow-enough clock that measured
+// durations dominate scheduling jitter.
+func newLab(t *testing.T) *lab.Lab {
+	t.Helper()
+	scale := 50.0
+	if raceEnabled {
+		// Race instrumentation inflates per-request wall overhead; slow
+		// the clock so measured durations still dominate it.
+		scale = 10
+	}
+	l, err := lab.New(lab.Config{Motes: 2, ClockScale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	return l
+}
+
+// TestCameraCalibration: measured motor rates and capture costs must land
+// near the emulator's ground truth.
+func TestCameraCalibration(t *testing.T) {
+	l := newLab(t)
+	cfg := Config{Clock: l.Clock, Trials: 2}
+	costs, err := Camera(context.Background(), l.Engine.Layer(), "camera-1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.DeviceType != profile.DeviceCamera {
+		t.Errorf("device type = %q", costs.DeviceType)
+	}
+
+	within := func(name string, got, want, tolFrac float64) {
+		t.Helper()
+		if math.Abs(got-want) > want*tolFrac {
+			t.Errorf("%s = %.1f, want %.1f ± %.0f%%", name, got, want, tolFrac*100)
+		}
+	}
+	pan, ok := costs.Op("pan")
+	if !ok {
+		t.Fatal("pan missing")
+	}
+	within("pan rate", pan.RateUnitsPerSec, camera.PanSpeedDegPerSec, 0.15)
+	tilt, _ := costs.Op("tilt")
+	within("tilt rate", tilt.RateUnitsPerSec, camera.TiltSpeedDegPerSec, 0.15)
+	zoom, _ := costs.Op("zoom")
+	within("zoom rate", zoom.RateUnitsPerSec, camera.ZoomUnitsPerSec, 0.15)
+
+	med, _ := costs.Op("capture_medium")
+	within("capture_medium", med.FixedMS, float64(camera.CaptureMedium.Milliseconds()), 0.25)
+	small, _ := costs.Op("capture_small")
+	large, _ := costs.Op("capture_large")
+	if !(small.FixedMS < med.FixedMS && med.FixedMS < large.FixedMS) {
+		t.Errorf("capture cost ordering violated: %v / %v / %v", small.FixedMS, med.FixedMS, large.FixedMS)
+	}
+	// store is so short (30ms) that the wire round trip dominates the
+	// measurement; just bound it.
+	st, _ := costs.Op("store")
+	if st.FixedMS < float64(camera.StoreTime.Milliseconds()) || st.FixedMS > 150 {
+		t.Errorf("store = %.1fms, want within [30, 150]", st.FixedMS)
+	}
+}
+
+// TestCalibratedTableValidatesPhotoProfile: the measured table slots
+// straight into the cost model.
+func TestCalibratedTableValidatesPhotoProfile(t *testing.T) {
+	l := newLab(t)
+	costs, err := Camera(context.Background(), l.Engine.Layer(), "camera-2", Config{Clock: l.Clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := profile.DefaultRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	photo, _ := reg.Action(profile.ActionPhoto)
+	if err := photo.Validate(costs); err != nil {
+		t.Fatalf("photo profile does not validate against calibrated table: %v", err)
+	}
+	est, err := photo.EstimateCost(costs, profile.Params{"pan_delta": 170, "tilt_delta": 45, "zoom_delta": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: 170/68 = 2.5s movement + 0.36s fixed ≈ 2.86s.
+	if est.Seconds() < 2.3 || est.Seconds() > 3.6 {
+		t.Errorf("estimated photo cost from calibrated table = %v, want ≈2.86s", est)
+	}
+}
+
+// TestCalibrationRoundTripsThroughXML: measured table → XML → parse.
+func TestCalibrationRoundTripsThroughXML(t *testing.T) {
+	l := newLab(t)
+	costs, err := Fixed(context.Background(), l.Engine.Layer(), "mote-1", profile.DeviceSensor,
+		[]string{"beep", "blink", "sample"}, Config{Clock: l.Clock, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := costs.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := profile.ParseAtomicCosts(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	if back.DeviceType != profile.DeviceSensor || len(back.Ops) != 4 {
+		t.Errorf("round trip = %+v", back)
+	}
+	beep, ok := back.Op("beep")
+	if !ok {
+		t.Fatal("beep missing")
+	}
+	// Emulator ground truth 200ms; allow generous jitter at 50× scale.
+	if beep.FixedMS < 150 || beep.FixedMS > 350 {
+		t.Errorf("beep cost = %.1fms, want ≈200ms", beep.FixedMS)
+	}
+}
+
+func TestCalibrationRequiresClock(t *testing.T) {
+	l := newLab(t)
+	if _, err := Camera(context.Background(), l.Engine.Layer(), "camera-1", Config{}); err == nil {
+		t.Error("Camera accepted missing clock")
+	}
+	if _, err := Fixed(context.Background(), l.Engine.Layer(), "mote-1", "sensor", nil, Config{}); err == nil {
+		t.Error("Fixed accepted missing clock")
+	}
+}
+
+func TestCalibrationUnknownDevice(t *testing.T) {
+	l := newLab(t)
+	if _, err := Camera(context.Background(), l.Engine.Layer(), "ghost", Config{Clock: l.Clock}); err == nil {
+		t.Error("calibration of unknown device succeeded")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package calibrate
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; calibration tests slow their clocks to keep measurement overhead
+// proportionally small.
+const raceEnabled = true

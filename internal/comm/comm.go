@@ -1,0 +1,499 @@
+// Package comm implements Aorta's uniform data communication layer
+// (paper §3).
+//
+// The layer manages the registry of networked heterogeneous devices and
+// gives the query engine three things:
+//
+//   - the basic communication methods — connect(), close(), send() and
+//     receive() — wrapped into typed Probe/Read/Exec calls that speak the
+//     wire protocol to any device type (paper §3.3);
+//   - virtual relational tables: each device type is abstracted into a
+//     table whose tuples are generated on the fly by scan operators;
+//     sensory attributes are acquired from the live device, non-sensory
+//     attributes come from the registry (paper §3.2);
+//   - per-device-type TIMEOUT handling so probes on unresponsive devices
+//     break instead of hanging (paper §4).
+//
+// Unreachable devices never fail a scan — they simply contribute no tuple.
+// That is the "network data independence" the paper takes from
+// Hellerstein: applications see a dynamic logical view, not transmission
+// loss and device failure.
+package comm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/vclock"
+	"aorta/internal/wire"
+)
+
+// DefaultTimeout is the probe/request timeout used for device types with
+// no explicit setting.
+const DefaultTimeout = 2 * time.Second
+
+// DeviceInfo describes one registered device.
+type DeviceInfo struct {
+	ID   string
+	Type string
+	// Addr is the network address the device's server listens on.
+	Addr string
+	// Static holds the device's non-sensory attribute values (e.g. loc,
+	// number, depth).
+	Static map[string]any
+}
+
+// clone returns a deep-enough copy (the Static map is copied).
+func (d *DeviceInfo) clone() *DeviceInfo {
+	out := *d
+	out.Static = make(map[string]any, len(d.Static))
+	for k, v := range d.Static {
+		out.Static[k] = v
+	}
+	return &out
+}
+
+// ProbeResult is what a successful probe returns: the device's identity,
+// busy flag and current physical status.
+type ProbeResult struct {
+	DeviceID   string
+	DeviceType string
+	Busy       bool
+	Status     json.RawMessage
+	// RTT is the probe round-trip time on the layer's clock.
+	RTT time.Duration
+}
+
+// Tuple is one row of a virtual device table: attribute name → value.
+// Values are JSON-decoded (float64, string, bool, or raw structures).
+type Tuple map[string]any
+
+// Metrics counts the layer's interactions with the device network.
+type Metrics struct {
+	Probes        atomic.Int64
+	ProbeFailures atomic.Int64
+	Reads         atomic.Int64
+	ReadFailures  atomic.Int64
+	Execs         atomic.Int64
+	ExecFailures  atomic.Int64
+	Dials         atomic.Int64
+	DialFailures  atomic.Int64
+}
+
+// ErrUnknownDevice is returned when an operation names an unregistered
+// device.
+var ErrUnknownDevice = errors.New("comm: unknown device")
+
+// ErrTimeout is returned when a device did not answer within its type's
+// TIMEOUT.
+var ErrTimeout = errors.New("comm: device timed out")
+
+// ErrUnreachable is returned when a device connection could not be
+// established (link down, dial failure, no listener).
+var ErrUnreachable = errors.New("comm: device unreachable")
+
+// Layer is the uniform data communication layer.
+type Layer struct {
+	dialer netsim.Dialer
+	clk    vclock.Clock
+	reg    *profile.Registry
+
+	mu       sync.RWMutex
+	devices  map[string]*DeviceInfo
+	timeouts map[string]time.Duration
+
+	metrics Metrics
+}
+
+// New returns a communication layer using dialer for transport, clk for
+// time and reg for catalog lookups.
+func New(dialer netsim.Dialer, clk vclock.Clock, reg *profile.Registry) *Layer {
+	return &Layer{
+		dialer:   dialer,
+		clk:      clk,
+		reg:      reg,
+		devices:  make(map[string]*DeviceInfo),
+		timeouts: make(map[string]time.Duration),
+	}
+}
+
+// Metrics returns the layer's interaction counters.
+func (l *Layer) Metrics() *Metrics { return &l.metrics }
+
+// SetTimeout sets the TIMEOUT value for one device type (paper §4).
+func (l *Layer) SetTimeout(deviceType string, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.timeouts[deviceType] = d
+}
+
+// Timeout returns the TIMEOUT for a device type.
+func (l *Layer) Timeout(deviceType string) time.Duration {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if d, ok := l.timeouts[deviceType]; ok {
+		return d
+	}
+	return DefaultTimeout
+}
+
+// Register adds a device to the registry. The device type must have a
+// catalog. Duplicate IDs are rejected.
+func (l *Layer) Register(info DeviceInfo) error {
+	if info.ID == "" || info.Type == "" || info.Addr == "" {
+		return errors.New("comm: device needs ID, Type and Addr")
+	}
+	if _, ok := l.reg.Catalog(info.Type); !ok {
+		return fmt.Errorf("comm: no catalog for device type %q", info.Type)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.devices[info.ID]; dup {
+		return fmt.Errorf("comm: device %q already registered", info.ID)
+	}
+	if info.Static == nil {
+		info.Static = make(map[string]any)
+	}
+	if _, ok := info.Static["id"]; !ok {
+		info.Static["id"] = info.ID
+	}
+	l.devices[info.ID] = info.clone()
+	return nil
+}
+
+// Remove deletes a device from the registry; devices leave the network
+// dynamically and unpredictably (paper §4).
+func (l *Layer) Remove(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.devices, id)
+}
+
+// Device returns the registry entry for id.
+func (l *Layer) Device(id string) (*DeviceInfo, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	d, ok := l.devices[id]
+	if !ok {
+		return nil, false
+	}
+	return d.clone(), true
+}
+
+// DevicesOfType returns all registered devices of the given type, sorted
+// by ID for determinism.
+func (l *Layer) DevicesOfType(deviceType string) []*DeviceInfo {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []*DeviceInfo
+	for _, d := range l.devices {
+		if d.Type == deviceType {
+			out = append(out, d.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Devices returns all registered devices sorted by ID.
+func (l *Layer) Devices() []*DeviceInfo {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]*DeviceInfo, 0, len(l.devices))
+	for _, d := range l.devices {
+		out = append(out, d.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Session is an open connection to one device: the connect()/close()/
+// send()/receive() surface of paper §3.3.
+//
+// A single reader goroutine owns the connection's receive side and routes
+// responses to requesters by sequence number, so a request that times out
+// cannot desynchronize later requests on the same session. Sessions are
+// safe for concurrent use.
+type Session struct {
+	layer *Layer
+	info  *DeviceInfo
+	conn  net.Conn
+
+	writeMu sync.Mutex
+	seq     atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.Message
+	readErr error
+	done    chan struct{}
+
+	closeOnce sync.Once
+	readerWG  sync.WaitGroup
+}
+
+// Connect opens a session to the device, respecting the device type's
+// TIMEOUT for connection establishment.
+func (l *Layer) Connect(ctx context.Context, id string) (*Session, error) {
+	l.mu.RLock()
+	info, ok := l.devices[id]
+	l.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, id)
+	}
+	tctx, cancel := vclock.WithTimeout(ctx, l.clk, l.Timeout(info.Type))
+	defer cancel()
+	l.metrics.Dials.Add(1)
+	conn, err := l.dialer.Dial(tctx, info.Addr)
+	if err != nil {
+		l.metrics.DialFailures.Add(1)
+		if tctx.Err() != nil && ctx.Err() == nil {
+			return nil, fmt.Errorf("%w: connect to %s: %v", ErrTimeout, id, err)
+		}
+		return nil, fmt.Errorf("%w: connect to %s: %v", ErrUnreachable, id, err)
+	}
+	s := &Session{
+		layer:   l,
+		info:    info.clone(),
+		conn:    conn,
+		pending: make(map[uint64]chan *wire.Message),
+		done:    make(chan struct{}),
+	}
+	s.readerWG.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// readLoop is the session's single receiver: it routes every inbound
+// frame to the requester waiting on its sequence number, discarding
+// responses whose requester already timed out.
+func (s *Session) readLoop() {
+	defer s.readerWG.Done()
+	for {
+		resp, err := wire.ReadFrame(s.conn)
+		if err != nil {
+			s.mu.Lock()
+			s.readErr = fmt.Errorf("comm: receive from %s: %w", s.info.ID, err)
+			close(s.done)
+			s.pending = nil
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		ch := s.pending[resp.Seq]
+		delete(s.pending, resp.Seq)
+		s.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// Close implements close(): it releases the connection and waits for the
+// reader to exit.
+func (s *Session) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		err = s.conn.Close()
+		s.readerWG.Wait()
+	})
+	return err
+}
+
+// Device returns the session's device info.
+func (s *Session) Device() *DeviceInfo { return s.info.clone() }
+
+// roundTrip implements send() + receive() with the device type's TIMEOUT.
+func (s *Session) roundTrip(ctx context.Context, msg wire.Message) (*wire.Message, error) {
+	timeout := s.layer.Timeout(s.info.Type)
+	tctx, cancel := vclock.WithTimeout(ctx, s.layer.clk, timeout)
+	defer cancel()
+
+	msg.Seq = s.seq.Add(1)
+	msg.Device = s.info.ID
+
+	ch := make(chan *wire.Message, 1)
+	s.mu.Lock()
+	if s.readErr != nil {
+		err := s.readErr
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.pending[msg.Seq] = ch
+	s.mu.Unlock()
+	unregister := func() {
+		s.mu.Lock()
+		if s.pending != nil {
+			delete(s.pending, msg.Seq)
+		}
+		s.mu.Unlock()
+	}
+
+	// send() on a goroutine so TIMEOUT can break a write to a hung or
+	// congested device.
+	writeErr := make(chan error, 1)
+	go func() {
+		s.writeMu.Lock()
+		defer s.writeMu.Unlock()
+		writeErr <- wire.WriteFrame(s.conn, &msg)
+	}()
+
+	select {
+	case err := <-writeErr:
+		if err != nil {
+			unregister()
+			return nil, fmt.Errorf("comm: send to %s: %w", s.info.ID, err)
+		}
+	case <-tctx.Done():
+		unregister()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("comm: %s: %w", s.info.ID, ctx.Err())
+		}
+		return nil, fmt.Errorf("%w: %s did not accept the request within %v", ErrTimeout, s.info.ID, timeout)
+	case <-s.done:
+		unregister()
+		return nil, s.readError()
+	}
+
+	select {
+	case resp := <-ch:
+		if resp.Type == wire.TypeError {
+			var ep wire.ErrorPayload
+			if err := wire.DecodePayload(resp, &ep); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("comm: %s: %w", s.info.ID, ep.Err())
+		}
+		return resp, nil
+	case <-tctx.Done():
+		unregister()
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("comm: %s: %w", s.info.ID, ctx.Err())
+		}
+		return nil, fmt.Errorf("%w: %s did not answer within %v", ErrTimeout, s.info.ID, timeout)
+	case <-s.done:
+		unregister()
+		return nil, s.readError()
+	}
+}
+
+// readError returns the reader's terminal error.
+func (s *Session) readError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readErr
+}
+
+// Probe checks availability and fetches the device's physical status.
+func (s *Session) Probe(ctx context.Context) (*ProbeResult, error) {
+	s.layer.metrics.Probes.Add(1)
+	start := s.layer.clk.Now()
+	resp, err := s.roundTrip(ctx, wire.Message{Type: wire.TypeProbe})
+	if err != nil {
+		s.layer.metrics.ProbeFailures.Add(1)
+		return nil, err
+	}
+	var ack wire.ProbeAck
+	if err := wire.DecodePayload(resp, &ack); err != nil {
+		s.layer.metrics.ProbeFailures.Add(1)
+		return nil, err
+	}
+	return &ProbeResult{
+		DeviceID:   ack.DeviceID,
+		DeviceType: ack.DeviceType,
+		Busy:       ack.Busy,
+		Status:     ack.Status,
+		RTT:        s.layer.clk.Since(start),
+	}, nil
+}
+
+// Read acquires one attribute value from the device.
+func (s *Session) Read(ctx context.Context, attr string) (any, error) {
+	s.layer.metrics.Reads.Add(1)
+	resp, err := s.roundTrip(ctx, wire.Message{
+		Type:    wire.TypeRead,
+		Payload: wire.MustPayload(&wire.ReadReq{Attr: attr}),
+	})
+	if err != nil {
+		s.layer.metrics.ReadFailures.Add(1)
+		return nil, err
+	}
+	var ack wire.ReadAck
+	if err := wire.DecodePayload(resp, &ack); err != nil {
+		s.layer.metrics.ReadFailures.Add(1)
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(ack.Value, &v); err != nil {
+		s.layer.metrics.ReadFailures.Add(1)
+		return nil, fmt.Errorf("comm: decode %s.%s: %w", s.info.ID, attr, err)
+	}
+	return v, nil
+}
+
+// Exec runs one atomic operation on the device and returns its raw result.
+func (s *Session) Exec(ctx context.Context, op string, args any) (json.RawMessage, error) {
+	s.layer.metrics.Execs.Add(1)
+	var rawArgs json.RawMessage
+	if args != nil {
+		b, err := json.Marshal(args)
+		if err != nil {
+			return nil, fmt.Errorf("comm: marshal %s args: %w", op, err)
+		}
+		rawArgs = b
+	}
+	resp, err := s.roundTrip(ctx, wire.Message{
+		Type:    wire.TypeExec,
+		Payload: wire.MustPayload(&wire.ExecReq{Op: op, Args: rawArgs}),
+	})
+	if err != nil {
+		s.layer.metrics.ExecFailures.Add(1)
+		return nil, err
+	}
+	var ack wire.ExecAck
+	if err := wire.DecodePayload(resp, &ack); err != nil {
+		s.layer.metrics.ExecFailures.Add(1)
+		return nil, err
+	}
+	return ack.Result, nil
+}
+
+// Probe is the one-shot convenience: connect, probe, close.
+func (l *Layer) Probe(ctx context.Context, id string) (*ProbeResult, error) {
+	s, err := l.Connect(ctx, id)
+	if err != nil {
+		l.metrics.Probes.Add(1)
+		l.metrics.ProbeFailures.Add(1)
+		return nil, err
+	}
+	defer s.Close()
+	return s.Probe(ctx)
+}
+
+// ReadAttr is the one-shot convenience: connect, read, close.
+func (l *Layer) ReadAttr(ctx context.Context, id, attr string) (any, error) {
+	s, err := l.Connect(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Read(ctx, attr)
+}
+
+// Exec is the one-shot convenience: connect, exec, close.
+func (l *Layer) Exec(ctx context.Context, id, op string, args any) (json.RawMessage, error) {
+	s, err := l.Connect(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.Exec(ctx, op, args)
+}

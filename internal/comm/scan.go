@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ScanReport describes the outcome of one virtual-table scan.
+type ScanReport struct {
+	// Scanned is the number of devices that produced a tuple.
+	Scanned int
+	// Skipped is the number of registered devices that were unreachable
+	// or failed mid-read; their tuples are simply absent (network data
+	// independence).
+	Skipped int
+}
+
+// Scan materializes the virtual relational table for a device type: one
+// tuple per currently reachable device of that type (paper §3.2).
+//
+// attrs selects the columns; nil means every attribute in the device
+// type's catalog. Non-sensory attributes come from the registry; sensory
+// attributes are acquired from the device over one session. Devices are
+// scanned concurrently.
+func (l *Layer) Scan(ctx context.Context, deviceType string, attrs []string) ([]Tuple, *ScanReport, error) {
+	cat, ok := l.reg.Catalog(deviceType)
+	if !ok {
+		return nil, nil, fmt.Errorf("comm: no catalog for device type %q", deviceType)
+	}
+	if attrs == nil {
+		for _, a := range cat.Attributes {
+			attrs = append(attrs, a.Name)
+		}
+	}
+	// Split requested columns into static and sensory.
+	var sensory, static []string
+	for _, name := range attrs {
+		def, ok := cat.Attr(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("comm: device type %q has no attribute %q", deviceType, name)
+		}
+		if def.Sensory {
+			sensory = append(sensory, name)
+		} else {
+			static = append(static, name)
+		}
+	}
+
+	devices := l.DevicesOfType(deviceType)
+	type row struct {
+		id    string
+		tuple Tuple
+	}
+	rows := make([]row, len(devices))
+	var wg sync.WaitGroup
+	for i, dev := range devices {
+		wg.Add(1)
+		go func(i int, dev *DeviceInfo) {
+			defer wg.Done()
+			t := l.scanDevice(ctx, dev, static, sensory)
+			if t != nil {
+				rows[i] = row{id: dev.ID, tuple: t}
+			}
+		}(i, dev)
+	}
+	wg.Wait()
+
+	report := &ScanReport{}
+	var out []Tuple
+	for _, r := range rows {
+		if r.tuple == nil {
+			report.Skipped++
+			continue
+		}
+		report.Scanned++
+		out = append(out, r.tuple)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := out[i]["id"].(string)
+		b, _ := out[j]["id"].(string)
+		return a < b
+	})
+	return out, report, nil
+}
+
+// scanDevice builds one tuple, or returns nil when the device is
+// unreachable or a sensory read fails.
+func (l *Layer) scanDevice(ctx context.Context, dev *DeviceInfo, static, sensory []string) Tuple {
+	t := make(Tuple, len(static)+len(sensory)+1)
+	t["id"] = dev.ID
+	for _, name := range static {
+		if v, ok := dev.Static[name]; ok {
+			t[name] = v
+		} else {
+			t[name] = nil
+		}
+	}
+	if len(sensory) == 0 {
+		return t
+	}
+	s, err := l.Connect(ctx, dev.ID)
+	if err != nil {
+		return nil
+	}
+	defer s.Close()
+	for _, name := range sensory {
+		v, err := s.Read(ctx, name)
+		if err != nil {
+			return nil
+		}
+		t[name] = v
+	}
+	return t
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"aorta/internal/sched"
+)
+
+// actionOperator is the shared action operator of paper §2.3: all
+// concurrent queries embedding the same action share one operator, so
+// their requests are batched and scheduled together (group optimization).
+type actionOperator struct {
+	engine *Engine
+	def    *ActionDef
+
+	mu       sync.Mutex
+	pending  []*ActionRequest
+	flushing bool
+	queries  map[int]bool // queries sharing this operator
+}
+
+func newActionOperator(e *Engine, def *ActionDef) *actionOperator {
+	return &actionOperator{engine: e, def: def, queries: make(map[int]bool)}
+}
+
+// submit enqueues a request. The first request of a batch arms the batch
+// window; when it elapses all pending requests are scheduled together.
+func (op *actionOperator) submit(req *ActionRequest) {
+	op.mu.Lock()
+	op.pending = append(op.pending, req)
+	op.queries[req.QueryID] = true
+	arm := !op.flushing
+	if arm {
+		op.flushing = true
+	}
+	op.mu.Unlock()
+	if !arm {
+		return
+	}
+	e := op.engine
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		select {
+		case <-e.runCtx.Done():
+			return
+		case <-e.clk.After(e.cfg.BatchWindow):
+		}
+		op.mu.Lock()
+		batch := op.pending
+		op.pending = nil
+		op.flushing = false
+		op.mu.Unlock()
+		op.dispatch(e.runCtx, batch)
+	}()
+}
+
+// SharedBy returns how many distinct queries have routed requests through
+// this operator.
+func (op *actionOperator) SharedBy() int {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return len(op.queries)
+}
+
+// dispatch probes candidates, runs the workload scheduler over the batch
+// and executes the resulting per-device sequences.
+func (op *actionOperator) dispatch(ctx context.Context, batch []*ActionRequest) {
+	if len(batch) == 0 {
+		return
+	}
+	e := op.engine
+
+	// 1. Probe the union of candidate devices (paper §4's probing
+	// mechanism): availability check + physical status acquisition.
+	available := make(map[string]sched.Status)
+	if e.cfg.Probing {
+		var ids []string
+		seen := make(map[string]bool)
+		for _, req := range batch {
+			for _, c := range req.Candidates {
+				if !seen[c.ID] {
+					seen[c.ID] = true
+					ids = append(ids, c.ID)
+				}
+			}
+		}
+		report := e.prober.ProbeCandidates(ctx, ids)
+		if len(report.Excluded) > 0 {
+			e.lg.Warn("probe excluded candidates", "action", op.def.Name, "excluded", report.Excluded)
+		}
+		for _, c := range report.Available {
+			if c.Busy && e.cfg.ExcludeBusy {
+				continue
+			}
+			available[c.ID] = op.def.Coster.ParseStatus(c.Status)
+		}
+	} else {
+		// Probing disabled (ablation): trust the registry blindly.
+		for _, req := range batch {
+			for _, c := range req.Candidates {
+				if _, ok := available[c.ID]; !ok {
+					available[c.ID] = op.def.Coster.ParseStatus(nil)
+				}
+			}
+		}
+	}
+
+	// 2. Build the scheduling problem over the available candidates.
+	var (
+		schedReqs []*sched.Request
+		devSet    = make(map[sched.DeviceID]bool)
+		initial   = make(map[sched.DeviceID]sched.Status)
+	)
+	for i, req := range batch {
+		var cands []sched.DeviceID
+		for _, c := range req.Candidates {
+			if st, ok := available[c.ID]; ok {
+				id := sched.DeviceID(c.ID)
+				cands = append(cands, id)
+				if !devSet[id] {
+					devSet[id] = true
+					initial[id] = st
+				}
+			}
+		}
+		if len(cands) == 0 {
+			// Every candidate is unavailable: the request fails now
+			// rather than hanging on a malfunctioning device (paper §4).
+			op.finish(req, "", nil, fmt.Errorf("%w: no available candidate device", errNoCandidates))
+			continue
+		}
+		schedReqs = append(schedReqs, &sched.Request{
+			ID:         i + 1,
+			QueryID:    req.QueryID,
+			Action:     req.Action,
+			Target:     req,
+			Candidates: cands,
+		})
+	}
+	if len(schedReqs) == 0 {
+		return
+	}
+	var devices []sched.DeviceID
+	for d := range devSet {
+		devices = append(devices, d)
+	}
+	sortDeviceIDs(devices)
+
+	e.lg.Debug("dispatching batch", "action", op.def.Name,
+		"requests", len(schedReqs), "devices", len(devices))
+	problem := sched.NewProblem(schedReqs, devices, initial, &costerEstimator{coster: op.def.Coster})
+	assignment, err := e.cfg.Scheduler.Schedule(problem, rand.New(rand.NewSource(e.nextSeed())))
+	if err != nil {
+		// Scheduling failure fails the whole batch.
+		for _, sr := range schedReqs {
+			op.finish(sr.Target.(*ActionRequest), "", nil, fmt.Errorf("core: scheduling failed: %w", err))
+		}
+		return
+	}
+
+	// 3. Execute. With locking enabled each device's sequence runs in
+	// order under the device lock; with locking disabled every request
+	// fires immediately — reproducing the §6.2 interference.
+	for dev, seq := range assignment.Order {
+		if len(seq) == 0 {
+			continue
+		}
+		devID := string(dev)
+		if e.cfg.Locking {
+			e.wg.Add(1)
+			go func(devID string, seq []*sched.Request) {
+				defer e.wg.Done()
+				for _, sr := range seq {
+					op.executeLocked(ctx, devID, sr.Target.(*ActionRequest))
+				}
+			}(devID, seq)
+		} else {
+			for _, sr := range seq {
+				e.wg.Add(1)
+				go func(devID string, ar *ActionRequest) {
+					defer e.wg.Done()
+					op.execute(ctx, devID, ar)
+				}(devID, sr.Target.(*ActionRequest))
+			}
+		}
+	}
+}
+
+var errNoCandidates = errors.New("core: all candidate devices unavailable")
+
+// executeLocked runs one request under the device lock. With
+// Config.LockLease set the lock is a TTL lease, so a hung action cannot
+// pin the device forever.
+func (op *actionOperator) executeLocked(ctx context.Context, devID string, req *ActionRequest) {
+	e := op.engine
+	holder := fmt.Sprintf("q%d/r%d", req.QueryID, req.ID)
+	if ttl := e.cfg.LockLease; ttl > 0 {
+		lease, err := e.locks.LockWithLease(ctx, devID, holder, ttl)
+		if err != nil {
+			op.finish(req, devID, nil, err)
+			return
+		}
+		defer func() {
+			_ = lease.Release()
+		}()
+		op.execute(ctx, devID, req)
+		return
+	}
+	if err := e.locks.Lock(ctx, devID, holder); err != nil {
+		op.finish(req, devID, nil, err)
+		return
+	}
+	defer func() {
+		_ = e.locks.Unlock(devID, holder)
+	}()
+	op.execute(ctx, devID, req)
+}
+
+// execute runs one request on the selected device and records the outcome.
+func (op *actionOperator) execute(ctx context.Context, devID string, req *ActionRequest) {
+	e := op.engine
+	if !req.Deadline.IsZero() && e.clk.Now().After(req.Deadline) {
+		op.finish(req, devID, nil, ErrStale)
+		return
+	}
+	args, err := req.bind(devID)
+	if err != nil {
+		op.finish(req, devID, nil, fmt.Errorf("core: bind args: %w", err))
+		return
+	}
+	actx := &ActionContext{Engine: e, QueryID: req.QueryID, RequestID: req.ID, DeviceID: devID}
+	result, err := op.def.Fn(ctx, actx, args)
+	op.finish(req, devID, result, err)
+}
+
+// finish records the outcome of a request.
+func (op *actionOperator) finish(req *ActionRequest, devID string, result any, err error) {
+	e := op.engine
+	outcome := &Outcome{
+		RequestID: req.ID,
+		QueryID:   req.QueryID,
+		Query:     req.Query,
+		Action:    req.Action,
+		DeviceID:  devID,
+		EventKey:  req.EventKey,
+		Latency:   e.clk.Since(req.CreatedAt),
+		Result:    result,
+		Err:       err,
+		Failure:   classifyFailure(err),
+	}
+	if err != nil {
+		e.lg.Warn("action failed", "action", req.Action, "query", req.Query,
+			"device", devID, "failure", outcome.Failure.String(), "err", err)
+	} else {
+		e.lg.Debug("action completed", "action", req.Action, "query", req.Query,
+			"device", devID, "latency", outcome.Latency)
+	}
+	e.metrics.record(outcome)
+	e.outcomes.add(outcome)
+}
+
+func sortDeviceIDs(ids []sched.DeviceID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

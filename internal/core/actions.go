@@ -1,0 +1,323 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"aorta/internal/device/camera"
+	"aorta/internal/device/phone"
+	"aorta/internal/geo"
+	"aorta/internal/profile"
+	"aorta/internal/sched"
+)
+
+// Action failure modes observed in the paper's §6.2 study.
+var (
+	// ErrBlurred: the photo was corrupted by interfering head movement.
+	ErrBlurred = errors.New("core: photo blurred")
+	// ErrWrongPosition: the photo was taken pointing away from the
+	// requested location.
+	ErrWrongPosition = errors.New("core: photo taken at wrong position")
+	// ErrStale: the request waited so long that its transient event is
+	// gone.
+	ErrStale = errors.New("core: action request became stale")
+	// ErrNotCoverable: the selected camera cannot aim at the target.
+	ErrNotCoverable = errors.New("core: target outside camera coverage")
+)
+
+// ActionContext carries execution context into an action implementation.
+type ActionContext struct {
+	Engine    *Engine
+	QueryID   int
+	RequestID int64
+	// DeviceID is the device the optimizer selected.
+	DeviceID string
+}
+
+// ActionFunc is the code block of an action: the method invoked when the
+// optimizer dispatches a request to a device. Args are the evaluated
+// SQL-call arguments.
+type ActionFunc func(ctx context.Context, actx *ActionContext, args []any) (any, error)
+
+// ActionDef binds an action name to its profile, implementation and cost
+// model.
+type ActionDef struct {
+	Name    string
+	Profile *profile.ActionProfile
+	Fn      ActionFunc
+	Coster  Coster
+	// TargetExtractor picks the cost-model target out of the evaluated
+	// argument list (for photo: the location). Nil means no target.
+	TargetExtractor func(args []any) any
+}
+
+// StoredPhoto is one photo archived by the photo() action.
+type StoredPhoto struct {
+	Directory string
+	QueryID   int
+	DeviceID  string
+	Photo     camera.Photo
+}
+
+// photoStore collects photos taken by the built-in photo() action.
+type photoStore struct {
+	mu     sync.Mutex
+	photos []StoredPhoto
+}
+
+const maxStoredPhotos = 10000
+
+func (s *photoStore) add(p StoredPhoto) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.photos) >= maxStoredPhotos {
+		copy(s.photos, s.photos[1:])
+		s.photos = s.photos[:len(s.photos)-1]
+	}
+	s.photos = append(s.photos, p)
+}
+
+func (s *photoStore) all() []StoredPhoto {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoredPhoto, len(s.photos))
+	copy(out, s.photos)
+	return out
+}
+
+// asPoint converts tuple values (geo.Point or decoded JSON objects) into a
+// location.
+func asPoint(v any) (geo.Point, bool) {
+	switch p := v.(type) {
+	case geo.Point:
+		return p, true
+	case *geo.Point:
+		return *p, true
+	case map[string]any:
+		x, _ := toFloat(p["X"])
+		y, _ := toFloat(p["Y"])
+		z, _ := toFloat(p["Z"])
+		return geo.Point{X: x, Y: y, Z: z}, true
+	default:
+		return geo.Point{}, false
+	}
+}
+
+// photoCoster is the cost model for the photo() action: head-movement
+// time from the probed head position to the aim solution, plus the fixed
+// profile overhead. Sequence-dependent: the status chains through the aim
+// orientations.
+type photoCoster struct {
+	engine *Engine
+}
+
+var _ Coster = (*photoCoster)(nil)
+
+// ParseStatus implements Coster.
+func (pc *photoCoster) ParseStatus(raw json.RawMessage) sched.Status {
+	var st camera.Status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return geo.Orientation{Zoom: 1}
+	}
+	return st.Head
+}
+
+// Cost implements Coster.
+func (pc *photoCoster) Cost(req *ActionRequest, deviceID string, st sched.Status) (time.Duration, sched.Status) {
+	head, _ := st.(geo.Orientation)
+	target, ok := asPoint(req.Target)
+	if !ok {
+		return DefaultPhotoFixed, st
+	}
+	mount, ok := pc.engine.MountOf(deviceID)
+	if !ok {
+		return DefaultPhotoFixed, st
+	}
+	aim, ok := mount.Aim(target)
+	if !ok {
+		// Not coverable: effectively infinite cost so the optimizer never
+		// picks it (candidates are pre-filtered by coverage()).
+		return 24 * time.Hour, st
+	}
+	pan, tilt := geo.AngularDist(head, aim)
+	zoom := math.Abs(head.Zoom - aim.Zoom)
+	photoProfile, pok := pc.engine.reg.Action(profile.ActionPhoto)
+	costs, cok := pc.engine.reg.Costs(profile.DeviceCamera)
+	if pok && cok {
+		if cost, err := photoProfile.EstimateCost(costs, profile.Params{
+			"pan_delta":  pan,
+			"tilt_delta": tilt,
+			"zoom_delta": zoom,
+		}); err == nil {
+			return cost, aim
+		}
+	}
+	return camera.MoveTime(head, aim) + DefaultPhotoFixed, aim
+}
+
+// DefaultPhotoFixed is the movement-independent photo() overhead.
+const DefaultPhotoFixed = 360 * time.Millisecond
+
+// PositionTolerance is how far (degrees) a photo's achieved orientation
+// may deviate from the requested aim before it counts as wrong-position.
+const PositionTolerance = 2.0
+
+// photoAction is the built-in photo(camera_ip, location, directory)
+// implementation: move the selected camera's head to aim at location,
+// take a medium photo, store it under directory.
+func photoAction(ctx context.Context, actx *ActionContext, args []any) (any, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("core: photo() takes 3 arguments, got %d", len(args))
+	}
+	loc, ok := asPoint(args[1])
+	if !ok {
+		return nil, fmt.Errorf("core: photo() second argument is %T, not a location", args[1])
+	}
+	dir, _ := args[2].(string)
+
+	e := actx.Engine
+	mount, ok := e.MountOf(actx.DeviceID)
+	if !ok {
+		return nil, fmt.Errorf("core: no mount geometry for camera %q", actx.DeviceID)
+	}
+	aim, ok := mount.Aim(loc)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s cannot aim at %s", ErrNotCoverable, actx.DeviceID, loc)
+	}
+
+	sess, err := e.layer.Connect(ctx, actx.DeviceID)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	if _, err := sess.Exec(ctx, "move", &camera.MoveArgs{Pan: aim.Pan, Tilt: aim.Tilt, Zoom: aim.Zoom}); err != nil {
+		return nil, err
+	}
+	raw, err := sess.Exec(ctx, "capture", &camera.CaptureArgs{Size: "medium"})
+	if err != nil {
+		return nil, err
+	}
+	var photo camera.Photo
+	if err := json.Unmarshal(raw, &photo); err != nil {
+		return nil, fmt.Errorf("core: decode photo: %w", err)
+	}
+	if _, err := sess.Exec(ctx, "store", nil); err != nil {
+		return nil, err
+	}
+
+	e.photos.add(StoredPhoto{Directory: dir, QueryID: actx.QueryID, DeviceID: actx.DeviceID, Photo: photo})
+	if photo.Blurred {
+		return photo, ErrBlurred
+	}
+	pan, tilt := geo.AngularDist(photo.At, aim)
+	if pan > PositionTolerance || tilt > PositionTolerance {
+		return photo, fmt.Errorf("%w: wanted %s, got %s", ErrWrongPosition, aim, photo.At)
+	}
+	return photo, nil
+}
+
+// beepAction and blinkAction operate motes.
+func beepAction(ctx context.Context, actx *ActionContext, _ []any) (any, error) {
+	raw, err := actx.Engine.layer.Exec(ctx, actx.DeviceID, "beep", nil)
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+func blinkAction(ctx context.Context, actx *ActionContext, _ []any) (any, error) {
+	raw, err := actx.Engine.layer.Exec(ctx, actx.DeviceID, "blink", nil)
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// sendphotoAction is the paper's §2.2 user-action example, provided as a
+// system built-in here: sendphoto(phone_no, photo_pathname) delivers the
+// most recent photo stored under photo_pathname to the phone via MMS.
+func sendphotoAction(ctx context.Context, actx *ActionContext, args []any) (any, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("core: sendphoto() takes 2 arguments, got %d", len(args))
+	}
+	path, _ := args[1].(string)
+	e := actx.Engine
+
+	sizeKB := 40
+	for _, sp := range e.photos.all() {
+		if sp.Directory == path {
+			sizeKB = sp.Photo.SizeKB
+		}
+	}
+	raw, err := e.layer.Exec(ctx, actx.DeviceID, "send_mms", &phone.MMSArgs{PhotoPath: path, SizeKB: sizeKB})
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// notifyAction sends an SMS: notify(phone_no, text).
+func notifyAction(ctx context.Context, actx *ActionContext, args []any) (any, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("core: notify() takes 2 arguments, got %d", len(args))
+	}
+	text, _ := args[1].(string)
+	raw, err := actx.Engine.layer.Exec(ctx, actx.DeviceID, "send_sms", &phone.SMSArgs{Text: text})
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// registerBuiltinActions installs the system action library (paper §2.2).
+func (e *Engine) registerBuiltinActions() error {
+	photoProfile, _ := e.reg.Action(profile.ActionPhoto)
+	beepProfile, _ := e.reg.Action(profile.ActionBeep)
+	blinkProfile, _ := e.reg.Action(profile.ActionBlink)
+	sendProfile, _ := e.reg.Action(profile.ActionSendPhoto)
+	notifyProfile, _ := e.reg.Action(profile.ActionNotify)
+
+	defs := []*ActionDef{
+		{
+			Name:    profile.ActionPhoto,
+			Profile: photoProfile,
+			Fn:      photoAction,
+			Coster:  &photoCoster{engine: e},
+			TargetExtractor: func(args []any) any {
+				if len(args) > 1 {
+					if p, ok := asPoint(args[1]); ok {
+						return p
+					}
+				}
+				return nil
+			},
+		},
+		{Name: profile.ActionBeep, Profile: beepProfile, Fn: beepAction, Coster: &FixedCoster{Duration: 250 * time.Millisecond}},
+		{Name: profile.ActionBlink, Profile: blinkProfile, Fn: blinkAction, Coster: &FixedCoster{Duration: 150 * time.Millisecond}},
+		{Name: profile.ActionSendPhoto, Profile: sendProfile, Fn: sendphotoAction, Coster: &FixedCoster{Duration: 2 * time.Second}},
+		{Name: profile.ActionNotify, Profile: notifyProfile, Fn: notifyAction, Coster: &FixedCoster{Duration: 1800 * time.Millisecond}},
+	}
+	for _, def := range defs {
+		if def.Profile == nil {
+			return fmt.Errorf("core: missing profile for built-in action %q", def.Name)
+		}
+		if err := e.registerActionDef(def); err != nil {
+			return err
+		}
+	}
+	// The paper's CREATE ACTION example binds code via a library path;
+	// expose the built-ins under canonical library names so scripts can
+	// re-bind them.
+	e.libs["builtin/photo"] = photoAction
+	e.libs["builtin/sendphoto"] = sendphotoAction
+	e.libs["builtin/notify"] = notifyAction
+	e.libs["builtin/beep"] = beepAction
+	e.libs["builtin/blink"] = blinkAction
+	return nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"aorta/internal/sqlparse"
+)
+
+// Aggregate functions usable in the select list: COUNT (rows or non-null
+// values), SUM, AVG, MIN, MAX over numeric expressions. A query whose
+// select list contains an aggregate must be all-aggregate (no GROUP BY
+// support) and may not embed actions — it is the TinyDB-style data-
+// collection side of the declarative interface, complementing the paper's
+// action-embedded queries.
+var aggregateFuncs = map[string]bool{
+	"count": true,
+	"sum":   true,
+	"avg":   true,
+	"min":   true,
+	"max":   true,
+}
+
+// aggItem is one compiled aggregate of the select list.
+type aggItem struct {
+	fn  string
+	arg sqlparse.Expr // nil for count(*)
+	key string        // output column name
+}
+
+// isAggregateCall reports whether a call is an aggregate invocation.
+func isAggregateCall(c *sqlparse.Call) bool {
+	return aggregateFuncs[strings.ToLower(c.Func)]
+}
+
+// compileAggregate builds an aggItem from a call.
+func compileAggregate(c *sqlparse.Call) (*aggItem, error) {
+	fn := strings.ToLower(c.Func)
+	if len(c.Args) != 1 {
+		return nil, fmt.Errorf("core: %s() takes exactly one argument", fn)
+	}
+	item := &aggItem{fn: fn, key: c.String()}
+	if _, star := c.Args[0].(*sqlparse.Star); star {
+		if fn != "count" {
+			return nil, fmt.Errorf("core: %s(*) is not valid; only count(*)", fn)
+		}
+		return item, nil
+	}
+	item.arg = c.Args[0]
+	return item, nil
+}
+
+// aggState accumulates one aggregate across the passing rows.
+type aggState struct {
+	item  *aggItem
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// add folds one row into the accumulator.
+func (st *aggState) add(env *evalEnv) error {
+	if st.item.arg == nil { // count(*)
+		st.count++
+		return nil
+	}
+	v, err := env.evalExpr(st.item.arg)
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return nil // NULLs don't participate
+	}
+	if st.item.fn == "count" {
+		st.count++
+		return nil
+	}
+	f, ok := toFloat(v)
+	if !ok {
+		return fmt.Errorf("core: %s() argument %s is %T, not numeric", st.item.fn, st.item.arg, v)
+	}
+	if st.count == 0 {
+		st.min, st.max = f, f
+	} else {
+		st.min = math.Min(st.min, f)
+		st.max = math.Max(st.max, f)
+	}
+	st.count++
+	st.sum += f
+	return nil
+}
+
+// result produces the aggregate's output value; empty inputs yield 0 for
+// count/sum and nil for avg/min/max.
+func (st *aggState) result() any {
+	switch st.item.fn {
+	case "count":
+		return float64(st.count)
+	case "sum":
+		return st.sum
+	case "avg":
+		if st.count == 0 {
+			return nil
+		}
+		return st.sum / float64(st.count)
+	case "min":
+		if st.count == 0 {
+			return nil
+		}
+		return st.min
+	case "max":
+		if st.count == 0 {
+			return nil
+		}
+		return st.max
+	default:
+		return nil
+	}
+}
+
+// evalAggregates folds every passing row into the query's aggregates,
+// partitioned by the GROUP BY columns when present, and returns one
+// result row per group (a single row, even over zero inputs, without
+// GROUP BY).
+func evalAggregates(q *Query, rows []Row, bools map[string]BoolFunc) ([]map[string]any, error) {
+	env := &evalEnv{bools: bools}
+
+	type group struct {
+		keyVals []any
+		states  []*aggState
+	}
+	newGroup := func(keyVals []any) *group {
+		g := &group{keyVals: keyVals, states: make([]*aggState, len(q.aggItems))}
+		for i, item := range q.aggItems {
+			g.states[i] = &aggState{item: item}
+		}
+		return g
+	}
+
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range rows {
+		env.row = row
+		var key string
+		var keyVals []any
+		for _, ref := range q.groupBy {
+			v, err := env.evalExpr(ref)
+			if err != nil {
+				return nil, err
+			}
+			keyVals = append(keyVals, v)
+			key += fmt.Sprintf("%v\x00", v)
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = newGroup(keyVals)
+			groups[key] = g
+			order = append(order, key)
+		}
+		for _, st := range g.states {
+			if err := st.add(env); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Without GROUP BY an empty input still yields one row of empty
+	// aggregates (count = 0, avg = nil).
+	if len(q.groupBy) == 0 && len(groups) == 0 {
+		groups[""] = newGroup(nil)
+		order = append(order, "")
+	}
+
+	var out []map[string]any
+	for _, key := range order {
+		g := groups[key]
+		row := make(map[string]any, len(g.states)+len(q.groupBy))
+		for i, ref := range q.groupBy {
+			row[ref.String()] = g.keyVals[i]
+		}
+		for _, st := range g.states {
+			row[st.item.key] = st.result()
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package core_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"aorta/internal/lab"
+	"aorta/internal/netsim"
+)
+
+func TestAggregateCountStar(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(), `SELECT count(*) FROM sensor s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if got := res.Rows[0]["count(*)"]; got != 10.0 {
+		t.Errorf("count(*) = %v, want 10", got)
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(),
+		`SELECT avg(s.temp), min(s.temp), max(s.temp), sum(s.temp), count(s.temp) FROM sensor s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	avg := row["avg(s.temp)"].(float64)
+	min := row["min(s.temp)"].(float64)
+	max := row["max(s.temp)"].(float64)
+	sum := row["sum(s.temp)"].(float64)
+	count := row["count(s.temp)"].(float64)
+	if count != 10 {
+		t.Errorf("count = %v", count)
+	}
+	if min > avg || avg > max {
+		t.Errorf("ordering violated: min=%v avg=%v max=%v", min, avg, max)
+	}
+	if math.Abs(sum/count-avg) > 1e-9 {
+		t.Errorf("avg (%v) != sum/count (%v)", avg, sum/count)
+	}
+	// Motes read ≈22°C ± noise.
+	if avg < 20 || avg > 24 {
+		t.Errorf("avg temp = %v, want ≈22", avg)
+	}
+}
+
+func TestAggregateWithWhere(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(),
+		`SELECT count(*) FROM sensor s WHERE s.temp > 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0]["count(*)"]; got != 0.0 {
+		t.Errorf("count over empty set = %v", got)
+	}
+}
+
+func TestAggregateEmptyAvgIsNull(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(),
+		`SELECT avg(s.temp) FROM sensor s WHERE s.temp > 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0]["avg(s.temp)"]; got != nil {
+		t.Errorf("avg over empty set = %v, want nil", got)
+	}
+}
+
+func TestAggregateSkipsUnreachable(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	l.Network.SetLink("mote-1", netsim.LinkConfig{Down: true})
+	// Counting a sensory attribute forces live acquisition, so the downed
+	// mote contributes no tuple (network data independence). A static-only
+	// count(*) would still answer 10 from the registry.
+	res, err := l.Engine.Exec(context.Background(), `SELECT count(s.temp) FROM sensor s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0]["count(s.temp)"]; got != 9.0 {
+		t.Errorf("count with one mote down = %v, want 9", got)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	ctx := context.Background()
+	tests := []struct {
+		name string
+		sql  string
+	}{
+		{"mixed with column", `SELECT count(*), s.temp FROM sensor s`},
+		{"mixed with action", `SELECT count(*), photo(c.ip, s.loc, "d") FROM sensor s, camera c`},
+		{"avg of star", `SELECT avg(*) FROM sensor s`},
+		{"two args", `SELECT avg(s.temp, s.light) FROM sensor s`},
+		{"non-numeric", `SELECT sum(s.id) FROM sensor s`},
+		{"unknown column", `SELECT avg(s.altitude) FROM sensor s`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := l.Engine.Exec(ctx, tt.sql); err == nil {
+				t.Errorf("Exec(%q) succeeded", tt.sql)
+			}
+		})
+	}
+}
+
+func TestAggregateExplain(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(), `EXPLAIN SELECT avg(s.temp) FROM sensor s EVERY "5s"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range res.Names {
+		if line == "  aggregate avg(s.temp)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("plan missing aggregate line: %v", res.Names)
+	}
+}
+
+func TestGroupByDepth(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	// The default lab assigns depths 1,2,3 cyclically over 10 motes:
+	// depth 1 ×4, depth 2 ×3, depth 3 ×3.
+	res, err := l.Engine.Exec(context.Background(),
+		`SELECT s.depth, count(*) FROM sensor s GROUP BY s.depth`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	byDepth := map[float64]float64{}
+	for _, row := range res.Rows {
+		d, _ := row["s.depth"].(int)
+		if d == 0 {
+			if f, ok := row["s.depth"].(float64); ok {
+				d = int(f)
+			}
+		}
+		byDepth[float64(d)] = row["count(*)"].(float64)
+	}
+	if byDepth[1] != 4 || byDepth[2] != 3 || byDepth[3] != 3 {
+		t.Errorf("counts by depth = %v, want 1:4 2:3 3:3", byDepth)
+	}
+}
+
+func TestGroupByWithStats(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(),
+		`SELECT s.depth, avg(s.temp), count(s.temp) FROM sensor s GROUP BY s.depth`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		avg, ok := row["avg(s.temp)"].(float64)
+		if !ok || avg < 20 || avg > 24 {
+			t.Errorf("group %v avg = %v", row["s.depth"], row["avg(s.temp)"])
+		}
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	ctx := context.Background()
+	tests := []struct {
+		name string
+		sql  string
+	}{
+		{"group without aggregates", `SELECT s.id FROM sensor s GROUP BY s.id`},
+		{"non-grouped column", `SELECT s.id, count(*) FROM sensor s GROUP BY s.depth`},
+		{"unknown group column", `SELECT count(*) FROM sensor s GROUP BY s.altitude`},
+		{"dangling group by", `SELECT count(*) FROM sensor s GROUP`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := l.Engine.Exec(ctx, tt.sql); err == nil {
+				t.Errorf("Exec(%q) succeeded", tt.sql)
+			}
+		})
+	}
+}
+
+func TestGroupBySelectedColumnAllowed(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(),
+		`SELECT s.depth, max(s.battery) FROM sensor s GROUP BY s.depth`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if _, ok := row["s.depth"]; !ok {
+			t.Errorf("row missing group column: %v", row)
+		}
+	}
+}

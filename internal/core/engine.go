@@ -1,0 +1,624 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/devsync"
+	"aorta/internal/geo"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/sched"
+	"aorta/internal/sqlparse"
+	"aorta/internal/vclock"
+)
+
+// Config configures an Engine. Zero values select production defaults.
+type Config struct {
+	// Clock is the engine time source (default: the wall clock).
+	Clock vclock.Clock
+	// Dialer connects to devices (required).
+	Dialer netsim.Dialer
+	// Registry holds catalogs, atomic costs and action profiles
+	// (default: profile.DefaultRegistry()).
+	Registry *profile.Registry
+	// DefaultEpoch is the sampling epoch for queries without EVERY
+	// (default 1s).
+	DefaultEpoch time.Duration
+	// BatchWindow is how long the shared action operator collects
+	// concurrent requests before scheduling them together (default
+	// 100ms).
+	BatchWindow time.Duration
+	// Scheduler is the action workload scheduling algorithm (default
+	// SRFAE, the paper's Algorithm 2).
+	Scheduler sched.Algorithm
+	// StaleAfter fails requests that have not started executing within
+	// this long of their event (0 disables staleness).
+	StaleAfter time.Duration
+	// LockLease bounds how long one action may hold a device lock; a
+	// crashed or hung action is revoked after this TTL and the device
+	// handed to the next request (0 uses plain locks).
+	LockLease time.Duration
+
+	// DisableLocking turns off the device locking mechanism — the §6.2
+	// ablation that reproduces interference failures.
+	DisableLocking bool
+	// DisableProbing turns off candidate probing before scheduling.
+	DisableProbing bool
+	// ScheduleBusyDevices keeps busy devices in the candidate set instead
+	// of excluding them at probe time.
+	ScheduleBusyDevices bool
+
+	// Logger receives structured engine events (query lifecycle, batch
+	// dispatch, action failures). Nil discards them.
+	Logger *slog.Logger
+}
+
+// engineConfig is the resolved form used internally.
+type engineConfig struct {
+	DefaultEpoch time.Duration
+	BatchWindow  time.Duration
+	Scheduler    sched.Algorithm
+	StaleAfter   time.Duration
+	LockLease    time.Duration
+	Locking      bool
+	Probing      bool
+	ExcludeBusy  bool
+}
+
+// Engine is the Aorta pervasive query processing engine.
+type Engine struct {
+	cfg    engineConfig
+	lg     *slog.Logger
+	clk    vclock.Clock
+	reg    *profile.Registry
+	layer  *comm.Layer
+	locks  *devsync.LockManager
+	prober *devsync.Prober
+
+	mu        sync.Mutex
+	queries   map[string]*Query
+	actions   map[string]*ActionDef
+	operators map[string]*actionOperator
+	boolFuncs map[string]BoolFunc
+	libs      map[string]ActionFunc
+	nextQID   int
+	started   bool
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
+
+	reqSeq  atomic.Int64
+	seedSeq atomic.Int64
+
+	photos   *photoStore
+	metrics  *EngineMetrics
+	outcomes *outcomeLog
+}
+
+// New builds an engine over the given transport.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Dialer == nil {
+		return nil, errors.New("core: Config.Dialer is required")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = vclock.Real{}
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		var err error
+		reg, err = profile.DefaultRegistry()
+		if err != nil {
+			return nil, err
+		}
+	}
+	resolved := engineConfig{
+		DefaultEpoch: cfg.DefaultEpoch,
+		BatchWindow:  cfg.BatchWindow,
+		Scheduler:    cfg.Scheduler,
+		StaleAfter:   cfg.StaleAfter,
+		LockLease:    cfg.LockLease,
+		Locking:      !cfg.DisableLocking,
+		Probing:      !cfg.DisableProbing,
+		ExcludeBusy:  !cfg.ScheduleBusyDevices,
+	}
+	if resolved.DefaultEpoch <= 0 {
+		resolved.DefaultEpoch = time.Second
+	}
+	if resolved.BatchWindow <= 0 {
+		resolved.BatchWindow = 100 * time.Millisecond
+	}
+	if resolved.Scheduler == nil {
+		resolved.Scheduler = sched.SRFAE{}
+	}
+
+	lg := cfg.Logger
+	if lg == nil {
+		lg = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+
+	layer := comm.New(cfg.Dialer, clk, reg)
+	e := &Engine{
+		cfg:       resolved,
+		lg:        lg,
+		clk:       clk,
+		reg:       reg,
+		layer:     layer,
+		locks:     devsync.NewLockManager(clk),
+		prober:    devsync.NewProber(layer),
+		queries:   make(map[string]*Query),
+		actions:   make(map[string]*ActionDef),
+		operators: make(map[string]*actionOperator),
+		boolFuncs: make(map[string]BoolFunc),
+		libs:      make(map[string]ActionFunc),
+		runCtx:    context.Background(),
+		photos:    &photoStore{},
+		metrics:   newEngineMetrics(),
+		outcomes:  &outcomeLog{},
+	}
+	if err := e.registerBuiltinActions(); err != nil {
+		return nil, err
+	}
+	e.registerBuiltinBoolFuncs()
+	return e, nil
+}
+
+// Layer exposes the uniform data communication layer.
+func (e *Engine) Layer() *comm.Layer { return e.layer }
+
+// Locks exposes the device lock manager.
+func (e *Engine) Locks() *devsync.LockManager { return e.locks }
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() vclock.Clock { return e.clk }
+
+// Registry returns the profile registry.
+func (e *Engine) Registry() *profile.Registry { return e.reg }
+
+// Metrics returns the engine's action metrics.
+func (e *Engine) Metrics() MetricsSnapshot { return e.metrics.Snapshot() }
+
+// Outcomes returns the recorded action outcomes.
+func (e *Engine) Outcomes() []*Outcome { return e.outcomes.all() }
+
+// SubscribeOutcomes returns a channel receiving future outcomes. Slow
+// subscribers miss outcomes rather than stalling execution.
+func (e *Engine) SubscribeOutcomes(buf int) <-chan *Outcome {
+	return e.outcomes.subscribe(buf)
+}
+
+// Photos returns every photo stored by the photo() action.
+func (e *Engine) Photos() []StoredPhoto { return e.photos.all() }
+
+// RegisterDevice adds a device to the communication layer. For cameras,
+// mount must carry the PTZ geometry; pass a zero Mount for other types.
+func (e *Engine) RegisterDevice(info comm.DeviceInfo, mount geo.Mount) error {
+	if info.Static == nil {
+		info.Static = make(map[string]any)
+	}
+	if info.Type == profile.DeviceCamera {
+		info.Static["mount"] = mount
+		if _, ok := info.Static["loc"]; !ok {
+			info.Static["loc"] = mount.Position
+		}
+		if _, ok := info.Static["ip"]; !ok {
+			info.Static["ip"] = info.Addr
+		}
+	}
+	return e.layer.Register(info)
+}
+
+// MountOf returns the PTZ mount geometry of a registered camera.
+func (e *Engine) MountOf(deviceID string) (geo.Mount, bool) {
+	info, ok := e.layer.Device(deviceID)
+	if !ok {
+		return geo.Mount{}, false
+	}
+	m, ok := info.Static["mount"].(geo.Mount)
+	return m, ok
+}
+
+// RegisterBoolFunc installs a boolean function usable in WHERE clauses.
+func (e *Engine) RegisterBoolFunc(name string, fn BoolFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.boolFuncs[name] = fn
+}
+
+// RegisterLibrary binds a library path (the AS "..." clause of CREATE
+// ACTION) to a Go function — the reproduction's stand-in for the paper's
+// dynamically linked libraries.
+func (e *Engine) RegisterLibrary(path string, fn ActionFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.libs[path] = fn
+}
+
+// RegisterUserAction installs a fully specified action definition
+// programmatically (profile + implementation + cost model).
+func (e *Engine) RegisterUserAction(def *ActionDef) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.registerActionDefLocked(def)
+}
+
+func (e *Engine) registerActionDef(def *ActionDef) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.registerActionDefLocked(def)
+}
+
+func (e *Engine) registerActionDefLocked(def *ActionDef) error {
+	if def.Name == "" || def.Fn == nil || def.Profile == nil {
+		return errors.New("core: action definition needs Name, Fn and Profile")
+	}
+	if _, dup := e.actions[def.Name]; dup {
+		return fmt.Errorf("core: action %q already registered", def.Name)
+	}
+	if def.Coster == nil {
+		def.Coster = &FixedCoster{Duration: time.Second}
+	}
+	// Ensure the profile registry knows the action under its own name
+	// (built-ins already do). A def may borrow another action's profile;
+	// register a renamed copy in that case.
+	if _, known := e.reg.Action(def.Name); !known {
+		prof := def.Profile
+		if prof.Name != def.Name {
+			clone := *prof
+			clone.Name = def.Name
+			prof = &clone
+			def.Profile = prof
+		}
+		if err := e.reg.RegisterAction(prof); err != nil {
+			return err
+		}
+	}
+	e.actions[def.Name] = def
+	return nil
+}
+
+// registerBuiltinBoolFuncs installs coverage() and near().
+func (e *Engine) registerBuiltinBoolFuncs() {
+	// coverage(camera_id, location) — paper §2.2's Boolean function:
+	// TRUE when the camera's view envelope covers the location.
+	e.boolFuncs["coverage"] = func(args []any) (bool, error) {
+		if len(args) != 2 {
+			return false, fmt.Errorf("core: coverage() takes 2 arguments, got %d", len(args))
+		}
+		id, ok := args[0].(string)
+		if !ok {
+			return false, fmt.Errorf("core: coverage() first argument is %T, not a device id", args[0])
+		}
+		loc, ok := asPoint(args[1])
+		if !ok {
+			return false, fmt.Errorf("core: coverage() second argument is %T, not a location", args[1])
+		}
+		mount, ok := e.MountOf(id)
+		if !ok {
+			return false, nil
+		}
+		return mount.Covers(loc), nil
+	}
+	// near(loc_a, loc_b, metres) — proximity predicate.
+	e.boolFuncs["near"] = func(args []any) (bool, error) {
+		if len(args) != 3 {
+			return false, fmt.Errorf("core: near() takes 3 arguments, got %d", len(args))
+		}
+		a, ok1 := asPoint(args[0])
+		b, ok2 := asPoint(args[1])
+		d, ok3 := toFloat(args[2])
+		if !ok1 || !ok2 || !ok3 {
+			return false, errors.New("core: near() arguments must be (location, location, number)")
+		}
+		return a.Dist(b) <= d, nil
+	}
+}
+
+// Start launches the continuous-query loops. It may be called once.
+func (e *Engine) Start(ctx context.Context) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return errors.New("core: engine already started")
+	}
+	e.started = true
+	e.runCtx, e.runCancel = context.WithCancel(ctx)
+	for _, q := range e.queries {
+		e.startQueryLocked(q)
+	}
+	return nil
+}
+
+// Stop cancels all query loops and waits for in-flight work.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	cancel := e.runCancel
+	e.started = false
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	e.wg.Wait()
+}
+
+// startQueryLocked launches one query loop. Caller holds e.mu.
+func (e *Engine) startQueryLocked(q *Query) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.running || !e.started {
+		return
+	}
+	qctx, cancel := context.WithCancel(e.runCtx)
+	q.cancel = cancel
+	q.running = true
+	e.wg.Add(1)
+	go e.runQuery(qctx, q)
+}
+
+func (e *Engine) nextRequestID() int64 { return e.reqSeq.Add(1) }
+func (e *Engine) nextSeed() int64      { return e.seedSeq.Add(1) }
+
+// operatorFor returns the shared operator of an action, creating it on
+// first use.
+func (e *Engine) operatorFor(def *ActionDef) *actionOperator {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	op, ok := e.operators[def.Name]
+	if !ok {
+		op = newActionOperator(e, def)
+		e.operators[def.Name] = op
+	}
+	return op
+}
+
+// OperatorSharing reports how many queries share each action operator.
+func (e *Engine) OperatorSharing() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]int, len(e.operators))
+	for name, op := range e.operators {
+		out[name] = op.SharedBy()
+	}
+	return out
+}
+
+// ExecResult is the outcome of one Exec call.
+type ExecResult struct {
+	// Kind is "ok", "rows", "queries", "actions" or "devices".
+	Kind    string
+	Message string
+	Rows    []map[string]any
+	Queries []Info
+	Names   []string
+}
+
+// Exec parses and executes one extended-SQL statement.
+func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sqlparse.CreateAction:
+		return e.execCreateAction(st)
+	case *sqlparse.CreateAQ:
+		return e.execCreateAQ(st)
+	case *sqlparse.DropAQ:
+		return e.execDropAQ(st.Name)
+	case *sqlparse.StopAQ:
+		return e.execStopAQ(st.Name)
+	case *sqlparse.StartAQ:
+		return e.execStartAQ(st.Name)
+	case *sqlparse.Show:
+		return e.execShow(st.What)
+	case *sqlparse.Explain:
+		q, err := e.compileQuery("explain", st.Select)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: "plan", Names: e.explain(q)}, nil
+	case *sqlparse.Select:
+		q, err := e.compileQuery("adhoc", st)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := e.evalOnce(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: "rows", Rows: rows}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) execCreateAction(st *sqlparse.CreateAction) (*ExecResult, error) {
+	e.mu.Lock()
+	fn, ok := e.libs[st.Library]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no implementation registered for library %q (RegisterLibrary first)", st.Library)
+	}
+	var prof *profile.ActionProfile
+	if name, isReg := strings.CutPrefix(st.Profile, "registry:"); isReg {
+		p, ok := e.reg.Action(name)
+		if !ok {
+			return nil, fmt.Errorf("core: no registered profile %q", name)
+		}
+		clone := *p
+		clone.Name = st.Name
+		prof = &clone
+	} else {
+		p, err := profile.LoadActionFile(st.Profile)
+		if err != nil {
+			return nil, err
+		}
+		p.Name = st.Name
+		prof = p
+	}
+	def := &ActionDef{Name: st.Name, Profile: prof, Fn: fn}
+	if costs, ok := e.reg.Costs(prof.DeviceType); ok {
+		if d, err := prof.EstimateCost(costs, profile.Params{}); err == nil {
+			def.Coster = &FixedCoster{Duration: d}
+		}
+	}
+	if err := e.registerActionDef(def); err != nil {
+		return nil, err
+	}
+	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("action %s registered", st.Name)}, nil
+}
+
+func (e *Engine) execCreateAQ(st *sqlparse.CreateAQ) (*ExecResult, error) {
+	q, err := e.compileQuery(st.Name, st.Select)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if _, dup := e.queries[st.Name]; dup {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: query %q already registered", st.Name)
+	}
+	e.nextQID++
+	q.ID = e.nextQID
+	e.queries[st.Name] = q
+	e.startQueryLocked(q)
+	e.mu.Unlock()
+	e.lg.Info("query registered", "query", q.Name, "id", q.ID, "epoch", q.Epoch)
+	return &ExecResult{
+		Kind:    "ok",
+		Message: fmt.Sprintf("query %s registered (id %d, epoch %s)", q.Name, q.ID, q.Epoch),
+		Queries: []Info{q.Info()},
+	}, nil
+}
+
+func (e *Engine) execDropAQ(name string) (*ExecResult, error) {
+	e.mu.Lock()
+	q, ok := e.queries[name]
+	if ok {
+		delete(e.queries, name)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no query %q", name)
+	}
+	stopQuery(q)
+	e.lg.Info("query dropped", "query", name)
+	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s dropped", name)}, nil
+}
+
+func (e *Engine) execStopAQ(name string) (*ExecResult, error) {
+	e.mu.Lock()
+	q, ok := e.queries[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: no query %q", name)
+	}
+	stopQuery(q)
+	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s stopped", name)}, nil
+}
+
+func (e *Engine) execStartAQ(name string) (*ExecResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no query %q", name)
+	}
+	e.startQueryLocked(q)
+	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s started", name)}, nil
+}
+
+func stopQuery(q *Query) {
+	q.mu.Lock()
+	cancel := q.cancel
+	q.cancel = nil
+	q.running = false
+	q.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (e *Engine) execShow(what string) (*ExecResult, error) {
+	switch what {
+	case "QUERIES":
+		e.mu.Lock()
+		out := make([]Info, 0, len(e.queries))
+		for _, q := range e.queries {
+			out = append(out, q.Info())
+		}
+		e.mu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return &ExecResult{Kind: "queries", Queries: out}, nil
+	case "ACTIONS":
+		e.mu.Lock()
+		names := make([]string, 0, len(e.actions))
+		for name := range e.actions {
+			names = append(names, name)
+		}
+		e.mu.Unlock()
+		sort.Strings(names)
+		return &ExecResult{Kind: "actions", Names: names}, nil
+	case "DEVICES":
+		var names []string
+		for _, d := range e.layer.Devices() {
+			names = append(names, fmt.Sprintf("%s (%s @ %s)", d.ID, d.Type, d.Addr))
+		}
+		return &ExecResult{Kind: "devices", Names: names}, nil
+	default:
+		return nil, fmt.Errorf("core: cannot SHOW %q", what)
+	}
+}
+
+// explain renders a compiled query's physical plan, one line per
+// operator, bottom-up: scans → filter → action/projection.
+func (e *Engine) explain(q *Query) []string {
+	var out []string
+	out = append(out, fmt.Sprintf("continuous query (epoch %s)", q.Epoch))
+	for _, bt := range q.tables {
+		devices := len(e.layer.DevicesOfType(bt.deviceType))
+		out = append(out, fmt.Sprintf("  scan %s as %s [%s] (%d devices registered)",
+			bt.deviceType, bt.alias, strings.Join(bt.attrs, ", "), devices))
+	}
+	if q.sel.Where != nil {
+		out = append(out, "  filter "+q.sel.Where.String())
+	}
+	for _, item := range q.actionItems {
+		exclusive := ""
+		if item.def.Profile.Exclusive {
+			exclusive = ", exclusive lock"
+		}
+		out = append(out, fmt.Sprintf("  action %s on %s table (alias %s) [shared operator, scheduler %s%s]",
+			item.def.Name, item.def.Profile.DeviceType, item.deviceAlias,
+			e.cfg.Scheduler.Name(), exclusive))
+	}
+	for _, item := range q.aggItems {
+		out = append(out, "  aggregate "+item.key)
+	}
+	for _, item := range q.projItems {
+		out = append(out, "  project "+item.String())
+	}
+	return out
+}
+
+// QueryInfo returns the state of a registered query.
+func (e *Engine) QueryInfo(name string) (Info, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q, ok := e.queries[name]
+	if !ok {
+		return Info{}, false
+	}
+	return q.Info(), true
+}

@@ -1,0 +1,556 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"aorta/internal/core"
+	"aorta/internal/lab"
+	"aorta/internal/netsim"
+)
+
+// newLab builds a default lab and starts its engine.
+func newLab(t *testing.T, cfg lab.Config) *lab.Lab {
+	t.Helper()
+	l, err := lab.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	if err := l.Engine.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// waitFor polls cond for up to wallTimeout.
+func waitFor(t *testing.T, wallTimeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(wallTimeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+const snapshotSQL = `CREATE AQ snapshot AS
+	SELECT photo(c.ip, s.loc, "photos/admin")
+	FROM sensor s, camera c
+	WHERE s.accel_x > 500 AND coverage(c.id, s.loc)
+	EVERY "2s"`
+
+func TestEngineRequiresDialer(t *testing.T) {
+	if _, err := core.New(core.Config{}); err == nil {
+		t.Fatal("engine built without a dialer")
+	}
+}
+
+// TestSnapshotQueryEndToEnd runs the paper's Figure 1 query against the
+// simulated lab: stimulating a mote must produce a clean photo of its
+// location on a covering camera.
+func TestSnapshotQueryEndToEnd(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+
+	res, err := eng.Exec(context.Background(), snapshotSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "ok" || !strings.Contains(res.Message, "snapshot") {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// Push the "door": mote-3 reads accel_x ≈ 900 for 3 virtual seconds.
+	l.StimulateMote(2, 900, 3*time.Second)
+
+	ok := waitFor(t, 5*time.Second, func() bool {
+		return eng.Metrics().Requests >= 1
+	})
+	if !ok {
+		t.Fatalf("no action requests after stimulus; metrics=%+v", eng.Metrics())
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return len(eng.Photos()) >= 1
+	})
+
+	photos := eng.Photos()
+	if len(photos) == 0 {
+		outs := eng.Outcomes()
+		for _, o := range outs {
+			t.Logf("outcome: %+v err=%v", o, o.Err)
+		}
+		t.Fatal("no photos stored")
+	}
+	p := photos[0]
+	if p.Directory != "photos/admin" {
+		t.Errorf("photo directory = %q", p.Directory)
+	}
+	if p.Photo.Blurred {
+		t.Error("photo blurred without contention")
+	}
+	covering := l.CoveredBy(2)
+	found := false
+	for _, id := range covering {
+		if id == p.DeviceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("photo taken by %s, not a covering camera %v", p.DeviceID, covering)
+	}
+
+	// The outcome log records a success with sensible latency.
+	var okOutcome *core.Outcome
+	for _, o := range eng.Outcomes() {
+		if o.OK() {
+			okOutcome = o
+		}
+	}
+	if okOutcome == nil {
+		t.Fatal("no successful outcome recorded")
+	}
+	if okOutcome.Latency <= 0 {
+		t.Errorf("latency = %v", okOutcome.Latency)
+	}
+	if okOutcome.Action != "photo" || okOutcome.Query != "snapshot" {
+		t.Errorf("outcome = %+v", okOutcome)
+	}
+}
+
+// TestNoEventNoAction: without stimulus the predicate never fires.
+func TestNoEventNoAction(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	if _, err := l.Engine.Exec(context.Background(), snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+	// Give several epochs of virtual time.
+	time.Sleep(100 * time.Millisecond) // 10 virtual seconds at 100×
+	if m := l.Engine.Metrics(); m.Requests != 0 {
+		t.Fatalf("requests = %d without any stimulus", m.Requests)
+	}
+}
+
+// TestSharedActionOperator: two queries embedding photo() share one
+// operator (paper §2.3's group optimization).
+func TestSharedActionOperator(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	ctx := context.Background()
+	q1 := `CREATE AQ snapA AS SELECT photo(c.ip, s.loc, "a") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc) EVERY "2s"`
+	q2 := `CREATE AQ snapB AS SELECT photo(c.ip, s.loc, "b") FROM sensor s, camera c WHERE s.accel_x > 400 AND coverage(c.id, s.loc) EVERY "2s"`
+	if _, err := eng.Exec(ctx, q1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(ctx, q2); err != nil {
+		t.Fatal(err)
+	}
+	l.StimulateMote(0, 900, 30*time.Second)
+	if !waitFor(t, 10*time.Second, func() bool { return eng.Metrics().Requests >= 2 }) {
+		t.Fatalf("metrics = %+v", eng.Metrics())
+	}
+	if got := eng.OperatorSharing()["photo"]; got != 2 {
+		t.Errorf("photo operator shared by %d queries, want 2", got)
+	}
+}
+
+func TestAdHocProjection(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(),
+		`SELECT s.id, s.temp FROM sensor s WHERE s.temp > 15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if _, ok := row["s.id"]; !ok {
+			t.Fatalf("row missing s.id: %v", row)
+		}
+		if _, ok := row["s.temp"]; !ok {
+			t.Fatalf("row missing s.temp: %v", row)
+		}
+	}
+}
+
+func TestAdHocStar(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(), `SELECT * FROM phone p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0]["p.number"] == nil || res.Rows[0]["p.owner"] == nil {
+		t.Errorf("star row = %v", res.Rows[0])
+	}
+}
+
+func TestAdHocUnqualifiedColumns(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(), `SELECT temp FROM sensor WHERE temp > -100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	ctx := context.Background()
+	tests := []struct {
+		name string
+		sql  string
+	}{
+		{"unknown table", `SELECT x FROM drone`},
+		{"unknown column", `SELECT s.altitude FROM sensor s`},
+		{"unknown qualified alias", `SELECT z.temp FROM sensor s`},
+		{"unknown where function", `SELECT s.temp FROM sensor s WHERE visible(s.id)`},
+		{"action without device table", `SELECT photo(s.id, s.loc, "d") FROM sensor s`},
+		{"unknown call", `SELECT launch(s.id) FROM sensor s`},
+		{"ambiguous column", `SELECT id FROM sensor s, camera c`},
+		{"duplicate alias", `SELECT s.temp FROM sensor s, camera s`},
+		{"ambiguous device table", `SELECT photo(a.ip, a.loc, "d") FROM camera a, camera b, sensor s`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := l.Engine.Exec(ctx, tt.sql); err == nil {
+				t.Errorf("Exec(%q) succeeded", tt.sql)
+			}
+		})
+	}
+}
+
+func TestShowAndLifecycle(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	ctx := context.Background()
+	if _, err := eng.Exec(ctx, snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := eng.Exec(ctx, "SHOW QUERIES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 1 || res.Queries[0].Name != "snapshot" || !res.Queries[0].Running {
+		t.Fatalf("queries = %+v", res.Queries)
+	}
+
+	res, err = eng.Exec(ctx, "SHOW ACTIONS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Names, ",")
+	for _, want := range []string{"photo", "beep", "blink", "sendphoto", "notify"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("SHOW ACTIONS missing %q: %v", want, res.Names)
+		}
+	}
+
+	res, err = eng.Exec(ctx, "SHOW DEVICES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 13 { // 2 cameras + 10 motes + 1 phone
+		t.Errorf("SHOW DEVICES = %d entries", len(res.Names))
+	}
+
+	if _, err := eng.Exec(ctx, "STOP AQ snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := eng.QueryInfo("snapshot")
+	if info.Running {
+		t.Error("query still running after STOP")
+	}
+	if _, err := eng.Exec(ctx, "START AQ snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = eng.QueryInfo("snapshot")
+	if !info.Running {
+		t.Error("query not running after START")
+	}
+	if _, err := eng.Exec(ctx, "DROP AQ snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.QueryInfo("snapshot"); ok {
+		t.Error("query still present after DROP")
+	}
+	if _, err := eng.Exec(ctx, "DROP AQ snapshot"); err == nil {
+		t.Error("second DROP succeeded")
+	}
+	if _, err := eng.Exec(ctx, "STOP AQ ghost"); err == nil {
+		t.Error("STOP of unknown query succeeded")
+	}
+}
+
+func TestDuplicateQueryName(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	ctx := context.Background()
+	if _, err := l.Engine.Exec(ctx, snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Engine.Exec(ctx, snapshotSQL); err == nil {
+		t.Error("duplicate CREATE AQ succeeded")
+	}
+}
+
+// TestCreateUserAction registers a user-defined action via the paper's
+// CREATE ACTION syntax (bound to a Go function instead of a DLL) and uses
+// it in a query.
+func TestCreateUserAction(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	ctx := context.Background()
+
+	called := make(chan []any, 10)
+	eng.RegisterLibrary("lib/users/alert.dll", func(_ context.Context, actx *core.ActionContext, args []any) (any, error) {
+		called <- args
+		return "alerted", nil
+	})
+	// The profile is referenced from the registry (notify's profile) since
+	// there is no XML file on disk in this test.
+	if _, err := eng.Exec(ctx, `CREATE ACTION alert(String phone_no, String text)
+		AS "lib/users/alert.dll" PROFILE "registry:notify"`); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := eng.Exec(ctx, `CREATE AQ alarm AS
+		SELECT alert(p.number, "motion!")
+		FROM sensor s, phone p
+		WHERE s.accel_x > 500
+		EVERY "2s"`); err != nil {
+		t.Fatal(err)
+	}
+	l.StimulateMote(5, 800, 3*time.Second)
+	select {
+	case args := <-called:
+		if num, ok := args[0].(string); !ok || !strings.HasPrefix(num, "+852555") {
+			t.Errorf("args = %v", args)
+		}
+		if args[1] != "motion!" {
+			t.Errorf("args = %v", args)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("user action never invoked; metrics=%+v", eng.Metrics())
+	}
+}
+
+func TestCreateActionUnknownLibrary(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	if _, err := l.Engine.Exec(context.Background(),
+		`CREATE ACTION x() AS "lib/none.dll" PROFILE "registry:notify"`); err == nil {
+		t.Error("CREATE ACTION with unbound library succeeded")
+	}
+}
+
+func TestCreateActionUnknownProfile(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	l.Engine.RegisterLibrary("lib/x.dll", func(context.Context, *core.ActionContext, []any) (any, error) {
+		return nil, nil
+	})
+	if _, err := l.Engine.Exec(context.Background(),
+		`CREATE ACTION x() AS "lib/x.dll" PROFILE "registry:nonexistent"`); err == nil {
+		t.Error("CREATE ACTION with unknown registry profile succeeded")
+	}
+}
+
+// TestAllCandidatesUnavailable: when every covering camera is down the
+// request fails as connect/timeout instead of hanging (paper §4).
+func TestAllCandidatesUnavailable(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	l.Network.SetLink("camera-1", netsim.LinkConfig{Down: true})
+	l.Network.SetLink("camera-2", netsim.LinkConfig{Down: true})
+	if _, err := eng.Exec(context.Background(), snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+	l.StimulateMote(1, 900, 3*time.Second)
+	if !waitFor(t, 5*time.Second, func() bool { return eng.Metrics().Requests >= 1 }) {
+		t.Fatalf("no requests recorded; metrics=%+v", eng.Metrics())
+	}
+	m := eng.Metrics()
+	if m.Successes != 0 {
+		t.Errorf("successes = %d with every camera down", m.Successes)
+	}
+	if m.Failures[core.FailConnect] == 0 {
+		t.Errorf("failures = %+v, want connect failures", m.Failures)
+	}
+}
+
+// TestStaleRequests: a tiny staleness budget fails requests before they
+// execute.
+func TestStaleRequests(t *testing.T) {
+	l := newLab(t, lab.Config{Engine: core.Config{StaleAfter: time.Nanosecond}})
+	eng := l.Engine
+	if _, err := eng.Exec(context.Background(), snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+	l.StimulateMote(4, 900, 3*time.Second)
+	if !waitFor(t, 5*time.Second, func() bool { return eng.Metrics().Requests >= 1 }) {
+		t.Fatal("no requests recorded")
+	}
+	m := eng.Metrics()
+	if m.Failures[core.FailStale] == 0 {
+		t.Errorf("failures = %+v, want stale failures", m.Failures)
+	}
+}
+
+// TestInterferenceWithoutLocking is the §6.2 mechanism in miniature: many
+// queries photographing different spots on few cameras, locking disabled,
+// must corrupt photos; with locking (default) the same workload is clean.
+func TestInterferenceWithoutLocking(t *testing.T) {
+	run := func(disable bool) (failRate float64, requests int64) {
+		l, err := lab.New(lab.Config{
+			Motes: 6,
+			Engine: core.Config{
+				DisableLocking:      disable,
+				ScheduleBusyDevices: true,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		if err := l.Engine.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		// Six queries, one per mote, all firing in the same epochs.
+		for i := 0; i < 6; i++ {
+			sql := `CREATE AQ q` + string(rune('a'+i)) + ` AS
+				SELECT photo(c.ip, s.loc, "d")
+				FROM sensor s, camera c
+				WHERE s.accel_x > 500 AND s.id = "mote-` + string(rune('1'+i)) + `" AND coverage(c.id, s.loc)
+				EVERY "2s"`
+			if _, err := l.Engine.Exec(ctx, sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			l.StimulateMote(i, 900, 6*time.Second)
+		}
+		waitFor(t, 10*time.Second, func() bool { return l.Engine.Metrics().Requests >= 6 })
+		// Let in-flight actions finish.
+		time.Sleep(150 * time.Millisecond)
+		m := l.Engine.Metrics()
+		return m.FailureRate, m.Requests
+	}
+
+	lockedRate, lockedReqs := run(false)
+	unlockedRate, unlockedReqs := run(true)
+	if lockedReqs == 0 || unlockedReqs == 0 {
+		t.Fatalf("requests: locked=%d unlocked=%d", lockedReqs, unlockedReqs)
+	}
+	if lockedRate > 0.15 {
+		t.Errorf("locked failure rate = %.0f%%, want near zero", lockedRate*100)
+	}
+	if unlockedRate < 0.3 {
+		t.Errorf("unlocked failure rate = %.0f%%, want high (interference)", unlockedRate*100)
+	}
+	if unlockedRate <= lockedRate {
+		t.Errorf("unlocked (%.2f) not worse than locked (%.2f)", unlockedRate, lockedRate)
+	}
+}
+
+// TestOutcomeSubscription delivers outcomes to subscribers.
+func TestOutcomeSubscription(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	sub := eng.SubscribeOutcomes(16)
+	if _, err := eng.Exec(context.Background(), snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+	l.StimulateMote(7, 900, 3*time.Second)
+	select {
+	case o := <-sub:
+		if o.Action != "photo" {
+			t.Errorf("outcome = %+v", o)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no outcome delivered to subscriber")
+	}
+}
+
+// TestBoolFuncsDirect exercises coverage() and near() through SQL.
+func TestBoolFuncsDirect(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	ctx := context.Background()
+	// Every camera covers some mote, so the join is non-empty.
+	res, err := l.Engine.Exec(ctx,
+		`SELECT c.id FROM camera c, sensor s WHERE coverage(c.id, s.loc)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("coverage() join empty")
+	}
+	res, err = l.Engine.Exec(ctx,
+		`SELECT s.id FROM sensor s, camera c WHERE near(s.loc, c.loc, 0.001)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("near() with 1mm radius returned %d rows", len(res.Rows))
+	}
+}
+
+func TestEngineDoubleStart(t *testing.T) {
+	l, err := lab.New(lab.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Engine.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Engine.Start(context.Background()); err == nil {
+		t.Error("second Start succeeded")
+	}
+}
+
+func TestParseErrorSurfaced(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	if _, err := l.Engine.Exec(context.Background(), "SELEKT foo"); err == nil {
+		t.Error("garbage SQL accepted")
+	}
+}
+
+func TestExplainPlan(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	res, err := l.Engine.Exec(context.Background(),
+		`EXPLAIN SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc) EVERY "2s"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "plan" {
+		t.Fatalf("kind = %q", res.Kind)
+	}
+	plan := strings.Join(res.Names, "\n")
+	for _, want := range []string{
+		"continuous query (epoch 2s)",
+		"scan sensor as s",
+		"(10 devices registered)",
+		"scan camera as c",
+		"filter",
+		"action photo on camera table (alias c)",
+		"scheduler SRFAE",
+		"exclusive lock",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// EXPLAIN must not execute anything.
+	if m := l.Engine.Metrics(); m.Requests != 0 {
+		t.Errorf("EXPLAIN triggered %d requests", m.Requests)
+	}
+}

@@ -1,0 +1,204 @@
+// Package core implements Aorta's action-oriented query processing engine
+// (paper §2): compilation and continuous evaluation of action-embedded
+// queries, cost-based device-selection optimization, shared action
+// operators with request batching and scheduling, and execution of actions
+// on devices through the communication layer under the device
+// synchronization mechanisms.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"aorta/internal/comm"
+	"aorta/internal/sqlparse"
+)
+
+// Row is the evaluation context of one joined row: table alias → tuple.
+type Row map[string]comm.Tuple
+
+// BoolFunc is a system- or user-provided boolean function usable in WHERE
+// clauses, like the paper's coverage(camera_id, location).
+type BoolFunc func(args []any) (bool, error)
+
+// evalEnv carries what expression evaluation needs.
+type evalEnv struct {
+	row   Row
+	bools map[string]BoolFunc
+}
+
+// errUnknownColumn reports unresolvable column references.
+var errUnknownColumn = errors.New("core: unknown column")
+
+// evalExpr evaluates an expression against a row. Results are float64,
+// string, bool, or structured values (points, orientations) passed
+// through from tuples.
+func (env *evalEnv) evalExpr(e sqlparse.Expr) (any, error) {
+	switch ex := e.(type) {
+	case *sqlparse.Literal:
+		return ex.Value, nil
+	case *sqlparse.ColumnRef:
+		return env.lookupColumn(ex)
+	case *sqlparse.Call:
+		fn, ok := env.bools[ex.Func]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown function %q in expression", ex.Func)
+		}
+		args := make([]any, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := env.evalExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return fn(args)
+	case *sqlparse.Compare:
+		l, err := env.evalExpr(ex.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := env.evalExpr(ex.Right)
+		if err != nil {
+			return nil, err
+		}
+		return compare(ex.Op, l, r)
+	case *sqlparse.Logic:
+		l, err := env.evalBool(ex.Left)
+		if err != nil {
+			return nil, err
+		}
+		// Short-circuit.
+		if ex.Op == "AND" && !l {
+			return false, nil
+		}
+		if ex.Op == "OR" && l {
+			return true, nil
+		}
+		return env.evalBool(ex.Right)
+	case *sqlparse.Not:
+		v, err := env.evalBool(ex.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return !v, nil
+	case *sqlparse.Star:
+		return nil, errors.New("core: * is not valid in this position")
+	default:
+		return nil, fmt.Errorf("core: unsupported expression %T", e)
+	}
+}
+
+// evalBool evaluates an expression that must produce a boolean.
+func (env *evalEnv) evalBool(e sqlparse.Expr) (bool, error) {
+	v, err := env.evalExpr(e)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("core: expression %s is %T, not boolean", e, v)
+	}
+	return b, nil
+}
+
+// lookupColumn resolves a (possibly unqualified) column reference.
+func (env *evalEnv) lookupColumn(ref *sqlparse.ColumnRef) (any, error) {
+	if ref.Qualifier != "" {
+		t, ok := env.row[ref.Qualifier]
+		if !ok {
+			return nil, fmt.Errorf("%w: alias %q not in scope", errUnknownColumn, ref.Qualifier)
+		}
+		v, ok := t[ref.Column]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", errUnknownColumn, ref.Qualifier, ref.Column)
+		}
+		return v, nil
+	}
+	var found any
+	matches := 0
+	for _, t := range env.row {
+		if v, ok := t[ref.Column]; ok {
+			found = v
+			matches++
+		}
+	}
+	switch matches {
+	case 0:
+		return nil, fmt.Errorf("%w: %s", errUnknownColumn, ref.Column)
+	case 1:
+		return found, nil
+	default:
+		return nil, fmt.Errorf("core: ambiguous column %q", ref.Column)
+	}
+}
+
+// compare applies a comparison operator. Numbers compare numerically
+// (ints widen to float64), strings lexically, booleans by equality only.
+func compare(op string, l, r any) (bool, error) {
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if lok && rok {
+		switch op {
+		case "=":
+			return lf == rf, nil
+		case "!=":
+			return lf != rf, nil
+		case "<":
+			return lf < rf, nil
+		case "<=":
+			return lf <= rf, nil
+		case ">":
+			return lf > rf, nil
+		case ">=":
+			return lf >= rf, nil
+		}
+	}
+	if ls, ok := l.(string); ok {
+		if rs, ok := r.(string); ok {
+			switch op {
+			case "=":
+				return ls == rs, nil
+			case "!=":
+				return ls != rs, nil
+			case "<":
+				return ls < rs, nil
+			case "<=":
+				return ls <= rs, nil
+			case ">":
+				return ls > rs, nil
+			case ">=":
+				return ls >= rs, nil
+			}
+		}
+	}
+	if lb, ok := l.(bool); ok {
+		if rb, ok := r.(bool); ok {
+			switch op {
+			case "=":
+				return lb == rb, nil
+			case "!=":
+				return lb != rb, nil
+			}
+		}
+	}
+	return false, fmt.Errorf("core: cannot compare %T %s %T", l, op, r)
+}
+
+// toFloat widens any numeric value to float64.
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"aorta/internal/comm"
+	"aorta/internal/sqlparse"
+)
+
+// parseWhere extracts the WHERE expression from a canned query.
+func parseWhere(t *testing.T, cond string) sqlparse.Expr {
+	t.Helper()
+	stmt, err := sqlparse.Parse("SELECT x FROM t WHERE " + cond)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cond, err)
+	}
+	return stmt.(*sqlparse.Select).Where
+}
+
+func testEnv() *evalEnv {
+	return &evalEnv{
+		row: Row{
+			"s": comm.Tuple{"id": "mote-1", "accel_x": 750.0, "temp": 21.5, "label": "door"},
+			"c": comm.Tuple{"id": "camera-1", "zoom": 2.0},
+		},
+		bools: map[string]BoolFunc{
+			"always": func([]any) (bool, error) { return true, nil },
+			"iszero": func(args []any) (bool, error) {
+				v, _ := toFloat(args[0])
+				return v == 0, nil
+			},
+		},
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	env := testEnv()
+	tests := []struct {
+		cond string
+		want bool
+	}{
+		{"s.accel_x > 500", true},
+		{"s.accel_x > 800", false},
+		{"s.accel_x >= 750", true},
+		{"s.accel_x < 750", false},
+		{"s.accel_x <= 750", true},
+		{"s.accel_x = 750", true},
+		{"s.accel_x != 750", false},
+		{"s.temp > 20 AND s.temp < 22", true},
+		{"s.temp > 25 OR c.zoom = 2", true},
+		{"NOT s.temp > 25", true},
+		{"s.label = \"door\"", true},
+		{"s.label != \"window\"", true},
+		{"s.label < \"elephant\"", true},
+		{"s.id = c.id", false},
+		{"always()", true},
+		{"iszero(s.accel_x)", false},
+		{"iszero(0)", true},
+		{"NOT always() OR s.accel_x > 0", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.cond, func(t *testing.T) {
+			got, err := env.evalBool(parseWhere(t, tt.cond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("%s = %v, want %v", tt.cond, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := testEnv()
+	tests := []string{
+		"s.missing > 1",          // unknown column
+		"z.temp > 1",             // unknown alias
+		"mystery(s.temp)",        // unknown function
+		"s.label > 5",            // string vs number
+		"s.temp AND s.temp > 1",  // non-boolean operand
+		"accel_x > 1 AND id = 1", // ambiguous unqualified id (both tables)
+	}
+	for _, cond := range tests {
+		t.Run(cond, func(t *testing.T) {
+			if _, err := env.evalBool(parseWhere(t, cond)); err == nil {
+				t.Errorf("%s evaluated without error", cond)
+			}
+		})
+	}
+}
+
+func TestEvalUnqualifiedResolution(t *testing.T) {
+	env := testEnv()
+	// temp exists only in s.
+	got, err := env.evalBool(parseWhere(t, "temp > 20"))
+	if err != nil || !got {
+		t.Fatalf("temp > 20 = %v, %v", got, err)
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	env := testEnv()
+	env.bools["boom"] = func([]any) (bool, error) {
+		t.Fatal("right operand evaluated despite short circuit")
+		return false, nil
+	}
+	got, err := env.evalBool(parseWhere(t, "s.temp > 100 AND boom()"))
+	if err != nil || got {
+		t.Fatalf("AND short circuit = %v, %v", got, err)
+	}
+	got, err = env.evalBool(parseWhere(t, "s.temp > 0 OR boom()"))
+	if err != nil || !got {
+		t.Fatalf("OR short circuit = %v, %v", got, err)
+	}
+}
+
+func TestCompareBooleans(t *testing.T) {
+	if ok, err := compare("=", true, true); err != nil || !ok {
+		t.Errorf("true = true → %v, %v", ok, err)
+	}
+	if ok, err := compare("!=", true, false); err != nil || !ok {
+		t.Errorf("true != false → %v, %v", ok, err)
+	}
+	if _, err := compare("<", true, false); err == nil {
+		t.Error("boolean < accepted")
+	}
+}
+
+func TestToFloatWidths(t *testing.T) {
+	tests := []struct {
+		in   any
+		want float64
+		ok   bool
+	}{
+		{3.5, 3.5, true},
+		{float32(2), 2, true},
+		{int(7), 7, true},
+		{int32(8), 8, true},
+		{int64(9), 9, true},
+		{"x", 0, false},
+		{nil, 0, false},
+		{true, 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := toFloat(tt.in)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("toFloat(%v) = %v, %v", tt.in, got, ok)
+		}
+	}
+}
+
+// TestQuickNumericCompareConsistency: compare() agrees with Go's float
+// ordering for every operator.
+func TestQuickNumericCompareConsistency(t *testing.T) {
+	ops := map[string]func(a, b float64) bool{
+		"=":  func(a, b float64) bool { return a == b },
+		"!=": func(a, b float64) bool { return a != b },
+		"<":  func(a, b float64) bool { return a < b },
+		"<=": func(a, b float64) bool { return a <= b },
+		">":  func(a, b float64) bool { return a > b },
+		">=": func(a, b float64) bool { return a >= b },
+	}
+	f := func(a, b float64) bool {
+		for op, want := range ops {
+			got, err := compare(op, a, b)
+			if err != nil || got != want(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyFailureKinds(t *testing.T) {
+	tests := []struct {
+		err  error
+		want FailureKind
+	}{
+		{nil, FailNone},
+		{ErrBlurred, FailBlurred},
+		{ErrWrongPosition, FailWrongPosition},
+		{ErrStale, FailStale},
+		{errNoCandidates, FailConnect},
+		{comm.ErrTimeout, FailConnect},
+		{comm.ErrUnreachable, FailConnect},
+		{comm.ErrUnknownDevice, FailConnect},
+		{errors.New("unrelated failure"), FailOther},
+	}
+	for _, tt := range tests {
+		if got := classifyFailure(tt.err); got != tt.want {
+			t.Errorf("classifyFailure(%v) = %v, want %v", tt.err, got, tt.want)
+		}
+	}
+}

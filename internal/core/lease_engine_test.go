@@ -1,0 +1,87 @@
+package core_test
+
+// Engine-level lease test: with Config.LockLease set, a hung action
+// cannot pin its device — the lease expires and later requests proceed.
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aorta/internal/core"
+	"aorta/internal/lab"
+	"aorta/internal/profile"
+)
+
+func TestLockLeaseUnblocksHungAction(t *testing.T) {
+	l, err := lab.New(lab.Config{
+		Motes: 2,
+		Engine: core.Config{
+			LockLease:           10 * time.Second, // virtual
+			ScheduleBusyDevices: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := context.Background()
+
+	// A user action that hangs forever on its first invocation.
+	reg, err := profile.DefaultRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blink, _ := reg.Action("blink")
+	invocations := make(chan int, 16)
+	hang := make(chan struct{})
+	var calls atomic.Int64
+	if err := l.Engine.RegisterUserAction(&core.ActionDef{
+		Name:    "maybehang",
+		Profile: blink,
+		Fn: func(ctx context.Context, actx *core.ActionContext, _ []any) (any, error) {
+			n := int(calls.Add(1))
+			invocations <- n
+			if n == 1 {
+				<-hang // first call never returns until the test ends
+				return nil, ctx.Err()
+			}
+			return "done", nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer close(hang)
+
+	if err := l.Engine.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Only mote-1 matches, so every request targets the same device and
+	// must queue on its lock.
+	if _, err := l.Engine.Exec(ctx, `CREATE AQ hq AS
+		SELECT maybehang(s.id) FROM sensor s
+		WHERE s.accel_x > 500 AND s.id = "mote-1" EVERY "3s"`); err != nil {
+		t.Fatal(err)
+	}
+	l.StimulateMote(0, 900, 2*time.Minute)
+
+	// First invocation hangs holding the lease; the second can only run
+	// if the 10-virtual-second lease expires.
+	select {
+	case <-invocations:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first invocation never started")
+	}
+	select {
+	case n := <-invocations:
+		if n != 2 {
+			t.Fatalf("unexpected invocation %d", n)
+		}
+	case <-time.After(8 * time.Second):
+		t.Fatal("second invocation never ran; lease did not expire")
+	}
+	if st := l.Engine.Locks().Stats("mote-1"); st.Expirations == 0 {
+		t.Error("no lease expirations recorded")
+	}
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aorta/internal/core"
+	"aorta/internal/lab"
+	"aorta/internal/netsim"
+)
+
+// syncBuffer guards concurrent handler writes.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestEngineLogging: the engine emits structured events for query
+// lifecycle and action failures.
+func TestEngineLogging(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	l, err := lab.New(lab.Config{Engine: core.Config{Logger: logger}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := context.Background()
+	if err := l.Engine.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := l.Engine.Exec(ctx, snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "query registered") {
+		t.Errorf("missing registration log:\n%s", buf.String())
+	}
+
+	// Down every camera: the resulting failures must be logged.
+	l.Network.SetLink("camera-1", netsim.LinkConfig{Down: true})
+	l.Network.SetLink("camera-2", netsim.LinkConfig{Down: true})
+	l.StimulateMote(0, 900, 10*time.Second)
+	waitFor(t, 8*time.Second, func() bool {
+		return strings.Contains(buf.String(), "action failed")
+	})
+	out := buf.String()
+	if !strings.Contains(out, "action failed") {
+		t.Errorf("missing failure log:\n%s", out)
+	}
+	if !strings.Contains(out, "probe excluded candidates") {
+		t.Errorf("missing probe exclusion log:\n%s", out)
+	}
+
+	if _, err := l.Engine.Exec(ctx, "DROP AQ snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "query dropped") {
+		t.Errorf("missing drop log:\n%s", buf.String())
+	}
+}

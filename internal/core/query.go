@@ -1,0 +1,479 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/sqlparse"
+)
+
+// Query is one registered action-embedded continuous query.
+type Query struct {
+	ID    int
+	Name  string
+	Epoch time.Duration
+
+	sel         *sqlparse.Select
+	tables      []boundTable
+	actionItems []*actionItem
+	aggItems    []*aggItem
+	groupBy     []*sqlparse.ColumnRef
+	projItems   []sqlparse.Expr
+
+	mu        sync.Mutex
+	running   bool
+	cancel    context.CancelFunc
+	evals     int64
+	evalErrs  int64
+	lastError error
+}
+
+// boundTable is one FROM entry bound to a device type with the attribute
+// set its scans need.
+type boundTable struct {
+	alias      string
+	deviceType string
+	attrs      []string
+}
+
+// actionItem is one action call in the select list.
+type actionItem struct {
+	def *ActionDef
+	// call's arguments get re-evaluated per selected candidate.
+	call *sqlparse.Call
+	// deviceAlias is the FROM alias whose table matches the action's
+	// device type — its tuples are the candidate devices.
+	deviceAlias string
+}
+
+// Info summarizes a query for SHOW QUERIES.
+type Info struct {
+	ID      int
+	Name    string
+	Running bool
+	Epoch   time.Duration
+	SQL     string
+	Evals   int64
+	Errors  int64
+}
+
+// Info returns a snapshot of the query's state.
+func (q *Query) Info() Info {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Info{
+		ID: q.ID, Name: q.Name, Running: q.running, Epoch: q.Epoch,
+		SQL: q.sel.String(), Evals: q.evals, Errors: q.evalErrs,
+	}
+}
+
+// compileQuery binds a parsed SELECT against the engine's catalogs and
+// action registry.
+func (e *Engine) compileQuery(name string, sel *sqlparse.Select) (*Query, error) {
+	q := &Query{Name: name, sel: sel, Epoch: sel.Every}
+	if q.Epoch <= 0 {
+		q.Epoch = e.cfg.DefaultEpoch
+	}
+
+	aliases := make(map[string]string, len(sel.From)) // alias → device type
+	for _, ref := range sel.From {
+		if _, ok := e.reg.Catalog(ref.Table); !ok {
+			return nil, fmt.Errorf("core: unknown device table %q", ref.Table)
+		}
+		alias := ref.Name()
+		if _, dup := aliases[alias]; dup {
+			return nil, fmt.Errorf("core: duplicate table alias %q", alias)
+		}
+		aliases[alias] = ref.Table
+	}
+
+	// Column requirements per alias, seeded with id.
+	needs := make(map[string]map[string]bool, len(aliases))
+	for alias := range aliases {
+		needs[alias] = map[string]bool{"id": true}
+	}
+	var collectErr error
+	collect := func(ex sqlparse.Expr) {
+		walkExprs(ex, func(node sqlparse.Expr) {
+			ref, ok := node.(*sqlparse.ColumnRef)
+			if !ok || collectErr != nil {
+				return
+			}
+			if ref.Qualifier != "" {
+				if _, ok := aliases[ref.Qualifier]; !ok {
+					collectErr = fmt.Errorf("core: unknown alias %q in %s", ref.Qualifier, ref)
+					return
+				}
+				if err := e.checkAttr(aliases[ref.Qualifier], ref.Column); err != nil {
+					collectErr = err
+					return
+				}
+				needs[ref.Qualifier][ref.Column] = true
+				return
+			}
+			// Unqualified: resolve to the unique table having the column.
+			var owners []string
+			for alias, table := range aliases {
+				if e.checkAttr(table, ref.Column) == nil {
+					owners = append(owners, alias)
+				}
+			}
+			switch len(owners) {
+			case 0:
+				collectErr = fmt.Errorf("core: no table has column %q", ref.Column)
+			case 1:
+				needs[owners[0]][ref.Column] = true
+			default:
+				collectErr = fmt.Errorf("core: ambiguous column %q", ref.Column)
+			}
+		})
+	}
+
+	if sel.Where != nil {
+		collect(sel.Where)
+		// WHERE function calls must be registered boolean functions.
+		walkExprs(sel.Where, func(node sqlparse.Expr) {
+			if call, ok := node.(*sqlparse.Call); ok && collectErr == nil {
+				if _, ok := e.boolFuncs[call.Func]; !ok {
+					collectErr = fmt.Errorf("core: unknown boolean function %q in WHERE", call.Func)
+				}
+			}
+		})
+	}
+
+	for _, item := range sel.Items {
+		switch it := item.(type) {
+		case *sqlparse.Star:
+			q.projItems = append(q.projItems, it)
+			for alias, table := range aliases {
+				cat, _ := e.reg.Catalog(table)
+				for _, a := range cat.Attributes {
+					needs[alias][a.Name] = true
+				}
+			}
+		case *sqlparse.Call:
+			if isAggregateCall(it) {
+				agg, err := compileAggregate(it)
+				if err != nil {
+					return nil, err
+				}
+				if agg.arg != nil {
+					collect(agg.arg)
+				}
+				q.aggItems = append(q.aggItems, agg)
+				continue
+			}
+			def, isAction := e.actions[it.Func]
+			if !isAction {
+				if _, isBool := e.boolFuncs[it.Func]; isBool {
+					q.projItems = append(q.projItems, it)
+					collect(it)
+					continue
+				}
+				return nil, fmt.Errorf("core: %q is neither a registered action nor a function", it.Func)
+			}
+			// Bind the action to the alias whose table matches its device
+			// type.
+			var devAlias string
+			for alias, table := range aliases {
+				if table == def.Profile.DeviceType {
+					if devAlias != "" {
+						return nil, fmt.Errorf("core: action %q is ambiguous: two %s tables in FROM", it.Func, table)
+					}
+					devAlias = alias
+				}
+			}
+			if devAlias == "" {
+				return nil, fmt.Errorf("core: action %q needs a %q table in FROM", it.Func, def.Profile.DeviceType)
+			}
+			q.actionItems = append(q.actionItems, &actionItem{def: def, call: it, deviceAlias: devAlias})
+			collect(it)
+		default:
+			q.projItems = append(q.projItems, item)
+			collect(item)
+		}
+	}
+	if len(sel.GroupBy) > 0 {
+		if len(q.aggItems) == 0 {
+			return nil, fmt.Errorf("core: GROUP BY requires aggregate select items")
+		}
+		for _, g := range sel.GroupBy {
+			collect(g)
+			q.groupBy = append(q.groupBy, g)
+		}
+	}
+	if collectErr != nil {
+		return nil, collectErr
+	}
+	if len(q.aggItems) > 0 {
+		if len(q.actionItems) > 0 {
+			return nil, fmt.Errorf("core: aggregates cannot be mixed with actions")
+		}
+		// Plain columns are only allowed when they are grouping columns.
+		for _, item := range q.projItems {
+			ref, ok := item.(*sqlparse.ColumnRef)
+			if !ok || !inGroupBy(q.groupBy, ref) {
+				return nil, fmt.Errorf("core: select item %s must be an aggregate or a GROUP BY column", item)
+			}
+		}
+	}
+
+	for _, ref := range sel.From {
+		alias := ref.Name()
+		attrs := make([]string, 0, len(needs[alias]))
+		for a := range needs[alias] {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		q.tables = append(q.tables, boundTable{alias: alias, deviceType: ref.Table, attrs: attrs})
+	}
+	return q, nil
+}
+
+// checkAttr verifies the attribute exists in the device type's catalog.
+func (e *Engine) checkAttr(deviceType, attr string) error {
+	cat, ok := e.reg.Catalog(deviceType)
+	if !ok {
+		return fmt.Errorf("core: unknown device table %q", deviceType)
+	}
+	if _, ok := cat.Attr(attr); !ok {
+		return fmt.Errorf("core: table %q has no attribute %q", deviceType, attr)
+	}
+	return nil
+}
+
+// inGroupBy reports whether ref names one of the grouping columns.
+func inGroupBy(groupBy []*sqlparse.ColumnRef, ref *sqlparse.ColumnRef) bool {
+	for _, g := range groupBy {
+		if g.Qualifier == ref.Qualifier && g.Column == ref.Column {
+			return true
+		}
+	}
+	return false
+}
+
+// walkExprs visits every node of an expression tree.
+func walkExprs(e sqlparse.Expr, fn func(sqlparse.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch ex := e.(type) {
+	case *sqlparse.Call:
+		for _, a := range ex.Args {
+			walkExprs(a, fn)
+		}
+	case *sqlparse.Compare:
+		walkExprs(ex.Left, fn)
+		walkExprs(ex.Right, fn)
+	case *sqlparse.Logic:
+		walkExprs(ex.Left, fn)
+		walkExprs(ex.Right, fn)
+	case *sqlparse.Not:
+		walkExprs(ex.Inner, fn)
+	}
+}
+
+// evalOnce performs one evaluation epoch: scan, join, filter, and either
+// emit action requests or produce projected rows.
+func (e *Engine) evalOnce(ctx context.Context, q *Query) ([]map[string]any, error) {
+	// Scan every table. Unreachable devices simply produce no tuple.
+	scans := make(map[string][]comm.Tuple, len(q.tables))
+	for _, bt := range q.tables {
+		tuples, _, err := e.layer.Scan(ctx, bt.deviceType, bt.attrs)
+		if err != nil {
+			return nil, err
+		}
+		scans[bt.alias] = tuples
+	}
+
+	// Cartesian product with WHERE filtering.
+	env := &evalEnv{bools: e.boolFuncs}
+	var passing []Row
+	var joinErr error
+	var build func(i int, row Row)
+	build = func(i int, row Row) {
+		if joinErr != nil {
+			return
+		}
+		if i == len(q.tables) {
+			if q.sel.Where != nil {
+				env.row = row
+				ok, err := env.evalBool(q.sel.Where)
+				if err != nil {
+					joinErr = err
+					return
+				}
+				if !ok {
+					return
+				}
+			}
+			clone := make(Row, len(row))
+			for k, v := range row {
+				clone[k] = v
+			}
+			passing = append(passing, clone)
+			return
+		}
+		bt := q.tables[i]
+		for _, t := range scans[bt.alias] {
+			row[bt.alias] = t
+			build(i+1, row)
+		}
+		delete(row, bt.alias)
+	}
+	build(0, make(Row, len(q.tables)))
+	if joinErr != nil {
+		return nil, joinErr
+	}
+
+	// Aggregate queries reduce the passing rows to one result row per
+	// group (one row total without GROUP BY).
+	if len(q.aggItems) > 0 {
+		return evalAggregates(q, passing, e.boolFuncs)
+	}
+
+	// Action items: group by event and submit requests to the shared
+	// operators.
+	for _, item := range q.actionItems {
+		e.emitRequests(q, item, passing)
+	}
+
+	// Projections for ad-hoc queries and reporting.
+	if len(q.projItems) == 0 {
+		return nil, nil
+	}
+	var rows []map[string]any
+	for _, row := range passing {
+		env.row = row
+		out := make(map[string]any)
+		for _, item := range q.projItems {
+			if _, ok := item.(*sqlparse.Star); ok {
+				for alias, t := range row {
+					for k, v := range t {
+						out[alias+"."+k] = v
+					}
+				}
+				continue
+			}
+			v, err := env.evalExpr(item)
+			if err != nil {
+				return nil, err
+			}
+			out[item.String()] = v
+		}
+		rows = append(rows, out)
+	}
+	return rows, nil
+}
+
+// emitRequests groups the passing rows of one action item by event and
+// submits one ActionRequest per event to the action's shared operator.
+func (e *Engine) emitRequests(q *Query, item *actionItem, rows []Row) {
+	type group struct {
+		rep        Row
+		candidates []CandidateDevice
+		seen       map[string]bool
+	}
+	groups := make(map[string]*group)
+	var orderedKeys []string
+	for _, row := range rows {
+		// Event key: ids of every non-device alias.
+		var parts []string
+		for _, bt := range q.tables {
+			if bt.alias == item.deviceAlias {
+				continue
+			}
+			id, _ := row[bt.alias]["id"].(string)
+			parts = append(parts, bt.alias+"="+id)
+		}
+		key := strings.Join(parts, ",")
+		g, ok := groups[key]
+		if !ok {
+			g = &group{rep: row, seen: make(map[string]bool)}
+			groups[key] = g
+			orderedKeys = append(orderedKeys, key)
+		}
+		devTuple := row[item.deviceAlias]
+		devID, _ := devTuple["id"].(string)
+		if devID == "" || g.seen[devID] {
+			continue
+		}
+		g.seen[devID] = true
+		g.candidates = append(g.candidates, CandidateDevice{ID: devID, Tuple: devTuple})
+	}
+
+	now := e.clk.Now()
+	for _, key := range orderedKeys {
+		g := groups[key]
+		req := &ActionRequest{
+			ID:         e.nextRequestID(),
+			QueryID:    q.ID,
+			Query:      q.Name,
+			Action:     item.def.Name,
+			EventKey:   key,
+			Candidates: g.candidates,
+			CreatedAt:  now,
+		}
+		if e.cfg.StaleAfter > 0 {
+			req.Deadline = now.Add(e.cfg.StaleAfter)
+		}
+		rep := g.rep
+		call := item.call
+		devAlias := item.deviceAlias
+		candByID := make(map[string]comm.Tuple, len(g.candidates))
+		for _, c := range g.candidates {
+			candByID[c.ID] = c.Tuple
+		}
+		req.bind = func(deviceID string) ([]any, error) {
+			row := make(Row, len(rep))
+			for k, v := range rep {
+				row[k] = v
+			}
+			if t, ok := candByID[deviceID]; ok {
+				row[devAlias] = t
+			}
+			env := &evalEnv{row: row, bools: e.boolFuncs}
+			args := make([]any, len(call.Args))
+			for i, a := range call.Args {
+				v, err := env.evalExpr(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+			}
+			return args, nil
+		}
+		if item.def.TargetExtractor != nil && len(g.candidates) > 0 {
+			if args, err := req.bind(g.candidates[0].ID); err == nil {
+				req.Target = item.def.TargetExtractor(args)
+			}
+		}
+		e.operatorFor(item.def).submit(req)
+	}
+}
+
+// run is the continuous-query loop: evaluate every epoch until cancelled.
+func (e *Engine) runQuery(ctx context.Context, q *Query) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-e.clk.After(q.Epoch):
+		}
+		_, err := e.evalOnce(ctx, q)
+		q.mu.Lock()
+		q.evals++
+		if err != nil && ctx.Err() == nil {
+			q.evalErrs++
+			q.lastError = err
+		}
+		q.mu.Unlock()
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/sched"
+)
+
+// CandidateDevice is one eligible device of an action request, carrying
+// the tuple that qualified it.
+type CandidateDevice struct {
+	ID    string
+	Tuple comm.Tuple
+}
+
+// ActionRequest is one request from a query for the execution of an action
+// with instantiated parameters (paper §5's definition). It flows from the
+// query evaluator into the shared action operator.
+type ActionRequest struct {
+	ID      int64
+	QueryID int
+	Query   string
+	Action  string
+	// EventKey identifies the triggering event (the non-device part of
+	// the joined row); used for grouping and reporting.
+	EventKey string
+	// Candidates is the eligible device set Di.
+	Candidates []CandidateDevice
+	// Target is the action-specific cost target (for photo: the location
+	// to aim at).
+	Target any
+	// CreatedAt is when the event fired on the engine clock.
+	CreatedAt time.Time
+	// Deadline is when the request becomes stale (transient events demand
+	// real-time response, paper §5.1). Zero means no deadline.
+	Deadline time.Time
+	// bind evaluates the action's argument list for the selected device.
+	bind func(deviceID string) ([]any, error)
+}
+
+// CandidateIDs returns the candidate device IDs in order.
+func (r *ActionRequest) CandidateIDs() []string {
+	out := make([]string, len(r.Candidates))
+	for i, c := range r.Candidates {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// Coster is the per-action cost model used in device selection and
+// workload scheduling: it converts a device's probed physical status into
+// scheduling status and computes sequence-dependent costs.
+type Coster interface {
+	// ParseStatus converts a probe's raw status into the scheduling
+	// status this coster chains through a device's request sequence.
+	ParseStatus(raw json.RawMessage) sched.Status
+	// Cost returns the estimated execution time of req on the device and
+	// the device's status afterwards.
+	Cost(req *ActionRequest, deviceID string, st sched.Status) (time.Duration, sched.Status)
+}
+
+// FixedCoster is the default for actions whose cost does not depend on
+// device status: every execution costs Duration.
+type FixedCoster struct {
+	Duration time.Duration
+}
+
+var _ Coster = (*FixedCoster)(nil)
+
+// ParseStatus implements Coster.
+func (*FixedCoster) ParseStatus(json.RawMessage) sched.Status { return nil }
+
+// Cost implements Coster.
+func (f *FixedCoster) Cost(_ *ActionRequest, _ string, st sched.Status) (time.Duration, sched.Status) {
+	return f.Duration, st
+}
+
+// costerEstimator adapts a Coster to the scheduler's Estimator interface.
+// The scheduler's opaque requests carry the engine's ActionRequest in
+// Target.
+type costerEstimator struct {
+	coster Coster
+}
+
+var _ sched.Estimator = (*costerEstimator)(nil)
+
+// Estimate implements sched.Estimator.
+func (ce *costerEstimator) Estimate(req *sched.Request, dev sched.DeviceID, st sched.Status) (time.Duration, sched.Status) {
+	ar, ok := req.Target.(*ActionRequest)
+	if !ok {
+		return 0, st
+	}
+	return ce.coster.Cost(ar, string(dev), st)
+}

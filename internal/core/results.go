@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"aorta/internal/comm"
+)
+
+// FailureKind classifies action failures for the §6.2 study.
+type FailureKind int
+
+// Failure kinds.
+const (
+	FailNone FailureKind = iota
+	FailConnect
+	FailBlurred
+	FailWrongPosition
+	FailStale
+	FailOther
+)
+
+// String implements fmt.Stringer.
+func (k FailureKind) String() string {
+	switch k {
+	case FailNone:
+		return "ok"
+	case FailConnect:
+		return "connect/timeout"
+	case FailBlurred:
+		return "blurred"
+	case FailWrongPosition:
+		return "wrong-position"
+	case FailStale:
+		return "stale"
+	default:
+		return "other"
+	}
+}
+
+// classifyFailure maps an action error to its failure kind.
+func classifyFailure(err error) FailureKind {
+	switch {
+	case err == nil:
+		return FailNone
+	case errors.Is(err, ErrBlurred):
+		return FailBlurred
+	case errors.Is(err, ErrWrongPosition):
+		return FailWrongPosition
+	case errors.Is(err, ErrStale):
+		return FailStale
+	case errors.Is(err, comm.ErrTimeout), errors.Is(err, comm.ErrUnknownDevice),
+		errors.Is(err, comm.ErrUnreachable), errors.Is(err, errNoCandidates):
+		return FailConnect
+	default:
+		var ne interface{ Timeout() bool }
+		if errors.As(err, &ne) && ne.Timeout() {
+			return FailConnect
+		}
+		return FailOther
+	}
+}
+
+// Outcome records the completion of one action request.
+type Outcome struct {
+	RequestID int64
+	QueryID   int
+	Query     string
+	Action    string
+	DeviceID  string
+	EventKey  string
+	// Latency is event-to-completion time on the engine clock.
+	Latency time.Duration
+	Result  any
+	Err     error
+	Failure FailureKind
+}
+
+// OK reports whether the action succeeded.
+func (o *Outcome) OK() bool { return o.Failure == FailNone }
+
+// EngineMetrics aggregates engine activity.
+type EngineMetrics struct {
+	mu        sync.Mutex
+	requests  int64
+	successes int64
+	failures  map[FailureKind]int64
+	latencies time.Duration
+}
+
+func newEngineMetrics() *EngineMetrics {
+	return &EngineMetrics{failures: make(map[FailureKind]int64)}
+}
+
+func (m *EngineMetrics) record(o *Outcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if o.OK() {
+		m.successes++
+	} else {
+		m.failures[o.Failure]++
+	}
+	m.latencies += o.Latency
+}
+
+// Snapshot is a point-in-time copy of the metrics.
+type MetricsSnapshot struct {
+	Requests  int64
+	Successes int64
+	Failures  map[FailureKind]int64
+	// FailureRate is failed/total (0 when no requests).
+	FailureRate float64
+	// MeanLatency is the mean event-to-completion latency.
+	MeanLatency time.Duration
+}
+
+// Snapshot returns a copy of the current counters.
+func (m *EngineMetrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		Requests:  m.requests,
+		Successes: m.successes,
+		Failures:  make(map[FailureKind]int64, len(m.failures)),
+	}
+	var failed int64
+	for k, v := range m.failures {
+		snap.Failures[k] = v
+		failed += v
+	}
+	if m.requests > 0 {
+		snap.FailureRate = float64(failed) / float64(m.requests)
+		snap.MeanLatency = m.latencies / time.Duration(m.requests)
+	}
+	return snap
+}
+
+// outcomeLog keeps a bounded in-memory history of outcomes and fans them
+// out to subscribers.
+type outcomeLog struct {
+	mu       sync.Mutex
+	outcomes []*Outcome
+	subs     []chan *Outcome
+}
+
+const maxOutcomes = 100000
+
+func (l *outcomeLog) add(o *Outcome) {
+	l.mu.Lock()
+	if len(l.outcomes) >= maxOutcomes {
+		copy(l.outcomes, l.outcomes[1:])
+		l.outcomes = l.outcomes[:len(l.outcomes)-1]
+	}
+	l.outcomes = append(l.outcomes, o)
+	subs := append([]chan *Outcome(nil), l.subs...)
+	l.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- o:
+		default: // slow subscriber: drop rather than stall the executor
+		}
+	}
+}
+
+func (l *outcomeLog) all() []*Outcome {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Outcome, len(l.outcomes))
+	copy(out, l.outcomes)
+	return out
+}
+
+func (l *outcomeLog) subscribe(buf int) chan *Outcome {
+	ch := make(chan *Outcome, buf)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, ch)
+	return ch
+}

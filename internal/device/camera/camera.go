@@ -1,0 +1,409 @@
+// Package camera emulates an AXIS-2130-like PTZ network camera.
+//
+// The emulator reproduces the physical behaviour the paper's evaluation
+// depends on:
+//
+//   - head movement takes real (clock) time, driven per-axis by motor
+//     speeds, so a photo() action's cost is sequence-dependent — it depends
+//     on where the previous action left the head (paper §2.3);
+//   - the published cost envelope holds: a photo() action (connect + move +
+//     medium capture + store) costs 0.36 s with no movement up to 5.36 s for
+//     a full 340° pan (paper §6.3);
+//   - overlapping commands are *accepted*, exactly like the real camera's
+//     HTTP interface, and corrupt the result: a move issued during another
+//     move redirects the head mid-flight, and any movement overlapping a
+//     capture blurs the photo or leaves it pointing at the wrong position
+//     (paper §4). Engine-side locking is what prevents this.
+package camera
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"aorta/internal/device"
+	"aorta/internal/geo"
+	"aorta/internal/vclock"
+)
+
+// Motor and capture timing. These constants place photo() exactly in the
+// paper's [0.36 s, 5.36 s] interval; see internal/profile/data/camera_costs.xml
+// for the matching cost-model entries.
+const (
+	PanSpeedDegPerSec  = 68
+	TiltSpeedDegPerSec = 45
+	ZoomUnitsPerSec    = 6
+
+	CaptureSmall  = 150 * time.Millisecond
+	CaptureMedium = 280 * time.Millisecond
+	CaptureLarge  = 550 * time.Millisecond
+	StoreTime     = 30 * time.Millisecond
+)
+
+// MoveTime returns the head-movement duration between two orientations:
+// the motors run concurrently, so the slowest axis dominates.
+func MoveTime(from, to geo.Orientation) time.Duration {
+	pan, tilt := geo.AngularDist(from, to)
+	zoom := math.Abs(from.Zoom - to.Zoom)
+	sec := math.Max(pan/PanSpeedDegPerSec, tilt/TiltSpeedDegPerSec)
+	sec = math.Max(sec, zoom/ZoomUnitsPerSec)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// CaptureTime returns the capture duration for a photo size ("small",
+// "medium" or "large"; anything else is treated as medium).
+func CaptureTime(size string) time.Duration {
+	switch size {
+	case "small":
+		return CaptureSmall
+	case "large":
+		return CaptureLarge
+	default:
+		return CaptureMedium
+	}
+}
+
+// Status is the camera's physical status as reported to probes: the current
+// head position and busy state. The optimizer's cost model feeds the head
+// position into its movement-time estimate.
+type Status struct {
+	Head        geo.Orientation `json:"head"`
+	Busy        bool            `json:"busy"`
+	PhotosTaken int             `json:"photos_taken"`
+}
+
+// Photo is the result of a capture operation.
+type Photo struct {
+	ID int `json:"id"`
+	// At is the head orientation when the exposure finished — compare with
+	// the requested aim to detect wrong-position photos.
+	At      geo.Orientation `json:"at"`
+	Blurred bool            `json:"blurred"`
+	SizeKB  int             `json:"size_kb"`
+	Size    string          `json:"size"`
+	TakenAt time.Time       `json:"taken_at"`
+}
+
+// MoveArgs are the arguments of the "move" operation.
+type MoveArgs struct {
+	Pan  float64 `json:"pan"`
+	Tilt float64 `json:"tilt"`
+	Zoom float64 `json:"zoom"`
+}
+
+// CaptureArgs are the arguments of the capture operations.
+type CaptureArgs struct {
+	Size string `json:"size"`
+}
+
+// MoveResult is returned by the "move" operation.
+type MoveResult struct {
+	// Reached is the actual head position when this move's motor time
+	// elapsed. If another move preempted this one, Reached differs from
+	// the requested target.
+	Reached geo.Orientation `json:"reached"`
+	// Preempted reports whether another command redirected the head while
+	// this move was in flight.
+	Preempted bool `json:"preempted"`
+}
+
+type movement struct {
+	from, to  geo.Orientation
+	start     time.Time
+	dur       time.Duration
+	preempted bool
+}
+
+// Camera is the emulated device. It implements device.Model.
+type Camera struct {
+	id    string
+	mount geo.Mount
+	clk   vclock.Clock
+
+	mu          sync.Mutex
+	head        geo.Orientation
+	move        *movement // in-flight movement, nil when the head is still
+	captures    int       // in-flight capture count
+	photosTaken int
+	photoSeq    int
+	stores      int
+	// interference counters, exposed for the §6.2 study
+	preemptedMoves int
+	blurredPhotos  int
+}
+
+var _ device.Model = (*Camera)(nil)
+
+// New returns a camera with the given ID and mount, with the head at rest
+// pointing at pan 0, tilt 0, zoom 1.
+func New(id string, mount geo.Mount, clk vclock.Clock) *Camera {
+	return &Camera{
+		id:    id,
+		mount: mount,
+		clk:   clk,
+		head:  geo.Orientation{Zoom: 1},
+	}
+}
+
+// Type implements device.Model.
+func (c *Camera) Type() string { return "camera" }
+
+// ID implements device.Model.
+func (c *Camera) ID() string { return c.id }
+
+// Mount returns the camera's mount geometry.
+func (c *Camera) Mount() geo.Mount { return c.mount }
+
+// headAt returns the head position at time now, interpolating through any
+// in-flight movement. Caller must hold c.mu.
+func (c *Camera) headAt(now time.Time) geo.Orientation {
+	if c.move == nil {
+		return c.head
+	}
+	elapsed := now.Sub(c.move.start)
+	if elapsed >= c.move.dur {
+		return c.move.to
+	}
+	frac := float64(elapsed) / float64(c.move.dur)
+	return geo.LerpOrientation(c.move.from, c.move.to, frac)
+}
+
+// Head returns the current head position.
+func (c *Camera) Head() geo.Orientation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.headAt(c.clk.Now())
+}
+
+// Busy implements device.Model.
+func (c *Camera) Busy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.busyLocked(c.clk.Now())
+}
+
+func (c *Camera) busyLocked(now time.Time) bool {
+	if c.captures > 0 {
+		return true
+	}
+	if c.move != nil && now.Sub(c.move.start) < c.move.dur {
+		return true
+	}
+	return false
+}
+
+// Status implements device.Model.
+func (c *Camera) Status() json.RawMessage {
+	c.mu.Lock()
+	now := c.clk.Now()
+	st := Status{
+		Head:        c.headAt(now),
+		Busy:        c.busyLocked(now),
+		PhotosTaken: c.photosTaken,
+	}
+	c.mu.Unlock()
+	b, err := json.Marshal(&st)
+	if err != nil {
+		// Status contains only numbers; marshalling cannot fail.
+		panic(fmt.Sprintf("camera: marshal status: %v", err))
+	}
+	return b
+}
+
+// ReadAttr implements device.Model.
+func (c *Camera) ReadAttr(name string) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clk.Now()
+	switch name {
+	case "id":
+		return c.id, nil
+	case "ip":
+		return c.id, nil // the farm uses device IDs as network addresses
+	case "loc":
+		return c.mount.Position, nil
+	case "pan":
+		return c.headAt(now).Pan, nil
+	case "tilt":
+		return c.headAt(now).Tilt, nil
+	case "zoom":
+		return c.headAt(now).Zoom, nil
+	case "busy":
+		if c.busyLocked(now) {
+			return 1, nil
+		}
+		return 0, nil
+	case "photos_taken":
+		return c.photosTaken, nil
+	default:
+		return nil, fmt.Errorf("%w: camera has no attribute %q", device.ErrUnknownAttr, name)
+	}
+}
+
+// Exec implements device.Model. Supported operations: "move", "capture"
+// (plus the profile-level aliases capture_small/capture_medium/
+// capture_large) and "store".
+func (c *Camera) Exec(ctx context.Context, op string, args json.RawMessage) (any, error) {
+	switch op {
+	case "move":
+		var ma MoveArgs
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &ma); err != nil {
+				return nil, fmt.Errorf("camera: bad move args: %w", err)
+			}
+		}
+		return c.doMove(ctx, geo.Orientation{Pan: ma.Pan, Tilt: ma.Tilt, Zoom: ma.Zoom})
+	case "capture", "capture_small", "capture_medium", "capture_large":
+		var ca CaptureArgs
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &ca); err != nil {
+				return nil, fmt.Errorf("camera: bad capture args: %w", err)
+			}
+		}
+		if ca.Size == "" {
+			switch op {
+			case "capture_small":
+				ca.Size = "small"
+			case "capture_large":
+				ca.Size = "large"
+			default:
+				ca.Size = "medium"
+			}
+		}
+		return c.doCapture(ctx, ca.Size)
+	case "store":
+		return c.doStore(ctx)
+	default:
+		return nil, fmt.Errorf("%w: camera cannot %q", device.ErrUnknownOp, op)
+	}
+}
+
+// doMove starts moving the head toward target. If a movement is already in
+// flight the new command preempts it from the head's *current* interpolated
+// position — the second query's photo() redirecting the first, as observed
+// on the real cameras.
+func (c *Camera) doMove(ctx context.Context, target geo.Orientation) (*MoveResult, error) {
+	c.mu.Lock()
+	now := c.clk.Now()
+	from := c.headAt(now)
+	if c.move != nil && now.Sub(c.move.start) < c.move.dur {
+		c.move.preempted = true
+		c.preemptedMoves++
+	}
+	dur := MoveTime(from, target)
+	mv := &movement{from: from, to: target, start: now, dur: dur}
+	c.move = mv
+	c.mu.Unlock()
+
+	if err := vclock.SleepCtx(ctx, c.clk, dur); err != nil {
+		return nil, fmt.Errorf("camera: move interrupted: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	endNow := c.clk.Now()
+	reached := c.headAt(endNow)
+	preempted := mv.preempted
+	if c.move == mv && endNow.Sub(mv.start) >= mv.dur {
+		// Our movement finished without being preempted; settle the head.
+		c.head = mv.to
+		c.move = nil
+		reached = mv.to
+	}
+	return &MoveResult{Reached: reached, Preempted: preempted}, nil
+}
+
+// doCapture exposes a photo. Any head movement overlapping the exposure
+// blurs the photo; the recorded orientation is wherever the head was when
+// the exposure finished.
+func (c *Camera) doCapture(ctx context.Context, size string) (*Photo, error) {
+	dur := CaptureTime(size)
+	c.mu.Lock()
+	now := c.clk.Now()
+	start := now
+	overlappingCapture := c.captures > 0
+	c.captures++
+	c.mu.Unlock()
+
+	if err := vclock.SleepCtx(ctx, c.clk, dur); err != nil {
+		c.mu.Lock()
+		c.captures--
+		c.mu.Unlock()
+		return nil, fmt.Errorf("camera: capture interrupted: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	end := c.clk.Now()
+	c.captures--
+	c.photosTaken++
+	c.photoSeq++
+
+	// Blur: the head moved during the exposure window, or two exposures
+	// overlapped.
+	blurred := overlappingCapture || c.captures > 0
+	if c.move != nil {
+		moveEnd := c.move.start.Add(c.move.dur)
+		if c.move.start.Before(end) && moveEnd.After(start) {
+			blurred = true
+		}
+	}
+	if blurred {
+		c.blurredPhotos++
+	}
+
+	sizeKB := 40
+	switch size {
+	case "small":
+		sizeKB = 12
+	case "large":
+		sizeKB = 120
+	}
+	return &Photo{
+		ID:      c.photoSeq,
+		At:      c.headAt(end),
+		Blurred: blurred,
+		SizeKB:  sizeKB,
+		Size:    size,
+		TakenAt: end,
+	}, nil
+}
+
+func (c *Camera) doStore(ctx context.Context) (map[string]any, error) {
+	if err := vclock.SleepCtx(ctx, c.clk, StoreTime); err != nil {
+		return nil, fmt.Errorf("camera: store interrupted: %w", err)
+	}
+	c.mu.Lock()
+	c.stores++
+	n := c.stores
+	c.mu.Unlock()
+	return map[string]any{"stored": n}, nil
+}
+
+// Interference reports how many moves were preempted and how many photos
+// were blurred over the camera's lifetime — the observable damage that
+// device synchronization exists to prevent (paper §6.2).
+func (c *Camera) Interference() (preemptedMoves, blurredPhotos int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.preemptedMoves, c.blurredPhotos
+}
+
+// PhotosTaken returns the lifetime photo count.
+func (c *Camera) PhotosTaken() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.photosTaken
+}
+
+// SetHead forces the head position; used by tests and by workload
+// generators that need a known starting state.
+func (c *Camera) SetHead(o geo.Orientation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.head = o
+	c.move = nil
+}

@@ -1,0 +1,407 @@
+package camera
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"aorta/internal/device"
+	"aorta/internal/geo"
+	"aorta/internal/vclock"
+)
+
+func newCam(clk vclock.Clock) *Camera {
+	return New("camera-1", geo.DefaultMount(geo.Point{Z: 3}, 0), clk)
+}
+
+func TestMoveTimeEnvelope(t *testing.T) {
+	zero := geo.Orientation{Zoom: 1}
+	if got := MoveTime(zero, zero); got != 0 {
+		t.Errorf("MoveTime to same position = %v, want 0", got)
+	}
+	// Full 340° pan at 68°/s = 5s — the paper's upper bound.
+	full := MoveTime(geo.Orientation{Pan: -170, Zoom: 1}, geo.Orientation{Pan: 170, Zoom: 1})
+	if full != 5*time.Second {
+		t.Errorf("full pan MoveTime = %v, want 5s", full)
+	}
+	// Tilt-dominated move: 90° at 45°/s = 2s.
+	tiltMove := MoveTime(geo.Orientation{Zoom: 1}, geo.Orientation{Tilt: 90, Zoom: 1})
+	if tiltMove != 2*time.Second {
+		t.Errorf("full tilt MoveTime = %v, want 2s", tiltMove)
+	}
+}
+
+func TestMoveTimeSlowestAxisDominates(t *testing.T) {
+	// pan 68° = 1s; tilt 90° = 2s → 2s total.
+	got := MoveTime(geo.Orientation{Zoom: 1}, geo.Orientation{Pan: 68, Tilt: 90, Zoom: 1})
+	if got != 2*time.Second {
+		t.Errorf("MoveTime = %v, want 2s (tilt axis dominates)", got)
+	}
+}
+
+func TestCaptureTime(t *testing.T) {
+	if CaptureTime("small") != CaptureSmall || CaptureTime("large") != CaptureLarge ||
+		CaptureTime("medium") != CaptureMedium || CaptureTime("") != CaptureMedium {
+		t.Error("CaptureTime mapping wrong")
+	}
+}
+
+func TestPhotoActionCostEnvelope(t *testing.T) {
+	// End-to-end cost of move+capture+store on the emulator matches the
+	// paper's service-time interval minus the 50ms connect charge:
+	// [0.31, 5.31] here, [0.36, 5.36] with connect.
+	min := 0*time.Second + CaptureMedium + StoreTime
+	if min != 310*time.Millisecond {
+		t.Fatalf("min emulator time = %v", min)
+	}
+	max := 5*time.Second + CaptureMedium + StoreTime
+	if max != 5310*time.Millisecond {
+		t.Fatalf("max emulator time = %v", max)
+	}
+}
+
+func TestExecMoveReachesTarget(t *testing.T) {
+	clk := vclock.NewScaled(2000)
+	cam := newCam(clk)
+	args, _ := json.Marshal(MoveArgs{Pan: 90, Tilt: 45, Zoom: 2})
+	res, err := cam.Exec(context.Background(), "move", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, ok := res.(*MoveResult)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	if mr.Preempted {
+		t.Error("solo move reported preempted")
+	}
+	head := cam.Head()
+	if head.Pan != 90 || head.Tilt != 45 || head.Zoom != 2 {
+		t.Errorf("head after move = %v", head)
+	}
+}
+
+func TestExecCaptureCleanPhoto(t *testing.T) {
+	clk := vclock.NewScaled(2000)
+	cam := newCam(clk)
+	res, err := cam.Exec(context.Background(), "capture", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.(*Photo)
+	if p.Blurred {
+		t.Error("undisturbed capture was blurred")
+	}
+	if p.Size != "medium" || p.SizeKB != 40 {
+		t.Errorf("default capture = %s/%dKB, want medium/40KB", p.Size, p.SizeKB)
+	}
+	if cam.PhotosTaken() != 1 {
+		t.Errorf("PhotosTaken = %d", cam.PhotosTaken())
+	}
+}
+
+func TestCaptureSizeAliases(t *testing.T) {
+	clk := vclock.NewScaled(5000)
+	cam := newCam(clk)
+	for op, want := range map[string]string{
+		"capture_small":  "small",
+		"capture_medium": "medium",
+		"capture_large":  "large",
+	} {
+		res, err := cam.Exec(context.Background(), op, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if got := res.(*Photo).Size; got != want {
+			t.Errorf("%s produced %q photo", op, got)
+		}
+	}
+}
+
+func TestExecStore(t *testing.T) {
+	clk := vclock.NewScaled(5000)
+	cam := newCam(clk)
+	res, err := cam.Exec(context.Background(), "store", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.(map[string]any)
+	if m["stored"] != 1 {
+		t.Errorf("store result = %v", m)
+	}
+}
+
+func TestExecUnknownOp(t *testing.T) {
+	cam := newCam(vclock.Real{})
+	_, err := cam.Exec(context.Background(), "fly", nil)
+	if !errors.Is(err, device.ErrUnknownOp) {
+		t.Fatalf("err = %v, want ErrUnknownOp", err)
+	}
+}
+
+func TestReadAttrs(t *testing.T) {
+	cam := newCam(vclock.Real{})
+	cam.SetHead(geo.Orientation{Pan: 10, Tilt: 20, Zoom: 1.5})
+	tests := []struct {
+		attr string
+		want any
+	}{
+		{"id", "camera-1"},
+		{"pan", 10.0},
+		{"tilt", 20.0},
+		{"zoom", 1.5},
+		{"busy", 0},
+		{"photos_taken", 0},
+	}
+	for _, tt := range tests {
+		got, err := cam.ReadAttr(tt.attr)
+		if err != nil {
+			t.Fatalf("ReadAttr(%s): %v", tt.attr, err)
+		}
+		if got != tt.want {
+			t.Errorf("ReadAttr(%s) = %v, want %v", tt.attr, got, tt.want)
+		}
+	}
+	if _, err := cam.ReadAttr("nope"); !errors.Is(err, device.ErrUnknownAttr) {
+		t.Errorf("unknown attr err = %v", err)
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	cam := newCam(vclock.Real{})
+	cam.SetHead(geo.Orientation{Pan: -45, Tilt: 30, Zoom: 2})
+	var st Status
+	if err := json.Unmarshal(cam.Status(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Head.Pan != -45 || st.Head.Tilt != 30 || st.Busy {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestBusyDuringMove(t *testing.T) {
+	clk := vclock.NewScaled(100)
+	cam := newCam(clk)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		args, _ := json.Marshal(MoveArgs{Pan: 170, Zoom: 1}) // 2.5s virtual = 25ms wall
+		_, _ = cam.Exec(context.Background(), "move", args)
+	}()
+	// Poll until the move registers.
+	busySeen := false
+	for i := 0; i < 200; i++ {
+		if cam.Busy() {
+			busySeen = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	if !busySeen {
+		t.Error("camera never reported busy during a 2.5s move")
+	}
+	if cam.Busy() {
+		t.Error("camera still busy after move completed")
+	}
+}
+
+// TestInterferenceMoveDuringMove reproduces the paper's §4 observation: a
+// second photo() redirects the head before the first completes.
+func TestInterferenceMoveDuringMove(t *testing.T) {
+	clk := vclock.NewScaled(100)
+	cam := newCam(clk)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	var res1 *MoveResult
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		args, _ := json.Marshal(MoveArgs{Pan: 170, Zoom: 1}) // 2.5s virtual
+		r, err := cam.Exec(ctx, "move", args)
+		if err == nil {
+			res1 = r.(*MoveResult)
+		}
+	}()
+	// Wait until the first move is in flight, then preempt it.
+	for i := 0; i < 200 && !cam.Busy(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	args2, _ := json.Marshal(MoveArgs{Pan: -170, Zoom: 1})
+	if _, err := cam.Exec(ctx, "move", args2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if res1 == nil {
+		t.Fatal("first move failed")
+	}
+	if !res1.Preempted {
+		t.Error("first move not marked preempted")
+	}
+	if math.Abs(res1.Reached.Pan-170) < 1 {
+		t.Error("first move claims to have reached its target despite preemption")
+	}
+	preempted, _ := cam.Interference()
+	if preempted != 1 {
+		t.Errorf("preemptedMoves = %d, want 1", preempted)
+	}
+	// The head must end at the second target.
+	if head := cam.Head(); math.Abs(head.Pan-(-170)) > 1 {
+		t.Errorf("final head pan = %v, want -170", head.Pan)
+	}
+}
+
+// TestInterferenceMoveDuringCapture: movement overlapping an exposure
+// blurs the photo.
+func TestInterferenceMoveDuringCapture(t *testing.T) {
+	clk := vclock.NewScaled(100)
+	cam := newCam(clk)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	var photo *Photo
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err := cam.Exec(ctx, "capture", wire("large")) // 550ms virtual
+		if err == nil {
+			photo = res.(*Photo)
+		}
+	}()
+	for i := 0; i < 200 && !cam.Busy(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	args, _ := json.Marshal(MoveArgs{Pan: 100, Zoom: 1})
+	if _, err := cam.Exec(ctx, "move", args); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if photo == nil {
+		t.Fatal("capture failed")
+	}
+	if !photo.Blurred {
+		t.Error("photo taken during head movement was not blurred")
+	}
+	_, blurred := cam.Interference()
+	if blurred != 1 {
+		t.Errorf("blurredPhotos = %d, want 1", blurred)
+	}
+}
+
+func TestOverlappingCapturesBlur(t *testing.T) {
+	clk := vclock.NewScaled(100)
+	cam := newCam(clk)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	photos := make([]*Photo, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := cam.Exec(ctx, "capture", wire("large"))
+			if err == nil {
+				photos[i] = res.(*Photo)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if photos[0] == nil || photos[1] == nil {
+		t.Fatal("captures failed")
+	}
+	if !photos[0].Blurred && !photos[1].Blurred {
+		t.Error("neither of two overlapping captures was blurred")
+	}
+}
+
+func TestSequentialPhotosClean(t *testing.T) {
+	// Without interference, back-to-back photo actions are all clean —
+	// what engine-side locking buys us.
+	clk := vclock.NewScaled(1000)
+	cam := newCam(clk)
+	ctx := context.Background()
+	targets := []float64{30, -60, 120, 0}
+	for _, pan := range targets {
+		args, _ := json.Marshal(MoveArgs{Pan: pan, Zoom: 1})
+		if _, err := cam.Exec(ctx, "move", args); err != nil {
+			t.Fatal(err)
+		}
+		res, err := cam.Exec(ctx, "capture", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := res.(*Photo)
+		if p.Blurred {
+			t.Errorf("sequential photo at pan %v blurred", pan)
+		}
+		if math.Abs(p.At.Pan-pan) > 0.5 {
+			t.Errorf("photo at pan %v, requested %v", p.At.Pan, pan)
+		}
+	}
+	if _, blurred := cam.Interference(); blurred != 0 {
+		t.Errorf("blurred = %d after sequential use", blurred)
+	}
+}
+
+func TestMoveCancelledByContext(t *testing.T) {
+	clk := vclock.NewScaled(10) // slow: 2.5s virtual = 250ms wall
+	cam := newCam(clk)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		args, _ := json.Marshal(MoveArgs{Pan: 170, Zoom: 1})
+		_, err := cam.Exec(ctx, "move", args)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled move returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled move did not return")
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	cam := newCam(vclock.Real{})
+	if _, err := cam.Exec(context.Background(), "move", json.RawMessage(`{`)); err == nil {
+		t.Error("bad move args accepted")
+	}
+	if _, err := cam.Exec(context.Background(), "capture", json.RawMessage(`[`)); err == nil {
+		t.Error("bad capture args accepted")
+	}
+}
+
+func wire(size string) json.RawMessage {
+	b, err := json.Marshal(CaptureArgs{Size: size})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func BenchmarkMoveTime(b *testing.B) {
+	from := geo.Orientation{Pan: -120, Tilt: 10, Zoom: 1}
+	to := geo.Orientation{Pan: 80, Tilt: 60, Zoom: 3}
+	for i := 0; i < b.N; i++ {
+		MoveTime(from, to)
+	}
+}
+
+func BenchmarkStatusSnapshot(b *testing.B) {
+	cam := newCam(vclock.Real{})
+	for i := 0; i < b.N; i++ {
+		cam.Status()
+	}
+}

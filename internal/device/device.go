@@ -1,0 +1,217 @@
+// Package device defines the device-emulator side of Aorta: the Model
+// interface every emulated device implements and a Server that exposes a
+// model over the wire protocol.
+//
+// The emulators deliberately model the *physical* behaviour of the paper's
+// testbed hardware, including its failure modes: a camera accepts
+// overlapping commands and corrupts the resulting photos (the motivation
+// for engine-side locking, paper §4), a mote's radio is lossy, a phone can
+// leave coverage. Correctness is the engine's job, not the device's.
+package device
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"aorta/internal/wire"
+)
+
+// Model is one emulated physical device.
+//
+// Implementations must be safe for concurrent use: the whole point of the
+// emulators is that concurrent operations are *possible* and have
+// physically realistic (often undesirable) consequences.
+type Model interface {
+	// Type returns the device type ("camera", "sensor", "phone").
+	Type() string
+	// ID returns the device identifier unique within the farm.
+	ID() string
+	// ReadAttr acquires the current value of a sensory attribute, or
+	// returns the static value of a non-sensory one.
+	ReadAttr(name string) (any, error)
+	// Exec performs one atomic operation, blocking (on the device's clock)
+	// for its physical duration.
+	Exec(ctx context.Context, op string, args json.RawMessage) (any, error)
+	// Status returns the device's current physical status, JSON-encoded.
+	Status() json.RawMessage
+	// Busy reports whether the device is currently executing an
+	// operation.
+	Busy() bool
+}
+
+// ErrUnknownAttr is returned by ReadAttr for attributes the device does not
+// support.
+var ErrUnknownAttr = errors.New("device: unknown attribute")
+
+// ErrUnknownOp is returned by Exec for operations the device does not
+// support.
+var ErrUnknownOp = errors.New("device: unknown operation")
+
+// Server exposes a Model over a net.Listener speaking the wire protocol.
+type Server struct {
+	model Model
+	l     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving model on l until Close is called. It returns
+// immediately; request handling happens on background goroutines that
+// Close waits for.
+func Serve(l net.Listener, model Model) *Server {
+	s := &Server{model: model, l: l, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Model returns the served device model.
+func (s *Server) Model() Model { return s.model }
+
+// Close stops the listener, closes open connections and waits for all
+// handler goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.forget(conn)
+	defer conn.Close()
+	// Serialize responses: concurrent EXECs on separate goroutines may
+	// finish out of order.
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		msg, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		// EXEC blocks for the operation's physical duration, and the
+		// engine may pipeline requests, so each request is handled on its
+		// own goroutine — exactly how the real camera's HTTP interface
+		// accepted overlapping commands.
+		handlers.Add(1)
+		go func(msg *wire.Message) {
+			defer handlers.Done()
+			resp := s.dispatch(msg)
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = wire.WriteFrame(conn, &resp)
+		}(msg)
+	}
+}
+
+func (s *Server) dispatch(msg *wire.Message) wire.Message {
+	switch msg.Type {
+	case wire.TypeProbe:
+		return wire.Message{
+			Type:   wire.TypeProbeAck,
+			Seq:    msg.Seq,
+			Device: s.model.ID(),
+			Payload: wire.MustPayload(&wire.ProbeAck{
+				DeviceType: s.model.Type(),
+				DeviceID:   s.model.ID(),
+				Busy:       s.model.Busy(),
+				Status:     s.model.Status(),
+			}),
+		}
+	case wire.TypeRead:
+		var req wire.ReadReq
+		if err := wire.DecodePayload(msg, &req); err != nil {
+			return wire.NewError(msg.Seq, s.model.ID(), wire.CodeBadRequest, err.Error())
+		}
+		val, err := s.model.ReadAttr(req.Attr)
+		if err != nil {
+			code := wire.CodeInternal
+			if errors.Is(err, ErrUnknownAttr) {
+				code = wire.CodeUnknownAttr
+			}
+			return wire.NewError(msg.Seq, s.model.ID(), code, err.Error())
+		}
+		raw, err := json.Marshal(val)
+		if err != nil {
+			return wire.NewError(msg.Seq, s.model.ID(), wire.CodeInternal, fmt.Sprintf("marshal attr %s: %v", req.Attr, err))
+		}
+		return wire.Message{
+			Type:    wire.TypeReadAck,
+			Seq:     msg.Seq,
+			Device:  s.model.ID(),
+			Payload: wire.MustPayload(&wire.ReadAck{Attr: req.Attr, Value: raw}),
+		}
+	case wire.TypeExec:
+		var req wire.ExecReq
+		if err := wire.DecodePayload(msg, &req); err != nil {
+			return wire.NewError(msg.Seq, s.model.ID(), wire.CodeBadRequest, err.Error())
+		}
+		res, err := s.model.Exec(context.Background(), req.Op, req.Args)
+		if err != nil {
+			code := wire.CodeInternal
+			if errors.Is(err, ErrUnknownOp) {
+				code = wire.CodeUnknownOp
+			}
+			return wire.NewError(msg.Seq, s.model.ID(), code, err.Error())
+		}
+		raw, err := json.Marshal(res)
+		if err != nil {
+			return wire.NewError(msg.Seq, s.model.ID(), wire.CodeInternal, fmt.Sprintf("marshal result of %s: %v", req.Op, err))
+		}
+		return wire.Message{
+			Type:    wire.TypeExecAck,
+			Seq:     msg.Seq,
+			Device:  s.model.ID(),
+			Payload: wire.MustPayload(&wire.ExecAck{Op: req.Op, Result: raw}),
+		}
+	default:
+		return wire.NewError(msg.Seq, s.model.ID(), wire.CodeBadRequest, fmt.Sprintf("unexpected message type %s", msg.Type))
+	}
+}

@@ -1,0 +1,281 @@
+package device_test
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"aorta/internal/device"
+	"aorta/internal/device/camera"
+	"aorta/internal/geo"
+	"aorta/internal/netsim"
+	"aorta/internal/vclock"
+	"aorta/internal/wire"
+)
+
+// startCamera serves a camera model on an in-memory network and returns a
+// dial function plus cleanup.
+func startCamera(t *testing.T) (*camera.Camera, *netsim.Network) {
+	t.Helper()
+	clk := vclock.NewScaled(2000)
+	net := netsim.NewNetwork(clk, 1)
+	cam := camera.New("camera-1", geo.DefaultMount(geo.Point{Z: 3}, 0), clk)
+	l, err := net.Listen("camera-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := device.Serve(l, cam)
+	t.Cleanup(func() { srv.Close() })
+	return cam, net
+}
+
+func roundTrip(t *testing.T, net *netsim.Network, msg wire.Message) *wire.Message {
+	t.Helper()
+	conn, err := net.Dial(context.Background(), "camera-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, &msg); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestProbeOverWire(t *testing.T) {
+	_, network := startCamera(t)
+	resp := roundTrip(t, network, wire.Message{Type: wire.TypeProbe, Seq: 1, Device: "camera-1"})
+	if resp.Type != wire.TypeProbeAck {
+		t.Fatalf("resp type = %v", resp.Type)
+	}
+	var ack wire.ProbeAck
+	if err := wire.DecodePayload(resp, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.DeviceType != "camera" || ack.DeviceID != "camera-1" || ack.Busy {
+		t.Errorf("probe ack = %+v", ack)
+	}
+	var st camera.Status
+	if err := json.Unmarshal(ack.Status, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Head.Zoom != 1 {
+		t.Errorf("status head = %+v", st.Head)
+	}
+}
+
+func TestReadOverWire(t *testing.T) {
+	_, network := startCamera(t)
+	resp := roundTrip(t, network, wire.Message{
+		Type: wire.TypeRead, Seq: 2, Device: "camera-1",
+		Payload: wire.MustPayload(&wire.ReadReq{Attr: "pan"}),
+	})
+	if resp.Type != wire.TypeReadAck {
+		t.Fatalf("resp = %+v", resp)
+	}
+	var ack wire.ReadAck
+	if err := wire.DecodePayload(resp, &ack); err != nil {
+		t.Fatal(err)
+	}
+	var pan float64
+	if err := json.Unmarshal(ack.Value, &pan); err != nil {
+		t.Fatal(err)
+	}
+	if pan != 0 {
+		t.Errorf("pan = %v", pan)
+	}
+}
+
+func TestReadUnknownAttrOverWire(t *testing.T) {
+	_, network := startCamera(t)
+	resp := roundTrip(t, network, wire.Message{
+		Type: wire.TypeRead, Seq: 3,
+		Payload: wire.MustPayload(&wire.ReadReq{Attr: "nonsense"}),
+	})
+	if resp.Type != wire.TypeError {
+		t.Fatalf("resp type = %v, want ERROR", resp.Type)
+	}
+	var ep wire.ErrorPayload
+	if err := wire.DecodePayload(resp, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Code != wire.CodeUnknownAttr {
+		t.Errorf("code = %q, want %q", ep.Code, wire.CodeUnknownAttr)
+	}
+}
+
+func TestExecOverWire(t *testing.T) {
+	cam, network := startCamera(t)
+	resp := roundTrip(t, network, wire.Message{
+		Type: wire.TypeExec, Seq: 4,
+		Payload: wire.MustPayload(&wire.ExecReq{
+			Op:   "move",
+			Args: wire.MustPayload(&camera.MoveArgs{Pan: 45, Zoom: 1}),
+		}),
+	})
+	if resp.Type != wire.TypeExecAck {
+		t.Fatalf("resp = %+v", resp)
+	}
+	var ack wire.ExecAck
+	if err := wire.DecodePayload(resp, &ack); err != nil {
+		t.Fatal(err)
+	}
+	var mr camera.MoveResult
+	if err := json.Unmarshal(ack.Result, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Reached.Pan != 45 {
+		t.Errorf("reached pan = %v", mr.Reached.Pan)
+	}
+	if cam.Head().Pan != 45 {
+		t.Errorf("camera head pan = %v", cam.Head().Pan)
+	}
+}
+
+func TestExecUnknownOpOverWire(t *testing.T) {
+	_, network := startCamera(t)
+	resp := roundTrip(t, network, wire.Message{
+		Type: wire.TypeExec, Seq: 5,
+		Payload: wire.MustPayload(&wire.ExecReq{Op: "levitate"}),
+	})
+	if resp.Type != wire.TypeError {
+		t.Fatalf("resp type = %v", resp.Type)
+	}
+	var ep wire.ErrorPayload
+	if err := wire.DecodePayload(resp, &ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Code != wire.CodeUnknownOp {
+		t.Errorf("code = %q", ep.Code)
+	}
+}
+
+func TestBadMessageTypeOverWire(t *testing.T) {
+	_, network := startCamera(t)
+	resp := roundTrip(t, network, wire.Message{Type: wire.TypeProbeAck, Seq: 6})
+	if resp.Type != wire.TypeError {
+		t.Fatalf("resp type = %v", resp.Type)
+	}
+}
+
+// TestPipelinedRequestsOneConnection verifies the server handles multiple
+// in-flight requests on one connection — the property that makes device
+// interference physically possible.
+func TestPipelinedRequestsOneConnection(t *testing.T) {
+	_, network := startCamera(t)
+	conn, err := network.Dial(context.Background(), "camera-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A slow move and a fast probe, pipelined. The probe answer must not
+	// wait for the move.
+	move := wire.Message{
+		Type: wire.TypeExec, Seq: 10,
+		Payload: wire.MustPayload(&wire.ExecReq{
+			Op:   "move",
+			Args: wire.MustPayload(&camera.MoveArgs{Pan: 170, Zoom: 1}),
+		}),
+	}
+	probe := wire.Message{Type: wire.TypeProbe, Seq: 11}
+	if err := wire.WriteFrame(conn, &move); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, &probe); err != nil {
+		t.Fatal(err)
+	}
+	first, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq != 11 {
+		t.Fatalf("first response seq = %d, want the probe (11) before the slow move", first.Seq)
+	}
+	var ack wire.ProbeAck
+	if err := wire.DecodePayload(first, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Busy {
+		t.Error("probe during move did not report busy")
+	}
+	second, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Seq != 10 || second.Type != wire.TypeExecAck {
+		t.Fatalf("second response = %+v", second)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	_, network := startCamera(t)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			conn, err := network.Dial(context.Background(), "camera-1")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			msg := wire.Message{Type: wire.TypeProbe, Seq: seq}
+			if err := wire.WriteFrame(conn, &msg); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := wire.ReadFrame(conn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Seq != seq {
+				errs <- &mismatchError{want: seq, got: resp.Seq}
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type mismatchError struct{ want, got uint64 }
+
+func (e *mismatchError) Error() string { return "seq mismatch" }
+
+func TestServerCloseIdempotent(t *testing.T) {
+	clk := vclock.NewScaled(2000)
+	network := netsim.NewNetwork(clk, 1)
+	cam := camera.New("camera-x", geo.DefaultMount(geo.Point{Z: 3}, 0), clk)
+	l, err := network.Listen("camera-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := device.Serve(l, cam)
+	if srv.Addr() != "camera-x" {
+		t.Errorf("Addr = %q", srv.Addr())
+	}
+	if srv.Model() != cam {
+		t.Error("Model() mismatch")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := network.Dial(context.Background(), "camera-x"); err == nil {
+		t.Error("dial succeeded after server close")
+	}
+}

@@ -1,0 +1,230 @@
+// Package mote emulates a Berkeley-MICA2-like sensor mote with an
+// MTS310CA-style sensor board: two-axis accelerometer, temperature, light
+// and battery attributes, and beep/blink atomic operations.
+//
+// Physical-world events (the "someone pushes the door" of the paper's
+// snapshot query) are injected with Stimulate, which raises the
+// accelerometer readings for a window of time. The mote's radio-level
+// unreliability (packet loss, multi-hop delay) is modelled at the link
+// layer (internal/netsim); its routing depth is part of the catalog and
+// feeds the connect-cost estimate.
+package mote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aorta/internal/device"
+	"aorta/internal/geo"
+	"aorta/internal/vclock"
+)
+
+// Durations of the mote's atomic operations; mirrored in
+// internal/profile/data/mote_costs.xml.
+const (
+	BeepTime   = 200 * time.Millisecond
+	BlinkTime  = 100 * time.Millisecond
+	SampleTime = 10 * time.Millisecond
+)
+
+// Status is the mote's physical status as reported to probes.
+type Status struct {
+	Battery float64 `json:"battery"`
+	Depth   int     `json:"depth"`
+	Busy    bool    `json:"busy"`
+}
+
+// Mote is the emulated sensor device. It implements device.Model.
+type Mote struct {
+	id    string
+	loc   geo.Point
+	depth int
+	clk   vclock.Clock
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	started time.Time
+	baseTmp float64
+	baseLux float64
+	busy    int
+	beeps   int
+	blinks  int
+	// stimulus is the active accelerometer excitation, if any.
+	stimMag   float64
+	stimUntil time.Time
+	stimAxis  string
+}
+
+var _ device.Model = (*Mote)(nil)
+
+// Config holds optional mote parameters.
+type Config struct {
+	// Depth is the multi-hop routing depth (≥1).
+	Depth int
+	// BaseTemp and BaseLight center the ambient readings.
+	BaseTemp, BaseLight float64
+	// Seed drives the reading noise.
+	Seed int64
+}
+
+// New returns a mote with the given ID at loc.
+func New(id string, loc geo.Point, clk vclock.Clock, cfg Config) *Mote {
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if cfg.BaseTemp == 0 {
+		cfg.BaseTemp = 22
+	}
+	if cfg.BaseLight == 0 {
+		cfg.BaseLight = 300
+	}
+	return &Mote{
+		id:      id,
+		loc:     loc,
+		depth:   cfg.Depth,
+		clk:     clk,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		started: clk.Now(),
+		baseTmp: cfg.BaseTemp,
+		baseLux: cfg.BaseLight,
+	}
+}
+
+// Type implements device.Model.
+func (m *Mote) Type() string { return "sensor" }
+
+// ID implements device.Model.
+func (m *Mote) ID() string { return m.id }
+
+// Location returns the mote's fixed deployment position.
+func (m *Mote) Location() geo.Point { return m.loc }
+
+// Depth returns the mote's multi-hop routing depth.
+func (m *Mote) Depth() int { return m.depth }
+
+// Stimulate injects a physical event: the named accelerometer axis
+// ("x" or "y") reads approximately magnitude (in mg) for the next dur of
+// clock time. It models the door-push / object-movement events that
+// trigger the paper's snapshot query.
+func (m *Mote) Stimulate(axis string, magnitude float64, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stimAxis = axis
+	m.stimMag = magnitude
+	m.stimUntil = m.clk.Now().Add(dur)
+}
+
+// Busy implements device.Model.
+func (m *Mote) Busy() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.busy > 0
+}
+
+// battery decays linearly from 3.0V at ~0.01V per hour of uptime.
+func (m *Mote) battery(now time.Time) float64 {
+	hours := now.Sub(m.started).Hours()
+	return math.Max(2.2, 3.0-0.01*hours)
+}
+
+// Status implements device.Model.
+func (m *Mote) Status() json.RawMessage {
+	m.mu.Lock()
+	st := Status{
+		Battery: m.battery(m.clk.Now()),
+		Depth:   m.depth,
+		Busy:    m.busy > 0,
+	}
+	m.mu.Unlock()
+	b, err := json.Marshal(&st)
+	if err != nil {
+		panic(fmt.Sprintf("mote: marshal status: %v", err))
+	}
+	return b
+}
+
+// ReadAttr implements device.Model. Sensory attributes include mild
+// per-read noise, as real sensor boards do.
+func (m *Mote) ReadAttr(name string) (any, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clk.Now()
+	noise := func(scale float64) float64 { return (m.rng.Float64() - 0.5) * 2 * scale }
+	switch name {
+	case "id":
+		return m.id, nil
+	case "loc":
+		return m.loc, nil
+	case "depth":
+		return m.depth, nil
+	case "accel_x":
+		return m.accel("x", now) + noise(5), nil
+	case "accel_y":
+		return m.accel("y", now) + noise(5), nil
+	case "temp":
+		return m.baseTmp + noise(0.5), nil
+	case "light":
+		return math.Max(0, m.baseLux+noise(20)), nil
+	case "battery":
+		return m.battery(now), nil
+	default:
+		return nil, fmt.Errorf("%w: mote has no attribute %q", device.ErrUnknownAttr, name)
+	}
+}
+
+// accel returns the stimulated magnitude while a stimulus window is open.
+// Caller must hold m.mu.
+func (m *Mote) accel(axis string, now time.Time) float64 {
+	if m.stimAxis == axis && now.Before(m.stimUntil) {
+		return m.stimMag
+	}
+	return 0
+}
+
+// Exec implements device.Model. Supported operations: "beep", "blink",
+// "sample".
+func (m *Mote) Exec(ctx context.Context, op string, _ json.RawMessage) (any, error) {
+	var dur time.Duration
+	switch op {
+	case "beep":
+		dur = BeepTime
+	case "blink":
+		dur = BlinkTime
+	case "sample":
+		dur = SampleTime
+	default:
+		return nil, fmt.Errorf("%w: mote cannot %q", device.ErrUnknownOp, op)
+	}
+	m.mu.Lock()
+	m.busy++
+	m.mu.Unlock()
+	err := vclock.SleepCtx(ctx, m.clk, dur)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.busy--
+	if err != nil {
+		return nil, fmt.Errorf("mote: %s interrupted: %w", op, err)
+	}
+	switch op {
+	case "beep":
+		m.beeps++
+		return map[string]any{"beeps": m.beeps}, nil
+	case "blink":
+		m.blinks++
+		return map[string]any{"blinks": m.blinks}, nil
+	default:
+		return map[string]any{"sampled": true}, nil
+	}
+}
+
+// Counters returns the lifetime beep and blink counts.
+func (m *Mote) Counters() (beeps, blinks int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.beeps, m.blinks
+}

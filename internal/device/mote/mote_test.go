@@ -1,0 +1,152 @@
+package mote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"aorta/internal/device"
+	"aorta/internal/geo"
+	"aorta/internal/vclock"
+)
+
+func newMote(clk vclock.Clock) *Mote {
+	return New("mote-1", geo.Point{X: 2, Y: 3}, clk, Config{Depth: 2, Seed: 42})
+}
+
+func TestIdentity(t *testing.T) {
+	m := newMote(vclock.Real{})
+	if m.Type() != "sensor" || m.ID() != "mote-1" {
+		t.Errorf("identity = %s/%s", m.Type(), m.ID())
+	}
+	if m.Location() != (geo.Point{X: 2, Y: 3}) {
+		t.Errorf("Location = %v", m.Location())
+	}
+	if m.Depth() != 2 {
+		t.Errorf("Depth = %d", m.Depth())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	m := New("m", geo.Point{}, vclock.Real{}, Config{})
+	if m.Depth() != 1 {
+		t.Errorf("default depth = %d, want 1", m.Depth())
+	}
+	tmp, err := m.ReadAttr("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tmp.(float64); v < 20 || v > 24 {
+		t.Errorf("default temp = %v, want ≈22", v)
+	}
+}
+
+func TestAccelQuiescentThenStimulated(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(0, 0))
+	m := New("m", geo.Point{}, clk, Config{Seed: 7})
+	v, err := m.ReadAttr("accel_x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.(float64)) > 10 {
+		t.Errorf("quiescent accel_x = %v, want near 0", v)
+	}
+
+	m.Stimulate("x", 800, time.Minute)
+	v, _ = m.ReadAttr("accel_x")
+	if v.(float64) < 500 {
+		t.Errorf("stimulated accel_x = %v, want > 500 (the snapshot query threshold)", v)
+	}
+	// The y axis stays quiet.
+	vy, _ := m.ReadAttr("accel_y")
+	if math.Abs(vy.(float64)) > 10 {
+		t.Errorf("accel_y = %v during x stimulus", vy)
+	}
+
+	// After the window expires the reading returns to rest.
+	clk.Advance(2 * time.Minute)
+	v, _ = m.ReadAttr("accel_x")
+	if math.Abs(v.(float64)) > 10 {
+		t.Errorf("accel_x = %v after stimulus expired", v)
+	}
+}
+
+func TestReadAllCatalogAttrs(t *testing.T) {
+	m := newMote(vclock.Real{})
+	for _, attr := range []string{"id", "loc", "depth", "accel_x", "accel_y", "temp", "light", "battery"} {
+		if _, err := m.ReadAttr(attr); err != nil {
+			t.Errorf("ReadAttr(%s): %v", attr, err)
+		}
+	}
+	if _, err := m.ReadAttr("humidity"); !errors.Is(err, device.ErrUnknownAttr) {
+		t.Errorf("unknown attr err = %v", err)
+	}
+}
+
+func TestBatteryDecays(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(0, 0))
+	m := New("m", geo.Point{}, clk, Config{})
+	b0, _ := m.ReadAttr("battery")
+	clk.Advance(10 * time.Hour)
+	b1, _ := m.ReadAttr("battery")
+	if b1.(float64) >= b0.(float64) {
+		t.Errorf("battery did not decay: %v → %v", b0, b1)
+	}
+	clk.Advance(10000 * time.Hour)
+	b2, _ := m.ReadAttr("battery")
+	if b2.(float64) < 2.2 {
+		t.Errorf("battery fell below floor: %v", b2)
+	}
+}
+
+func TestBeepAndBlink(t *testing.T) {
+	clk := vclock.NewScaled(1000)
+	m := New("m", geo.Point{}, clk, Config{})
+	if _, err := m.Exec(context.Background(), "beep", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec(context.Background(), "blink", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exec(context.Background(), "blink", nil); err != nil {
+		t.Fatal(err)
+	}
+	beeps, blinks := m.Counters()
+	if beeps != 1 || blinks != 2 {
+		t.Errorf("counters = %d beeps, %d blinks", beeps, blinks)
+	}
+}
+
+func TestExecUnknownOp(t *testing.T) {
+	m := newMote(vclock.Real{})
+	if _, err := m.Exec(context.Background(), "explode", nil); !errors.Is(err, device.ErrUnknownOp) {
+		t.Fatalf("err = %v, want ErrUnknownOp", err)
+	}
+}
+
+func TestExecCancellation(t *testing.T) {
+	clk := vclock.NewScaled(10)
+	m := New("m", geo.Point{}, clk, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Exec(ctx, "beep", nil); err == nil {
+		t.Fatal("cancelled beep returned nil error")
+	}
+	if m.Busy() {
+		t.Error("mote still busy after cancelled op")
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	m := newMote(vclock.Real{})
+	var st Status
+	if err := json.Unmarshal(m.Status(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Depth != 2 || st.Busy || st.Battery < 2.2 {
+		t.Errorf("status = %+v", st)
+	}
+}

@@ -1,0 +1,233 @@
+// Package phone emulates an MMS-capable cell phone: the delivery target of
+// the paper's sendphoto() user-defined action.
+//
+// A phone can move out of coverage (its owner "moves into an area that is
+// out of the coverage of the service provider", paper §4); while out of
+// coverage every operation fails with ErrNoCoverage, which the prober
+// surfaces as unavailability.
+package phone
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aorta/internal/device"
+	"aorta/internal/vclock"
+)
+
+// Operation timing; mirrored in internal/profile/data/phone_costs.xml.
+const (
+	SendSMSTime = 1500 * time.Millisecond
+	MMSFixed    = 800 * time.Millisecond
+	MMSKBPerSec = 40.0
+	RingTime    = 2 * time.Second
+)
+
+// ErrNoCoverage is returned for any operation while the phone is
+// unreachable.
+var ErrNoCoverage = errors.New("phone: out of coverage")
+
+// Message is one delivered SMS or MMS.
+type Message struct {
+	Kind       string    `json:"kind"` // "sms" or "mms"
+	Text       string    `json:"text,omitempty"`
+	PhotoPath  string    `json:"photo_path,omitempty"`
+	SizeKB     int       `json:"size_kb,omitempty"`
+	ReceivedAt time.Time `json:"received_at"`
+}
+
+// SMSArgs are the arguments of the "send_sms" operation.
+type SMSArgs struct {
+	Text string `json:"text"`
+}
+
+// MMSArgs are the arguments of the "send_mms" operation.
+type MMSArgs struct {
+	PhotoPath string `json:"photo_path"`
+	SizeKB    int    `json:"size_kb"`
+	Text      string `json:"text,omitempty"`
+}
+
+// Status is the phone's physical status as reported to probes.
+type Status struct {
+	InCoverage bool `json:"in_coverage"`
+	InboxCount int  `json:"inbox_count"`
+	Busy       bool `json:"busy"`
+}
+
+// Phone is the emulated device. It implements device.Model.
+type Phone struct {
+	id     string
+	number string
+	owner  string
+	clk    vclock.Clock
+
+	mu       sync.Mutex
+	covered  bool
+	busy     int
+	inbox    []Message
+	rings    int
+	delivery int // lifetime delivered messages
+}
+
+var _ device.Model = (*Phone)(nil)
+
+// New returns an in-coverage phone.
+func New(id, number, owner string, clk vclock.Clock) *Phone {
+	return &Phone{id: id, number: number, owner: owner, clk: clk, covered: true}
+}
+
+// Type implements device.Model.
+func (p *Phone) Type() string { return "phone" }
+
+// ID implements device.Model.
+func (p *Phone) ID() string { return p.id }
+
+// Number returns the subscriber number.
+func (p *Phone) Number() string { return p.number }
+
+// SetCoverage moves the phone in or out of network coverage.
+func (p *Phone) SetCoverage(in bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.covered = in
+}
+
+// InCoverage reports whether the phone is reachable.
+func (p *Phone) InCoverage() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.covered
+}
+
+// Inbox returns a copy of all delivered messages.
+func (p *Phone) Inbox() []Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Message, len(p.inbox))
+	copy(out, p.inbox)
+	return out
+}
+
+// Busy implements device.Model.
+func (p *Phone) Busy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.busy > 0
+}
+
+// Status implements device.Model.
+func (p *Phone) Status() json.RawMessage {
+	p.mu.Lock()
+	st := Status{InCoverage: p.covered, InboxCount: len(p.inbox), Busy: p.busy > 0}
+	p.mu.Unlock()
+	b, err := json.Marshal(&st)
+	if err != nil {
+		panic(fmt.Sprintf("phone: marshal status: %v", err))
+	}
+	return b
+}
+
+// ReadAttr implements device.Model.
+func (p *Phone) ReadAttr(name string) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch name {
+	case "id":
+		return p.id, nil
+	case "number":
+		return p.number, nil
+	case "owner":
+		return p.owner, nil
+	case "battery":
+		return 3.7, nil
+	case "in_coverage":
+		if p.covered {
+			return 1, nil
+		}
+		return 0, nil
+	case "inbox_count":
+		return len(p.inbox), nil
+	default:
+		return nil, fmt.Errorf("%w: phone has no attribute %q", device.ErrUnknownAttr, name)
+	}
+}
+
+// Exec implements device.Model. Supported operations: "send_sms",
+// "send_mms", "ring".
+func (p *Phone) Exec(ctx context.Context, op string, args json.RawMessage) (any, error) {
+	if !p.InCoverage() {
+		return nil, ErrNoCoverage
+	}
+	switch op {
+	case "send_sms":
+		var sa SMSArgs
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &sa); err != nil {
+				return nil, fmt.Errorf("phone: bad send_sms args: %w", err)
+			}
+		}
+		if err := p.block(ctx, SendSMSTime); err != nil {
+			return nil, err
+		}
+		return p.deliver(Message{Kind: "sms", Text: sa.Text})
+	case "send_mms":
+		var ma MMSArgs
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &ma); err != nil {
+				return nil, fmt.Errorf("phone: bad send_mms args: %w", err)
+			}
+		}
+		if ma.SizeKB <= 0 {
+			ma.SizeKB = 40
+		}
+		dur := MMSFixed + time.Duration(float64(ma.SizeKB)/MMSKBPerSec*float64(time.Second))
+		if err := p.block(ctx, dur); err != nil {
+			return nil, err
+		}
+		return p.deliver(Message{Kind: "mms", Text: ma.Text, PhotoPath: ma.PhotoPath, SizeKB: ma.SizeKB})
+	case "ring":
+		if err := p.block(ctx, RingTime); err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.rings++
+		n := p.rings
+		p.mu.Unlock()
+		return map[string]any{"rings": n}, nil
+	default:
+		return nil, fmt.Errorf("%w: phone cannot %q", device.ErrUnknownOp, op)
+	}
+}
+
+// block holds the phone busy for dur of clock time.
+func (p *Phone) block(ctx context.Context, dur time.Duration) error {
+	p.mu.Lock()
+	p.busy++
+	p.mu.Unlock()
+	err := vclock.SleepCtx(ctx, p.clk, dur)
+	p.mu.Lock()
+	p.busy--
+	p.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("phone: operation interrupted: %w", err)
+	}
+	return nil
+}
+
+// deliver appends to the inbox unless coverage was lost mid-transfer.
+func (p *Phone) deliver(msg Message) (any, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.covered {
+		return nil, ErrNoCoverage
+	}
+	msg.ReceivedAt = p.clk.Now()
+	p.inbox = append(p.inbox, msg)
+	p.delivery++
+	return map[string]any{"delivered": p.delivery}, nil
+}

@@ -1,0 +1,188 @@
+package phone
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"aorta/internal/device"
+	"aorta/internal/vclock"
+)
+
+func newPhone() *Phone {
+	return New("phone-1", "+852555001", "manager", vclock.NewScaled(1000))
+}
+
+func TestIdentity(t *testing.T) {
+	p := newPhone()
+	if p.Type() != "phone" || p.ID() != "phone-1" || p.Number() != "+852555001" {
+		t.Errorf("identity = %s/%s/%s", p.Type(), p.ID(), p.Number())
+	}
+	if !p.InCoverage() {
+		t.Error("new phone out of coverage")
+	}
+}
+
+func TestSendSMS(t *testing.T) {
+	p := newPhone()
+	args, _ := json.Marshal(SMSArgs{Text: "motion detected"})
+	if _, err := p.Exec(context.Background(), "send_sms", args); err != nil {
+		t.Fatal(err)
+	}
+	inbox := p.Inbox()
+	if len(inbox) != 1 || inbox[0].Kind != "sms" || inbox[0].Text != "motion detected" {
+		t.Fatalf("inbox = %+v", inbox)
+	}
+}
+
+func TestSendMMSWithPhoto(t *testing.T) {
+	p := newPhone()
+	args, _ := json.Marshal(MMSArgs{PhotoPath: "photos/admin/1.jpg", SizeKB: 40})
+	if _, err := p.Exec(context.Background(), "send_mms", args); err != nil {
+		t.Fatal(err)
+	}
+	inbox := p.Inbox()
+	if len(inbox) != 1 || inbox[0].Kind != "mms" || inbox[0].PhotoPath != "photos/admin/1.jpg" || inbox[0].SizeKB != 40 {
+		t.Fatalf("inbox = %+v", inbox)
+	}
+}
+
+func TestMMSDefaultSize(t *testing.T) {
+	p := newPhone()
+	if _, err := p.Exec(context.Background(), "send_mms", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Inbox()[0].SizeKB; got != 40 {
+		t.Errorf("default MMS size = %d, want 40", got)
+	}
+}
+
+func TestRing(t *testing.T) {
+	p := newPhone()
+	res, err := p.Exec(context.Background(), "ring", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(map[string]any)["rings"] != 1 {
+		t.Errorf("ring result = %v", res)
+	}
+}
+
+func TestOutOfCoverageFailsEverything(t *testing.T) {
+	p := newPhone()
+	p.SetCoverage(false)
+	for _, op := range []string{"send_sms", "send_mms", "ring"} {
+		if _, err := p.Exec(context.Background(), op, nil); !errors.Is(err, ErrNoCoverage) {
+			t.Errorf("%s err = %v, want ErrNoCoverage", op, err)
+		}
+	}
+	if len(p.Inbox()) != 0 {
+		t.Error("message delivered while out of coverage")
+	}
+	p.SetCoverage(true)
+	if _, err := p.Exec(context.Background(), "send_sms", nil); err != nil {
+		t.Errorf("send after coverage restored: %v", err)
+	}
+}
+
+func TestCoverageLostMidTransfer(t *testing.T) {
+	// Coverage drops while the MMS is in flight: delivery must fail.
+	clk := vclock.NewScaled(100)
+	p := New("phone-2", "+852555002", "guard", clk)
+	done := make(chan error, 1)
+	go func() {
+		args, _ := json.Marshal(MMSArgs{SizeKB: 400}) // 10.8s virtual
+		_, err := p.Exec(context.Background(), "send_mms", args)
+		done <- err
+	}()
+	// Drop coverage while the transfer is in flight.
+	for i := 0; i < 1000 && !p.Busy(); i++ {
+	}
+	p.SetCoverage(false)
+	if err := <-done; !errors.Is(err, ErrNoCoverage) {
+		t.Fatalf("mid-transfer err = %v, want ErrNoCoverage", err)
+	}
+	if len(p.Inbox()) != 0 {
+		t.Error("message delivered despite coverage loss")
+	}
+}
+
+func TestReadAttrs(t *testing.T) {
+	p := newPhone()
+	tests := []struct {
+		attr string
+		want any
+	}{
+		{"id", "phone-1"},
+		{"number", "+852555001"},
+		{"owner", "manager"},
+		{"in_coverage", 1},
+		{"inbox_count", 0},
+	}
+	for _, tt := range tests {
+		got, err := p.ReadAttr(tt.attr)
+		if err != nil {
+			t.Fatalf("ReadAttr(%s): %v", tt.attr, err)
+		}
+		if got != tt.want {
+			t.Errorf("ReadAttr(%s) = %v, want %v", tt.attr, got, tt.want)
+		}
+	}
+	if _, err := p.ReadAttr("imei"); !errors.Is(err, device.ErrUnknownAttr) {
+		t.Errorf("unknown attr err = %v", err)
+	}
+}
+
+func TestInboxCountTracksDeliveries(t *testing.T) {
+	p := newPhone()
+	for i := 0; i < 3; i++ {
+		if _, err := p.Exec(context.Background(), "send_sms", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := p.ReadAttr("inbox_count")
+	if n != 3 {
+		t.Errorf("inbox_count = %v, want 3", n)
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	p := newPhone()
+	var st Status
+	if err := json.Unmarshal(p.Status(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.InCoverage || st.InboxCount != 0 || st.Busy {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	p := newPhone()
+	if _, err := p.Exec(context.Background(), "teleport", nil); !errors.Is(err, device.ErrUnknownOp) {
+		t.Fatalf("err = %v, want ErrUnknownOp", err)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	p := newPhone()
+	if _, err := p.Exec(context.Background(), "send_sms", json.RawMessage("{")); err == nil {
+		t.Error("bad sms args accepted")
+	}
+	if _, err := p.Exec(context.Background(), "send_mms", json.RawMessage("[")); err == nil {
+		t.Error("bad mms args accepted")
+	}
+}
+
+func TestInboxIsACopy(t *testing.T) {
+	p := newPhone()
+	if _, err := p.Exec(context.Background(), "send_sms", nil); err != nil {
+		t.Fatal(err)
+	}
+	inbox := p.Inbox()
+	inbox[0].Text = "tampered"
+	if p.Inbox()[0].Text == "tampered" {
+		t.Error("Inbox returned a live reference, not a copy")
+	}
+}

@@ -1,0 +1,218 @@
+// Package rfid emulates an RFID reader — the paper's future-work item of
+// "extending the uniform data communication layer to support new types of
+// devices", and the device class its related-work section singles out
+// (Römer et al.'s smart identification frameworks).
+//
+// The reader is a *new* device type added without touching the engine or
+// the communication layer: its catalog, atomic operation costs and action
+// profile are plain XML registered at runtime (see the extensibility test
+// in this package and the engine-level one in internal/core).
+package rfid
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aorta/internal/device"
+	"aorta/internal/geo"
+	"aorta/internal/vclock"
+)
+
+// Operation timing, mirrored in the catalog XML in this package.
+const (
+	ScanTime     = 300 * time.Millisecond
+	WriteTagTime = 500 * time.Millisecond
+)
+
+// CatalogXML is the device catalog for the rfid type, registrable with
+// profile.ParseCatalog.
+const CatalogXML = `<catalog device_type="rfid">
+  <attribute name="id" type="string" sensory="false">device identifier</attribute>
+  <attribute name="loc" type="point" sensory="false" unit="m">reader position</attribute>
+  <attribute name="tags_in_range" type="int" sensory="true">tags currently in the read field</attribute>
+  <attribute name="last_tag" type="string" sensory="true">most recently scanned tag</attribute>
+  <attribute name="scans" type="int" sensory="true">lifetime scan count</attribute>
+</catalog>`
+
+// CostsXML is the atomic_operation_cost.xml document for the rfid type.
+const CostsXML = `<atomic_operation_costs device_type="rfid">
+  <operation name="connect" fixed_ms="30"/>
+  <operation name="scan" fixed_ms="300"/>
+  <operation name="write_tag" fixed_ms="500"/>
+</atomic_operation_costs>`
+
+// ScanTagProfileXML is the action profile of the scantag() action.
+const ScanTagProfileXML = `<action name="scantag" device_type="rfid" exclusive="true">
+  <seq>
+    <op name="connect"/>
+    <op name="scan"/>
+  </seq>
+</action>`
+
+// ScanResult is the result of a "scan" operation.
+type ScanResult struct {
+	Tags []string `json:"tags"`
+}
+
+// WriteArgs are the arguments of the "write_tag" operation.
+type WriteArgs struct {
+	Tag  string `json:"tag"`
+	Data string `json:"data"`
+}
+
+// Status is the reader's physical status as reported to probes.
+type Status struct {
+	TagsInRange int  `json:"tags_in_range"`
+	Busy        bool `json:"busy"`
+}
+
+// Reader is the emulated RFID reader. It implements device.Model.
+type Reader struct {
+	id  string
+	loc geo.Point
+	clk vclock.Clock
+
+	mu      sync.Mutex
+	tags    map[string]string // tag ID → data
+	lastTag string
+	scans   int
+	busy    int
+}
+
+var _ device.Model = (*Reader)(nil)
+
+// New returns a reader at loc with an empty field.
+func New(id string, loc geo.Point, clk vclock.Clock) *Reader {
+	return &Reader{id: id, loc: loc, clk: clk, tags: make(map[string]string)}
+}
+
+// Type implements device.Model.
+func (r *Reader) Type() string { return "rfid" }
+
+// ID implements device.Model.
+func (r *Reader) ID() string { return r.id }
+
+// Location returns the reader position.
+func (r *Reader) Location() geo.Point { return r.loc }
+
+// PlaceTag puts a tag into the read field — the physical world moving a
+// tagged object near the reader.
+func (r *Reader) PlaceTag(tag, data string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tags[tag] = data
+}
+
+// RemoveTag takes a tag out of the field.
+func (r *Reader) RemoveTag(tag string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.tags, tag)
+}
+
+// Busy implements device.Model.
+func (r *Reader) Busy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy > 0
+}
+
+// Status implements device.Model.
+func (r *Reader) Status() json.RawMessage {
+	r.mu.Lock()
+	st := Status{TagsInRange: len(r.tags), Busy: r.busy > 0}
+	r.mu.Unlock()
+	b, err := json.Marshal(&st)
+	if err != nil {
+		panic(fmt.Sprintf("rfid: marshal status: %v", err))
+	}
+	return b
+}
+
+// ReadAttr implements device.Model.
+func (r *Reader) ReadAttr(name string) (any, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch name {
+	case "id":
+		return r.id, nil
+	case "loc":
+		return r.loc, nil
+	case "tags_in_range":
+		return len(r.tags), nil
+	case "last_tag":
+		return r.lastTag, nil
+	case "scans":
+		return r.scans, nil
+	default:
+		return nil, fmt.Errorf("%w: rfid reader has no attribute %q", device.ErrUnknownAttr, name)
+	}
+}
+
+// Exec implements device.Model. Supported operations: "scan",
+// "write_tag".
+func (r *Reader) Exec(ctx context.Context, op string, args json.RawMessage) (any, error) {
+	switch op {
+	case "scan":
+		if err := r.block(ctx, ScanTime); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		tags := make([]string, 0, len(r.tags))
+		for t := range r.tags {
+			tags = append(tags, t)
+		}
+		sort.Strings(tags)
+		r.scans++
+		if len(tags) > 0 {
+			r.lastTag = tags[len(tags)-1]
+		}
+		return &ScanResult{Tags: tags}, nil
+	case "write_tag":
+		var wa WriteArgs
+		if len(args) > 0 {
+			if err := json.Unmarshal(args, &wa); err != nil {
+				return nil, fmt.Errorf("rfid: bad write_tag args: %w", err)
+			}
+		}
+		if err := r.block(ctx, WriteTagTime); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.tags[wa.Tag]; !ok {
+			return nil, fmt.Errorf("rfid: tag %q not in range", wa.Tag)
+		}
+		r.tags[wa.Tag] = wa.Data
+		return map[string]any{"written": wa.Tag}, nil
+	default:
+		return nil, fmt.Errorf("%w: rfid reader cannot %q", device.ErrUnknownOp, op)
+	}
+}
+
+// TagData returns the data stored on a tag in range.
+func (r *Reader) TagData(tag string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.tags[tag]
+	return d, ok
+}
+
+func (r *Reader) block(ctx context.Context, dur time.Duration) error {
+	r.mu.Lock()
+	r.busy++
+	r.mu.Unlock()
+	err := vclock.SleepCtx(ctx, r.clk, dur)
+	r.mu.Lock()
+	r.busy--
+	r.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("rfid: operation interrupted: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package rfid
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"aorta/internal/device"
+	"aorta/internal/geo"
+	"aorta/internal/profile"
+	"aorta/internal/vclock"
+)
+
+func newReader() *Reader {
+	return New("rfid-1", geo.Point{X: 1, Y: 2}, vclock.NewScaled(1000))
+}
+
+func TestIdentity(t *testing.T) {
+	r := newReader()
+	if r.Type() != "rfid" || r.ID() != "rfid-1" {
+		t.Errorf("identity = %s/%s", r.Type(), r.ID())
+	}
+	if r.Location() != (geo.Point{X: 1, Y: 2}) {
+		t.Errorf("loc = %v", r.Location())
+	}
+}
+
+func TestScanEmptyField(t *testing.T) {
+	r := newReader()
+	res, err := r.Exec(context.Background(), "scan", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.(*ScanResult); len(got.Tags) != 0 {
+		t.Errorf("tags = %v", got.Tags)
+	}
+}
+
+func TestPlaceScanRemove(t *testing.T) {
+	r := newReader()
+	r.PlaceTag("tag-b", "beta")
+	r.PlaceTag("tag-a", "alpha")
+	res, err := r.Exec(context.Background(), "scan", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := res.(*ScanResult).Tags
+	if len(tags) != 2 || tags[0] != "tag-a" || tags[1] != "tag-b" {
+		t.Fatalf("tags = %v", tags)
+	}
+	if v, _ := r.ReadAttr("last_tag"); v != "tag-b" {
+		t.Errorf("last_tag = %v", v)
+	}
+	if v, _ := r.ReadAttr("scans"); v != 1 {
+		t.Errorf("scans = %v", v)
+	}
+	r.RemoveTag("tag-a")
+	if v, _ := r.ReadAttr("tags_in_range"); v != 1 {
+		t.Errorf("tags_in_range = %v", v)
+	}
+}
+
+func TestWriteTag(t *testing.T) {
+	r := newReader()
+	r.PlaceTag("tag-1", "old")
+	args, _ := json.Marshal(WriteArgs{Tag: "tag-1", Data: "new"})
+	if _, err := r.Exec(context.Background(), "write_tag", args); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := r.TagData("tag-1"); !ok || d != "new" {
+		t.Errorf("tag data = %q, %v", d, ok)
+	}
+}
+
+func TestWriteTagOutOfRange(t *testing.T) {
+	r := newReader()
+	args, _ := json.Marshal(WriteArgs{Tag: "ghost", Data: "x"})
+	if _, err := r.Exec(context.Background(), "write_tag", args); err == nil {
+		t.Fatal("write to out-of-range tag succeeded")
+	}
+}
+
+func TestUnknownOpAndAttr(t *testing.T) {
+	r := newReader()
+	if _, err := r.Exec(context.Background(), "levitate", nil); !errors.Is(err, device.ErrUnknownOp) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := r.ReadAttr("altitude"); !errors.Is(err, device.ErrUnknownAttr) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	r := newReader()
+	r.PlaceTag("t", "d")
+	var st Status
+	if err := json.Unmarshal(r.Status(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TagsInRange != 1 || st.Busy {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestXMLDocumentsParse: the extension's catalog, costs and action
+// profile are valid documents that validate against each other.
+func TestXMLDocumentsParse(t *testing.T) {
+	cat, err := profile.ParseCatalog([]byte(CatalogXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.DeviceType != "rfid" {
+		t.Errorf("device type = %q", cat.DeviceType)
+	}
+	if a, ok := cat.Attr("tags_in_range"); !ok || !a.Sensory {
+		t.Error("tags_in_range missing or not sensory")
+	}
+	costs, err := profile.ParseAtomicCosts([]byte(CostsXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := profile.ParseAction([]byte(ScanTagProfileXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Validate(costs); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := ap.EstimateCost(costs, profile.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Milliseconds() != 330 { // connect 30 + scan 300
+		t.Errorf("scantag cost = %v, want 330ms", cost)
+	}
+}
+
+// TestRegisterAsNewDeviceType: the full extensibility flow of paper §3 —
+// a brand-new device type joins the registry without code changes to the
+// communication layer.
+func TestRegisterAsNewDeviceType(t *testing.T) {
+	reg, err := profile.DefaultRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := profile.ParseCatalog([]byte(CatalogXML))
+	if err := reg.RegisterCatalog(cat); err != nil {
+		t.Fatal(err)
+	}
+	costs, _ := profile.ParseAtomicCosts([]byte(CostsXML))
+	if err := reg.RegisterCosts(costs); err != nil {
+		t.Fatal(err)
+	}
+	ap, _ := profile.ParseAction([]byte(ScanTagProfileXML))
+	if err := reg.RegisterAction(ap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Catalog("rfid"); !ok {
+		t.Error("rfid catalog not registered")
+	}
+	if _, ok := reg.Action("scantag"); !ok {
+		t.Error("scantag action not registered")
+	}
+}

@@ -1,0 +1,208 @@
+// Package devsync implements Aorta's device synchronization mechanisms
+// (paper §4): a locking mechanism that prevents concurrent actions from
+// interleaving on a single physical device, and a probing mechanism that
+// checks candidate availability (and collects physical status) before
+// device-selection optimization.
+package devsync
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+// ErrNotLocked is returned by Unlock when the caller does not hold the
+// lock.
+var ErrNotLocked = errors.New("devsync: device not locked by this holder")
+
+// LockStats aggregates per-device locking metrics.
+type LockStats struct {
+	Acquisitions int64
+	Contentions  int64 // acquisitions that had to wait
+	TotalWait    time.Duration
+	// Expirations counts leases revoked by their TTL (see LockWithLease).
+	Expirations int64
+}
+
+type devLock struct {
+	held    bool
+	holder  string
+	gen     uint64          // increments on every grant; identifies lease owners
+	waiters []chan struct{} // FIFO
+	stats   LockStats
+}
+
+// LockManager provides exclusive per-device locks. A device selected to
+// execute an action is locked until the action's code block returns;
+// subsequent actions on the device cannot start before it is unlocked.
+type LockManager struct {
+	clk vclock.Clock
+
+	mu    sync.Mutex
+	locks map[string]*devLock
+}
+
+// NewLockManager returns an empty lock manager using clk to measure wait
+// times.
+func NewLockManager(clk vclock.Clock) *LockManager {
+	return &LockManager{clk: clk, locks: make(map[string]*devLock)}
+}
+
+func (m *LockManager) get(id string) *devLock {
+	l, ok := m.locks[id]
+	if !ok {
+		l = &devLock{}
+		m.locks[id] = l
+	}
+	return l
+}
+
+// TryLock acquires the device lock without waiting. holder is a
+// description (query/request id) recorded for introspection.
+func (m *LockManager) TryLock(id, holder string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.get(id)
+	if l.held {
+		return false
+	}
+	l.held = true
+	l.holder = holder
+	l.gen++
+	l.stats.Acquisitions++
+	return true
+}
+
+// Lock acquires the device lock, waiting in FIFO order behind earlier
+// requests. It returns ctx.Err() if the context is cancelled while
+// waiting.
+func (m *LockManager) Lock(ctx context.Context, id, holder string) error {
+	m.mu.Lock()
+	l := m.get(id)
+	if !l.held {
+		l.held = true
+		l.holder = holder
+		l.gen++
+		l.stats.Acquisitions++
+		m.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	l.waiters = append(l.waiters, ch)
+	l.stats.Contentions++
+	start := m.clk.Now()
+	m.mu.Unlock()
+
+	select {
+	case <-ch:
+		m.mu.Lock()
+		// The generation was advanced by the releaseLocked that signalled
+		// us; this acquisition owns that generation.
+		l.holder = holder
+		l.stats.Acquisitions++
+		l.stats.TotalWait += m.clk.Since(start)
+		m.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		// Remove our waiter; if Unlock already signalled us we must pass
+		// the lock on.
+		signalled := true
+		for i, w := range l.waiters {
+			if w == ch {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				signalled = false
+				break
+			}
+		}
+		if signalled {
+			m.releaseLocked(l)
+		}
+		m.mu.Unlock()
+		return fmt.Errorf("devsync: lock %s: %w", id, ctx.Err())
+	}
+}
+
+// Unlock releases the device lock held by holder and hands it to the next
+// FIFO waiter, if any.
+func (m *LockManager) Unlock(id, holder string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.get(id)
+	if !l.held || l.holder != holder {
+		return fmt.Errorf("%w: %s by %q", ErrNotLocked, id, holder)
+	}
+	m.releaseLocked(l)
+	return nil
+}
+
+// releaseLocked passes the lock to the next waiter or frees it, advancing
+// the generation so any lease held on the previous grant is invalidated
+// immediately (including during the handoff window). Caller must hold
+// m.mu.
+func (m *LockManager) releaseLocked(l *devLock) {
+	l.holder = ""
+	l.gen++
+	if len(l.waiters) == 0 {
+		l.held = false
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	// Lock stays held; the waiter fills in holder when it wakes.
+	close(next)
+}
+
+// Holder returns the current lock holder of the device.
+func (m *LockManager) Holder(id string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[id]
+	if !ok || !l.held {
+		return "", false
+	}
+	return l.holder, true
+}
+
+// Locked reports whether the device is currently locked.
+func (m *LockManager) Locked(id string) bool {
+	_, ok := m.Holder(id)
+	return ok
+}
+
+// Waiters returns the number of requests queued on the device lock.
+func (m *LockManager) Waiters(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[id]
+	if !ok {
+		return 0
+	}
+	return len(l.waiters)
+}
+
+// Stats returns a copy of the device's locking statistics.
+func (m *LockManager) Stats(id string) LockStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[id]
+	if !ok {
+		return LockStats{}
+	}
+	return l.stats
+}
+
+// WithLock runs fn while holding the device lock.
+func (m *LockManager) WithLock(ctx context.Context, id, holder string, fn func(context.Context) error) error {
+	if err := m.Lock(ctx, id, holder); err != nil {
+		return err
+	}
+	defer func() {
+		_ = m.Unlock(id, holder)
+	}()
+	return fn(ctx)
+}

@@ -1,0 +1,253 @@
+package devsync
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+func newLM() *LockManager { return NewLockManager(vclock.Real{}) }
+
+func TestTryLockBasics(t *testing.T) {
+	m := newLM()
+	if !m.TryLock("camera-1", "q1") {
+		t.Fatal("TryLock on free device failed")
+	}
+	if m.TryLock("camera-1", "q2") {
+		t.Fatal("TryLock on held device succeeded")
+	}
+	if !m.TryLock("camera-2", "q2") {
+		t.Fatal("TryLock on a different device failed")
+	}
+	if h, ok := m.Holder("camera-1"); !ok || h != "q1" {
+		t.Errorf("Holder = %q, %v", h, ok)
+	}
+	if !m.Locked("camera-1") {
+		t.Error("Locked = false for held device")
+	}
+}
+
+func TestUnlockValidation(t *testing.T) {
+	m := newLM()
+	if err := m.Unlock("camera-1", "q1"); !errors.Is(err, ErrNotLocked) {
+		t.Fatalf("Unlock of free device = %v, want ErrNotLocked", err)
+	}
+	m.TryLock("camera-1", "q1")
+	if err := m.Unlock("camera-1", "q2"); !errors.Is(err, ErrNotLocked) {
+		t.Fatalf("Unlock by wrong holder = %v, want ErrNotLocked", err)
+	}
+	if err := m.Unlock("camera-1", "q1"); err != nil {
+		t.Fatalf("Unlock by holder = %v", err)
+	}
+	if m.Locked("camera-1") {
+		t.Error("device still locked after Unlock")
+	}
+}
+
+func TestLockWaitsAndHandsOff(t *testing.T) {
+	m := newLM()
+	if err := m.Lock(context.Background(), "cam", "q1"); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := m.Lock(context.Background(), "cam", "q2"); err == nil {
+			close(acquired)
+		}
+	}()
+	// The second locker must be queued, not acquired.
+	waitFor(t, func() bool { return m.Waiters("cam") == 1 })
+	select {
+	case <-acquired:
+		t.Fatal("second Lock acquired while held")
+	default:
+	}
+	if err := m.Unlock("cam", "q1"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handoff never happened")
+	}
+	if h, _ := m.Holder("cam"); h != "q2" {
+		t.Errorf("holder after handoff = %q", h)
+	}
+}
+
+func TestLockFIFOOrder(t *testing.T) {
+	m := newLM()
+	const n = 5
+	if err := m.Lock(context.Background(), "cam", "holder"); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := m.Lock(context.Background(), "cam", "w"); err != nil {
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			_ = m.Unlock("cam", "w")
+		}(i)
+		// Serialize waiter registration so FIFO order is observable.
+		waitFor(t, func() bool { return m.Waiters("cam") == i+1 })
+	}
+	if err := m.Unlock("cam", "holder"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestLockContextCancelled(t *testing.T) {
+	m := newLM()
+	if err := m.Lock(context.Background(), "cam", "q1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- m.Lock(ctx, "cam", "q2") }()
+	waitFor(t, func() bool { return m.Waiters("cam") == 1 })
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Lock never returned")
+	}
+	if m.Waiters("cam") != 0 {
+		t.Error("cancelled waiter still queued")
+	}
+	// The lock must still function.
+	if err := m.Unlock("cam", "q1"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.TryLock("cam", "q3") {
+		t.Error("lock unusable after cancelled waiter")
+	}
+}
+
+// TestMutualExclusionStress: many goroutines hammer one device; at most
+// one may be inside the critical section at any moment.
+func TestMutualExclusionStress(t *testing.T) {
+	m := newLM()
+	var inside atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := m.Lock(context.Background(), "cam", "w"); err != nil {
+					t.Error(err)
+					return
+				}
+				if inside.Add(1) != 1 {
+					violations.Add(1)
+				}
+				inside.Add(-1)
+				_ = m.Unlock("cam", "w")
+			}
+		}()
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d mutual-exclusion violations", v)
+	}
+	st := m.Stats("cam")
+	if st.Acquisitions != 1000 {
+		t.Errorf("acquisitions = %d, want 1000", st.Acquisitions)
+	}
+}
+
+func TestStatsCountContention(t *testing.T) {
+	m := newLM()
+	_ = m.Lock(context.Background(), "cam", "q1")
+	done := make(chan struct{})
+	go func() {
+		_ = m.Lock(context.Background(), "cam", "q2")
+		close(done)
+	}()
+	waitFor(t, func() bool { return m.Waiters("cam") == 1 })
+	_ = m.Unlock("cam", "q1")
+	<-done
+	st := m.Stats("cam")
+	if st.Contentions != 1 {
+		t.Errorf("contentions = %d, want 1", st.Contentions)
+	}
+	if st.Acquisitions != 2 {
+		t.Errorf("acquisitions = %d, want 2", st.Acquisitions)
+	}
+}
+
+func TestStatsUnknownDevice(t *testing.T) {
+	m := newLM()
+	if st := m.Stats("ghost"); st != (LockStats{}) {
+		t.Errorf("stats for unknown device = %+v", st)
+	}
+	if m.Waiters("ghost") != 0 {
+		t.Error("waiters for unknown device != 0")
+	}
+}
+
+func TestWithLock(t *testing.T) {
+	m := newLM()
+	ran := false
+	err := m.WithLock(context.Background(), "cam", "q1", func(context.Context) error {
+		ran = true
+		if !m.Locked("cam") {
+			t.Error("device not locked inside WithLock")
+		}
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("WithLock err=%v ran=%v", err, ran)
+	}
+	if m.Locked("cam") {
+		t.Error("device still locked after WithLock")
+	}
+}
+
+func TestWithLockPropagatesError(t *testing.T) {
+	m := newLM()
+	sentinel := errors.New("action failed")
+	err := m.WithLock(context.Background(), "cam", "q1", func(context.Context) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Locked("cam") {
+		t.Error("lock leaked after failing action")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,95 @@
+package devsync
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Lease is a held device lock with a time-to-live. The paper lists "more
+// sophisticated device synchronization mechanisms" as future work; leases
+// address the deployment problem plain locks have with unreliable
+// holders: an engine worker that crashes or hangs mid-action would pin
+// the device forever, whereas a lease expires and hands the device to the
+// next waiter.
+type Lease struct {
+	m      *LockManager
+	id     string
+	holder string
+	gen    uint64
+	stop   chan struct{}
+}
+
+// LockWithLease acquires the device lock like Lock, but with a TTL: if
+// Release is not called within ttl of acquisition the lock is revoked and
+// passed on. The returned lease's Release is idempotent.
+func (m *LockManager) LockWithLease(ctx context.Context, id, holder string, ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		return nil, fmt.Errorf("devsync: lease ttl must be positive, got %v", ttl)
+	}
+	if err := m.Lock(ctx, id, holder); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	l := m.get(id)
+	gen := l.gen
+	m.mu.Unlock()
+
+	lease := &Lease{m: m, id: id, holder: holder, gen: gen, stop: make(chan struct{})}
+	go func() {
+		select {
+		case <-lease.stop:
+		case <-m.clk.After(ttl):
+			lease.expire()
+		}
+	}()
+	return lease, nil
+}
+
+// Holder returns the lease's holder description.
+func (l *Lease) Holder() string { return l.holder }
+
+// Release returns the device lock. It reports ErrNotLocked when the lease
+// already expired (or was released before).
+func (l *Lease) Release() error {
+	select {
+	case <-l.stop:
+		// Already released or expired.
+		return fmt.Errorf("%w: lease on %s already ended", ErrNotLocked, l.id)
+	default:
+	}
+	close(l.stop)
+
+	l.m.mu.Lock()
+	defer l.m.mu.Unlock()
+	dl := l.m.get(l.id)
+	if !dl.held || dl.gen != l.gen {
+		return fmt.Errorf("%w: lease on %s superseded", ErrNotLocked, l.id)
+	}
+	l.m.releaseLocked(dl)
+	return nil
+}
+
+// expire force-releases the lock if this lease still holds it.
+func (l *Lease) expire() {
+	l.m.mu.Lock()
+	defer l.m.mu.Unlock()
+	dl := l.m.get(l.id)
+	if dl.held && dl.gen == l.gen {
+		dl.stats.Expirations++
+		l.m.releaseLocked(dl)
+	}
+}
+
+// Expired reports whether the lease has ended without Release.
+func (l *Lease) Expired() bool {
+	select {
+	case <-l.stop:
+		return false // explicitly released
+	default:
+	}
+	l.m.mu.Lock()
+	defer l.m.mu.Unlock()
+	dl := l.m.get(l.id)
+	return !dl.held || dl.gen != l.gen
+}

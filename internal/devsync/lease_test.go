@@ -1,0 +1,166 @@
+package devsync
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+func TestLeaseReleaseBeforeExpiry(t *testing.T) {
+	m := NewLockManager(vclock.Real{})
+	lease, err := m.LockWithLease(context.Background(), "cam", "q1", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Locked("cam") {
+		t.Fatal("device not locked by lease")
+	}
+	if lease.Holder() != "q1" {
+		t.Errorf("holder = %q", lease.Holder())
+	}
+	if err := lease.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Locked("cam") {
+		t.Error("device still locked after Release")
+	}
+	if err := lease.Release(); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("second Release = %v, want ErrNotLocked", err)
+	}
+}
+
+func TestLeaseExpiresAndHandsOff(t *testing.T) {
+	clk := vclock.NewScaled(100)
+	m := NewLockManager(clk)
+	lease, err := m.LockWithLease(context.Background(), "cam", "crashed-worker", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy worker queues behind the doomed lease.
+	acquired := make(chan struct{})
+	go func() {
+		if err := m.Lock(context.Background(), "cam", "healthy"); err == nil {
+			close(acquired)
+		}
+	}()
+	waitFor(t, func() bool { return m.Waiters("cam") == 1 })
+
+	// The crashed worker never releases; the TTL (2 virtual seconds =
+	// 20ms wall) must revoke the lease and admit the waiter.
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease never expired; waiter starved")
+	}
+	if h, _ := m.Holder("cam"); h != "healthy" {
+		t.Errorf("holder after expiry = %q", h)
+	}
+	if !lease.Expired() {
+		t.Error("lease does not report expired")
+	}
+	if err := lease.Release(); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("Release after expiry = %v, want ErrNotLocked", err)
+	}
+	if st := m.Stats("cam"); st.Expirations != 1 {
+		t.Errorf("expirations = %d, want 1", st.Expirations)
+	}
+}
+
+func TestLeaseExpiryDoesNotRevokeSuccessor(t *testing.T) {
+	clk := vclock.NewScaled(100)
+	m := NewLockManager(clk)
+	lease1, err := m.LockWithLease(context.Background(), "cam", "q1", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lease1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// q2 takes the lock; q1's (cancelled) timer and generation must not
+	// touch it even after q1's original TTL passes.
+	if !m.TryLock("cam", "q2") {
+		t.Fatal("TryLock failed on free device")
+	}
+	time.Sleep(50 * time.Millisecond) // 5 virtual seconds > q1's TTL
+	if h, ok := m.Holder("cam"); !ok || h != "q2" {
+		t.Fatalf("holder = %q, %v; q2 lost the lock", h, ok)
+	}
+	if st := m.Stats("cam"); st.Expirations != 0 {
+		t.Errorf("expirations = %d, want 0", st.Expirations)
+	}
+}
+
+func TestLeaseStaleExpiryAfterHandoff(t *testing.T) {
+	// A lease that expires after its lock has already been released and
+	// re-granted must be a no-op.
+	clk := vclock.NewScaled(100)
+	m := NewLockManager(clk)
+	lease, err := m.LockWithLease(context.Background(), "cam", "q1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = m.Lock(context.Background(), "cam", "q2")
+	}()
+	waitFor(t, func() bool { return m.Waiters("cam") == 1 })
+	if err := lease.Release(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// Let q1's TTL pass while q2 holds.
+	time.Sleep(30 * time.Millisecond)
+	if h, _ := m.Holder("cam"); h != "q2" {
+		t.Fatalf("holder = %q; stale expiry revoked the successor", h)
+	}
+}
+
+func TestLeaseInvalidTTL(t *testing.T) {
+	m := NewLockManager(vclock.Real{})
+	if _, err := m.LockWithLease(context.Background(), "cam", "q", 0); err == nil {
+		t.Error("zero TTL accepted")
+	}
+	if _, err := m.LockWithLease(context.Background(), "cam", "q", -time.Second); err == nil {
+		t.Error("negative TTL accepted")
+	}
+	if m.Locked("cam") {
+		t.Error("device locked despite rejected lease")
+	}
+}
+
+func TestLeaseRespectsContext(t *testing.T) {
+	m := NewLockManager(vclock.Real{})
+	m.TryLock("cam", "holder")
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.LockWithLease(ctx, "cam", "q", time.Hour)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return m.Waiters("cam") == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLeaseNotExpiredWhileHeld(t *testing.T) {
+	m := NewLockManager(vclock.Real{})
+	lease, err := m.LockWithLease(context.Background(), "cam", "q", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Expired() {
+		t.Error("fresh lease reports expired")
+	}
+	if err := lease.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if lease.Expired() {
+		t.Error("released lease reports expired (it ended cleanly)")
+	}
+}

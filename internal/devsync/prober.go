@@ -1,0 +1,77 @@
+package devsync
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"aorta/internal/comm"
+)
+
+// Candidate is the probe outcome for one candidate device.
+type Candidate struct {
+	ID string
+	// Busy reflects the device's self-reported busy flag at probe time.
+	Busy bool
+	// Status is the device's physical status, fed into the cost model.
+	Status json.RawMessage
+	// RTT is the probe round-trip time.
+	RTT time.Duration
+}
+
+// ProbeReport summarizes one candidate-set probe.
+type ProbeReport struct {
+	// Available are the candidates that answered the probe, in input
+	// order.
+	Available []Candidate
+	// Excluded are the device IDs that failed or timed out and were
+	// dropped from device-selection optimization (paper §4).
+	Excluded []string
+	// Elapsed is the wall (clock) time of the whole concurrent probe
+	// round.
+	Elapsed time.Duration
+}
+
+// Prober checks the current availability of candidate devices before the
+// optimizer estimates their costs, and gathers their physical status in
+// the same exchange.
+type Prober struct {
+	layer *comm.Layer
+}
+
+// NewProber returns a prober over the communication layer.
+func NewProber(layer *comm.Layer) *Prober {
+	return &Prober{layer: layer}
+}
+
+// ProbeCandidates probes every candidate concurrently. Devices that fail
+// to answer within their type's TIMEOUT are excluded; the rest are
+// returned with their physical status.
+func (p *Prober) ProbeCandidates(ctx context.Context, ids []string) *ProbeReport {
+	start := time.Now()
+	results := make([]*Candidate, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			res, err := p.layer.Probe(ctx, id)
+			if err != nil {
+				return
+			}
+			results[i] = &Candidate{ID: id, Busy: res.Busy, Status: res.Status, RTT: res.RTT}
+		}(i, id)
+	}
+	wg.Wait()
+
+	report := &ProbeReport{Elapsed: time.Since(start)}
+	for i, r := range results {
+		if r == nil {
+			report.Excluded = append(report.Excluded, ids[i])
+			continue
+		}
+		report.Available = append(report.Available, *r)
+	}
+	return report
+}

@@ -1,0 +1,135 @@
+package devsync
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/device"
+	"aorta/internal/device/camera"
+	"aorta/internal/geo"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/vclock"
+)
+
+// proberFixture serves three cameras over an in-memory network.
+func proberFixture(t *testing.T) (*Prober, *netsim.Network, []*camera.Camera) {
+	t.Helper()
+	clk := vclock.NewScaled(100)
+	network := netsim.NewNetwork(clk, 1)
+	reg, err := profile.DefaultRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := comm.New(network, clk, reg)
+	layer.SetTimeout("camera", 2*time.Second)
+	var cams []*camera.Camera
+	for _, id := range []string{"cam-1", "cam-2", "cam-3"} {
+		cam := camera.New(id, geo.DefaultMount(geo.Point{Z: 3}, 0), clk)
+		cams = append(cams, cam)
+		l, err := network.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := device.Serve(l, cam)
+		t.Cleanup(func() { srv.Close() })
+		if err := layer.Register(comm.DeviceInfo{ID: id, Type: "camera", Addr: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewProber(layer), network, cams
+}
+
+func TestProbeAllAvailable(t *testing.T) {
+	p, _, _ := proberFixture(t)
+	report := p.ProbeCandidates(context.Background(), []string{"cam-1", "cam-2", "cam-3"})
+	if len(report.Available) != 3 || len(report.Excluded) != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Input order preserved.
+	for i, want := range []string{"cam-1", "cam-2", "cam-3"} {
+		if report.Available[i].ID != want {
+			t.Errorf("Available[%d] = %s, want %s", i, report.Available[i].ID, want)
+		}
+	}
+	for _, c := range report.Available {
+		if len(c.Status) == 0 {
+			t.Errorf("candidate %s has no status", c.ID)
+		}
+	}
+}
+
+// TestProbeExcludesMalfunctioning is the §4 requirement: malfunctioning
+// devices are automatically excluded from device-selection optimization.
+func TestProbeExcludesMalfunctioning(t *testing.T) {
+	p, network, _ := proberFixture(t)
+	network.SetLink("cam-2", netsim.LinkConfig{Down: true})
+	report := p.ProbeCandidates(context.Background(), []string{"cam-1", "cam-2", "cam-3"})
+	if len(report.Available) != 2 {
+		t.Fatalf("available = %v", report.Available)
+	}
+	if len(report.Excluded) != 1 || report.Excluded[0] != "cam-2" {
+		t.Fatalf("excluded = %v", report.Excluded)
+	}
+}
+
+// TestProbeTimeoutBoundsRound: a blackholed device must not stall the
+// whole probe round beyond the TIMEOUT.
+func TestProbeTimeoutBoundsRound(t *testing.T) {
+	p, network, _ := proberFixture(t)
+	network.SetLink("cam-3", netsim.LinkConfig{Blackhole: true})
+	start := time.Now()
+	report := p.ProbeCandidates(context.Background(), []string{"cam-1", "cam-2", "cam-3"})
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("probe round took %v wall time", wall)
+	}
+	if len(report.Excluded) != 1 || report.Excluded[0] != "cam-3" {
+		t.Fatalf("excluded = %v", report.Excluded)
+	}
+}
+
+func TestProbeReportsBusy(t *testing.T) {
+	p, _, cams := proberFixture(t)
+	// Start a long move on cam-1 in the background.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		args := []byte(`{"pan":170,"zoom":1}`)
+		_, _ = cams[0].Exec(context.Background(), "move", args)
+	}()
+	for i := 0; i < 2000 && !cams[0].Busy(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	report := p.ProbeCandidates(context.Background(), []string{"cam-1", "cam-2"})
+	<-done
+	if len(report.Available) != 2 {
+		t.Fatalf("available = %v", report.Available)
+	}
+	if !report.Available[0].Busy {
+		t.Error("cam-1 not reported busy during move")
+	}
+	if report.Available[1].Busy {
+		t.Error("idle cam-2 reported busy")
+	}
+}
+
+func TestProbeEmptyCandidateSet(t *testing.T) {
+	p, _, _ := proberFixture(t)
+	report := p.ProbeCandidates(context.Background(), nil)
+	if len(report.Available) != 0 || len(report.Excluded) != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestProbeUnknownCandidateExcluded(t *testing.T) {
+	p, _, _ := proberFixture(t)
+	report := p.ProbeCandidates(context.Background(), []string{"cam-1", "ghost"})
+	if len(report.Available) != 1 || report.Available[0].ID != "cam-1" {
+		t.Fatalf("available = %v", report.Available)
+	}
+	if len(report.Excluded) != 1 || report.Excluded[0] != "ghost" {
+		t.Fatalf("excluded = %v", report.Excluded)
+	}
+}

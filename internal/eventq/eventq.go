@@ -1,0 +1,104 @@
+// Package eventq provides a generic min-priority queue used by the
+// discrete-event service simulator and the list scheduler's idle-machine
+// loop.
+//
+// Unlike container/heap it needs no interface boilerplate at call sites and
+// provides stable FIFO ordering among items with equal priority, which the
+// simulator relies on for determinism.
+package eventq
+
+// Queue is a min-heap of items prioritized by the less function, with FIFO
+// tie-breaking on insertion order. The zero value is not usable; call New.
+type Queue[T any] struct {
+	items []entry[T]
+	less  func(a, b T) bool
+	seq   uint64
+}
+
+type entry[T any] struct {
+	val T
+	seq uint64
+}
+
+// New returns an empty queue ordered by less.
+func New[T any](less func(a, b T) bool) *Queue[T] {
+	return &Queue[T]{less: less}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push adds an item to the queue.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, entry[T]{val: v, seq: q.seq})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the least item. The second return value is false
+// when the queue is empty.
+func (q *Queue[T]) Pop() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	top := q.items[0].val
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+// Peek returns the least item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.items[0].val, true
+}
+
+// before reports whether entry i must be dequeued before entry j.
+func (q *Queue[T]) before(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if q.less(a.val, b.val) {
+		return true
+	}
+	if q.less(b.val, a.val) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.before(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.before(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,129 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intQueue() *Queue[int] {
+	return New(func(a, b int) bool { return a < b })
+}
+
+func TestEmpty(t *testing.T) {
+	q := intQueue()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue returned ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue returned ok")
+	}
+}
+
+func TestPopAscending(t *testing.T) {
+	q := intQueue()
+	in := []int{9, 4, 7, 1, 8, 2, 6, 3, 5, 0}
+	for _, v := range in {
+		q.Push(v)
+	}
+	for want := 0; want < len(in); want++ {
+		got, ok := q.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d, %v; want %d", got, ok, want)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := intQueue()
+	q.Push(3)
+	q.Push(1)
+	if v, _ := q.Peek(); v != 1 {
+		t.Fatalf("Peek = %d, want 1", v)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len after Peek = %d, want 2", q.Len())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	type job struct {
+		prio int
+		name string
+	}
+	q := New(func(a, b job) bool { return a.prio < b.prio })
+	q.Push(job{1, "first"})
+	q.Push(job{1, "second"})
+	q.Push(job{0, "urgent"})
+	q.Push(job{1, "third"})
+	wantOrder := []string{"urgent", "first", "second", "third"}
+	for _, want := range wantOrder {
+		got, ok := q.Pop()
+		if !ok || got.name != want {
+			t.Fatalf("Pop = %q, want %q", got.name, want)
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	q := intQueue()
+	r := rand.New(rand.NewSource(3))
+	var popped []int
+	pushed := 0
+	for i := 0; i < 2000; i++ {
+		if r.Intn(3) != 0 || q.Len() == 0 {
+			q.Push(r.Intn(1000))
+			pushed++
+		} else {
+			v, ok := q.Pop()
+			if !ok {
+				t.Fatal("Pop failed on non-empty queue")
+			}
+			popped = append(popped, v)
+		}
+	}
+	for q.Len() > 0 {
+		v, _ := q.Pop()
+		popped = append(popped, v)
+	}
+	if len(popped) != pushed {
+		t.Fatalf("popped %d items, pushed %d", len(popped), pushed)
+	}
+}
+
+func TestQuickHeapSortsLikeSort(t *testing.T) {
+	f := func(vals []int) bool {
+		q := intQueue()
+		for _, v := range vals {
+			q.Push(v)
+		}
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		for _, w := range want {
+			got, ok := q.Pop()
+			if !ok || got != w {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := intQueue()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		q.Push(r.Int())
+		if i%2 == 1 {
+			q.Pop()
+		}
+	}
+}

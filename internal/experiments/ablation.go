@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"aorta/internal/sched"
+	"aorta/internal/stats"
+	"aorta/internal/workload"
+)
+
+// AblationRow compares one algorithm's service makespan when it plans
+// with the full sequence-dependent cost model vs a static (frozen at
+// probe time) cost model. Execution always follows the true
+// sequence-dependent physics, so the difference isolates the value of
+// status chaining in the planner.
+type AblationRow struct {
+	Algorithm string
+	// Chaining is the mean service makespan (s) planning with the
+	// sequence-dependent estimator.
+	Chaining float64
+	// Static is the mean service makespan (s) planning with frozen
+	// per-pair costs.
+	Static float64
+	// Penalty is Static/Chaining.
+	Penalty float64
+}
+
+// frozenEstimator serves costs computed from each device's *initial*
+// status and never advances status — the classic unrelated-machines view
+// without sequence dependence.
+type frozenEstimator struct {
+	inner   sched.Estimator
+	initial map[sched.DeviceID]sched.Status
+}
+
+var _ sched.Estimator = (*frozenEstimator)(nil)
+
+// Estimate implements sched.Estimator.
+func (f *frozenEstimator) Estimate(req *sched.Request, dev sched.DeviceID, st sched.Status) (time.Duration, sched.Status) {
+	cost, _ := f.inner.Estimate(req, dev, f.initial[dev])
+	return cost, st
+}
+
+// AblationSequenceDependence runs the DESIGN.md §3 ablation: the paper's
+// §5.1 argument is that sequence-dependent action execution time is the
+// problem's defining feature; planning while ignoring it (static costs)
+// should cost the cost-aware heuristics much of their edge.
+func AblationSequenceDependence(cfg Config) ([]AblationRow, error) {
+	algs := []sched.Algorithm{sched.LERFASRFE{}, sched.SRFAE{}, sched.LS{}}
+	var out []AblationRow
+	for _, alg := range algs {
+		var chaining, static []float64
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + int64(run)*6151
+			// Plan and execute with the true model.
+			rng := rand.New(rand.NewSource(seed))
+			p := workload.Uniform(20, cfg.Cameras, rng)
+			a, err := alg.Schedule(p, rng)
+			if err != nil {
+				return nil, err
+			}
+			_, span, err := sched.Simulate(p, a)
+			if err != nil {
+				return nil, err
+			}
+			chaining = append(chaining, span.Seconds())
+
+			// Plan with frozen costs on an identical instance, execute
+			// with the true model.
+			rng2 := rand.New(rand.NewSource(seed))
+			p2 := workload.Uniform(20, cfg.Cameras, rng2)
+			frozen := sched.NewProblem(p2.Requests, p2.Devices, p2.Initial,
+				&frozenEstimator{inner: &sched.PTZEstimator{}, initial: p2.Initial})
+			a2, err := alg.Schedule(frozen, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return nil, err
+			}
+			_, span2, err := sched.Simulate(p2, a2)
+			if err != nil {
+				return nil, err
+			}
+			static = append(static, span2.Seconds())
+		}
+		row := AblationRow{
+			Algorithm: alg.Name(),
+			Chaining:  stats.Mean(chaining),
+			Static:    stats.Mean(static),
+		}
+		if row.Chaining > 0 {
+			row.Penalty = row.Static / row.Chaining
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PrintAblation renders the sequence-dependence ablation.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation — planning with vs without sequence-dependent costs (service makespan, s)")
+	fmt.Fprintf(w, "%-12s%14s%14s%12s\n", "Algorithm", "Chaining", "Static", "Penalty")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s%14.2f%14.2f%11.2fx\n", r.Algorithm, r.Chaining, r.Static, r.Penalty)
+	}
+}
+
+// ScalePoint is one size of the scalability sweep.
+type ScalePoint struct {
+	Requests, Cameras int
+	// Makespans maps algorithm → mean makespan (s).
+	Makespans map[string]float64
+	// Wall maps algorithm → mean wall-clock scheduling time. This is the
+	// real computational cost on the host, relevant to the paper's
+	// future-work question of scheduling "a large number of heterogeneous
+	// devices".
+	Wall map[string]time.Duration
+}
+
+// Scalability sweeps the greedy algorithms (SA excluded: its annealing
+// budget is quadratic) up to hundreds of requests and devices.
+func Scalability(cfg Config) ([]ScalePoint, error) {
+	algs := []sched.Algorithm{sched.LERFASRFE{}, sched.SRFAE{}, sched.LS{}, sched.Random{}}
+	sizes := []struct{ n, m int }{{50, 25}, {100, 50}, {200, 100}, {400, 100}}
+	var out []ScalePoint
+	for _, size := range sizes {
+		pt := ScalePoint{
+			Requests:  size.n,
+			Cameras:   size.m,
+			Makespans: make(map[string]float64),
+			Wall:      make(map[string]time.Duration),
+		}
+		for _, alg := range algs {
+			var spans []float64
+			var wall time.Duration
+			for run := 0; run < cfg.Runs; run++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(run)*27644437))
+				p := workload.Uniform(size.n, size.m, rng)
+				start := time.Now()
+				a, err := alg.Schedule(p, rng)
+				if err != nil {
+					return nil, err
+				}
+				wall += time.Since(start)
+				_, span, err := sched.Simulate(p, a)
+				if err != nil {
+					return nil, err
+				}
+				spans = append(spans, span.Seconds())
+			}
+			pt.Makespans[alg.Name()] = stats.Mean(spans)
+			pt.Wall[alg.Name()] = wall / time.Duration(cfg.Runs)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintScalability renders the scalability sweep.
+func PrintScalability(w io.Writer, points []ScalePoint) {
+	fmt.Fprintln(w, "Scalability — greedy algorithms at large n, m (service makespan s / wall-clock scheduling)")
+	fmt.Fprintf(w, "%-14s", "(n, m)")
+	names := []string{"LERFA+SRFE", "SRFAE", "LS", "RANDOM"}
+	for _, n := range names {
+		fmt.Fprintf(w, "%22s", n)
+	}
+	fmt.Fprintln(w)
+	for _, pt := range points {
+		fmt.Fprintf(w, "(%4d,%4d)   ", pt.Requests, pt.Cameras)
+		for _, n := range names {
+			fmt.Fprintf(w, "%12.2fs %7s", pt.Makespans[n], pt.Wall[n].Round(time.Millisecond))
+		}
+		fmt.Fprintln(w)
+	}
+}

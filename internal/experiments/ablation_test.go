@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationSequenceDependence: planning with static costs must cost
+// the cost-aware heuristics a real penalty, while LS (which ignores costs
+// entirely) is unaffected by construction.
+func TestAblationSequenceDependence(t *testing.T) {
+	cfg := fastConfig()
+	rows, err := AblationSequenceDependence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+	}
+	for _, name := range []string{"LERFA+SRFE", "SRFAE"} {
+		r := byName[name]
+		if r.Penalty < 1.1 {
+			t.Errorf("%s: static-cost planning penalty %.2fx; expected noticeable degradation", name, r.Penalty)
+		}
+	}
+	// LS never consults costs for its choices, so its plans coincide.
+	ls := byName["LS"]
+	if ls.Penalty > 1.3 {
+		t.Errorf("LS penalty %.2fx; LS should be largely insensitive to the estimator", ls.Penalty)
+	}
+	// The ablated heuristics must still not be worse than LS with
+	// chaining — they degrade, they don't collapse.
+	if byName["SRFAE"].Static <= 0 {
+		t.Error("missing static measurement")
+	}
+
+	var sb strings.Builder
+	PrintAblation(&sb, rows)
+	if !strings.Contains(sb.String(), "Penalty") {
+		t.Errorf("table missing:\n%s", sb.String())
+	}
+}
+
+func TestScalability(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Runs = 2
+	points, err := Scalability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		// At n/m = 2 the greedy heuristics stay in a narrow makespan band
+		// even at 400 requests.
+		if pt.Makespans["SRFAE"] <= 0 {
+			t.Errorf("(n=%d) missing SRFAE result", pt.Requests)
+		}
+		if pt.Makespans["SRFAE"] >= pt.Makespans["RANDOM"] {
+			t.Errorf("(n=%d) SRFAE (%.2f) not better than RANDOM (%.2f)",
+				pt.Requests, pt.Makespans["SRFAE"], pt.Makespans["RANDOM"])
+		}
+	}
+	// Wall-clock scheduling cost must stay sane at the largest size
+	// (real-time requirement, paper §5.1).
+	last := points[len(points)-1]
+	for name, w := range last.Wall {
+		if w.Seconds() > 5 {
+			t.Errorf("%s wall scheduling time %v at n=400; not usable online", name, w)
+		}
+	}
+
+	var sb strings.Builder
+	PrintScalability(&sb, points)
+	if !strings.Contains(sb.String(), "( 400, 100)") {
+		t.Errorf("table missing sizes:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"aorta/internal/device/camera"
+	"aorta/internal/geo"
+	"aorta/internal/profile"
+	"aorta/internal/stats"
+	"aorta/internal/vclock"
+)
+
+// CostModelRow is one trial of the cost-model validation: a photo()
+// action from a random head position to a random target, cost estimated
+// by the action profile vs measured on the live camera emulator.
+type CostModelRow struct {
+	From, To  geo.Orientation
+	Estimated time.Duration
+	Measured  time.Duration
+	// RelError is |measured-estimated| / measured.
+	RelError float64
+}
+
+// CostModelSummary aggregates the validation trials.
+type CostModelSummary struct {
+	Trials       []CostModelRow
+	MeanRelError float64
+	MaxRelError  float64
+}
+
+// CostModel reproduces the §2.3 prose claim that the profile-driven cost
+// model is "reasonably accurate": it estimates photo() costs with
+// profile.EstimateCost and measures the same actions end to end on the
+// camera emulator under a scaled clock.
+func CostModel(trials int, seed int64) (*CostModelSummary, error) {
+	reg, err := profile.DefaultRegistry()
+	if err != nil {
+		return nil, err
+	}
+	photo, _ := reg.Action(profile.ActionPhoto)
+	costs, _ := reg.Costs(profile.DeviceCamera)
+
+	// A modest scale keeps per-sleep wall overhead (≈0.1 ms) small
+	// relative to measured durations (0.31 s+ virtual).
+	clk := vclock.NewScaled(50)
+	cam := camera.New("camera-1", geo.DefaultMount(geo.Point{Z: 3}, 0), clk)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed))
+
+	summary := &CostModelSummary{}
+	var relErrs []float64
+	for i := 0; i < trials; i++ {
+		from := geo.Orientation{Pan: rng.Float64()*340 - 170, Tilt: rng.Float64() * 90, Zoom: 1 + rng.Float64()*3}
+		to := geo.Orientation{Pan: rng.Float64()*340 - 170, Tilt: rng.Float64() * 90, Zoom: 1 + rng.Float64()*3}
+		cam.SetHead(from)
+
+		pan, tilt := geo.AngularDist(from, to)
+		est, err := photo.EstimateCost(costs, profile.Params{
+			"pan_delta":  pan,
+			"tilt_delta": tilt,
+			"zoom_delta": math.Abs(from.Zoom - to.Zoom),
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		start := clk.Now()
+		moveArgs, _ := json.Marshal(camera.MoveArgs{Pan: to.Pan, Tilt: to.Tilt, Zoom: to.Zoom})
+		if _, err := cam.Exec(ctx, "move", moveArgs); err != nil {
+			return nil, fmt.Errorf("experiments: costmodel move: %w", err)
+		}
+		if _, err := cam.Exec(ctx, "capture", nil); err != nil {
+			return nil, fmt.Errorf("experiments: costmodel capture: %w", err)
+		}
+		if _, err := cam.Exec(ctx, "store", nil); err != nil {
+			return nil, fmt.Errorf("experiments: costmodel store: %w", err)
+		}
+		// The emulator path does not dial a network connection, so
+		// exclude the profile's connect charge from the comparison.
+		connectCost, _ := costs.Op("connect")
+		measured := clk.Since(start) + time.Duration(connectCost.FixedMS*float64(time.Millisecond))
+
+		rel := math.Abs(measured.Seconds()-est.Seconds()) / measured.Seconds()
+		relErrs = append(relErrs, rel)
+		summary.Trials = append(summary.Trials, CostModelRow{
+			From: from, To: to, Estimated: est, Measured: measured, RelError: rel,
+		})
+	}
+	summary.MeanRelError = stats.Mean(relErrs)
+	summary.MaxRelError = stats.Percentile(relErrs, 100)
+	return summary, nil
+}

@@ -1,0 +1,254 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment returns structured rows and can print
+// a paper-style table; cmd/aortabench exposes them on the command line and
+// the repository-root benchmarks run them under go test -bench.
+//
+// Experiment index (see DESIGN.md §4 for the full mapping):
+//
+//   - Fig4: makespan vs number of requests, uniform workload;
+//   - Fig5: scheduling/service time breakdown at 20 requests;
+//   - Fig6: makespan vs workload skewness;
+//   - Ratio: the §6.3 observation that uniform-workload performance
+//     depends only on #requests/#devices;
+//   - CostModel: the §2.3 claim that the cost model is accurate;
+//   - OptimalGap: the §5.2 discussion of optimal-vs-heuristic cost;
+//   - SyncStudy (sync.go): the §6.2 device-synchronization study.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aorta/internal/sched"
+	"aorta/internal/stats"
+	"aorta/internal/workload"
+)
+
+// Config controls the scheduler experiments.
+type Config struct {
+	// Runs is the number of independent runs averaged per point (the
+	// paper used 10).
+	Runs int
+	// Cameras is the device count m (the paper used 10).
+	Cameras int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Accounting converts probes/evaluations into scheduling time.
+	Accounting sched.Accounting
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{Runs: 10, Cameras: 10, Seed: 2005, Accounting: sched.DefaultAccounting()}
+}
+
+// Algorithms returns the five algorithms in the paper's presentation
+// order.
+func Algorithms() []sched.Algorithm {
+	return []sched.Algorithm{
+		sched.LERFASRFE{},
+		sched.SRFAE{},
+		sched.LS{},
+		&sched.SA{},
+		sched.Random{},
+	}
+}
+
+// AlgoStats aggregates one algorithm's results over the independent runs.
+type AlgoStats struct {
+	Algorithm      string
+	Makespan       float64 // mean seconds
+	MakespanStd    float64
+	SchedulingTime float64 // mean seconds
+	ServiceTime    float64 // mean seconds
+	Evals          float64 // mean cost-model evaluations
+}
+
+// measure runs one algorithm over `runs` independently generated problems.
+func measure(alg sched.Algorithm, gen func(rng *rand.Rand) *sched.Problem, cfg Config) (AlgoStats, error) {
+	var makespans, scheds, services []float64
+	var evals float64
+	for run := 0; run < cfg.Runs; run++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(run)*7919))
+		p := gen(rng)
+		res, err := sched.Run(alg, p, rng, cfg.Accounting)
+		if err != nil {
+			return AlgoStats{}, fmt.Errorf("experiments: %s run %d: %w", alg.Name(), run, err)
+		}
+		makespans = append(makespans, res.Makespan.Seconds())
+		scheds = append(scheds, res.SchedulingTime.Seconds())
+		services = append(services, res.ServiceTime.Seconds())
+		evals += float64(res.Evals)
+	}
+	return AlgoStats{
+		Algorithm:      alg.Name(),
+		Makespan:       stats.Mean(makespans),
+		MakespanStd:    stats.StdDev(makespans),
+		SchedulingTime: stats.Mean(scheds),
+		ServiceTime:    stats.Mean(services),
+		Evals:          evals / float64(cfg.Runs),
+	}, nil
+}
+
+// Fig4Point is one x-axis position of Figure 4.
+type Fig4Point struct {
+	Requests int
+	Algos    []AlgoStats
+}
+
+// Fig4 reproduces Figure 4: makespan of the five algorithms under uniform
+// workloads of 10, 20 and 30 requests on cfg.Cameras cameras.
+func Fig4(cfg Config) ([]Fig4Point, error) {
+	var out []Fig4Point
+	for _, n := range []int{10, 20, 30} {
+		point := Fig4Point{Requests: n}
+		for _, alg := range Algorithms() {
+			st, err := measure(alg, func(rng *rand.Rand) *sched.Problem {
+				return workload.Uniform(n, cfg.Cameras, rng)
+			}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			point.Algos = append(point.Algos, st)
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// Fig5 reproduces Figure 5: the scheduling-time/service-time breakdown of
+// the five algorithms at 20 requests.
+func Fig5(cfg Config) ([]AlgoStats, error) {
+	var out []AlgoStats
+	for _, alg := range Algorithms() {
+		st, err := measure(alg, func(rng *rand.Rand) *sched.Problem {
+			return workload.Uniform(20, cfg.Cameras, rng)
+		}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// Fig6Point is one skewness position of Figure 6.
+type Fig6Point struct {
+	Skew  float64
+	Algos []AlgoStats
+}
+
+// Fig6 reproduces Figure 6: makespan of the five algorithms with 20
+// requests on cfg.Cameras cameras while the workload skewness varies over
+// 0.2, 0.3 and 0.4.
+func Fig6(cfg Config) ([]Fig6Point, error) {
+	var out []Fig6Point
+	for _, skew := range []float64{0.2, 0.3, 0.4} {
+		point := Fig6Point{Skew: skew}
+		for _, alg := range Algorithms() {
+			skew := skew
+			st, err := measure(alg, func(rng *rand.Rand) *sched.Problem {
+				p, err := workload.Skewed(20, cfg.Cameras, skew, rng)
+				if err != nil {
+					panic(err) // skew values above are always valid
+				}
+				return p
+			}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			point.Algos = append(point.Algos, st)
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// RatioPoint is one (n, m) combination of the ratio experiment.
+type RatioPoint struct {
+	Requests, Cameras int
+	Algos             []AlgoStats
+}
+
+// Ratio reproduces the §6.3 prose observation: with uniform workloads the
+// performance of the four non-RANDOM algorithms depends only on
+// #requests/#devices. It sweeps (n, m) pairs sharing the ratio 2.
+func Ratio(cfg Config) ([]RatioPoint, error) {
+	var out []RatioPoint
+	for _, m := range []int{5, 10, 20} {
+		n := 2 * m
+		point := RatioPoint{Requests: n, Cameras: m}
+		for _, alg := range Algorithms() {
+			st, err := measure(alg, func(rng *rand.Rand) *sched.Problem {
+				return workload.Uniform(n, m, rng)
+			}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			point.Algos = append(point.Algos, st)
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// GapRow is one instance size of the optimal-gap experiment.
+type GapRow struct {
+	Requests, Cameras int
+	// Optimal is the exact service makespan (seconds).
+	Optimal float64
+	// Heuristics maps algorithm name → mean service makespan (seconds).
+	Heuristics map[string]float64
+	// OptimalWall is the exact solver's mean wall-clock time — the
+	// paper's point that exact solving is infeasible online.
+	OptimalWall time.Duration
+}
+
+// OptimalGap quantifies the §5.2 trade-off: the heuristics are near
+// optimal while the exact solver's cost explodes with instance size.
+func OptimalGap(cfg Config) ([]GapRow, error) {
+	heuristics := []sched.Algorithm{sched.LERFASRFE{}, sched.SRFAE{}, sched.LS{}, &sched.SA{}}
+	var out []GapRow
+	for _, n := range []int{4, 6, 8} {
+		const m = 3
+		row := GapRow{Requests: n, Cameras: m, Heuristics: make(map[string]float64)}
+		var optSpans, wall []float64
+		sums := make(map[string]float64)
+		for run := 0; run < cfg.Runs; run++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(run)*104729))
+			p := workload.Uniform(n, m, rng)
+
+			start := time.Now()
+			optA, err := (&sched.Optimal{}).Schedule(p, rng)
+			if err != nil {
+				return nil, err
+			}
+			wall = append(wall, time.Since(start).Seconds())
+			_, optSpan, err := sched.Simulate(p, optA)
+			if err != nil {
+				return nil, err
+			}
+			optSpans = append(optSpans, optSpan.Seconds())
+
+			for _, alg := range heuristics {
+				a, err := alg.Schedule(p, rng)
+				if err != nil {
+					return nil, err
+				}
+				_, span, err := sched.Simulate(p, a)
+				if err != nil {
+					return nil, err
+				}
+				sums[alg.Name()] += span.Seconds()
+			}
+		}
+		row.Optimal = stats.Mean(optSpans)
+		row.OptimalWall = time.Duration(stats.Mean(wall) * float64(time.Second))
+		for name, sum := range sums {
+			row.Heuristics[name] = sum / float64(cfg.Runs)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"aorta/internal/sched"
+)
+
+// fastConfig keeps experiment tests quick while preserving the shapes.
+func fastConfig() Config {
+	return Config{Runs: 6, Cameras: 10, Seed: 2005, Accounting: sched.DefaultAccounting()}
+}
+
+func algoByName(stats []AlgoStats, name string) AlgoStats {
+	for _, st := range stats {
+		if st.Algorithm == name {
+			return st
+		}
+	}
+	return AlgoStats{}
+}
+
+// TestFig4Shape asserts the paper's qualitative Figure 4 findings: the two
+// proposed algorithms beat LS and RANDOM, RANDOM is far worse, makespans
+// grow with n, and the proposed algorithms grow sub-linearly while LS
+// grows roughly linearly.
+func TestFig4Shape(t *testing.T) {
+	points, err := Fig4(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	for _, pt := range points {
+		lerfa := algoByName(pt.Algos, "LERFA+SRFE")
+		srfae := algoByName(pt.Algos, "SRFAE")
+		ls := algoByName(pt.Algos, "LS")
+		random := algoByName(pt.Algos, "RANDOM")
+
+		if lerfa.Makespan >= ls.Makespan {
+			t.Errorf("n=%d: LERFA+SRFE (%.2f) not better than LS (%.2f)", pt.Requests, lerfa.Makespan, ls.Makespan)
+		}
+		if srfae.Makespan >= ls.Makespan {
+			t.Errorf("n=%d: SRFAE (%.2f) not better than LS (%.2f)", pt.Requests, srfae.Makespan, ls.Makespan)
+		}
+		if random.Makespan <= ls.Makespan {
+			t.Errorf("n=%d: RANDOM (%.2f) not worse than LS (%.2f)", pt.Requests, random.Makespan, ls.Makespan)
+		}
+	}
+	// Makespans increase with the number of requests (RANDOM is too noisy
+	// for a strict monotonicity assertion at this run count).
+	for _, name := range []string{"LERFA+SRFE", "SRFAE", "LS"} {
+		prev := 0.0
+		for _, pt := range points {
+			cur := algoByName(pt.Algos, name).Makespan
+			if cur <= prev {
+				t.Errorf("%s: makespan not increasing (%v at n=%d)", name, cur, pt.Requests)
+			}
+			prev = cur
+		}
+	}
+	// The paper's scaling claim, in its robust form: adding requests costs
+	// the proposed algorithms clearly less than it costs LS (their curves
+	// flatten, LS stays near-linear).
+	for _, name := range []string{"LERFA+SRFE", "SRFAE"} {
+		ourSlope := algoByName(points[2].Algos, name).ServiceTime -
+			algoByName(points[0].Algos, name).ServiceTime
+		lsSlope := algoByName(points[2].Algos, "LS").ServiceTime -
+			algoByName(points[0].Algos, "LS").ServiceTime
+		if ourSlope >= lsSlope {
+			t.Errorf("%s: +%.2fs from 10→30 requests, not flatter than LS +%.2fs", name, ourSlope, lsSlope)
+		}
+	}
+}
+
+// TestFig5Shape asserts the breakdown findings: scheduling time is the
+// probe floor (≈0.16s) for everything except SA, SA's scheduling time
+// dominates (paper: 2.49s), SA's service time is the best, RANDOM's
+// service time is the worst.
+func TestFig5Shape(t *testing.T) {
+	rows, err := Fig5(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sa := algoByName(rows, "SA")
+	random := algoByName(rows, "RANDOM")
+	for _, name := range []string{"LERFA+SRFE", "SRFAE", "LS", "RANDOM"} {
+		st := algoByName(rows, name)
+		if st.SchedulingTime < 0.15 || st.SchedulingTime > 0.30 {
+			t.Errorf("%s scheduling time %.3fs outside the probe-floor band [0.15, 0.30]", name, st.SchedulingTime)
+		}
+	}
+	if sa.SchedulingTime < 1.0 {
+		t.Errorf("SA scheduling time %.2fs; paper reports it dominating (~2.5s)", sa.SchedulingTime)
+	}
+	for _, name := range []string{"LERFA+SRFE", "SRFAE", "LS", "RANDOM"} {
+		if st := algoByName(rows, name); sa.ServiceTime > st.ServiceTime {
+			t.Errorf("SA service %.2f worse than %s %.2f; SA should be near-optimal", sa.ServiceTime, name, st.ServiceTime)
+		}
+	}
+	for _, name := range []string{"LERFA+SRFE", "SRFAE", "LS", "SA"} {
+		if st := algoByName(rows, name); random.ServiceTime < st.ServiceTime {
+			t.Errorf("RANDOM service %.2f better than %s %.2f", random.ServiceTime, name, st.ServiceTime)
+		}
+	}
+	if random.Evals != 0 {
+		t.Errorf("RANDOM evals = %v, want 0", random.Evals)
+	}
+}
+
+// TestFig6Shape asserts: SA is the worst at every skewness (scheduling
+// time explodes under eligibility restrictions) and the proposed
+// algorithms' makespans decrease as skewness increases.
+func TestFig6Shape(t *testing.T) {
+	points, err := Fig6(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		sa := algoByName(pt.Algos, "SA")
+		for _, name := range []string{"LERFA+SRFE", "SRFAE", "LS", "RANDOM"} {
+			if st := algoByName(pt.Algos, name); sa.Makespan <= st.Makespan {
+				t.Errorf("skew %.1f: SA (%.2f) not worst vs %s (%.2f)", pt.Skew, sa.Makespan, name, st.Makespan)
+			}
+		}
+		if sa.SchedulingTime < sa.ServiceTime {
+			t.Errorf("skew %.1f: SA scheduling time (%.2f) does not dominate service (%.2f)", pt.Skew, sa.SchedulingTime, sa.ServiceTime)
+		}
+		lerfa := algoByName(pt.Algos, "LERFA+SRFE")
+		ls := algoByName(pt.Algos, "LS")
+		if lerfa.Makespan >= ls.Makespan {
+			t.Errorf("skew %.1f: LERFA+SRFE (%.2f) not better than LS (%.2f)", pt.Skew, lerfa.Makespan, ls.Makespan)
+		}
+	}
+	// Decreasing makespan with skewness for the proposed algorithms.
+	for _, name := range []string{"LERFA+SRFE", "SRFAE"} {
+		first := algoByName(points[0].Algos, name).Makespan
+		last := algoByName(points[2].Algos, name).Makespan
+		if last >= first {
+			t.Errorf("%s: makespan did not decrease with skewness (%.2f → %.2f)", name, first, last)
+		}
+	}
+}
+
+// TestRatioShape asserts the §6.3 observation: with a fixed
+// requests/devices ratio, the non-RANDOM algorithms' service times stay in
+// a narrow band as the absolute size scales 4×.
+func TestRatioShape(t *testing.T) {
+	points, err := Ratio(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"LERFA+SRFE", "SRFAE", "LS"} {
+		small := algoByName(points[0].Algos, name).ServiceTime
+		large := algoByName(points[2].Algos, name).ServiceTime
+		ratio := large / small
+		if ratio > 1.8 || ratio < 0.55 {
+			t.Errorf("%s: service time changed %.2fx from (10,5) to (40,20); should be ~flat at fixed ratio", name, ratio)
+		}
+	}
+}
+
+func TestOptimalGapShape(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Runs = 2
+	rows, err := OptimalGap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for name, span := range r.Heuristics {
+			if span < r.Optimal-1e-9 {
+				t.Errorf("(n=%d) heuristic %s (%.2f) beat the exact optimum (%.2f)", r.Requests, name, span, r.Optimal)
+			}
+			if span > 2*r.Optimal {
+				t.Errorf("(n=%d) heuristic %s (%.2f) more than 2x the optimum (%.2f)", r.Requests, name, span, r.Optimal)
+			}
+		}
+	}
+	// Exact solving cost explodes with n.
+	if rows[2].OptimalWall <= rows[0].OptimalWall {
+		t.Logf("optimal wall times: %v vs %v (pruning can flatten growth on small instances)", rows[0].OptimalWall, rows[2].OptimalWall)
+	}
+}
+
+func TestCostModelAccuracy(t *testing.T) {
+	s, err := CostModel(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Trials) != 10 {
+		t.Fatalf("trials = %d", len(s.Trials))
+	}
+	// "Reasonably accurate": mean relative error under 10%.
+	if s.MeanRelError > 0.10 {
+		t.Errorf("mean relative error %.1f%% exceeds 10%%", s.MeanRelError*100)
+	}
+	for _, tr := range s.Trials {
+		if tr.Measured <= 0 || tr.Estimated <= 0 {
+			t.Errorf("non-positive cost in trial %+v", tr)
+		}
+	}
+}
+
+func TestPrintersProduceTables(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Runs = 1
+
+	var sb strings.Builder
+	f4, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig4(&sb, f4)
+	if !strings.Contains(sb.String(), "LERFA+SRFE") || !strings.Contains(sb.String(), "Figure 4") {
+		t.Errorf("Fig4 table missing content:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	f5, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig5(&sb, f5)
+	if !strings.Contains(sb.String(), "SchedTime") {
+		t.Errorf("Fig5 table missing breakdown header:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	f6, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig6(&sb, f6)
+	if !strings.Contains(sb.String(), "0.2") {
+		t.Errorf("Fig6 table missing skew values:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	ratio, err := Ratio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintRatio(&sb, ratio)
+	if !strings.Contains(sb.String(), "( 10,   5)") {
+		t.Errorf("Ratio table missing sizes:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	cm, err := CostModel(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintCostModel(&sb, cm)
+	if !strings.Contains(sb.String(), "relative error") {
+		t.Errorf("CostModel summary missing:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	gap, err := OptimalGap(Config{Runs: 1, Cameras: 3, Seed: 1, Accounting: sched.DefaultAccounting()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintOptimalGap(&sb, gap)
+	if !strings.Contains(sb.String(), "OPT") {
+		t.Errorf("OptimalGap table missing:\n%s", sb.String())
+	}
+}

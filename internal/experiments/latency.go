@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"aorta/internal/geo"
+	"aorta/internal/sched"
+	"aorta/internal/stats"
+	"aorta/internal/workload"
+)
+
+// LatencyConfig controls the continuous-arrival study.
+type LatencyConfig struct {
+	// Cameras is the device count (default 10).
+	Cameras int
+	// ArrivalsPerSec is the Poisson arrival rate of photo requests.
+	ArrivalsPerSec float64
+	// Duration is the simulated observation window (default 120 s).
+	Duration time.Duration
+	// BatchWindow groups arrivals before scheduling, like the engine's
+	// shared action operator (default 100 ms).
+	BatchWindow time.Duration
+	// Seed drives arrivals and targets.
+	Seed int64
+}
+
+func (c LatencyConfig) withDefaults() LatencyConfig {
+	if c.Cameras <= 0 {
+		c.Cameras = 10
+	}
+	if c.ArrivalsPerSec <= 0 {
+		c.ArrivalsPerSec = 2
+	}
+	if c.Duration <= 0 {
+		c.Duration = 120 * time.Second
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 100 * time.Millisecond
+	}
+	return c
+}
+
+// LatencyRow is one algorithm's latency distribution under continuous
+// arrivals.
+type LatencyRow struct {
+	Algorithm string
+	Requests  int
+	// P50, P95 and Max are event-to-completion latencies in seconds.
+	P50, P95, Max float64
+	// MeanQueue is the average number of requests waiting or in service.
+	MeanQueue float64
+}
+
+// Latency runs the §5.1 real-time study the paper's batch experiments
+// approximate: photo requests arrive continuously (Poisson), the shared
+// operator batches them every BatchWindow, the algorithm under test
+// schedules each batch onto the cameras, and each camera works through
+// its queue with sequence-dependent service times. Reported latencies are
+// event-to-completion.
+func Latency(cfg LatencyConfig) ([]LatencyRow, error) {
+	cfg = cfg.withDefaults()
+	algs := []sched.Algorithm{sched.LERFASRFE{}, sched.SRFAE{}, sched.LS{}, sched.Random{}}
+	var out []LatencyRow
+	for _, alg := range algs {
+		row, err := latencyRun(alg, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// latencyRun simulates one algorithm under the arrival process.
+func latencyRun(alg sched.Algorithm, cfg LatencyConfig) (LatencyRow, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	devices := workload.CameraIDs(cfg.Cameras)
+	estimator := &sched.PTZEstimator{}
+
+	// Per-device execution state.
+	availAt := make(map[sched.DeviceID]float64, cfg.Cameras) // seconds
+	status := make(map[sched.DeviceID]sched.Status, cfg.Cameras)
+	for _, d := range devices {
+		status[d] = geo.Orientation{
+			Pan:  rng.Float64()*340 - 170,
+			Tilt: rng.Float64() * 90,
+			Zoom: 1 + rng.Float64()*3,
+		}
+	}
+
+	// Poisson arrivals.
+	type arrival struct {
+		at  float64 // seconds
+		req *sched.Request
+	}
+	var arrivals []arrival
+	t := 0.0
+	id := 0
+	horizon := cfg.Duration.Seconds()
+	for {
+		t += rng.ExpFloat64() / cfg.ArrivalsPerSec
+		if t >= horizon {
+			break
+		}
+		id++
+		arrivals = append(arrivals, arrival{at: t, req: &sched.Request{
+			ID:     id,
+			Action: "photo",
+			Target: geo.Orientation{
+				Pan:  rng.Float64()*340 - 170,
+				Tilt: rng.Float64() * 90,
+				Zoom: 1 + rng.Float64()*3,
+			},
+			Candidates: append([]sched.DeviceID(nil), devices...),
+		}})
+	}
+	if len(arrivals) == 0 {
+		return LatencyRow{Algorithm: alg.Name()}, nil
+	}
+
+	var latencies []float64
+	var queueIntegral float64
+	window := cfg.BatchWindow.Seconds()
+
+	// Process fixed batch windows, like the shared action operator.
+	i := 0
+	for batchStart := 0.0; i < len(arrivals); batchStart += window {
+		batchEnd := batchStart + window
+		var batch []*sched.Request
+		byID := make(map[int]float64)
+		for i < len(arrivals) && arrivals[i].at < batchEnd {
+			batch = append(batch, arrivals[i].req)
+			byID[arrivals[i].req.ID] = arrivals[i].at
+			i++
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		// Probe-time busy exclusion, as in the engine's shared operator:
+		// devices still working through earlier batches are not
+		// candidates (unless everything is busy).
+		var free []sched.DeviceID
+		for _, d := range devices {
+			if availAt[d] <= batchEnd {
+				free = append(free, d)
+			}
+		}
+		if len(free) == 0 {
+			free = devices
+		}
+		for _, r := range batch {
+			r.Candidates = append([]sched.DeviceID(nil), free...)
+		}
+		p := sched.NewProblem(batch, free, snapshotStatus(status), estimator)
+		a, err := alg.Schedule(p, rng)
+		if err != nil {
+			return LatencyRow{}, err
+		}
+		// Execute: each device appends the batch's sequence to its queue.
+		for _, d := range devices {
+			for _, r := range a.Order[sched.DeviceID(d)] {
+				start := math.Max(batchEnd, availAt[d])
+				cost, next := estimator.Estimate(r, d, status[d])
+				complete := start + cost.Seconds()
+				availAt[d] = complete
+				status[d] = next
+				latencies = append(latencies, complete-byID[r.ID])
+				queueIntegral += complete - byID[r.ID]
+			}
+		}
+	}
+
+	span := horizon
+	for _, d := range devices {
+		if availAt[d] > span {
+			span = availAt[d]
+		}
+	}
+	return LatencyRow{
+		Algorithm: alg.Name(),
+		Requests:  len(latencies),
+		P50:       stats.Percentile(latencies, 50),
+		P95:       stats.Percentile(latencies, 95),
+		Max:       stats.Percentile(latencies, 100),
+		MeanQueue: queueIntegral / span, // Little's law: L = λ·W over the span
+	}, nil
+}
+
+// snapshotStatus copies the status map so scheduling-time estimates do not
+// disturb execution state.
+func snapshotStatus(in map[sched.DeviceID]sched.Status) map[sched.DeviceID]sched.Status {
+	out := make(map[sched.DeviceID]sched.Status, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// PrintLatency renders the continuous-arrival study.
+func PrintLatency(w io.Writer, cfg LatencyConfig, rows []LatencyRow) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintf(w, "Continuous arrivals — %.1f photo req/s on %d cameras for %s (latency, seconds)\n",
+		cfg.ArrivalsPerSec, cfg.Cameras, cfg.Duration)
+	fmt.Fprintf(w, "%-12s%10s%10s%10s%10s%12s\n", "Algorithm", "Requests", "P50", "P95", "Max", "MeanQueue")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s%10d%10.2f%10.2f%10.2f%12.2f\n",
+			r.Algorithm, r.Requests, r.P50, r.P95, r.Max, r.MeanQueue)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatencyShape(t *testing.T) {
+	cfg := LatencyConfig{ArrivalsPerSec: 2, Duration: 2 * time.Minute, Seed: 2005}
+	rows, err := Latency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]LatencyRow{}
+	for _, r := range rows {
+		byName[r.Algorithm] = r
+		if r.Requests < 100 {
+			t.Errorf("%s processed only %d requests", r.Algorithm, r.Requests)
+		}
+		if r.P50 <= 0 || r.P95 < r.P50 || r.Max < r.P95 {
+			t.Errorf("%s latency quantiles inconsistent: %+v", r.Algorithm, r)
+		}
+	}
+	// The cost-aware heuristics must deliver lower tail latency than
+	// RANDOM under the same load.
+	for _, name := range []string{"LERFA+SRFE", "SRFAE"} {
+		if byName[name].P95 >= byName["RANDOM"].P95 {
+			t.Errorf("%s P95 (%.2f) not better than RANDOM (%.2f)",
+				name, byName[name].P95, byName["RANDOM"].P95)
+		}
+	}
+
+	var sb strings.Builder
+	PrintLatency(&sb, cfg, rows)
+	if !strings.Contains(sb.String(), "P95") {
+		t.Errorf("table missing header:\n%s", sb.String())
+	}
+}
+
+func TestLatencyDeterministic(t *testing.T) {
+	cfg := LatencyConfig{ArrivalsPerSec: 1, Duration: time.Minute, Seed: 7}
+	r1, err := Latency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Latency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Errorf("run differs: %+v vs %+v", r1[i], r2[i])
+		}
+	}
+}
+
+func TestLatencyHigherLoadHigherLatency(t *testing.T) {
+	low, err := Latency(LatencyConfig{ArrivalsPerSec: 1, Duration: 2 * time.Minute, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Latency(LatencyConfig{ArrivalsPerSec: 4, Duration: 2 * time.Minute, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range low {
+		if high[i].P95 < low[i].P95 {
+			t.Errorf("%s: P95 fell from %.2f to %.2f as load quadrupled",
+				low[i].Algorithm, low[i].P95, high[i].P95)
+		}
+	}
+}

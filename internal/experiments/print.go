@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// PrintFig4 renders the Figure 4 series as a paper-style table.
+func PrintFig4(w io.Writer, points []Fig4Point) {
+	fmt.Fprintln(w, "Figure 4 — Makespan vs #requests (uniform workload, 10 cameras, seconds)")
+	fmt.Fprintf(w, "%-12s", "#Requests")
+	for _, st := range points[0].Algos {
+		fmt.Fprintf(w, "%12s", st.Algorithm)
+	}
+	fmt.Fprintln(w)
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-12d", pt.Requests)
+		for _, st := range pt.Algos {
+			fmt.Fprintf(w, "%12.2f", st.Makespan)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig5 renders the Figure 5 time breakdown.
+func PrintFig5(w io.Writer, rows []AlgoStats) {
+	fmt.Fprintln(w, "Figure 5 — Time breakdown, 20 requests on 10 cameras (seconds)")
+	fmt.Fprintf(w, "%-12s%14s%14s%14s%12s\n", "Algorithm", "SchedTime", "ServiceTime", "Makespan", "Evals")
+	for _, st := range rows {
+		fmt.Fprintf(w, "%-12s%14.2f%14.2f%14.2f%12.0f\n",
+			st.Algorithm, st.SchedulingTime, st.ServiceTime, st.Makespan, st.Evals)
+	}
+}
+
+// PrintFig6 renders the Figure 6 series.
+func PrintFig6(w io.Writer, points []Fig6Point) {
+	fmt.Fprintln(w, "Figure 6 — Makespan vs workload skewness (20 requests, 10 cameras, seconds)")
+	fmt.Fprintf(w, "%-12s", "Skewness")
+	for _, st := range points[0].Algos {
+		fmt.Fprintf(w, "%12s", st.Algorithm)
+	}
+	fmt.Fprintln(w)
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-12.1f", pt.Skew)
+		for _, st := range pt.Algos {
+			fmt.Fprintf(w, "%12.2f", st.Makespan)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintRatio renders the requests/devices-ratio experiment.
+func PrintRatio(w io.Writer, points []RatioPoint) {
+	fmt.Fprintln(w, "§6.3 — Uniform workloads at fixed #requests/#devices = 2 (makespan, seconds)")
+	fmt.Fprintf(w, "%-14s", "(n, m)")
+	for _, st := range points[0].Algos {
+		fmt.Fprintf(w, "%12s", st.Algorithm)
+	}
+	fmt.Fprintln(w)
+	for _, pt := range points {
+		fmt.Fprintf(w, "(%3d, %3d)    ", pt.Requests, pt.Cameras)
+		for _, st := range pt.Algos {
+			fmt.Fprintf(w, "%12.2f", st.Makespan)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintOptimalGap renders the optimal-gap experiment.
+func PrintOptimalGap(w io.Writer, rows []GapRow) {
+	fmt.Fprintln(w, "§5.2 — Exact solver vs heuristics (service makespan, seconds)")
+	fmt.Fprintf(w, "%-10s%10s%14s%14s%10s%10s%12s\n",
+		"(n, m)", "OPT", "LERFA+SRFE", "SRFAE", "LS", "SA", "OPT wall")
+	for _, r := range rows {
+		fmt.Fprintf(w, "(%2d, %2d)  %10.2f%14.2f%14.2f%10.2f%10.2f%12s\n",
+			r.Requests, r.Cameras, r.Optimal,
+			r.Heuristics["LERFA+SRFE"], r.Heuristics["SRFAE"],
+			r.Heuristics["LS"], r.Heuristics["SA"], r.OptimalWall.Round(1e6))
+	}
+}
+
+// PrintCostModel renders the cost-model validation summary.
+func PrintCostModel(w io.Writer, s *CostModelSummary) {
+	fmt.Fprintln(w, "§2.3 — Cost model validation: estimated vs emulator-measured photo() cost")
+	fmt.Fprintf(w, "trials=%d  mean relative error=%.1f%%  max=%.1f%%\n",
+		len(s.Trials), s.MeanRelError*100, s.MaxRelError*100)
+	show := len(s.Trials)
+	if show > 5 {
+		show = 5
+	}
+	for _, tr := range s.Trials[:show] {
+		fmt.Fprintf(w, "  est=%6.2fs measured=%6.2fs err=%4.1f%%\n",
+			tr.Estimated.Seconds(), tr.Measured.Seconds(), tr.RelError*100)
+	}
+}

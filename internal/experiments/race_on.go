@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; timing-sensitive experiments slow their virtual clocks to
+// compensate for the ~10-20x execution overhead.
+const raceEnabled = true

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"aorta/internal/core"
+)
+
+// TestSyncStudyShape reproduces the §6.2 findings at reduced duration:
+// without device synchronization most actions fail (paper: >50%); with it
+// the failure rate drops to around 10% (paper: ≈10%).
+func TestSyncStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("virtual-minutes experiment")
+	}
+	cfg := DefaultSyncConfig()
+	cfg.Minutes = 4
+	// Moderate scale: `go test ./...` runs packages in parallel, so the
+	// engine must keep up with virtual time even on a loaded machine.
+	cfg.ClockScale = 100
+	if raceEnabled {
+		// The race detector slows execution ~10-20x; keep the virtual
+		// workload deliverable.
+		cfg.ClockScale = 25
+	}
+	with, without, err := SyncStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Requests < int64(cfg.Queries*(cfg.Minutes-1)) {
+		t.Fatalf("with-sync run produced only %d requests", with.Requests)
+	}
+	if without.Requests < int64(cfg.Queries*(cfg.Minutes-1)) {
+		t.Fatalf("without-sync run produced only %d requests", without.Requests)
+	}
+	if without.FailureRate < 0.5 {
+		t.Errorf("without sync: failure rate %.0f%%, paper reports >50%%", without.FailureRate*100)
+	}
+	if with.FailureRate > 0.25 {
+		t.Errorf("with sync: failure rate %.0f%%, paper reports ≈10%%", with.FailureRate*100)
+	}
+	if with.FailureRate >= without.FailureRate {
+		t.Error("synchronization did not reduce the failure rate")
+	}
+	// Interference failures (blurred/wrong-position) must essentially
+	// disappear under locking.
+	interferenceWith := with.Failures[core.FailBlurred] + with.Failures[core.FailWrongPosition]
+	if float64(interferenceWith) > 0.05*float64(with.Requests) {
+		t.Errorf("with sync: %d interference failures of %d requests", interferenceWith, with.Requests)
+	}
+
+	var sb strings.Builder
+	PrintSyncStudy(&sb, with, without)
+	if !strings.Contains(sb.String(), "without sync") {
+		t.Errorf("table missing rows:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,172 @@
+// Package geo implements the small amount of 2½-D geometry Aorta needs:
+// locating devices on a floor plan, solving the pan/tilt angles a PTZ
+// camera must adopt to aim at a location, and deciding whether a location
+// falls inside a camera's coverage volume (the coverage() boolean function
+// of the paper's example queries).
+//
+// Coordinates are metres. The floor is the XY plane; Z points up. Angles
+// are degrees: pan is measured counter-clockwise in the XY plane relative
+// to the camera mount's forward axis, tilt is measured downward from the
+// horizontal (ceiling cameras look down, so tilt ∈ [0°, 90°]).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the lab, in metres.
+type Point struct {
+	X, Y, Z float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.2f, %.2f, %.2f)", p.X, p.Y, p.Z)
+}
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y, p.Z - q.Z} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y, p.Z + q.Z} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	d := p.Sub(q)
+	return math.Sqrt(d.X*d.X + d.Y*d.Y + d.Z*d.Z)
+}
+
+// DistXY returns the distance between the floor projections of p and q.
+func (p Point) DistXY(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Orientation describes a PTZ head position: pan and tilt in degrees and a
+// unitless zoom factor (1.0 = widest).
+type Orientation struct {
+	Pan  float64 `json:"pan"`
+	Tilt float64 `json:"tilt"`
+	Zoom float64 `json:"zoom"`
+}
+
+// String implements fmt.Stringer.
+func (o Orientation) String() string {
+	return fmt.Sprintf("pan=%.1f° tilt=%.1f° zoom=%.2f", o.Pan, o.Tilt, o.Zoom)
+}
+
+// AngularDist returns the per-axis absolute angular distances between two
+// head positions. The camera's pan and tilt motors run concurrently, so
+// movement time is driven by the slower axis.
+func AngularDist(a, b Orientation) (pan, tilt float64) {
+	return math.Abs(a.Pan - b.Pan), math.Abs(a.Tilt - b.Tilt)
+}
+
+// Mount describes where and how a camera is installed.
+type Mount struct {
+	// Position of the camera body, typically on the ceiling.
+	Position Point
+	// ForwardDeg is the direction (degrees, counter-clockwise from +X) the
+	// head faces at pan = 0.
+	ForwardDeg float64
+	// PanRangeDeg is the half-range of the pan axis (AXIS 2130: ±170°).
+	PanRangeDeg float64
+	// TiltMinDeg and TiltMaxDeg bound the tilt axis (downward from
+	// horizontal).
+	TiltMinDeg, TiltMaxDeg float64
+	// RangeM is the maximum distance at which photos are useful.
+	RangeM float64
+}
+
+// DefaultMount returns an AXIS-2130-like ceiling mount at p facing
+// forwardDeg.
+func DefaultMount(p Point, forwardDeg float64) Mount {
+	return Mount{
+		Position:    p,
+		ForwardDeg:  forwardDeg,
+		PanRangeDeg: 170,
+		TiltMinDeg:  0,
+		TiltMaxDeg:  90,
+		RangeM:      15,
+	}
+}
+
+// Aim solves the head orientation that points the camera at target and
+// reports whether the target is coverable (inside the pan/tilt envelope
+// and within range). The zoom is chosen so that targets at different
+// distances appear at similar view sizes, as the paper's experimental
+// setup configured ("each camera ... automatically tune its zoom level
+// based on the distance").
+func (m Mount) Aim(target Point) (Orientation, bool) {
+	d := target.Sub(m.Position)
+	horiz := math.Hypot(d.X, d.Y)
+	dist := m.Position.Dist(target)
+	if dist > m.RangeM || dist == 0 {
+		return Orientation{}, false
+	}
+
+	absPan := math.Atan2(d.Y, d.X) * 180 / math.Pi
+	pan := normDeg(absPan - m.ForwardDeg)
+	if math.Abs(pan) > m.PanRangeDeg {
+		return Orientation{}, false
+	}
+
+	// Tilt downward from horizontal: positive when the target is below the
+	// camera.
+	tilt := math.Atan2(-d.Z, horiz) * 180 / math.Pi
+	if tilt < m.TiltMinDeg || tilt > m.TiltMaxDeg {
+		return Orientation{}, false
+	}
+
+	// Normalized zoom: proportional to distance so view size stays roughly
+	// constant.
+	zoom := 1 + 3*(dist/m.RangeM)
+	return Orientation{Pan: pan, Tilt: tilt, Zoom: zoom}, true
+}
+
+// Covers reports whether the mount can photograph target.
+func (m Mount) Covers(target Point) bool {
+	_, ok := m.Aim(target)
+	return ok
+}
+
+// normDeg normalizes an angle to (-180, 180].
+func normDeg(a float64) float64 {
+	a = math.Mod(a, 360)
+	if a > 180 {
+		a -= 360
+	} else if a <= -180 {
+		a += 360
+	}
+	return a
+}
+
+// NormDeg normalizes an angle in degrees to the interval (-180, 180].
+func NormDeg(a float64) float64 { return normDeg(a) }
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates from a to b by fraction t ∈ [0, 1].
+func Lerp(a, b, t float64) float64 {
+	return a + (b-a)*Clamp(t, 0, 1)
+}
+
+// LerpOrientation interpolates between two head positions; used by the
+// camera emulator to model where an interrupted movement actually stopped.
+func LerpOrientation(a, b Orientation, t float64) Orientation {
+	return Orientation{
+		Pan:  Lerp(a.Pan, b.Pan, t),
+		Tilt: Lerp(a.Tilt, b.Tilt, t),
+		Zoom: Lerp(a.Zoom, b.Zoom, t),
+	}
+}

@@ -1,0 +1,247 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 2, 3}, Point{1, 2, 3}, 0},
+		{"unit x", Point{}, Point{1, 0, 0}, 1},
+		{"pythagorean", Point{}, Point{3, 4, 0}, 5},
+		{"3d", Point{}, Point{2, 3, 6}, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want) {
+				t.Errorf("Dist = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistXYIgnoresZ(t *testing.T) {
+	p := Point{0, 0, 10}
+	q := Point{3, 4, -5}
+	if got := p.DistXY(q); !almostEqual(got, 5) {
+		t.Errorf("DistXY = %v, want 5", got)
+	}
+}
+
+func TestSubAdd(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := Point{4, 6, 8}
+	if got := q.Sub(p).Add(p); got != q {
+		t.Errorf("Sub/Add round trip = %v, want %v", got, q)
+	}
+}
+
+func TestNormDeg(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{180, 180},
+		{-180, 180},
+		{190, -170},
+		{360, 0},
+		{-360, 0},
+		{540, 180},
+		{721, 1},
+	}
+	for _, tt := range tests {
+		if got := NormDeg(tt.in); !almostEqual(got, tt.want) {
+			t.Errorf("NormDeg(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNormDegPropertyRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e12 {
+			return true
+		}
+		n := NormDeg(a)
+		return n > -180-1e-6 && n <= 180+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAimStraightDown(t *testing.T) {
+	m := DefaultMount(Point{0, 0, 3}, 0)
+	o, ok := m.Aim(Point{0.001, 0, 0})
+	if !ok {
+		t.Fatal("Aim failed for target almost directly below")
+	}
+	if o.Tilt < 89 || o.Tilt > 90 {
+		t.Errorf("tilt = %v, want ≈90 for target below camera", o.Tilt)
+	}
+}
+
+func TestAimForwardHorizontalish(t *testing.T) {
+	m := DefaultMount(Point{0, 0, 3}, 0)
+	o, ok := m.Aim(Point{10, 0, 3})
+	if !ok {
+		t.Fatal("Aim failed for target straight ahead at camera height")
+	}
+	if !almostEqual(o.Pan, 0) {
+		t.Errorf("pan = %v, want 0", o.Pan)
+	}
+	if !almostEqual(o.Tilt, 0) {
+		t.Errorf("tilt = %v, want 0", o.Tilt)
+	}
+}
+
+func TestAimRespectsMountForward(t *testing.T) {
+	m := DefaultMount(Point{0, 0, 3}, 90) // facing +Y
+	o, ok := m.Aim(Point{0, 5, 0})
+	if !ok {
+		t.Fatal("Aim failed")
+	}
+	if !almostEqual(o.Pan, 0) {
+		t.Errorf("pan = %v, want 0 when target lies on the forward axis", o.Pan)
+	}
+}
+
+func TestAimOutOfRange(t *testing.T) {
+	m := DefaultMount(Point{0, 0, 3}, 0)
+	if _, ok := m.Aim(Point{100, 0, 0}); ok {
+		t.Error("Aim succeeded for target beyond RangeM")
+	}
+}
+
+func TestAimOutsidePanEnvelope(t *testing.T) {
+	m := Mount{Position: Point{0, 0, 3}, ForwardDeg: 0, PanRangeDeg: 45, TiltMaxDeg: 90, RangeM: 20}
+	if _, ok := m.Aim(Point{-5, 0.1, 0}); ok {
+		t.Error("Aim succeeded for target behind a ±45° camera")
+	}
+}
+
+func TestAimAboveCameraRejected(t *testing.T) {
+	m := DefaultMount(Point{0, 0, 1}, 0)
+	// Target above the camera needs negative (upward) tilt.
+	if _, ok := m.Aim(Point{3, 0, 5}); ok {
+		t.Error("Aim succeeded for target above a downward-only camera")
+	}
+}
+
+func TestAimZeroDistance(t *testing.T) {
+	m := DefaultMount(Point{1, 1, 1}, 0)
+	if _, ok := m.Aim(Point{1, 1, 1}); ok {
+		t.Error("Aim succeeded for target exactly at the camera position")
+	}
+}
+
+func TestAimZoomGrowsWithDistance(t *testing.T) {
+	m := DefaultMount(Point{0, 0, 3}, 0)
+	near, ok1 := m.Aim(Point{2, 0, 0})
+	far, ok2 := m.Aim(Point{12, 0, 0})
+	if !ok1 || !ok2 {
+		t.Fatal("Aim failed")
+	}
+	if near.Zoom >= far.Zoom {
+		t.Errorf("zoom near (%v) >= zoom far (%v); zoom should grow with distance", near.Zoom, far.Zoom)
+	}
+}
+
+func TestCoversMatchesAim(t *testing.T) {
+	m := DefaultMount(Point{0, 0, 3}, 0)
+	f := func(x, y float64) bool {
+		x = math.Mod(x, 40)
+		y = math.Mod(y, 40)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		p := Point{x, y, 0}
+		_, ok := m.Aim(p)
+		return ok == m.Covers(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngularDist(t *testing.T) {
+	a := Orientation{Pan: -30, Tilt: 10}
+	b := Orientation{Pan: 40, Tilt: 50}
+	pan, tilt := AngularDist(a, b)
+	if !almostEqual(pan, 70) || !almostEqual(tilt, 40) {
+		t.Errorf("AngularDist = (%v, %v), want (70, 40)", pan, tilt)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 10, 0.5); !almostEqual(got, 5) {
+		t.Errorf("Lerp = %v, want 5", got)
+	}
+	if got := Lerp(0, 10, 2); !almostEqual(got, 10) {
+		t.Errorf("Lerp clamping high = %v, want 10", got)
+	}
+	if got := Lerp(0, 10, -1); !almostEqual(got, 0) {
+		t.Errorf("Lerp clamping low = %v, want 0", got)
+	}
+}
+
+func TestLerpOrientationMidpoint(t *testing.T) {
+	a := Orientation{Pan: 0, Tilt: 0, Zoom: 1}
+	b := Orientation{Pan: 90, Tilt: 40, Zoom: 3}
+	mid := LerpOrientation(a, b, 0.5)
+	if !almostEqual(mid.Pan, 45) || !almostEqual(mid.Tilt, 20) || !almostEqual(mid.Zoom, 2) {
+		t.Errorf("LerpOrientation midpoint = %+v", mid)
+	}
+}
+
+func TestAimPanSymmetryProperty(t *testing.T) {
+	// Mirroring the target across the forward axis negates pan.
+	m := DefaultMount(Point{0, 0, 3}, 0)
+	f := func(x, y float64) bool {
+		x = 1 + math.Abs(math.Mod(x, 8))
+		y = math.Mod(y, 8)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		o1, ok1 := m.Aim(Point{x, y, 0})
+		o2, ok2 := m.Aim(Point{x, -y, 0})
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return almostEqual(o1.Pan, -o2.Pan) && almostEqual(o1.Tilt, o2.Tilt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAim(b *testing.B) {
+	m := DefaultMount(Point{0, 4, 3}, 0)
+	target := Point{7, 2, 0}
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Aim(target); !ok {
+			b.Fatal("target not coverable")
+		}
+	}
+}

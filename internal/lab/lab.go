@@ -1,0 +1,225 @@
+// Package lab builds the paper's §6 "pervasive lab" testbed in
+// simulation: a floor plan with ceiling-mounted PTZ cameras, MICA2-like
+// motes at places of interest, MMS phones, an in-memory device network
+// with fault injection, and an Aorta engine wired to all of it.
+//
+// The default layout mirrors the paper's setup: two cameras on the
+// ceiling, ten motes placed so each is in the view range of at least one
+// camera, running against a scaled clock so a "10-minute" empirical study
+// finishes in seconds.
+package lab
+
+import (
+	"fmt"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/core"
+	"aorta/internal/device"
+	"aorta/internal/device/camera"
+	"aorta/internal/device/mote"
+	"aorta/internal/device/phone"
+	"aorta/internal/geo"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/vclock"
+)
+
+// Room dimensions in metres.
+const (
+	RoomWidth    = 14.0
+	RoomDepth    = 8.0
+	CeilingZ     = 3.0
+	DefaultScale = 100.0
+)
+
+// Config sizes the lab. Zero values select the paper's defaults.
+type Config struct {
+	// Cameras is the PTZ camera count (default 2).
+	Cameras int
+	// Motes is the sensor count (default 10).
+	Motes int
+	// Phones is the phone count (default 1).
+	Phones int
+	// ClockScale speeds up virtual time (default 100×).
+	ClockScale float64
+	// Seed drives network fault randomness.
+	Seed int64
+	// CameraLink is the fault configuration applied to every camera link
+	// (e.g. DialFailProb to model flaky connections).
+	CameraLink netsim.LinkConfig
+	// Engine overrides engine options; Clock, Dialer and Registry are set
+	// by the lab.
+	Engine core.Config
+}
+
+// Lab is a running simulated testbed.
+type Lab struct {
+	Clock   *vclock.Scaled
+	Network *netsim.Network
+	Engine  *core.Engine
+	Cameras []*camera.Camera
+	Motes   []*mote.Mote
+	Phones  []*phone.Phone
+
+	servers []*device.Server
+}
+
+// New builds and wires the lab. Call Close when done.
+func New(cfg Config) (*Lab, error) {
+	if cfg.Cameras <= 0 {
+		cfg.Cameras = 2
+	}
+	if cfg.Motes <= 0 {
+		cfg.Motes = 10
+	}
+	if cfg.Phones < 0 {
+		cfg.Phones = 0
+	} else if cfg.Phones == 0 {
+		cfg.Phones = 1
+	}
+	if cfg.ClockScale <= 0 {
+		cfg.ClockScale = DefaultScale
+	}
+
+	clk := vclock.NewScaled(cfg.ClockScale)
+	network := netsim.NewNetwork(clk, cfg.Seed)
+
+	ecfg := cfg.Engine
+	ecfg.Clock = clk
+	ecfg.Dialer = network
+	engine, err := core.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+
+	l := &Lab{Clock: clk, Network: network, Engine: engine}
+
+	serve := func(id string, m device.Model) error {
+		lis, err := network.Listen(id)
+		if err != nil {
+			return err
+		}
+		l.servers = append(l.servers, device.Serve(lis, m))
+		return nil
+	}
+
+	// Cameras along the long walls, facing the room.
+	for i := 0; i < cfg.Cameras; i++ {
+		id := fmt.Sprintf("camera-%d", i+1)
+		mount := cameraMount(i, cfg.Cameras)
+		cam := camera.New(id, mount, clk)
+		l.Cameras = append(l.Cameras, cam)
+		if err := serve(id, cam); err != nil {
+			return nil, err
+		}
+		if err := engine.RegisterDevice(comm.DeviceInfo{
+			ID: id, Type: profile.DeviceCamera, Addr: id,
+		}, mount); err != nil {
+			return nil, err
+		}
+		network.SetLink(id, cfg.CameraLink)
+	}
+
+	// Motes at places of interest; each within range of a camera.
+	for i := 0; i < cfg.Motes; i++ {
+		id := fmt.Sprintf("mote-%d", i+1)
+		loc := moteLocation(i, cfg.Motes)
+		m := mote.New(id, loc, clk, mote.Config{Depth: 1 + i%3, Seed: cfg.Seed + int64(i)})
+		l.Motes = append(l.Motes, m)
+		if err := serve(id, m); err != nil {
+			return nil, err
+		}
+		if err := engine.RegisterDevice(comm.DeviceInfo{
+			ID: id, Type: profile.DeviceSensor, Addr: id,
+			Static: map[string]any{"loc": loc, "depth": 1 + i%3},
+		}, geo.Mount{}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phones.
+	for i := 0; i < cfg.Phones; i++ {
+		id := fmt.Sprintf("phone-%d", i+1)
+		number := fmt.Sprintf("+8525550%02d", i+1)
+		p := phone.New(id, number, fmt.Sprintf("manager-%d", i+1), clk)
+		l.Phones = append(l.Phones, p)
+		if err := serve(id, p); err != nil {
+			return nil, err
+		}
+		if err := engine.RegisterDevice(comm.DeviceInfo{
+			ID: id, Type: profile.DevicePhone, Addr: id,
+			Static: map[string]any{"number": number, "owner": fmt.Sprintf("manager-%d", i+1)},
+		}, geo.Mount{}); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Close shuts down the engine and every device server.
+func (l *Lab) Close() {
+	l.Engine.Stop()
+	for _, s := range l.servers {
+		_ = s.Close()
+	}
+}
+
+// cameraMount places camera i of n alternating along the two short walls,
+// facing into the room.
+func cameraMount(i, n int) geo.Mount {
+	var pos geo.Point
+	var forward float64
+	if n == 1 {
+		return geo.DefaultMount(geo.Point{X: 0, Y: RoomDepth / 2, Z: CeilingZ}, 0)
+	}
+	side := i % 2
+	step := RoomDepth / float64((n+1)/2+1)
+	row := float64(i/2+1) * step
+	if side == 0 {
+		pos = geo.Point{X: 0, Y: row, Z: CeilingZ}
+		forward = 0 // facing +X
+	} else {
+		pos = geo.Point{X: RoomWidth, Y: row, Z: CeilingZ}
+		forward = 180 // facing -X
+	}
+	return geo.DefaultMount(pos, forward)
+}
+
+// moteLocation spreads motes on a grid across the room floor.
+func moteLocation(i, n int) geo.Point {
+	cols := 5
+	if n < cols {
+		cols = n
+	}
+	rows := (n + cols - 1) / cols
+	col := i % cols
+	row := i / cols
+	x := RoomWidth * float64(col+1) / float64(cols+1)
+	y := RoomDepth * float64(row+1) / float64(rows+1)
+	return geo.Point{X: x, Y: y, Z: 0}
+}
+
+// StimulateMote injects a physical event at mote index i: the
+// accelerometer x-axis reads magnitude for dur of virtual time.
+func (l *Lab) StimulateMote(i int, magnitude float64, dur time.Duration) {
+	if i >= 0 && i < len(l.Motes) {
+		l.Motes[i].Stimulate("x", magnitude, dur)
+	}
+}
+
+// CoveredBy returns the IDs of cameras whose envelope covers mote i's
+// location.
+func (l *Lab) CoveredBy(i int) []string {
+	if i < 0 || i >= len(l.Motes) {
+		return nil
+	}
+	loc := l.Motes[i].Location()
+	var out []string
+	for _, cam := range l.Cameras {
+		if cam.Mount().Covers(loc) {
+			out = append(out, cam.ID())
+		}
+	}
+	return out
+}

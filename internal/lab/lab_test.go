@@ -1,0 +1,93 @@
+package lab
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDefaultLabLayout(t *testing.T) {
+	l, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(l.Cameras) != 2 || len(l.Motes) != 10 || len(l.Phones) != 1 {
+		t.Fatalf("layout = %d cameras, %d motes, %d phones", len(l.Cameras), len(l.Motes), len(l.Phones))
+	}
+	// The paper's constraint: every mote is in the view range of at least
+	// one camera.
+	for i := range l.Motes {
+		if len(l.CoveredBy(i)) == 0 {
+			t.Errorf("mote %d at %v covered by no camera", i+1, l.Motes[i].Location())
+		}
+	}
+}
+
+func TestLargerLabCoverage(t *testing.T) {
+	l, err := New(Config{Cameras: 6, Motes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := range l.Motes {
+		if len(l.CoveredBy(i)) == 0 {
+			t.Errorf("mote %d covered by no camera", i+1)
+		}
+	}
+}
+
+func TestDevicesRegisteredAndReachable(t *testing.T) {
+	l, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := context.Background()
+	for _, id := range []string{"camera-1", "camera-2", "mote-1", "mote-10", "phone-1"} {
+		if _, err := l.Engine.Layer().Probe(ctx, id); err != nil {
+			t.Errorf("probe %s: %v", id, err)
+		}
+	}
+}
+
+func TestStimulateMoteVisibleThroughScan(t *testing.T) {
+	l, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.StimulateMote(3, 900, time.Hour)
+	tuples, _, err := l.Engine.Layer().Scan(context.Background(), "sensor", []string{"accel_x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tu := range tuples {
+		if tu["id"] == "mote-4" {
+			if tu["accel_x"].(float64) > 500 {
+				found = true
+			}
+		} else if v, ok := tu["accel_x"].(float64); ok && v > 500 {
+			t.Errorf("unstimulated mote %v reads %v", tu["id"], v)
+		}
+	}
+	if !found {
+		t.Error("stimulated mote-4 does not read > 500")
+	}
+}
+
+func TestAdHocQueryOverLab(t *testing.T) {
+	l, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	res, err := l.Engine.Exec(context.Background(), `SELECT s.temp FROM sensor s WHERE s.temp > -100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "rows" || len(res.Rows) != 10 {
+		t.Fatalf("result = %s with %d rows, want 10", res.Kind, len(res.Rows))
+	}
+}

@@ -1,0 +1,90 @@
+// Package manifest defines the device-farm manifest exchanged between
+// cmd/devfarm (which serves emulated devices over real TCP) and
+// cmd/aortad (which registers them with an engine). It is the deployment
+// descriptor a site administrator would maintain for a real installation.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"aorta/internal/geo"
+)
+
+// Device describes one device in a farm.
+type Device struct {
+	ID   string `json:"id"`
+	Type string `json:"type"` // camera | sensor | phone
+	Addr string `json:"addr"` // host:port
+
+	// Camera-only: mount geometry.
+	Mount *geo.Mount `json:"mount,omitempty"`
+	// Sensor-only: deployment position and routing depth.
+	Loc   *geo.Point `json:"loc,omitempty"`
+	Depth int        `json:"depth,omitempty"`
+	// Phone-only.
+	Number string `json:"number,omitempty"`
+	Owner  string `json:"owner,omitempty"`
+}
+
+// Manifest is a whole farm.
+type Manifest struct {
+	Devices []Device `json:"devices"`
+}
+
+// Write saves the manifest as JSON.
+func Write(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return nil
+}
+
+// Read loads a manifest from JSON.
+func Read(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: parse %s: %w", path, err)
+	}
+	for i, d := range m.Devices {
+		if d.ID == "" || d.Type == "" || d.Addr == "" {
+			return nil, fmt.Errorf("manifest: device %d missing id/type/addr", i)
+		}
+	}
+	return &m, nil
+}
+
+// Static converts a device entry into the communication layer's static
+// attribute map.
+func (d *Device) Static() map[string]any {
+	out := map[string]any{"id": d.ID}
+	switch d.Type {
+	case "camera":
+		out["ip"] = d.Addr
+		if d.Mount != nil {
+			out["loc"] = d.Mount.Position
+		}
+	case "sensor":
+		if d.Loc != nil {
+			out["loc"] = *d.Loc
+		}
+		depth := d.Depth
+		if depth < 1 {
+			depth = 1
+		}
+		out["depth"] = depth
+	case "phone":
+		out["number"] = d.Number
+		out["owner"] = d.Owner
+	}
+	return out
+}

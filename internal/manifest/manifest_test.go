@@ -1,0 +1,103 @@
+package manifest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aorta/internal/geo"
+)
+
+func sample() *Manifest {
+	mount := geo.DefaultMount(geo.Point{X: 0, Y: 4, Z: 3}, 0)
+	loc := geo.Point{X: 2, Y: 1}
+	return &Manifest{Devices: []Device{
+		{ID: "camera-1", Type: "camera", Addr: "127.0.0.1:9001", Mount: &mount},
+		{ID: "mote-1", Type: "sensor", Addr: "127.0.0.1:9002", Loc: &loc, Depth: 2},
+		{ID: "phone-1", Type: "phone", Addr: "127.0.0.1:9003", Number: "+852555001", Owner: "manager"},
+	}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "farm.json")
+	if err := Write(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Devices) != 3 {
+		t.Fatalf("devices = %d", len(got.Devices))
+	}
+	cam := got.Devices[0]
+	if cam.Mount == nil || cam.Mount.Position.Z != 3 || cam.Mount.PanRangeDeg != 170 {
+		t.Errorf("camera mount = %+v", cam.Mount)
+	}
+	sensor := got.Devices[1]
+	if sensor.Loc == nil || sensor.Loc.X != 2 || sensor.Depth != 2 {
+		t.Errorf("sensor = %+v", sensor)
+	}
+	if got.Devices[2].Number != "+852555001" {
+		t.Errorf("phone = %+v", got.Devices[2])
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadValidatesRequiredFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incomplete.json")
+	if err := writeFile(path, `{"devices":[{"id":"x","type":"camera"}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("device without addr accepted")
+	}
+}
+
+func TestStaticMaps(t *testing.T) {
+	m := sample()
+	camStatic := m.Devices[0].Static()
+	if camStatic["ip"] != "127.0.0.1:9001" {
+		t.Errorf("camera static = %v", camStatic)
+	}
+	if _, ok := camStatic["loc"]; !ok {
+		t.Error("camera static missing loc")
+	}
+	sensorStatic := m.Devices[1].Static()
+	if sensorStatic["depth"] != 2 {
+		t.Errorf("sensor static = %v", sensorStatic)
+	}
+	if loc, ok := sensorStatic["loc"].(geo.Point); !ok || loc.X != 2 {
+		t.Errorf("sensor loc = %v", sensorStatic["loc"])
+	}
+	phoneStatic := m.Devices[2].Static()
+	if phoneStatic["number"] != "+852555001" || phoneStatic["owner"] != "manager" {
+		t.Errorf("phone static = %v", phoneStatic)
+	}
+}
+
+func TestStaticDefaultsDepth(t *testing.T) {
+	d := Device{ID: "m", Type: "sensor", Addr: "a"}
+	if got := d.Static()["depth"]; got != 1 {
+		t.Errorf("default depth = %v, want 1", got)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

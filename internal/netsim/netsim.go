@@ -1,0 +1,251 @@
+// Package netsim provides the stream transports that connect the Aorta
+// communication layer to devices.
+//
+// Two implementations are provided behind one Dialer interface: TCP for
+// real deployments (cmd/aortad, cmd/devfarm) and an in-memory simulated
+// network with configurable per-link latency, dial-failure probability,
+// outright down links and black holes (dials that hang until the caller's
+// timeout fires — how an unresponsive mote looks to the prober, paper §4).
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+// Dialer opens stream connections to device addresses.
+type Dialer interface {
+	Dial(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// Errors returned by the simulated network.
+var (
+	ErrNoListener = errors.New("netsim: no listener at address")
+	ErrLinkDown   = errors.New("netsim: link is down")
+	ErrDialFailed = errors.New("netsim: dial failed (injected)")
+)
+
+// TCP dials real TCP connections.
+type TCP struct {
+	// Timeout bounds connection establishment when the context has no
+	// earlier deadline. Zero means no transport-level timeout.
+	Timeout time.Duration
+}
+
+var _ Dialer = (*TCP)(nil)
+
+// Dial implements Dialer.
+func (t *TCP) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: t.Timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: dial tcp %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// LinkConfig describes the simulated properties of one device link.
+type LinkConfig struct {
+	// Latency is added to connection establishment and to every write.
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// DialFailProb is the probability that a dial fails immediately —
+	// models the lossy radio channel of the motes.
+	DialFailProb float64
+	// Down refuses all dials, as if the device left the network.
+	Down bool
+	// Blackhole makes dials hang until the caller's context expires, as an
+	// unresponsive device does. The prober's TIMEOUT handling is tested
+	// against this.
+	Blackhole bool
+}
+
+// Network is an in-memory network of listeners with per-link fault
+// injection. It is safe for concurrent use.
+type Network struct {
+	clk vclock.Clock
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	listeners map[string]*memListener
+	links     map[string]LinkConfig
+}
+
+var _ Dialer = (*Network)(nil)
+
+// NewNetwork returns an empty simulated network. Random fault decisions are
+// drawn from seed so tests are reproducible; time-based behaviour (latency)
+// uses clk.
+func NewNetwork(clk vclock.Clock, seed int64) *Network {
+	return &Network{
+		clk:       clk,
+		rng:       rand.New(rand.NewSource(seed)),
+		listeners: make(map[string]*memListener),
+		links:     make(map[string]LinkConfig),
+	}
+}
+
+// SetLink configures fault injection for addr. It may be called at any
+// time; existing connections are unaffected.
+func (n *Network) SetLink(addr string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[addr] = cfg
+}
+
+// Link returns the current configuration for addr.
+func (n *Network) Link(addr string) LinkConfig {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.links[addr]
+}
+
+// Listen registers a listener at addr.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.listeners[addr]; dup {
+		return nil, fmt.Errorf("netsim: address %s already in use", addr)
+	}
+	l := &memListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan net.Conn),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Dialer.
+func (n *Network) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	n.mu.Lock()
+	cfg := n.links[addr]
+	l := n.listeners[addr]
+	var roll float64
+	if cfg.DialFailProb > 0 {
+		roll = n.rng.Float64()
+	}
+	n.mu.Unlock()
+
+	if cfg.Blackhole {
+		<-ctx.Done()
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, ctx.Err())
+	}
+	if cfg.Down {
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, ErrLinkDown)
+	}
+	if cfg.DialFailProb > 0 && roll < cfg.DialFailProb {
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, ErrDialFailed)
+	}
+	if d := n.linkDelay(cfg); d > 0 {
+		if err := vclock.SleepCtx(ctx, n.clk, d); err != nil {
+			return nil, fmt.Errorf("netsim: dial %s: %w", addr, err)
+		}
+	}
+	if l == nil {
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, ErrNoListener)
+	}
+
+	client, server := net.Pipe()
+	wrapped := &latConn{Conn: server, net: n, addr: addr}
+	select {
+	case l.accept <- wrapped:
+		return &latConn{Conn: client, net: n, addr: addr}, nil
+	case <-l.done:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, ErrNoListener)
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("netsim: dial %s: %w", addr, ctx.Err())
+	}
+}
+
+func (n *Network) linkDelay(cfg LinkConfig) time.Duration {
+	d := cfg.Latency
+	if cfg.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
+		n.mu.Unlock()
+	}
+	return d
+}
+
+func (n *Network) removeListener(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.listeners, addr)
+}
+
+// memListener implements net.Listener over the simulated network.
+type memListener struct {
+	net    *Network
+	addr   string
+	accept chan net.Conn
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ net.Listener = (*memListener)(nil)
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.net.removeListener(l.addr)
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "aorta-sim" }
+func (a memAddr) String() string  { return string(a) }
+
+// latConn injects the link's current write latency into an in-memory
+// connection.
+type latConn struct {
+	net.Conn
+	net  *Network
+	addr string
+}
+
+// Write delays by the link latency before delivering, modelling one-way
+// network delay.
+func (c *latConn) Write(p []byte) (int, error) {
+	cfg := c.net.Link(c.addr)
+	if d := c.net.linkDelay(cfg); d > 0 {
+		c.net.clk.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+// LocalAddr implements net.Conn.
+func (c *latConn) LocalAddr() net.Addr { return memAddr(c.addr) }
+
+// RemoteAddr implements net.Conn.
+func (c *latConn) RemoteAddr() net.Addr { return memAddr(c.addr) }

@@ -1,0 +1,297 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+func newNet() *Network {
+	return NewNetwork(vclock.Real{}, 1)
+}
+
+// echoServe accepts one connection and echoes everything back.
+func echoServe(t *testing.T, l net.Listener, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = io.Copy(conn, conn)
+	}()
+}
+
+func TestDialAndExchange(t *testing.T) {
+	n := newNet()
+	l, err := n.Listen("camera-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	echoServe(t, l, &wg)
+
+	conn, err := n.Dial(context.Background(), "camera-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello aorta")
+	go func() {
+		_, _ = conn.Write(msg)
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(msg) {
+		t.Fatalf("echoed %q, want %q", buf, msg)
+	}
+	conn.Close()
+	wg.Wait()
+}
+
+func TestDialNoListener(t *testing.T) {
+	n := newNet()
+	_, err := n.Dial(context.Background(), "ghost")
+	if !errors.Is(err, ErrNoListener) {
+		t.Fatalf("err = %v, want ErrNoListener", err)
+	}
+}
+
+func TestDuplicateListen(t *testing.T) {
+	n := newNet()
+	l, err := n.Listen("mote-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Listen("mote-1"); err == nil {
+		t.Fatal("duplicate Listen succeeded")
+	}
+}
+
+func TestListenAfterClose(t *testing.T) {
+	n := newNet()
+	l, err := n.Listen("mote-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := n.Listen("mote-1")
+	if err != nil {
+		t.Fatalf("Listen after Close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestAcceptAfterCloseReturnsErrClosed(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("mote-1")
+	l.Close()
+	if _, err := l.Accept(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("err = %v, want net.ErrClosed", err)
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("phone-1")
+	defer l.Close()
+	n.SetLink("phone-1", LinkConfig{Down: true})
+	if _, err := n.Dial(context.Background(), "phone-1"); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", err)
+	}
+	n.SetLink("phone-1", LinkConfig{})
+	var wg sync.WaitGroup
+	echoServe(t, l, &wg)
+	conn, err := n.Dial(context.Background(), "phone-1")
+	if err != nil {
+		t.Fatalf("dial after link restored: %v", err)
+	}
+	conn.Close()
+	wg.Wait()
+}
+
+func TestBlackholeRespectsContext(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("mote-2")
+	defer l.Close()
+	n.SetLink("mote-2", LinkConfig{Blackhole: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Dial(ctx, "mote-2")
+	if err == nil {
+		t.Fatal("blackhole dial succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("blackhole dial did not return promptly after deadline")
+	}
+}
+
+func TestDialFailProbAlwaysFails(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("mote-3")
+	defer l.Close()
+	n.SetLink("mote-3", LinkConfig{DialFailProb: 1.0})
+	for i := 0; i < 5; i++ {
+		if _, err := n.Dial(context.Background(), "mote-3"); !errors.Is(err, ErrDialFailed) {
+			t.Fatalf("dial %d: err = %v, want ErrDialFailed", i, err)
+		}
+	}
+}
+
+func TestDialFailProbStatistical(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("mote-4")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // persistent acceptor
+		defer wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	n.SetLink("mote-4", LinkConfig{DialFailProb: 0.5})
+	fails := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		conn, err := n.Dial(context.Background(), "mote-4")
+		if err != nil {
+			fails++
+			continue
+		}
+		conn.Close()
+	}
+	l.Close()
+	wg.Wait()
+	if fails < trials/4 || fails > trials*3/4 {
+		t.Fatalf("fails = %d of %d with p=0.5; outside [25%%, 75%%]", fails, trials)
+	}
+}
+
+func TestDialLatencyApplied(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("camera-2")
+	defer l.Close()
+	var wg sync.WaitGroup
+	echoServe(t, l, &wg)
+	n.SetLink("camera-2", LinkConfig{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	conn, err := n.Dial(context.Background(), "camera-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("dial took %v, want >= ~30ms latency", elapsed)
+	}
+	conn.Close()
+	wg.Wait()
+}
+
+func TestDialLatencyScaledClock(t *testing.T) {
+	// With a 1000x clock, a 10s link latency should cost ~10ms wall time.
+	n := NewNetwork(vclock.NewScaled(1000), 1)
+	l, _ := n.Listen("camera-3")
+	defer l.Close()
+	var wg sync.WaitGroup
+	echoServe(t, l, &wg)
+	n.SetLink("camera-3", LinkConfig{Latency: 10 * time.Second})
+	start := time.Now()
+	conn, err := n.Dial(context.Background(), "camera-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dial took %v wall time; scaled clock not applied", elapsed)
+	}
+	conn.Close()
+	wg.Wait()
+}
+
+func TestConnDeadline(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("camera-4")
+	defer l.Close()
+	wg := sync.WaitGroup{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		// Hold the connection open without writing.
+		time.Sleep(100 * time.Millisecond)
+		conn.Close()
+	}()
+	conn, err := n.Dial(context.Background(), "camera-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read err = %v, want timeout", err)
+	}
+	wg.Wait()
+}
+
+func TestTCPDialer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn.Close()
+	}()
+	d := &TCP{Timeout: time.Second}
+	conn, err := d.Dial(context.Background(), l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	wg.Wait()
+}
+
+func TestAddrStrings(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("camera-9")
+	defer l.Close()
+	if l.Addr().String() != "camera-9" {
+		t.Errorf("Addr = %q", l.Addr().String())
+	}
+	if l.Addr().Network() != "aorta-sim" {
+		t.Errorf("Network = %q", l.Addr().Network())
+	}
+}

@@ -1,0 +1,168 @@
+package profile
+
+import (
+	"embed"
+	"fmt"
+)
+
+//go:embed data/*.xml
+var defaultsFS embed.FS
+
+// Built-in device type names.
+const (
+	DeviceCamera = "camera"
+	DeviceSensor = "sensor"
+	DevicePhone  = "phone"
+)
+
+// Built-in action names (the system-provided action library of paper §2.2).
+const (
+	ActionPhoto     = "photo"
+	ActionBeep      = "beep"
+	ActionBlink     = "blink"
+	ActionSendPhoto = "sendphoto"
+	ActionNotify    = "notify"
+)
+
+// Registry holds every catalog, atomic-cost table and action profile known
+// to one Aorta instance. It is populated at startup (not concurrency-safe
+// during registration; reads after startup are safe because the maps are
+// never mutated again).
+type Registry struct {
+	catalogs map[string]*Catalog
+	costs    map[string]*AtomicCosts
+	actions  map[string]*ActionProfile
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		catalogs: make(map[string]*Catalog),
+		costs:    make(map[string]*AtomicCosts),
+		actions:  make(map[string]*ActionProfile),
+	}
+}
+
+// DefaultRegistry returns a registry pre-loaded with the built-in device
+// types (camera, sensor, phone) and the system action library (photo, beep,
+// blink, sendphoto, notify).
+func DefaultRegistry() (*Registry, error) {
+	r := NewRegistry()
+	for _, name := range []string{"camera", "mote", "phone"} {
+		cat, err := loadEmbedded(name + "_catalog.xml")
+		if err != nil {
+			return nil, err
+		}
+		c, err := ParseCatalog(cat)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.RegisterCatalog(c); err != nil {
+			return nil, err
+		}
+		costRaw, err := loadEmbedded(name + "_costs.xml")
+		if err != nil {
+			return nil, err
+		}
+		ac, err := ParseAtomicCosts(costRaw)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.RegisterCosts(ac); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range []string{"photo", "beep", "blink", "sendphoto", "notify"} {
+		raw, err := loadEmbedded("action_" + name + ".xml")
+		if err != nil {
+			return nil, err
+		}
+		ap, err := ParseAction(raw)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.RegisterAction(ap); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func loadEmbedded(name string) ([]byte, error) {
+	data, err := defaultsFS.ReadFile("data/" + name)
+	if err != nil {
+		return nil, fmt.Errorf("profile: embedded %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// RegisterCatalog adds a device catalog; duplicate device types are
+// rejected.
+func (r *Registry) RegisterCatalog(c *Catalog) error {
+	if _, dup := r.catalogs[c.DeviceType]; dup {
+		return fmt.Errorf("profile: catalog for %q already registered", c.DeviceType)
+	}
+	r.catalogs[c.DeviceType] = c
+	return nil
+}
+
+// RegisterCosts adds an atomic cost table; duplicates are rejected.
+func (r *Registry) RegisterCosts(a *AtomicCosts) error {
+	if _, dup := r.costs[a.DeviceType]; dup {
+		return fmt.Errorf("profile: atomic costs for %q already registered", a.DeviceType)
+	}
+	r.costs[a.DeviceType] = a
+	return nil
+}
+
+// RegisterAction adds an action profile, validating it against the device
+// type's atomic costs when those are known. Duplicates are rejected — the
+// paper's CREATE ACTION fails on name collision.
+func (r *Registry) RegisterAction(p *ActionProfile) error {
+	if _, dup := r.actions[p.Name]; dup {
+		return fmt.Errorf("profile: action %q already registered", p.Name)
+	}
+	if costs, ok := r.costs[p.DeviceType]; ok {
+		if err := p.Validate(costs); err != nil {
+			return err
+		}
+	}
+	r.actions[p.Name] = p
+	return nil
+}
+
+// Catalog returns the catalog for a device type.
+func (r *Registry) Catalog(deviceType string) (*Catalog, bool) {
+	c, ok := r.catalogs[deviceType]
+	return c, ok
+}
+
+// Costs returns the atomic cost table for a device type.
+func (r *Registry) Costs(deviceType string) (*AtomicCosts, bool) {
+	a, ok := r.costs[deviceType]
+	return a, ok
+}
+
+// Action returns the profile of the named action.
+func (r *Registry) Action(name string) (*ActionProfile, bool) {
+	p, ok := r.actions[name]
+	return p, ok
+}
+
+// Actions returns the names of all registered actions.
+func (r *Registry) Actions() []string {
+	out := make([]string, 0, len(r.actions))
+	for name := range r.actions {
+		out = append(out, name)
+	}
+	return out
+}
+
+// DeviceTypes returns the names of all registered device types.
+func (r *Registry) DeviceTypes() []string {
+	out := make([]string, 0, len(r.catalogs))
+	for name := range r.catalogs {
+		out = append(out, name)
+	}
+	return out
+}

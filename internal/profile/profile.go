@@ -1,0 +1,425 @@
+// Package profile implements Aorta's profile system (paper §2.3, §3.1).
+//
+// Three XML document kinds are defined:
+//
+//   - device catalogs: the attributes a device type supports, each marked
+//     sensory (acquired live from the device) or non-sensory (static);
+//   - atomic operation costs (atomic_operation_cost.xml): the estimated
+//     cost of every atomic operation a device type can perform, either a
+//     fixed duration or a rate for status-dependent operations such as
+//     moving a camera head;
+//   - action profiles: the high-level semantics of an action — its
+//     composition as sequential and/or parallel atomic operations, whether
+//     it needs exclusive access to the device, and how it changes the
+//     device's physical status.
+//
+// The cost model folds an action profile against a device type's atomic
+// operation costs and the device's current physical status to estimate the
+// execution time of the action — the core of the optimizer's cost-based
+// device selection and of all five scheduling algorithms.
+package profile
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// AttrDef describes one attribute of a device catalog.
+type AttrDef struct {
+	Name string `xml:"name,attr"`
+	// Type is the value type: "float", "int", "string", "point" or
+	// "orientation".
+	Type string `xml:"type,attr"`
+	// Sensory attributes are acquired from the device at scan time;
+	// non-sensory attributes are static catalog data (paper §3.2).
+	Sensory bool   `xml:"sensory,attr"`
+	Unit    string `xml:"unit,attr,omitempty"`
+	Doc     string `xml:",chardata"`
+}
+
+// Catalog is a device catalog: the virtual-table schema for one device
+// type.
+type Catalog struct {
+	XMLName    xml.Name  `xml:"catalog"`
+	DeviceType string    `xml:"device_type,attr"`
+	Attributes []AttrDef `xml:"attribute"`
+}
+
+// Attr returns the definition of the named attribute.
+func (c *Catalog) Attr(name string) (AttrDef, bool) {
+	for _, a := range c.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttrDef{}, false
+}
+
+// SensoryAttrs returns the names of all sensory attributes.
+func (c *Catalog) SensoryAttrs() []string {
+	var out []string
+	for _, a := range c.Attributes {
+		if a.Sensory {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// OpCost is the estimated cost of one atomic operation on a device type.
+// Cost = Fixed + amount/Rate, where amount is a status-dependent quantity
+// (e.g. degrees of head movement) supplied at estimation time. Operations
+// with Rate == 0 are constant-cost.
+type OpCost struct {
+	Name string `xml:"name,attr"`
+	// FixedMS is the constant part of the cost, in milliseconds.
+	FixedMS float64 `xml:"fixed_ms,attr"`
+	// RateUnitsPerSec is the processing rate for status-dependent
+	// operations (e.g. 68 °/s for a camera pan motor). Zero means the
+	// operation is constant-cost.
+	RateUnitsPerSec float64 `xml:"rate_units_per_sec,attr,omitempty"`
+}
+
+// AtomicCosts is the atomic_operation_cost.xml document for a device type.
+type AtomicCosts struct {
+	XMLName    xml.Name `xml:"atomic_operation_costs"`
+	DeviceType string   `xml:"device_type,attr"`
+	Ops        []OpCost `xml:"operation"`
+}
+
+// Op returns the cost entry for the named operation.
+func (a *AtomicCosts) Op(name string) (OpCost, bool) {
+	for _, op := range a.Ops {
+		if op.Name == name {
+			return op, true
+		}
+	}
+	return OpCost{}, false
+}
+
+// StepKind discriminates profile step nodes.
+type StepKind int
+
+// Step kinds: a leaf atomic operation, a sequential group, or a parallel
+// group.
+const (
+	StepOp StepKind = iota + 1
+	StepSeq
+	StepPar
+)
+
+// Step is one node of an action profile's composition tree.
+type Step struct {
+	Kind StepKind
+	// Op is the atomic operation name (leaf steps only).
+	Op string
+	// AmountParam names the status parameter that scales a rate-based
+	// operation (leaf steps only), e.g. "pan_delta".
+	AmountParam string
+	// Arg is a fixed argument recorded for documentation (e.g. photo
+	// size).
+	Arg      string
+	Children []*Step
+}
+
+// xmlStep is the on-disk form of Step; the element name carries the kind.
+type xmlStep struct {
+	XMLName xml.Name
+	Name    string    `xml:"name,attr"`
+	Amount  string    `xml:"amount,attr"`
+	Arg     string    `xml:"arg,attr"`
+	Steps   []xmlStep `xml:",any"`
+}
+
+func (s xmlStep) toStep() (*Step, error) {
+	switch s.XMLName.Local {
+	case "op":
+		if s.Name == "" {
+			return nil, errors.New("profile: <op> element missing name attribute")
+		}
+		return &Step{Kind: StepOp, Op: s.Name, AmountParam: s.Amount, Arg: s.Arg}, nil
+	case "seq", "par":
+		kind := StepSeq
+		if s.XMLName.Local == "par" {
+			kind = StepPar
+		}
+		st := &Step{Kind: kind}
+		for _, c := range s.Steps {
+			child, err := c.toStep()
+			if err != nil {
+				return nil, err
+			}
+			st.Children = append(st.Children, child)
+		}
+		if len(st.Children) == 0 {
+			return nil, fmt.Errorf("profile: empty <%s> group", s.XMLName.Local)
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("profile: unknown profile element <%s>", s.XMLName.Local)
+	}
+}
+
+func (s *Step) toXML() xmlStep {
+	switch s.Kind {
+	case StepOp:
+		return xmlStep{XMLName: xml.Name{Local: "op"}, Name: s.Op, Amount: s.AmountParam, Arg: s.Arg}
+	case StepPar:
+		out := xmlStep{XMLName: xml.Name{Local: "par"}}
+		for _, c := range s.Children {
+			out.Steps = append(out.Steps, c.toXML())
+		}
+		return out
+	default:
+		out := xmlStep{XMLName: xml.Name{Local: "seq"}}
+		for _, c := range s.Children {
+			out.Steps = append(out.Steps, c.toXML())
+		}
+		return out
+	}
+}
+
+// ActionProfile is the registered profile of an action (paper §2.2): which
+// device type it runs on, whether it requires the device lock, how it
+// changes physical status, and its composition tree.
+type ActionProfile struct {
+	Name       string
+	DeviceType string
+	// Exclusive actions must hold the device lock for their whole
+	// execution (paper §4's locking mechanism applies to these).
+	Exclusive bool
+	// StatusEffect names how the action changes device physical status;
+	// the device driver interprets it (e.g. "head_moves_to_target").
+	StatusEffect string
+	// Root is the composition tree.
+	Root *Step
+}
+
+type xmlAction struct {
+	XMLName      xml.Name  `xml:"action"`
+	Name         string    `xml:"name,attr"`
+	DeviceType   string    `xml:"device_type,attr"`
+	Exclusive    bool      `xml:"exclusive,attr"`
+	StatusEffect string    `xml:"status_effect,attr"`
+	Steps        []xmlStep `xml:",any"`
+}
+
+// ParseAction parses an action profile XML document.
+func ParseAction(data []byte) (*ActionProfile, error) {
+	var xa xmlAction
+	if err := xml.Unmarshal(data, &xa); err != nil {
+		return nil, fmt.Errorf("profile: parse action profile: %w", err)
+	}
+	if xa.Name == "" {
+		return nil, errors.New("profile: action profile missing name")
+	}
+	if len(xa.Steps) != 1 {
+		return nil, fmt.Errorf("profile: action %q must have exactly one root step, has %d", xa.Name, len(xa.Steps))
+	}
+	root, err := xa.Steps[0].toStep()
+	if err != nil {
+		return nil, err
+	}
+	return &ActionProfile{
+		Name:         xa.Name,
+		DeviceType:   xa.DeviceType,
+		Exclusive:    xa.Exclusive,
+		StatusEffect: xa.StatusEffect,
+		Root:         root,
+	}, nil
+}
+
+// Marshal renders the profile back to XML.
+func (p *ActionProfile) Marshal() ([]byte, error) {
+	xa := xmlAction{
+		Name:         p.Name,
+		DeviceType:   p.DeviceType,
+		Exclusive:    p.Exclusive,
+		StatusEffect: p.StatusEffect,
+	}
+	if p.Root != nil {
+		xa.Steps = []xmlStep{p.Root.toXML()}
+	}
+	out, err := xml.MarshalIndent(&xa, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("profile: marshal action profile: %w", err)
+	}
+	return out, nil
+}
+
+// ParseCatalog parses a device catalog XML document.
+func ParseCatalog(data []byte) (*Catalog, error) {
+	var c Catalog
+	if err := xml.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("profile: parse catalog: %w", err)
+	}
+	if c.DeviceType == "" {
+		return nil, errors.New("profile: catalog missing device_type")
+	}
+	return &c, nil
+}
+
+// ParseAtomicCosts parses an atomic_operation_cost.xml document.
+func ParseAtomicCosts(data []byte) (*AtomicCosts, error) {
+	var a AtomicCosts
+	if err := xml.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("profile: parse atomic costs: %w", err)
+	}
+	if a.DeviceType == "" {
+		return nil, errors.New("profile: atomic costs missing device_type")
+	}
+	return &a, nil
+}
+
+// Marshal renders the cost table as an atomic_operation_cost.xml
+// document.
+func (a *AtomicCosts) Marshal() ([]byte, error) {
+	out, err := xml.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("profile: marshal atomic costs: %w", err)
+	}
+	return out, nil
+}
+
+// Marshal renders the catalog as XML.
+func (c *Catalog) Marshal() ([]byte, error) {
+	out, err := xml.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("profile: marshal catalog: %w", err)
+	}
+	return out, nil
+}
+
+// LoadActionFile reads and parses an action profile from path.
+func LoadActionFile(path string) (*ActionProfile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return ParseAction(data)
+}
+
+// Params carries the status-dependent quantities for one cost estimation,
+// keyed by AmountParam name (e.g. "pan_delta" → 135 degrees).
+type Params map[string]float64
+
+// EstimateCost evaluates the profile's composition tree against the device
+// type's atomic operation costs: sequential groups sum, parallel groups
+// take the maximum (the motors run concurrently), and rate-based leaves
+// charge amount/rate.
+func (p *ActionProfile) EstimateCost(costs *AtomicCosts, params Params) (time.Duration, error) {
+	if p.Root == nil {
+		return 0, fmt.Errorf("profile: action %q has no composition tree", p.Name)
+	}
+	ms, err := stepCost(p.Root, costs, params)
+	if err != nil {
+		return 0, fmt.Errorf("profile: estimate %q: %w", p.Name, err)
+	}
+	return time.Duration(ms * float64(time.Millisecond)), nil
+}
+
+func stepCost(s *Step, costs *AtomicCosts, params Params) (float64, error) {
+	switch s.Kind {
+	case StepOp:
+		oc, ok := costs.Op(s.Op)
+		if !ok {
+			return 0, fmt.Errorf("no atomic cost for operation %q on %s", s.Op, costs.DeviceType)
+		}
+		ms := oc.FixedMS
+		if oc.RateUnitsPerSec > 0 {
+			amount, ok := params[s.AmountParam]
+			if s.AmountParam == "" {
+				return 0, fmt.Errorf("operation %q is rate-based but profile names no amount parameter", s.Op)
+			}
+			if !ok {
+				return 0, fmt.Errorf("missing status parameter %q for operation %q", s.AmountParam, s.Op)
+			}
+			ms += amount / oc.RateUnitsPerSec * 1000
+		}
+		return ms, nil
+	case StepSeq:
+		var sum float64
+		for _, c := range s.Children {
+			ms, err := stepCost(c, costs, params)
+			if err != nil {
+				return 0, err
+			}
+			sum += ms
+		}
+		return sum, nil
+	case StepPar:
+		var max float64
+		for _, c := range s.Children {
+			ms, err := stepCost(c, costs, params)
+			if err != nil {
+				return 0, err
+			}
+			if ms > max {
+				max = ms
+			}
+		}
+		return max, nil
+	default:
+		return 0, fmt.Errorf("unknown step kind %d", s.Kind)
+	}
+}
+
+// Ops returns the names of all atomic operations referenced by the profile,
+// in composition order.
+func (p *ActionProfile) Ops() []string {
+	var out []string
+	var walk func(*Step)
+	walk = func(s *Step) {
+		if s == nil {
+			return
+		}
+		if s.Kind == StepOp {
+			out = append(out, s.Op)
+			return
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return out
+}
+
+// Validate checks the profile against a device type's atomic costs: every
+// referenced operation must exist and every rate-based operation must name
+// an amount parameter.
+func (p *ActionProfile) Validate(costs *AtomicCosts) error {
+	if p.DeviceType != costs.DeviceType {
+		return fmt.Errorf("profile: action %q targets %q but costs are for %q", p.Name, p.DeviceType, costs.DeviceType)
+	}
+	var errs []string
+	var walk func(*Step)
+	walk = func(s *Step) {
+		if s == nil {
+			return
+		}
+		if s.Kind == StepOp {
+			oc, ok := costs.Op(s.Op)
+			if !ok {
+				errs = append(errs, fmt.Sprintf("unknown operation %q", s.Op))
+				return
+			}
+			if oc.RateUnitsPerSec > 0 && s.AmountParam == "" {
+				errs = append(errs, fmt.Sprintf("rate-based operation %q missing amount parameter", s.Op))
+			}
+			return
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	if len(errs) > 0 {
+		return fmt.Errorf("profile: action %q invalid: %s", p.Name, strings.Join(errs, "; "))
+	}
+	return nil
+}

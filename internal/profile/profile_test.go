@@ -1,0 +1,349 @@
+package profile
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func defaultReg(t *testing.T) *Registry {
+	t.Helper()
+	r, err := DefaultRegistry()
+	if err != nil {
+		t.Fatalf("DefaultRegistry: %v", err)
+	}
+	return r
+}
+
+func TestDefaultRegistryContents(t *testing.T) {
+	r := defaultReg(t)
+	types := r.DeviceTypes()
+	sort.Strings(types)
+	if want := []string{"camera", "phone", "sensor"}; strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Errorf("DeviceTypes = %v, want %v", types, want)
+	}
+	actions := r.Actions()
+	sort.Strings(actions)
+	if want := "beep,blink,notify,photo,sendphoto"; strings.Join(actions, ",") != want {
+		t.Errorf("Actions = %v, want %v", actions, want)
+	}
+}
+
+func TestCatalogAttrLookup(t *testing.T) {
+	r := defaultReg(t)
+	cat, ok := r.Catalog(DeviceSensor)
+	if !ok {
+		t.Fatal("sensor catalog missing")
+	}
+	a, ok := cat.Attr("accel_x")
+	if !ok {
+		t.Fatal("accel_x not in sensor catalog")
+	}
+	if !a.Sensory {
+		t.Error("accel_x should be sensory")
+	}
+	loc, ok := cat.Attr("loc")
+	if !ok || loc.Sensory {
+		t.Error("loc should be a non-sensory attribute")
+	}
+	if _, ok := cat.Attr("nope"); ok {
+		t.Error("Attr returned ok for missing attribute")
+	}
+}
+
+func TestSensoryAttrs(t *testing.T) {
+	r := defaultReg(t)
+	cat, _ := r.Catalog(DeviceCamera)
+	got := cat.SensoryAttrs()
+	for _, name := range got {
+		if name == "id" || name == "ip" || name == "loc" {
+			t.Errorf("non-sensory attribute %q in SensoryAttrs", name)
+		}
+	}
+	if len(got) == 0 {
+		t.Error("camera has no sensory attributes")
+	}
+}
+
+// TestPhotoCostEnvelope verifies the paper's published cost interval for
+// the photo() action on an AXIS-2130-like camera: [0.36, 5.36] seconds.
+func TestPhotoCostEnvelope(t *testing.T) {
+	r := defaultReg(t)
+	photo, _ := r.Action(ActionPhoto)
+	costs, _ := r.Costs(DeviceCamera)
+
+	min, err := photo.EstimateCost(costs, Params{"pan_delta": 0, "tilt_delta": 0, "zoom_delta": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := min.Seconds(); math.Abs(got-0.36) > 1e-9 {
+		t.Errorf("min photo cost = %vs, want 0.36s", got)
+	}
+
+	max, err := photo.EstimateCost(costs, Params{"pan_delta": 340, "tilt_delta": 90, "zoom_delta": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Seconds(); math.Abs(got-5.36) > 1e-9 {
+		t.Errorf("max photo cost = %vs, want 5.36s", got)
+	}
+}
+
+func TestParallelGroupTakesMax(t *testing.T) {
+	r := defaultReg(t)
+	photo, _ := r.Action(ActionPhoto)
+	costs, _ := r.Costs(DeviceCamera)
+	// tilt 90° at 45°/s = 2s dominates pan 34° at 68°/s = 0.5s.
+	c, err := photo.EstimateCost(costs, Params{"pan_delta": 34, "tilt_delta": 90, "zoom_delta": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 360*time.Millisecond + 2*time.Second
+	if c != want {
+		t.Errorf("cost = %v, want %v", c, want)
+	}
+}
+
+func TestCostMonotoneInMovement(t *testing.T) {
+	r := defaultReg(t)
+	photo, _ := r.Action(ActionPhoto)
+	costs, _ := r.Costs(DeviceCamera)
+	f := func(p1, p2 float64) bool {
+		p1, p2 = math.Abs(math.Mod(p1, 340)), math.Abs(math.Mod(p2, 340))
+		if math.IsNaN(p1) || math.IsNaN(p2) {
+			return true
+		}
+		lo, hi := math.Min(p1, p2), math.Max(p1, p2)
+		cLo, err1 := photo.EstimateCost(costs, Params{"pan_delta": lo, "tilt_delta": 0, "zoom_delta": 0})
+		cHi, err2 := photo.EstimateCost(costs, Params{"pan_delta": hi, "tilt_delta": 0, "zoom_delta": 0})
+		return err1 == nil && err2 == nil && cLo <= cHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateMissingParam(t *testing.T) {
+	r := defaultReg(t)
+	photo, _ := r.Action(ActionPhoto)
+	costs, _ := r.Costs(DeviceCamera)
+	if _, err := photo.EstimateCost(costs, Params{"pan_delta": 10}); err == nil {
+		t.Fatal("expected error for missing tilt_delta/zoom_delta")
+	}
+}
+
+func TestMoteConnectCostScalesWithDepth(t *testing.T) {
+	r := defaultReg(t)
+	beep, _ := r.Action(ActionBeep)
+	costs, _ := r.Costs(DeviceSensor)
+	c1, err := beep.EstimateCost(costs, Params{"depth": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := beep.EstimateCost(costs, Params{"depth": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 <= c1 {
+		t.Errorf("connect cost at depth 3 (%v) not greater than depth 1 (%v)", c3, c1)
+	}
+}
+
+func TestSendPhotoCostScalesWithSize(t *testing.T) {
+	r := defaultReg(t)
+	sp, _ := r.Action(ActionSendPhoto)
+	costs, _ := r.Costs(DevicePhone)
+	small, _ := sp.EstimateCost(costs, Params{"size_kb": 10})
+	big, _ := sp.EstimateCost(costs, Params{"size_kb": 200})
+	if big <= small {
+		t.Errorf("MMS cost for 200KB (%v) not greater than 10KB (%v)", big, small)
+	}
+}
+
+func TestActionProfileRoundTrip(t *testing.T) {
+	r := defaultReg(t)
+	photo, _ := r.Action(ActionPhoto)
+	data, err := photo.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAction(data)
+	if err != nil {
+		t.Fatalf("reparse marshalled profile: %v", err)
+	}
+	if back.Name != photo.Name || back.DeviceType != photo.DeviceType ||
+		back.Exclusive != photo.Exclusive || back.StatusEffect != photo.StatusEffect {
+		t.Errorf("round trip header mismatch: %+v vs %+v", back, photo)
+	}
+	if strings.Join(back.Ops(), ",") != strings.Join(photo.Ops(), ",") {
+		t.Errorf("ops = %v, want %v", back.Ops(), photo.Ops())
+	}
+	costs, _ := r.Costs(DeviceCamera)
+	p := Params{"pan_delta": 100, "tilt_delta": 20, "zoom_delta": 1}
+	c1, _ := photo.EstimateCost(costs, p)
+	c2, _ := back.EstimateCost(costs, p)
+	if c1 != c2 {
+		t.Errorf("cost after round trip %v, want %v", c2, c1)
+	}
+}
+
+func TestOpsOrder(t *testing.T) {
+	r := defaultReg(t)
+	photo, _ := r.Action(ActionPhoto)
+	want := []string{"connect", "pan", "tilt", "zoom", "capture_medium", "store"}
+	got := photo.Ops()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Ops = %v, want %v", got, want)
+	}
+}
+
+func TestParseActionErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		xml  string
+	}{
+		{"not xml", "garbage <"},
+		{"missing name", `<action device_type="camera"><seq><op name="x"/></seq></action>`},
+		{"no root step", `<action name="a" device_type="camera"></action>`},
+		{"two root steps", `<action name="a"><op name="x"/><op name="y"/></action>`},
+		{"op without name", `<action name="a"><seq><op/></seq></action>`},
+		{"empty seq", `<action name="a"><seq></seq></action>`},
+		{"unknown element", `<action name="a"><loop><op name="x"/></loop></action>`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseAction([]byte(tt.xml)); err == nil {
+				t.Errorf("ParseAction accepted %q", tt.xml)
+			}
+		})
+	}
+}
+
+func TestParseCatalogErrors(t *testing.T) {
+	if _, err := ParseCatalog([]byte("<catalog></catalog>")); err == nil {
+		t.Error("catalog without device_type accepted")
+	}
+	if _, err := ParseCatalog([]byte("nope<")); err == nil {
+		t.Error("garbage catalog accepted")
+	}
+}
+
+func TestParseAtomicCostsErrors(t *testing.T) {
+	if _, err := ParseAtomicCosts([]byte("<atomic_operation_costs/>")); err == nil {
+		t.Error("costs without device_type accepted")
+	}
+}
+
+func TestValidateCatchesUnknownOp(t *testing.T) {
+	ap, err := ParseAction([]byte(`<action name="bad" device_type="camera"><seq><op name="fly"/></seq></action>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := defaultReg(t)
+	costs, _ := r.Costs(DeviceCamera)
+	if err := ap.Validate(costs); err == nil {
+		t.Error("Validate accepted unknown operation")
+	}
+}
+
+func TestValidateCatchesMissingAmount(t *testing.T) {
+	ap, err := ParseAction([]byte(`<action name="bad" device_type="camera"><seq><op name="pan"/></seq></action>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := defaultReg(t)
+	costs, _ := r.Costs(DeviceCamera)
+	if err := ap.Validate(costs); err == nil {
+		t.Error("Validate accepted rate-based op without amount parameter")
+	}
+}
+
+func TestValidateWrongDeviceType(t *testing.T) {
+	r := defaultReg(t)
+	photo, _ := r.Action(ActionPhoto)
+	costs, _ := r.Costs(DevicePhone)
+	if err := photo.Validate(costs); err == nil {
+		t.Error("Validate accepted mismatched device type")
+	}
+}
+
+func TestRegistryDuplicateRejection(t *testing.T) {
+	r := defaultReg(t)
+	cat, _ := r.Catalog(DeviceCamera)
+	if err := r.RegisterCatalog(cat); err == nil {
+		t.Error("duplicate catalog accepted")
+	}
+	costs, _ := r.Costs(DeviceCamera)
+	if err := r.RegisterCosts(costs); err == nil {
+		t.Error("duplicate costs accepted")
+	}
+	photo, _ := r.Action(ActionPhoto)
+	if err := r.RegisterAction(photo); err == nil {
+		t.Error("duplicate action accepted — CREATE ACTION must fail on collision")
+	}
+}
+
+func TestRegisterUserAction(t *testing.T) {
+	r := defaultReg(t)
+	ap, err := ParseAction([]byte(`<action name="buzz" device_type="sensor" exclusive="true"><seq><op name="connect" amount="depth"/><op name="beep"/><op name="blink"/></seq></action>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterAction(ap); err != nil {
+		t.Fatalf("RegisterAction: %v", err)
+	}
+	got, ok := r.Action("buzz")
+	if !ok || got.Name != "buzz" {
+		t.Fatal("registered action not retrievable")
+	}
+}
+
+func TestRegistryMissingLookups(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Catalog("x"); ok {
+		t.Error("empty registry returned a catalog")
+	}
+	if _, ok := r.Costs("x"); ok {
+		t.Error("empty registry returned costs")
+	}
+	if _, ok := r.Action("x"); ok {
+		t.Error("empty registry returned an action")
+	}
+}
+
+func BenchmarkEstimatePhotoCost(b *testing.B) {
+	r, err := DefaultRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	photo, _ := r.Action(ActionPhoto)
+	costs, _ := r.Costs(DeviceCamera)
+	params := Params{"pan_delta": 120, "tilt_delta": 30, "zoom_delta": 1.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := photo.EstimateCost(costs, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseActionProfile(b *testing.B) {
+	r, err := DefaultRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	photo, _ := r.Action(ActionPhoto)
+	data, err := photo.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAction(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package rbtree
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CheckInvariants verifies every red-black tree invariant and the BST
+// ordering property, returning a descriptive error on the first violation.
+// It exists for tests (including property-based tests) and costs O(n).
+func (t *Tree[T]) CheckInvariants() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("rbtree: empty tree reports size %d", t.size)
+		}
+		return nil
+	}
+	if t.root.col != black {
+		return errors.New("rbtree: root is not black")
+	}
+	if t.root.parent != nil {
+		return errors.New("rbtree: root has a parent")
+	}
+	count := 0
+	if _, err := t.check(t.root, &count); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("rbtree: counted %d nodes but size is %d", count, t.size)
+	}
+	// BST order: strictly ascending in-order traversal.
+	var prev *T
+	ok := true
+	t.InOrder(func(v T) bool {
+		if prev != nil && !t.less(*prev, v) {
+			ok = false
+			return false
+		}
+		p := v
+		prev = &p
+		return true
+	})
+	if !ok {
+		return errors.New("rbtree: in-order traversal is not strictly ascending")
+	}
+	return nil
+}
+
+// check returns the black-height of the subtree rooted at n.
+func (t *Tree[T]) check(n *node[T], count *int) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	*count++
+	if n.left != nil && n.left.parent != n {
+		return 0, errors.New("rbtree: broken parent pointer (left child)")
+	}
+	if n.right != nil && n.right.parent != n {
+		return 0, errors.New("rbtree: broken parent pointer (right child)")
+	}
+	if n.col == red {
+		if nodeColor(n.left) == red || nodeColor(n.right) == red {
+			return 0, errors.New("rbtree: red node has a red child")
+		}
+	}
+	lh, err := t.check(n.left, count)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.check(n.right, count)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("rbtree: black-height mismatch (%d vs %d)", lh, rh)
+	}
+	if n.col == black {
+		lh++
+	}
+	return lh, nil
+}
+
+// Height returns the height of the tree (0 for an empty tree); exported for
+// balance assertions in tests.
+func (t *Tree[T]) Height() int { return height(t.root) }
+
+func height[T any](n *node[T]) int {
+	if n == nil {
+		return 0
+	}
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

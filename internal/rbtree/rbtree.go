@@ -1,0 +1,396 @@
+// Package rbtree implements a generic red-black tree.
+//
+// Algorithm 2 of the paper (SRFAE) requires "a balanced binary search tree
+// T" holding one node per (request, device) pair, keyed by the pair's
+// weight, with extract-min, delete and key-update operations. This package
+// is that substrate. It is also used by the discrete-event simulator's
+// ordered indexes.
+//
+// The tree stores items of any type under a caller-supplied strict total
+// order. Items that compare equal under the order are considered the same
+// item, so callers must fold a unique tiebreaker into the comparison when
+// duplicate keys are possible (SRFAE uses (weight, request, device)).
+package rbtree
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node[T any] struct {
+	col                 color
+	left, right, parent *node[T]
+	val                 T
+}
+
+// Tree is a red-black tree ordered by the less function supplied at
+// construction. The zero value is not usable; call New.
+type Tree[T any] struct {
+	root *node[T]
+	less func(a, b T) bool
+	size int
+}
+
+// New returns an empty tree ordered by less, which must be a strict total
+// order over all items the caller will insert.
+func New[T any](less func(a, b T) bool) *Tree[T] {
+	return &Tree[T]{less: less}
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Insert adds item to the tree. Inserting an item that compares equal to an
+// existing item replaces the stored value and returns false; otherwise it
+// returns true.
+func (t *Tree[T]) Insert(item T) bool {
+	var parent *node[T]
+	cur := t.root
+	for cur != nil {
+		parent = cur
+		switch {
+		case t.less(item, cur.val):
+			cur = cur.left
+		case t.less(cur.val, item):
+			cur = cur.right
+		default:
+			cur.val = item
+			return false
+		}
+	}
+	n := &node[T]{val: item, parent: parent, col: red}
+	switch {
+	case parent == nil:
+		t.root = n
+	case t.less(item, parent.val):
+		parent.left = n
+	default:
+		parent.right = n
+	}
+	t.size++
+	t.insertFixup(n)
+	return true
+}
+
+// Min returns the least item and true, or the zero value and false when the
+// tree is empty.
+func (t *Tree[T]) Min() (T, bool) {
+	if t.root == nil {
+		var zero T
+		return zero, false
+	}
+	return minNode(t.root).val, true
+}
+
+// Max returns the greatest item and true, or the zero value and false when
+// the tree is empty.
+func (t *Tree[T]) Max() (T, bool) {
+	if t.root == nil {
+		var zero T
+		return zero, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.val, true
+}
+
+// DeleteMin removes and returns the least item. The second return value is
+// false when the tree is empty.
+func (t *Tree[T]) DeleteMin() (T, bool) {
+	if t.root == nil {
+		var zero T
+		return zero, false
+	}
+	n := minNode(t.root)
+	val := n.val
+	t.deleteNode(n)
+	return val, true
+}
+
+// Delete removes the item comparing equal to item and returns true, or
+// returns false when no such item exists.
+func (t *Tree[T]) Delete(item T) bool {
+	n := t.find(item)
+	if n == nil {
+		return false
+	}
+	t.deleteNode(n)
+	return true
+}
+
+// Get returns the stored item comparing equal to item.
+func (t *Tree[T]) Get(item T) (T, bool) {
+	n := t.find(item)
+	if n == nil {
+		var zero T
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Contains reports whether an item comparing equal to item is present.
+func (t *Tree[T]) Contains(item T) bool { return t.find(item) != nil }
+
+// InOrder calls fn on every item in ascending order until fn returns false.
+func (t *Tree[T]) InOrder(fn func(T) bool) {
+	inOrder(t.root, fn)
+}
+
+// Items returns all items in ascending order.
+func (t *Tree[T]) Items() []T {
+	out := make([]T, 0, t.size)
+	t.InOrder(func(v T) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+func inOrder[T any](n *node[T], fn func(T) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !inOrder(n.left, fn) {
+		return false
+	}
+	if !fn(n.val) {
+		return false
+	}
+	return inOrder(n.right, fn)
+}
+
+func (t *Tree[T]) find(item T) *node[T] {
+	cur := t.root
+	for cur != nil {
+		switch {
+		case t.less(item, cur.val):
+			cur = cur.left
+		case t.less(cur.val, item):
+			cur = cur.right
+		default:
+			return cur
+		}
+	}
+	return nil
+}
+
+func minNode[T any](n *node[T]) *node[T] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree[T]) rotateLeft(x *node[T]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[T]) rotateRight(x *node[T]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[T]) insertFixup(z *node[T]) {
+	for z.parent != nil && z.parent.col == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.col == red {
+				z.parent.col = black
+				uncle.col = black
+				gp.col = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.col = black
+			gp.col = red
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.col == red {
+				z.parent.col = black
+				uncle.col = black
+				gp.col = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.col = black
+			gp.col = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.col = black
+}
+
+// deleteNode removes n using the CLRS algorithm with a sentinel-free
+// fixup that tracks the parent of the (possibly nil) replacement.
+func (t *Tree[T]) deleteNode(z *node[T]) {
+	t.size--
+	y := z
+	yOriginal := y.col
+	var x *node[T]
+	var xParent *node[T]
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = minNode(z.right)
+		yOriginal = y.col
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.col = z.col
+	}
+	if yOriginal == black {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func (t *Tree[T]) transplant(u, v *node[T]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func nodeColor[T any](n *node[T]) color {
+	if n == nil {
+		return black
+	}
+	return n.col
+}
+
+func (t *Tree[T]) deleteFixup(x *node[T], parent *node[T]) {
+	for x != t.root && nodeColor(x) == black {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if nodeColor(w) == red {
+				w.col = black
+				parent.col = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if nodeColor(w.left) == black && nodeColor(w.right) == black {
+				w.col = red
+				x = parent
+				parent = x.parent
+			} else {
+				if nodeColor(w.right) == black {
+					if w.left != nil {
+						w.left.col = black
+					}
+					w.col = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.col = parent.col
+				parent.col = black
+				if w.right != nil {
+					w.right.col = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if nodeColor(w) == red {
+				w.col = black
+				parent.col = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if nodeColor(w.right) == black && nodeColor(w.left) == black {
+				w.col = red
+				x = parent
+				parent = x.parent
+			} else {
+				if nodeColor(w.left) == black {
+					if w.right != nil {
+						w.right.col = black
+					}
+					w.col = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.col = parent.col
+				parent.col = black
+				if w.left != nil {
+					w.left.col = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.col = black
+	}
+}

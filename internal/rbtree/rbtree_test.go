@@ -1,0 +1,296 @@
+package rbtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int] {
+	return New(func(a, b int) bool { return a < b })
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree returned ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree returned ok")
+	}
+	if _, ok := tr.DeleteMin(); ok {
+		t.Error("DeleteMin on empty tree returned ok")
+	}
+	if tr.Delete(5) {
+		t.Error("Delete on empty tree returned true")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertAndOrder(t *testing.T) {
+	tr := intTree()
+	in := []int{5, 3, 9, 1, 7, 2, 8, 6, 4, 0}
+	for _, v := range in {
+		if !tr.Insert(v) {
+			t.Fatalf("Insert(%d) reported duplicate", v)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Insert(%d): %v", v, err)
+		}
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := tr.Items()
+	if len(got) != len(want) {
+		t.Fatalf("Items() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items()[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInsertDuplicateReplaces(t *testing.T) {
+	type kv struct {
+		k int
+		v string
+	}
+	tr := New(func(a, b kv) bool { return a.k < b.k })
+	tr.Insert(kv{1, "old"})
+	if tr.Insert(kv{1, "new"}) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	got, ok := tr.Get(kv{k: 1})
+	if !ok || got.v != "new" {
+		t.Fatalf("Get = %+v, %v; want value replaced", got, ok)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{42, 17, 99, 3, 64} {
+		tr.Insert(v)
+	}
+	if mn, _ := tr.Min(); mn != 3 {
+		t.Errorf("Min = %d, want 3", mn)
+	}
+	if mx, _ := tr.Max(); mx != 99 {
+		t.Errorf("Max = %d, want 99", mx)
+	}
+}
+
+func TestDeleteMinDrainsAscending(t *testing.T) {
+	tr := intTree()
+	r := rand.New(rand.NewSource(1))
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(r.Intn(1 << 30))
+	}
+	prev := math.MinInt
+	count := 0
+	for {
+		v, ok := tr.DeleteMin()
+		if !ok {
+			break
+		}
+		count++
+		if v < prev {
+			t.Fatalf("DeleteMin out of order: %d after %d", v, prev)
+		}
+		prev = v
+		if count%50 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d DeleteMin: %v", count, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", tr.Len())
+	}
+}
+
+func TestDeleteSpecific(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	for _, v := range []int{50, 0, 99, 33, 66} {
+		if !tr.Delete(v) {
+			t.Fatalf("Delete(%d) = false", v)
+		}
+		if tr.Contains(v) {
+			t.Fatalf("tree still contains %d after delete", v)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", v, err)
+		}
+	}
+	if tr.Len() != 95 {
+		t.Fatalf("Len = %d, want 95", tr.Len())
+	}
+	if tr.Delete(50) {
+		t.Error("second Delete(50) returned true")
+	}
+}
+
+func TestGetAndContains(t *testing.T) {
+	tr := intTree()
+	tr.Insert(7)
+	if v, ok := tr.Get(7); !ok || v != 7 {
+		t.Errorf("Get(7) = %d, %v", v, ok)
+	}
+	if _, ok := tr.Get(8); ok {
+		t.Error("Get(8) found missing item")
+	}
+	if !tr.Contains(7) || tr.Contains(8) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestInOrderEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	var seen []int
+	tr.InOrder(func(v int) bool {
+		seen = append(seen, v)
+		return v < 4
+	})
+	if len(seen) != 5 {
+		t.Fatalf("visited %v, want stop after 5 elements 0..4", seen)
+	}
+}
+
+func TestRandomMixedOperationsKeepInvariants(t *testing.T) {
+	tr := intTree()
+	r := rand.New(rand.NewSource(7))
+	present := map[int]bool{}
+	for op := 0; op < 3000; op++ {
+		v := r.Intn(300)
+		switch r.Intn(3) {
+		case 0:
+			tr.Insert(v)
+			present[v] = true
+		case 1:
+			got := tr.Delete(v)
+			if got != present[v] {
+				t.Fatalf("Delete(%d) = %v, want %v", v, got, present[v])
+			}
+			delete(present, v)
+		case 2:
+			if got := tr.Contains(v); got != present[v] {
+				t.Fatalf("Contains(%d) = %v, want %v", v, got, present[v])
+			}
+		}
+		if op%200 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if tr.Len() != len(present) {
+				t.Fatalf("op %d: Len = %d, want %d", op, tr.Len(), len(present))
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := intTree()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr.Insert(i) // adversarial ascending order
+	}
+	// A red-black tree's height is at most 2·log2(n+1).
+	maxH := int(2 * math.Log2(float64(n+1)))
+	if h := tr.Height(); h > maxH {
+		t.Fatalf("height %d exceeds red-black bound %d for n=%d", h, maxH, n)
+	}
+}
+
+func TestQuickSortedItemsMatchSort(t *testing.T) {
+	f := func(vals []int16) bool {
+		tr := intTree()
+		uniq := map[int]bool{}
+		for _, v := range vals {
+			tr.Insert(int(v))
+			uniq[int(v)] = true
+		}
+		if tr.Len() != len(uniq) {
+			return false
+		}
+		want := make([]int, 0, len(uniq))
+		for v := range uniq {
+			want = append(want, v)
+		}
+		sort.Ints(want)
+		got := tr.Items()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeleteHalf(t *testing.T) {
+	f := func(vals []uint8) bool {
+		tr := intTree()
+		for _, v := range vals {
+			tr.Insert(int(v))
+		}
+		for i, v := range vals {
+			if i%2 == 0 {
+				tr.Delete(int(v))
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	vals := make([]int, b.N)
+	for i := range vals {
+		vals[i] = r.Int()
+	}
+	b.ResetTimer()
+	tr := intTree()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(vals[i])
+	}
+}
+
+func BenchmarkDeleteMin(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := intTree()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(r.Int())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DeleteMin()
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSRFAEPaperWalkthrough follows Algorithm 2 on a hand-checked
+// instance. Static costs:
+//
+//	      d1   d2
+//	r1    1s   5s
+//	r2    2s   4s
+//	r3    9s   3s
+//
+// Extraction order: (r1,d1,1s) → assign r1→d1, r2's d1 key becomes
+// 2+1=3s, r3's d1 key becomes 9+1=10s. Next min is (r2,d1,3s) → assign
+// r2→d1, r3's d1 key becomes 9+3=12s. Next min is (r3,d2,3s) → r3→d2.
+func TestSRFAEPaperWalkthrough(t *testing.T) {
+	costs := map[int]map[DeviceID]time.Duration{
+		1: {"d1": 1 * time.Second, "d2": 5 * time.Second},
+		2: {"d1": 2 * time.Second, "d2": 4 * time.Second},
+		3: {"d1": 9 * time.Second, "d2": 3 * time.Second},
+	}
+	reqs := []*Request{
+		{ID: 1, Candidates: []DeviceID{"d1", "d2"}},
+		{ID: 2, Candidates: []DeviceID{"d1", "d2"}},
+		{ID: 3, Candidates: []DeviceID{"d1", "d2"}},
+	}
+	p := NewProblem(reqs, []DeviceID{"d1", "d2"}, nil, &StaticEstimator{Costs: costs})
+	a, err := SRFAE{}.Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := ids(a.Order["d1"])
+	d2 := ids(a.Order["d2"])
+	if len(d1) != 2 || d1[0] != 1 || d1[1] != 2 {
+		t.Errorf("d1 order = %v, want [1 2]", d1)
+	}
+	if len(d2) != 1 || d2[0] != 3 {
+		t.Errorf("d2 order = %v, want [3]", d2)
+	}
+	_, span, err := Simulate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 3*time.Second {
+		t.Errorf("makespan = %v, want 3s", span)
+	}
+}
+
+// TestLERFAProcessesLeastEligibleFirst: a request with one candidate must
+// claim its device before wider requests are balanced.
+func TestLERFAProcessesLeastEligibleFirst(t *testing.T) {
+	// r1 can only run on d1 and is expensive there; r2/r3 are cheap
+	// anywhere. If r1 were assigned last, the E-heuristic would already
+	// have loaded d1 with the cheap ones.
+	costs := map[int]map[DeviceID]time.Duration{
+		1: {"d1": 5 * time.Second},
+		2: {"d1": 1 * time.Second, "d2": 1 * time.Second},
+		3: {"d1": 1 * time.Second, "d2": 1 * time.Second},
+	}
+	reqs := []*Request{
+		{ID: 1, Candidates: []DeviceID{"d1"}},
+		{ID: 2, Candidates: []DeviceID{"d1", "d2"}},
+		{ID: 3, Candidates: []DeviceID{"d1", "d2"}},
+	}
+	p := NewProblem(reqs, []DeviceID{"d1", "d2"}, nil, &StaticEstimator{Costs: costs})
+	a, err := LERFASRFE{}.Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d1 must carry only r1 (5s); both cheap requests go to d2 (2s).
+	if got := ids(a.Order["d1"]); len(got) != 1 || got[0] != 1 {
+		t.Errorf("d1 = %v, want [1]", got)
+	}
+	if got := a.Order["d2"]; len(got) != 2 {
+		t.Errorf("d2 = %v, want both cheap requests", ids(got))
+	}
+}
+
+// TestSimulateRejectsForeignAssignment: a schedule that skips a request
+// fails validation inside Simulate.
+func TestSimulateRejectsForeignAssignment(t *testing.T) {
+	p := twoDeviceProblem()
+	a := NewAssignment(p)
+	a.Append("d1", p.Requests[0])
+	if _, _, err := Simulate(p, a); err == nil {
+		t.Fatal("incomplete assignment simulated")
+	}
+}
+
+// TestRunWithInvalidProblem surfaces validation errors.
+func TestRunWithInvalidProblem(t *testing.T) {
+	p := NewProblem(nil, nil, nil, &StaticEstimator{})
+	if _, err := Run(LS{}, p, rng(), DefaultAccounting()); err == nil {
+		t.Fatal("Run accepted an empty problem")
+	}
+}
+
+// TestSAConfigDefaults pins the annealing defaults.
+func TestSAConfigDefaults(t *testing.T) {
+	var sa SA
+	cfg := sa.config(20)
+	if cfg.InitTempFactor != 0.3 || cfg.Alpha != 0.95 || cfg.MovesPerTemp != 160 || cfg.MinTempRatio != 1e-3 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	custom := SA{Config: SAConfig{Alpha: 0.8, MovesPerTemp: 5}}
+	cfg = custom.config(20)
+	if cfg.Alpha != 0.8 || cfg.MovesPerTemp != 5 || cfg.InitTempFactor != 0.3 {
+		t.Errorf("merged = %+v", cfg)
+	}
+}

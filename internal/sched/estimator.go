@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"time"
+
+	"aorta/internal/device/camera"
+	"aorta/internal/geo"
+)
+
+// PTZEstimator is the cost model for photo() actions on AXIS-2130-like
+// cameras: head-movement time (slowest axis dominates) plus the fixed
+// connect + capture + store overhead. With the default constants a
+// photo() costs between 0.36 s (no movement) and 5.36 s (full 340° pan),
+// the paper's published interval.
+//
+// Status values are geo.Orientation (the head position); request targets
+// must be geo.Orientation as well.
+type PTZEstimator struct {
+	// Fixed is the movement-independent cost (connect + capture_medium +
+	// store). Defaults to 360 ms when zero.
+	Fixed time.Duration
+}
+
+var _ Estimator = (*PTZEstimator)(nil)
+
+// DefaultFixedCost is connect (50 ms) + capture_medium (280 ms) + store
+// (30 ms); see internal/profile/data/camera_costs.xml.
+const DefaultFixedCost = 360 * time.Millisecond
+
+// Estimate implements Estimator.
+func (e *PTZEstimator) Estimate(req *Request, _ DeviceID, st Status) (time.Duration, Status) {
+	fixed := e.Fixed
+	if fixed == 0 {
+		fixed = DefaultFixedCost
+	}
+	from, _ := st.(geo.Orientation)
+	to, ok := req.Target.(geo.Orientation)
+	if !ok {
+		// A request without a PTZ target needs no head movement.
+		return fixed, st
+	}
+	return camera.MoveTime(from, to) + fixed, to
+}
+
+// StaticEstimator is a table-driven cost model with no sequence
+// dependence: the weight of (request, device) is fixed. It exists for unit
+// tests and for the ablation that shows LERFA/SRFAE lose their edge
+// without status chaining (DESIGN.md §3).
+type StaticEstimator struct {
+	// Costs maps request ID → device → cost. Missing entries fall back to
+	// Default.
+	Costs   map[int]map[DeviceID]time.Duration
+	Default time.Duration
+}
+
+var _ Estimator = (*StaticEstimator)(nil)
+
+// Estimate implements Estimator.
+func (e *StaticEstimator) Estimate(req *Request, dev DeviceID, st Status) (time.Duration, Status) {
+	if byDev, ok := e.Costs[req.ID]; ok {
+		if c, ok := byDev[dev]; ok {
+			return c, st
+		}
+	}
+	return e.Default, st
+}

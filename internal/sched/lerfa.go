@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// LERFASRFE is the paper's Algorithm 1, a SAP (sequential assignment and
+// processing) heuristic with two greedy sub-components:
+//
+//   - LERFA (Least Eligible Request First Assignment, Algorithm 1.1):
+//     requests are assigned in ascending order of candidate-set size (ties
+//     broken randomly); each goes to the candidate device that minimizes
+//     the device's assigned workload W plus the request's estimated cost
+//     there;
+//   - SRFE (Shortest Request First Execution, Algorithm 1.2): each device
+//     services its assigned set shortest-request-first, re-estimating the
+//     remaining requests against its updated physical status after every
+//     execution.
+type LERFASRFE struct{}
+
+var _ Algorithm = (*LERFASRFE)(nil)
+
+// Name implements Algorithm.
+func (LERFASRFE) Name() string { return "LERFA+SRFE" }
+
+// Schedule implements Algorithm.
+func (LERFASRFE) Schedule(p *Problem, rng *rand.Rand) (*Assignment, error) {
+	assigned := lerfa(p, rng)
+	out := NewAssignment(p)
+	for _, dev := range p.Devices {
+		reqs := assigned[dev]
+		if len(reqs) == 0 {
+			continue
+		}
+		for _, r := range srfe(p, dev, reqs) {
+			out.Append(dev, r)
+		}
+	}
+	return out, nil
+}
+
+// lerfa performs Algorithm 1.1: least-eligible-request-first assignment.
+// It returns the per-device assigned sets (unordered; SRFE orders them).
+func lerfa(p *Problem, rng *rand.Rand) map[DeviceID][]*Request {
+	// W_j: assigned workload per device (line 1-2).
+	workload := make(map[DeviceID]time.Duration, len(p.Devices))
+	// The device's projected physical status after its assigned chain;
+	// used so later estimates reflect earlier assignments.
+	status := make(map[DeviceID]Status, len(p.Devices))
+	for _, d := range p.Devices {
+		workload[d] = 0
+		status[d] = p.Initial[d]
+	}
+
+	// Group requests by candidate-set size; random order within a group
+	// (the paper assigns ties "in a random order").
+	byEligibility := make(map[int][]*Request)
+	maxSize := 0
+	for _, r := range p.Requests {
+		n := len(r.Candidates)
+		byEligibility[n] = append(byEligibility[n], r)
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+
+	assigned := make(map[DeviceID][]*Request, len(p.Devices))
+	// Lines 3-12: i = 1, 2, ... while there are unassigned requests.
+	for i := 1; i <= maxSize; i++ {
+		group := byEligibility[i]
+		if len(group) == 0 {
+			continue
+		}
+		rng.Shuffle(len(group), func(a, b int) { group[a], group[b] = group[b], group[a] })
+		for _, r := range group {
+			// Lines 6-8: E_k = W_k + C_rk over the candidates.
+			var best DeviceID
+			var bestE time.Duration
+			var bestCost time.Duration
+			var bestNext Status
+			first := true
+			for _, dk := range r.Candidates {
+				cost, next := p.Estimate(r, dk, status[dk])
+				e := workload[dk] + cost
+				if first || e < bestE {
+					first = false
+					best, bestE, bestCost, bestNext = dk, e, cost, next
+				}
+			}
+			// Lines 9-11: assign to the least-E device and grow its
+			// workload by the cost there.
+			assigned[best] = append(assigned[best], r)
+			workload[best] += bestCost
+			status[best] = bestNext
+		}
+	}
+	return assigned
+}
+
+// srfe performs Algorithm 1.2 for a single device: repeatedly service the
+// remaining request with the least estimated cost at this moment, updating
+// the device's physical status after each execution.
+func srfe(p *Problem, dev DeviceID, reqs []*Request) []*Request {
+	remaining := make([]*Request, len(reqs))
+	copy(remaining, reqs)
+	// Deterministic scan order for equal costs.
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i].ID < remaining[j].ID })
+
+	order := make([]*Request, 0, len(remaining))
+	st := p.Initial[dev]
+	for len(remaining) > 0 {
+		bestIdx := -1
+		var bestCost time.Duration
+		var bestNext Status
+		for i, r := range remaining {
+			cost, next := p.Estimate(r, dev, st)
+			if bestIdx < 0 || cost < bestCost {
+				bestIdx, bestCost, bestNext = i, cost, next
+			}
+		}
+		order = append(order, remaining[bestIdx])
+		st = bestNext
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return order
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LS is the classic greedy List Scheduling algorithm (a CAP baseline):
+// whenever a machine becomes idle, it schedules any eligible job that has
+// not yet been scheduled on the machine — in list order, ignoring costs.
+// The event-driven idle loop is simulated against the cost model so the
+// resulting per-device sequences match a live execution.
+type LS struct{}
+
+var _ Algorithm = (*LS)(nil)
+
+// Name implements Algorithm.
+func (LS) Name() string { return "LS" }
+
+// Schedule implements Algorithm.
+func (LS) Schedule(p *Problem, _ *rand.Rand) (*Assignment, error) {
+	out := NewAssignment(p)
+	type devState struct {
+		freeAt time.Duration
+		status Status
+	}
+	states := make(map[DeviceID]*devState, len(p.Devices))
+	for _, d := range p.Devices {
+		states[d] = &devState{status: p.Initial[d]}
+	}
+	scheduled := make(map[int]bool, len(p.Requests))
+	remaining := len(p.Requests)
+
+	for remaining > 0 {
+		// Find the earliest-idle device that still has an eligible
+		// unscheduled job; ties break by device order.
+		var bestDev DeviceID
+		var bestReq *Request
+		var bestFree time.Duration
+		found := false
+		for _, d := range p.Devices {
+			st := states[d]
+			if found && st.freeAt >= bestFree {
+				continue
+			}
+			// First unscheduled job in list order eligible on d.
+			for _, r := range p.Requests {
+				if scheduled[r.ID] || !r.Eligible(d) {
+					continue
+				}
+				bestDev, bestReq, bestFree, found = d, r, st.freeAt, true
+				break
+			}
+		}
+		if !found {
+			// Cannot happen on a validated problem; guard anyway.
+			break
+		}
+		st := states[bestDev]
+		cost, next := p.Estimate(bestReq, bestDev, st.status)
+		st.freeAt += cost
+		st.status = next
+		out.Append(bestDev, bestReq)
+		scheduled[bestReq.ID] = true
+		remaining--
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Optimal is an exact solver for small instances. The paper notes that the
+// optimal 0/1 MIP formulation "is too computationally expensive to be
+// feasible" even for tiny inputs (1.5 hours at n=4, m=8 on a 1 GHz CPU in
+// Anagnostopoulos & Rabadi's experiments); this solver exists to measure
+// the optimality gap of the heuristics on instances it can finish
+// (roughly n ≤ 9), not to be used online.
+//
+// It enumerates every assignment of requests to candidate devices
+// (pruning partial assignments that already exceed the incumbent
+// makespan) and, for each device's assigned set, finds the optimal
+// service order by permutation search over the sequence-dependent costs.
+type Optimal struct {
+	// MaxRequests guards against accidental exponential runs (default 9).
+	MaxRequests int
+}
+
+var _ Algorithm = (*Optimal)(nil)
+
+// Name implements Algorithm.
+func (*Optimal) Name() string { return "OPT" }
+
+type optSolver struct {
+	p        *Problem
+	bestSpan time.Duration
+	bestSeq  map[DeviceID][]*Request
+	assign   []DeviceID // device per request index
+}
+
+// Schedule implements Algorithm.
+func (o *Optimal) Schedule(p *Problem, rng *rand.Rand) (*Assignment, error) {
+	limit := o.MaxRequests
+	if limit == 0 {
+		limit = 9
+	}
+	if len(p.Requests) > limit {
+		return nil, fmt.Errorf("sched: optimal solver limited to %d requests, got %d", limit, len(p.Requests))
+	}
+
+	// Seed the incumbent with a greedy solution for effective pruning.
+	seedAssign, err := (SRFAE{}).Schedule(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	_, seedSpan, err := Simulate(p, seedAssign)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &optSolver{
+		p:        p,
+		bestSpan: seedSpan,
+		bestSeq:  copySeq(seedAssign.Order),
+		assign:   make([]DeviceID, len(p.Requests)),
+	}
+	s.enumerate(0)
+
+	out := NewAssignment(p)
+	for _, d := range p.Devices {
+		for _, r := range s.bestSeq[d] {
+			out.Append(d, r)
+		}
+	}
+	return out, nil
+}
+
+func copySeq(in map[DeviceID][]*Request) map[DeviceID][]*Request {
+	out := make(map[DeviceID][]*Request, len(in))
+	for d, s := range in {
+		out[d] = append([]*Request(nil), s...)
+	}
+	return out
+}
+
+// enumerate assigns request i to each of its candidates in turn; complete
+// assignments are sequenced optimally per device.
+func (s *optSolver) enumerate(i int) {
+	if i == len(s.p.Requests) {
+		s.evaluate()
+		return
+	}
+	for _, d := range s.p.Requests[i].Candidates {
+		s.assign[i] = d
+		s.enumerate(i + 1)
+	}
+}
+
+// evaluate computes the best achievable makespan of the current complete
+// assignment by optimally ordering each device's set, and updates the
+// incumbent.
+func (s *optSolver) evaluate() {
+	perDevice := make(map[DeviceID][]*Request)
+	for i, d := range s.assign {
+		perDevice[d] = append(perDevice[d], s.p.Requests[i])
+	}
+	var span time.Duration
+	ordered := make(map[DeviceID][]*Request, len(perDevice))
+	for d, reqs := range perDevice {
+		best, c := s.bestOrder(d, reqs)
+		ordered[d] = best
+		if c > span {
+			span = c
+		}
+		if span >= s.bestSpan {
+			return // prune: some device already exceeds the incumbent
+		}
+	}
+	if span < s.bestSpan {
+		s.bestSpan = span
+		s.bestSeq = ordered
+	}
+}
+
+// bestOrder finds the minimum-completion service order of reqs on d by
+// recursive permutation search with chained status.
+func (s *optSolver) bestOrder(d DeviceID, reqs []*Request) ([]*Request, time.Duration) {
+	best := make([]*Request, len(reqs))
+	bestCost := time.Duration(1<<63 - 1)
+	cur := make([]*Request, 0, len(reqs))
+	used := make([]bool, len(reqs))
+
+	var rec func(st Status, acc time.Duration)
+	rec = func(st Status, acc time.Duration) {
+		if acc >= bestCost {
+			return
+		}
+		if len(cur) == len(reqs) {
+			bestCost = acc
+			copy(best, cur)
+			return
+		}
+		for i, r := range reqs {
+			if used[i] {
+				continue
+			}
+			cost, next := s.p.Estimate(r, d, st)
+			used[i] = true
+			cur = append(cur, r)
+			rec(next, acc+cost)
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec(s.p.Initial[d], 0)
+	return best, bestCost
+}

@@ -1,0 +1,24 @@
+package sched
+
+import "math/rand"
+
+// Random is the paper's RANDOM baseline: every request is assigned to a
+// uniformly random candidate device; each device services its queue in
+// arrival order. No cost-model evaluations are performed, so its
+// scheduling time is the probe floor alone.
+type Random struct{}
+
+var _ Algorithm = (*Random)(nil)
+
+// Name implements Algorithm.
+func (Random) Name() string { return "RANDOM" }
+
+// Schedule implements Algorithm.
+func (Random) Schedule(p *Problem, rng *rand.Rand) (*Assignment, error) {
+	out := NewAssignment(p)
+	for _, r := range p.Requests {
+		dev := r.Candidates[rng.Intn(len(r.Candidates))]
+		out.Append(dev, r)
+	}
+	return out, nil
+}

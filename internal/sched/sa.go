@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// SA is a simulated annealing scheduler in the style of Anagnostopoulos &
+// Rabadi's algorithm for unrelated parallel machines with
+// sequence-dependent setup times and machine eligibility restrictions —
+// the paper's SAP baseline.
+//
+// The solution space is the set of complete per-device service sequences;
+// neighbourhood moves either transfer one request to a random position on
+// another eligible device or swap two requests between devices. SA finds
+// near-optimal service schedules (in the paper it found the optimum) but
+// performs orders of magnitude more cost-model evaluations than the
+// greedy heuristics, which is exactly the Figure 5 trade-off.
+//
+// When the problem has machine eligibility restrictions (any request with
+// a proper candidate subset), every accepted move additionally pays a
+// feasibility/repair scan over all n·m (request, device) pairs. This
+// models the scheduling-time blow-up the paper observed for SA under
+// skewed workloads (Figure 6); see DESIGN.md §5.
+type SA struct {
+	Config SAConfig
+}
+
+// SAConfig tunes the annealing schedule. Zero values select defaults.
+type SAConfig struct {
+	// InitTempFactor scales the initial temperature relative to the
+	// initial solution's makespan (default 0.3).
+	InitTempFactor float64
+	// Alpha is the geometric cooling factor (default 0.95).
+	Alpha float64
+	// MovesPerTemp is the number of neighbourhood moves per temperature
+	// level (default 8·n).
+	MovesPerTemp int
+	// MinTempRatio stops annealing when T falls below MinTempRatio·T0
+	// (default 1e-3).
+	MinTempRatio float64
+}
+
+var _ Algorithm = (*SA)(nil)
+
+// Name implements Algorithm.
+func (*SA) Name() string { return "SA" }
+
+func (s *SA) config(n int) SAConfig {
+	cfg := s.Config
+	if cfg.InitTempFactor == 0 {
+		cfg.InitTempFactor = 0.3
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.95
+	}
+	if cfg.MovesPerTemp == 0 {
+		cfg.MovesPerTemp = 8 * n
+	}
+	if cfg.MinTempRatio == 0 {
+		cfg.MinTempRatio = 1e-3
+	}
+	return cfg
+}
+
+// saState is a mutable solution: per-device sequences plus cached
+// per-device completion times.
+type saState struct {
+	p          *Problem
+	seq        map[DeviceID][]*Request
+	completion map[DeviceID]time.Duration
+}
+
+func newSAState(p *Problem, a *Assignment) *saState {
+	st := &saState{
+		p:          p,
+		seq:        make(map[DeviceID][]*Request, len(p.Devices)),
+		completion: make(map[DeviceID]time.Duration, len(p.Devices)),
+	}
+	for _, d := range p.Devices {
+		st.seq[d] = append([]*Request(nil), a.Order[d]...)
+		st.completion[d] = st.evalDevice(d)
+	}
+	return st
+}
+
+// evalDevice recomputes one device's completion by chaining the cost
+// model through its sequence. Each request costs one accounted
+// evaluation.
+func (st *saState) evalDevice(d DeviceID) time.Duration {
+	var total time.Duration
+	s := st.p.Initial[d]
+	for _, r := range st.seq[d] {
+		cost, next := st.p.Estimate(r, d, s)
+		total += cost
+		s = next
+	}
+	return total
+}
+
+func (st *saState) makespan() time.Duration {
+	var max time.Duration
+	for _, d := range st.p.Devices {
+		if c := st.completion[d]; c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func (st *saState) clone() *saState {
+	out := &saState{
+		p:          st.p,
+		seq:        make(map[DeviceID][]*Request, len(st.seq)),
+		completion: make(map[DeviceID]time.Duration, len(st.completion)),
+	}
+	for d, s := range st.seq {
+		out.seq[d] = append([]*Request(nil), s...)
+	}
+	for d, c := range st.completion {
+		out.completion[d] = c
+	}
+	return out
+}
+
+// locate finds the device and index of a request.
+func (st *saState) locate(id int) (DeviceID, int) {
+	for d, s := range st.seq {
+		for i, r := range s {
+			if r.ID == id {
+				return d, i
+			}
+		}
+	}
+	return "", -1
+}
+
+// Schedule implements Algorithm.
+func (s *SA) Schedule(p *Problem, rng *rand.Rand) (*Assignment, error) {
+	n := len(p.Requests)
+	cfg := s.config(n)
+
+	// Initial solution: list scheduling.
+	initial, err := (LS{}).Schedule(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	cur := newSAState(p, initial)
+	curSpan := cur.makespan()
+	best := cur.clone()
+	bestSpan := curSpan
+
+	restricted := hasEligibilityRestrictions(p)
+	repairCharge := int64(n * len(p.Devices))
+
+	t0 := cfg.InitTempFactor * float64(curSpan)
+	if t0 <= 0 {
+		t0 = float64(time.Second)
+	}
+	for temp := t0; temp > cfg.MinTempRatio*t0; temp *= cfg.Alpha {
+		for move := 0; move < cfg.MovesPerTemp; move++ {
+			next, ok := s.neighbour(cur, rng)
+			if !ok {
+				continue
+			}
+			nextSpan := next.makespan()
+			delta := float64(nextSpan - curSpan)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				cur, curSpan = next, nextSpan
+				if restricted {
+					// Feasibility/repair scan over all pairs (see type
+					// comment and DESIGN.md §5).
+					p.ChargeEvals(repairCharge)
+				}
+				if curSpan < bestSpan {
+					best, bestSpan = cur.clone(), curSpan
+				}
+			}
+		}
+	}
+
+	out := NewAssignment(p)
+	for _, d := range p.Devices {
+		for _, r := range best.seq[d] {
+			out.Append(d, r)
+		}
+	}
+	return out, nil
+}
+
+// neighbour produces a random feasible neighbour of cur, or ok=false when
+// the sampled move is degenerate. Only the affected devices are
+// re-evaluated.
+func (s *SA) neighbour(cur *saState, rng *rand.Rand) (*saState, bool) {
+	p := cur.p
+	r := p.Requests[rng.Intn(len(p.Requests))]
+	if rng.Intn(2) == 0 || len(p.Requests) < 2 {
+		// Transfer r to a random position on a random eligible device.
+		if len(r.Candidates) < 2 {
+			return nil, false
+		}
+		fromDev, idx := cur.locate(r.ID)
+		toDev := r.Candidates[rng.Intn(len(r.Candidates))]
+		if toDev == fromDev {
+			return nil, false
+		}
+		next := cur.clone()
+		next.seq[fromDev] = append(next.seq[fromDev][:idx], next.seq[fromDev][idx+1:]...)
+		pos := 0
+		if len(next.seq[toDev]) > 0 {
+			pos = rng.Intn(len(next.seq[toDev]) + 1)
+		}
+		tail := append([]*Request(nil), next.seq[toDev][pos:]...)
+		next.seq[toDev] = append(append(next.seq[toDev][:pos], r), tail...)
+		next.completion[fromDev] = next.evalDevice(fromDev)
+		next.completion[toDev] = next.evalDevice(toDev)
+		return next, true
+	}
+	// Swap r with another request; each must be eligible on the other's
+	// device.
+	other := p.Requests[rng.Intn(len(p.Requests))]
+	if other.ID == r.ID {
+		return nil, false
+	}
+	d1, i1 := cur.locate(r.ID)
+	d2, i2 := cur.locate(other.ID)
+	if !r.Eligible(d2) || !other.Eligible(d1) {
+		return nil, false
+	}
+	next := cur.clone()
+	next.seq[d1][i1] = other
+	next.seq[d2][i2] = r
+	next.completion[d1] = next.evalDevice(d1)
+	if d2 != d1 {
+		next.completion[d2] = next.evalDevice(d2)
+	}
+	return next, true
+}
+
+// hasEligibilityRestrictions reports whether any request's candidate set
+// is a proper subset of the devices.
+func hasEligibilityRestrictions(p *Problem) bool {
+	for _, r := range p.Requests {
+		if len(r.Candidates) < len(p.Devices) {
+			return true
+		}
+	}
+	return false
+}

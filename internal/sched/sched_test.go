@@ -1,0 +1,419 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"aorta/internal/geo"
+)
+
+// twoDeviceProblem builds a tiny static-cost instance with a known optimal
+// schedule.
+func twoDeviceProblem() *Problem {
+	// r1: 4s on d1, 1s on d2; r2: 2s on d1, 3s on d2; r3: 1s on d1 only.
+	costs := map[int]map[DeviceID]time.Duration{
+		1: {"d1": 4 * time.Second, "d2": 1 * time.Second},
+		2: {"d1": 2 * time.Second, "d2": 3 * time.Second},
+		3: {"d1": 1 * time.Second},
+	}
+	reqs := []*Request{
+		{ID: 1, Candidates: []DeviceID{"d1", "d2"}},
+		{ID: 2, Candidates: []DeviceID{"d1", "d2"}},
+		{ID: 3, Candidates: []DeviceID{"d1"}},
+	}
+	return NewProblem(reqs, []DeviceID{"d1", "d2"}, map[DeviceID]Status{}, &StaticEstimator{Costs: costs})
+}
+
+func rng() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestProblemValidate(t *testing.T) {
+	p := twoDeviceProblem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewProblem(nil, []DeviceID{"d1"}, nil, &StaticEstimator{})
+	if err := bad.Validate(); err == nil {
+		t.Error("empty request set accepted")
+	}
+	bad2 := NewProblem([]*Request{{ID: 1}}, []DeviceID{"d1"}, nil, &StaticEstimator{})
+	if err := bad2.Validate(); err == nil {
+		t.Error("request without candidates accepted")
+	}
+	bad3 := NewProblem(
+		[]*Request{{ID: 1, Candidates: []DeviceID{"dX"}}},
+		[]DeviceID{"d1"}, nil, &StaticEstimator{})
+	if err := bad3.Validate(); err == nil {
+		t.Error("unknown candidate accepted")
+	}
+	bad4 := NewProblem(
+		[]*Request{{ID: 1, Candidates: []DeviceID{"d1"}}, {ID: 1, Candidates: []DeviceID{"d1"}}},
+		[]DeviceID{"d1"}, nil, &StaticEstimator{})
+	if err := bad4.Validate(); err == nil {
+		t.Error("duplicate request IDs accepted")
+	}
+	bad5 := NewProblem(
+		[]*Request{{ID: 1, Candidates: []DeviceID{"d1"}}},
+		[]DeviceID{"d1", "d1"}, nil, &StaticEstimator{})
+	if err := bad5.Validate(); err == nil {
+		t.Error("duplicate devices accepted")
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	p := twoDeviceProblem()
+	a := NewAssignment(p)
+	a.Append("d1", p.Requests[1])
+	a.Append("d1", p.Requests[2])
+	if err := a.Validate(p); err == nil {
+		t.Error("incomplete assignment accepted")
+	}
+	a.Append("d2", p.Requests[0])
+	if err := a.Validate(p); err != nil {
+		t.Errorf("complete assignment rejected: %v", err)
+	}
+	// Ineligible placement.
+	b := NewAssignment(p)
+	b.Append("d2", p.Requests[2]) // r3 only eligible on d1
+	b.Append("d1", p.Requests[0])
+	b.Append("d1", p.Requests[1])
+	if err := b.Validate(p); err == nil {
+		t.Error("ineligible placement accepted")
+	}
+	// Duplicate placement.
+	c := NewAssignment(p)
+	c.Append("d1", p.Requests[0])
+	c.Append("d2", p.Requests[0])
+	if err := c.Validate(p); err == nil {
+		t.Error("duplicate placement accepted")
+	}
+}
+
+func TestSimulateStaticCosts(t *testing.T) {
+	p := twoDeviceProblem()
+	a := NewAssignment(p)
+	a.Append("d2", p.Requests[0]) // 1s
+	a.Append("d1", p.Requests[1]) // 2s
+	a.Append("d1", p.Requests[2]) // 1s
+	timelines, span, err := Simulate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 3*time.Second {
+		t.Errorf("makespan = %v, want 3s", span)
+	}
+	if len(timelines) != 2 {
+		t.Fatalf("timelines = %+v", timelines)
+	}
+	if timelines[0].Device != "d1" || timelines[0].Completion != 3*time.Second {
+		t.Errorf("d1 timeline = %+v", timelines[0])
+	}
+	if timelines[1].Completion != time.Second {
+		t.Errorf("d2 timeline = %+v", timelines[1])
+	}
+}
+
+// allAlgorithms returns the five paper algorithms.
+func allAlgorithms() []Algorithm {
+	return []Algorithm{LERFASRFE{}, SRFAE{}, LS{}, &SA{}, Random{}}
+}
+
+func TestAllAlgorithmsProduceValidSchedules(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		t.Run(alg.Name(), func(t *testing.T) {
+			p := twoDeviceProblem()
+			a, err := alg.Schedule(p, rng())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Validate(p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunAccountsSchedulingTime(t *testing.T) {
+	p := twoDeviceProblem()
+	acct := Accounting{ProbeCharge: 10 * time.Millisecond, EvalCharge: time.Millisecond}
+	res, err := Run(Random{}, p, rng(), acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RANDOM performs no cost evaluations: scheduling time is the probe
+	// floor alone (2 devices × 10ms).
+	if res.Evals != 0 {
+		t.Errorf("RANDOM evals = %d, want 0", res.Evals)
+	}
+	if res.SchedulingTime != 20*time.Millisecond {
+		t.Errorf("scheduling time = %v, want 20ms", res.SchedulingTime)
+	}
+	if res.Makespan != res.SchedulingTime+res.ServiceTime {
+		t.Error("makespan != scheduling + service")
+	}
+
+	res2, err := Run(LERFASRFE{}, p, rng(), acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Evals == 0 {
+		t.Error("LERFA+SRFE performed no cost evaluations")
+	}
+	if res2.SchedulingTime <= 20*time.Millisecond {
+		t.Error("LERFA+SRFE scheduling time does not include evaluations")
+	}
+}
+
+func TestLERFAAssignsLeastEligibleFirst(t *testing.T) {
+	// r3 (only d1) must be placed first; then r2 and r1 balance.
+	p := twoDeviceProblem()
+	a, err := LERFASRFE{}.Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r3 must be on d1.
+	foundR3 := false
+	for _, r := range a.Order["d1"] {
+		if r.ID == 3 {
+			foundR3 = true
+		}
+	}
+	if !foundR3 {
+		t.Fatal("r3 not scheduled on its only candidate d1")
+	}
+	_, span, err := Simulate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal here: d1 ← r3 (1s) + r2 (2s) = 3s; d2 ← r1 (1s). Makespan 3s.
+	if span != 3*time.Second {
+		t.Errorf("LERFA+SRFE makespan = %v, want optimal 3s", span)
+	}
+}
+
+func TestSRFEOrdersShortestFirstWithChaining(t *testing.T) {
+	// One device, sequence-dependent: the greedy chain should pick the
+	// nearest target each time.
+	est := &PTZEstimator{}
+	reqs := []*Request{
+		{ID: 1, Target: geo.Orientation{Pan: 100, Zoom: 1}, Candidates: []DeviceID{"d1"}},
+		{ID: 2, Target: geo.Orientation{Pan: 10, Zoom: 1}, Candidates: []DeviceID{"d1"}},
+		{ID: 3, Target: geo.Orientation{Pan: 50, Zoom: 1}, Candidates: []DeviceID{"d1"}},
+	}
+	p := NewProblem(reqs, []DeviceID{"d1"}, map[DeviceID]Status{"d1": geo.Orientation{Pan: 0, Zoom: 1}}, est)
+	a, err := LERFASRFE{}.Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := a.Order["d1"]
+	if order[0].ID != 2 || order[1].ID != 3 || order[2].ID != 1 {
+		ids := []int{order[0].ID, order[1].ID, order[2].ID}
+		t.Errorf("SRFE order = %v, want [2 3 1] (nearest-target chaining)", ids)
+	}
+}
+
+func TestSRFAEOptimalOnTinyInstance(t *testing.T) {
+	p := twoDeviceProblem()
+	a, err := SRFAE{}.Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	_, span, err := Simulate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 3*time.Second {
+		t.Errorf("SRFAE makespan = %v, want 3s", span)
+	}
+}
+
+func TestLSSchedulesEagerly(t *testing.T) {
+	p := twoDeviceProblem()
+	a, err := LS{}.Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// LS in list order: r1→d1 (first idle device), r2→d2, r3 waits for d1
+	// (only candidate). Sequences: d1=[r1,r3], d2=[r2].
+	if got := a.Order["d1"]; len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Errorf("d1 order = %v", ids(got))
+	}
+	if got := a.Order["d2"]; len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("d2 order = %v", ids(got))
+	}
+}
+
+func TestRandomRespectsEligibility(t *testing.T) {
+	p := twoDeviceProblem()
+	for seed := int64(0); seed < 20; seed++ {
+		a, err := Random{}.Schedule(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Validate(p); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSADoesNotWorsenInitialSolution(t *testing.T) {
+	p := twoDeviceProblem()
+	lsA, _ := LS{}.Schedule(p, rng())
+	_, lsSpan, _ := Simulate(p, lsA)
+	sa := &SA{}
+	a, err := sa.Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, saSpan, err := Simulate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saSpan > lsSpan {
+		t.Errorf("SA makespan %v worse than its LS seed %v", saSpan, lsSpan)
+	}
+}
+
+func TestSAFindsOptimumOnTinyInstance(t *testing.T) {
+	p := twoDeviceProblem()
+	a, err := (&SA{}).Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, span, err := Simulate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 3*time.Second {
+		t.Errorf("SA makespan = %v, want optimal 3s", span)
+	}
+}
+
+func TestSAChargesRepairScanOnlyWhenRestricted(t *testing.T) {
+	// Unrestricted problem: no repair charges.
+	est := &StaticEstimator{Default: time.Second}
+	reqs := []*Request{
+		{ID: 1, Candidates: []DeviceID{"d1", "d2"}},
+		{ID: 2, Candidates: []DeviceID{"d1", "d2"}},
+	}
+	p := NewProblem(reqs, []DeviceID{"d1", "d2"}, nil, est)
+	if hasEligibilityRestrictions(p) {
+		t.Fatal("unrestricted problem reported restricted")
+	}
+	reqs2 := []*Request{
+		{ID: 1, Candidates: []DeviceID{"d1"}},
+		{ID: 2, Candidates: []DeviceID{"d1", "d2"}},
+	}
+	p2 := NewProblem(reqs2, []DeviceID{"d1", "d2"}, nil, est)
+	if !hasEligibilityRestrictions(p2) {
+		t.Fatal("restricted problem not detected")
+	}
+}
+
+func TestOptimalSolvesTinyInstance(t *testing.T) {
+	p := twoDeviceProblem()
+	a, err := (&Optimal{}).Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, span, err := Simulate(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 3*time.Second {
+		t.Errorf("OPT makespan = %v, want 3s", span)
+	}
+}
+
+func TestOptimalRejectsLargeInstances(t *testing.T) {
+	reqs := make([]*Request, 12)
+	for i := range reqs {
+		reqs[i] = &Request{ID: i + 1, Candidates: []DeviceID{"d1"}}
+	}
+	p := NewProblem(reqs, []DeviceID{"d1"}, nil, &StaticEstimator{Default: time.Second})
+	if _, err := (&Optimal{}).Schedule(p, rng()); err == nil {
+		t.Error("optimal solver accepted 12 requests")
+	}
+}
+
+func TestOptimalRespectsSequenceDependence(t *testing.T) {
+	// Single device, three targets on a line: optimal order is monotone,
+	// not the static shortest-first.
+	est := &PTZEstimator{}
+	reqs := []*Request{
+		{ID: 1, Target: geo.Orientation{Pan: -100, Zoom: 1}, Candidates: []DeviceID{"d1"}},
+		{ID: 2, Target: geo.Orientation{Pan: 160, Zoom: 1}, Candidates: []DeviceID{"d1"}},
+		{ID: 3, Target: geo.Orientation{Pan: -160, Zoom: 1}, Candidates: []DeviceID{"d1"}},
+	}
+	p := NewProblem(reqs, []DeviceID{"d1"}, map[DeviceID]Status{"d1": geo.Orientation{Pan: -90, Zoom: 1}}, est)
+	a, err := (&Optimal{}).Schedule(p, rng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := ids(a.Order["d1"])
+	// Starting at -90: going -100 → -160 → 160 total pan = 10+60+320 = 390.
+	// Alternative -100 → 160 → -160 = 10+260+320 = 590. Monotone sweep wins.
+	if order[0] != 1 || order[1] != 3 || order[2] != 2 {
+		t.Errorf("optimal order = %v, want [1 3 2]", order)
+	}
+}
+
+func TestPTZEstimatorEnvelope(t *testing.T) {
+	est := &PTZEstimator{}
+	req := &Request{ID: 1, Target: geo.Orientation{Pan: 170, Zoom: 1}}
+	cost, next := est.Estimate(req, "d1", geo.Orientation{Pan: -170, Zoom: 1})
+	if cost != 5*time.Second+DefaultFixedCost {
+		t.Errorf("full-pan cost = %v, want 5.36s", cost)
+	}
+	if next.(geo.Orientation).Pan != 170 {
+		t.Errorf("status after = %+v", next)
+	}
+	// No movement: fixed cost only.
+	cost2, _ := est.Estimate(req, "d1", geo.Orientation{Pan: 170, Zoom: 1})
+	if cost2 != DefaultFixedCost {
+		t.Errorf("no-move cost = %v, want 0.36s", cost2)
+	}
+}
+
+func TestPTZEstimatorNoTarget(t *testing.T) {
+	est := &PTZEstimator{}
+	cost, st := est.Estimate(&Request{ID: 1}, "d1", geo.Orientation{Pan: 30, Zoom: 1})
+	if cost != DefaultFixedCost {
+		t.Errorf("cost = %v", cost)
+	}
+	if st.(geo.Orientation).Pan != 30 {
+		t.Error("status changed without a target")
+	}
+}
+
+func TestEvalCounting(t *testing.T) {
+	p := twoDeviceProblem()
+	p.ResetEvals()
+	p.Estimate(p.Requests[0], "d1", nil)
+	p.Estimate(p.Requests[0], "d2", nil)
+	if p.Evals() != 2 {
+		t.Errorf("evals = %d, want 2", p.Evals())
+	}
+	p.ChargeEvals(10)
+	if p.Evals() != 12 {
+		t.Errorf("evals after charge = %d, want 12", p.Evals())
+	}
+	p.ResetEvals()
+	if p.Evals() != 0 {
+		t.Error("ResetEvals did not zero the counter")
+	}
+}
+
+func ids(reqs []*Request) []int {
+	out := make([]int, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.ID
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"math/rand"
+	"time"
+
+	"aorta/internal/rbtree"
+)
+
+// SRFAE is the paper's Algorithm 2 (Shortest Request First Assignment and
+// Execution), a CAP (concurrent assignment and processing) greedy
+// heuristic.
+//
+// Every (request, candidate device) pair is a node in a balanced binary
+// search tree keyed by the pair's weight (lines 1-3). Each round extracts
+// the minimum-key node, assigns that request to that device and services
+// or queues it there (lines 7-15); then the keys of every unserviced
+// request eligible on the device are updated to C_lj + w — the estimated
+// cost after the newly assigned request, plus the device's accumulated
+// completion key (lines 16-20), so keys are estimated completion times.
+type SRFAE struct{}
+
+var _ Algorithm = (*SRFAE)(nil)
+
+// Name implements Algorithm.
+func (SRFAE) Name() string { return "SRFAE" }
+
+// pairNode is one (request, device) node; the tree order is
+// (weight, request ID, device) so weights may collide.
+type pairNode struct {
+	weight time.Duration
+	req    *Request
+	dev    DeviceID
+}
+
+func pairLess(a, b pairNode) bool {
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	if a.req.ID != b.req.ID {
+		return a.req.ID < b.req.ID
+	}
+	return a.dev < b.dev
+}
+
+// Schedule implements Algorithm.
+func (SRFAE) Schedule(p *Problem, _ *rand.Rand) (*Assignment, error) {
+	tree := rbtree.New(pairLess)
+	// Current key per (request ID, device), needed to delete/update nodes.
+	keys := make(map[int]map[DeviceID]time.Duration, len(p.Requests))
+	// The device's projected status after its assigned chain.
+	status := make(map[DeviceID]Status, len(p.Devices))
+	for _, d := range p.Devices {
+		status[d] = p.Initial[d]
+	}
+
+	// Lines 1-3: one node per (ri, dj), keyed by the pair's weight under
+	// the device's probed status.
+	for _, r := range p.Requests {
+		keys[r.ID] = make(map[DeviceID]time.Duration, len(r.Candidates))
+		for _, d := range r.Candidates {
+			cost, _ := p.Estimate(r, d, status[d])
+			keys[r.ID][d] = cost
+			tree.Insert(pairNode{weight: cost, req: r, dev: d})
+		}
+	}
+
+	out := NewAssignment(p)
+	serviced := make(map[int]bool, len(p.Requests))
+
+	// Lines 7-20: extract-min until the tree is empty.
+	for tree.Len() > 0 {
+		node, _ := tree.DeleteMin()
+		ri, dj, w := node.req, node.dev, node.weight
+
+		// Lines 9-15: assign ri to dj (FIFO queue on the device) and mark
+		// it serviced; remove its remaining pair nodes.
+		out.Append(dj, ri)
+		serviced[ri.ID] = true
+		for dev, key := range keys[ri.ID] {
+			if dev == dj {
+				continue
+			}
+			tree.Delete(pairNode{weight: key, req: ri, dev: dev})
+		}
+		delete(keys, ri.ID)
+
+		// The device's physical status advances past ri.
+		_, next := p.Estimate(ri, dj, status[dj])
+		status[dj] = next
+
+		// Lines 16-20: recalculate the key of every unserviced request
+		// that dj could service, reflecting dj's new status and workload.
+		for _, rl := range p.Requests {
+			if serviced[rl.ID] || !rl.Eligible(dj) {
+				continue
+			}
+			oldKey := keys[rl.ID][dj]
+			tree.Delete(pairNode{weight: oldKey, req: rl, dev: dj})
+			cost, _ := p.Estimate(rl, dj, status[dj])
+			newKey := cost + w
+			keys[rl.ID][dj] = newKey
+			tree.Insert(pairNode{weight: newKey, req: rl, dev: dj})
+		}
+	}
+	return out, nil
+}

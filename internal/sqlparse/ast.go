@@ -1,0 +1,294 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Statement is any parsed Aorta SQL statement.
+type Statement interface {
+	stmt()
+	fmt.Stringer
+}
+
+// CreateAction registers a user-defined action:
+//
+//	CREATE ACTION sendphoto(String phone_no, String photo_pathname)
+//	AS "lib/users/sendphoto.dll" PROFILE "profiles/users/sendphoto.xml"
+type CreateAction struct {
+	Name string
+	// Params are the declared formal parameters.
+	Params []ActionParam
+	// Library is the code-block location. In this Go reproduction it
+	// names a registered Go function instead of a DLL (see DESIGN.md §1).
+	Library string
+	// Profile is the action-profile path.
+	Profile string
+}
+
+// ActionParam is one formal parameter of a CREATE ACTION.
+type ActionParam struct {
+	Type string
+	Name string
+}
+
+func (*CreateAction) stmt() {}
+
+// String implements fmt.Stringer.
+func (c *CreateAction) String() string {
+	params := make([]string, len(c.Params))
+	for i, p := range c.Params {
+		params[i] = p.Type + " " + p.Name
+	}
+	return fmt.Sprintf("CREATE ACTION %s(%s) AS %s PROFILE %s",
+		c.Name, strings.Join(params, ", "), QuoteString(c.Library), QuoteString(c.Profile))
+}
+
+// QuoteString renders a string literal using exactly the escaping the
+// lexer understands: backslash before quote and backslash, all other
+// bytes verbatim. (fmt's %q would emit hex escapes the lexer treats as
+// literal characters.)
+func QuoteString(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s) + 2)
+	sb.WriteByte(34)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == 34 || c == 92 {
+			sb.WriteByte(92)
+		}
+		sb.WriteByte(c)
+	}
+	sb.WriteByte(34)
+	return sb.String()
+}
+
+// CreateAQ registers a named action-embedded continuous query:
+//
+//	CREATE AQ snapshot AS SELECT ...
+type CreateAQ struct {
+	Name   string
+	Select *Select
+}
+
+func (*CreateAQ) stmt() {}
+
+// String implements fmt.Stringer.
+func (c *CreateAQ) String() string {
+	return fmt.Sprintf("CREATE AQ %s AS %s", c.Name, c.Select)
+}
+
+// DropAQ removes a registered query; StopAQ/StartAQ pause and resume it.
+type DropAQ struct{ Name string }
+
+func (*DropAQ) stmt() {}
+
+// String implements fmt.Stringer.
+func (d *DropAQ) String() string { return "DROP AQ " + d.Name }
+
+// StopAQ pauses a registered query.
+type StopAQ struct{ Name string }
+
+func (*StopAQ) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *StopAQ) String() string { return "STOP AQ " + s.Name }
+
+// StartAQ resumes a stopped query.
+type StartAQ struct{ Name string }
+
+func (*StartAQ) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *StartAQ) String() string { return "START AQ " + s.Name }
+
+// Show lists registry contents: SHOW QUERIES | ACTIONS | DEVICES.
+type Show struct{ What string }
+
+func (*Show) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *Show) String() string { return "SHOW " + s.What }
+
+// Explain asks for the compiled plan of a query without running it:
+// EXPLAIN SELECT ... .
+type Explain struct{ Select *Select }
+
+func (*Explain) stmt() {}
+
+// String implements fmt.Stringer.
+func (e *Explain) String() string { return "EXPLAIN " + e.Select.String() }
+
+// Select is the query body. Its select list may contain action calls; its
+// WHERE clause mixes ordinary comparisons with boolean device functions.
+type Select struct {
+	// Items are the select-list expressions (action calls, column refs).
+	Items []Expr
+	// From lists the virtual device tables with aliases.
+	From []TableRef
+	// Where is nil when absent.
+	Where Expr
+	// GroupBy lists grouping columns for aggregate queries (empty when
+	// absent).
+	GroupBy []*ColumnRef
+	// Every is the sampling epoch for the continuous query; zero means
+	// the engine default.
+	Every time.Duration
+}
+
+func (*Select) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Every > 0 {
+		fmt.Fprintf(&sb, " EVERY %s", s.Every)
+	}
+	return sb.String()
+}
+
+// TableRef is one FROM-clause entry: a device table with an optional
+// alias (e.g. "sensor s").
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the alias if present, else the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// String implements fmt.Stringer.
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// Expr is any expression node.
+type Expr interface {
+	expr()
+	fmt.Stringer
+}
+
+// ColumnRef references a (possibly qualified) column: s.accel_x or loc.
+type ColumnRef struct {
+	Qualifier string // table alias; empty when unqualified
+	Column    string
+}
+
+func (*ColumnRef) expr() {}
+
+// String implements fmt.Stringer.
+func (c *ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Column
+	}
+	return c.Column
+}
+
+// Literal is a constant: float64, string or bool.
+type Literal struct{ Value any }
+
+func (*Literal) expr() {}
+
+// String implements fmt.Stringer.
+func (l *Literal) String() string {
+	if s, ok := l.Value.(string); ok {
+		return QuoteString(s)
+	}
+	return fmt.Sprintf("%v", l.Value)
+}
+
+// Call is a function or action invocation: photo(c.ip, s.loc, "dir") or
+// coverage(c.id, s.loc).
+type Call struct {
+	Func string
+	Args []Expr
+}
+
+func (*Call) expr() {}
+
+// String implements fmt.Stringer.
+func (c *Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Func + "(" + strings.Join(args, ", ") + ")"
+}
+
+// Compare is a binary comparison: Op is one of =, !=, <, <=, >, >=.
+type Compare struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (*Compare) expr() {}
+
+// String implements fmt.Stringer.
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Logic is AND/OR over two operands.
+type Logic struct {
+	Op          string // "AND" or "OR"
+	Left, Right Expr
+}
+
+func (*Logic) expr() {}
+
+// String implements fmt.Stringer.
+func (l *Logic) String() string {
+	return fmt.Sprintf("(%s %s %s)", l.Left, l.Op, l.Right)
+}
+
+// Not negates a boolean expression.
+type Not struct{ Inner Expr }
+
+func (*Not) expr() {}
+
+// String implements fmt.Stringer.
+func (n *Not) String() string { return "NOT " + n.Inner.String() }
+
+// Star is the bare * select item.
+type Star struct{}
+
+func (*Star) expr() {}
+
+// String implements fmt.Stringer.
+func (*Star) String() string { return "*" }

@@ -1,0 +1,64 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic and must round-trip whatever it
+// accepts (parse → String → parse → identical String).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, "photos/admin") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc)`,
+		`CREATE ACTION sendphoto(String phone_no, String path) AS "lib.dll" PROFILE "p.xml"`,
+		`SELECT * FROM sensor EVERY 5 seconds`,
+		`SELECT avg(s.temp), count(*) FROM sensor s WHERE s.temp > -10.5 OR NOT near(s.loc, s.loc, 1)`,
+		`EXPLAIN SELECT a FROM t WHERE (x > 1 OR y < 2) AND z != 3`,
+		`DROP AQ x; `,
+		`SHOW QUERIES`,
+		"SELECT a -- comment\nFROM t",
+		`SELECT "unterminated`,
+		`SELECT 'quoted \' string' FROM t`,
+		`CREATE`,
+		`@#$%`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := stmt.String()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", input, rendered, err)
+		}
+		if stmt2.String() != rendered {
+			t.Fatalf("rendering not a fixed point:\n  %s\n  %s", rendered, stmt2.String())
+		}
+	})
+}
+
+// FuzzLex: the lexer must never panic and its token stream must cover the
+// whole input for accepted inputs.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{`SELECT x.y != 3.5 <= "str"`, "a\"b", "--", "1.2.3", "\\"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := Lex(input)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokenEOF {
+			t.Fatalf("token stream not EOF-terminated for %q", input)
+		}
+		for _, tok := range toks[:len(toks)-1] {
+			if tok.Kind == TokenKeyword && tok.Text != strings.ToUpper(tok.Text) {
+				t.Fatalf("keyword %q not upper-cased", tok.Text)
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package sqlparse implements the lexer and parser for Aorta's extended
+// SQL (paper §2.2): CREATE ACTION registers user-defined actions, CREATE
+// AQ registers named action-embedded continuous queries, and the SELECT
+// syntax allows action calls in the select list and boolean device
+// functions (e.g. coverage()) in the WHERE clause.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokenEOF TokenKind = iota + 1
+	TokenIdent
+	TokenKeyword
+	TokenNumber
+	TokenString
+	TokenSymbol
+)
+
+// Token is one lexical unit. For keywords, Text is upper-cased; for other
+// kinds it is verbatim.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokenEOF:
+		return "end of input"
+	case TokenString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords recognized by the lexer (case-insensitive).
+var keywords = map[string]bool{
+	"CREATE": true, "ACTION": true, "AQ": true, "AS": true,
+	"PROFILE": true, "SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "TRUE": true, "FALSE": true,
+	"DROP": true, "STOP": true, "START": true, "SHOW": true,
+	"QUERIES": true, "ACTIONS": true, "DEVICES": true, "EVERY": true,
+	"EXPLAIN": true, "GROUP": true, "BY": true,
+}
+
+// Lex tokenizes the input. It returns an error for unterminated strings
+// and unexpected bytes.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// SQL line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != quote {
+				if input[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+			}
+			toks = append(toks, Token{Kind: TokenString, Text: sb.String(), Pos: i})
+			i = j + 1
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			j := i
+			seenDot := false
+			for j < n && (isDigit(input[j]) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, Token{Kind: TokenNumber, Text: input[i:j], Pos: i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(input[j]) {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokenKeyword, Text: upper, Pos: i})
+			} else {
+				toks = append(toks, Token{Kind: TokenIdent, Text: word, Pos: i})
+			}
+			i = j
+		default:
+			sym, width, err := lexSymbol(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, Token{Kind: TokenSymbol, Text: sym, Pos: i})
+			i += width
+		}
+	}
+	toks = append(toks, Token{Kind: TokenEOF, Pos: n})
+	return toks, nil
+}
+
+func lexSymbol(input string, i int) (string, int, error) {
+	two := ""
+	if i+1 < len(input) {
+		two = input[i : i+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		return two, 2, nil
+	}
+	switch input[i] {
+	case '(', ')', ',', '.', ';', '*', '=', '<', '>', '+', '-', '/':
+		return string(input[i]), 1, nil
+	}
+	return "", 0, fmt.Errorf("sqlparse: unexpected character %q at offset %d", input[i], i)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c)
+}

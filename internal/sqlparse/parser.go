@@ -1,0 +1,465 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse parses one statement. Trailing semicolons are allowed.
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokenSymbol, ";")
+	if !p.at(TokenEOF, "") {
+		return nil, p.errorf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokenEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, when
+// non-empty).
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes a matching token or fails.
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		switch kind {
+		case TokenIdent:
+			want = "identifier"
+		case TokenString:
+			want = "string literal"
+		case TokenNumber:
+			want = "number"
+		default:
+			want = "token"
+		}
+	}
+	return Token{}, p.errorf("expected %s, found %s", want, p.peek())
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.accept(TokenKeyword, "CREATE"):
+		switch {
+		case p.accept(TokenKeyword, "ACTION"):
+			return p.createAction()
+		case p.accept(TokenKeyword, "AQ"):
+			return p.createAQ()
+		default:
+			return nil, p.errorf("expected ACTION or AQ after CREATE, found %s", p.peek())
+		}
+	case p.accept(TokenKeyword, "DROP"):
+		if _, err := p.expect(TokenKeyword, "AQ"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokenIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &DropAQ{Name: name.Text}, nil
+	case p.accept(TokenKeyword, "STOP"):
+		if _, err := p.expect(TokenKeyword, "AQ"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokenIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &StopAQ{Name: name.Text}, nil
+	case p.accept(TokenKeyword, "START"):
+		if _, err := p.expect(TokenKeyword, "AQ"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokenIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &StartAQ{Name: name.Text}, nil
+	case p.accept(TokenKeyword, "SHOW"):
+		t := p.next()
+		if t.Kind != TokenKeyword || (t.Text != "QUERIES" && t.Text != "ACTIONS" && t.Text != "DEVICES") {
+			return nil, p.errorf("expected QUERIES, ACTIONS or DEVICES after SHOW, found %s", t)
+		}
+		return &Show{What: t.Text}, nil
+	case p.accept(TokenKeyword, "EXPLAIN"):
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Select: sel.(*Select)}, nil
+	case p.at(TokenKeyword, "SELECT"):
+		return p.selectStmt()
+	default:
+		return nil, p.errorf("expected a statement, found %s", p.peek())
+	}
+}
+
+// createAction parses the remainder of CREATE ACTION name(params) AS
+// "lib" PROFILE "profile".
+func (p *parser) createAction() (Statement, error) {
+	name, err := p.expect(TokenIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenSymbol, "("); err != nil {
+		return nil, err
+	}
+	var params []ActionParam
+	if !p.at(TokenSymbol, ")") {
+		for {
+			typ, err := p.expect(TokenIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			pname, err := p.expect(TokenIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, ActionParam{Type: typ.Text, Name: pname.Text})
+			if !p.accept(TokenSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokenSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	lib, err := p.expect(TokenString, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenKeyword, "PROFILE"); err != nil {
+		return nil, err
+	}
+	prof, err := p.expect(TokenString, "")
+	if err != nil {
+		return nil, err
+	}
+	return &CreateAction{Name: name.Text, Params: params, Library: lib.Text, Profile: prof.Text}, nil
+}
+
+func (p *parser) createAQ() (Statement, error) {
+	name, err := p.expect(TokenIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokenKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateAQ{Name: name.Text, Select: sel.(*Select)}, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	if _, err := p.expect(TokenKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	for {
+		if p.accept(TokenSymbol, "*") {
+			sel.Items = append(sel.Items, &Star{})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, e)
+		}
+		if !p.accept(TokenSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokenKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		table, err := p.expect(TokenIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: table.Text}
+		if p.at(TokenIdent, "") {
+			ref.Alias = p.next().Text
+		}
+		sel.From = append(sel.From, ref)
+		if !p.accept(TokenSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokenKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(TokenKeyword, "GROUP") {
+		if _, err := p.expect(TokenKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.expect(TokenIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ref := &ColumnRef{Column: name.Text}
+			if p.accept(TokenSymbol, ".") {
+				col, err := p.expect(TokenIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				ref.Qualifier = name.Text
+				ref.Column = col.Text
+			}
+			sel.GroupBy = append(sel.GroupBy, ref)
+			if !p.accept(TokenSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokenKeyword, "EVERY") {
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		sel.Every = d
+	}
+	return sel, nil
+}
+
+// duration parses forms like "5 seconds", "1 minute", "500 ms", or a Go
+// duration string literal.
+func (p *parser) duration() (time.Duration, error) {
+	if p.at(TokenString, "") {
+		t := p.next()
+		d, err := time.ParseDuration(t.Text)
+		if err != nil {
+			return 0, p.errorf("bad duration %q: %v", t.Text, err)
+		}
+		return d, nil
+	}
+	num, err := p.expect(TokenNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	val, err := strconv.ParseFloat(num.Text, 64)
+	if err != nil {
+		return 0, p.errorf("bad number %q", num.Text)
+	}
+	unitTok, err := p.expect(TokenIdent, "")
+	if err != nil {
+		return 0, err
+	}
+	var unit time.Duration
+	switch strings.ToLower(unitTok.Text) {
+	case "ms", "millisecond", "milliseconds":
+		unit = time.Millisecond
+	case "s", "sec", "secs", "second", "seconds":
+		unit = time.Second
+	case "min", "mins", "minute", "minutes":
+		unit = time.Minute
+	case "h", "hr", "hrs", "hour", "hours":
+		unit = time.Hour
+	default:
+		return 0, p.errorf("unknown duration unit %q", unitTok.Text)
+	}
+	return time.Duration(val * float64(unit)), nil
+}
+
+// Expression grammar: or → and → not → comparison → primary.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokenKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logic{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokenKeyword, "AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logic{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(TokenKeyword, "NOT") {
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	}
+	return p.comparison()
+}
+
+var comparisonOps = map[string]bool{
+	"=": true, "!=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true,
+}
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokenSymbol && comparisonOps[p.peek().Text] {
+		op := p.next().Text
+		if op == "<>" {
+			op = "!="
+		}
+		right, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Op: op, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case p.accept(TokenSymbol, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokenNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &Literal{Value: v}, nil
+	case t.Kind == TokenSymbol && t.Text == "-":
+		p.next()
+		num, err := p.expect(TokenNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(num.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", num.Text)
+		}
+		return &Literal{Value: -v}, nil
+	case t.Kind == TokenString:
+		p.next()
+		return &Literal{Value: t.Text}, nil
+	case t.Kind == TokenKeyword && t.Text == "TRUE":
+		p.next()
+		return &Literal{Value: true}, nil
+	case t.Kind == TokenKeyword && t.Text == "FALSE":
+		p.next()
+		return &Literal{Value: false}, nil
+	case t.Kind == TokenIdent:
+		p.next()
+		// Function call?
+		if p.accept(TokenSymbol, "(") {
+			call := &Call{Func: t.Text}
+			if !p.at(TokenSymbol, ")") {
+				for {
+					// count(*) and friends.
+					if p.accept(TokenSymbol, "*") {
+						call.Args = append(call.Args, &Star{})
+					} else {
+						arg, err := p.expr()
+						if err != nil {
+							return nil, err
+						}
+						call.Args = append(call.Args, arg)
+					}
+					if !p.accept(TokenSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokenSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.accept(TokenSymbol, ".") {
+			col, err := p.expect(TokenIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Qualifier: t.Text, Column: col.Text}, nil
+		}
+		return &ColumnRef{Column: t.Text}, nil
+	default:
+		return nil, p.errorf("expected an expression, found %s", t)
+	}
+}

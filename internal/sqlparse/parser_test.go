@@ -1,0 +1,434 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseSnapshotQuery parses the paper's Figure 1 example verbatim.
+func TestParseSnapshotQuery(t *testing.T) {
+	input := `CREATE AQ snapshot AS
+		SELECT photo(c.ip, s.loc, "photos/admin")
+		FROM sensor s, camera c
+		WHERE s.accel_x > 500 AND coverage(c.id, s.loc)`
+	stmt, err := Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aq, ok := stmt.(*CreateAQ)
+	if !ok {
+		t.Fatalf("statement type %T", stmt)
+	}
+	if aq.Name != "snapshot" {
+		t.Errorf("name = %q", aq.Name)
+	}
+	sel := aq.Select
+	if len(sel.Items) != 1 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	call, ok := sel.Items[0].(*Call)
+	if !ok || call.Func != "photo" || len(call.Args) != 3 {
+		t.Fatalf("select item = %v", sel.Items[0])
+	}
+	if ref, ok := call.Args[0].(*ColumnRef); !ok || ref.Qualifier != "c" || ref.Column != "ip" {
+		t.Errorf("arg0 = %v", call.Args[0])
+	}
+	if lit, ok := call.Args[2].(*Literal); !ok || lit.Value != "photos/admin" {
+		t.Errorf("arg2 = %v", call.Args[2])
+	}
+	if len(sel.From) != 2 {
+		t.Fatalf("from = %v", sel.From)
+	}
+	if sel.From[0].Table != "sensor" || sel.From[0].Alias != "s" ||
+		sel.From[1].Table != "camera" || sel.From[1].Alias != "c" {
+		t.Errorf("from = %v", sel.From)
+	}
+	logic, ok := sel.Where.(*Logic)
+	if !ok || logic.Op != "AND" {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	cmp, ok := logic.Left.(*Compare)
+	if !ok || cmp.Op != ">" {
+		t.Fatalf("left = %v", logic.Left)
+	}
+	if ref := cmp.Left.(*ColumnRef); ref.Qualifier != "s" || ref.Column != "accel_x" {
+		t.Errorf("cmp left = %v", cmp.Left)
+	}
+	if lit := cmp.Right.(*Literal); lit.Value != 500.0 {
+		t.Errorf("cmp right = %v", cmp.Right)
+	}
+	cov, ok := logic.Right.(*Call)
+	if !ok || cov.Func != "coverage" || len(cov.Args) != 2 {
+		t.Fatalf("right = %v", logic.Right)
+	}
+}
+
+// TestParseCreateAction parses the paper's §2.2 sendphoto registration.
+func TestParseCreateAction(t *testing.T) {
+	input := `CREATE ACTION sendphoto(String phone_no, String photo_pathname)
+		AS "lib/users/sendphoto.dll"
+		PROFILE "profiles/users/sendphoto.xml"`
+	stmt, err := Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, ok := stmt.(*CreateAction)
+	if !ok {
+		t.Fatalf("type %T", stmt)
+	}
+	if ca.Name != "sendphoto" {
+		t.Errorf("name = %q", ca.Name)
+	}
+	if len(ca.Params) != 2 || ca.Params[0].Type != "String" || ca.Params[0].Name != "phone_no" ||
+		ca.Params[1].Name != "photo_pathname" {
+		t.Errorf("params = %+v", ca.Params)
+	}
+	if ca.Library != "lib/users/sendphoto.dll" {
+		t.Errorf("library = %q", ca.Library)
+	}
+	if ca.Profile != "profiles/users/sendphoto.xml" {
+		t.Errorf("profile = %q", ca.Profile)
+	}
+}
+
+func TestParseCreateActionNoParams(t *testing.T) {
+	stmt, err := Parse(`CREATE ACTION ping() AS "ping" PROFILE "p.xml"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca := stmt.(*CreateAction); len(ca.Params) != 0 {
+		t.Errorf("params = %v", ca.Params)
+	}
+}
+
+func TestParseEveryClause(t *testing.T) {
+	tests := []struct {
+		in   string
+		want time.Duration
+	}{
+		{`SELECT temp FROM sensor EVERY 5 seconds`, 5 * time.Second},
+		{`SELECT temp FROM sensor EVERY 1 minute`, time.Minute},
+		{`SELECT temp FROM sensor EVERY 500 ms`, 500 * time.Millisecond},
+		{`SELECT temp FROM sensor EVERY 2 hours`, 2 * time.Hour},
+		{`SELECT temp FROM sensor EVERY "1.5s"`, 1500 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		stmt, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("%s: %v", tt.in, err)
+			continue
+		}
+		if got := stmt.(*Select).Every; got != tt.want {
+			t.Errorf("%s: Every = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseDropStopStartShow(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"DROP AQ snapshot", "DROP AQ snapshot"},
+		{"STOP AQ snapshot", "STOP AQ snapshot"},
+		{"START AQ snapshot", "START AQ snapshot"},
+		{"SHOW QUERIES", "SHOW QUERIES"},
+		{"SHOW ACTIONS", "SHOW ACTIONS"},
+		{"SHOW DEVICES", "SHOW DEVICES"},
+	}
+	for _, tt := range tests {
+		stmt, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("%s: %v", tt.in, err)
+			continue
+		}
+		if got := stmt.String(); got != tt.want {
+			t.Errorf("Parse(%s).String() = %q", tt.in, got)
+		}
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	stmt, err := Parse(`SELECT * FROM sensor`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	if _, ok := sel.Items[0].(*Star); !ok {
+		t.Errorf("item = %v", sel.Items[0])
+	}
+}
+
+func TestParseOperatorsAndPrecedence(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE x > 1 OR y <= 2 AND NOT z = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := stmt.(*Select).Where
+	or, ok := where.(*Logic)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %v", where)
+	}
+	and, ok := or.Right.(*Logic)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right of OR = %v (AND must bind tighter)", or.Right)
+	}
+	if _, ok := and.Right.(*Not); !ok {
+		t.Fatalf("right of AND = %v", and.Right)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE (x > 1 OR y > 2) AND z > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := stmt.(*Select).Where.(*Logic)
+	if and.Op != "AND" {
+		t.Fatalf("top = %v", and)
+	}
+	if inner, ok := and.Left.(*Logic); !ok || inner.Op != "OR" {
+		t.Fatalf("left = %v", and.Left)
+	}
+}
+
+func TestParseComparisonOps(t *testing.T) {
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		stmt, err := Parse(`SELECT a FROM t WHERE x ` + op + ` 5`)
+		if err != nil {
+			t.Errorf("op %s: %v", op, err)
+			continue
+		}
+		cmp := stmt.(*Select).Where.(*Compare)
+		if cmp.Op != op {
+			t.Errorf("op = %q, want %q", cmp.Op, op)
+		}
+	}
+	// <> normalizes to !=.
+	stmt, err := Parse(`SELECT a FROM t WHERE x <> 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp := stmt.(*Select).Where.(*Compare); cmp.Op != "!=" {
+		t.Errorf("<> parsed as %q", cmp.Op)
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE x < -42.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := stmt.(*Select).Where.(*Compare)
+	if lit := cmp.Right.(*Literal); lit.Value != -42.5 {
+		t.Errorf("literal = %v", lit.Value)
+	}
+}
+
+func TestParseBooleans(t *testing.T) {
+	stmt, err := Parse(`SELECT a FROM t WHERE active = TRUE AND gone = FALSE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := stmt.(*Select).Where.(*Logic)
+	if lit := and.Left.(*Compare).Right.(*Literal); lit.Value != true {
+		t.Errorf("TRUE literal = %v", lit.Value)
+	}
+	if lit := and.Right.(*Compare).Right.(*Literal); lit.Value != false {
+		t.Errorf("FALSE literal = %v", lit.Value)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	stmt, err := Parse(`select temp from sensor where temp > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*Select); !ok {
+		t.Fatalf("type %T", stmt)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt, err := Parse("SELECT temp -- the reading\nFROM sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*Select); !ok {
+		t.Fatalf("type %T", stmt)
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse(`SELECT temp FROM sensor;`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNestedCalls(t *testing.T) {
+	stmt, err := Parse(`SELECT f(g(x), 3) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := stmt.(*Select).Items[0].(*Call)
+	if call.Func != "f" || len(call.Args) != 2 {
+		t.Fatalf("call = %v", call)
+	}
+	if inner := call.Args[0].(*Call); inner.Func != "g" {
+		t.Errorf("inner = %v", inner)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"CREATE",
+		"CREATE ACTION",
+		"CREATE ACTION f",
+		"CREATE ACTION f(x) AS \"lib\"",            // missing param type or PROFILE
+		"CREATE ACTION f() AS lib PROFILE \"p\"",   // lib not a string
+		"CREATE AQ q SELECT a FROM t",              // missing AS
+		"DROP snapshot",                            // missing AQ
+		"SHOW TABLES",                              // unknown SHOW target
+		"SELECT a FROM t WHERE x >",                // dangling operator
+		"SELECT a FROM t EVERY 5 parsecs",          // unknown unit
+		"SELECT a FROM t EVERY \"xyz\"",            // bad duration string
+		"SELECT f(a FROM t",                        // unclosed call
+		"SELECT a FROM t WHERE (x > 1",             // unclosed paren
+		"SELECT a FROM t; SELECT b FROM t",         // two statements
+		"SELECT 'unterminated FROM t",              // unterminated string
+		"SELECT a FROM t WHERE x @ 5",              // bad character
+		"CREATE AQ q AS SELECT a FROM t WHERE AND", // expression starts with AND
+		"CREATE ACTION f() AS \"l\" PROFILE \"p\" PROFILE \"q\"", // trailing tokens
+	}
+	for _, in := range tests {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		`CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, "photos/admin") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc)`,
+		`SELECT temp, light FROM sensor WHERE temp > 30 EVERY 5 seconds`,
+		`CREATE ACTION sendphoto(String phone_no, String path) AS "lib/sp.dll" PROFILE "sp.xml"`,
+	}
+	for _, in := range inputs {
+		stmt1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		// Re-parse the rendered form; it must produce the same rendering.
+		stmt2, err := Parse(stmt1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", stmt1.String(), err)
+		}
+		if stmt1.String() != stmt2.String() {
+			t.Errorf("round trip changed:\n  %s\n  %s", stmt1, stmt2)
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := Lex(`SELECT x.y != 3.5 <= "str"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		if tok.Kind == TokenEOF {
+			break
+		}
+		kinds = append(kinds, tok.String())
+	}
+	want := `SELECT x . y != 3.5 <= "str"`
+	if got := strings.Join(kinds, " "); got != want {
+		t.Errorf("tokens = %s, want %s", got, want)
+	}
+}
+
+func TestLexerEscapedString(t *testing.T) {
+	toks, err := Lex(`"a\"b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != `a"b` {
+		t.Errorf("string = %q", toks[0].Text)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse(`EXPLAIN SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c WHERE s.accel_x > 500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*Explain)
+	if !ok {
+		t.Fatalf("type %T", stmt)
+	}
+	if len(ex.Select.From) != 2 {
+		t.Errorf("from = %v", ex.Select.From)
+	}
+	if !strings.HasPrefix(ex.String(), "EXPLAIN SELECT") {
+		t.Errorf("String() = %q", ex.String())
+	}
+	if _, err := Parse("EXPLAIN"); err == nil {
+		t.Error("bare EXPLAIN accepted")
+	}
+	if _, err := Parse("EXPLAIN DROP AQ x"); err == nil {
+		t.Error("EXPLAIN of non-select accepted")
+	}
+}
+
+func BenchmarkParseSnapshotQuery(b *testing.B) {
+	const q = `CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, "photos/admin") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc) EVERY "2s"`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLexSnapshotQuery(b *testing.B) {
+	const q = `SELECT photo(c.ip, s.loc, "photos/admin") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc)`
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	stmt, err := Parse(`SELECT s.depth, count(*) FROM sensor s GROUP BY s.depth EVERY 5 seconds`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0].Qualifier != "s" || sel.GroupBy[0].Column != "depth" {
+		t.Fatalf("group by = %v", sel.GroupBy)
+	}
+	if sel.Every != 5*time.Second {
+		t.Errorf("every = %v", sel.Every)
+	}
+	if !strings.Contains(sel.String(), "GROUP BY s.depth") {
+		t.Errorf("String() = %q", sel.String())
+	}
+	// Multiple group columns, unqualified.
+	stmt, err = Parse(`SELECT count(*) FROM t GROUP BY a, b.c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = stmt.(*Select)
+	if len(sel.GroupBy) != 2 || sel.GroupBy[0].Column != "a" || sel.GroupBy[1].Qualifier != "b" {
+		t.Fatalf("group by = %v", sel.GroupBy)
+	}
+	if _, err := Parse(`SELECT count(*) FROM t GROUP x`); err == nil {
+		t.Error("GROUP without BY accepted")
+	}
+}

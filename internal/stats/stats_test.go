@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		if got := Mean(tt.in); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: Mean = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev of single = %v", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ≈2.138", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {50, 5}, {90, 9}, {100, 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("P50 of empty = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	if got := MeanDuration(nil); got != 0 {
+		t.Errorf("mean of empty = %v", got)
+	}
+	got := MeanDuration([]time.Duration{time.Second, 3 * time.Second})
+	if got != 2*time.Second {
+		t.Errorf("MeanDuration = %v", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	got := Seconds([]time.Duration{500 * time.Millisecond, 2 * time.Second})
+	if got[0] != 0.5 || got[1] != 2 {
+		t.Errorf("Seconds = %v", got)
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return Mean(xs) == 0
+		}
+		m := Mean(xs)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return m >= min-1e-6 && m <= max+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

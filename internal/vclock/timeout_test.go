@@ -1,0 +1,78 @@
+package vclock
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWithTimeoutFires(t *testing.T) {
+	clk := NewScaled(1000)
+	ctx, cancel := WithTimeout(context.Background(), clk, 2*time.Second)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout never fired (2 virtual seconds at 1000x)")
+	}
+	if cause := context.Cause(ctx); !errors.Is(cause, context.DeadlineExceeded) {
+		t.Errorf("cause = %v, want DeadlineExceeded", cause)
+	}
+}
+
+func TestWithTimeoutCancelledEarly(t *testing.T) {
+	clk := NewManual(time.Unix(0, 0))
+	ctx, cancel := WithTimeout(context.Background(), clk, time.Hour)
+	select {
+	case <-ctx.Done():
+		t.Fatal("done before cancel")
+	default:
+	}
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not end the context")
+	}
+	if cause := context.Cause(ctx); !errors.Is(cause, context.Canceled) {
+		t.Errorf("cause = %v, want Canceled", cause)
+	}
+	// Idempotent cancel.
+	cancel()
+}
+
+func TestWithTimeoutParentCancellation(t *testing.T) {
+	clk := NewManual(time.Unix(0, 0))
+	parent, parentCancel := context.WithCancel(context.Background())
+	ctx, cancel := WithTimeout(parent, clk, time.Hour)
+	defer cancel()
+	parentCancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancellation not propagated")
+	}
+}
+
+func TestWithTimeoutManualClock(t *testing.T) {
+	clk := NewManual(time.Unix(0, 0))
+	ctx, cancel := WithTimeout(context.Background(), clk, 10*time.Second)
+	defer cancel()
+	// Wait for the timer goroutine to register its waiter.
+	for i := 0; i < 1000 && clk.Waiters() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(9 * time.Second)
+	select {
+	case <-ctx.Done():
+		t.Fatal("fired before the deadline")
+	case <-time.After(20 * time.Millisecond):
+	}
+	clk.Advance(2 * time.Second)
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("never fired after Advance past deadline")
+	}
+}

@@ -1,0 +1,202 @@
+package vclock
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotone(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("Now went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealSince(t *testing.T) {
+	c := Real{}
+	start := c.Now()
+	if d := c.Since(start); d < 0 {
+		t.Fatalf("Since returned negative duration %v", d)
+	}
+}
+
+func TestScaledNowAdvancesFaster(t *testing.T) {
+	c := NewScaled(1000)
+	start := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	elapsed := c.Since(start)
+	if elapsed < 2*time.Second {
+		t.Fatalf("scaled clock advanced only %v in 5ms of wall time at 1000x", elapsed)
+	}
+}
+
+func TestScaledSleepIsShortened(t *testing.T) {
+	c := NewScaled(1000)
+	wall := time.Now()
+	c.Sleep(1 * time.Second) // should take ~1ms of wall time
+	if real := time.Since(wall); real > 500*time.Millisecond {
+		t.Fatalf("scaled sleep of 1s took %v wall time at 1000x", real)
+	}
+}
+
+func TestScaledSleepZeroReturnsImmediately(t *testing.T) {
+	c := NewScaled(10)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(0)
+		c.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestScaledAfterFires(t *testing.T) {
+	c := NewScaled(1000)
+	select {
+	case <-c.After(time.Second):
+	case <-time.After(2 * time.Second):
+		t.Fatal("After(1s) at 1000x did not fire within 2s wall time")
+	}
+}
+
+func TestScaledFactor(t *testing.T) {
+	if got := NewScaled(42).Factor(); got != 42 {
+		t.Fatalf("Factor() = %v, want 42", got)
+	}
+}
+
+func TestNewScaledPanicsOnNonPositive(t *testing.T) {
+	for _, f := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewScaled(%v) did not panic", f)
+				}
+			}()
+			NewScaled(f)
+		}()
+	}
+}
+
+func TestManualNowFixedUntilAdvance(t *testing.T) {
+	start := time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC)
+	c := NewManual(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), start)
+	}
+	c.Advance(time.Minute)
+	if want := start.Add(time.Minute); !c.Now().Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestManualAfterFiresOnAdvance(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("After did not fire after full Advance")
+	}
+}
+
+func TestManualAfterNonPositiveFiresImmediately(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestManualSleepWakesSleeper(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Sleep(5 * time.Second)
+	}()
+	// Wait for the sleeper to register.
+	for i := 0; i < 1000 && c.Waiters() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Waiters() != 1 {
+		t.Fatal("sleeper never registered")
+	}
+	c.Advance(5 * time.Second)
+	wg.Wait()
+}
+
+func TestManualConcurrentWaiters(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Sleep(time.Duration(i) * time.Second)
+		}(i)
+	}
+	for i := 0; i < 1000 && c.Waiters() < n; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(time.Duration(n) * time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("not all sleepers woke; %d still waiting", c.Waiters())
+	}
+}
+
+func TestSleepCtxCancelled(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- SleepCtx(ctx, c, time.Hour) }()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("SleepCtx returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("SleepCtx did not return after cancel")
+	}
+}
+
+func TestSleepCtxCompletes(t *testing.T) {
+	c := NewScaled(100000)
+	if err := SleepCtx(context.Background(), c, time.Second); err != nil {
+		t.Fatalf("SleepCtx returned %v, want nil", err)
+	}
+}
+
+func TestSleepCtxZeroDuration(t *testing.T) {
+	if err := SleepCtx(context.Background(), Real{}, 0); err != nil {
+		t.Fatalf("SleepCtx(0) = %v, want nil", err)
+	}
+}

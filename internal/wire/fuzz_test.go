@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame: arbitrary bytes must never panic the codec, and every
+// frame it accepts must re-encode to something it accepts again.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with a valid frame and assorted corruption.
+	var buf bytes.Buffer
+	msg := Message{Type: TypeExec, Seq: 7, Device: "camera-1", Payload: MustPayload(&ExecReq{Op: "move"})}
+	if err := WriteFrame(&buf, &msg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, m); err != nil {
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		m2, err := ReadFrame(&out)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if m2.Type != m.Type || m2.Seq != m.Seq || m2.Device != m.Device {
+			t.Fatalf("round trip changed header: %+v vs %+v", m2, m)
+		}
+	})
+}

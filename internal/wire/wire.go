@@ -1,0 +1,197 @@
+// Package wire defines the Aorta device wire protocol.
+//
+// The uniform data communication layer (paper §3) talks to every device —
+// camera, mote, or phone — through the same message vocabulary: PROBE to
+// check availability and fetch physical status, READ to acquire an
+// attribute value, and EXEC to run an atomic operation. Messages are
+// length-prefixed JSON frames so heterogeneous emulators and real drivers
+// can interoperate over any stream transport.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Type identifies the kind of a message.
+type Type int
+
+// Message types. PROBE/READ/EXEC are requests from the engine; the Ack
+// variants are device responses; TypeError is a device-side failure
+// response.
+const (
+	TypeProbe Type = iota + 1
+	TypeProbeAck
+	TypeRead
+	TypeReadAck
+	TypeExec
+	TypeExecAck
+	TypeError
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeProbe:
+		return "PROBE"
+	case TypeProbeAck:
+		return "PROBE_ACK"
+	case TypeRead:
+		return "READ"
+	case TypeReadAck:
+		return "READ_ACK"
+	case TypeExec:
+		return "EXEC"
+	case TypeExecAck:
+		return "EXEC_ACK"
+	case TypeError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// MaxFrameSize bounds a single frame (1 MiB covers the largest photo the
+// camera emulator produces).
+const MaxFrameSize = 1 << 20
+
+// Message is a single protocol frame.
+type Message struct {
+	Type    Type            `json:"type"`
+	Seq     uint64          `json:"seq"`
+	Device  string          `json:"device,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// ProbeAck is the payload of a TypeProbeAck message.
+type ProbeAck struct {
+	DeviceType string          `json:"device_type"`
+	DeviceID   string          `json:"device_id"`
+	Busy       bool            `json:"busy"`
+	Status     json.RawMessage `json:"status,omitempty"`
+}
+
+// ReadReq is the payload of a TypeRead message.
+type ReadReq struct {
+	Attr string `json:"attr"`
+}
+
+// ReadAck is the payload of a TypeReadAck message.
+type ReadAck struct {
+	Attr  string          `json:"attr"`
+	Value json.RawMessage `json:"value"`
+}
+
+// ExecReq is the payload of a TypeExec message: run one atomic operation.
+type ExecReq struct {
+	Op   string          `json:"op"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// ExecAck is the payload of a TypeExecAck message.
+type ExecAck struct {
+	Op     string          `json:"op"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ErrorPayload is the payload of a TypeError message.
+type ErrorPayload struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes used in ErrorPayload.Code.
+const (
+	CodeBusy        = "busy"
+	CodeUnknownOp   = "unknown_op"
+	CodeUnknownAttr = "unknown_attr"
+	CodeBadRequest  = "bad_request"
+	CodeInternal    = "internal"
+	CodeUnreachable = "unreachable"
+)
+
+// DeviceError converts an ErrorPayload into a Go error.
+func (e *ErrorPayload) Err() error {
+	return fmt.Errorf("device error %s: %s", e.Code, e.Message)
+}
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+	ErrClosed        = errors.New("wire: connection closed")
+)
+
+// MustPayload marshals v into a payload, panicking on marshal failure —
+// payload types in this package always marshal.
+func MustPayload(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshal payload: %v", err))
+	}
+	return b
+}
+
+// DecodePayload unmarshals a message payload into out.
+func DecodePayload(m *Message, out any) error {
+	if err := json.Unmarshal(m.Payload, out); err != nil {
+		return fmt.Errorf("wire: decode %s payload: %w", m.Type, err)
+	}
+	return nil
+}
+
+// NewError builds a TypeError response to request seq.
+func NewError(seq uint64, device, code, msg string) Message {
+	return Message{
+		Type:    TypeError,
+		Seq:     seq,
+		Device:  device,
+		Payload: MustPayload(&ErrorPayload{Code: code, Message: msg}),
+	}
+}
+
+// WriteFrame writes one length-prefixed message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal frame: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal frame: %w", err)
+	}
+	return &m, nil
+}

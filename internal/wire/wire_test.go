@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  Message
+	}{
+		{"probe", Message{Type: TypeProbe, Seq: 1, Device: "camera-1"}},
+		{"read", Message{Type: TypeRead, Seq: 2, Device: "mote-3", Payload: MustPayload(&ReadReq{Attr: "accel_x"})}},
+		{"exec", Message{Type: TypeExec, Seq: 99, Device: "camera-2", Payload: MustPayload(&ExecReq{Op: "pan", Args: MustPayload(map[string]float64{"deg": 42})})}},
+		{"error", NewError(7, "phone-1", CodeUnreachable, "out of coverage")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, &tt.msg); err != nil {
+				t.Fatalf("WriteFrame: %v", err)
+			}
+			got, err := ReadFrame(&buf)
+			if err != nil {
+				t.Fatalf("ReadFrame: %v", err)
+			}
+			if got.Type != tt.msg.Type || got.Seq != tt.msg.Seq || got.Device != tt.msg.Device {
+				t.Errorf("round trip = %+v, want %+v", got, tt.msg)
+			}
+			if !bytes.Equal(got.Payload, tt.msg.Payload) {
+				t.Errorf("payload = %s, want %s", got.Payload, tt.msg.Payload)
+			}
+		})
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(0); i < 10; i++ {
+		m := Message{Type: TypeProbe, Seq: i}
+		if err := WriteFrame(&buf, &m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		m, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != i {
+			t.Fatalf("frame %d has seq %d", i, m.Seq)
+		}
+	}
+}
+
+func TestReadFrameEOFIsErrClosed(t *testing.T) {
+	_, err := ReadFrame(bytes.NewReader(nil))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	_, err := ReadFrame(bytes.NewReader([]byte{0, 0}))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed for truncated header", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	buf.Write(hdr[:])
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	m := Message{Type: TypeExec, Payload: MustPayload(strings.Repeat("x", MaxFrameSize))}
+	if err := WriteFrame(io.Discard, &m); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 4)
+	buf.Write(hdr[:])
+	buf.WriteString("{{{{")
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("expected unmarshal error")
+	}
+}
+
+func TestDecodePayload(t *testing.T) {
+	m := Message{Type: TypeReadAck, Payload: MustPayload(&ReadAck{Attr: "temp", Value: MustPayload(23.5)})}
+	var ack ReadAck
+	if err := DecodePayload(&m, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Attr != "temp" {
+		t.Errorf("attr = %q", ack.Attr)
+	}
+	var v float64
+	if err := DecodePayload(&Message{Payload: ack.Value}, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v != 23.5 {
+		t.Errorf("value = %v, want 23.5", v)
+	}
+}
+
+func TestDecodePayloadError(t *testing.T) {
+	m := Message{Type: TypeReadAck, Payload: []byte("not-json")}
+	var ack ReadAck
+	if err := DecodePayload(&m, &ack); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestErrorPayloadErr(t *testing.T) {
+	e := ErrorPayload{Code: CodeBusy, Message: "camera moving"}
+	if got := e.Err().Error(); !strings.Contains(got, CodeBusy) || !strings.Contains(got, "camera moving") {
+		t.Errorf("Err() = %q", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		typ  Type
+		want string
+	}{
+		{TypeProbe, "PROBE"}, {TypeProbeAck, "PROBE_ACK"},
+		{TypeRead, "READ"}, {TypeReadAck, "READ_ACK"},
+		{TypeExec, "EXEC"}, {TypeExecAck, "EXEC_ACK"},
+		{TypeError, "ERROR"}, {Type(42), "Type(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("Type(%d).String() = %q, want %q", tt.typ, got, tt.want)
+		}
+	}
+}
+
+func TestQuickRoundTripArbitraryPayload(t *testing.T) {
+	f := func(seq uint64, device string, payload []byte) bool {
+		m := Message{Type: TypeExecAck, Seq: seq, Device: device, Payload: MustPayload(payload)}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &m); err != nil {
+			// Only oversized frames may fail.
+			return len(payload) > MaxFrameSize/2
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Seq == seq && got.Device == device && bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

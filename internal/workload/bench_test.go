@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"aorta/internal/sched"
+)
+
+// TestDeterministicGivenSeed: the full scheduling pipeline is
+// reproducible for every algorithm.
+func TestDeterministicGivenSeed(t *testing.T) {
+	algs := []sched.Algorithm{
+		sched.LERFASRFE{}, sched.SRFAE{}, sched.LS{}, &sched.SA{}, sched.Random{},
+	}
+	for _, alg := range algs {
+		res1 := mustRun(t, alg, 99)
+		res2 := mustRun(t, alg, 99)
+		if res1.Makespan != res2.Makespan || res1.Evals != res2.Evals {
+			t.Errorf("%s: same seed gave %v/%d then %v/%d",
+				alg.Name(), res1.Makespan, res1.Evals, res2.Makespan, res2.Evals)
+		}
+	}
+}
+
+// TestSAMoreEvalsThanGreedy quantifies the Figure 5 trade-off at the
+// evaluation-count level.
+func TestSAMoreEvalsThanGreedy(t *testing.T) {
+	greedy := mustRun(t, sched.SRFAE{}, 5)
+	sa := mustRun(t, &sched.SA{}, 5)
+	if sa.Evals < 50*greedy.Evals {
+		t.Errorf("SA evals (%d) not dominating greedy evals (%d)", sa.Evals, greedy.Evals)
+	}
+}
+
+func mustRun(t *testing.T, alg sched.Algorithm, seed int64) *sched.Result {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := Uniform(15, 5, rng)
+	res, err := sched.Run(alg, p, rng, sched.DefaultAccounting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Wall-clock scheduling cost per algorithm on the paper's n=20, m=10
+// uniform workload.
+func BenchmarkLERFASRFE20x10(b *testing.B) { benchAlgorithm(b, sched.LERFASRFE{}) }
+func BenchmarkSRFAE20x10(b *testing.B)     { benchAlgorithm(b, sched.SRFAE{}) }
+func BenchmarkLS20x10(b *testing.B)        { benchAlgorithm(b, sched.LS{}) }
+func BenchmarkSA20x10(b *testing.B)        { benchAlgorithm(b, &sched.SA{}) }
+func BenchmarkRandom20x10(b *testing.B)    { benchAlgorithm(b, sched.Random{}) }
+
+func benchAlgorithm(b *testing.B, alg sched.Algorithm) {
+	r := rand.New(rand.NewSource(1))
+	p := Uniform(20, 10, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Schedule(p, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate20x10(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	p := Uniform(20, 10, r)
+	a, err := sched.SRFAE{}.Schedule(p, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sched.Simulate(p, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUniformGeneration(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		Uniform(20, 10, r)
+	}
+}

@@ -1,0 +1,105 @@
+// Package workload generates the synthetic action workloads of the
+// paper's §6.3 simulation studies.
+//
+// A workload is a scheduling problem over simulated AXIS-2130 cameras:
+// every request is a photo() action aimed at a random PTZ target, every
+// camera starts at a random head position, and the sequence-dependent cost
+// of a request on a camera is head-movement time plus the fixed photo
+// overhead — landing in the paper's [0.36 s, 5.36 s] interval.
+//
+// Uniform workloads make every camera a candidate for every request;
+// skewed workloads restrict half the requests to a random camera subset
+// whose relative size is the skewness (paper §6.3, Figure 6).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aorta/internal/geo"
+	"aorta/internal/sched"
+)
+
+// randOrientation draws a uniformly random PTZ head position.
+func randOrientation(rng *rand.Rand) geo.Orientation {
+	return geo.Orientation{
+		Pan:  rng.Float64()*340 - 170,
+		Tilt: rng.Float64() * 90,
+		Zoom: 1 + rng.Float64()*3,
+	}
+}
+
+// CameraIDs returns m device IDs named camera-1..camera-m.
+func CameraIDs(m int) []sched.DeviceID {
+	out := make([]sched.DeviceID, m)
+	for i := range out {
+		out[i] = sched.DeviceID(fmt.Sprintf("camera-%d", i+1))
+	}
+	return out
+}
+
+// Uniform builds a uniform workload: n photo() requests, m cameras, every
+// camera a candidate for every request.
+func Uniform(n, m int, rng *rand.Rand) *sched.Problem {
+	devs := CameraIDs(m)
+	initial := make(map[sched.DeviceID]sched.Status, m)
+	for _, d := range devs {
+		initial[d] = randOrientation(rng)
+	}
+	reqs := make([]*sched.Request, n)
+	for i := range reqs {
+		reqs[i] = &sched.Request{
+			ID:         i + 1,
+			QueryID:    i + 1,
+			Action:     "photo",
+			Target:     randOrientation(rng),
+			Candidates: append([]sched.DeviceID(nil), devs...),
+		}
+	}
+	return sched.NewProblem(reqs, devs, initial, &sched.PTZEstimator{})
+}
+
+// Skewed builds a skewed workload: half of the n requests keep all m
+// cameras as candidates; the other half are each restricted to a random
+// subset of ⌈skew·m⌉ cameras. skew must be in (0, 1].
+func Skewed(n, m int, skew float64, rng *rand.Rand) (*sched.Problem, error) {
+	if skew <= 0 || skew > 1 {
+		return nil, fmt.Errorf("workload: skewness %v outside (0, 1]", skew)
+	}
+	p := Uniform(n, m, rng)
+	subsetSize := int(skew*float64(m) + 0.5)
+	if subsetSize < 1 {
+		subsetSize = 1
+	}
+	for i, r := range p.Requests {
+		if i%2 == 0 {
+			continue // half the requests stay unrestricted
+		}
+		perm := rng.Perm(m)
+		subset := make([]sched.DeviceID, subsetSize)
+		for j := 0; j < subsetSize; j++ {
+			subset[j] = p.Devices[perm[j]]
+		}
+		r.Candidates = subset
+	}
+	return p, nil
+}
+
+// PeriodicQuery describes one continuous query of the §6.2 empirical
+// study: every Period, take a photo of the target location.
+type PeriodicQuery struct {
+	QueryID int
+	// Target is the mote location to photograph.
+	Target geo.Point
+}
+
+// Monitoring builds the §6.2 empirical workload description: one periodic
+// photo query per mote location. The engine-level experiment harness
+// turns these into live action-embedded queries.
+func Monitoring(locations []geo.Point) []PeriodicQuery {
+	out := make([]PeriodicQuery, len(locations))
+	for i, loc := range locations {
+		out[i] = PeriodicQuery{QueryID: i + 1, Target: loc}
+	}
+	return out
+}

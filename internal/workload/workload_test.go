@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aorta/internal/geo"
+	"aorta/internal/sched"
+)
+
+func TestCameraIDs(t *testing.T) {
+	ids := CameraIDs(3)
+	if len(ids) != 3 || ids[0] != "camera-1" || ids[2] != "camera-3" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestUniformWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Uniform(20, 10, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Requests) != 20 || len(p.Devices) != 10 {
+		t.Fatalf("sizes = %d, %d", len(p.Requests), len(p.Devices))
+	}
+	for _, r := range p.Requests {
+		if len(r.Candidates) != 10 {
+			t.Errorf("request %d has %d candidates, want all 10", r.ID, len(r.Candidates))
+		}
+		o, ok := r.Target.(geo.Orientation)
+		if !ok {
+			t.Fatalf("request %d target type %T", r.ID, r.Target)
+		}
+		if o.Pan < -170 || o.Pan > 170 || o.Tilt < 0 || o.Tilt > 90 || o.Zoom < 1 || o.Zoom > 4 {
+			t.Errorf("target out of PTZ envelope: %+v", o)
+		}
+	}
+	for _, d := range p.Devices {
+		if _, ok := p.Initial[d].(geo.Orientation); !ok {
+			t.Errorf("device %s has no initial head position", d)
+		}
+	}
+}
+
+// TestUniformCostEnvelope: every (request, device) weight lies in the
+// paper's [0.36, 5.36] second interval.
+func TestUniformCostEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Uniform(30, 10, rng)
+	lo := 360 * time.Millisecond
+	hi := 5360 * time.Millisecond
+	for _, r := range p.Requests {
+		for _, d := range r.Candidates {
+			cost, _ := p.Estimate(r, d, p.Initial[d])
+			if cost < lo || cost > hi {
+				t.Fatalf("cost(%d, %s) = %v outside [%v, %v]", r.ID, d, cost, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSkewedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		if _, err := Skewed(20, 10, bad, rng); err == nil {
+			t.Errorf("Skewed accepted skewness %v", bad)
+		}
+	}
+}
+
+func TestSkewedStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p, err := Skewed(20, 10, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	full, restricted := 0, 0
+	for _, r := range p.Requests {
+		switch len(r.Candidates) {
+		case 10:
+			full++
+		case 2: // ⌈0.2·10⌉
+			restricted++
+		default:
+			t.Errorf("request %d has %d candidates", r.ID, len(r.Candidates))
+		}
+	}
+	if full != 10 || restricted != 10 {
+		t.Errorf("full=%d restricted=%d, want 10/10", full, restricted)
+	}
+}
+
+func TestSkewedSubsetSizeRounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, err := Skewed(10, 10, 0.34, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Requests {
+		if n := len(r.Candidates); n != 10 && n != 3 {
+			t.Errorf("candidates = %d, want 10 or 3", n)
+		}
+	}
+}
+
+func TestSkewedMinimumOneCandidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p, err := Skewed(8, 3, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range p.Requests {
+		if len(r.Candidates) < 1 {
+			t.Fatal("request with empty candidate set")
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	p1 := Uniform(10, 5, rand.New(rand.NewSource(42)))
+	p2 := Uniform(10, 5, rand.New(rand.NewSource(42)))
+	for i := range p1.Requests {
+		t1 := p1.Requests[i].Target.(geo.Orientation)
+		t2 := p2.Requests[i].Target.(geo.Orientation)
+		if t1 != t2 {
+			t.Fatalf("request %d differs across same-seed generations", i)
+		}
+	}
+}
+
+func TestMonitoring(t *testing.T) {
+	locs := []geo.Point{{X: 1}, {X: 2}, {X: 3}}
+	qs := Monitoring(locs)
+	if len(qs) != 3 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for i, q := range qs {
+		if q.QueryID != i+1 || q.Target != locs[i] {
+			t.Errorf("query %d = %+v", i, q)
+		}
+	}
+}
+
+// TestQuickAllAlgorithmsValidOnRandomWorkloads is the cross-package
+// property test: every algorithm produces a valid schedule on arbitrary
+// uniform and skewed workloads.
+func TestQuickAllAlgorithmsValidOnRandomWorkloads(t *testing.T) {
+	algs := []sched.Algorithm{sched.LERFASRFE{}, sched.SRFAE{}, sched.LS{}, sched.Random{}}
+	f := func(seed int64, nRaw, mRaw uint8, skewRaw uint8) bool {
+		n := int(nRaw%25) + 1
+		m := int(mRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var p *sched.Problem
+		if skewRaw%2 == 0 {
+			p = Uniform(n, m, rng)
+		} else {
+			skew := 0.1 + float64(skewRaw%9)/10
+			var err error
+			p, err = Skewed(n, m, skew, rng)
+			if err != nil {
+				return false
+			}
+		}
+		for _, alg := range algs {
+			a, err := alg.Schedule(p, rng)
+			if err != nil {
+				return false
+			}
+			if err := a.Validate(p); err != nil {
+				return false
+			}
+			if _, _, err := sched.Simulate(p, a); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeuristicsNeverBeatOptimal: on tiny instances the exact solver
+// lower-bounds every heuristic.
+func TestQuickHeuristicsNeverBeatOptimal(t *testing.T) {
+	algs := []sched.Algorithm{sched.LERFASRFE{}, sched.SRFAE{}, sched.LS{}, sched.Random{}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Uniform(5, 3, rng)
+		optA, err := (&sched.Optimal{}).Schedule(p, rng)
+		if err != nil {
+			return false
+		}
+		_, opt, err := sched.Simulate(p, optA)
+		if err != nil {
+			return false
+		}
+		for _, alg := range algs {
+			a, err := alg.Schedule(p, rng)
+			if err != nil {
+				return false
+			}
+			_, span, err := sched.Simulate(p, a)
+			if err != nil {
+				return false
+			}
+			if span < opt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package aorta
+
+import (
+	"math/rand"
+
+	"aorta/internal/sched"
+	"aorta/internal/workload"
+)
+
+// Scheduling surface: the paper's action workload scheduling problem
+// (§5) and its five algorithms, usable as a standalone library.
+
+// SchedProblem is one workload scheduling instance: n action requests, m
+// devices, candidate sets and a sequence-dependent cost model.
+type SchedProblem = sched.Problem
+
+// SchedRequest is one action request to schedule.
+type SchedRequest = sched.Request
+
+// SchedAssignment is a complete schedule: per-device service sequences.
+type SchedAssignment = sched.Assignment
+
+// SchedResult carries the makespan and its scheduling/service breakdown.
+type SchedResult = sched.Result
+
+// Scheduler is one scheduling algorithm.
+type Scheduler = sched.Algorithm
+
+// SchedAccounting converts probes and cost evaluations into virtual
+// scheduling time (see DESIGN.md §5).
+type SchedAccounting = sched.Accounting
+
+// DeviceID identifies a device within a scheduling problem.
+type DeviceID = sched.DeviceID
+
+// Estimator is the scheduling cost model.
+type Estimator = sched.Estimator
+
+// The five algorithms of the paper's evaluation plus the exact solver.
+func SchedulerLERFASRFE() Scheduler { return sched.LERFASRFE{} }
+
+// SchedulerSRFAE returns the paper's Algorithm 2 (the engine default).
+func SchedulerSRFAE() Scheduler { return sched.SRFAE{} }
+
+// SchedulerLS returns classic greedy List Scheduling.
+func SchedulerLS() Scheduler { return sched.LS{} }
+
+// SchedulerSA returns the simulated-annealing baseline.
+func SchedulerSA() Scheduler { return &sched.SA{} }
+
+// SchedulerRandom returns the RANDOM baseline.
+func SchedulerRandom() Scheduler { return sched.Random{} }
+
+// SchedulerOptimal returns the exact solver (small instances only).
+func SchedulerOptimal() Scheduler { return &sched.Optimal{} }
+
+// RunScheduler executes one algorithm on a problem with virtual-time
+// accounting and a deterministic service simulation.
+func RunScheduler(alg Scheduler, p *SchedProblem, rng *rand.Rand, acct SchedAccounting) (*SchedResult, error) {
+	return sched.Run(alg, p, rng, acct)
+}
+
+// DefaultAccounting reproduces the paper's Figure 5 calibration.
+func DefaultAccounting() SchedAccounting { return sched.DefaultAccounting() }
+
+// UniformWorkload builds the paper's §6.3 uniform camera workload: n
+// photo requests, m cameras, every camera a candidate.
+func UniformWorkload(n, m int, rng *rand.Rand) *SchedProblem {
+	return workload.Uniform(n, m, rng)
+}
+
+// SkewedWorkload restricts half the requests to a random camera subset of
+// relative size skew (the Figure 6 workload).
+func SkewedWorkload(n, m int, skew float64, rng *rand.Rand) (*SchedProblem, error) {
+	return workload.Skewed(n, m, skew, rng)
+}
