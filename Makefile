@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The transport pool is exercised heavily by concurrent scans/probes;
+# keep the race detector in the default CI gate.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+clean:
+	$(GO) clean ./...

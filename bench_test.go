@@ -13,13 +13,22 @@ package aorta_test
 // or regenerate the tables directly with cmd/aortabench.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
+	"aorta/internal/comm"
+	"aorta/internal/device"
+	"aorta/internal/device/mote"
 	"aorta/internal/experiments"
+	"aorta/internal/geo"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
 	"aorta/internal/sched"
+	"aorta/internal/vclock"
 )
 
 // benchConfig keeps benchmark iterations affordable while preserving the
@@ -228,4 +237,87 @@ func BenchmarkLatency(b *testing.B) {
 			}
 		}
 	}
+}
+
+// newBenchFarm builds a real-clock device farm behind the communication
+// layer with a configurable per-link latency, for transport benchmarks.
+func newBenchFarm(b *testing.B, motes int, latency time.Duration) (*comm.Layer, *netsim.Network) {
+	b.Helper()
+	clk := vclock.Real{}
+	network := netsim.NewNetwork(clk, 1)
+	reg, err := profile.DefaultRegistry()
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := comm.New(network, clk, reg)
+	for i := 0; i < motes; i++ {
+		id := fmt.Sprintf("mote-%d", i+1)
+		m := mote.New(id, geo.Point{X: float64(i)}, clk, mote.Config{Seed: int64(i)})
+		ln, err := network.Listen(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := device.Serve(ln, m)
+		b.Cleanup(func() { srv.Close() })
+		network.SetLink(id, netsim.LinkConfig{Latency: latency})
+		if err := layer.Register(comm.DeviceInfo{ID: id, Type: m.Type(), Addr: id}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() { _ = layer.Close() })
+	return layer, network
+}
+
+// BenchmarkProbePooledVsOneShot measures what the pooled transport saves
+// on the hot probe path: with pooling each probe reuses the live session,
+// one-shot pays a fresh dial (one link latency) every time.
+func BenchmarkProbePooledVsOneShot(b *testing.B) {
+	const latency = time.Millisecond
+	ctx := context.Background()
+	b.Run("pooled", func(b *testing.B) {
+		layer, _ := newBenchFarm(b, 1, latency)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := layer.Probe(ctx, "mote-1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		layer, _ := newBenchFarm(b, 1, latency)
+		layer.ConfigurePool(comm.PoolConfig{MaxSessions: -1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := layer.Probe(ctx, "mote-1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScanPooled measures a virtual-table scan over a small farm —
+// the per-epoch cost of every continuous query — with pooled sessions
+// versus one dial per device per scan.
+func BenchmarkScanPooled(b *testing.B) {
+	const latency = time.Millisecond
+	ctx := context.Background()
+	b.Run("pooled", func(b *testing.B) {
+		layer, _ := newBenchFarm(b, 4, latency)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := layer.Scan(ctx, "sensor", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		layer, _ := newBenchFarm(b, 4, latency)
+		layer.ConfigurePool(comm.PoolConfig{MaxSessions: -1})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := layer.Scan(ctx, "sensor", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

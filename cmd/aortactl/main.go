@@ -92,6 +92,7 @@ func printResponse(w io.Writer, data []byte) {
 		Queries []map[string]any `json:"queries"`
 		Names   []string         `json:"names"`
 		Metrics map[string]any   `json:"metrics"`
+		Comm    map[string]any   `json:"comm"`
 		Photos  []map[string]any `json:"photos"`
 	}
 	if err := json.Unmarshal(data, &resp); err != nil {
@@ -114,6 +115,10 @@ func printResponse(w io.Writer, data []byte) {
 	case resp.Metrics != nil:
 		out, _ := json.MarshalIndent(resp.Metrics, "", "  ")
 		fmt.Fprintln(w, string(out))
+		if resp.Comm != nil {
+			out, _ := json.MarshalIndent(resp.Comm, "", "  ")
+			fmt.Fprintln(w, "comm:", string(out))
+		}
 	case resp.Message != "":
 		fmt.Fprintln(w, resp.Message)
 	default:

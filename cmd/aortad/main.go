@@ -11,7 +11,7 @@
 //
 // Besides SQL, the protocol accepts backslash commands:
 //
-//	\metrics              engine action metrics
+//	\metrics              engine action metrics + transport/pool counters
 //	\photos               photos stored by photo()
 //	\stimulate <i> <mg> <sec>   inject an event at mote i (lab mode)
 //	\quit                 close the connection
@@ -162,6 +162,7 @@ type response struct {
 	Queries []core.Info           `json:"queries,omitempty"`
 	Names   []string              `json:"names,omitempty"`
 	Metrics *core.MetricsSnapshot `json:"metrics,omitempty"`
+	Comm    *comm.MetricsSnapshot `json:"comm,omitempty"`
 	Photos  []photoInfo           `json:"photos,omitempty"`
 }
 
@@ -212,7 +213,8 @@ func (s *server) command(line string) *response {
 	switch fields[0] {
 	case "\\metrics":
 		m := s.engine.Metrics()
-		return &response{OK: true, Metrics: &m}
+		cm := s.engine.CommMetrics()
+		return &response{OK: true, Metrics: &m, Comm: &cm}
 	case "\\photos":
 		var out []photoInfo
 		for _, p := range s.engine.Photos() {

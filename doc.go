@@ -34,7 +34,12 @@
 //   - a uniform data communication layer: device catalogs and profiles,
 //     scan operators over virtual relational tables, and typed
 //     probe/read/exec messaging over any stream transport (in-memory
-//     simulated network with fault injection, or real TCP).
+//     simulated network with fault injection, or real TCP). Device
+//     connections are pooled: operations share one persistent,
+//     health-checked session per device, and devices that refuse a dial
+//     enter exponential backoff instead of being re-dialed every epoch.
+//     Config.PoolMaxSessions, Config.PoolIdleTTL and Config.DialBackoff
+//     tune the pool.
 //
 // # Quick start
 //

@@ -18,6 +18,15 @@
 // That is the "network data independence" the paper takes from
 // Hellerstein: applications see a dynamic logical view, not transmission
 // loss and device failure.
+//
+// On top of the paper's per-interaction connect()/close() surface the
+// layer runs a pooled transport (pool.go): sessions persist across
+// operations keyed by device ID, reuse is health-checked, idle sessions
+// are reaped, the pool is LRU-capped, and devices that refuse a dial
+// enter an exponential backoff during which they are skipped without
+// dialing — still contributing no tuple, so network data independence is
+// preserved while a whole epoch of a continuous query no longer re-dials
+// every sensor.
 package comm
 
 import (
@@ -52,14 +61,38 @@ type DeviceInfo struct {
 	Static map[string]any
 }
 
-// clone returns a deep-enough copy (the Static map is copied).
+// clone returns a deep copy: the Static map is copied recursively so
+// nested map/slice values (e.g. loc coordinates decoded from JSON) cannot
+// alias the registry's originals. Non-container values (scalars, value
+// structs like geo.Mount) are copied by assignment.
 func (d *DeviceInfo) clone() *DeviceInfo {
 	out := *d
 	out.Static = make(map[string]any, len(d.Static))
 	for k, v := range d.Static {
-		out.Static[k] = v
+		out.Static[k] = deepCopyValue(v)
 	}
 	return &out
+}
+
+// deepCopyValue recursively copies the JSON-shaped containers that appear
+// in Static maps. Other types pass through by value.
+func deepCopyValue(v any) any {
+	switch val := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(val))
+		for k, x := range val {
+			out[k] = deepCopyValue(x)
+		}
+		return out
+	case []any:
+		out := make([]any, len(val))
+		for i, x := range val {
+			out[i] = deepCopyValue(x)
+		}
+		return out
+	default:
+		return v
+	}
 }
 
 // ProbeResult is what a successful probe returns: the device's identity,
@@ -77,7 +110,8 @@ type ProbeResult struct {
 // Values are JSON-decoded (float64, string, bool, or raw structures).
 type Tuple map[string]any
 
-// Metrics counts the layer's interactions with the device network.
+// Metrics counts the layer's interactions with the device network,
+// including the transport pool's behaviour.
 type Metrics struct {
 	Probes        atomic.Int64
 	ProbeFailures atomic.Int64
@@ -87,6 +121,67 @@ type Metrics struct {
 	ExecFailures  atomic.Int64
 	Dials         atomic.Int64
 	DialFailures  atomic.Int64
+
+	// PoolHits counts operations served by a reused live session.
+	PoolHits atomic.Int64
+	// PoolMisses counts operations that had to dial a new session.
+	PoolMisses atomic.Int64
+	// PoolEvictions counts LRU evictions forced by the session cap.
+	PoolEvictions atomic.Int64
+	// PoolExpired counts sessions reaped after their idle TTL.
+	PoolExpired atomic.Int64
+	// PoolBroken counts dead sessions evicted by the liveness check.
+	PoolBroken atomic.Int64
+	// PoolDrained counts sessions closed by Close/ConfigurePool drains.
+	PoolDrained atomic.Int64
+	// SuppressedDials counts dials skipped because the device was inside
+	// its dial-failure backoff window.
+	SuppressedDials atomic.Int64
+	// OpenSessions is the current number of pooled live sessions (gauge).
+	OpenSessions atomic.Int64
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics for logging and JSON
+// serialization (cmd/aortad's stats endpoint).
+type MetricsSnapshot struct {
+	Probes          int64 `json:"probes"`
+	ProbeFailures   int64 `json:"probe_failures"`
+	Reads           int64 `json:"reads"`
+	ReadFailures    int64 `json:"read_failures"`
+	Execs           int64 `json:"execs"`
+	ExecFailures    int64 `json:"exec_failures"`
+	Dials           int64 `json:"dials"`
+	DialFailures    int64 `json:"dial_failures"`
+	PoolHits        int64 `json:"pool_hits"`
+	PoolMisses      int64 `json:"pool_misses"`
+	PoolEvictions   int64 `json:"pool_evictions"`
+	PoolExpired     int64 `json:"pool_expired"`
+	PoolBroken      int64 `json:"pool_broken"`
+	PoolDrained     int64 `json:"pool_drained"`
+	SuppressedDials int64 `json:"suppressed_dials"`
+	OpenSessions    int64 `json:"open_sessions"`
+}
+
+// Snapshot copies the counters into plain values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Probes:          m.Probes.Load(),
+		ProbeFailures:   m.ProbeFailures.Load(),
+		Reads:           m.Reads.Load(),
+		ReadFailures:    m.ReadFailures.Load(),
+		Execs:           m.Execs.Load(),
+		ExecFailures:    m.ExecFailures.Load(),
+		Dials:           m.Dials.Load(),
+		DialFailures:    m.DialFailures.Load(),
+		PoolHits:        m.PoolHits.Load(),
+		PoolMisses:      m.PoolMisses.Load(),
+		PoolEvictions:   m.PoolEvictions.Load(),
+		PoolExpired:     m.PoolExpired.Load(),
+		PoolBroken:      m.PoolBroken.Load(),
+		PoolDrained:     m.PoolDrained.Load(),
+		SuppressedDials: m.SuppressedDials.Load(),
+		OpenSessions:    m.OpenSessions.Load(),
+	}
 }
 
 // ErrUnknownDevice is returned when an operation names an unregistered
@@ -106,6 +201,7 @@ type Layer struct {
 	dialer netsim.Dialer
 	clk    vclock.Clock
 	reg    *profile.Registry
+	pool   *pool
 
 	mu       sync.RWMutex
 	devices  map[string]*DeviceInfo
@@ -115,15 +211,18 @@ type Layer struct {
 }
 
 // New returns a communication layer using dialer for transport, clk for
-// time and reg for catalog lookups.
+// time and reg for catalog lookups. The layer's transport pool starts
+// with default tuning; adjust it with ConfigurePool.
 func New(dialer netsim.Dialer, clk vclock.Clock, reg *profile.Registry) *Layer {
-	return &Layer{
+	l := &Layer{
 		dialer:   dialer,
 		clk:      clk,
 		reg:      reg,
 		devices:  make(map[string]*DeviceInfo),
 		timeouts: make(map[string]time.Duration),
 	}
+	l.pool = newPool(l, PoolConfig{})
+	return l
 }
 
 // Metrics returns the layer's interaction counters.
@@ -240,8 +339,10 @@ type Session struct {
 	readerWG  sync.WaitGroup
 }
 
-// Connect opens a session to the device, respecting the device type's
-// TIMEOUT for connection establishment.
+// Connect opens a dedicated (unpooled) session to the device, respecting
+// the device type's TIMEOUT for connection establishment. The caller owns
+// the session and must Close it. Most callers should use WithSession or
+// the one-call Probe/ReadAttr/Exec helpers, which reuse pooled sessions.
 func (l *Layer) Connect(ctx context.Context, id string) (*Session, error) {
 	l.mu.RLock()
 	info, ok := l.devices[id]
@@ -294,6 +395,18 @@ func (s *Session) readLoop() {
 		if ch != nil {
 			ch <- resp
 		}
+	}
+}
+
+// alive reports whether the session's reader goroutine is still running —
+// the pool's liveness check. A false return means the connection is dead
+// and every future round trip on this session would fail.
+func (s *Session) alive() bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+		return true
 	}
 }
 
@@ -466,34 +579,56 @@ func (s *Session) Exec(ctx context.Context, op string, args any) (json.RawMessag
 	return ack.Result, nil
 }
 
-// Probe is the one-shot convenience: connect, probe, close.
+// Probe is the one-call convenience, now a thin wrapper over the pooled
+// transport: the probe rides a persistent session instead of paying
+// connect()/close() per interaction.
 func (l *Layer) Probe(ctx context.Context, id string) (*ProbeResult, error) {
-	s, err := l.Connect(ctx, id)
+	var res *ProbeResult
+	ran := false
+	err := l.WithSession(ctx, id, func(s *Session) error {
+		ran = true
+		var err error
+		res, err = s.Probe(ctx)
+		return err
+	})
 	if err != nil {
-		l.metrics.Probes.Add(1)
-		l.metrics.ProbeFailures.Add(1)
+		// Keep the pre-pool accounting: a probe that could not even get a
+		// session still counts as a failed probe.
+		if !ran {
+			l.metrics.Probes.Add(1)
+			l.metrics.ProbeFailures.Add(1)
+		}
 		return nil, err
 	}
-	defer s.Close()
-	return s.Probe(ctx)
+	return res, nil
 }
 
-// ReadAttr is the one-shot convenience: connect, read, close.
+// ReadAttr is the one-call convenience: acquire one attribute value over
+// a pooled session.
 func (l *Layer) ReadAttr(ctx context.Context, id, attr string) (any, error) {
-	s, err := l.Connect(ctx, id)
+	var v any
+	err := l.WithSession(ctx, id, func(s *Session) error {
+		var err error
+		v, err = s.Read(ctx, attr)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer s.Close()
-	return s.Read(ctx, attr)
+	return v, nil
 }
 
-// Exec is the one-shot convenience: connect, exec, close.
+// Exec is the one-call convenience: run one atomic operation over a
+// pooled session.
 func (l *Layer) Exec(ctx context.Context, id, op string, args any) (json.RawMessage, error) {
-	s, err := l.Connect(ctx, id)
+	var raw json.RawMessage
+	err := l.WithSession(ctx, id, func(s *Session) error {
+		var err error
+		raw, err = s.Exec(ctx, op, args)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer s.Close()
-	return s.Exec(ctx, op, args)
+	return raw, nil
 }

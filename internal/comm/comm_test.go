@@ -111,6 +111,39 @@ func TestDeviceInfoIsolation(t *testing.T) {
 	}
 }
 
+// TestDeviceInfoCloneDeepStatic: clone must copy nested containers inside
+// Static, not just the top-level map — a caller mutating a nested map or
+// slice of one snapshot must not corrupt the registry or other snapshots.
+func TestDeviceInfoCloneDeepStatic(t *testing.T) {
+	f := newFarm(t)
+	err := f.layer.Register(DeviceInfo{
+		ID: "mote-9", Type: "sensor", Addr: "mote-9",
+		Static: map[string]any{
+			"calibration": map[string]any{"offset": 1.5, "axes": []any{"x", "y"}},
+			"channels":    []any{1, 2, 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.layer.Device("mote-9")
+	d.Static["calibration"].(map[string]any)["offset"] = 99.0
+	d.Static["calibration"].(map[string]any)["axes"].([]any)[0] = "tampered"
+	d.Static["channels"].([]any)[0] = -1
+
+	d2, _ := f.layer.Device("mote-9")
+	cal := d2.Static["calibration"].(map[string]any)
+	if cal["offset"] != 1.5 {
+		t.Errorf("nested map aliased: offset = %v", cal["offset"])
+	}
+	if axes := cal["axes"].([]any); axes[0] != "x" {
+		t.Errorf("slice inside nested map aliased: axes[0] = %v", axes[0])
+	}
+	if ch := d2.Static["channels"].([]any); ch[0] != 1 {
+		t.Errorf("top-level slice aliased: channels[0] = %v", ch[0])
+	}
+}
+
 func TestProbeCamera(t *testing.T) {
 	f := newFarm(t)
 	res, err := f.layer.Probe(context.Background(), "camera-1")

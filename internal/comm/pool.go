@@ -1,0 +1,412 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool tuning defaults. All durations are measured on the layer's clock,
+// so a scaled lab reaps idle sessions and expires backoff in virtual time.
+const (
+	// DefaultPoolMaxSessions caps concurrently open pooled sessions.
+	DefaultPoolMaxSessions = 128
+	// DefaultPoolIdleTTL is how long an unused session survives before the
+	// pool reaps it.
+	DefaultPoolIdleTTL = 60 * time.Second
+	// DefaultDialBackoff is the first suppression window after a failed
+	// dial; consecutive failures double it.
+	DefaultDialBackoff = time.Second
+	// DefaultDialBackoffMax caps the exponential dial backoff.
+	DefaultDialBackoffMax = 60 * time.Second
+)
+
+// ErrBackoff marks an operation that was suppressed by the dial-failure
+// cache: the device refused a recent dial and its backoff window has not
+// expired, so the pool did not dial it again. The error also matches
+// ErrUnreachable, preserving network data independence — callers treat a
+// backed-off device exactly like an unreachable one (no tuple, excluded
+// from optimization), just without paying for the dial.
+var ErrBackoff = errors.New("comm: device in dial backoff")
+
+// PoolConfig tunes the layer's transport pool.
+type PoolConfig struct {
+	// MaxSessions caps concurrently open sessions; beyond it the
+	// least-recently-used idle session is evicted. 0 selects
+	// DefaultPoolMaxSessions. Negative disables pooling entirely: every
+	// operation dials and closes its own connection (the pre-pool
+	// behaviour, kept for comparison benchmarks).
+	MaxSessions int
+	// IdleTTL reaps sessions unused for this long. 0 selects
+	// DefaultPoolIdleTTL; negative keeps idle sessions forever.
+	IdleTTL time.Duration
+	// BackoffBase is the first suppression window after a failed dial;
+	// consecutive failures double it up to BackoffMax. 0 selects
+	// DefaultDialBackoff; negative disables the dial-failure cache.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff (0 selects
+	// DefaultDialBackoffMax).
+	BackoffMax time.Duration
+}
+
+// resolve fills zero values with the defaults.
+func (c PoolConfig) resolve() PoolConfig {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = DefaultPoolMaxSessions
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = DefaultPoolIdleTTL
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = DefaultDialBackoff
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = DefaultDialBackoffMax
+	}
+	return c
+}
+
+// pool owns the layer's persistent sessions, keyed by device ID.
+//
+// Ownership model: sessions opened through the pool belong to the pool,
+// not to the operation that triggered the dial. Operations borrow a
+// session via Layer.WithSession; concurrent borrowers of the same device
+// share one live session (Session is safe for concurrent use), and the
+// per-entry dial mutex serializes dialing so simultaneous cache misses
+// produce exactly one dial instead of racing.
+type pool struct {
+	layer *Layer
+
+	mu      sync.Mutex
+	cfg     PoolConfig
+	entries map[string]*poolEntry
+	backoff map[string]*backoffState
+}
+
+// poolEntry is the pool's per-device slot. refs, sess and lastUsed are
+// guarded by pool.mu; dialMu serializes the validate-or-dial step so only
+// one borrower dials while the rest wait and share the result.
+type poolEntry struct {
+	id     string
+	dialMu sync.Mutex
+
+	sess     *Session
+	refs     int
+	lastUsed time.Time
+}
+
+// backoffState is one dial-failure cache entry.
+type backoffState struct {
+	failures int
+	until    time.Time
+}
+
+func newPool(l *Layer, cfg PoolConfig) *pool {
+	return &pool{
+		layer:   l,
+		cfg:     cfg.resolve(),
+		entries: make(map[string]*poolEntry),
+		backoff: make(map[string]*backoffState),
+	}
+}
+
+// WithSession runs fn with a live pooled session to the device. The
+// session is shared with concurrent operations on the same device and
+// stays open afterwards for reuse. A cached session whose reader has died
+// is evicted and re-dialed before fn runs; if the session breaks while fn
+// is running, the pool transparently re-dials once and retries fn. A
+// device whose dial just failed is not dialed again until its backoff
+// window expires — the call fails fast with an error matching ErrBackoff
+// (and ErrUnreachable).
+func (l *Layer) WithSession(ctx context.Context, id string, fn func(*Session) error) error {
+	return l.pool.with(ctx, id, fn)
+}
+
+func (p *pool) with(ctx context.Context, id string, fn func(*Session) error) error {
+	if p.disabled() {
+		s, err := p.layer.Connect(ctx, id)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		return fn(s)
+	}
+	for attempt := 0; ; attempt++ {
+		e, s, err := p.acquire(ctx, id)
+		if err != nil {
+			return err
+		}
+		opErr := fn(s)
+		broken := !s.alive()
+		p.release(e, s, broken)
+		// A session that died under fn gets one transparent redial; if
+		// that dial fails too, acquire records the backoff entry and the
+		// next attempt fails fast.
+		if opErr != nil && broken && attempt == 0 {
+			continue
+		}
+		return opErr
+	}
+}
+
+func (p *pool) disabled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.MaxSessions < 0
+}
+
+// acquire returns a live session for id, reusing the cached one when its
+// reader is still alive and dialing otherwise. The caller must hand the
+// returned entry back via release.
+func (p *pool) acquire(ctx context.Context, id string) (*poolEntry, *Session, error) {
+	m := &p.layer.metrics
+
+	p.mu.Lock()
+	victims := p.reapIdleLocked()
+	e := p.entries[id]
+	if e == nil {
+		e = &poolEntry{id: id}
+		p.entries[id] = e
+	}
+	e.refs++
+	p.mu.Unlock()
+	closeAll(victims)
+
+	e.dialMu.Lock()
+	defer e.dialMu.Unlock()
+
+	p.mu.Lock()
+	if s := e.sess; s != nil {
+		// Liveness check: reuse only sessions whose reader goroutine is
+		// still running; a dead one is evicted and re-dialed below.
+		if s.alive() {
+			e.lastUsed = p.layer.clk.Now()
+			m.PoolHits.Add(1)
+			p.mu.Unlock()
+			return e, s, nil
+		}
+		p.evictLocked(e, &m.PoolBroken)
+		p.mu.Unlock()
+		s.Close()
+		p.mu.Lock()
+	}
+	if wait, suppressed := p.backoffRemainingLocked(id); suppressed {
+		p.releaseLocked(e)
+		m.SuppressedDials.Add(1)
+		p.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %w: %s suppressed for another %v", ErrUnreachable, ErrBackoff, id, wait)
+	}
+	victims = p.makeRoomLocked(e)
+	p.mu.Unlock()
+	closeAll(victims)
+
+	s, err := p.layer.Connect(ctx, id)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.noteDialFailureLocked(id, err)
+		p.releaseLocked(e)
+		return nil, nil, err
+	}
+	delete(p.backoff, id)
+	e.sess = s
+	e.lastUsed = p.layer.clk.Now()
+	m.PoolMisses.Add(1)
+	m.OpenSessions.Add(1)
+	return e, s, nil
+}
+
+// release hands a borrowed session back. A session that broke during the
+// operation is evicted so the next borrower re-dials instead of failing
+// on a dead connection.
+func (p *pool) release(e *poolEntry, s *Session, broken bool) {
+	var toClose *Session
+	p.mu.Lock()
+	if broken && e.sess == s {
+		p.evictLocked(e, &p.layer.metrics.PoolBroken)
+		toClose = s
+	}
+	e.lastUsed = p.layer.clk.Now()
+	p.releaseLocked(e)
+	p.mu.Unlock()
+	if toClose != nil {
+		toClose.Close()
+	}
+}
+
+// releaseLocked drops one reference and garbage-collects sessionless
+// entries (e.g. unknown or unreachable devices) so the entry map cannot
+// grow without bound.
+func (p *pool) releaseLocked(e *poolEntry) {
+	e.refs--
+	if e.refs == 0 && e.sess == nil {
+		delete(p.entries, e.id)
+	}
+}
+
+// evictLocked detaches an entry's session and updates counters. The
+// caller closes the session outside pool.mu.
+func (p *pool) evictLocked(e *poolEntry, counter *atomic.Int64) {
+	if e.sess == nil {
+		return
+	}
+	e.sess = nil
+	counter.Add(1)
+	p.layer.metrics.OpenSessions.Add(-1)
+	if e.refs == 0 {
+		delete(p.entries, e.id)
+	}
+}
+
+// reapIdleLocked evicts sessions idle past the TTL and returns them for
+// closing outside the lock. Reaping is lazy — it runs on every acquire
+// and on explicit ReapIdleSessions calls — so it needs no background
+// goroutine and stays deterministic under manual test clocks.
+func (p *pool) reapIdleLocked() []*Session {
+	if p.cfg.IdleTTL < 0 {
+		return nil
+	}
+	now := p.layer.clk.Now()
+	var victims []*Session
+	for _, e := range p.entries {
+		if e.sess != nil && e.refs == 0 && now.Sub(e.lastUsed) > p.cfg.IdleTTL {
+			victims = append(victims, e.sess)
+			p.evictLocked(e, &p.layer.metrics.PoolExpired)
+		}
+	}
+	return victims
+}
+
+// makeRoomLocked enforces the MaxSessions cap by evicting
+// least-recently-used idle sessions. Sessions with live borrowers are
+// never evicted; if every session is busy the cap is exceeded rather than
+// blocking the caller (a soft cap).
+func (p *pool) makeRoomLocked(current *poolEntry) []*Session {
+	var victims []*Session
+	for p.openLocked() >= p.cfg.MaxSessions {
+		var lru *poolEntry
+		for _, e := range p.entries {
+			if e == current || e.sess == nil || e.refs > 0 {
+				continue
+			}
+			if lru == nil || e.lastUsed.Before(lru.lastUsed) {
+				lru = e
+			}
+		}
+		if lru == nil {
+			break
+		}
+		victims = append(victims, lru.sess)
+		p.evictLocked(lru, &p.layer.metrics.PoolEvictions)
+	}
+	return victims
+}
+
+func (p *pool) openLocked() int {
+	n := 0
+	for _, e := range p.entries {
+		if e.sess != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// backoffRemainingLocked reports whether id is inside its dial-failure
+// backoff window and, if so, for how much longer.
+func (p *pool) backoffRemainingLocked(id string) (time.Duration, bool) {
+	b := p.backoff[id]
+	if b == nil {
+		return 0, false
+	}
+	wait := b.until.Sub(p.layer.clk.Now())
+	if wait <= 0 {
+		return 0, false
+	}
+	return wait, true
+}
+
+// noteDialFailureLocked records a failed dial in the backoff cache,
+// doubling the suppression window per consecutive failure. Caller
+// cancellation and unknown devices are not the device's fault and do not
+// enter backoff.
+func (p *pool) noteDialFailureLocked(id string, err error) {
+	if p.cfg.BackoffBase < 0 || errors.Is(err, ErrUnknownDevice) || errors.Is(err, context.Canceled) {
+		return
+	}
+	b := p.backoff[id]
+	if b == nil {
+		b = &backoffState{}
+		p.backoff[id] = b
+	}
+	b.failures++
+	shift := b.failures - 1
+	if shift > 16 {
+		shift = 16
+	}
+	window := p.cfg.BackoffBase << uint(shift)
+	if window > p.cfg.BackoffMax || window <= 0 {
+		window = p.cfg.BackoffMax
+	}
+	b.until = p.layer.clk.Now().Add(window)
+}
+
+// drain closes every pooled session and clears the backoff cache. The
+// pool stays usable: the next operation simply re-dials.
+func (p *pool) drain() []*Session {
+	p.mu.Lock()
+	var victims []*Session
+	for _, e := range p.entries {
+		if e.sess != nil {
+			victims = append(victims, e.sess)
+			p.evictLocked(e, &p.layer.metrics.PoolDrained)
+		}
+	}
+	p.backoff = make(map[string]*backoffState)
+	p.mu.Unlock()
+	return victims
+}
+
+// configure swaps the pool tuning, draining sessions opened under the old
+// configuration.
+func (p *pool) configure(cfg PoolConfig) {
+	closeAll(p.drain())
+	p.mu.Lock()
+	p.cfg = cfg.resolve()
+	p.mu.Unlock()
+}
+
+func closeAll(victims []*Session) {
+	for _, s := range victims {
+		s.Close()
+	}
+}
+
+// ConfigurePool replaces the layer's transport-pool tuning. Sessions
+// opened under the previous configuration are drained.
+func (l *Layer) ConfigurePool(cfg PoolConfig) { l.pool.configure(cfg) }
+
+// ReapIdleSessions evicts pooled sessions idle longer than the pool's
+// IdleTTL on the layer's clock and reports how many it closed. Reaping
+// also happens lazily on every pooled operation; this entry point exists
+// for callers that want deterministic reclamation (tests, shutdown paths).
+func (l *Layer) ReapIdleSessions() int {
+	l.pool.mu.Lock()
+	victims := l.pool.reapIdleLocked()
+	l.pool.mu.Unlock()
+	closeAll(victims)
+	return len(victims)
+}
+
+// Close drains the transport pool: every pooled session is closed and the
+// dial-failure cache cleared. The layer remains usable afterwards — the
+// next operation re-dials — so Close is safe to call on engine shutdown
+// even when ad-hoc queries may still follow.
+func (l *Layer) Close() error {
+	closeAll(l.pool.drain())
+	return nil
+}

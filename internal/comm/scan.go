@@ -2,6 +2,7 @@ package comm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,9 @@ type ScanReport struct {
 	// or failed mid-read; their tuples are simply absent (network data
 	// independence).
 	Skipped int
+	// InBackoff is the subset of Skipped that was not even dialed because
+	// the device is inside its dial-failure backoff window.
+	InBackoff int
 }
 
 // Scan materializes the virtual relational table for a device type: one
@@ -50,8 +54,9 @@ func (l *Layer) Scan(ctx context.Context, deviceType string, attrs []string) ([]
 
 	devices := l.DevicesOfType(deviceType)
 	type row struct {
-		id    string
-		tuple Tuple
+		id        string
+		tuple     Tuple
+		inBackoff bool
 	}
 	rows := make([]row, len(devices))
 	var wg sync.WaitGroup
@@ -59,10 +64,8 @@ func (l *Layer) Scan(ctx context.Context, deviceType string, attrs []string) ([]
 		wg.Add(1)
 		go func(i int, dev *DeviceInfo) {
 			defer wg.Done()
-			t := l.scanDevice(ctx, dev, static, sensory)
-			if t != nil {
-				rows[i] = row{id: dev.ID, tuple: t}
-			}
+			t, inBackoff := l.scanDevice(ctx, dev, static, sensory)
+			rows[i] = row{id: dev.ID, tuple: t, inBackoff: inBackoff}
 		}(i, dev)
 	}
 	wg.Wait()
@@ -72,6 +75,9 @@ func (l *Layer) Scan(ctx context.Context, deviceType string, attrs []string) ([]
 	for _, r := range rows {
 		if r.tuple == nil {
 			report.Skipped++
+			if r.inBackoff {
+				report.InBackoff++
+			}
 			continue
 		}
 		report.Scanned++
@@ -85,9 +91,12 @@ func (l *Layer) Scan(ctx context.Context, deviceType string, attrs []string) ([]
 	return out, report, nil
 }
 
-// scanDevice builds one tuple, or returns nil when the device is
-// unreachable or a sensory read fails.
-func (l *Layer) scanDevice(ctx context.Context, dev *DeviceInfo, static, sensory []string) Tuple {
+// scanDevice builds one tuple over a pooled session, or returns nil when
+// the device is unreachable or a sensory read fails. Concurrent scans of
+// the same device share one live session instead of racing dials. The
+// second return reports whether the device was skipped without dialing
+// because it is inside its dial-failure backoff window.
+func (l *Layer) scanDevice(ctx context.Context, dev *DeviceInfo, static, sensory []string) (Tuple, bool) {
 	t := make(Tuple, len(static)+len(sensory)+1)
 	t["id"] = dev.ID
 	for _, name := range static {
@@ -98,19 +107,20 @@ func (l *Layer) scanDevice(ctx context.Context, dev *DeviceInfo, static, sensory
 		}
 	}
 	if len(sensory) == 0 {
-		return t
+		return t, false
 	}
-	s, err := l.Connect(ctx, dev.ID)
-	if err != nil {
-		return nil
-	}
-	defer s.Close()
-	for _, name := range sensory {
-		v, err := s.Read(ctx, name)
-		if err != nil {
-			return nil
+	err := l.WithSession(ctx, dev.ID, func(s *Session) error {
+		for _, name := range sensory {
+			v, err := s.Read(ctx, name)
+			if err != nil {
+				return err
+			}
+			t[name] = v
 		}
-		t[name] = v
+		return nil
+	})
+	if err != nil {
+		return nil, errors.Is(err, ErrBackoff)
 	}
-	return t
+	return t, false
 }

@@ -93,6 +93,10 @@ func (op *actionOperator) dispatch(ctx context.Context, batch []*ActionRequest) 
 		if len(report.Excluded) > 0 {
 			e.lg.Warn("probe excluded candidates", "action", op.def.Name, "excluded", report.Excluded)
 		}
+		if len(report.Suppressed) > 0 {
+			e.lg.Debug("probe skipped backed-off candidates without dialing",
+				"action", op.def.Name, "suppressed", report.Suppressed)
+		}
 		for _, c := range report.Available {
 			if c.Busy && e.cfg.ExcludeBusy {
 				continue

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"aorta/internal/comm"
 	"aorta/internal/device/camera"
 	"aorta/internal/device/phone"
 	"aorta/internal/geo"
@@ -190,24 +191,24 @@ func photoAction(ctx context.Context, actx *ActionContext, args []any) (any, err
 		return nil, fmt.Errorf("%w: %s cannot aim at %s", ErrNotCoverable, actx.DeviceID, loc)
 	}
 
-	sess, err := e.layer.Connect(ctx, actx.DeviceID)
-	if err != nil {
-		return nil, err
-	}
-	defer sess.Close()
-
-	if _, err := sess.Exec(ctx, "move", &camera.MoveArgs{Pan: aim.Pan, Tilt: aim.Tilt, Zoom: aim.Zoom}); err != nil {
-		return nil, err
-	}
-	raw, err := sess.Exec(ctx, "capture", &camera.CaptureArgs{Size: "medium"})
-	if err != nil {
-		return nil, err
-	}
+	// The whole move→capture→store sequence rides one pooled session, so
+	// back-to-back photos on the same camera dial once, not per action.
 	var photo camera.Photo
-	if err := json.Unmarshal(raw, &photo); err != nil {
-		return nil, fmt.Errorf("core: decode photo: %w", err)
-	}
-	if _, err := sess.Exec(ctx, "store", nil); err != nil {
+	err := e.layer.WithSession(ctx, actx.DeviceID, func(sess *comm.Session) error {
+		if _, err := sess.Exec(ctx, "move", &camera.MoveArgs{Pan: aim.Pan, Tilt: aim.Tilt, Zoom: aim.Zoom}); err != nil {
+			return err
+		}
+		raw, err := sess.Exec(ctx, "capture", &camera.CaptureArgs{Size: "medium"})
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &photo); err != nil {
+			return fmt.Errorf("core: decode photo: %w", err)
+		}
+		_, err = sess.Exec(ctx, "store", nil)
+		return err
+	})
+	if err != nil {
 		return nil, err
 	}
 

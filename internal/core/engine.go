@@ -49,6 +49,22 @@ type Config struct {
 	// handed to the next request (0 uses plain locks).
 	LockLease time.Duration
 
+	// PoolMaxSessions caps the transport pool's concurrently open device
+	// sessions; beyond it the least-recently-used idle session is evicted
+	// (default comm.DefaultPoolMaxSessions; negative disables pooling so
+	// every operation dials and closes its own connection).
+	PoolMaxSessions int
+	// PoolIdleTTL reaps pooled sessions unused for this long on the
+	// engine clock (default comm.DefaultPoolIdleTTL; negative keeps idle
+	// sessions forever).
+	PoolIdleTTL time.Duration
+	// DialBackoff is the first suppression window after a device refuses
+	// a dial; consecutive failures double it. While a device is in
+	// backoff, scans and probes skip it without dialing — it simply
+	// contributes no tuple (default comm.DefaultDialBackoff; negative
+	// disables the dial-failure cache).
+	DialBackoff time.Duration
+
 	// DisableLocking turns off the device locking mechanism — the §6.2
 	// ablation that reproduces interference failures.
 	DisableLocking bool
@@ -149,6 +165,11 @@ func New(cfg Config) (*Engine, error) {
 	}
 
 	layer := comm.New(cfg.Dialer, clk, reg)
+	layer.ConfigurePool(comm.PoolConfig{
+		MaxSessions: cfg.PoolMaxSessions,
+		IdleTTL:     cfg.PoolIdleTTL,
+		BackoffBase: cfg.DialBackoff,
+	})
 	e := &Engine{
 		cfg:       resolved,
 		lg:        lg,
@@ -188,6 +209,11 @@ func (e *Engine) Registry() *profile.Registry { return e.reg }
 
 // Metrics returns the engine's action metrics.
 func (e *Engine) Metrics() MetricsSnapshot { return e.metrics.Snapshot() }
+
+// CommMetrics returns a snapshot of the communication layer's transport
+// counters, including the session pool (hits, misses, evictions,
+// suppressed dials, open sessions).
+func (e *Engine) CommMetrics() comm.MetricsSnapshot { return e.layer.Metrics().Snapshot() }
 
 // Outcomes returns the recorded action outcomes.
 func (e *Engine) Outcomes() []*Outcome { return e.outcomes.all() }
@@ -340,16 +366,35 @@ func (e *Engine) Start(ctx context.Context) error {
 	return nil
 }
 
-// Stop cancels all query loops and waits for in-flight work.
+// Stop cancels all query loops, waits for in-flight work and drains the
+// transport pool. The engine's communication layer stays usable for
+// ad-hoc statements afterwards; drained devices are simply re-dialed.
 func (e *Engine) Stop() {
 	e.mu.Lock()
 	cancel := e.runCancel
+	e.runCancel = nil
 	e.started = false
 	e.mu.Unlock()
 	if cancel != nil {
 		cancel()
 	}
 	e.wg.Wait()
+	snap := e.layer.Metrics().Snapshot()
+	_ = e.layer.Close()
+	if cancel == nil && snap.OpenSessions == 0 {
+		// Repeated Stop (e.g. a deferred Stop after an explicit one):
+		// nothing ran and nothing was drained, so don't log it again.
+		return
+	}
+	e.lg.Info("transport pool drained",
+		"open_sessions", snap.OpenSessions,
+		"dials", snap.Dials,
+		"pool_hits", snap.PoolHits,
+		"pool_misses", snap.PoolMisses,
+		"pool_evictions", snap.PoolEvictions,
+		"pool_expired", snap.PoolExpired,
+		"pool_broken", snap.PoolBroken,
+		"suppressed_dials", snap.SuppressedDials)
 }
 
 // startQueryLocked launches one query loop. Caller holds e.mu.

@@ -76,3 +76,24 @@ func TestEngineLogging(t *testing.T) {
 		t.Errorf("missing drop log:\n%s", buf.String())
 	}
 }
+
+// TestEngineStopLogsDrainOnce: Stop drains the transport pool and logs
+// it exactly once, even when Stop is called again (e.g. a deferred
+// Stop after an explicit shutdown).
+func TestEngineStopLogsDrainOnce(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	l, err := lab.New(lab.Config{Engine: core.Config{Logger: logger}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Engine.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l.Engine.Stop()
+	l.Engine.Stop()
+	if got := strings.Count(buf.String(), "transport pool drained"); got != 1 {
+		t.Errorf("drain logged %d times, want 1:\n%s", got, buf.String())
+	}
+}

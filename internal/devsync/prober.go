@@ -3,6 +3,7 @@ package devsync
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"sync"
 	"time"
 
@@ -28,6 +29,10 @@ type ProbeReport struct {
 	// Excluded are the device IDs that failed or timed out and were
 	// dropped from device-selection optimization (paper §4).
 	Excluded []string
+	// Suppressed is the subset of Excluded that was never dialed: those
+	// devices are inside the transport pool's dial-failure backoff window,
+	// so the probe round skipped them at zero network cost.
+	Suppressed []string
 	// Elapsed is the wall (clock) time of the whole concurrent probe
 	// round.
 	Elapsed time.Duration
@@ -45,12 +50,16 @@ func NewProber(layer *comm.Layer) *Prober {
 	return &Prober{layer: layer}
 }
 
-// ProbeCandidates probes every candidate concurrently. Devices that fail
-// to answer within their type's TIMEOUT are excluded; the rest are
-// returned with their physical status.
+// ProbeCandidates probes every candidate concurrently over pooled
+// sessions — consecutive batches reuse live connections instead of
+// re-dialing each camera. Devices that fail to answer within their type's
+// TIMEOUT are excluded; devices inside the pool's dial-failure backoff
+// are excluded without a dial and additionally listed as Suppressed; the
+// rest are returned with their physical status.
 func (p *Prober) ProbeCandidates(ctx context.Context, ids []string) *ProbeReport {
 	start := time.Now()
 	results := make([]*Candidate, len(ids))
+	suppressed := make([]bool, len(ids))
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
@@ -58,6 +67,7 @@ func (p *Prober) ProbeCandidates(ctx context.Context, ids []string) *ProbeReport
 			defer wg.Done()
 			res, err := p.layer.Probe(ctx, id)
 			if err != nil {
+				suppressed[i] = errors.Is(err, comm.ErrBackoff)
 				return
 			}
 			results[i] = &Candidate{ID: id, Busy: res.Busy, Status: res.Status, RTT: res.RTT}
@@ -69,6 +79,9 @@ func (p *Prober) ProbeCandidates(ctx context.Context, ids []string) *ProbeReport
 	for i, r := range results {
 		if r == nil {
 			report.Excluded = append(report.Excluded, ids[i])
+			if suppressed[i] {
+				report.Suppressed = append(report.Suppressed, ids[i])
+			}
 			continue
 		}
 		report.Available = append(report.Available, *r)

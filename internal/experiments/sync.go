@@ -80,6 +80,13 @@ func runSync(cfg SyncConfig, synchronized bool) (*SyncRun, error) {
 	// Busy-state exclusion is part of probing; with probing on, a camera
 	// still serving the previous batch is skipped rather than corrupted.
 	ecfg.ScheduleBusyDevices = !synchronized
+	// All queries fire on the same minute tick, so their requests belong
+	// to one batch. At high clock scales the default 100ms batch window
+	// shrinks to ~1ms of wall time — below goroutine-scheduling jitter —
+	// and the batch fragments, keeping cameras busy into the next probe.
+	// A 2-second window is still tiny against the 60s epoch but immune to
+	// wall-clock noise.
+	ecfg.BatchWindow = 2 * time.Second
 
 	l, err := lab.New(lab.Config{
 		Cameras:    cfg.Cameras,
