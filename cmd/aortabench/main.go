@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|all")
+		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|all")
 		runs    = flag.Int("runs", 10, "independent runs per data point (paper: 10)")
 		seed    = flag.Int64("seed", 2005, "random seed")
 		cameras = flag.Int("cameras", 10, "camera count for the scheduling studies (paper: 10)")
@@ -140,8 +140,20 @@ func run(exp string, runs int, seed int64, cameras, minutes int) error {
 		experiments.PrintSyncStudy(out, with, without)
 		fmt.Fprintln(out)
 	}
+	if all || wanted["failover"] {
+		ran = true
+		fcfg := experiments.DefaultFailoverConfig()
+		fcfg.Minutes = minutes * 2 // needs more samples than the sync study
+		fcfg.Seed = seed
+		without, with, err := experiments.FailoverStudy(fcfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFailoverStudy(out, without, with)
+		fmt.Fprintln(out)
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|all)", exp)
 	}
 	return nil
 }

@@ -104,10 +104,18 @@ func TestProtocolSQLAndCommands(t *testing.T) {
 		t.Fatal("no photos after stimulate")
 	}
 
-	// Metrics round-trip.
+	// Metrics round-trip, including the failure-aware execution counters:
+	// Retries/Dropped ride the same snapshot, and failure kinds key the
+	// breakdown by name.
 	resp = exchange(t, conn, sc, `\metrics`)
 	if !resp.OK || resp.Metrics == nil || resp.Metrics.Requests == 0 {
 		t.Fatalf("metrics = %+v", resp)
+	}
+	if resp.Metrics.Failures == nil {
+		t.Fatalf("metrics missing failure breakdown: %+v", resp.Metrics)
+	}
+	if resp.Metrics.Retries != 0 && resp.Metrics.Successes == 0 {
+		t.Fatalf("retries without outcomes: %+v", resp.Metrics)
 	}
 
 	// SQL errors are reported, not fatal.

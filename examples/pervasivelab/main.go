@@ -67,7 +67,12 @@ func runOnce(synchronized bool) (result, error) {
 		cfg.Engine.DisableLocking = true
 		cfg.Engine.DisableProbing = true
 		cfg.Engine.ScheduleBusyDevices = true
+		// Restore the paper's fully unserialized execution (§6.2): without
+		// this flag, lock-free sequences still run in order.
+		cfg.Engine.InterferenceAblation = true
 	}
+	// The paper's system executed each request once — no failover retries.
+	cfg.Engine.MaxAttempts = 1
 	l, err := aorta.NewLab(cfg)
 	if err != nil {
 		return result{}, err

@@ -196,6 +196,22 @@ var ErrTimeout = errors.New("comm: device timed out")
 // established (link down, dial failure, no listener).
 var ErrUnreachable = errors.New("comm: device unreachable")
 
+// Retryable reports whether err is a transient transport failure that a
+// caller may reasonably retry on another device (or on the same device
+// later): connect/answer timeouts, unreachable links and dial-backoff
+// suppressions. Addressing errors (ErrUnknownDevice) and semantic
+// device-level failures are not retryable — repeating them cannot help.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, ErrUnknownDevice) {
+		return false
+	}
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrUnreachable) || errors.Is(err, ErrBackoff) {
+		return true
+	}
+	var ne interface{ Timeout() bool }
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // Layer is the uniform data communication layer.
 type Layer struct {
 	dialer netsim.Dialer

@@ -1,0 +1,37 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type timeoutErr struct{ timeout bool }
+
+func (e timeoutErr) Error() string { return "net op failed" }
+func (e timeoutErr) Timeout() bool { return e.timeout }
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"timeout", ErrTimeout, true},
+		{"wrapped timeout", fmt.Errorf("capture: %w", ErrTimeout), true},
+		{"unreachable", ErrUnreachable, true},
+		{"backoff", fmt.Errorf("%w: %w", ErrUnreachable, ErrBackoff), true},
+		{"unknown device", ErrUnknownDevice, false},
+		{"net timeout interface", timeoutErr{timeout: true}, true},
+		{"net non-timeout", timeoutErr{timeout: false}, false},
+		{"context cancel", context.Canceled, false},
+		{"plain error", errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -13,6 +13,14 @@ import (
 // actionOperator is the shared action operator of paper §2.3: all
 // concurrent queries embedding the same action share one operator, so
 // their requests are batched and scheduled together (group optimization).
+//
+// Execution is failure-aware: a request whose attempt ends in a retryable
+// failure (connect/timeout, lock-lease loss, device-reported busy) is
+// re-dispatched over its remaining probed candidates — the scheduler runs
+// again on the residual batch — until it succeeds, its attempt budget
+// (Config.MaxAttempts) runs out, its deadline passes, or no candidate
+// survives. Every submitted request produces exactly one Outcome, even
+// across Engine.Stop.
 type actionOperator struct {
 	engine *Engine
 	def    *ActionDef
@@ -47,6 +55,10 @@ func (op *actionOperator) submit(req *ActionRequest) {
 		defer e.wg.Done()
 		select {
 		case <-e.runCtx.Done():
+			// The engine stopped while the batch window was open: drain the
+			// pending batch instead of dropping it, so Outcomes() and
+			// subscribers still see one outcome per request.
+			op.drainPending()
 			return
 		case <-e.clk.After(e.cfg.BatchWindow):
 		}
@@ -59,6 +71,18 @@ func (op *actionOperator) submit(req *ActionRequest) {
 	}()
 }
 
+// drainPending fails every queued request with ErrShutdown.
+func (op *actionOperator) drainPending() {
+	op.mu.Lock()
+	batch := op.pending
+	op.pending = nil
+	op.flushing = false
+	op.mu.Unlock()
+	for _, req := range batch {
+		op.finish(req, "", nil, ErrShutdown)
+	}
+}
+
 // SharedBy returns how many distinct queries have routed requests through
 // this operator.
 func (op *actionOperator) SharedBy() int {
@@ -67,8 +91,21 @@ func (op *actionOperator) SharedBy() int {
 	return len(op.queries)
 }
 
-// dispatch probes candidates, runs the workload scheduler over the batch
-// and executes the resulting per-device sequences.
+// forgetQuery removes a dropped or stopped query from the sharing set so
+// SHOW and the group-optimization stats stay accurate on long-running
+// daemons. The query re-registers automatically if it is started again
+// and submits a new request.
+func (op *actionOperator) forgetQuery(qid int) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	delete(op.queries, qid)
+}
+
+// dispatch probes candidates, then loops schedule→execute rounds over the
+// batch until every request has an outcome: round 1 schedules the full
+// batch; each later round re-schedules the requests whose attempt failed
+// retryably, over their remaining probed candidates, excluding every
+// device that already failed during this dispatch.
 func (op *actionOperator) dispatch(ctx context.Context, batch []*ActionRequest) {
 	if len(batch) == 0 {
 		return
@@ -77,42 +114,7 @@ func (op *actionOperator) dispatch(ctx context.Context, batch []*ActionRequest) 
 
 	// 1. Probe the union of candidate devices (paper §4's probing
 	// mechanism): availability check + physical status acquisition.
-	available := make(map[string]sched.Status)
-	if e.cfg.Probing {
-		var ids []string
-		seen := make(map[string]bool)
-		for _, req := range batch {
-			for _, c := range req.Candidates {
-				if !seen[c.ID] {
-					seen[c.ID] = true
-					ids = append(ids, c.ID)
-				}
-			}
-		}
-		report := e.prober.ProbeCandidates(ctx, ids)
-		if len(report.Excluded) > 0 {
-			e.lg.Warn("probe excluded candidates", "action", op.def.Name, "excluded", report.Excluded)
-		}
-		if len(report.Suppressed) > 0 {
-			e.lg.Debug("probe skipped backed-off candidates without dialing",
-				"action", op.def.Name, "suppressed", report.Suppressed)
-		}
-		for _, c := range report.Available {
-			if c.Busy && e.cfg.ExcludeBusy {
-				continue
-			}
-			available[c.ID] = op.def.Coster.ParseStatus(c.Status)
-		}
-	} else {
-		// Probing disabled (ablation): trust the registry blindly.
-		for _, req := range batch {
-			for _, c := range req.Candidates {
-				if _, ok := available[c.ID]; !ok {
-					available[c.ID] = op.def.Coster.ParseStatus(nil)
-				}
-			}
-		}
-	}
+	available := op.probeBatch(ctx, batch)
 
 	// 2. Build the scheduling problem over the available candidates.
 	var (
@@ -154,95 +156,238 @@ func (op *actionOperator) dispatch(ctx context.Context, batch []*ActionRequest) 
 		devices = append(devices, d)
 	}
 	sortDeviceIDs(devices)
-
-	e.lg.Debug("dispatching batch", "action", op.def.Name,
-		"requests", len(schedReqs), "devices", len(devices))
 	problem := sched.NewProblem(schedReqs, devices, initial, &costerEstimator{coster: op.def.Coster})
-	assignment, err := e.cfg.Scheduler.Schedule(problem, rand.New(rand.NewSource(e.nextSeed())))
-	if err != nil {
-		// Scheduling failure fails the whole batch.
-		for _, sr := range schedReqs {
-			op.finish(sr.Target.(*ActionRequest), "", nil, fmt.Errorf("core: scheduling failed: %w", err))
-		}
-		return
-	}
 
-	// 3. Execute. With locking enabled each device's sequence runs in
-	// order under the device lock; with locking disabled every request
-	// fires immediately — reproducing the §6.2 interference.
+	// 3. Schedule→execute rounds. Each request remembers the devices that
+	// failed it (a retry must go somewhere new), but the exclusion is
+	// per-request: a transient failure for one request does not blacklist
+	// the device for the rest of the batch.
+	maxAttempts := e.cfg.MaxAttempts
+	for round := 1; len(problem.Requests) > 0; round++ {
+		if ctx.Err() != nil {
+			op.finishAll(problem.Requests, ErrShutdown)
+			return
+		}
+		e.lg.Debug("dispatching batch", "action", op.def.Name, "round", round,
+			"requests", len(problem.Requests), "devices", len(problem.Devices))
+		assignment, err := e.cfg.Scheduler.Schedule(problem, rand.New(rand.NewSource(e.nextSeed())))
+		if err != nil {
+			// Scheduling failure fails the whole round.
+			op.finishAll(problem.Requests, fmt.Errorf("core: scheduling failed: %w", err))
+			return
+		}
+
+		// Execute the round and split outcomes into finished vs retryable.
+		var retry []*sched.Request
+		for _, at := range op.executeRound(ctx, assignment) {
+			req := at.req
+			if at.err == nil || !retryableFailure(at.err) {
+				op.finish(req, at.devID, at.result, at.err)
+				continue
+			}
+			req.markFailed(at.devID, at.err)
+			if req.attempts >= maxAttempts {
+				op.finish(req, at.devID, at.result, at.err)
+				continue
+			}
+			if !req.Deadline.IsZero() && e.clk.Now().After(req.Deadline) {
+				// Deadline-aware re-dispatch: a retry never fires a stale
+				// action (paper §5.1's real-time requirement).
+				op.finish(req, at.devID, nil,
+					fmt.Errorf("%w: deadline passed after %d attempt(s), last failure: %v", ErrStale, req.attempts, at.err))
+				continue
+			}
+			e.lg.Info("action attempt failed, re-dispatching", "action", req.Action,
+				"query", req.Query, "device", at.devID, "attempt", req.attempts, "err", at.err)
+			retry = append(retry, at.sr)
+		}
+		if len(retry) == 0 {
+			return
+		}
+
+		// Residual problem: surviving requests over their remaining probed
+		// candidates, statuses reused from the original probe round.
+		residual, starved := sched.Residual(problem, retry, func(sr *sched.Request, d sched.DeviceID) bool {
+			return sr.Target.(*ActionRequest).failedOn(string(d))
+		})
+		for _, sr := range starved {
+			req := sr.Target.(*ActionRequest)
+			op.finish(req, "", nil,
+				fmt.Errorf("%w: no surviving candidate after %d attempt(s)", errNoCandidates, req.attempts))
+		}
+		if residual == nil {
+			return
+		}
+		problem = residual
+	}
+}
+
+// probeBatch probes the union of the batch's candidate devices and returns
+// the available ones with their parsed physical status. With probing
+// disabled (ablation) the registry is trusted blindly.
+func (op *actionOperator) probeBatch(ctx context.Context, batch []*ActionRequest) map[string]sched.Status {
+	e := op.engine
+	available := make(map[string]sched.Status)
+	if !e.cfg.Probing {
+		for _, req := range batch {
+			for _, c := range req.Candidates {
+				if _, ok := available[c.ID]; !ok {
+					available[c.ID] = op.def.Coster.ParseStatus(nil)
+				}
+			}
+		}
+		return available
+	}
+	var ids []string
+	seen := make(map[string]bool)
+	for _, req := range batch {
+		for _, c := range req.Candidates {
+			if !seen[c.ID] {
+				seen[c.ID] = true
+				ids = append(ids, c.ID)
+			}
+		}
+	}
+	report := e.prober.ProbeCandidates(ctx, ids)
+	if len(report.Excluded) > 0 {
+		e.lg.Warn("probe excluded candidates", "action", op.def.Name, "excluded", report.Excluded)
+	}
+	if len(report.Suppressed) > 0 {
+		e.lg.Debug("probe skipped backed-off candidates without dialing",
+			"action", op.def.Name, "suppressed", report.Suppressed)
+	}
+	for _, c := range report.Available {
+		if c.Busy && e.cfg.ExcludeBusy {
+			continue
+		}
+		available[c.ID] = op.def.Coster.ParseStatus(c.Status)
+	}
+	return available
+}
+
+// attemptOutcome is the result of one execution attempt of one request.
+type attemptOutcome struct {
+	sr     *sched.Request
+	req    *ActionRequest
+	devID  string
+	result any
+	err    error
+}
+
+// executeRound runs one scheduled round and returns one attemptOutcome per
+// request. With locking enabled each device's sequence runs in order under
+// the device lock. With locking disabled the sequence still runs in order
+// (lock-free) unless the interference ablation is on, in which case every
+// request fires immediately — reproducing the §6.2 interference.
+func (op *actionOperator) executeRound(ctx context.Context, assignment *sched.Assignment) []*attemptOutcome {
+	e := op.engine
+	var total int
+	for _, seq := range assignment.Order {
+		total += len(seq)
+	}
+	results := make(chan *attemptOutcome, total)
+	report := func(sr *sched.Request, devID string, result any, err error) {
+		results <- &attemptOutcome{sr: sr, req: sr.Target.(*ActionRequest), devID: devID, result: result, err: err}
+	}
 	for dev, seq := range assignment.Order {
 		if len(seq) == 0 {
 			continue
 		}
 		devID := string(dev)
-		if e.cfg.Locking {
+		switch {
+		case e.cfg.Locking:
 			e.wg.Add(1)
 			go func(devID string, seq []*sched.Request) {
 				defer e.wg.Done()
 				for _, sr := range seq {
-					op.executeLocked(ctx, devID, sr.Target.(*ActionRequest))
+					result, err := op.attemptLocked(ctx, devID, sr.Target.(*ActionRequest))
+					report(sr, devID, result, err)
 				}
 			}(devID, seq)
-		} else {
+		case e.cfg.Interference:
 			for _, sr := range seq {
 				e.wg.Add(1)
-				go func(devID string, ar *ActionRequest) {
+				go func(devID string, sr *sched.Request) {
 					defer e.wg.Done()
-					op.execute(ctx, devID, ar)
-				}(devID, sr.Target.(*ActionRequest))
+					result, err := op.attempt(ctx, devID, sr.Target.(*ActionRequest))
+					report(sr, devID, result, err)
+				}(devID, sr)
 			}
+		default:
+			e.wg.Add(1)
+			go func(devID string, seq []*sched.Request) {
+				defer e.wg.Done()
+				for _, sr := range seq {
+					result, err := op.attempt(ctx, devID, sr.Target.(*ActionRequest))
+					report(sr, devID, result, err)
+				}
+			}(devID, seq)
 		}
 	}
+	out := make([]*attemptOutcome, 0, total)
+	for i := 0; i < total; i++ {
+		out = append(out, <-results)
+	}
+	return out
 }
 
 var errNoCandidates = errors.New("core: all candidate devices unavailable")
 
-// executeLocked runs one request under the device lock. With
+// attemptLocked runs one attempt under the device lock. With
 // Config.LockLease set the lock is a TTL lease, so a hung action cannot
-// pin the device forever.
-func (op *actionOperator) executeLocked(ctx context.Context, devID string, req *ActionRequest) {
+// pin the device forever; losing the lease mid-action fails the attempt
+// retryably, because another holder may have moved the device under it.
+func (op *actionOperator) attemptLocked(ctx context.Context, devID string, req *ActionRequest) (any, error) {
 	e := op.engine
 	holder := fmt.Sprintf("q%d/r%d", req.QueryID, req.ID)
 	if ttl := e.cfg.LockLease; ttl > 0 {
 		lease, err := e.locks.LockWithLease(ctx, devID, holder, ttl)
 		if err != nil {
-			op.finish(req, devID, nil, err)
-			return
+			return nil, err
 		}
-		defer func() {
-			_ = lease.Release()
-		}()
-		op.execute(ctx, devID, req)
-		return
+		result, aerr := op.attempt(ctx, devID, req)
+		if rerr := lease.Release(); rerr != nil && aerr == nil {
+			return result, fmt.Errorf("core: lock lease lost during %s on %s: %w", req.Action, devID, rerr)
+		}
+		return result, aerr
 	}
 	if err := e.locks.Lock(ctx, devID, holder); err != nil {
-		op.finish(req, devID, nil, err)
-		return
+		return nil, err
 	}
 	defer func() {
 		_ = e.locks.Unlock(devID, holder)
 	}()
-	op.execute(ctx, devID, req)
+	return op.attempt(ctx, devID, req)
 }
 
-// execute runs one request on the selected device and records the outcome.
-func (op *actionOperator) execute(ctx context.Context, devID string, req *ActionRequest) {
+// attempt runs one execution attempt of req on the selected device.
+func (op *actionOperator) attempt(ctx context.Context, devID string, req *ActionRequest) (any, error) {
 	e := op.engine
-	if !req.Deadline.IsZero() && e.clk.Now().After(req.Deadline) {
-		op.finish(req, devID, nil, ErrStale)
-		return
+	if ctx.Err() != nil {
+		return nil, ErrShutdown
 	}
+	if !req.Deadline.IsZero() && e.clk.Now().After(req.Deadline) {
+		return nil, ErrStale
+	}
+	req.attempts++
 	args, err := req.bind(devID)
 	if err != nil {
-		op.finish(req, devID, nil, fmt.Errorf("core: bind args: %w", err))
-		return
+		return nil, fmt.Errorf("core: bind args: %w", err)
 	}
-	actx := &ActionContext{Engine: e, QueryID: req.QueryID, RequestID: req.ID, DeviceID: devID}
-	result, err := op.def.Fn(ctx, actx, args)
-	op.finish(req, devID, result, err)
+	actx := &ActionContext{Engine: e, QueryID: req.QueryID, RequestID: req.ID, DeviceID: devID, Attempt: req.attempts}
+	return op.def.Fn(ctx, actx, args)
 }
 
-// finish records the outcome of a request.
+// finishAll records the same terminal error for a set of scheduled
+// requests.
+func (op *actionOperator) finishAll(reqs []*sched.Request, err error) {
+	for _, sr := range reqs {
+		op.finish(sr.Target.(*ActionRequest), "", nil, err)
+	}
+}
+
+// finish records the outcome of a request. Exactly one finish call is made
+// per submitted request.
 func (op *actionOperator) finish(req *ActionRequest, devID string, result any, err error) {
 	e := op.engine
 	outcome := &Outcome{
@@ -255,14 +400,16 @@ func (op *actionOperator) finish(req *ActionRequest, devID string, result any, e
 		Latency:   e.clk.Since(req.CreatedAt),
 		Result:    result,
 		Err:       err,
-		Failure:   classifyFailure(err),
+		Failure:   classifyOutcome(err, req.attempts, retryableFailure(err)),
+		Attempts:  req.attempts,
 	}
 	if err != nil {
 		e.lg.Warn("action failed", "action", req.Action, "query", req.Query,
-			"device", devID, "failure", outcome.Failure.String(), "err", err)
+			"device", devID, "failure", outcome.Failure.String(),
+			"attempts", req.attempts, "err", err)
 	} else {
 		e.lg.Debug("action completed", "action", req.Action, "query", req.Query,
-			"device", devID, "latency", outcome.Latency)
+			"device", devID, "latency", outcome.Latency, "attempts", req.attempts)
 	}
 	e.metrics.record(outcome)
 	e.outcomes.add(outcome)

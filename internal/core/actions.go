@@ -29,6 +29,15 @@ var (
 	ErrStale = errors.New("core: action request became stale")
 	// ErrNotCoverable: the selected camera cannot aim at the target.
 	ErrNotCoverable = errors.New("core: target outside camera coverage")
+	// ErrShutdown: the engine stopped before the request could execute.
+	// Requests pending in a batch window when Engine.Stop fires are drained
+	// with this error so every submitted request still yields an Outcome.
+	ErrShutdown = errors.New("core: engine stopped before action could run")
+	// ErrDeviceBusy: the device reported itself busy at execution time.
+	// Action implementations return it (wrapped) to mark the failure as
+	// transient; the operator re-dispatches the request on another
+	// candidate instead of failing it.
+	ErrDeviceBusy = errors.New("core: device reported busy")
 )
 
 // ActionContext carries execution context into an action implementation.
@@ -38,6 +47,9 @@ type ActionContext struct {
 	RequestID int64
 	// DeviceID is the device the optimizer selected.
 	DeviceID string
+	// Attempt is 1 for the first execution of a request and increments on
+	// every failover retry.
+	Attempt int
 }
 
 // ActionFunc is the code block of an action: the method invoked when the

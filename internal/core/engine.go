@@ -48,6 +48,13 @@ type Config struct {
 	// crashed or hung action is revoked after this TTL and the device
 	// handed to the next request (0 uses plain locks).
 	LockLease time.Duration
+	// MaxAttempts is the per-request execution attempt budget: after a
+	// retryable failure (connect/timeout, lock-lease loss, device busy)
+	// the shared action operator re-schedules the request over its
+	// remaining probed candidates until this many attempts are spent
+	// (default DefaultMaxAttempts; values below 1 clamp to 1, i.e. no
+	// failover).
+	MaxAttempts int
 
 	// PoolMaxSessions caps the transport pool's concurrently open device
 	// sessions; beyond it the least-recently-used idle session is evicted
@@ -73,11 +80,22 @@ type Config struct {
 	// ScheduleBusyDevices keeps busy devices in the candidate set instead
 	// of excluding them at probe time.
 	ScheduleBusyDevices bool
+	// InterferenceAblation fires every request of a device's sequence
+	// concurrently instead of in order. Only meaningful together with
+	// DisableLocking: it reproduces the §6.2 interference failures
+	// (blurred photos, wrong positions) that motivate the locking
+	// mechanism. Without it, DisableLocking still runs sequences in
+	// order — just without the cross-operator lock guarantee.
+	InterferenceAblation bool
 
 	// Logger receives structured engine events (query lifecycle, batch
 	// dispatch, action failures). Nil discards them.
 	Logger *slog.Logger
 }
+
+// DefaultMaxAttempts is the default per-request execution attempt budget
+// (first attempt plus up to two failover retries).
+const DefaultMaxAttempts = 3
 
 // engineConfig is the resolved form used internally.
 type engineConfig struct {
@@ -86,9 +104,11 @@ type engineConfig struct {
 	Scheduler    sched.Algorithm
 	StaleAfter   time.Duration
 	LockLease    time.Duration
+	MaxAttempts  int
 	Locking      bool
 	Probing      bool
 	ExcludeBusy  bool
+	Interference bool
 }
 
 // Engine is the Aorta pervasive query processing engine.
@@ -145,12 +165,20 @@ func New(cfg Config) (*Engine, error) {
 		Scheduler:    cfg.Scheduler,
 		StaleAfter:   cfg.StaleAfter,
 		LockLease:    cfg.LockLease,
+		MaxAttempts:  cfg.MaxAttempts,
 		Locking:      !cfg.DisableLocking,
 		Probing:      !cfg.DisableProbing,
 		ExcludeBusy:  !cfg.ScheduleBusyDevices,
+		Interference: cfg.DisableLocking && cfg.InterferenceAblation,
 	}
 	if resolved.DefaultEpoch <= 0 {
 		resolved.DefaultEpoch = time.Second
+	}
+	if resolved.MaxAttempts == 0 {
+		resolved.MaxAttempts = DefaultMaxAttempts
+	}
+	if resolved.MaxAttempts < 1 {
+		resolved.MaxAttempts = 1
 	}
 	if resolved.BatchWindow <= 0 {
 		resolved.BatchWindow = 100 * time.Millisecond
@@ -427,6 +455,21 @@ func (e *Engine) operatorFor(def *ActionDef) *actionOperator {
 	return op
 }
 
+// forgetQuery unregisters a query from every shared operator's sharing
+// set when it is dropped or stopped; without this the sets grow without
+// bound on long-running daemons that cycle queries.
+func (e *Engine) forgetQuery(qid int) {
+	e.mu.Lock()
+	ops := make([]*actionOperator, 0, len(e.operators))
+	for _, op := range e.operators {
+		ops = append(ops, op)
+	}
+	e.mu.Unlock()
+	for _, op := range ops {
+		op.forgetQuery(qid)
+	}
+}
+
 // OperatorSharing reports how many queries share each action operator.
 func (e *Engine) OperatorSharing() map[string]int {
 	e.mu.Lock()
@@ -558,6 +601,7 @@ func (e *Engine) execDropAQ(name string) (*ExecResult, error) {
 		return nil, fmt.Errorf("core: no query %q", name)
 	}
 	stopQuery(q)
+	e.forgetQuery(q.ID)
 	e.lg.Info("query dropped", "query", name)
 	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s dropped", name)}, nil
 }
@@ -570,6 +614,7 @@ func (e *Engine) execStopAQ(name string) (*ExecResult, error) {
 		return nil, fmt.Errorf("core: no query %q", name)
 	}
 	stopQuery(q)
+	e.forgetQuery(q.ID)
 	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s stopped", name)}, nil
 }
 

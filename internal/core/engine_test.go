@@ -412,8 +412,9 @@ func TestInterferenceWithoutLocking(t *testing.T) {
 		l, err := lab.New(lab.Config{
 			Motes: 6,
 			Engine: core.Config{
-				DisableLocking:      disable,
-				ScheduleBusyDevices: true,
+				DisableLocking:       disable,
+				InterferenceAblation: disable,
+				ScheduleBusyDevices:  true,
 			},
 		})
 		if err != nil {

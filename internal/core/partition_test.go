@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/device"
+	"aorta/internal/device/mote"
+	"aorta/internal/geo"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/sched"
+)
+
+// preferCoster makes one device strictly cheaper than the rest, pinning
+// the scheduler's first choice so the failover path is deterministic.
+type preferCoster struct {
+	preferred string
+}
+
+func (preferCoster) ParseStatus(json.RawMessage) sched.Status { return nil }
+
+func (pc preferCoster) Cost(_ *ActionRequest, deviceID string, st sched.Status) (time.Duration, sched.Status) {
+	if deviceID == pc.preferred {
+		return time.Millisecond, st
+	}
+	return 100 * time.Millisecond, st
+}
+
+// TestPartitionFailover partitions the preferred device off the simulated
+// network and submits a batch against it: every request's first attempt
+// fails to dial, every retry lands on the surviving device over the real
+// transport, and no outcome is lost. Run under -race this also exercises
+// the retry machinery's concurrency.
+func TestPartitionFailover(t *testing.T) {
+	e, clk, network := newRetryEngine(t, nil)
+
+	// Two real motes served over netsim.
+	for _, id := range []string{"m1", "m2"} {
+		lis, err := network.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := mote.New(id, geo.Point{}, clk, mote.Config{})
+		srv := device.Serve(lis, m)
+		t.Cleanup(func() { _ = srv.Close() })
+		if err := e.RegisterDevice(comm.DeviceInfo{
+			ID: id, Type: profile.DeviceSensor, Addr: id,
+		}, geo.Mount{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prof, _ := e.reg.Action(profile.ActionBeep)
+	def := &ActionDef{
+		Name:    "pbeep",
+		Profile: prof,
+		Coster:  preferCoster{preferred: "m1"},
+		Fn: func(ctx context.Context, actx *ActionContext, _ []any) (any, error) {
+			return actx.Engine.layer.Exec(ctx, actx.DeviceID, "beep", nil)
+		},
+	}
+	if err := e.RegisterUserAction(def); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition the preferred mote: dials to it now fail.
+	network.SetLink("m1", netsim.LinkConfig{Down: true})
+
+	op := e.operatorFor(def)
+	const n = 4
+	for i := 0; i < n; i++ {
+		op.submit(newRetryRequest(e, "m1", "m2"))
+	}
+	fireBatch(t, e, clk)
+
+	// The surviving mote's beep sleeps on the virtual clock; pump it
+	// while the outcomes trickle in.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(e.Outcomes()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d outcomes arrived; metrics=%+v", len(e.Outcomes()), n, e.Metrics())
+		}
+		clk.Advance(50 * time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+
+	outs := e.Outcomes()
+	if len(outs) != n {
+		t.Fatalf("%d outcomes for %d requests — lost or duplicated", len(outs), n)
+	}
+	seen := make(map[int64]bool)
+	for _, o := range outs {
+		if seen[o.RequestID] {
+			t.Errorf("request %d has more than one outcome", o.RequestID)
+		}
+		seen[o.RequestID] = true
+		if !o.OK() {
+			t.Errorf("request %d failed despite a surviving candidate: %v", o.RequestID, o.Err)
+			continue
+		}
+		if o.DeviceID != "m2" {
+			t.Errorf("request %d completed on %q, want the surviving mote m2", o.RequestID, o.DeviceID)
+		}
+		if o.Attempts != 2 {
+			t.Errorf("request %d attempts = %d, want 2 (failover from the partitioned mote)", o.RequestID, o.Attempts)
+		}
+	}
+	if m := e.Metrics(); m.Retries != n {
+		t.Errorf("metrics retries = %d, want %d", m.Retries, n)
+	}
+
+}

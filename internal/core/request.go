@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aorta/internal/comm"
+	"aorta/internal/devsync"
 	"aorta/internal/sched"
 )
 
@@ -38,6 +39,29 @@ type ActionRequest struct {
 	Deadline time.Time
 	// bind evaluates the action's argument list for the selected device.
 	bind func(deviceID string) ([]any, error)
+	// attempts counts execution attempts. It is only touched by the
+	// operator's retry state machine: retry rounds are sequential and a
+	// request sits in exactly one device sequence per round, so no two
+	// goroutines ever write it concurrently.
+	attempts int
+	// failed records the devices whose execution attempt for this request
+	// ended in a retryable failure; retries never return to them. The set
+	// is per-request: a device that transiently failed one request stays
+	// a candidate for the others.
+	failed *devsync.Exclusions
+}
+
+// markFailed excludes a device from this request's future retries.
+func (r *ActionRequest) markFailed(deviceID string, err error) {
+	if r.failed == nil {
+		r.failed = devsync.NewExclusions()
+	}
+	r.failed.Mark(deviceID, err)
+}
+
+// failedOn reports whether a device already failed this request.
+func (r *ActionRequest) failedOn(deviceID string) bool {
+	return r.failed != nil && r.failed.Excluded(deviceID)
 }
 
 // CandidateIDs returns the candidate device IDs in order.

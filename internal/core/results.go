@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
 
 	"aorta/internal/comm"
+	"aorta/internal/devsync"
 )
 
 // FailureKind classifies action failures for the §6.2 study.
@@ -19,6 +21,12 @@ const (
 	FailWrongPosition
 	FailStale
 	FailOther
+	// FailRetried marks a request that went through failover retries and
+	// still ended on a retryable (transient) failure: the attempt budget or
+	// the candidate set ran out before any device answered. Semantic
+	// failures (blurred, wrong-position) and deadline expiries keep their
+	// own kinds even after retries.
+	FailRetried
 )
 
 // String implements fmt.Stringer.
@@ -34,9 +42,31 @@ func (k FailureKind) String() string {
 		return "wrong-position"
 	case FailStale:
 		return "stale"
+	case FailRetried:
+		return "retried-exhausted"
 	default:
 		return "other"
 	}
+}
+
+// MarshalText renders the kind by name, so JSON consumers (aortad's
+// \metrics response) see readable failure-breakdown keys instead of enum
+// ordinals.
+func (k FailureKind) MarshalText() ([]byte, error) {
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText parses a kind name produced by MarshalText; unknown names
+// decode as FailOther so old clients survive new kinds.
+func (k *FailureKind) UnmarshalText(text []byte) error {
+	for kind := FailNone; kind <= FailRetried; kind++ {
+		if kind.String() == string(text) {
+			*k = kind
+			return nil
+		}
+	}
+	*k = FailOther
+	return nil
 }
 
 // classifyFailure maps an action error to its failure kind.
@@ -48,7 +78,7 @@ func classifyFailure(err error) FailureKind {
 		return FailBlurred
 	case errors.Is(err, ErrWrongPosition):
 		return FailWrongPosition
-	case errors.Is(err, ErrStale):
+	case errors.Is(err, ErrStale), errors.Is(err, ErrShutdown):
 		return FailStale
 	case errors.Is(err, comm.ErrTimeout), errors.Is(err, comm.ErrUnknownDevice),
 		errors.Is(err, comm.ErrUnreachable), errors.Is(err, errNoCandidates):
@@ -59,6 +89,44 @@ func classifyFailure(err error) FailureKind {
 			return FailConnect
 		}
 		return FailOther
+	}
+}
+
+// classifyOutcome is the retry-aware taxonomy: a request that was
+// re-dispatched at least once and still failed with a retryable error
+// reports FailRetried, so the §6.2-style studies can tell "transient
+// failure that failover could not absorb" from "first-attempt failure".
+func classifyOutcome(err error, attempts int, retryable bool) FailureKind {
+	if err != nil && attempts > 1 && (retryable || errors.Is(err, errNoCandidates)) {
+		return FailRetried
+	}
+	return classifyFailure(err)
+}
+
+// retryableFailure reports whether an attempt's failure class justifies
+// re-dispatching the request on another candidate device: transient
+// transport failures (connect/timeout/backoff), lock-lease loss mid-action
+// and device-reported busy. Semantic failures (blurred, wrong-position,
+// not-coverable), staleness, shutdown and context cancellation are
+// terminal — repeating them cannot change the cause.
+func retryableFailure(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, ErrStale), errors.Is(err, ErrShutdown), errors.Is(err, errNoCandidates):
+		return false
+	case errors.Is(err, ErrBlurred), errors.Is(err, ErrWrongPosition), errors.Is(err, ErrNotCoverable):
+		return false
+	case comm.Retryable(err):
+		return true
+	case errors.Is(err, devsync.ErrNotLocked):
+		return true // lock lease lost mid-action: the result is untrusted
+	case errors.Is(err, ErrDeviceBusy):
+		return true
+	default:
+		return false
 	}
 }
 
@@ -75,6 +143,11 @@ type Outcome struct {
 	Result  any
 	Err     error
 	Failure FailureKind
+	// Attempts is how many execution attempts the request consumed; values
+	// above 1 mean failover re-dispatched it after a transient failure.
+	// Zero means the request never reached a device (no candidates, or
+	// drained at shutdown).
+	Attempts int
 }
 
 // OK reports whether the action succeeded.
@@ -87,6 +160,8 @@ type EngineMetrics struct {
 	successes int64
 	failures  map[FailureKind]int64
 	latencies time.Duration
+	retries   int64
+	dropped   int64
 }
 
 func newEngineMetrics() *EngineMetrics {
@@ -102,6 +177,12 @@ func (m *EngineMetrics) record(o *Outcome) {
 	} else {
 		m.failures[o.Failure]++
 	}
+	if o.Attempts > 1 {
+		m.retries += int64(o.Attempts - 1)
+	}
+	if errors.Is(o.Err, ErrShutdown) {
+		m.dropped++
+	}
 	m.latencies += o.Latency
 }
 
@@ -114,6 +195,12 @@ type MetricsSnapshot struct {
 	FailureRate float64
 	// MeanLatency is the mean event-to-completion latency.
 	MeanLatency time.Duration
+	// Retries counts failover re-dispatches: execution attempts beyond the
+	// first, summed over all requests.
+	Retries int64
+	// Dropped counts requests drained at engine shutdown (they still
+	// produce an Outcome, failed with ErrShutdown).
+	Dropped int64
 }
 
 // Snapshot returns a copy of the current counters.
@@ -124,6 +211,8 @@ func (m *EngineMetrics) Snapshot() MetricsSnapshot {
 		Requests:  m.requests,
 		Successes: m.successes,
 		Failures:  make(map[FailureKind]int64, len(m.failures)),
+		Retries:   m.retries,
+		Dropped:   m.dropped,
 	}
 	var failed int64
 	for k, v := range m.failures {

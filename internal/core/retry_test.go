@@ -1,0 +1,331 @@
+package core
+
+// White-box tests of the shared action operator's retry state machine:
+// deterministic Manual-clock tests drive submit/dispatch directly with
+// synthetic requests and a scripted action implementation, so every
+// failure, retry round and deadline is exact — no sleeps, no flake.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/vclock"
+)
+
+// newRetryEngine builds a started engine on a Manual clock with probing
+// disabled, so dispatch trusts the request's candidate set and the test's
+// action function sees every execution attempt.
+func newRetryEngine(t *testing.T, mut func(*Config)) (*Engine, *vclock.Manual, *netsim.Network) {
+	t.Helper()
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	network := netsim.NewNetwork(clk, 1)
+	cfg := Config{
+		Clock:          clk,
+		Dialer:         network,
+		DisableProbing: true,
+		BatchWindow:    10 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Stop)
+	return e, clk, network
+}
+
+// registerRetryAction installs a test action borrowing the beep profile.
+func registerRetryAction(t *testing.T, e *Engine, name string, fn ActionFunc) *ActionDef {
+	t.Helper()
+	prof, ok := e.reg.Action(profile.ActionBeep)
+	if !ok {
+		t.Fatal("no beep profile in default registry")
+	}
+	def := &ActionDef{Name: name, Profile: prof, Fn: fn, Coster: &FixedCoster{Duration: 50 * time.Millisecond}}
+	if err := e.RegisterUserAction(def); err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+// newRetryRequest builds a synthetic request over the given candidates.
+func newRetryRequest(e *Engine, candidates ...string) *ActionRequest {
+	var cs []CandidateDevice
+	for _, c := range candidates {
+		cs = append(cs, CandidateDevice{ID: c})
+	}
+	return &ActionRequest{
+		ID:         e.nextRequestID(),
+		QueryID:    1,
+		Query:      "test",
+		Action:     "testact",
+		EventKey:   "ev",
+		Candidates: cs,
+		CreatedAt:  e.clk.Now(),
+		bind:       func(string) ([]any, error) { return nil, nil },
+	}
+}
+
+// fireBatch releases the operator's armed batch window: it waits for the
+// batch goroutine to block on the Manual clock, then advances past the
+// window.
+func fireBatch(t *testing.T, e *Engine, clk *vclock.Manual) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch goroutine never armed its window timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(e.cfg.BatchWindow + time.Millisecond)
+}
+
+// awaitOutcomes polls until n outcomes are recorded.
+func awaitOutcomes(t *testing.T, e *Engine, n int) []*Outcome {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(e.Outcomes()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d outcomes arrived", len(e.Outcomes()), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return e.Outcomes()
+}
+
+// TestShutdownDrainsPendingBatch: requests sitting in an open batch
+// window when the engine stops must not vanish — each is finished with
+// ErrShutdown, so submitters still observe exactly one outcome per
+// request.
+func TestShutdownDrainsPendingBatch(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, func(c *Config) { c.BatchWindow = time.Hour })
+	def := registerRetryAction(t, e, "testact", func(context.Context, *ActionContext, []any) (any, error) {
+		t.Error("action executed; shutdown drain should have preempted it")
+		return nil, nil
+	})
+	op := e.operatorFor(def)
+	const n = 3
+	for i := 0; i < n; i++ {
+		op.submit(newRetryRequest(e, "dev-1"))
+	}
+	// The batch goroutine is blocked on the hour-long window; stop the
+	// engine while it waits.
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch goroutine never armed its window timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+
+	outs := e.Outcomes()
+	if len(outs) != n {
+		t.Fatalf("got %d outcomes, want %d", len(outs), n)
+	}
+	for _, o := range outs {
+		if !errors.Is(o.Err, ErrShutdown) {
+			t.Errorf("outcome err = %v, want ErrShutdown", o.Err)
+		}
+		if o.Failure != FailStale {
+			t.Errorf("outcome failure = %v, want FailStale", o.Failure)
+		}
+		if o.Attempts != 0 {
+			t.Errorf("outcome attempts = %d, want 0 (never reached a device)", o.Attempts)
+		}
+	}
+	if m := e.Metrics(); m.Dropped != n {
+		t.Errorf("metrics dropped = %d, want %d", m.Dropped, n)
+	}
+}
+
+// TestFailoverAfterTimeout: a device that accepts the dispatch but times
+// out mid-action (the probed-fine-then-hung camera) must not fail the
+// request — the operator re-schedules it on the remaining candidate.
+func TestFailoverAfterTimeout(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, nil)
+	var mu sync.Mutex
+	var tried []string
+	def := registerRetryAction(t, e, "testact", func(_ context.Context, actx *ActionContext, _ []any) (any, error) {
+		mu.Lock()
+		tried = append(tried, actx.DeviceID)
+		mu.Unlock()
+		if actx.Attempt == 1 {
+			return nil, fmt.Errorf("capture: %w", comm.ErrTimeout)
+		}
+		return "captured", nil
+	})
+	op := e.operatorFor(def)
+	op.submit(newRetryRequest(e, "cam-1", "cam-2"))
+	fireBatch(t, e, clk)
+	outs := awaitOutcomes(t, e, 1)
+
+	o := outs[0]
+	if !o.OK() {
+		t.Fatalf("outcome failed: %v", o.Err)
+	}
+	if o.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", o.Attempts)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(tried) != 2 || tried[0] == tried[1] {
+		t.Errorf("tried devices %v, want two distinct candidates", tried)
+	}
+	if o.DeviceID != tried[1] {
+		t.Errorf("outcome device = %q, want the failover device %q", o.DeviceID, tried[1])
+	}
+	if m := e.Metrics(); m.Retries != 1 {
+		t.Errorf("metrics retries = %d, want 1", m.Retries)
+	}
+}
+
+// TestAttemptBudgetExhaustion: MaxAttempts bounds failover. With three
+// candidates but a budget of two, the request stops after the second
+// failure and reports the retry-aware failure kind.
+func TestAttemptBudgetExhaustion(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, func(c *Config) { c.MaxAttempts = 2 })
+	var mu sync.Mutex
+	tried := make(map[string]int)
+	def := registerRetryAction(t, e, "testact", func(_ context.Context, actx *ActionContext, _ []any) (any, error) {
+		mu.Lock()
+		tried[actx.DeviceID]++
+		mu.Unlock()
+		return nil, fmt.Errorf("dial: %w", comm.ErrUnreachable)
+	})
+	op := e.operatorFor(def)
+	op.submit(newRetryRequest(e, "d1", "d2", "d3"))
+	fireBatch(t, e, clk)
+	outs := awaitOutcomes(t, e, 1)
+
+	o := outs[0]
+	if o.OK() {
+		t.Fatal("outcome succeeded; every attempt should fail")
+	}
+	if o.Attempts != 2 {
+		t.Errorf("attempts = %d, want exactly the budget of 2", o.Attempts)
+	}
+	if o.Failure != FailRetried {
+		t.Errorf("failure = %v, want FailRetried", o.Failure)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(tried) != 2 {
+		t.Errorf("tried %v, want two distinct devices", tried)
+	}
+	for dev, n := range tried {
+		if n != 1 {
+			t.Errorf("device %s attempted %d times, want 1 (retries go somewhere new)", dev, n)
+		}
+	}
+}
+
+// TestDeadlineExpiryDuringRetry: a retry never fires a stale action.
+// When the deadline passes between the failed attempt and the retry
+// round, the request fails with ErrStale instead of re-dispatching.
+func TestDeadlineExpiryDuringRetry(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, nil)
+	var attempts int
+	var mu sync.Mutex
+	def := registerRetryAction(t, e, "testact", func(context.Context, *ActionContext, []any) (any, error) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		// The attempt drags past the request's deadline before failing.
+		clk.Advance(time.Hour)
+		return nil, fmt.Errorf("dial: %w", comm.ErrUnreachable)
+	})
+	op := e.operatorFor(def)
+	req := newRetryRequest(e, "d1", "d2")
+	req.Deadline = e.clk.Now().Add(time.Minute)
+	op.submit(req)
+	fireBatch(t, e, clk)
+	outs := awaitOutcomes(t, e, 1)
+
+	o := outs[0]
+	if !errors.Is(o.Err, ErrStale) {
+		t.Errorf("err = %v, want ErrStale", o.Err)
+	}
+	if o.Failure != FailStale {
+		t.Errorf("failure = %v, want FailStale", o.Failure)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry after the deadline)", attempts)
+	}
+	if o.Attempts != 1 {
+		t.Errorf("outcome attempts = %d, want 1", o.Attempts)
+	}
+}
+
+// TestMetricsSnapshotJSON: the failure breakdown marshals by kind name
+// (what aortactl's \metrics shows) and round-trips back into the typed
+// snapshot.
+func TestMetricsSnapshotJSON(t *testing.T) {
+	snap := MetricsSnapshot{
+		Requests:  10,
+		Successes: 7,
+		Failures:  map[FailureKind]int64{FailConnect: 1, FailRetried: 2},
+		Retries:   3,
+		Dropped:   1,
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"retried-exhausted":2`, `"connect/timeout":1`, `"Retries":3`, `"Dropped":1`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("marshaled snapshot missing %s:\n%s", want, data)
+		}
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Failures[FailRetried] != 2 || back.Failures[FailConnect] != 1 {
+		t.Errorf("round-trip lost failure kinds: %+v", back.Failures)
+	}
+}
+
+// TestQueryForgottenOnDrop: DROP AQ and STOP AQ must unregister the query
+// from the shared operators' sharing sets (satellite of the unbounded
+// growth bug).
+func TestQueryForgottenOnDrop(t *testing.T) {
+	e, _, _ := newRetryEngine(t, nil)
+	def := registerRetryAction(t, e, "testact", func(context.Context, *ActionContext, []any) (any, error) {
+		return nil, nil
+	})
+	op := e.operatorFor(def)
+	for qid := 1; qid <= 5; qid++ {
+		req := newRetryRequest(e, "d1")
+		req.QueryID = qid
+		op.mu.Lock()
+		op.queries[req.QueryID] = true // what submit does, minus the batch
+		op.mu.Unlock()
+	}
+	if got := op.SharedBy(); got != 5 {
+		t.Fatalf("SharedBy = %d, want 5", got)
+	}
+	for qid := 1; qid <= 5; qid++ {
+		e.forgetQuery(qid)
+	}
+	if got := op.SharedBy(); got != 0 {
+		t.Errorf("SharedBy after forgetting all queries = %d, want 0", got)
+	}
+}

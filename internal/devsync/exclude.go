@@ -1,0 +1,60 @@
+package devsync
+
+import (
+	"sort"
+	"sync"
+)
+
+// Exclusions tracks devices that failed *during execution* of a dispatch
+// round, after the probing mechanism already vouched for them. The paper's
+// probing (§4) only protects the window before scheduling; a device that
+// dies between probe and action would otherwise be re-selected by every
+// retry round. Marking it here removes it from the residual candidate
+// sets, so failover always moves to a different device. Safe for
+// concurrent use by the per-device executor goroutines.
+type Exclusions struct {
+	mu     sync.Mutex
+	failed map[string]error
+}
+
+// NewExclusions returns an empty exclusion set.
+func NewExclusions() *Exclusions {
+	return &Exclusions{failed: make(map[string]error)}
+}
+
+// Mark records that id failed with err; later Excluded(id) calls report
+// true. The first error per device is kept.
+func (x *Exclusions) Mark(id string, err error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, dup := x.failed[id]; !dup {
+		x.failed[id] = err
+	}
+}
+
+// Excluded reports whether id has been marked failed.
+func (x *Exclusions) Excluded(id string) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	_, ok := x.failed[id]
+	return ok
+}
+
+// Len returns the number of excluded devices.
+func (x *Exclusions) Len() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.failed)
+}
+
+// IDs returns the excluded device IDs, sorted for deterministic logging.
+func (x *Exclusions) IDs() []string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]string, 0, len(x.failed))
+	for id := range x.failed {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,52 @@
+package devsync
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestExclusionsBasics(t *testing.T) {
+	x := NewExclusions()
+	if x.Len() != 0 || x.Excluded("cam-1") {
+		t.Fatal("fresh exclusion set is not empty")
+	}
+	first := errors.New("dial failed")
+	x.Mark("cam-1", first)
+	x.Mark("cam-1", errors.New("later failure"))
+	x.Mark("cam-2", nil)
+	if !x.Excluded("cam-1") || !x.Excluded("cam-2") {
+		t.Error("marked devices not excluded")
+	}
+	if x.Excluded("cam-3") {
+		t.Error("unmarked device excluded")
+	}
+	if x.Len() != 2 {
+		t.Errorf("Len = %d, want 2", x.Len())
+	}
+	ids := x.IDs()
+	if len(ids) != 2 || ids[0] != "cam-1" || ids[1] != "cam-2" {
+		t.Errorf("IDs = %v, want sorted [cam-1 cam-2]", ids)
+	}
+}
+
+func TestExclusionsConcurrent(t *testing.T) {
+	x := NewExclusions()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids := []string{"a", "b", "c", "d"}
+			for j := 0; j < 100; j++ {
+				x.Mark(ids[(i+j)%len(ids)], errors.New("x"))
+				_ = x.Excluded(ids[j%len(ids)])
+				_ = x.IDs()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if x.Len() != 4 {
+		t.Errorf("Len = %d, want 4", x.Len())
+	}
+}

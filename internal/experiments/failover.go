@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"aorta/internal/core"
+	"aorta/internal/lab"
+	"aorta/internal/netsim"
+)
+
+// FailoverConfig controls the failure-aware execution study: the §6.2
+// empirical setup (photo queries on the two-camera lab) with transient
+// dial failures injected on the camera links, run once with failover
+// disabled (MaxAttempts 1, the paper's one-shot execution) and once with
+// candidate failover enabled.
+type FailoverConfig struct {
+	// Minutes is the virtual duration of each run.
+	Minutes int
+	// Queries is the number of photo queries, one per mote.
+	Queries int
+	// Cameras is the camera count. The default two-camera lab places
+	// every mote inside both view envelopes, so each request has two
+	// candidates and failover always has somewhere to go.
+	Cameras int
+	// ClockScale speeds up the runs.
+	ClockScale float64
+	// DialFailProb is the per-dial failure probability on camera links —
+	// the transient unreachability the retry machinery absorbs.
+	DialFailProb float64
+	// MaxAttempts is the attempt budget of the failover run.
+	MaxAttempts int
+	// Seed drives fault randomness.
+	Seed int64
+}
+
+// DefaultFailoverConfig sizes the study so the binomial noise on the
+// failure-rate reduction stays well under the effect size.
+func DefaultFailoverConfig() FailoverConfig {
+	return FailoverConfig{
+		Minutes:      20,
+		Queries:      10,
+		Cameras:      2,
+		ClockScale:   150,
+		DialFailProb: 0.2,
+		MaxAttempts:  core.DefaultMaxAttempts,
+		Seed:         2005,
+	}
+}
+
+// FailoverRun is the outcome of one run of the study.
+type FailoverRun struct {
+	// MaxAttempts is the per-request attempt budget of this run.
+	MaxAttempts int
+	Requests    int64
+	Successes   int64
+	FailureRate float64
+	Failures    map[core.FailureKind]int64
+	// Retries is the number of failover re-dispatches performed.
+	Retries int64
+	// Outcomes is the number of recorded outcomes; the no-lost-outcome
+	// guarantee makes it equal Requests.
+	Outcomes int64
+}
+
+// FailoverStudy measures what candidate failover buys under transient
+// device unreachability. Probing is disabled and the transport pool is
+// bypassed so every action execution dials its camera fresh, exposing it
+// to DialFailProb — the post-probe failure window that probing (paper §4)
+// cannot cover. Without failover a dial failure is a lost action; with it
+// the request is re-scheduled on the surviving camera, so only requests
+// whose every candidate fails are lost (≈ DialFailProb² with two
+// cameras, a >50% failure-rate reduction at any DialFailProb < 1).
+func FailoverStudy(cfg FailoverConfig) (without, with *FailoverRun, err error) {
+	without, err = runFailover(cfg, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 1 {
+		maxAttempts = core.DefaultMaxAttempts
+	}
+	with, err = runFailover(cfg, maxAttempts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return without, with, nil
+}
+
+func runFailover(cfg FailoverConfig, maxAttempts int) (*FailoverRun, error) {
+	ecfg := core.Config{
+		MaxAttempts: maxAttempts,
+		// Probing covers pre-scheduling failures; this study isolates the
+		// post-probe window, so every injected fault lands at execute time.
+		DisableProbing: true,
+		// Bypass the transport pool: each photo action dials its camera
+		// fresh and samples DialFailProb. (Camera scans read only static
+		// attributes and never dial.)
+		PoolMaxSessions: -1,
+		// No dial-failure cache: dials stay independent trials, keeping
+		// the run's statistics clean.
+		DialBackoff: -1,
+		// Same rationale as the sync study: at high clock scales the
+		// default batch window is below goroutine-scheduling jitter.
+		BatchWindow: 2 * time.Second,
+	}
+
+	l, err := lab.New(lab.Config{
+		Cameras:    cfg.Cameras,
+		Motes:      cfg.Queries,
+		ClockScale: cfg.ClockScale,
+		Seed:       cfg.Seed,
+		CameraLink: netsim.LinkConfig{DialFailProb: cfg.DialFailProb},
+		Engine:     ecfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+
+	ctx := context.Background()
+	if err := l.Engine.Start(ctx); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= cfg.Queries; i++ {
+		sql := fmt.Sprintf(`CREATE AQ fail%d AS
+			SELECT photo(c.ip, s.loc, "photos/failover")
+			FROM sensor s, camera c
+			WHERE s.accel_x > 500 AND s.id = "mote-%d" AND coverage(c.id, s.loc)
+			EVERY "60s"`, i, i)
+		if _, err := l.Engine.Exec(ctx, sql); err != nil {
+			return nil, err
+		}
+	}
+	total := time.Duration(cfg.Minutes)*time.Minute + 2*time.Minute
+	for i := 0; i < cfg.Queries; i++ {
+		l.StimulateMote(i, 900, total)
+	}
+
+	wall := time.Duration(float64(time.Duration(cfg.Minutes)*time.Minute+30*time.Second) / cfg.ClockScale)
+	time.Sleep(wall)
+	expected := int64(cfg.Queries * (cfg.Minutes - 1))
+	deadline := time.Now().Add(5 * wall)
+	for time.Now().Before(deadline) && l.Engine.Metrics().Requests < expected {
+		time.Sleep(wall / 10)
+	}
+	l.Engine.Stop()
+
+	m := l.Engine.Metrics()
+	return &FailoverRun{
+		MaxAttempts: maxAttempts,
+		Requests:    m.Requests,
+		Successes:   m.Successes,
+		FailureRate: m.FailureRate,
+		Failures:    m.Failures,
+		Retries:     m.Retries,
+		Outcomes:    int64(len(l.Engine.Outcomes())),
+	}, nil
+}
+
+// PrintFailoverStudy renders the comparison.
+func PrintFailoverStudy(w io.Writer, without, with *FailoverRun) {
+	fmt.Fprintln(w, "Failure-aware execution — transient camera faults, 2-camera lab")
+	fmt.Fprintf(w, "%-26s%10s%10s%12s%9s  %s\n", "Configuration", "Requests", "Failed", "FailRate", "Retries", "Breakdown")
+	for _, r := range []*FailoverRun{without, with} {
+		name := "failover off (1 attempt)"
+		if r.MaxAttempts > 1 {
+			name = fmt.Sprintf("failover on (%d attempts)", r.MaxAttempts)
+		}
+		failed := r.Requests - r.Successes
+		fmt.Fprintf(w, "%-26s%10d%10d%11.0f%%%9d  %v\n",
+			name, r.Requests, failed, r.FailureRate*100, r.Retries, formatFailures(r.Failures))
+	}
+	if without.FailureRate > 0 {
+		fmt.Fprintf(w, "failure-rate reduction: %.0f%%\n",
+			(1-with.FailureRate/without.FailureRate)*100)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"aorta/internal/core"
+)
+
+// TestFailoverStudy checks what candidate failover buys under transient
+// camera unreachability: with two candidate cameras and per-dial failure
+// probability p, one-shot execution loses ≈p of the actions while
+// failover loses only ≈p² — a reduction of 1−p, far above 50%.
+func TestFailoverStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("virtual-minutes experiment")
+	}
+	cfg := DefaultFailoverConfig()
+	cfg.Minutes = 12
+	if raceEnabled {
+		// The race detector slows execution ~10-20x; keep the virtual
+		// workload deliverable at the cost of wider binomial noise.
+		cfg.ClockScale = 25
+		cfg.Minutes = 8
+	}
+	without, with, err := FailoverStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minReqs := int64(cfg.Queries * (cfg.Minutes - 2))
+	if without.Requests < minReqs || with.Requests < minReqs {
+		t.Fatalf("runs under-delivered: without=%d with=%d, want ≥%d",
+			without.Requests, with.Requests, minReqs)
+	}
+
+	// No lost outcomes: every request the metrics counted is in the log.
+	if without.Outcomes != without.Requests {
+		t.Errorf("failover-off run: %d outcomes for %d requests", without.Outcomes, without.Requests)
+	}
+	if with.Outcomes != with.Requests {
+		t.Errorf("failover-on run: %d outcomes for %d requests", with.Outcomes, with.Requests)
+	}
+
+	if without.FailureRate == 0 {
+		t.Fatal("fault injection produced no failures; study is vacuous")
+	}
+	if with.Retries == 0 {
+		t.Error("failover run performed no retries; faults never reached the retry machinery")
+	}
+	reduction := 1 - with.FailureRate/without.FailureRate
+	if reduction < 0.5 {
+		t.Errorf("failover reduced the failure rate by only %.0f%% (%.1f%% → %.1f%%), want ≥50%%",
+			reduction*100, without.FailureRate*100, with.FailureRate*100)
+	}
+	// The surviving failures of the failover run are the ones whose every
+	// candidate failed — the retry-aware taxonomy marks them.
+	if with.Requests-with.Successes > 0 && with.Failures[core.FailRetried] == 0 {
+		t.Logf("failover run failures: %v (no FailRetried — all terminal-by-kind)", with.Failures)
+	}
+
+	var sb strings.Builder
+	PrintFailoverStudy(&sb, without, with)
+	if !strings.Contains(sb.String(), "failover on") || !strings.Contains(sb.String(), "reduction") {
+		t.Errorf("table missing rows:\n%s", sb.String())
+	}
+}

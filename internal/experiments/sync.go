@@ -76,7 +76,15 @@ func runSync(cfg SyncConfig, synchronized bool) (*SyncRun, error) {
 	if !synchronized {
 		ecfg.DisableLocking = true
 		ecfg.DisableProbing = true
+		// The paper's unsynchronized system had no serialization at all:
+		// concurrent requests drove the cameras simultaneously. The engine
+		// now runs device sequences in order even without locks, so the
+		// ablation flag restores the §6.2 interference behavior.
+		ecfg.InterferenceAblation = true
 	}
+	// The paper's system had no failover: each request fired once on its
+	// scheduled camera. Keep the study faithful on both sides.
+	ecfg.MaxAttempts = 1
 	// Busy-state exclusion is part of probing; with probing on, a camera
 	// still serving the previous batch is skipped rather than corrupted.
 	ecfg.ScheduleBusyDevices = !synchronized
@@ -169,7 +177,7 @@ func formatFailures(m map[core.FailureKind]int64) string {
 		return "none"
 	}
 	out := ""
-	for _, k := range []core.FailureKind{core.FailConnect, core.FailBlurred, core.FailWrongPosition, core.FailStale, core.FailOther} {
+	for _, k := range []core.FailureKind{core.FailConnect, core.FailBlurred, core.FailWrongPosition, core.FailStale, core.FailRetried, core.FailOther} {
 		if n := m[k]; n > 0 {
 			if out != "" {
 				out += " "

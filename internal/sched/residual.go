@@ -1,0 +1,55 @@
+package sched
+
+// Residual builds the scheduling problem of a failover retry round: the
+// surviving requests are re-scheduled over their remaining candidate
+// devices, reusing the statuses the probing mechanism collected for the
+// original round — a retry must not pay a second probe round trip per
+// device. excluded reports devices no longer eligible for a given
+// request (typically the ones whose execution attempt for that request
+// already failed); they are removed from the request's candidate set.
+// Exclusion is per-request, not global: a device that transiently failed
+// one request stays a legitimate candidate for every other, so one flaky
+// dial cannot starve a whole batch. Devices excluded from every
+// surviving request drop out of the problem's device list.
+//
+// Requests whose candidate set becomes empty cannot be retried; they are
+// returned in starved for the caller to fail explicitly. The residual
+// problem is nil when no request survives. Request values are cloned —
+// the previous problem and its assignment stay valid.
+func Residual(prev *Problem, retry []*Request, excluded func(*Request, DeviceID) bool) (residual *Problem, starved []*Request) {
+	if prev == nil || len(retry) == 0 {
+		return nil, nil
+	}
+	devSet := make(map[DeviceID]bool)
+	var reqs []*Request
+	for _, r := range retry {
+		var cands []DeviceID
+		for _, c := range r.Candidates {
+			if excluded != nil && excluded(r, c) {
+				continue
+			}
+			cands = append(cands, c)
+			devSet[c] = true
+		}
+		if len(cands) == 0 {
+			starved = append(starved, r)
+			continue
+		}
+		clone := *r
+		clone.Candidates = cands
+		reqs = append(reqs, &clone)
+	}
+	if len(reqs) == 0 {
+		return nil, starved
+	}
+	// Keep the previous problem's device order for determinism.
+	var devices []DeviceID
+	initial := make(map[DeviceID]Status, len(devSet))
+	for _, d := range prev.Devices {
+		if devSet[d] {
+			devices = append(devices, d)
+			initial[d] = prev.Initial[d]
+		}
+	}
+	return NewProblem(reqs, devices, initial, prev.est), starved
+}

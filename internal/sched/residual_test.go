@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+type flatEst struct{}
+
+func (flatEst) Estimate(*Request, DeviceID, Status) (time.Duration, Status) {
+	return time.Second, nil
+}
+
+func residualFixture() (*Problem, []*Request) {
+	r1 := &Request{ID: 1, Candidates: []DeviceID{"a", "b"}}
+	r2 := &Request{ID: 2, Candidates: []DeviceID{"a"}}
+	r3 := &Request{ID: 3, Candidates: []DeviceID{"b", "c"}}
+	p := NewProblem(
+		[]*Request{r1, r2, r3},
+		[]DeviceID{"a", "b", "c"},
+		map[DeviceID]Status{"a": "sa", "b": "sb", "c": "sc"},
+		flatEst{},
+	)
+	return p, []*Request{r1, r2, r3}
+}
+
+func TestResidualFiltersPerRequest(t *testing.T) {
+	p, reqs := residualFixture()
+	// r1 failed on "a", r2 failed on "a" (its only candidate), r3 is fine.
+	failed := map[int]DeviceID{1: "a", 2: "a"}
+	res, starved := Residual(p, reqs, func(r *Request, d DeviceID) bool {
+		return failed[r.ID] == d
+	})
+	if res == nil {
+		t.Fatal("nil residual")
+	}
+	if len(starved) != 1 || starved[0].ID != 2 {
+		t.Fatalf("starved = %v, want exactly request 2", starved)
+	}
+	if len(res.Requests) != 2 {
+		t.Fatalf("residual has %d requests, want 2", len(res.Requests))
+	}
+	// r1 lost "a" but keeps "b"; exclusion is per-request so r3 keeps all.
+	for _, r := range res.Requests {
+		switch r.ID {
+		case 1:
+			if len(r.Candidates) != 1 || r.Candidates[0] != "b" {
+				t.Errorf("request 1 candidates = %v, want [b]", r.Candidates)
+			}
+		case 3:
+			if len(r.Candidates) != 2 {
+				t.Errorf("request 3 candidates = %v, want both survivors", r.Candidates)
+			}
+		}
+	}
+	// Device "a" is gone from the device list; statuses are reused.
+	for _, d := range res.Devices {
+		if d == "a" {
+			t.Error("excluded-for-everyone device a still in residual device list")
+		}
+	}
+	if res.Initial["b"] != "sb" || res.Initial["c"] != "sc" {
+		t.Errorf("probed statuses not reused: %v", res.Initial)
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("residual invalid: %v", err)
+	}
+}
+
+func TestResidualCloneLeavesOriginalIntact(t *testing.T) {
+	p, reqs := residualFixture()
+	res, _ := Residual(p, reqs[:1], func(_ *Request, d DeviceID) bool { return d == "a" })
+	if res == nil {
+		t.Fatal("nil residual")
+	}
+	if len(reqs[0].Candidates) != 2 {
+		t.Errorf("original request mutated: candidates = %v", reqs[0].Candidates)
+	}
+	if len(p.Devices) != 3 {
+		t.Errorf("original problem mutated: devices = %v", p.Devices)
+	}
+}
+
+func TestResidualAllStarved(t *testing.T) {
+	p, reqs := residualFixture()
+	res, starved := Residual(p, reqs, func(*Request, DeviceID) bool { return true })
+	if res != nil {
+		t.Errorf("residual = %+v, want nil when nothing survives", res)
+	}
+	if len(starved) != 3 {
+		t.Errorf("starved %d requests, want all 3", len(starved))
+	}
+}
+
+func TestResidualEmptyInputs(t *testing.T) {
+	p, reqs := residualFixture()
+	if res, starved := Residual(nil, reqs, nil); res != nil || starved != nil {
+		t.Error("nil problem must yield nothing")
+	}
+	if res, starved := Residual(p, nil, nil); res != nil || starved != nil {
+		t.Error("empty retry set must yield nothing")
+	}
+}
