@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench churn-smoke clean
 
 all: build vet test
 
@@ -10,13 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Shuffled so test-order coupling (shared detector/breaker state would be
+# the classic offender) cannot hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The transport pool is exercised heavily by concurrent scans/probes;
 # keep the race detector in the default CI gate.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# A short end-to-end churn run: kill/revive cameras mid-workload and
+# check the failure detector's numbers print sanely.
+churn-smoke:
+	$(GO) run ./cmd/aortabench -exp churn -minutes 3
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -12,6 +12,7 @@ import (
 	"aorta/internal/device/phone"
 	"aorta/internal/geo"
 	"aorta/internal/lab"
+	"aorta/internal/liveness"
 	"aorta/internal/netsim"
 	"aorta/internal/profile"
 	"aorta/internal/vclock"
@@ -100,6 +101,8 @@ const (
 	FailWrongPosition = core.FailWrongPosition
 	FailStale         = core.FailStale
 	FailOther         = core.FailOther
+	FailRetried       = core.FailRetried
+	FailNoDevice      = core.FailNoDevice
 )
 
 // Built-in device type names.
@@ -107,6 +110,20 @@ const (
 	DeviceCamera = profile.DeviceCamera
 	DeviceSensor = profile.DeviceSensor
 	DevicePhone  = profile.DevicePhone
+)
+
+// LivenessState is a device's failure-detector state.
+type LivenessState = liveness.State
+
+// DeviceHealth is one device's failure-detector view (state, failure
+// streak, since-when), as returned by Engine.LivenessSnapshot.
+type DeviceHealth = liveness.DeviceHealth
+
+// Failure-detector states reported in Engine.LivenessSnapshot.
+const (
+	DeviceUp      = liveness.Up
+	DeviceSuspect = liveness.Suspect
+	DeviceDown    = liveness.Down
 )
 
 // NewEngine builds an engine over a custom transport. Most applications

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|all")
+		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|all")
 		runs    = flag.Int("runs", 10, "independent runs per data point (paper: 10)")
 		seed    = flag.Int64("seed", 2005, "random seed")
 		cameras = flag.Int("cameras", 10, "camera count for the scheduling studies (paper: 10)")
@@ -152,8 +152,20 @@ func run(exp string, runs int, seed int64, cameras, minutes int) error {
 		experiments.PrintFailoverStudy(out, without, with)
 		fmt.Fprintln(out)
 	}
+	if all || wanted["churn"] {
+		ran = true
+		ccfg := experiments.DefaultChurnConfig()
+		ccfg.Minutes = minutes * 2 // each outage must span several epochs
+		ccfg.Seed = seed
+		baseline, withDetector, err := experiments.ChurnStudy(ccfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintChurnStudy(out, baseline, withDetector)
+		fmt.Fprintln(out)
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|all)", exp)
 	}
 	return nil
 }

@@ -93,7 +93,10 @@ func printResponse(w io.Writer, data []byte) {
 		Names   []string         `json:"names"`
 		Metrics map[string]any   `json:"metrics"`
 		Comm    map[string]any   `json:"comm"`
-		Photos  []map[string]any `json:"photos"`
+		// Liveness keys device ID → failure-detector health (state,
+		// consecutive_failures, since).
+		Liveness map[string]map[string]any `json:"liveness"`
+		Photos   []map[string]any          `json:"photos"`
 	}
 	if err := json.Unmarshal(data, &resp); err != nil {
 		fmt.Fprintln(w, string(data))
@@ -118,6 +121,19 @@ func printResponse(w io.Writer, data []byte) {
 		if resp.Comm != nil {
 			out, _ := json.MarshalIndent(resp.Comm, "", "  ")
 			fmt.Fprintln(w, "comm:", string(out))
+		}
+		if len(resp.Liveness) > 0 {
+			ids := make([]string, 0, len(resp.Liveness))
+			for id := range resp.Liveness {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			fmt.Fprintln(w, "liveness:")
+			for _, id := range ids {
+				h := resp.Liveness[id]
+				fmt.Fprintf(w, "  %s: %v (consecutive failures %v)\n",
+					id, h["state"], h["consecutive_failures"])
+			}
 		}
 	case resp.Message != "":
 		fmt.Fprintln(w, resp.Message)

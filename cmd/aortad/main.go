@@ -37,6 +37,7 @@ import (
 	"aorta/internal/core"
 	"aorta/internal/geo"
 	"aorta/internal/lab"
+	"aorta/internal/liveness"
 	"aorta/internal/manifest"
 	"aorta/internal/netsim"
 	"aorta/internal/vclock"
@@ -73,10 +74,15 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
 
+	// Long-running daemons need the active health prober: a device whose
+	// traffic has been shed by the failure detector produces no passive
+	// evidence, so probing is its only road back to Up.
+	const probeInterval = 5 * time.Second
+
 	if devicesPath == "" {
 		l, err := lab.New(lab.Config{
 			Cameras: cameras, Motes: motes, Phones: phones, ClockScale: scale,
-			Engine: core.Config{Logger: logger},
+			Engine: core.Config{Logger: logger, LivenessProbeInterval: probeInterval},
 		})
 		if err != nil {
 			return err
@@ -92,9 +98,10 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 			return err
 		}
 		eng, err := core.New(core.Config{
-			Clock:  vclock.Real{},
-			Dialer: &netsim.TCP{Timeout: 2 * time.Second},
-			Logger: logger,
+			Clock:                 vclock.Real{},
+			Dialer:                &netsim.TCP{Timeout: 2 * time.Second},
+			Logger:                logger,
+			LivenessProbeInterval: probeInterval,
 		})
 		if err != nil {
 			return err
@@ -163,7 +170,9 @@ type response struct {
 	Names   []string              `json:"names,omitempty"`
 	Metrics *core.MetricsSnapshot `json:"metrics,omitempty"`
 	Comm    *comm.MetricsSnapshot `json:"comm,omitempty"`
-	Photos  []photoInfo           `json:"photos,omitempty"`
+	// Liveness is the failure detector's per-device health view.
+	Liveness map[string]liveness.DeviceHealth `json:"liveness,omitempty"`
+	Photos   []photoInfo                      `json:"photos,omitempty"`
 }
 
 type photoInfo struct {
@@ -214,7 +223,7 @@ func (s *server) command(line string) *response {
 	case "\\metrics":
 		m := s.engine.Metrics()
 		cm := s.engine.CommMetrics()
-		return &response{OK: true, Metrics: &m, Comm: &cm}
+		return &response{OK: true, Metrics: &m, Comm: &cm, Liveness: s.engine.LivenessSnapshot()}
 	case "\\photos":
 		var out []photoInfo
 		for _, p := range s.engine.Photos() {

@@ -108,7 +108,7 @@ func runOnce(synchronized bool) (result, error) {
 		name = "without synchronization"
 	}
 	breakdown := ""
-	for _, k := range []aorta.FailureKind{aorta.FailConnect, aorta.FailBlurred, aorta.FailWrongPosition, aorta.FailStale, aorta.FailOther} {
+	for _, k := range []aorta.FailureKind{aorta.FailConnect, aorta.FailBlurred, aorta.FailWrongPosition, aorta.FailStale, aorta.FailRetried, aorta.FailNoDevice, aorta.FailOther} {
 		if n := m.Failures[k]; n > 0 {
 			breakdown += fmt.Sprintf("%s=%d ", k, n)
 		}

@@ -139,6 +139,15 @@ type Metrics struct {
 	SuppressedDials atomic.Int64
 	// OpenSessions is the current number of pooled live sessions (gauge).
 	OpenSessions atomic.Int64
+
+	// GateShed counts operations refused by the liveness gate (the
+	// failure detector holds the device Down).
+	GateShed atomic.Int64
+	// BreakerOpens counts circuit-breaker open transitions (including
+	// re-opens after a failed half-open trial).
+	BreakerOpens atomic.Int64
+	// BreakerShed counts operations refused by an open circuit breaker.
+	BreakerShed atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics for logging and JSON
@@ -160,6 +169,9 @@ type MetricsSnapshot struct {
 	PoolDrained     int64 `json:"pool_drained"`
 	SuppressedDials int64 `json:"suppressed_dials"`
 	OpenSessions    int64 `json:"open_sessions"`
+	GateShed        int64 `json:"gate_shed"`
+	BreakerOpens    int64 `json:"breaker_opens"`
+	BreakerShed     int64 `json:"breaker_shed"`
 }
 
 // Snapshot copies the counters into plain values.
@@ -181,6 +193,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		PoolDrained:     m.PoolDrained.Load(),
 		SuppressedDials: m.SuppressedDials.Load(),
 		OpenSessions:    m.OpenSessions.Load(),
+		GateShed:        m.GateShed.Load(),
+		BreakerOpens:    m.BreakerOpens.Load(),
+		BreakerShed:     m.BreakerShed.Load(),
 	}
 }
 
@@ -214,10 +229,17 @@ func Retryable(err error) bool {
 
 // Layer is the uniform data communication layer.
 type Layer struct {
-	dialer netsim.Dialer
-	clk    vclock.Clock
-	reg    *profile.Registry
-	pool   *pool
+	dialer  netsim.Dialer
+	clk     vclock.Clock
+	reg     *profile.Registry
+	pool    *pool
+	breaker *breaker
+
+	// gate and observer hook the failure detector into every pooled
+	// operation; both must be installed (SetGate/SetObserver) before the
+	// layer sees concurrent traffic. Nil means no detector.
+	gate     func(id string) bool
+	observer func(id string, alive bool)
 
 	mu       sync.RWMutex
 	devices  map[string]*DeviceInfo
@@ -238,11 +260,68 @@ func New(dialer netsim.Dialer, clk vclock.Clock, reg *profile.Registry) *Layer {
 		timeouts: make(map[string]time.Duration),
 	}
 	l.pool = newPool(l, PoolConfig{})
+	l.breaker = newBreaker(l, BreakerConfig{})
 	return l
 }
 
 // Metrics returns the layer's interaction counters.
 func (l *Layer) Metrics() *Metrics { return &l.metrics }
+
+// SetGate installs the liveness gate: every pooled operation asks
+// gate(id) first and is shed (with an error matching ErrShed and
+// ErrUnreachable) when it returns false. Install before concurrent use.
+func (l *Layer) SetGate(gate func(id string) bool) { l.gate = gate }
+
+// SetObserver installs the evidence sink: after every pooled operation
+// that actually contacted (or failed to contact) the device, the layer
+// reports observer(id, alive). Operations that never reached the network
+// — gate sheds, breaker sheds, backoff suppressions, unknown devices,
+// caller cancellation — produce no evidence. Install before concurrent
+// use.
+func (l *Layer) SetObserver(fn func(id string, alive bool)) { l.observer = fn }
+
+// shed runs the liveness gate and the circuit breaker for one operation,
+// in that order. A nil error admits the operation.
+func (l *Layer) shed(id string) error {
+	if l.gate != nil && !l.gate(id) {
+		l.metrics.GateShed.Add(1)
+		return fmt.Errorf("%w: %w: %s", ErrUnreachable, ErrShed, id)
+	}
+	return l.breaker.allow(id)
+}
+
+// note classifies one finished operation's error into liveness evidence
+// and feeds the circuit breaker. Contact — success or a semantic device
+// error — is alive; transport failures are dead; sheds, suppressions and
+// cancellations are silence (no evidence, and a half-open breaker trial
+// is abandoned rather than judged).
+func (l *Layer) note(id string, err error) {
+	alive, evidence := classifyEvidence(err)
+	if !evidence {
+		l.breaker.abandon(id)
+		return
+	}
+	l.breaker.record(id, alive)
+	if l.observer != nil {
+		l.observer(id, alive)
+	}
+}
+
+// classifyEvidence maps an operation error to (alive, evidence).
+func classifyEvidence(err error) (alive, evidence bool) {
+	switch {
+	case err == nil:
+		return true, true
+	case errors.Is(err, ErrShed), errors.Is(err, ErrBreakerOpen), errors.Is(err, ErrBackoff),
+		errors.Is(err, ErrUnknownDevice), errors.Is(err, context.Canceled):
+		return false, false
+	case Retryable(err):
+		return false, true
+	default:
+		// The device answered with a semantic error: very much alive.
+		return true, true
+	}
+}
 
 // SetTimeout sets the TIMEOUT value for one device type (paper §4).
 func (l *Layer) SetTimeout(deviceType string, d time.Duration) {
@@ -291,6 +370,24 @@ func (l *Layer) Remove(id string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.devices, id)
+}
+
+// Unregister removes a device and tears down its transport state: the
+// pooled session is closed, the dial-backoff entry dropped and the
+// circuit breaker reset. The full dynamic-membership departure path.
+func (l *Layer) Unregister(id string) {
+	l.Remove(id)
+	l.pool.forget(id)
+	l.breaker.reset(id)
+}
+
+// Readmit clears a device's negative transport state — dial backoff and
+// circuit breaker — so the next operation dials immediately. Called when
+// the failure detector declares a device recovered or it re-registers
+// after churn.
+func (l *Layer) Readmit(id string) {
+	l.pool.clearBackoff(id)
+	l.breaker.reset(id)
 }
 
 // Device returns the registry entry for id.

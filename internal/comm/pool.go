@@ -126,6 +126,20 @@ func (l *Layer) WithSession(ctx context.Context, id string, fn func(*Session) er
 }
 
 func (p *pool) with(ctx context.Context, id string, fn func(*Session) error) error {
+	// Liveness gate + circuit breaker first: a Down or breaker-open
+	// device is shed before any pool or dial work.
+	if err := p.layer.shed(id); err != nil {
+		return err
+	}
+	opErr := p.run(ctx, id, fn)
+	// Every operation that got past the gate reports evidence to the
+	// failure detector and the breaker (no-contact errors are filtered
+	// inside note).
+	p.layer.note(id, opErr)
+	return opErr
+}
+
+func (p *pool) run(ctx context.Context, id string, fn func(*Session) error) error {
 	if p.disabled() {
 		s, err := p.layer.Connect(ctx, id)
 		if err != nil {
@@ -353,6 +367,31 @@ func (p *pool) noteDialFailureLocked(id string, err error) {
 		window = p.cfg.BackoffMax
 	}
 	b.until = p.layer.clk.Now().Add(window)
+}
+
+// forget tears down one device's pool state: its session (if any) is
+// closed and its backoff entry dropped. Borrowed sessions are detached —
+// in-flight operations finish on the dying connection and fail naturally.
+func (p *pool) forget(id string) {
+	var victim *Session
+	p.mu.Lock()
+	if e := p.entries[id]; e != nil && e.sess != nil {
+		victim = e.sess
+		p.evictLocked(e, &p.layer.metrics.PoolDrained)
+	}
+	delete(p.backoff, id)
+	p.mu.Unlock()
+	if victim != nil {
+		victim.Close()
+	}
+}
+
+// clearBackoff drops one device's dial-failure cache entry so the next
+// operation dials immediately.
+func (p *pool) clearBackoff(id string) {
+	p.mu.Lock()
+	delete(p.backoff, id)
+	p.mu.Unlock()
 }
 
 // drain closes every pooled session and clears the backoff cache. The

@@ -228,13 +228,28 @@ func (op *actionOperator) dispatch(ctx context.Context, batch []*ActionRequest) 
 func (op *actionOperator) probeBatch(ctx context.Context, batch []*ActionRequest) map[string]sched.Status {
 	e := op.engine
 	available := make(map[string]sched.Status)
+	// Failure-detector filter (both paths): Down devices never enter the
+	// scheduling problem, so batches stop burning dial timeouts on
+	// corpses the moment detection fires. Re-admission flips them back
+	// into the candidate pool on the next batch.
+	skipped := 0
+	usable := func(id string) bool {
+		if e.live != nil && e.live.DownDevice(id) {
+			skipped++
+			return false
+		}
+		return true
+	}
 	if !e.cfg.Probing {
 		for _, req := range batch {
 			for _, c := range req.Candidates {
-				if _, ok := available[c.ID]; !ok {
+				if _, ok := available[c.ID]; !ok && usable(c.ID) {
 					available[c.ID] = op.def.Coster.ParseStatus(nil)
 				}
 			}
+		}
+		if skipped > 0 {
+			e.lg.Debug("skipped down candidates", "action", op.def.Name, "skipped", skipped)
 		}
 		return available
 	}
@@ -244,9 +259,14 @@ func (op *actionOperator) probeBatch(ctx context.Context, batch []*ActionRequest
 		for _, c := range req.Candidates {
 			if !seen[c.ID] {
 				seen[c.ID] = true
-				ids = append(ids, c.ID)
+				if usable(c.ID) {
+					ids = append(ids, c.ID)
+				}
 			}
 		}
+	}
+	if skipped > 0 {
+		e.lg.Debug("skipped down candidates", "action", op.def.Name, "skipped", skipped)
 	}
 	report := e.prober.ProbeCandidates(ctx, ids)
 	if len(report.Excluded) > 0 {
@@ -412,7 +432,7 @@ func (op *actionOperator) finish(req *ActionRequest, devID string, result any, e
 			"device", devID, "latency", outcome.Latency, "attempts", req.attempts)
 	}
 	e.metrics.record(outcome)
-	e.outcomes.add(outcome)
+	e.metrics.noteOutcomesDropped(e.outcomes.add(outcome))
 }
 
 func sortDeviceIDs(ids []sched.DeviceID) {

@@ -15,6 +15,7 @@ import (
 	"aorta/internal/comm"
 	"aorta/internal/devsync"
 	"aorta/internal/geo"
+	"aorta/internal/liveness"
 	"aorta/internal/netsim"
 	"aorta/internal/profile"
 	"aorta/internal/sched"
@@ -72,6 +73,42 @@ type Config struct {
 	// disables the dial-failure cache).
 	DialBackoff time.Duration
 
+	// LivenessSuspectAfter is the consecutive-failure count that moves a
+	// device Up → Suspect in the failure detector (default
+	// liveness.DefaultSuspectAfter).
+	LivenessSuspectAfter int
+	// LivenessDownAfter is the consecutive-failure count that moves a
+	// device to Down, excluding it from scheduling and shedding its
+	// traffic (default liveness.DefaultDownAfter).
+	LivenessDownAfter int
+	// LivenessProbeInterval enables the active health prober: every
+	// interval on the engine clock the current membership is probed and
+	// the results feed the failure detector — the re-admission path for
+	// devices the request path no longer touches. 0 disables active
+	// probing (the detector still runs on passive evidence).
+	LivenessProbeInterval time.Duration
+	// LivenessDownRetry is how often a Down device is granted one trial
+	// operation through the transport gate so ordinary traffic can
+	// discover recovery (default liveness.DefaultDownRetry; negative
+	// disables trials).
+	LivenessDownRetry time.Duration
+	// DisableLiveness turns the failure detector off entirely — no
+	// passive evidence, no gate, no scheduling filter. The churn study's
+	// ablation, and the right setting for experiments that need dial
+	// attempts to stay independent trials.
+	DisableLiveness bool
+
+	// BreakerThreshold is the transport-failure count within
+	// BreakerWindow that opens a device's circuit breaker (default
+	// comm.DefaultBreakerThreshold; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerWindow is the breaker's rolling failure-counting window
+	// (default comm.DefaultBreakerWindow).
+	BreakerWindow time.Duration
+	// BreakerCooldown is how long an open breaker sheds load before a
+	// half-open trial (default comm.DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+
 	// DisableLocking turns off the device locking mechanism — the §6.2
 	// ablation that reproduces interference failures.
 	DisableLocking bool
@@ -99,16 +136,17 @@ const DefaultMaxAttempts = 3
 
 // engineConfig is the resolved form used internally.
 type engineConfig struct {
-	DefaultEpoch time.Duration
-	BatchWindow  time.Duration
-	Scheduler    sched.Algorithm
-	StaleAfter   time.Duration
-	LockLease    time.Duration
-	MaxAttempts  int
-	Locking      bool
-	Probing      bool
-	ExcludeBusy  bool
-	Interference bool
+	DefaultEpoch  time.Duration
+	BatchWindow   time.Duration
+	Scheduler     sched.Algorithm
+	StaleAfter    time.Duration
+	LockLease     time.Duration
+	MaxAttempts   int
+	Locking       bool
+	Probing       bool
+	ExcludeBusy   bool
+	Interference  bool
+	ProbeInterval time.Duration // active liveness probing (0 = off)
 }
 
 // Engine is the Aorta pervasive query processing engine.
@@ -120,6 +158,8 @@ type Engine struct {
 	layer  *comm.Layer
 	locks  *devsync.LockManager
 	prober *devsync.Prober
+	// live is the per-device failure detector; nil when DisableLiveness.
+	live *liveness.Detector
 
 	mu        sync.Mutex
 	queries   map[string]*Query
@@ -171,6 +211,9 @@ func New(cfg Config) (*Engine, error) {
 		ExcludeBusy:  !cfg.ScheduleBusyDevices,
 		Interference: cfg.DisableLocking && cfg.InterferenceAblation,
 	}
+	if !cfg.DisableLiveness && cfg.LivenessProbeInterval > 0 {
+		resolved.ProbeInterval = cfg.LivenessProbeInterval
+	}
 	if resolved.DefaultEpoch <= 0 {
 		resolved.DefaultEpoch = time.Second
 	}
@@ -198,6 +241,11 @@ func New(cfg Config) (*Engine, error) {
 		IdleTTL:     cfg.PoolIdleTTL,
 		BackoffBase: cfg.DialBackoff,
 	})
+	layer.ConfigureBreaker(comm.BreakerConfig{
+		Threshold: cfg.BreakerThreshold,
+		Window:    cfg.BreakerWindow,
+		Cooldown:  cfg.BreakerCooldown,
+	})
 	e := &Engine{
 		cfg:       resolved,
 		lg:        lg,
@@ -216,11 +264,70 @@ func New(cfg Config) (*Engine, error) {
 		metrics:   newEngineMetrics(),
 		outcomes:  &outcomeLog{},
 	}
+	if !cfg.DisableLiveness {
+		e.live = liveness.New(clk, liveness.Config{
+			SuspectAfter: cfg.LivenessSuspectAfter,
+			DownAfter:    cfg.LivenessDownAfter,
+			DownRetry:    cfg.LivenessDownRetry,
+		})
+		e.live.Subscribe(e.onLivenessEvent)
+		layer.SetGate(e.live.AdmitTrial)
+		layer.SetObserver(e.live.Observe)
+	}
 	if err := e.registerBuiltinActions(); err != nil {
 		return nil, err
 	}
 	e.registerBuiltinBoolFuncs()
 	return e, nil
+}
+
+// onLivenessEvent reacts to failure-detector transitions: a device going
+// Down has any stranded lock reclaimed so queued requests stop waiting on
+// a dead holder; a device recovering has its negative transport state
+// (dial backoff, open breaker) cleared so traffic re-expands immediately.
+func (e *Engine) onLivenessEvent(ev liveness.Event) {
+	switch {
+	case ev.To == liveness.Down:
+		e.lg.Warn("device down", "device", ev.Device, "reason", ev.Reason)
+		if e.locks.Reclaim(ev.Device) {
+			e.lg.Warn("reclaimed lock stranded on down device", "device", ev.Device)
+		}
+	case ev.To == liveness.Up && ev.From != liveness.Up:
+		e.layer.Readmit(ev.Device)
+		e.lg.Info("device recovered", "device", ev.Device, "from", ev.From.String())
+	default:
+		e.lg.Info("device suspect", "device", ev.Device, "reason", ev.Reason)
+	}
+}
+
+// deviceIDs lists the current membership for the health prober.
+func (e *Engine) deviceIDs() []string {
+	devs := e.layer.Devices()
+	ids := make([]string, len(devs))
+	for i, d := range devs {
+		ids[i] = d.ID
+	}
+	return ids
+}
+
+// healthProbe is the active liveness check for one device: a dedicated
+// (unpooled, ungated) connect + probe round trip, so a Down device is
+// still reachable by the prober even while the gate sheds its ordinary
+// traffic. Transport failures count as dead; a semantic answer — or a
+// device unregistered mid-probe — does not.
+func (e *Engine) healthProbe(ctx context.Context, id string) bool {
+	sess, err := e.layer.Connect(ctx, id)
+	if err != nil {
+		if errors.Is(err, comm.ErrUnknownDevice) {
+			return true // membership changed mid-probe: no evidence of death
+		}
+		return !comm.Retryable(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Probe(ctx); err != nil {
+		return !comm.Retryable(err)
+	}
+	return true
 }
 
 // Layer exposes the uniform data communication layer.
@@ -270,7 +377,47 @@ func (e *Engine) RegisterDevice(info comm.DeviceInfo, mount geo.Mount) error {
 			info.Static["ip"] = info.Addr
 		}
 	}
-	return e.layer.Register(info)
+	if err := e.layer.Register(info); err != nil {
+		return err
+	}
+	// A device (re)joining starts with a clean slate: no failure history,
+	// no dial backoff, no open breaker. Devices join the network
+	// dynamically and unpredictably (paper §4); a rejoin after churn must
+	// not inherit the penalties of its previous life.
+	if e.live != nil {
+		e.live.Forget(info.ID)
+	}
+	e.layer.Readmit(info.ID)
+	return nil
+}
+
+// UnregisterDevice removes a device from the engine at runtime — the
+// departure half of dynamic membership. Its transport state (pooled
+// session, dial backoff, circuit breaker) is torn down, the failure
+// detector forgets it, and any lock it stranded is reclaimed so queued
+// requests move on. Running queries keep going over the remaining
+// membership; the device simply stops contributing tuples and candidates.
+func (e *Engine) UnregisterDevice(id string) {
+	e.layer.Unregister(id)
+	if e.live != nil {
+		e.live.Forget(id)
+	}
+	if e.locks.Reclaim(id) {
+		e.lg.Warn("reclaimed lock stranded on unregistered device", "device", id)
+	}
+	e.lg.Info("device unregistered", "device", id)
+}
+
+// Liveness exposes the failure detector; nil when DisableLiveness.
+func (e *Engine) Liveness() *liveness.Detector { return e.live }
+
+// LivenessSnapshot returns per-device health states, or nil when the
+// detector is disabled.
+func (e *Engine) LivenessSnapshot() map[string]liveness.DeviceHealth {
+	if e.live == nil {
+		return nil
+	}
+	return e.live.Snapshot()
 }
 
 // MountOf returns the PTZ mount geometry of a registered camera.
@@ -388,6 +535,16 @@ func (e *Engine) Start(ctx context.Context) error {
 	}
 	e.started = true
 	e.runCtx, e.runCancel = context.WithCancel(ctx)
+	if e.live != nil && e.cfg.ProbeInterval > 0 {
+		hp := liveness.NewHealthProber(e.live, e.clk, e.cfg.ProbeInterval, 0,
+			e.deviceIDs, e.healthProbe)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			hp.Run(e.runCtx)
+		}()
+		e.lg.Info("health prober started", "interval", e.cfg.ProbeInterval)
+	}
 	for _, q := range e.queries {
 		e.startQueryLocked(q)
 	}
@@ -663,7 +820,11 @@ func (e *Engine) execShow(what string) (*ExecResult, error) {
 	case "DEVICES":
 		var names []string
 		for _, d := range e.layer.Devices() {
-			names = append(names, fmt.Sprintf("%s (%s @ %s)", d.ID, d.Type, d.Addr))
+			line := fmt.Sprintf("%s (%s @ %s)", d.ID, d.Type, d.Addr)
+			if e.live != nil {
+				line += fmt.Sprintf(" [%s]", e.live.State(d.ID))
+			}
+			names = append(names, line)
 		}
 		return &ExecResult{Kind: "devices", Names: names}, nil
 	default:

@@ -364,7 +364,8 @@ func TestCreateActionUnknownProfile(t *testing.T) {
 }
 
 // TestAllCandidatesUnavailable: when every covering camera is down the
-// request fails as connect/timeout instead of hanging (paper §4).
+// request fails promptly — as no-device once probing empties the
+// candidate set — instead of hanging (paper §4).
 func TestAllCandidatesUnavailable(t *testing.T) {
 	l := newLab(t, lab.Config{})
 	eng := l.Engine
@@ -381,8 +382,8 @@ func TestAllCandidatesUnavailable(t *testing.T) {
 	if m.Successes != 0 {
 		t.Errorf("successes = %d with every camera down", m.Successes)
 	}
-	if m.Failures[core.FailConnect] == 0 {
-		t.Errorf("failures = %+v, want connect failures", m.Failures)
+	if m.Failures[core.FailNoDevice]+m.Failures[core.FailConnect] == 0 {
+		t.Errorf("failures = %+v, want no-device or connect failures", m.Failures)
 	}
 }
 

@@ -186,7 +186,7 @@ func TestClassifyFailureKinds(t *testing.T) {
 		{ErrBlurred, FailBlurred},
 		{ErrWrongPosition, FailWrongPosition},
 		{ErrStale, FailStale},
-		{errNoCandidates, FailConnect},
+		{errNoCandidates, FailNoDevice},
 		{comm.ErrTimeout, FailConnect},
 		{comm.ErrUnreachable, FailConnect},
 		{comm.ErrUnknownDevice, FailConnect},

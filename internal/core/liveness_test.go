@@ -1,0 +1,203 @@
+package core
+
+// Engine-level failure-detector tests: deterministic Manual-clock tests
+// that drive the detector and the shared action operator directly, so
+// Down devices provably vanish from scheduling, coverage collapse yields
+// FailNoDevice, recovery re-expands the candidate set, and the passive
+// evidence pipeline (pool → observer → detector → gate) closes the loop.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/liveness"
+)
+
+// markDown feeds the detector enough failure evidence to take a device
+// to Down.
+func markDown(e *Engine, id string) {
+	for i := 0; i < liveness.DefaultDownAfter; i++ {
+		e.live.Observe(id, false)
+	}
+}
+
+// TestDownDeviceSkippedInScheduling: a Down candidate is filtered before
+// dispatch — the request lands on the healthy device on the first
+// attempt, no wasted execution on the dead one.
+func TestDownDeviceSkippedInScheduling(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, nil)
+	markDown(e, "d1")
+	if got := e.live.State("d1"); got != liveness.Down {
+		t.Fatalf("state(d1) = %v, want Down", got)
+	}
+
+	var mu sync.Mutex
+	var tried []string
+	def := registerRetryAction(t, e, "testact", func(_ context.Context, actx *ActionContext, _ []any) (any, error) {
+		mu.Lock()
+		tried = append(tried, actx.DeviceID)
+		mu.Unlock()
+		return "ok", nil
+	})
+	op := e.operatorFor(def)
+	op.submit(newRetryRequest(e, "d1", "d2"))
+	fireBatch(t, e, clk)
+	o := awaitOutcomes(t, e, 1)[0]
+
+	if !o.OK() {
+		t.Fatalf("outcome failed: %v", o.Err)
+	}
+	if o.DeviceID != "d2" {
+		t.Errorf("outcome device = %q, want the healthy d2", o.DeviceID)
+	}
+	if o.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (the Down device was never tried)", o.Attempts)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, dev := range tried {
+		if dev == "d1" {
+			t.Error("the Down device d1 was dispatched to")
+		}
+	}
+}
+
+// TestAllCandidatesDownYieldsNoDevice: when the detector holds every
+// candidate Down, the request fails FailNoDevice without any execution
+// attempt — the graceful-degradation floor.
+func TestAllCandidatesDownYieldsNoDevice(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, nil)
+	markDown(e, "d1")
+	markDown(e, "d2")
+
+	def := registerRetryAction(t, e, "testact", func(context.Context, *ActionContext, []any) (any, error) {
+		t.Error("action executed on a Down device")
+		return nil, nil
+	})
+	op := e.operatorFor(def)
+	op.submit(newRetryRequest(e, "d1", "d2"))
+	fireBatch(t, e, clk)
+	o := awaitOutcomes(t, e, 1)[0]
+
+	if o.OK() {
+		t.Fatal("outcome succeeded with every candidate Down")
+	}
+	if o.Failure != FailNoDevice {
+		t.Errorf("failure = %v, want FailNoDevice", o.Failure)
+	}
+	if o.Attempts != 0 {
+		t.Errorf("attempts = %d, want 0 (no device ever tried)", o.Attempts)
+	}
+	if !errors.Is(o.Err, errNoCandidates) {
+		t.Errorf("err = %v, want errNoCandidates", o.Err)
+	}
+}
+
+// TestRecoveryReexpandsCandidates: one success observation re-admits a
+// Down device, and the next request can use it again.
+func TestRecoveryReexpandsCandidates(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, nil)
+	markDown(e, "d1")
+	e.live.Observe("d1", true) // recovery evidence
+	if got := e.live.State("d1"); got != liveness.Up {
+		t.Fatalf("state(d1) after recovery = %v, want Up", got)
+	}
+
+	def := registerRetryAction(t, e, "testact", func(context.Context, *ActionContext, []any) (any, error) {
+		return "ok", nil
+	})
+	op := e.operatorFor(def)
+	op.submit(newRetryRequest(e, "d1"))
+	fireBatch(t, e, clk)
+	o := awaitOutcomes(t, e, 1)[0]
+	if !o.OK() || o.DeviceID != "d1" {
+		t.Errorf("outcome = (%q, %v), want success on the recovered d1", o.DeviceID, o.Err)
+	}
+}
+
+// TestPassiveEvidenceClosesTheLoop: transport failures observed by the
+// pooled comm layer feed the engine's detector, the gate then sheds the
+// Down device's traffic without dialing, and an AdmitTrial window later
+// re-opens the gate — all on the Manual clock.
+func TestPassiveEvidenceClosesTheLoop(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, func(c *Config) {
+		c.DialBackoff = -1 // isolate the gate from the dial-failure cache
+	})
+	// Registered device with no listener: every dial fails.
+	if err := e.layer.Register(comm.DeviceInfo{ID: "ghost", Type: "sensor", Addr: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < liveness.DefaultDownAfter; i++ {
+		if _, err := e.layer.Probe(ctx, "ghost"); err == nil {
+			t.Fatal("probe of a listener-less device succeeded")
+		}
+	}
+	if got := e.live.State("ghost"); got != liveness.Down {
+		t.Fatalf("state(ghost) = %v, want Down after %d dial failures", got, liveness.DefaultDownAfter)
+	}
+
+	// The next operation is shed by the gate without touching the network.
+	dials := e.CommMetrics().Dials
+	_, err := e.layer.Probe(ctx, "ghost")
+	if !errors.Is(err, comm.ErrShed) || !errors.Is(err, comm.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrShed wrapping ErrUnreachable", err)
+	}
+	m := e.CommMetrics()
+	if m.Dials != dials {
+		t.Errorf("gate shed still dialed (%d → %d dials)", dials, m.Dials)
+	}
+	if m.GateShed == 0 {
+		t.Error("GateShed metric not incremented")
+	}
+
+	// After the DownRetry window one trial is admitted (and fails again —
+	// still no listener), keeping the device Down.
+	clk.Advance(liveness.DefaultDownRetry + time.Second)
+	if _, err := e.layer.Probe(ctx, "ghost"); errors.Is(err, comm.ErrShed) {
+		t.Fatal("trial operation was shed after the DownRetry window")
+	}
+	if got := e.live.State("ghost"); got != liveness.Down {
+		t.Errorf("state(ghost) after failed trial = %v, want Down", got)
+	}
+}
+
+// TestOutcomesDroppedOnSlowSubscriber: a full subscriber channel never
+// blocks the executor; the overflow is counted in OutcomesDropped.
+func TestOutcomesDroppedOnSlowSubscriber(t *testing.T) {
+	e, clk, _ := newRetryEngine(t, nil)
+	ch := e.SubscribeOutcomes(1) // room for exactly one delivery
+	def := registerRetryAction(t, e, "testact", func(context.Context, *ActionContext, []any) (any, error) {
+		return "ok", nil
+	})
+	op := e.operatorFor(def)
+	const n = 3
+	for i := 0; i < n; i++ {
+		op.submit(newRetryRequest(e, "d1"))
+	}
+	fireBatch(t, e, clk)
+	awaitOutcomes(t, e, n)
+
+	if got := e.Metrics().OutcomesDropped; got != n-1 {
+		t.Errorf("OutcomesDropped = %d, want %d", got, n-1)
+	}
+	if len(ch) != 1 {
+		t.Errorf("subscriber channel holds %d outcomes, want 1", len(ch))
+	}
+}
+
+// TestLivenessDisabled: DisableLiveness leaves no detector, no gate and
+// no scheduling filter.
+func TestLivenessDisabled(t *testing.T) {
+	e, _, _ := newRetryEngine(t, func(c *Config) { c.DisableLiveness = true })
+	if e.Liveness() != nil {
+		t.Error("Liveness() non-nil with DisableLiveness")
+	}
+	if e.LivenessSnapshot() != nil {
+		t.Error("LivenessSnapshot() non-nil with DisableLiveness")
+	}
+}

@@ -27,6 +27,12 @@ const (
 	// failures (blurred, wrong-position) and deadline expiries keep their
 	// own kinds even after retries.
 	FailRetried
+	// FailNoDevice marks a request whose coverage was truly empty: every
+	// candidate device was unavailable (Down, unreachable or excluded)
+	// before any execution attempt could be made. Under device churn this
+	// is the graceful-degradation floor — queries keep running with fewer
+	// candidates and only report FailNoDevice when nobody is left.
+	FailNoDevice
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +50,8 @@ func (k FailureKind) String() string {
 		return "stale"
 	case FailRetried:
 		return "retried-exhausted"
+	case FailNoDevice:
+		return "no-device"
 	default:
 		return "other"
 	}
@@ -59,7 +67,7 @@ func (k FailureKind) MarshalText() ([]byte, error) {
 // UnmarshalText parses a kind name produced by MarshalText; unknown names
 // decode as FailOther so old clients survive new kinds.
 func (k *FailureKind) UnmarshalText(text []byte) error {
-	for kind := FailNone; kind <= FailRetried; kind++ {
+	for kind := FailNone; kind <= FailNoDevice; kind++ {
 		if kind.String() == string(text) {
 			*k = kind
 			return nil
@@ -80,8 +88,10 @@ func classifyFailure(err error) FailureKind {
 		return FailWrongPosition
 	case errors.Is(err, ErrStale), errors.Is(err, ErrShutdown):
 		return FailStale
+	case errors.Is(err, errNoCandidates):
+		return FailNoDevice
 	case errors.Is(err, comm.ErrTimeout), errors.Is(err, comm.ErrUnknownDevice),
-		errors.Is(err, comm.ErrUnreachable), errors.Is(err, errNoCandidates):
+		errors.Is(err, comm.ErrUnreachable):
 		return FailConnect
 	default:
 		var ne interface{ Timeout() bool }
@@ -155,13 +165,14 @@ func (o *Outcome) OK() bool { return o.Failure == FailNone }
 
 // EngineMetrics aggregates engine activity.
 type EngineMetrics struct {
-	mu        sync.Mutex
-	requests  int64
-	successes int64
-	failures  map[FailureKind]int64
-	latencies time.Duration
-	retries   int64
-	dropped   int64
+	mu              sync.Mutex
+	requests        int64
+	successes       int64
+	failures        map[FailureKind]int64
+	latencies       time.Duration
+	retries         int64
+	dropped         int64
+	outcomesDropped int64
 }
 
 func newEngineMetrics() *EngineMetrics {
@@ -186,6 +197,16 @@ func (m *EngineMetrics) record(o *Outcome) {
 	m.latencies += o.Latency
 }
 
+// noteOutcomesDropped counts outcome deliveries lost to slow subscribers.
+func (m *EngineMetrics) noteOutcomesDropped(n int) {
+	if n == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.outcomesDropped += int64(n)
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of the metrics.
 type MetricsSnapshot struct {
 	Requests  int64
@@ -201,6 +222,10 @@ type MetricsSnapshot struct {
 	// Dropped counts requests drained at engine shutdown (they still
 	// produce an Outcome, failed with ErrShutdown).
 	Dropped int64
+	// OutcomesDropped counts outcome deliveries lost because a
+	// SubscribeOutcomes channel was full — the hub never blocks the
+	// executor on a slow consumer; it sheds instead and counts here.
+	OutcomesDropped int64
 }
 
 // Snapshot returns a copy of the current counters.
@@ -211,8 +236,9 @@ func (m *EngineMetrics) Snapshot() MetricsSnapshot {
 		Requests:  m.requests,
 		Successes: m.successes,
 		Failures:  make(map[FailureKind]int64, len(m.failures)),
-		Retries:   m.retries,
-		Dropped:   m.dropped,
+		Retries:         m.retries,
+		Dropped:         m.dropped,
+		OutcomesDropped: m.outcomesDropped,
 	}
 	var failed int64
 	for k, v := range m.failures {
@@ -236,7 +262,10 @@ type outcomeLog struct {
 
 const maxOutcomes = 100000
 
-func (l *outcomeLog) add(o *Outcome) {
+// add records the outcome and fans it out. It returns how many subscriber
+// deliveries were dropped because a channel was full — the hub never
+// blocks the executor on a slow consumer.
+func (l *outcomeLog) add(o *Outcome) int {
 	l.mu.Lock()
 	if len(l.outcomes) >= maxOutcomes {
 		copy(l.outcomes, l.outcomes[1:])
@@ -245,12 +274,15 @@ func (l *outcomeLog) add(o *Outcome) {
 	l.outcomes = append(l.outcomes, o)
 	subs := append([]chan *Outcome(nil), l.subs...)
 	l.mu.Unlock()
+	dropped := 0
 	for _, ch := range subs {
 		select {
 		case ch <- o:
 		default: // slow subscriber: drop rather than stall the executor
+			dropped++
 		}
 	}
+	return dropped
 }
 
 func (l *outcomeLog) all() []*Outcome {

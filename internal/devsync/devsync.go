@@ -26,6 +26,9 @@ type LockStats struct {
 	TotalWait    time.Duration
 	// Expirations counts leases revoked by their TTL (see LockWithLease).
 	Expirations int64
+	// Reclamations counts locks force-released by Reclaim (the failure
+	// detector's path for locks stranded on Down devices).
+	Reclamations int64
 }
 
 type devLock struct {
@@ -138,6 +141,26 @@ func (m *LockManager) Unlock(id, holder string) error {
 	}
 	m.releaseLocked(l)
 	return nil
+}
+
+// Reclaim force-releases the device lock regardless of holder and hands
+// it to the next FIFO waiter. It is the failure detector's remedy for
+// locks stranded by a device that went Down mid-action: the holder's
+// in-flight attempt cannot complete, so queued requests would otherwise
+// wait for the full lease TTL (or forever under plain locks). The
+// generation advance invalidates any lease on the old grant, so a
+// holder that does come back gets ErrNotLocked instead of releasing the
+// new holder's lock. Returns whether a held lock was actually reclaimed.
+func (m *LockManager) Reclaim(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[id]
+	if !ok || !l.held {
+		return false
+	}
+	l.stats.Reclamations++
+	m.releaseLocked(l)
+	return true
 }
 
 // releaseLocked passes the lock to the next waiter or frees it, advancing

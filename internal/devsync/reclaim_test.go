@@ -1,0 +1,119 @@
+package devsync
+
+// Deterministic Manual-clock tests for lease expiry and detector-driven
+// reclamation: a device dies holding a lock, and the queued request
+// acquires it after Reclaim (immediately) or after the lease TTL.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+// TestReclaimHandsLockToWaiter: the holder's device goes Down; Reclaim
+// frees the lock without waiting for any TTL, the FIFO waiter acquires
+// it, and the dead holder's lease can no longer release the new grant.
+func TestReclaimHandsLockToWaiter(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	m := NewLockManager(clk)
+
+	lease, err := m.LockWithLease(context.Background(), "cam-1", "dead-holder", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acquired := make(chan error, 1)
+	go func() {
+		acquired <- m.Lock(context.Background(), "cam-1", "queued-request")
+	}()
+	// Wait until the queued request is actually parked on the lock.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Waiters("cam-1") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never parked on the lock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The failure detector declares cam-1's holder dead: reclaim.
+	if !m.Reclaim("cam-1") {
+		t.Fatal("Reclaim found nothing to reclaim")
+	}
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("queued request failed to acquire after reclaim: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request still blocked after reclamation")
+	}
+	if holder, _ := m.Holder("cam-1"); holder != "queued-request" {
+		t.Fatalf("holder = %q, want queued-request", holder)
+	}
+	if st := m.Stats("cam-1"); st.Reclamations != 1 {
+		t.Errorf("reclamations = %d, want 1", st.Reclamations)
+	}
+
+	// The dead holder's lease was superseded by the generation advance:
+	// its Release must not free the new holder's lock.
+	if err := lease.Release(); !errors.Is(err, ErrNotLocked) {
+		t.Errorf("stale lease release err = %v, want ErrNotLocked", err)
+	}
+	if holder, _ := m.Holder("cam-1"); holder != "queued-request" {
+		t.Errorf("stale release stole the lock (holder %q)", holder)
+	}
+	if err := m.Unlock("cam-1", "queued-request"); err != nil {
+		t.Errorf("new holder could not unlock: %v", err)
+	}
+}
+
+// TestLeaseExpiryUnblocksWaiter: without a detector, the TTL is the
+// fallback — advancing the Manual clock past the lease hands the lock to
+// the queued request deterministically.
+func TestLeaseExpiryUnblocksWaiter(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	m := NewLockManager(clk)
+
+	if _, err := m.LockWithLease(context.Background(), "cam-1", "hung-holder", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		acquired <- m.Lock(context.Background(), "cam-1", "queued-request")
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Waiters("cam-1") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never parked on the lock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	clk.Advance(11 * time.Second)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("queued request failed after lease expiry: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request still blocked after the lease expired")
+	}
+	st := m.Stats("cam-1")
+	if st.Expirations != 1 {
+		t.Errorf("expirations = %d, want 1", st.Expirations)
+	}
+	if st.Reclamations != 0 {
+		t.Errorf("reclamations = %d, want 0", st.Reclamations)
+	}
+}
+
+// TestReclaimIdleDevice: reclaiming an unheld lock is a no-op.
+func TestReclaimIdleDevice(t *testing.T) {
+	m := NewLockManager(vclock.NewManual(time.Unix(0, 0)))
+	if m.Reclaim("nothing") {
+		t.Error("Reclaim reported success on an unheld lock")
+	}
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"aorta/internal/core"
+	"aorta/internal/lab"
+	"aorta/internal/liveness"
+)
+
+// ChurnConfig controls the device-churn study: photo queries on the
+// two-camera lab while cameras are killed and revived mid-workload, run
+// once with the failure detector disabled (the ablation baseline) and
+// once with it on, so the detector's contribution — fast detection,
+// Down-device exclusion, automatic re-expansion — is measured directly.
+type ChurnConfig struct {
+	// Minutes is the virtual duration of each run.
+	Minutes int
+	// Queries is the number of photo queries, one per mote.
+	Queries int
+	// Cameras is the camera count; the default two-camera lab puts every
+	// mote inside both view envelopes, so one camera can die and the
+	// other still covers everything.
+	Cameras int
+	// ClockScale speeds up the runs.
+	ClockScale float64
+	// ProbeInterval is the active health-probe interval of the
+	// with-detector run.
+	ProbeInterval time.Duration
+	// Seed drives device randomness.
+	Seed int64
+}
+
+// DefaultChurnConfig sizes the study so each outage spans several query
+// epochs: enough doomed dispatches for the baseline failure rate to be
+// far above its binomial noise.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Minutes:       20,
+		Queries:       8,
+		Cameras:       2,
+		ClockScale:    150,
+		ProbeInterval: 2 * time.Second,
+		Seed:          2005,
+	}
+}
+
+// churnFault is one kill/revive pair, as fractions of the run length.
+type churnFault struct {
+	device  string
+	killAt  float64
+	backAt  float64
+	// virtual clock times recorded when the fault was injected.
+	killedAt time.Time
+	revivedAt time.Time
+}
+
+// ChurnDetection is the detector's measured reaction to one fault.
+type ChurnDetection struct {
+	Device string
+	// Detected reports whether a Down transition followed the kill;
+	// DetectLatency is kill → Down on the virtual clock.
+	Detected      bool
+	DetectLatency time.Duration
+	// Readmitted reports whether an Up transition followed the revival;
+	// ReadmitLatency is revive → Up.
+	Readmitted     bool
+	ReadmitLatency time.Duration
+}
+
+// ChurnRun is the outcome of one run of the study.
+type ChurnRun struct {
+	// Liveness reports whether the failure detector was enabled.
+	Liveness    bool
+	Requests    int64
+	Successes   int64
+	FailureRate float64
+	Failures    map[core.FailureKind]int64
+	// Outcomes is the recorded outcome count; the no-lost-outcome
+	// guarantee makes it equal Requests even while devices die mid-batch.
+	Outcomes int64
+	// DoomedDispatches counts requests that were dispatched to a device
+	// and failed at the transport (connect/timeout) — the wasted work the
+	// detector's scheduling filter exists to remove.
+	DoomedDispatches int64
+	// DialFailures is the transport layer's failed-dial counter (includes
+	// the active prober's dials in the with-detector run).
+	DialFailures int64
+	// Detections holds per-fault detector reactions (with-detector run
+	// only).
+	Detections []ChurnDetection
+	// SchedulingViolations counts outcomes executed on a device between
+	// its Down transition (plus one batch window of in-flight slack) and
+	// its revival — scheduled work that ignored the detector. Expect 0.
+	SchedulingViolations int
+}
+
+// churnBatchWindow matches the sync/failover studies: at high clock
+// scales the default batch window is below goroutine-scheduling jitter.
+const churnBatchWindow = 2 * time.Second
+
+// ChurnStudy kills and revives cameras mid-workload and measures what
+// the failure detector buys. Probing is disabled and the attempt budget
+// is 1, so neither pre-dispatch probing nor failover masks the detector's
+// contribution: without it, every request scheduled onto a dead camera is
+// a lost action; with it, the dead camera leaves the candidate set within
+// a few failures and every request lands on the survivor.
+func ChurnStudy(cfg ChurnConfig) (baseline, withDetector *ChurnRun, err error) {
+	baseline, err = runChurn(cfg, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	withDetector, err = runChurn(cfg, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return baseline, withDetector, nil
+}
+
+func runChurn(cfg ChurnConfig, withDetector bool) (*ChurnRun, error) {
+	ecfg := core.Config{
+		// One attempt: failover would absorb the very failures under study.
+		MaxAttempts: 1,
+		// No pre-dispatch probing: the detector is the only availability
+		// filter, so the comparison isolates it.
+		DisableProbing: true,
+		// No dial-failure cache and no breaker: they overlap the detector's
+		// gating, and the ablation must change exactly one variable.
+		DialBackoff:      -1,
+		BreakerThreshold: -1,
+		BatchWindow:      churnBatchWindow,
+		DisableLiveness:  !withDetector,
+	}
+	if withDetector {
+		ecfg.LivenessProbeInterval = cfg.ProbeInterval
+	}
+
+	l, err := lab.New(lab.Config{
+		Cameras:    cfg.Cameras,
+		Motes:      cfg.Queries,
+		ClockScale: cfg.ClockScale,
+		Seed:       cfg.Seed,
+		Engine:     ecfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+
+	// Stamp every outcome with its arrival time on the virtual clock, so
+	// post-detection scheduling violations are checkable afterwards.
+	type stamped struct {
+		device string
+		at     time.Time
+	}
+	var stampMu sync.Mutex
+	var stamps []stamped
+	outcomeCh := l.Engine.SubscribeOutcomes(8192)
+	stampDone := make(chan struct{})
+	var stampWG sync.WaitGroup
+	stampWG.Add(1)
+	go func() {
+		defer stampWG.Done()
+		record := func(o *core.Outcome) {
+			stampMu.Lock()
+			stamps = append(stamps, stamped{o.DeviceID, l.Clock.Now()})
+			stampMu.Unlock()
+		}
+		for {
+			select {
+			case o := <-outcomeCh:
+				record(o)
+			case <-stampDone:
+				for { // the hub never closes subscriber channels: drain and go
+					select {
+					case o := <-outcomeCh:
+						record(o)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	if err := l.Engine.Start(ctx); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= cfg.Queries; i++ {
+		sql := fmt.Sprintf(`CREATE AQ churn%d AS
+			SELECT photo(c.ip, s.loc, "photos/churn")
+			FROM sensor s, camera c
+			WHERE s.accel_x > 500 AND s.id = "mote-%d" AND coverage(c.id, s.loc)
+			EVERY "60s"`, i, i)
+		if _, err := l.Engine.Exec(ctx, sql); err != nil {
+			return nil, err
+		}
+	}
+	total := time.Duration(cfg.Minutes)*time.Minute + 2*time.Minute
+	for i := 0; i < cfg.Queries; i++ {
+		l.StimulateMote(i, 900, total)
+	}
+
+	// The churn schedule: camera-1 dies at 25% and rejoins at 50%;
+	// camera-2 dies at 60% and rejoins at 80%. One camera is always up.
+	faults := []*churnFault{
+		{device: "camera-1", killAt: 0.25, backAt: 0.50},
+		{device: "camera-2", killAt: 0.60, backAt: 0.80},
+	}
+	virtual := time.Duration(cfg.Minutes) * time.Minute
+	wallOf := func(frac float64) time.Duration {
+		return time.Duration(frac * float64(virtual) / cfg.ClockScale)
+	}
+	type churnStep struct {
+		frac float64
+		f    *churnFault
+		kill bool
+	}
+	var steps []churnStep
+	for _, f := range faults {
+		steps = append(steps, churnStep{f.killAt, f, true}, churnStep{f.backAt, f, false})
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].frac < steps[j].frac })
+
+	start := time.Now()
+	sleepUntil := func(frac float64) {
+		if d := wallOf(frac) - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	for _, st := range steps {
+		sleepUntil(st.frac)
+		if st.kill {
+			st.f.killedAt = l.Clock.Now()
+			l.Kill(st.f.device)
+		} else {
+			st.f.revivedAt = l.Clock.Now()
+			l.Revive(st.f.device)
+		}
+	}
+
+	wall := time.Duration(float64(virtual+30*time.Second) / cfg.ClockScale)
+	sleepUntil(1.0)
+	time.Sleep(wall / 4)
+	expected := int64(cfg.Queries * (cfg.Minutes - 1))
+	deadline := time.Now().Add(5 * wall)
+	for time.Now().Before(deadline) && l.Engine.Metrics().Requests < expected {
+		time.Sleep(wall / 10)
+	}
+
+	var events []liveness.Event
+	if det := l.Engine.Liveness(); det != nil {
+		events = det.Events()
+	}
+	l.Engine.Stop()
+	close(stampDone)
+	stampWG.Wait()
+
+	m := l.Engine.Metrics()
+	run := &ChurnRun{
+		Liveness:         withDetector,
+		Requests:         m.Requests,
+		Successes:        m.Successes,
+		FailureRate:      m.FailureRate,
+		Failures:         m.Failures,
+		Outcomes:         int64(len(l.Engine.Outcomes())),
+		DoomedDispatches: m.Failures[core.FailConnect] + m.Failures[core.FailRetried],
+		DialFailures:     l.Engine.CommMetrics().DialFailures,
+	}
+	if !withDetector {
+		return run, nil
+	}
+
+	firstTransition := func(device string, to liveness.State, after time.Time) (time.Time, bool) {
+		for _, ev := range events {
+			if ev.Device == device && ev.To == to && !ev.At.Before(after) {
+				return ev.At, true
+			}
+		}
+		return time.Time{}, false
+	}
+	for _, f := range faults {
+		det := ChurnDetection{Device: f.device}
+		if at, ok := firstTransition(f.device, liveness.Down, f.killedAt); ok {
+			det.Detected = true
+			det.DetectLatency = at.Sub(f.killedAt)
+			// Scheduling violations: outcomes executed on the device after
+			// detection (plus one batch window for in-flight requests) and
+			// before its revival.
+			cutoff := at.Add(2 * churnBatchWindow)
+			stampMu.Lock()
+			for _, s := range stamps {
+				if s.device == f.device && s.at.After(cutoff) && s.at.Before(f.revivedAt) {
+					run.SchedulingViolations++
+				}
+			}
+			stampMu.Unlock()
+		}
+		if at, ok := firstTransition(f.device, liveness.Up, f.revivedAt); ok {
+			det.Readmitted = true
+			det.ReadmitLatency = at.Sub(f.revivedAt)
+		}
+		run.Detections = append(run.Detections, det)
+	}
+	return run, nil
+}
+
+// PrintChurnStudy renders the comparison.
+func PrintChurnStudy(w io.Writer, baseline, withDetector *ChurnRun) {
+	fmt.Fprintln(w, "Device churn — cameras killed/revived mid-workload, 2-camera lab")
+	fmt.Fprintf(w, "%-22s%10s%10s%12s%10s%10s  %s\n",
+		"Configuration", "Requests", "Failed", "FailRate", "Doomed", "Outcomes", "Breakdown")
+	for _, r := range []*ChurnRun{baseline, withDetector} {
+		name := "detector off"
+		if r.Liveness {
+			name = "detector on"
+		}
+		failed := r.Requests - r.Successes
+		fmt.Fprintf(w, "%-22s%10d%10d%11.0f%%%10d%10d  %v\n",
+			name, r.Requests, failed, r.FailureRate*100, r.DoomedDispatches,
+			r.Outcomes, formatFailures(r.Failures))
+	}
+	for _, d := range withDetector.Detections {
+		detect, readmit := "not detected", "not readmitted"
+		if d.Detected {
+			detect = fmt.Sprintf("detected in %v", d.DetectLatency.Round(100*time.Millisecond))
+		}
+		if d.Readmitted {
+			readmit = fmt.Sprintf("readmitted in %v", d.ReadmitLatency.Round(100*time.Millisecond))
+		}
+		fmt.Fprintf(w, "%s: %s, %s\n", d.Device, detect, readmit)
+	}
+	fmt.Fprintf(w, "post-detection scheduling violations: %d (want 0)\n", withDetector.SchedulingViolations)
+	if baseline.FailureRate > 0 {
+		fmt.Fprintf(w, "failure-rate reduction: %.0f%%\n",
+			(1-withDetector.FailureRate/baseline.FailureRate)*100)
+	}
+}

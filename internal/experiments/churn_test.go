@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChurnStudy kills and revives cameras mid-workload and checks the
+// failure detector's contract: faults are detected and re-admitted, no
+// request loses its outcome, Down devices leave the schedule promptly,
+// and the success rate beats the detector-off baseline.
+func TestChurnStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("virtual-minutes experiment")
+	}
+	cfg := DefaultChurnConfig()
+	cfg.Minutes = 12
+	if raceEnabled {
+		cfg.ClockScale = 25
+		cfg.Minutes = 8
+	}
+	baseline, withDetector, err := ChurnStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minReqs := int64(cfg.Queries * (cfg.Minutes - 2))
+	if baseline.Requests < minReqs || withDetector.Requests < minReqs {
+		t.Fatalf("runs under-delivered: baseline=%d with=%d, want ≥%d",
+			baseline.Requests, withDetector.Requests, minReqs)
+	}
+
+	// No lost outcomes under churn: every request the metrics counted is
+	// in the log, in both runs.
+	if baseline.Outcomes != baseline.Requests {
+		t.Errorf("baseline run: %d outcomes for %d requests", baseline.Outcomes, baseline.Requests)
+	}
+	if withDetector.Outcomes != withDetector.Requests {
+		t.Errorf("detector run: %d outcomes for %d requests", withDetector.Outcomes, withDetector.Requests)
+	}
+
+	if baseline.FailureRate == 0 {
+		t.Fatal("churn produced no baseline failures; study is vacuous")
+	}
+	if len(withDetector.Detections) != 2 {
+		t.Fatalf("detections = %d, want 2 (one per killed camera)", len(withDetector.Detections))
+	}
+	for _, d := range withDetector.Detections {
+		if !d.Detected {
+			t.Errorf("%s: kill never detected", d.Device)
+			continue
+		}
+		if !d.Readmitted {
+			t.Errorf("%s: revival never re-admitted", d.Device)
+		}
+		// Re-admission rides the active prober; Down devices are probed
+		// every third cycle, so the bound is 3 probe intervals plus one
+		// for in-flight jitter.
+		if d.Readmitted && d.ReadmitLatency > 4*cfg.ProbeInterval {
+			t.Errorf("%s: readmit latency %v, want ≤ %v", d.Device, d.ReadmitLatency, 4*cfg.ProbeInterval)
+		}
+	}
+	if withDetector.SchedulingViolations != 0 {
+		t.Errorf("post-detection scheduling violations = %d, want 0", withDetector.SchedulingViolations)
+	}
+	if withDetector.FailureRate >= baseline.FailureRate {
+		t.Errorf("detector did not improve the failure rate: %.1f%% → %.1f%%",
+			baseline.FailureRate*100, withDetector.FailureRate*100)
+	}
+	if withDetector.DoomedDispatches >= baseline.DoomedDispatches {
+		t.Errorf("doomed dispatches not reduced: %d → %d",
+			baseline.DoomedDispatches, withDetector.DoomedDispatches)
+	}
+
+	var sb strings.Builder
+	PrintChurnStudy(&sb, baseline, withDetector)
+	for _, want := range []string{"detector on", "detected in", "readmitted in", "reduction"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, sb.String())
+		}
+	}
+}

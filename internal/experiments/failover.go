@@ -102,6 +102,11 @@ func runFailover(cfg FailoverConfig, maxAttempts int) (*FailoverRun, error) {
 		// No dial-failure cache: dials stay independent trials, keeping
 		// the run's statistics clean.
 		DialBackoff: -1,
+		// Same reason for the failure detector and breaker: injected dial
+		// failures are Bernoulli trials, not device death, and must not
+		// trigger gating that would correlate later attempts.
+		DisableLiveness:  true,
+		BreakerThreshold: -1,
 		// Same rationale as the sync study: at high clock scales the
 		// default batch window is below goroutine-scheduling jitter.
 		BatchWindow: 2 * time.Second,

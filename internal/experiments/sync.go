@@ -177,7 +177,7 @@ func formatFailures(m map[core.FailureKind]int64) string {
 		return "none"
 	}
 	out := ""
-	for _, k := range []core.FailureKind{core.FailConnect, core.FailBlurred, core.FailWrongPosition, core.FailStale, core.FailRetried, core.FailOther} {
+	for _, k := range []core.FailureKind{core.FailConnect, core.FailBlurred, core.FailWrongPosition, core.FailStale, core.FailRetried, core.FailNoDevice, core.FailOther} {
 		if n := m[k]; n > 0 {
 			if out != "" {
 				out += " "

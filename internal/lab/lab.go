@@ -11,6 +11,7 @@ package lab
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"aorta/internal/comm"
@@ -62,7 +63,9 @@ type Lab struct {
 	Motes   []*mote.Mote
 	Phones  []*phone.Phone
 
-	servers []*device.Server
+	mu      sync.Mutex
+	servers map[string]*device.Server
+	models  map[string]device.Model
 }
 
 // New builds and wires the lab. Call Close when done.
@@ -93,14 +96,21 @@ func New(cfg Config) (*Lab, error) {
 		return nil, err
 	}
 
-	l := &Lab{Clock: clk, Network: network, Engine: engine}
+	l := &Lab{
+		Clock:   clk,
+		Network: network,
+		Engine:  engine,
+		servers: make(map[string]*device.Server),
+		models:  make(map[string]device.Model),
+	}
 
 	serve := func(id string, m device.Model) error {
 		lis, err := network.Listen(id)
 		if err != nil {
 			return err
 		}
-		l.servers = append(l.servers, device.Serve(lis, m))
+		l.servers[id] = device.Serve(lis, m)
+		l.models[id] = m
 		return nil
 	}
 
@@ -160,9 +170,48 @@ func New(cfg Config) (*Lab, error) {
 // Close shuts down the engine and every device server.
 func (l *Lab) Close() {
 	l.Engine.Stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, s := range l.servers {
 		_ = s.Close()
 	}
+	l.servers = nil
+}
+
+// Kill crashes device id: its server stops and its link goes down, so
+// every in-flight and future connection fails. The device stays in the
+// engine's registry — from the engine's point of view it failed, it did
+// not leave. The churn study's fault injector.
+func (l *Lab) Kill(id string) {
+	l.mu.Lock()
+	if s, ok := l.servers[id]; ok {
+		_ = s.Close()
+		delete(l.servers, id)
+	}
+	l.mu.Unlock()
+	l.Network.SetLink(id, netsim.LinkConfig{Down: true})
+}
+
+// Revive restarts a killed device: the link comes back up and the
+// device's model is served again on its old address. Returns false for an
+// unknown or still-running device.
+func (l *Lab) Revive(id string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m, ok := l.models[id]
+	if !ok {
+		return false
+	}
+	if _, running := l.servers[id]; running {
+		return false
+	}
+	l.Network.SetLink(id, netsim.LinkConfig{})
+	lis, err := l.Network.Listen(id)
+	if err != nil {
+		return false
+	}
+	l.servers[id] = device.Serve(lis, m)
+	return true
 }
 
 // cameraMount places camera i of n alternating along the two short walls,

@@ -1,0 +1,215 @@
+package liveness
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+func newTestDetector(cfg Config) (*Detector, *vclock.Manual) {
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	return New(clk, cfg), clk
+}
+
+func TestStateMachineTransitions(t *testing.T) {
+	d, _ := newTestDetector(Config{SuspectAfter: 1, DownAfter: 3})
+	var events []Event
+	d.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	if got := d.State("m1"); got != Up {
+		t.Fatalf("unknown device state = %v, want Up", got)
+	}
+	d.Observe("m1", false)
+	if got := d.State("m1"); got != Suspect {
+		t.Fatalf("after 1 failure state = %v, want Suspect", got)
+	}
+	d.Observe("m1", false)
+	if got := d.State("m1"); got != Suspect {
+		t.Fatalf("after 2 failures state = %v, want Suspect", got)
+	}
+	d.Observe("m1", false)
+	if got := d.State("m1"); got != Down {
+		t.Fatalf("after 3 failures state = %v, want Down", got)
+	}
+	if !d.DownDevice("m1") {
+		t.Error("DownDevice = false for a Down device")
+	}
+	d.Observe("m1", true)
+	if got := d.State("m1"); got != Up {
+		t.Fatalf("after recovery state = %v, want Up", got)
+	}
+
+	want := []struct {
+		from, to State
+	}{{Up, Suspect}, {Suspect, Down}, {Down, Up}}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(events), events, len(want))
+	}
+	for i, w := range want {
+		if events[i].From != w.from || events[i].To != w.to {
+			t.Errorf("event %d = %v→%v, want %v→%v", i, events[i].From, events[i].To, w.from, w.to)
+		}
+		if events[i].Device != "m1" {
+			t.Errorf("event %d device = %q", i, events[i].Device)
+		}
+	}
+	if d.Transitions() != 3 {
+		t.Errorf("transitions = %d, want 3", d.Transitions())
+	}
+}
+
+// A success anywhere in the streak resets the consecutive-failure count:
+// a flapping device oscillates between Up and Suspect but never reaches
+// Down on consecutive thresholds alone (the circuit breaker handles
+// flap shedding).
+func TestSuccessResetsStreak(t *testing.T) {
+	d, _ := newTestDetector(Config{SuspectAfter: 1, DownAfter: 3})
+	for i := 0; i < 10; i++ {
+		d.Observe("m1", false)
+		d.Observe("m1", false)
+		d.Observe("m1", true)
+	}
+	if got := d.State("m1"); got != Up {
+		t.Errorf("flapping device state = %v, want Up", got)
+	}
+	snap := d.Snapshot()
+	if snap["m1"].ConsecutiveFailures != 0 {
+		t.Errorf("consecutive failures = %d, want 0", snap["m1"].ConsecutiveFailures)
+	}
+}
+
+// AdmitTrial grants one operation per DownRetry window to a Down device
+// and admits everything else unconditionally.
+func TestAdmitTrial(t *testing.T) {
+	d, clk := newTestDetector(Config{SuspectAfter: 1, DownAfter: 2, DownRetry: 10 * time.Second})
+	if !d.AdmitTrial("m1") {
+		t.Fatal("unknown device not admitted")
+	}
+	d.Observe("m1", false)
+	if !d.AdmitTrial("m1") {
+		t.Fatal("Suspect device not admitted")
+	}
+	d.Observe("m1", false) // → Down; nextTrial = now + 10s
+	if d.AdmitTrial("m1") {
+		t.Fatal("Down device admitted before its trial window")
+	}
+	clk.Advance(11 * time.Second)
+	if !d.AdmitTrial("m1") {
+		t.Fatal("Down device not granted its trial")
+	}
+	if d.AdmitTrial("m1") {
+		t.Fatal("second trial granted inside the same window")
+	}
+	// The trial succeeded: the device is re-admitted fully.
+	d.Observe("m1", true)
+	if !d.AdmitTrial("m1") {
+		t.Fatal("recovered device not admitted")
+	}
+}
+
+func TestDownRetryDisabled(t *testing.T) {
+	d, clk := newTestDetector(Config{SuspectAfter: 1, DownAfter: 1, DownRetry: -1})
+	d.Observe("m1", false)
+	clk.Advance(time.Hour)
+	if d.AdmitTrial("m1") {
+		t.Fatal("trial granted with DownRetry disabled")
+	}
+}
+
+func TestForget(t *testing.T) {
+	d, _ := newTestDetector(Config{DownAfter: 1})
+	d.Observe("m1", false)
+	if d.State("m1") != Down {
+		t.Fatal("setup: device not Down")
+	}
+	d.Forget("m1")
+	if got := d.State("m1"); got != Up {
+		t.Errorf("forgotten device state = %v, want Up (fresh)", got)
+	}
+	if _, ok := d.Snapshot()["m1"]; ok {
+		t.Error("forgotten device still in snapshot")
+	}
+}
+
+func TestConfigResolution(t *testing.T) {
+	// DownAfter below SuspectAfter is clamped up so Suspect is reachable.
+	d, _ := newTestDetector(Config{SuspectAfter: 5, DownAfter: 2})
+	for i := 0; i < 4; i++ {
+		d.Observe("m1", false)
+	}
+	if got := d.State("m1"); got != Up {
+		t.Fatalf("state after 4 failures = %v, want Up (thresholds clamped to 5)", got)
+	}
+	d.Observe("m1", false)
+	if got := d.State("m1"); got != Down {
+		t.Fatalf("state after 5 failures = %v, want Down", got)
+	}
+}
+
+// The health prober feeds active evidence on the clock: a device whose
+// probe fails three times is detected Down without any request traffic,
+// and a recovering probe re-admits it.
+func TestHealthProberDrivesDetector(t *testing.T) {
+	d, clk := newTestDetector(Config{SuspectAfter: 1, DownAfter: 3})
+	var mu sync.Mutex
+	alive := map[string]bool{"m1": true, "m2": false}
+	probe := func(_ context.Context, id string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return alive[id]
+	}
+	list := func() []string { return []string{"m1", "m2"} }
+	hp := NewHealthProber(d, clk, 2*time.Second, 1, list, probe)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); hp.Run(ctx) }()
+
+	fireCycle := func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for clk.Waiters() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("prober never armed its interval timer")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		clk.Advance(2*time.Second + time.Millisecond)
+	}
+	await := func(id string, want State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for d.State(id) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("device %s state = %v, want %v", id, d.State(id), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		fireCycle()
+	}
+	await("m2", Down)
+	await("m1", Up)
+
+	mu.Lock()
+	alive["m2"] = true
+	mu.Unlock()
+	// Down devices are probed every DownEvery cycles; with downEvery=1
+	// the next cycle re-admits it.
+	fireCycle()
+	await("m2", Up)
+
+	cancel()
+	// Unblock the prober's pending After so Run observes cancellation.
+	clk.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("prober did not stop on cancel")
+	}
+}

@@ -1,0 +1,70 @@
+package liveness
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+// ProbeFunc checks one device and reports whether it is alive. It must
+// respect ctx and should classify any contact — even a semantic error —
+// as alive; only transport-level failures mean dead.
+type ProbeFunc func(ctx context.Context, id string) bool
+
+// HealthProber drives the detector with active evidence: every Interval
+// on the clock it probes the current membership concurrently and feeds
+// the results to the detector. Down devices are probed only every
+// DownEvery cycles, bounding the dial cost of watching corpses while
+// still providing the re-admission path for devices that ordinary
+// traffic no longer reaches (the request path skips Down devices).
+type HealthProber struct {
+	det      *Detector
+	clk      vclock.Clock
+	interval time.Duration
+	downEvry int
+	list     func() []string
+	probe    ProbeFunc
+}
+
+// NewHealthProber builds a prober over the detector. list returns the
+// current device membership; probe checks one device. interval <= 0
+// selects DefaultProbeInterval; downEvery <= 0 selects
+// DefaultDownProbeEvery.
+func NewHealthProber(det *Detector, clk vclock.Clock, interval time.Duration, downEvery int, list func() []string, probe ProbeFunc) *HealthProber {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if downEvery <= 0 {
+		downEvery = DefaultDownProbeEvery
+	}
+	return &HealthProber{det: det, clk: clk, interval: interval, downEvry: downEvery, list: list, probe: probe}
+}
+
+// Run probes until ctx is cancelled. Call it on its own goroutine.
+func (p *HealthProber) Run(ctx context.Context) {
+	for cycle := 1; ; cycle++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-p.clk.After(p.interval):
+		}
+		var wg sync.WaitGroup
+		for _, id := range p.list() {
+			if p.det.DownDevice(id) && cycle%p.downEvry != 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				alive := p.probe(ctx, id)
+				if ctx.Err() != nil {
+					return // shutdown, not evidence
+				}
+				p.det.Observe(id, alive)
+			}(id)
+		}
+		wg.Wait()
+	}
+}

@@ -6,7 +6,9 @@ package manifest
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"os"
 
 	"aorta/internal/geo"
@@ -33,8 +35,73 @@ type Manifest struct {
 	Devices []Device `json:"devices"`
 }
 
-// Write saves the manifest as JSON.
+// Validate checks the manifest as a deployment descriptor and reports
+// every defect at once (one error per defect, joined), so a site
+// administrator fixes the whole file in one pass instead of playing
+// error whack-a-mole: duplicate IDs, missing or malformed fields, and
+// type-field mismatches (a camera without mount geometry or a sensor
+// without a location cannot answer the queries its virtual table
+// promises).
+func (m *Manifest) Validate() error {
+	var errs []error
+	seen := make(map[string]int)
+	for i, d := range m.Devices {
+		name := d.ID
+		if name == "" {
+			name = fmt.Sprintf("device %d", i)
+		}
+		if d.ID == "" {
+			errs = append(errs, fmt.Errorf("device %d: missing id", i))
+		} else if first, dup := seen[d.ID]; dup {
+			errs = append(errs, fmt.Errorf("%s: duplicate id (first used by device %d)", name, first))
+		} else {
+			seen[d.ID] = i
+		}
+		if d.Type == "" {
+			errs = append(errs, fmt.Errorf("%s: missing type", name))
+		}
+		switch d.Addr {
+		case "":
+			errs = append(errs, fmt.Errorf("%s: missing addr", name))
+		default:
+			if _, _, err := net.SplitHostPort(d.Addr); err != nil {
+				errs = append(errs, fmt.Errorf("%s: addr %q is not host:port: %v", name, d.Addr, err))
+			}
+		}
+		switch d.Type {
+		case "camera":
+			if d.Mount == nil {
+				errs = append(errs, fmt.Errorf("%s: camera needs mount geometry", name))
+			}
+		case "sensor":
+			if d.Loc == nil {
+				errs = append(errs, fmt.Errorf("%s: sensor needs a loc", name))
+			}
+			if d.Depth < 0 {
+				errs = append(errs, fmt.Errorf("%s: negative depth %d", name, d.Depth))
+			}
+		case "phone":
+			if d.Number == "" {
+				errs = append(errs, fmt.Errorf("%s: phone needs a number", name))
+			}
+		case "":
+			// already reported above
+		default:
+			errs = append(errs, fmt.Errorf("%s: unknown type %q (want camera, sensor or phone)", name, d.Type))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("manifest: invalid:\n%w", errors.Join(errs...))
+}
+
+// Write validates and saves the manifest as JSON, so a generator bug
+// (cmd/devfarm) is caught at write time, not at the consumer.
 func Write(path string, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("manifest: marshal: %w", err)
@@ -45,7 +112,8 @@ func Write(path string, m *Manifest) error {
 	return nil
 }
 
-// Read loads a manifest from JSON.
+// Read loads and validates a manifest; consumers (cmd/aortad,
+// cmd/aortacal) refuse to start on an invalid one.
 func Read(path string) (*Manifest, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -55,10 +123,8 @@ func Read(path string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("manifest: parse %s: %w", path, err)
 	}
-	for i, d := range m.Devices {
-		if d.ID == "" || d.Type == "" || d.Addr == "" {
-			return nil, fmt.Errorf("manifest: device %d missing id/type/addr", i)
-		}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &m, nil
 }

@@ -3,6 +3,7 @@ package manifest
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"aorta/internal/geo"
@@ -66,6 +67,68 @@ func TestReadValidatesRequiredFields(t *testing.T) {
 	}
 	if _, err := Read(path); err == nil {
 		t.Fatal("device without addr accepted")
+	}
+}
+
+// TestValidateReportsEveryDefect: one pass over a thoroughly broken
+// manifest surfaces every problem at once — duplicate ID, malformed
+// addr, camera without mount, sensor without loc, phone without number,
+// unknown type.
+func TestValidateReportsEveryDefect(t *testing.T) {
+	mount := geo.DefaultMount(geo.Point{Z: 3}, 0)
+	m := &Manifest{Devices: []Device{
+		{ID: "camera-1", Type: "camera", Addr: "127.0.0.1:9001", Mount: &mount},
+		{ID: "camera-1", Type: "camera", Addr: "127.0.0.1:9002", Mount: &mount}, // dup id
+		{ID: "camera-2", Type: "camera", Addr: "127.0.0.1:9003"},                // no mount
+		{ID: "mote-1", Type: "sensor", Addr: "no-port"},                         // bad addr, no loc
+		{ID: "phone-1", Type: "phone", Addr: "127.0.0.1:9004"},                  // no number
+		{ID: "toaster-1", Type: "toaster", Addr: "127.0.0.1:9005"},              // unknown type
+	}}
+	err := m.Validate()
+	if err == nil {
+		t.Fatal("broken manifest validated")
+	}
+	for _, want := range []string{
+		"duplicate id",
+		"camera needs mount",
+		"not host:port",
+		"sensor needs a loc",
+		"phone needs a number",
+		`unknown type "toaster"`,
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not mention %q:\n%v", want, err)
+		}
+	}
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteRejectsInvalid: a generator bug is caught at write time.
+func TestWriteRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	m := &Manifest{Devices: []Device{{ID: "camera-1", Type: "camera", Addr: "127.0.0.1:9001"}}}
+	if err := Write(path, m); err == nil {
+		t.Fatal("invalid manifest written")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("invalid manifest left a file behind")
+	}
+}
+
+// TestReadRejectsTypeMismatch: consumers refuse a manifest whose typed
+// fields don't match the declared device type.
+func TestReadRejectsTypeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mismatch.json")
+	if err := writeFile(path, `{"devices":[{"id":"camera-1","type":"camera","addr":"127.0.0.1:9001"}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("camera without mount accepted")
 	}
 }
 
