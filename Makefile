@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench churn-smoke clean
+.PHONY: all build vet test race bench bench-smoke churn-smoke qscale-smoke clean
 
 all: build vet test
 
@@ -25,8 +25,18 @@ race:
 churn-smoke:
 	$(GO) run ./cmd/aortabench -exp churn -minutes 3
 
+# The full query-scaling study: scan coalescing at O(D) plus
+# index-vs-brute routing timings (fast — manual clock + microbenchmark).
+qscale-smoke:
+	$(GO) run ./cmd/aortabench -exp qscale
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# One iteration of every match/scanshare benchmark: catches bit-rot in
+# the benchmark code itself without paying for real measurements.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime=1x ./internal/match/ ./internal/scanshare/
 
 clean:
 	$(GO) clean ./...

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|all")
+		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|qscale|all")
 		runs    = flag.Int("runs", 10, "independent runs per data point (paper: 10)")
 		seed    = flag.Int64("seed", 2005, "random seed")
 		cameras = flag.Int("cameras", 10, "camera count for the scheduling studies (paper: 10)")
@@ -164,8 +164,19 @@ func run(exp string, runs int, seed int64, cameras, minutes int) error {
 		experiments.PrintChurnStudy(out, baseline, withDetector)
 		fmt.Fprintln(out)
 	}
+	if all || wanted["qscale"] {
+		ran = true
+		qcfg := experiments.DefaultQScaleConfig()
+		qcfg.Seed = seed
+		points, err := experiments.QScaleStudy(qcfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintQScaleStudy(out, qcfg, points)
+		fmt.Fprintln(out)
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|qscale|all)", exp)
 	}
 	return nil
 }

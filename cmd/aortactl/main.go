@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -93,6 +94,10 @@ func printResponse(w io.Writer, data []byte) {
 		Names   []string         `json:"names"`
 		Metrics map[string]any   `json:"metrics"`
 		Comm    map[string]any   `json:"comm"`
+		// Scanshare is the shared scan fabric's counters; ScanGroups the
+		// current coalesced scan groups.
+		Scanshare  map[string]any   `json:"scanshare"`
+		ScanGroups []map[string]any `json:"scan_groups"`
 		// Liveness keys device ID → failure-detector health (state,
 		// consecutive_failures, since).
 		Liveness map[string]map[string]any `json:"liveness"`
@@ -122,6 +127,17 @@ func printResponse(w io.Writer, data []byte) {
 			out, _ := json.MarshalIndent(resp.Comm, "", "  ")
 			fmt.Fprintln(w, "comm:", string(out))
 		}
+		if resp.Scanshare != nil {
+			out, _ := json.MarshalIndent(resp.Scanshare, "", "  ")
+			fmt.Fprintln(w, "scanshare:", string(out))
+		}
+		if len(resp.ScanGroups) > 0 {
+			fmt.Fprintln(w, "scan groups:")
+			for _, g := range resp.ScanGroups {
+				fmt.Fprintf(w, "  %v every %v: %v queries\n",
+					g["device_type"], formatEpoch(g["epoch"]), g["queries"])
+			}
+		}
 		if len(resp.Liveness) > 0 {
 			ids := make([]string, 0, len(resp.Liveness))
 			for id := range resp.Liveness {
@@ -140,6 +156,15 @@ func printResponse(w io.Writer, data []byte) {
 	default:
 		fmt.Fprintln(w, "ok")
 	}
+}
+
+// formatEpoch renders a ShareInfo epoch (nanoseconds in JSON) as a
+// duration string.
+func formatEpoch(v any) string {
+	if ns, ok := v.(float64); ok {
+		return time.Duration(ns).String()
+	}
+	return fmt.Sprintf("%v", v)
 }
 
 // printTable renders homogeneous row maps as a column-aligned table.

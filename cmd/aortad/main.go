@@ -11,7 +11,7 @@
 //
 // Besides SQL, the protocol accepts backslash commands:
 //
-//	\metrics              engine action metrics + transport/pool counters
+//	\metrics              engine action metrics + transport/pool + scan fabric counters
 //	\photos               photos stored by photo()
 //	\stimulate <i> <mg> <sec>   inject an event at mote i (lab mode)
 //	\quit                 close the connection
@@ -40,6 +40,7 @@ import (
 	"aorta/internal/liveness"
 	"aorta/internal/manifest"
 	"aorta/internal/netsim"
+	"aorta/internal/scanshare"
 	"aorta/internal/vclock"
 )
 
@@ -170,6 +171,11 @@ type response struct {
 	Names   []string              `json:"names,omitempty"`
 	Metrics *core.MetricsSnapshot `json:"metrics,omitempty"`
 	Comm    *comm.MetricsSnapshot `json:"comm,omitempty"`
+	// Scanshare is the shared scan fabric's view: coalesced scans, fan-out
+	// volume and predicate-index hit rates.
+	Scanshare *scanshare.MetricsSnapshot `json:"scanshare,omitempty"`
+	// ScanGroups lists the current coalesced scan groups (SHOW SCANS).
+	ScanGroups []scanshare.ShareInfo `json:"scan_groups,omitempty"`
 	// Liveness is the failure detector's per-device health view.
 	Liveness map[string]liveness.DeviceHealth `json:"liveness,omitempty"`
 	Photos   []photoInfo                      `json:"photos,omitempty"`
@@ -223,7 +229,12 @@ func (s *server) command(line string) *response {
 	case "\\metrics":
 		m := s.engine.Metrics()
 		cm := s.engine.CommMetrics()
-		return &response{OK: true, Metrics: &m, Comm: &cm, Liveness: s.engine.LivenessSnapshot()}
+		sm := s.engine.ScanMetrics()
+		return &response{
+			OK: true, Metrics: &m, Comm: &cm, Scanshare: &sm,
+			ScanGroups: s.engine.ScanSharing(),
+			Liveness:   s.engine.LivenessSnapshot(),
+		}
 	case "\\photos":
 		var out []photoInfo
 		for _, p := range s.engine.Photos() {

@@ -104,7 +104,7 @@ func ExampleEngine_Exec() {
 	}
 	// Output:
 	// continuous query (epoch 2s)
-	//   scan sensor as s [accel_x, id, loc] (10 devices registered)
+	//   scan sensor as s [accel_x, id, loc] (10 devices registered, routed on accel_x > 500)
 	//   scan camera as c [id, ip] (2 devices registered)
 	//   filter (s.accel_x > 500 AND coverage(c.id, s.loc))
 	//   action photo on camera table (alias c) [shared operator, scheduler SRFAE, exclusive lock]

@@ -18,6 +18,7 @@ import (
 	"aorta/internal/liveness"
 	"aorta/internal/netsim"
 	"aorta/internal/profile"
+	"aorta/internal/scanshare"
 	"aorta/internal/sched"
 	"aorta/internal/sqlparse"
 	"aorta/internal/vclock"
@@ -160,6 +161,10 @@ type Engine struct {
 	prober *devsync.Prober
 	// live is the per-device failure detector; nil when DisableLiveness.
 	live *liveness.Detector
+	// fabric is the shared scan fabric: continuous queries subscribe their
+	// table needs and every (device type, epoch) pair is sampled once per
+	// epoch regardless of how many queries ride it.
+	fabric *scanshare.Fabric
 
 	mu        sync.Mutex
 	queries   map[string]*Query
@@ -264,6 +269,12 @@ func New(cfg Config) (*Engine, error) {
 		metrics:   newEngineMetrics(),
 		outcomes:  &outcomeLog{},
 	}
+	// The fabric scans through the layer, so pooled sessions, dial backoff,
+	// circuit breakers and the liveness gate all apply to shared scans.
+	e.fabric = scanshare.New(clk, func(ctx context.Context, deviceType string, attrs []string) ([]comm.Tuple, error) {
+		tuples, _, err := layer.Scan(ctx, deviceType, attrs)
+		return tuples, err
+	})
 	if !cfg.DisableLiveness {
 		e.live = liveness.New(clk, liveness.Config{
 			SuspectAfter: cfg.LivenessSuspectAfter,
@@ -349,6 +360,15 @@ func (e *Engine) Metrics() MetricsSnapshot { return e.metrics.Snapshot() }
 // counters, including the session pool (hits, misses, evictions,
 // suppressed dials, open sessions).
 func (e *Engine) CommMetrics() comm.MetricsSnapshot { return e.layer.Metrics().Snapshot() }
+
+// ScanMetrics returns a snapshot of the shared scan fabric's counters:
+// coalesced scans, fan-out volume, delivery drops and predicate-index
+// hit/residual rates.
+func (e *Engine) ScanMetrics() scanshare.MetricsSnapshot { return e.fabric.Metrics() }
+
+// ScanSharing reports the fabric's current scan groups: each entry is one
+// coalesced (device type, epoch) scan and how many query tables ride it.
+func (e *Engine) ScanSharing() []scanshare.ShareInfo { return e.fabric.Sharing() }
 
 // Outcomes returns the recorded action outcomes.
 func (e *Engine) Outcomes() []*Outcome { return e.outcomes.all() }
@@ -535,6 +555,7 @@ func (e *Engine) Start(ctx context.Context) error {
 	}
 	e.started = true
 	e.runCtx, e.runCancel = context.WithCancel(ctx)
+	e.fabric.Start(e.runCtx)
 	if e.live != nil && e.cfg.ProbeInterval > 0 {
 		hp := liveness.NewHealthProber(e.live, e.clk, e.cfg.ProbeInterval, 0,
 			e.deviceIDs, e.healthProbe)
@@ -564,6 +585,9 @@ func (e *Engine) Stop() {
 		cancel()
 	}
 	e.wg.Wait()
+	// Query loops have exited and dropped their subscriptions; wait for the
+	// fabric's cohort loops before tearing down the transport they scan on.
+	e.fabric.Stop()
 	snap := e.layer.Metrics().Snapshot()
 	_ = e.layer.Close()
 	if cancel == nil && snap.OpenSessions == 0 {
@@ -640,7 +664,8 @@ func (e *Engine) OperatorSharing() map[string]int {
 
 // ExecResult is the outcome of one Exec call.
 type ExecResult struct {
-	// Kind is "ok", "rows", "queries", "actions" or "devices".
+	// Kind is "ok", "rows", "queries", "actions", "devices", "scans" or
+	// "plan".
 	Kind    string
 	Message string
 	Rows    []map[string]any
@@ -827,6 +852,17 @@ func (e *Engine) execShow(what string) (*ExecResult, error) {
 			names = append(names, line)
 		}
 		return &ExecResult{Kind: "devices", Names: names}, nil
+	case "SCANS":
+		var names []string
+		for _, si := range e.fabric.Sharing() {
+			noun := "queries"
+			if si.Queries == 1 {
+				noun = "query"
+			}
+			names = append(names, fmt.Sprintf("%s every %s: %d %s [%s]",
+				si.DeviceType, si.Epoch, si.Queries, noun, strings.Join(si.Attrs, ", ")))
+		}
+		return &ExecResult{Kind: "scans", Names: names}, nil
 	default:
 		return nil, fmt.Errorf("core: cannot SHOW %q", what)
 	}
@@ -839,8 +875,16 @@ func (e *Engine) explain(q *Query) []string {
 	out = append(out, fmt.Sprintf("continuous query (epoch %s)", q.Epoch))
 	for _, bt := range q.tables {
 		devices := len(e.layer.DevicesOfType(bt.deviceType))
-		out = append(out, fmt.Sprintf("  scan %s as %s [%s] (%d devices registered)",
-			bt.deviceType, bt.alias, strings.Join(bt.attrs, ", "), devices))
+		line := fmt.Sprintf("  scan %s as %s [%s] (%d devices registered",
+			bt.deviceType, bt.alias, strings.Join(bt.attrs, ", "), devices)
+		if len(bt.preds) > 0 {
+			var ps []string
+			for _, p := range bt.preds {
+				ps = append(ps, fmt.Sprintf("%s %s %v", p.Attr, p.Op, p.Value))
+			}
+			line += ", routed on " + strings.Join(ps, " AND ")
+		}
+		out = append(out, line+")")
 	}
 	if q.sel.Where != nil {
 		out = append(out, "  filter "+q.sel.Where.String())

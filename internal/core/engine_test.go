@@ -540,8 +540,9 @@ func TestExplainPlan(t *testing.T) {
 	for _, want := range []string{
 		"continuous query (epoch 2s)",
 		"scan sensor as s",
-		"(10 devices registered)",
+		"(10 devices registered, routed on accel_x > 500)",
 		"scan camera as c",
+		"(2 devices registered)",
 		"filter",
 		"action photo on camera table (alias c)",
 		"scheduler SRFAE",

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"aorta/internal/comm"
+	"aorta/internal/match"
+	"aorta/internal/scanshare"
 	"aorta/internal/sqlparse"
 )
 
@@ -39,6 +41,11 @@ type boundTable struct {
 	alias      string
 	deviceType string
 	attrs      []string
+	// preds are the WHERE clause's indexable conjuncts anchored on this
+	// table. The scan fabric's predicate index routes only tuples
+	// satisfying them to the query; the full WHERE still runs on whatever
+	// arrives, so routing is purely an early filter.
+	preds []match.Predicate
 }
 
 // actionItem is one action call in the select list.
@@ -230,9 +237,34 @@ func (e *Engine) compileQuery(name string, sel *sqlparse.Select) (*Query, error)
 			attrs = append(attrs, a)
 		}
 		sort.Strings(attrs)
-		q.tables = append(q.tables, boundTable{alias: alias, deviceType: ref.Table, attrs: attrs})
+		bt := boundTable{alias: alias, deviceType: ref.Table, attrs: attrs}
+		if sel.Where != nil {
+			bt.preds = match.Extract(sel.Where, ownsRef(aliases, alias, e))
+		}
+		q.tables = append(q.tables, bt)
 	}
 	return q, nil
+}
+
+// ownsRef reports whether a column reference resolves to the given alias,
+// using the same resolution rule as compileQuery's collect: a qualified
+// reference belongs to its qualifier; an unqualified one to the unique
+// table having the column.
+func ownsRef(aliases map[string]string, alias string, e *Engine) func(ref *sqlparse.ColumnRef) bool {
+	return func(ref *sqlparse.ColumnRef) bool {
+		if ref.Qualifier != "" {
+			return ref.Qualifier == alias
+		}
+		var owner string
+		owners := 0
+		for a, table := range aliases {
+			if e.checkAttr(table, ref.Column) == nil {
+				owner = a
+				owners++
+			}
+		}
+		return owners == 1 && owner == alias
+	}
 }
 
 // checkAttr verifies the attribute exists in the device type's catalog.
@@ -280,7 +312,9 @@ func walkExprs(e sqlparse.Expr, fn func(sqlparse.Expr)) {
 }
 
 // evalOnce performs one evaluation epoch: scan, join, filter, and either
-// emit action requests or produce projected rows.
+// emit action requests or produce projected rows. Ad-hoc statements use
+// this direct path; continuous queries receive their scans from the shared
+// fabric and enter at evalScanned.
 func (e *Engine) evalOnce(ctx context.Context, q *Query) ([]map[string]any, error) {
 	// Scan every table. Unreachable devices simply produce no tuple.
 	scans := make(map[string][]comm.Tuple, len(q.tables))
@@ -291,7 +325,13 @@ func (e *Engine) evalOnce(ctx context.Context, q *Query) ([]map[string]any, erro
 		}
 		scans[bt.alias] = tuples
 	}
+	return e.evalScanned(q, scans)
+}
 
+// evalScanned runs the post-scan half of an epoch over already-materialized
+// table scans: join, filter, and either emit action requests or produce
+// projected rows.
+func (e *Engine) evalScanned(q *Query, scans map[string][]comm.Tuple) ([]map[string]any, error) {
 	// Cartesian product with WHERE filtering.
 	env := &evalEnv{bools: e.boolFuncs}
 	var passing []Row
@@ -458,16 +498,40 @@ func (e *Engine) emitRequests(q *Query, item *actionItem, rows []Row) {
 	}
 }
 
-// run is the continuous-query loop: evaluate every epoch until cancelled.
+// runQuery is the continuous-query loop. Instead of scanning on its own
+// timer, the query subscribes its table needs to the shared scan fabric:
+// the fabric samples each device type once per epoch for every subscriber
+// together and routes back only the tuples passing the query's indexable
+// predicates. Each delivered batch runs the post-scan half of the epoch
+// (join, full WHERE, actions/aggregates).
 func (e *Engine) runQuery(ctx context.Context, q *Query) {
 	defer e.wg.Done()
+	specs := make([]scanshare.TableSpec, len(q.tables))
+	for i, bt := range q.tables {
+		specs[i] = scanshare.TableSpec{
+			Alias:      bt.alias,
+			DeviceType: bt.deviceType,
+			Attrs:      bt.attrs,
+			Preds:      bt.preds,
+		}
+	}
+	sub := e.fabric.Subscribe(q.Epoch, specs)
+	defer sub.Close()
 	for {
+		var batch scanshare.Batch
 		select {
 		case <-ctx.Done():
 			return
-		case <-e.clk.After(q.Epoch):
+		case batch = <-sub.C:
 		}
-		_, err := e.evalOnce(ctx, q)
+		err := batch.Err
+		if err == nil {
+			scans := make(map[string][]comm.Tuple, len(q.tables))
+			for _, bt := range q.tables {
+				scans[bt.alias] = batch.Tables[bt.alias]
+			}
+			_, err = e.evalScanned(q, scans)
+		}
 		q.mu.Lock()
 		q.evals++
 		if err != nil && ctx.Err() == nil {

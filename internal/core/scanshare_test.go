@@ -1,0 +1,162 @@
+package core_test
+
+// Engine-level tests of the shared scan fabric integration: queries with
+// compatible epochs ride one coalesced device scan, SHOW SCANS reports the
+// sharing, and the SHOW listings are deterministically ordered.
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"aorta/internal/lab"
+)
+
+// TestScanFabricSharing registers three sensor queries with compatible
+// epochs and checks that they share one scan group: the fabric samples the
+// sensor table once per epoch no matter how many queries subscribe.
+func TestScanFabricSharing(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	ctx := context.Background()
+
+	for _, sql := range []string{
+		`CREATE AQ fast AS SELECT s.id FROM sensor s WHERE s.accel_x > 500 EVERY "1s"`,
+		`CREATE AQ slowA AS SELECT s.id FROM sensor s WHERE s.accel_x > 600 EVERY "2s"`,
+		`CREATE AQ slowB AS SELECT s.temp FROM sensor s WHERE s.temp > 100 EVERY "2s"`,
+	} {
+		if _, err := eng.Exec(ctx, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// All three subscriptions align into the 1s cohort (2s is a multiple),
+	// sharing a single sensor scan.
+	if !waitFor(t, 5*time.Second, func() bool {
+		sharing := eng.ScanSharing()
+		return len(sharing) == 1 && sharing[0].Queries == 3
+	}) {
+		t.Fatalf("scan sharing = %+v, want one sensor group with 3 queries", eng.ScanSharing())
+	}
+	si := eng.ScanSharing()[0]
+	if si.DeviceType != "sensor" || si.Epoch != time.Second {
+		t.Errorf("share group = %+v, want sensor every 1s", si)
+	}
+
+	res, err := eng.Exec(ctx, "SHOW SCANS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "scans" || len(res.Names) != 1 {
+		t.Fatalf("SHOW SCANS = %+v", res)
+	}
+	if !strings.Contains(res.Names[0], "sensor every 1s: 3 queries") {
+		t.Errorf("SHOW SCANS line = %q", res.Names[0])
+	}
+
+	// Let epochs elapse: one type scan per epoch — never one per query —
+	// and the avoided scans are counted.
+	if !waitFor(t, 5*time.Second, func() bool {
+		m := eng.ScanMetrics()
+		return m.Epochs >= 4 && m.ScansCoalesced > 0
+	}) {
+		t.Fatalf("fabric metrics = %+v", eng.ScanMetrics())
+	}
+	m := eng.ScanMetrics()
+	// One scan per epoch, never one per query. (A tick increments Epochs
+	// just before scanning, so a snapshot may catch one scan in flight.)
+	if m.TypeScans > m.Epochs || m.TypeScans < m.Epochs-1 {
+		t.Errorf("TypeScans = %d over %d epochs with 3 queries, want one scan per epoch",
+			m.TypeScans, m.Epochs)
+	}
+	if m.IndexProbes == 0 {
+		t.Error("predicate index never probed")
+	}
+
+	// Dropping a query releases its share; the group shrinks.
+	if _, err := eng.Exec(ctx, "DROP AQ slowA"); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		sharing := eng.ScanSharing()
+		return len(sharing) == 1 && sharing[0].Queries == 2
+	}) {
+		t.Fatalf("scan sharing after DROP = %+v, want 2 queries", eng.ScanSharing())
+	}
+}
+
+// TestPredicateRoutingEndToEnd: with an indexable threshold predicate, a
+// stimulated mote's tuples reach the query and fire its action, exactly as
+// before the fabric — routing is an early filter, not a semantic change.
+func TestPredicateRoutingEndToEnd(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	if _, err := eng.Exec(context.Background(), snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+	l.StimulateMote(2, 900, 3*time.Second)
+	if !waitFor(t, 5*time.Second, func() bool { return eng.Metrics().Requests >= 1 }) {
+		t.Fatalf("no action requests after stimulus; fabric=%+v", eng.ScanMetrics())
+	}
+	m := eng.ScanMetrics()
+	if m.IndexHits == 0 {
+		t.Errorf("stimulus fired the action without any index hit: %+v", m)
+	}
+	// The camera table has no indexable predicates — its tuples flow
+	// through the residual path.
+	if m.ResidualHits == 0 {
+		t.Errorf("camera residual subscription never delivered: %+v", m)
+	}
+}
+
+// TestShowOrderingDeterministic asserts the SHOW listings come back in a
+// stable order: queries by registration ID, devices sorted by ID.
+func TestShowOrderingDeterministic(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	ctx := context.Background()
+
+	// Register in non-alphabetical name order so map iteration order and
+	// name order disagree with ID order.
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		sql := `CREATE AQ ` + name + ` AS SELECT s.id FROM sensor s WHERE s.temp > 100 EVERY "5s"`
+		if _, err := eng.Exec(ctx, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantNames := []string{"zeta", "alpha", "mid"} // ID order
+	for round := 0; round < 5; round++ {
+		res, err := eng.Exec(ctx, "SHOW QUERIES")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Queries) != len(wantNames) {
+			t.Fatalf("SHOW QUERIES returned %d entries", len(res.Queries))
+		}
+		for i, info := range res.Queries {
+			if info.Name != wantNames[i] {
+				t.Fatalf("round %d: queries out of ID order: got %q at %d, want %q",
+					round, info.Name, i, wantNames[i])
+			}
+			if i > 0 && res.Queries[i-1].ID >= info.ID {
+				t.Fatalf("round %d: IDs not ascending: %d then %d", round, res.Queries[i-1].ID, info.ID)
+			}
+		}
+	}
+
+	for round := 0; round < 5; round++ {
+		res, err := eng.Exec(ctx, "SHOW DEVICES")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Names) == 0 {
+			t.Fatal("SHOW DEVICES returned nothing")
+		}
+		if !sort.StringsAreSorted(res.Names) {
+			t.Fatalf("round %d: SHOW DEVICES not sorted:\n%s", round, strings.Join(res.Names, "\n"))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQScaleStudySmall runs a miniature query-scaling study and checks its
+// central claims: fabric scans are one per epoch at every Q, the naive
+// baseline scales with Q, and the coalescing arithmetic adds up.
+func TestQScaleStudySmall(t *testing.T) {
+	cfg := QScaleConfig{
+		Queries: []int{1, 4},
+		Devices: 5,
+		Epochs:  3,
+		Probes:  50,
+		Seed:    7,
+	}
+	points, err := QScaleStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.FabricScans != int64(cfg.Epochs) {
+			t.Errorf("Q=%d: fabric issued %d scans over %d epochs, want one per epoch",
+				p.Queries, p.FabricScans, cfg.Epochs)
+		}
+		if p.NaiveScans != int64(p.Queries*cfg.Epochs) {
+			t.Errorf("Q=%d: naive scans = %d, want %d", p.Queries, p.NaiveScans, p.Queries*cfg.Epochs)
+		}
+		if p.ScansCoalesced != int64((p.Queries-1)*cfg.Epochs) {
+			t.Errorf("Q=%d: coalesced = %d, want %d", p.Queries, p.ScansCoalesced, (p.Queries-1)*cfg.Epochs)
+		}
+		if p.IndexNsPerTuple <= 0 || p.BruteNsPerTuple <= 0 {
+			t.Errorf("Q=%d: non-positive timings: %+v", p.Queries, p)
+		}
+	}
+
+	var sb strings.Builder
+	PrintQScaleStudy(&sb, cfg, points)
+	for _, want := range []string{"Query scaling", "fabric scans", "speedup"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package match
+
+import (
+	"aorta/internal/sqlparse"
+)
+
+// Extract pulls the indexable conjuncts anchored on one table out of a
+// WHERE clause. owns reports whether a column reference resolves to that
+// table (the caller knows the query's alias bindings; the index does not).
+//
+// The clause is decomposed at top-level ANDs only: inside an OR or NOT the
+// truth of one comparison no longer implies anything about the whole
+// clause, so those subtrees contribute nothing. Each AND conjunct of the
+// form <column> <op> <literal> (either side order) with an owned column
+// and a literal of the right type becomes a Predicate; everything else —
+// boolean function calls, column-to-column comparisons, != — is left for
+// the full WHERE evaluation downstream.
+//
+// The returned predicates are conservative by construction: a tuple that
+// fails one of them cannot satisfy the full WHERE clause, because the
+// conjunct appears un-negated on every path through the AND tree.
+func Extract(where sqlparse.Expr, owns func(ref *sqlparse.ColumnRef) bool) []Predicate {
+	var out []Predicate
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch ex := e.(type) {
+		case *sqlparse.Logic:
+			if ex.Op == "AND" {
+				walk(ex.Left)
+				walk(ex.Right)
+			}
+		case *sqlparse.Compare:
+			if p, ok := fromCompare(ex, owns); ok {
+				out = append(out, p)
+			}
+		}
+	}
+	walk(where)
+	return out
+}
+
+// fromCompare converts one comparison conjunct into a predicate when it
+// anchors an owned column against a literal.
+func fromCompare(c *sqlparse.Compare, owns func(ref *sqlparse.ColumnRef) bool) (Predicate, bool) {
+	ref, okRef := c.Left.(*sqlparse.ColumnRef)
+	lit, okLit := c.Right.(*sqlparse.Literal)
+	op := c.Op
+	if !okRef || !okLit {
+		// Try the flipped orientation: literal OP column.
+		ref, okRef = c.Right.(*sqlparse.ColumnRef)
+		lit, okLit = c.Left.(*sqlparse.Literal)
+		if !okRef || !okLit {
+			return Predicate{}, false
+		}
+		op = flipOp(op)
+	}
+	if op == "" || !owns(ref) {
+		return Predicate{}, false
+	}
+	p := Predicate{Attr: ref.Column, Op: op, Value: lit.Value}
+	if !p.indexable() {
+		return Predicate{}, false
+	}
+	return p, true
+}
+
+// flipOp mirrors an operator across its operands: 5 < x becomes x > 5.
+// Unsupported operators map to "".
+func flipOp(op string) string {
+	switch op {
+	case OpEQ:
+		return OpEQ
+	case OpLT:
+		return OpGT
+	case OpLE:
+		return OpGE
+	case OpGT:
+		return OpLT
+	case OpGE:
+		return OpLE
+	default:
+		return ""
+	}
+}

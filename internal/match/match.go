@@ -1,0 +1,461 @@
+// Package match implements the predicate index that routes scanned tuples
+// to subscribed queries in sublinear time.
+//
+// With N queries registered over the same device table, evaluating every
+// query's WHERE clause against every tuple costs O(N) per tuple — linear in
+// query count, the opposite of the scaling the ROADMAP asks for. The index
+// decomposes each query's WHERE clause into AND-connected conjuncts and
+// indexes the ones it can:
+//
+//   - numeric one-sided comparisons (attr > c, attr >= c, attr < c,
+//     attr <= c) in two ordered boundary trees per attribute (built on
+//     internal/rbtree), where the set of satisfied conjuncts for a probe
+//     value is a prefix of the tree order — O(log n + hits) per probe;
+//   - equality conjuncts (attr = c, numeric or string) in hash buckets —
+//     O(1) per probe;
+//   - everything else (boolean functions, OR trees, !=, cross-table
+//     comparisons) stays out of the index and is re-checked by the full
+//     WHERE evaluation downstream.
+//
+// A subscription matches a tuple when every one of its indexed conjuncts is
+// satisfied (counting algorithm: tally satisfied conjuncts per subscription,
+// compare against the subscription's conjunct count). Subscriptions with no
+// indexable conjunct at all are residual: they match every tuple and rely
+// entirely on the downstream WHERE. The index is therefore conservative —
+// it may deliver a tuple the full WHERE later rejects, but it never
+// withholds one the WHERE would accept.
+//
+// Value semantics: numeric conjuncts match only numeric tuple values
+// (ints widen to float64), string equality matches only strings; a missing,
+// nil or type-mismatched value does not satisfy the conjunct. That is the
+// exact contract Predicate.Eval implements, and the fuzz test holds Match to
+// it against brute-force linear evaluation.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aorta/internal/rbtree"
+)
+
+// Op is a comparison operator of an indexable predicate.
+const (
+	OpEQ = "="
+	OpLT = "<"
+	OpLE = "<="
+	OpGT = ">"
+	OpGE = ">="
+)
+
+// Predicate is one indexable conjunct: attr OP value. Value is float64 for
+// the ordered operators; OpEQ additionally accepts string.
+type Predicate struct {
+	Attr  string
+	Op    string
+	Value any
+}
+
+// String implements fmt.Stringer.
+func (p Predicate) String() string { return fmt.Sprintf("%s %s %v", p.Attr, p.Op, p.Value) }
+
+// Eval reports whether a tuple value satisfies the predicate — the ground
+// truth the index reproduces. Missing (nil) and type-mismatched values do
+// not satisfy.
+func (p Predicate) Eval(v any) bool {
+	if s, ok := p.Value.(string); ok {
+		if p.Op != OpEQ {
+			return false // non-equality string predicates are not indexable
+		}
+		vs, ok := v.(string)
+		return ok && vs == s
+	}
+	c, ok := toFloat(p.Value)
+	if !ok {
+		return false
+	}
+	f, ok := toFloat(v)
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case OpEQ:
+		return f == c
+	case OpLT:
+		return f < c
+	case OpLE:
+		return f <= c
+	case OpGT:
+		return f > c
+	case OpGE:
+		return f >= c
+	default:
+		return false
+	}
+}
+
+// indexable reports whether the predicate can live in the index.
+func (p Predicate) indexable() bool {
+	if _, isStr := p.Value.(string); isStr {
+		return p.Op == OpEQ
+	}
+	if _, isNum := toFloat(p.Value); !isNum {
+		return false
+	}
+	switch p.Op {
+	case OpEQ, OpLT, OpLE, OpGT, OpGE:
+		return true
+	}
+	return false
+}
+
+// Sub identifies one subscription: a (query, table-alias) pair in the
+// engine, but the index is agnostic to what the two fields mean.
+type Sub struct {
+	ID  int
+	Tag string
+}
+
+func subLess(a, b Sub) bool {
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Tag < b.Tag
+}
+
+// boundEntry is one one-sided numeric conjunct in a boundary tree.
+type boundEntry struct {
+	c      float64
+	strict bool // > / < rather than >= / <=
+	sub    Sub
+	cid    int // conjunct index within the subscription, for duplicates
+}
+
+// lowerLess orders a lower-bound tree (x > c, x >= c) so that for any probe
+// value f the satisfied entries are exactly a prefix: ascending by c, and at
+// equal c the non-strict (>=) entries first, since x >= c still matches at
+// x == c while x > c no longer does.
+func lowerLess(a, b boundEntry) bool {
+	if a.c != b.c {
+		return a.c < b.c
+	}
+	return entryTiebreak(a, b)
+}
+
+// upperLess orders an upper-bound tree (x < c, x <= c) descending by c with
+// non-strict first at equal c, giving the same prefix property from the
+// other side.
+func upperLess(a, b boundEntry) bool {
+	if a.c != b.c {
+		return a.c > b.c
+	}
+	return entryTiebreak(a, b)
+}
+
+func entryTiebreak(a, b boundEntry) bool {
+	if a.strict != b.strict {
+		return !a.strict // non-strict sorts first at equal c
+	}
+	if a.sub.ID != b.sub.ID {
+		return a.sub.ID < b.sub.ID
+	}
+	if a.sub.Tag != b.sub.Tag {
+		return a.sub.Tag < b.sub.Tag
+	}
+	return a.cid < b.cid
+}
+
+// eqKey buckets equality conjuncts; numeric values are normalized to
+// float64 so 500 and 500.0 share a bucket.
+type eqKey struct {
+	str   string
+	num   float64
+	isStr bool
+}
+
+type eqEntry struct {
+	sub Sub
+	cid int
+}
+
+// attrIndex holds every indexed conjunct anchored on one attribute.
+type attrIndex struct {
+	lower *rbtree.Tree[boundEntry]
+	upper *rbtree.Tree[boundEntry]
+	eq    map[eqKey][]eqEntry
+}
+
+func newAttrIndex() *attrIndex {
+	return &attrIndex{
+		lower: rbtree.New(lowerLess),
+		upper: rbtree.New(upperLess),
+		eq:    make(map[eqKey][]eqEntry),
+	}
+}
+
+func (ai *attrIndex) empty() bool {
+	return ai.lower.Len() == 0 && ai.upper.Len() == 0 && len(ai.eq) == 0
+}
+
+// subInfo records what one subscription contributed.
+type subInfo struct {
+	preds   []Predicate // all predicates, indexable or not (for BruteMatch)
+	indexed int         // count of indexed conjuncts; 0 means residual
+}
+
+// Index routes tuples to the subscriptions whose indexed conjuncts they
+// satisfy. Safe for concurrent use: Match takes a read lock, so routing from
+// many scan loops proceeds in parallel.
+type Index struct {
+	mu       sync.RWMutex
+	subs     map[Sub]*subInfo
+	attrs    map[string]*attrIndex
+	residual map[Sub]struct{}
+
+	// Routing counters are atomics: Match runs under the read lock so
+	// concurrent probes may update them simultaneously.
+	probes  atomic.Int64 // tuples probed
+	hits    atomic.Int64 // indexed (non-residual) deliveries
+	resHits atomic.Int64 // residual deliveries
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		subs:     make(map[Sub]*subInfo),
+		attrs:    make(map[string]*attrIndex),
+		residual: make(map[Sub]struct{}),
+	}
+}
+
+// Len returns the number of subscriptions.
+func (x *Index) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.subs)
+}
+
+// Insert registers a subscription under its predicate conjuncts. Predicates
+// that are not indexable are kept for BruteMatch but contribute nothing to
+// routing; a subscription with no indexable predicate is residual and
+// matches every tuple. Inserting an existing Sub replaces it.
+func (x *Index) Insert(s Sub, preds []Predicate) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, dup := x.subs[s]; dup {
+		x.removeLocked(s)
+	}
+	info := &subInfo{preds: preds}
+	for cid, p := range preds {
+		if !p.indexable() {
+			continue
+		}
+		info.indexed++
+		ai := x.attrs[p.Attr]
+		if ai == nil {
+			ai = newAttrIndex()
+			x.attrs[p.Attr] = ai
+		}
+		if p.Op == OpEQ {
+			k := eqKeyOf(p.Value)
+			ai.eq[k] = append(ai.eq[k], eqEntry{sub: s, cid: cid})
+			continue
+		}
+		c, _ := toFloat(p.Value)
+		e := boundEntry{c: c, strict: p.Op == OpGT || p.Op == OpLT, sub: s, cid: cid}
+		if p.Op == OpGT || p.Op == OpGE {
+			ai.lower.Insert(e)
+		} else {
+			ai.upper.Insert(e)
+		}
+	}
+	if info.indexed == 0 {
+		x.residual[s] = struct{}{}
+	}
+	x.subs[s] = info
+}
+
+// Remove drops a subscription and every conjunct it contributed.
+func (x *Index) Remove(s Sub) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.removeLocked(s)
+}
+
+func (x *Index) removeLocked(s Sub) {
+	info, ok := x.subs[s]
+	if !ok {
+		return
+	}
+	delete(x.subs, s)
+	delete(x.residual, s)
+	for cid, p := range info.preds {
+		if !p.indexable() {
+			continue
+		}
+		ai := x.attrs[p.Attr]
+		if ai == nil {
+			continue
+		}
+		if p.Op == OpEQ {
+			k := eqKeyOf(p.Value)
+			entries := ai.eq[k]
+			for i, e := range entries {
+				if e.sub == s && e.cid == cid {
+					ai.eq[k] = append(entries[:i], entries[i+1:]...)
+					break
+				}
+			}
+			if len(ai.eq[k]) == 0 {
+				delete(ai.eq, k)
+			}
+		} else {
+			c, _ := toFloat(p.Value)
+			e := boundEntry{c: c, strict: p.Op == OpGT || p.Op == OpLT, sub: s, cid: cid}
+			if p.Op == OpGT || p.Op == OpGE {
+				ai.lower.Delete(e)
+			} else {
+				ai.upper.Delete(e)
+			}
+		}
+		if ai.empty() {
+			delete(x.attrs, p.Attr)
+		}
+	}
+}
+
+// Match returns every subscription whose indexed conjuncts are all
+// satisfied by the tuple, plus every residual subscription, sorted for
+// determinism. The boundary trees make each probe O(log n + hits) per
+// attribute instead of O(subscriptions).
+func (x *Index) Match(tuple map[string]any) []Sub {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	x.probes.Add(1)
+	counts := make(map[Sub]int)
+	for attr, ai := range x.attrs {
+		v, ok := tuple[attr]
+		if !ok || v == nil {
+			continue
+		}
+		if f, isNum := toFloat(v); isNum {
+			// Lower bounds: prefix of ascending (c, non-strict-first) order.
+			ai.lower.InOrder(func(e boundEntry) bool {
+				if e.c > f || (e.c == f && e.strict) {
+					return false
+				}
+				counts[e.sub]++
+				return true
+			})
+			// Upper bounds: prefix of descending (c, non-strict-first) order.
+			ai.upper.InOrder(func(e boundEntry) bool {
+				if e.c < f || (e.c == f && e.strict) {
+					return false
+				}
+				counts[e.sub]++
+				return true
+			})
+			for _, e := range ai.eq[eqKey{num: f}] {
+				counts[e.sub]++
+			}
+		} else if s, isStr := v.(string); isStr {
+			for _, e := range ai.eq[eqKey{str: s, isStr: true}] {
+				counts[e.sub]++
+			}
+		}
+	}
+	out := make([]Sub, 0, len(counts)+len(x.residual))
+	for sub, n := range counts {
+		if n == x.subs[sub].indexed {
+			out = append(out, sub)
+		}
+	}
+	x.hits.Add(int64(len(out)))
+	for sub := range x.residual {
+		out = append(out, sub)
+	}
+	x.resHits.Add(int64(len(x.residual)))
+	sort.Slice(out, func(i, j int) bool { return subLess(out[i], out[j]) })
+	return out
+}
+
+// BruteMatch evaluates every subscription's full predicate list linearly —
+// the O(subscriptions) baseline Match must agree with. A subscription
+// matches when all its indexable predicates evaluate true; non-indexable
+// predicates are skipped, exactly as the index skips them.
+func (x *Index) BruteMatch(tuple map[string]any) []Sub {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var out []Sub
+	for sub, info := range x.subs {
+		ok := true
+		for _, p := range info.preds {
+			if !p.indexable() {
+				continue
+			}
+			if !p.Eval(tuple[p.Attr]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, sub)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return subLess(out[i], out[j]) })
+	return out
+}
+
+// Stats is a point-in-time snapshot of routing activity.
+type Stats struct {
+	// Subs and Residual are the current subscription counts.
+	Subs     int
+	Residual int
+	// Probes is how many tuples were routed; Hits and ResidualHits split
+	// the resulting deliveries into index-qualified and
+	// residual-by-construction.
+	Probes       int64
+	Hits         int64
+	ResidualHits int64
+}
+
+// Stats returns current routing counters.
+func (x *Index) Stats() Stats {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return Stats{
+		Subs:         len(x.subs),
+		Residual:     len(x.residual),
+		Probes:       x.probes.Load(),
+		Hits:         x.hits.Load(),
+		ResidualHits: x.resHits.Load(),
+	}
+}
+
+func eqKeyOf(v any) eqKey {
+	if s, ok := v.(string); ok {
+		return eqKey{str: s, isStr: true}
+	}
+	f, _ := toFloat(v)
+	return eqKey{num: f}
+}
+
+// toFloat widens any numeric value to float64.
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	default:
+		return 0, false
+	}
+}

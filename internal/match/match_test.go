@@ -1,0 +1,347 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aorta/internal/sqlparse"
+)
+
+func subIDs(subs []Sub) []int {
+	out := make([]int, len(subs))
+	for i, s := range subs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+func TestRangeRouting(t *testing.T) {
+	x := NewIndex()
+	x.Insert(Sub{ID: 1, Tag: "s"}, []Predicate{{Attr: "accel", Op: OpGT, Value: 500.0}})
+	x.Insert(Sub{ID: 2, Tag: "s"}, []Predicate{{Attr: "accel", Op: OpGT, Value: 700.0}})
+	x.Insert(Sub{ID: 3, Tag: "s"}, []Predicate{{Attr: "accel", Op: OpLE, Value: 100.0}})
+
+	tests := []struct {
+		accel float64
+		want  []int
+	}{
+		{900, []int{1, 2}},
+		{600, []int{1}},
+		{700, []int{1}}, // strict: 700 > 700 is false
+		{100, []int{3}}, // non-strict: 100 <= 100
+		{50, []int{3}},
+		{300, nil},
+	}
+	for _, tt := range tests {
+		got := subIDs(x.Match(map[string]any{"accel": tt.accel}))
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Match(accel=%v) = %v, want %v", tt.accel, got, tt.want)
+		}
+	}
+}
+
+func TestEqualityAndConjunction(t *testing.T) {
+	x := NewIndex()
+	// Sub 1 wants mote-3 above 500; sub 2 any mote above 500; sub 3 is
+	// residual (no indexable conjunct).
+	x.Insert(Sub{ID: 1}, []Predicate{
+		{Attr: "id", Op: OpEQ, Value: "mote-3"},
+		{Attr: "accel", Op: OpGT, Value: 500.0},
+	})
+	x.Insert(Sub{ID: 2}, []Predicate{{Attr: "accel", Op: OpGT, Value: 500.0}})
+	x.Insert(Sub{ID: 3}, nil)
+
+	got := subIDs(x.Match(map[string]any{"id": "mote-3", "accel": 900.0}))
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("full match = %v", got)
+	}
+	got = subIDs(x.Match(map[string]any{"id": "mote-7", "accel": 900.0}))
+	if !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("wrong mote = %v", got)
+	}
+	got = subIDs(x.Match(map[string]any{"id": "mote-3", "accel": 100.0}))
+	if !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("low accel = %v", got)
+	}
+}
+
+func TestNumericEqualityNormalizesInts(t *testing.T) {
+	x := NewIndex()
+	x.Insert(Sub{ID: 1}, []Predicate{{Attr: "depth", Op: OpEQ, Value: 2.0}})
+	if got := subIDs(x.Match(map[string]any{"depth": int(2)})); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("int probe = %v", got)
+	}
+	if got := x.Match(map[string]any{"depth": "2"}); len(got) != 0 {
+		t.Errorf("string probe matched numeric equality: %v", got)
+	}
+}
+
+func TestMissingAndMismatchedValues(t *testing.T) {
+	x := NewIndex()
+	x.Insert(Sub{ID: 1}, []Predicate{{Attr: "accel", Op: OpGT, Value: 0.0}})
+	if got := x.Match(map[string]any{}); len(got) != 0 {
+		t.Errorf("missing attr matched: %v", got)
+	}
+	if got := x.Match(map[string]any{"accel": nil}); len(got) != 0 {
+		t.Errorf("nil attr matched: %v", got)
+	}
+	if got := x.Match(map[string]any{"accel": "fast"}); len(got) != 0 {
+		t.Errorf("string value matched numeric predicate: %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	x := NewIndex()
+	for i := 1; i <= 5; i++ {
+		x.Insert(Sub{ID: i}, []Predicate{{Attr: "a", Op: OpGT, Value: float64(i * 10)}})
+	}
+	x.Insert(Sub{ID: 6}, nil) // residual
+	x.Remove(Sub{ID: 3})
+	x.Remove(Sub{ID: 6})
+	x.Remove(Sub{ID: 99}) // unknown: no-op
+	got := subIDs(x.Match(map[string]any{"a": 100.0}))
+	if !reflect.DeepEqual(got, []int{1, 2, 4, 5}) {
+		t.Errorf("after remove = %v", got)
+	}
+	if x.Len() != 4 {
+		t.Errorf("Len = %d", x.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		x.Remove(Sub{ID: i})
+	}
+	if len(x.attrs) != 0 {
+		t.Errorf("attr indexes leak after removing every sub: %d", len(x.attrs))
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	x := NewIndex()
+	x.Insert(Sub{ID: 1}, []Predicate{{Attr: "a", Op: OpGT, Value: 10.0}})
+	x.Insert(Sub{ID: 1}, []Predicate{{Attr: "a", Op: OpLT, Value: 5.0}})
+	if got := x.Match(map[string]any{"a": 20.0}); len(got) != 0 {
+		t.Errorf("stale predicate survived replacement: %v", got)
+	}
+	if got := subIDs(x.Match(map[string]any{"a": 1.0})); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("replacement predicate not matching: %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	x := NewIndex()
+	x.Insert(Sub{ID: 1}, []Predicate{{Attr: "a", Op: OpGT, Value: 10.0}})
+	x.Insert(Sub{ID: 2}, nil)
+	x.Match(map[string]any{"a": 20.0})
+	x.Match(map[string]any{"a": 0.0})
+	s := x.Stats()
+	if s.Subs != 2 || s.Residual != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Probes != 2 || s.Hits != 1 || s.ResidualHits != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	owns := func(ref *sqlparse.ColumnRef) bool { return ref.Qualifier == "s" }
+	parse := func(sql string) sqlparse.Expr {
+		t.Helper()
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		return stmt.(*sqlparse.Select).Where
+	}
+
+	tests := []struct {
+		where string
+		want  []Predicate
+	}{
+		{
+			`SELECT s.id FROM sensor s WHERE s.accel_x > 500`,
+			[]Predicate{{Attr: "accel_x", Op: OpGT, Value: 500.0}},
+		},
+		{
+			`SELECT s.id FROM sensor s WHERE 500 < s.accel_x`,
+			[]Predicate{{Attr: "accel_x", Op: OpGT, Value: 500.0}},
+		},
+		{
+			`SELECT s.id FROM sensor s WHERE s.accel_x > 500 AND s.id = "mote-3" AND coverage(c.id, s.loc)`,
+			[]Predicate{
+				{Attr: "accel_x", Op: OpGT, Value: 500.0},
+				{Attr: "id", Op: OpEQ, Value: "mote-3"},
+			},
+		},
+		{
+			// Inside OR nothing is extractable; the other AND conjunct is.
+			`SELECT s.id FROM sensor s WHERE (s.temp > 30 OR s.accel_x > 500) AND s.depth <= 2`,
+			[]Predicate{{Attr: "depth", Op: OpLE, Value: 2.0}},
+		},
+		{
+			// NOT blocks extraction; != is not indexable; column-to-column
+			// comparisons are not indexable.
+			`SELECT s.id FROM sensor s, camera c WHERE NOT s.temp > 30 AND s.id != "x" AND s.temp > c.pan`,
+			nil,
+		},
+		{
+			// Other table's columns are not owned.
+			`SELECT s.id FROM sensor s, camera c WHERE c.pan > 10 AND s.temp >= 5`,
+			[]Predicate{{Attr: "temp", Op: OpGE, Value: 5.0}},
+		},
+	}
+	for _, tt := range tests {
+		got := Extract(parse(tt.where), owns)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Extract(%q) = %v, want %v", tt.where, got, tt.want)
+		}
+	}
+}
+
+// randomIndex populates an index with nSubs random subscriptions drawn
+// from rng, returning it for comparison probes.
+func randomIndex(rng *rand.Rand, nSubs int) *Index {
+	attrs := []string{"a", "b", "c", "d"}
+	ops := []string{OpEQ, OpLT, OpLE, OpGT, OpGE}
+	x := NewIndex()
+	for i := 0; i < nSubs; i++ {
+		n := rng.Intn(4) // 0 conjuncts → residual
+		preds := make([]Predicate, 0, n)
+		for j := 0; j < n; j++ {
+			p := Predicate{Attr: attrs[rng.Intn(len(attrs))], Op: ops[rng.Intn(len(ops))]}
+			if p.Op == OpEQ && rng.Intn(2) == 0 {
+				p.Value = fmt.Sprintf("v%d", rng.Intn(5))
+			} else {
+				// Coarse values make collisions (and exact boundary hits) common.
+				p.Value = float64(rng.Intn(21) - 10)
+			}
+			preds = append(preds, p)
+		}
+		x.Insert(Sub{ID: i, Tag: "t"}, preds)
+	}
+	return x
+}
+
+func randomTuple(rng *rand.Rand) map[string]any {
+	attrs := []string{"a", "b", "c", "d"}
+	t := make(map[string]any)
+	for _, a := range attrs {
+		switch rng.Intn(5) {
+		case 0: // missing
+		case 1:
+			t[a] = fmt.Sprintf("v%d", rng.Intn(5))
+		case 2:
+			t[a] = rng.Intn(21) - 10 // int, exercising numeric widening
+		default:
+			t[a] = float64(rng.Intn(21) - 10)
+		}
+	}
+	return t
+}
+
+// TestMatchEquivalenceRandomized cross-checks Match against BruteMatch
+// over many random indexes and tuples, with churn (removals) in between.
+func TestMatchEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		x := randomIndex(rng, 40)
+		// Churn: remove a third of the subscriptions.
+		for i := 0; i < 40; i += 3 {
+			x.Remove(Sub{ID: i, Tag: "t"})
+		}
+		for probe := 0; probe < 40; probe++ {
+			tuple := randomTuple(rng)
+			got := x.Match(tuple)
+			want := x.BruteMatch(tuple)
+			if len(want) == 0 {
+				want = []Sub{}
+			}
+			if len(got) == 0 {
+				got = []Sub{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: Match = %v, BruteMatch = %v, tuple = %v", round, got, want, tuple)
+			}
+		}
+	}
+}
+
+// FuzzIndexEquivalence drives the index with fuzzer-chosen subscriptions
+// and tuples and requires Match ≡ BruteMatch: the sublinear routing result
+// must equal brute-force linear evaluation exactly.
+func FuzzIndexEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(20))
+	f.Add(int64(42), uint8(50), uint8(5))
+	f.Add(int64(2005), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nSubs, nProbes uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		x := randomIndex(rng, int(nSubs))
+		for i := 0; i < int(nSubs); i += 2 {
+			if rng.Intn(2) == 0 {
+				x.Remove(Sub{ID: i, Tag: "t"})
+			}
+		}
+		for probe := 0; probe < int(nProbes); probe++ {
+			tuple := randomTuple(rng)
+			got := x.Match(tuple)
+			want := x.BruteMatch(tuple)
+			if len(got) != len(want) {
+				t.Fatalf("Match = %v, BruteMatch = %v, tuple = %v", got, want, tuple)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Match = %v, BruteMatch = %v, tuple = %v", got, want, tuple)
+				}
+			}
+		}
+	})
+}
+
+// benchIndex builds a Q-subscription index shaped like the qscale study:
+// threshold predicates over one attribute plus an equality attribute.
+func benchIndex(q int) *Index {
+	x := NewIndex()
+	for i := 0; i < q; i++ {
+		x.Insert(Sub{ID: i}, []Predicate{
+			{Attr: "accel_x", Op: OpGT, Value: float64(100 + (i%90)*10)},
+			{Attr: "id", Op: OpEQ, Value: fmt.Sprintf("mote-%d", i%16+1)},
+		})
+	}
+	return x
+}
+
+func benchTuple(i int) map[string]any {
+	return map[string]any{
+		"accel_x": float64(i%1000) + 0.5,
+		"id":      fmt.Sprintf("mote-%d", i%16+1),
+	}
+}
+
+func BenchmarkMatch1000(b *testing.B) {
+	x := benchIndex(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Match(benchTuple(i))
+	}
+}
+
+func BenchmarkBruteMatch1000(b *testing.B) {
+	x := benchIndex(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.BruteMatch(benchTuple(i))
+	}
+}
+
+func BenchmarkInsertRemove(b *testing.B) {
+	x := benchIndex(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := Sub{ID: 100000 + i%64}
+		x.Insert(s, []Predicate{{Attr: "accel_x", Op: OpGT, Value: float64(i % 997)}})
+		x.Remove(s)
+	}
+}

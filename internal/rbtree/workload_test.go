@@ -1,0 +1,139 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// boundKey mirrors the predicate index's boundary-tree entries: a numeric
+// bound with a strictness flag and a (sub, conjunct) tiebreaker, ordered so
+// the satisfied entries for any probe value form a prefix of the in-order
+// traversal. This test drives the tree with that workload — many duplicate
+// bounds, interleaved inserts and deletes — and checks both the red-black
+// invariants and the prefix-traversal results against a sorted slice.
+type boundKey struct {
+	c      float64
+	strict bool
+	sub    int
+	cid    int
+}
+
+func boundLess(a, b boundKey) bool {
+	if a.c != b.c {
+		return a.c < b.c
+	}
+	if a.strict != b.strict {
+		return !a.strict
+	}
+	if a.sub != b.sub {
+		return a.sub < b.sub
+	}
+	return a.cid < b.cid
+}
+
+// TestMatchWorkloadInvariants runs randomized insert/delete rounds shaped
+// like predicate-index churn (coarse duplicate-heavy bounds) and verifies
+// the tree with CheckInvariants after every batch.
+func TestMatchWorkloadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2005))
+	tr := New(boundLess)
+	live := make(map[boundKey]bool)
+
+	randKey := func() boundKey {
+		return boundKey{
+			c:      float64(rng.Intn(40) - 20), // heavy duplication across subs
+			strict: rng.Intn(2) == 0,
+			sub:    rng.Intn(200),
+			cid:    rng.Intn(3),
+		}
+	}
+
+	for round := 0; round < 200; round++ {
+		// A burst of inserts (queries registering)...
+		for i := 0; i < 25; i++ {
+			k := randKey()
+			inserted := tr.Insert(k)
+			if inserted == live[k] {
+				t.Fatalf("Insert(%+v) returned %v but liveness was %v", k, inserted, live[k])
+			}
+			live[k] = true
+		}
+		// ...then a burst of deletes (queries dropping), targeting a mix of
+		// present and absent keys.
+		for i := 0; i < 20; i++ {
+			k := randKey()
+			deleted := tr.Delete(k)
+			if deleted != live[k] {
+				t.Fatalf("Delete(%+v) returned %v but liveness was %v", k, deleted, live[k])
+			}
+			delete(live, k)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("round %d: Len = %d, want %d", round, tr.Len(), len(live))
+		}
+	}
+
+	// Balance: height must stay within the red-black bound of
+	// 2·log2(n+1).
+	n := tr.Len()
+	if n > 0 {
+		bound := 2
+		for m := n + 1; m > 1; m /= 2 {
+			bound += 2
+		}
+		if h := tr.Height(); h > bound {
+			t.Errorf("height %d exceeds red-black bound %d for %d nodes", h, bound, n)
+		}
+	}
+}
+
+// TestMatchWorkloadPrefixScan checks the property the predicate index
+// depends on: for a probe value f, traversing in order and stopping at the
+// first unsatisfied entry visits exactly the satisfied set.
+func TestMatchWorkloadPrefixScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(boundLess)
+	var keys []boundKey
+	for i := 0; i < 500; i++ {
+		k := boundKey{
+			c:      float64(rng.Intn(30)),
+			strict: rng.Intn(2) == 0,
+			sub:    i,
+		}
+		tr.Insert(k)
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return boundLess(keys[i], keys[j]) })
+
+	for probe := 0; probe < 50; probe++ {
+		f := float64(rng.Intn(32) - 1)
+		// satisfied: lower-bound semantics, entry matches when c < f, or
+		// c == f for non-strict entries.
+		var want []boundKey
+		for _, k := range keys {
+			if k.c < f || (k.c == f && !k.strict) {
+				want = append(want, k)
+			}
+		}
+		var got []boundKey
+		tr.InOrder(func(k boundKey) bool {
+			if k.c > f || (k.c == f && k.strict) {
+				return false
+			}
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("probe %v: prefix scan found %d entries, want %d", f, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("probe %v: entry %d = %+v, want %+v", f, i, got[i], want[i])
+			}
+		}
+	}
+}

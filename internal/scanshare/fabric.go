@@ -1,0 +1,459 @@
+// Package scanshare implements the shared scan fabric: per-device sampling
+// that is coalesced across queries, so each (device, epoch) pair is polled
+// exactly once per epoch no matter how many queries subscribe.
+//
+// The engine's naive layout runs one sampling loop per registered query — N
+// queries over the same motes cost N device scans per epoch and N full
+// WHERE evaluations per tuple. The fabric inverts that: queries subscribe
+// with their table needs (device type, attribute set, predicates) and an
+// epoch; subscriptions with compatible EVERY clauses are grouped into epoch
+// cohorts that tick together. Each tick scans every needed device type once
+// with the union of the subscribers' attribute sets, routes the scanned
+// tuples through a per-type predicate index (internal/match) so each tuple
+// reaches only the queries whose indexable predicates it satisfies, and
+// fans the per-query batches out over non-blocking buffered channels — a
+// slow query drops epochs rather than stalling the fabric, the same
+// results-hub discipline as the engine's outcome log.
+//
+// Epoch alignment: a subscription with epoch E joins an existing cohort
+// with base B when E is an integer multiple of B (choosing the largest
+// such B), receiving every (E/B)-th tick; otherwise it founds a cohort
+// with base E. Coarser cohorts whose base the chosen one divides are
+// absorbed into it, so the cohort set converges to the same shape
+// regardless of subscription order. Cohorts are reference-counted — the
+// last unsubscribe stops the cohort's loop and removes it.
+//
+// The fabric scans through the caller-provided ScanFunc, which in the
+// engine wraps the pooled transport: dial backoff, circuit breakers and
+// the liveness gate all apply, so Down devices are never scanned here
+// either.
+package scanshare
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/match"
+	"aorta/internal/vclock"
+)
+
+// ScanFunc materializes the virtual table of one device type: one tuple
+// per reachable device, restricted to attrs.
+type ScanFunc func(ctx context.Context, deviceType string, attrs []string) ([]comm.Tuple, error)
+
+// TableSpec is one FROM-table need of a subscribing query.
+type TableSpec struct {
+	// Alias keys the table's tuples in delivered batches.
+	Alias string
+	// DeviceType selects the virtual table.
+	DeviceType string
+	// Attrs are the columns the query needs; the fabric scans the union
+	// across the cohort's subscribers.
+	Attrs []string
+	// Preds are the query's indexable conjuncts anchored on this table
+	// (match.Extract output). Empty means residual: the subscription
+	// receives every tuple of the type and relies on its full WHERE.
+	Preds []match.Predicate
+}
+
+// Batch is one epoch's delivery to one subscription: the scanned tuples of
+// each of its tables that passed predicate routing.
+type Batch struct {
+	// Seq is the cohort's tick counter at scan time.
+	Seq int64
+	// At is the scan time on the fabric clock.
+	At time.Time
+	// Tables maps the subscription's aliases to their routed tuples; an
+	// alias with no surviving tuples is simply absent.
+	Tables map[string][]comm.Tuple
+	// Err carries a scan failure for the epoch (unknown catalog or
+	// attribute — compile-checked upstream, so effectively never).
+	Err error
+}
+
+// Subscription is one query's tap into the fabric.
+type Subscription struct {
+	// C delivers one Batch per due epoch. The channel is buffered and the
+	// fabric never blocks on it: a consumer that falls a full buffer
+	// behind misses epochs (counted in the metrics) rather than stalling
+	// the scan loop.
+	C <-chan Batch
+
+	id   int
+	f    *Fabric
+	once sync.Once
+}
+
+// Close removes the subscription from the fabric. Idempotent, non-blocking,
+// and safe during an in-flight epoch: a batch already being assembled for
+// this subscription is delivered to the buffered channel and garbage
+// collected with it.
+func (s *Subscription) Close() {
+	s.once.Do(func() { s.f.unsubscribe(s.id) })
+}
+
+// subState is the fabric's record of one subscription.
+type subState struct {
+	id     int
+	epoch  time.Duration
+	stride int64
+	tables []TableSpec
+	ch     chan Batch
+}
+
+// cohort groups subscriptions with compatible epochs under one scan loop.
+type cohort struct {
+	base   time.Duration
+	subs   map[int]*subState
+	cancel context.CancelFunc // non-nil while the loop runs
+	seq    atomic.Int64
+}
+
+// Fabric is the shared scan fabric. Build with New, wire queries with
+// Subscribe, then Start it with the engine's run context; Stop waits for
+// every cohort loop to exit.
+type Fabric struct {
+	clk  vclock.Clock
+	scan ScanFunc
+
+	mu      sync.Mutex
+	running bool
+	ctx     context.Context
+	nextID  int
+	cohorts map[time.Duration]*cohort
+	subs    map[int]*subState
+	idx     map[string]*match.Index // device type → predicate index
+	wg      sync.WaitGroup
+
+	m fabricCounters
+}
+
+// subChanBuf is the per-subscription delivery buffer: enough to ride out a
+// slow epoch's evaluation without dropping the next batch.
+const subChanBuf = 2
+
+// New builds a fabric over the given clock and scan implementation.
+func New(clk vclock.Clock, scan ScanFunc) *Fabric {
+	return &Fabric{
+		clk:     clk,
+		scan:    scan,
+		cohorts: make(map[time.Duration]*cohort),
+		subs:    make(map[int]*subState),
+		idx:     make(map[string]*match.Index),
+	}
+}
+
+// Subscribe registers a query's table needs at the given epoch and returns
+// its tap. Safe before Start: the subscription sits idle until the fabric
+// runs.
+func (f *Fabric) Subscribe(epoch time.Duration, tables []TableSpec) *Subscription {
+	if epoch <= 0 {
+		epoch = time.Second
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextID++
+	s := &subState{
+		id:     f.nextID,
+		epoch:  epoch,
+		tables: tables,
+		ch:     make(chan Batch, subChanBuf),
+	}
+
+	// Epoch alignment: join the largest-base cohort whose base divides the
+	// epoch; found a new cohort otherwise. Either way, any coarser cohort
+	// whose base the chosen one divides is absorbed, so the cohort set
+	// converges to the same shape regardless of subscription order.
+	var c *cohort
+	for base, cand := range f.cohorts {
+		if epoch%base == 0 && (c == nil || base > c.base) {
+			c = cand
+		}
+	}
+	if c == nil {
+		c = &cohort{base: epoch, subs: make(map[int]*subState)}
+		f.cohorts[epoch] = c
+		if f.running {
+			f.startCohortLocked(c)
+		}
+	}
+	for base, other := range f.cohorts {
+		if other == c || base%c.base != 0 {
+			continue
+		}
+		for id, os := range other.subs {
+			os.stride = int64(os.epoch / c.base)
+			c.subs[id] = os
+		}
+		if other.cancel != nil {
+			other.cancel()
+			other.cancel = nil
+		}
+		delete(f.cohorts, base)
+	}
+	s.stride = int64(epoch / c.base)
+	c.subs[s.id] = s
+	f.subs[s.id] = s
+
+	for _, t := range s.tables {
+		f.indexLocked(t.DeviceType).Insert(match.Sub{ID: s.id, Tag: t.Alias}, t.Preds)
+	}
+	return &Subscription{C: s.ch, id: s.id, f: f}
+}
+
+// unsubscribe removes a subscription, its predicate-index entries, and —
+// when it was the cohort's last member — the cohort itself.
+func (f *Fabric) unsubscribe(id int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.subs[id]
+	if !ok {
+		return
+	}
+	delete(f.subs, id)
+	for _, t := range s.tables {
+		if x := f.idx[t.DeviceType]; x != nil {
+			x.Remove(match.Sub{ID: s.id, Tag: t.Alias})
+			if x.Len() == 0 {
+				delete(f.idx, t.DeviceType)
+			}
+		}
+	}
+	for base, c := range f.cohorts {
+		if _, member := c.subs[id]; !member {
+			continue
+		}
+		delete(c.subs, id)
+		if len(c.subs) == 0 {
+			if c.cancel != nil {
+				c.cancel()
+				c.cancel = nil
+			}
+			delete(f.cohorts, base)
+		}
+		break
+	}
+}
+
+// Start launches the cohort loops under ctx. May be called again after
+// Stop (the engine's restart path).
+func (f *Fabric) Start(ctx context.Context) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.running {
+		return
+	}
+	f.running = true
+	f.ctx = ctx
+	for _, c := range f.cohorts {
+		f.startCohortLocked(c)
+	}
+}
+
+// Stop halts every cohort loop and waits for in-flight scans to finish.
+// Subscriptions survive a Stop; their cohorts resume on the next Start.
+func (f *Fabric) Stop() {
+	f.mu.Lock()
+	if !f.running {
+		f.mu.Unlock()
+		return
+	}
+	f.running = false
+	for _, c := range f.cohorts {
+		if c.cancel != nil {
+			c.cancel()
+			c.cancel = nil
+		}
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+// startCohortLocked spawns the cohort's scan loop. Caller holds f.mu.
+func (f *Fabric) startCohortLocked(c *cohort) {
+	cctx, cancel := context.WithCancel(f.ctx)
+	c.cancel = cancel
+	f.wg.Add(1)
+	go f.runCohort(cctx, c)
+}
+
+// runCohort ticks the cohort every base epoch until cancelled.
+func (f *Fabric) runCohort(ctx context.Context, c *cohort) {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.clk.After(c.base):
+		}
+		f.tick(ctx, c)
+	}
+}
+
+// tick runs one epoch: snapshot the due subscribers, scan each needed
+// device type once with the union attribute set, route tuples through the
+// predicate index, and fan batches out without blocking.
+func (f *Fabric) tick(ctx context.Context, c *cohort) {
+	seq := c.seq.Add(1)
+
+	f.mu.Lock()
+	var due []*subState
+	needed := make(map[string]map[string]bool) // type → attr union
+	demand := make(map[string]int)             // type → due subscriber-tables
+	for _, s := range c.subs {
+		if seq%s.stride != 0 {
+			continue
+		}
+		due = append(due, s)
+		for _, t := range s.tables {
+			set := needed[t.DeviceType]
+			if set == nil {
+				set = make(map[string]bool)
+				needed[t.DeviceType] = set
+			}
+			for _, a := range t.Attrs {
+				set[a] = true
+			}
+			demand[t.DeviceType]++
+		}
+	}
+	indexes := make(map[string]*match.Index, len(needed))
+	for dt := range needed {
+		indexes[dt] = f.idx[dt]
+	}
+	f.mu.Unlock()
+	if len(due) == 0 {
+		return
+	}
+	f.m.epochs.Add(1)
+
+	now := f.clk.Now()
+	batches := make(map[int]*Batch, len(due))
+	for _, s := range due {
+		batches[s.id] = &Batch{Seq: seq, At: now, Tables: make(map[string][]comm.Tuple)}
+	}
+
+	types := make([]string, 0, len(needed))
+	for dt := range needed {
+		types = append(types, dt)
+	}
+	sort.Strings(types)
+	for _, dt := range types {
+		attrs := make([]string, 0, len(needed[dt]))
+		for a := range needed[dt] {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+
+		tuples, err := f.scan(ctx, dt, attrs)
+		f.m.typeScans.Add(1)
+		f.m.scansCoalesced.Add(int64(demand[dt] - 1))
+		if err != nil {
+			f.m.scanErrors.Add(1)
+			for _, b := range batches {
+				if b.Err == nil {
+					b.Err = err
+				}
+			}
+			continue
+		}
+		f.m.deviceScans.Add(int64(len(tuples)))
+		idx := indexes[dt]
+		if idx == nil {
+			continue
+		}
+		for _, t := range tuples {
+			for _, sub := range idx.Match(t) {
+				b, ok := batches[sub.ID]
+				if !ok {
+					continue // other cohort, or not due this tick
+				}
+				b.Tables[sub.Tag] = append(b.Tables[sub.Tag], t)
+				f.m.tuplesFanned.Add(1)
+			}
+		}
+	}
+
+	for _, s := range due {
+		select {
+		case s.ch <- *batches[s.id]:
+			f.m.delivered.Add(1)
+		default:
+			f.m.dropped.Add(1)
+		}
+	}
+}
+
+// indexLocked returns the device type's predicate index, creating it on
+// first use. Caller holds f.mu.
+func (f *Fabric) indexLocked(deviceType string) *match.Index {
+	x := f.idx[deviceType]
+	if x == nil {
+		x = match.NewIndex()
+		f.idx[deviceType] = x
+	}
+	return x
+}
+
+// ShareInfo reports how many subscriptions share one (device type, epoch)
+// scan, for SHOW SCANS.
+type ShareInfo struct {
+	DeviceType string        `json:"device_type"`
+	Epoch      time.Duration `json:"epoch"`
+	Queries    int           `json:"queries"`
+	Attrs      []string      `json:"attrs"`
+}
+
+// Sharing lists the current scan groups sorted by (device type, epoch):
+// each entry is one coalesced device scan and the number of subscriptions
+// riding it.
+func (f *Fabric) Sharing() []ShareInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []ShareInfo
+	for _, c := range f.cohorts {
+		byType := make(map[string]*ShareInfo)
+		for _, s := range c.subs {
+			for _, t := range s.tables {
+				si := byType[t.DeviceType]
+				if si == nil {
+					si = &ShareInfo{DeviceType: t.DeviceType, Epoch: c.base}
+					byType[t.DeviceType] = si
+				}
+				si.Queries++
+				si.Attrs = mergeAttrs(si.Attrs, t.Attrs)
+			}
+		}
+		for _, si := range byType {
+			out = append(out, *si)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DeviceType != out[j].DeviceType {
+			return out[i].DeviceType < out[j].DeviceType
+		}
+		return out[i].Epoch < out[j].Epoch
+	})
+	return out
+}
+
+// mergeAttrs unions two sorted-or-not attr slices into a sorted slice.
+func mergeAttrs(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		set[s] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,529 @@
+package scanshare
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/match"
+	"aorta/internal/vclock"
+)
+
+// testRig is a fabric over a manual clock and a counting fake scanner that
+// serves D synthetic sensor tuples per scan.
+type testRig struct {
+	clk       *vclock.Manual
+	fabric    *Fabric
+	scans     atomic.Int64
+	typeScans map[string]*atomic.Int64
+}
+
+func newTestRig(devices int) *testRig {
+	r := &testRig{
+		clk:       vclock.NewManual(time.Unix(1_000_000, 0)),
+		typeScans: map[string]*atomic.Int64{},
+	}
+	r.fabric = New(r.clk, func(_ context.Context, deviceType string, _ []string) ([]comm.Tuple, error) {
+		r.scans.Add(1)
+		if c, ok := r.typeScans[deviceType]; ok {
+			c.Add(1)
+		}
+		tuples := make([]comm.Tuple, devices)
+		for i := range tuples {
+			tuples[i] = comm.Tuple{
+				"id":      fmt.Sprintf("mote-%d", i),
+				"accel_x": float64(i * 100),
+			}
+		}
+		return tuples, nil
+	})
+	return r
+}
+
+// awaitWaiters polls until at least n goroutines are parked on the manual
+// clock, so an Advance is guaranteed to reach the cohort loops.
+func awaitWaiters(t *testing.T, clk *vclock.Manual, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d clock waiters (have %d)", n, clk.Waiters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fire advances the clock by d once the cohort loops are parked on it.
+func (r *testRig) fire(t *testing.T, d time.Duration) {
+	t.Helper()
+	awaitWaiters(t, r.clk, 1)
+	r.clk.Advance(d)
+}
+
+// recvBatch reads one batch with a real-time timeout.
+func recvBatch(t *testing.T, sub *Subscription) Batch {
+	t.Helper()
+	select {
+	case b := <-sub.C:
+		return b
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a batch")
+		return Batch{}
+	}
+}
+
+func sensorSpec(preds ...match.Predicate) []TableSpec {
+	return []TableSpec{{Alias: "s", DeviceType: "sensor", Attrs: []string{"id", "accel_x"}, Preds: preds}}
+}
+
+// TestScanCountIndependentOfQueries is the acceptance property: with Q
+// queries subscribed over the same D devices, one epoch costs exactly one
+// device-type scan (D device probes) no matter how large Q is.
+func TestScanCountIndependentOfQueries(t *testing.T) {
+	const devices, queries = 10, 50
+	r := newTestRig(devices)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	subs := make([]*Subscription, queries)
+	for i := range subs {
+		subs[i] = r.fabric.Subscribe(time.Second, sensorSpec())
+	}
+	r.fabric.Start(ctx)
+	defer r.fabric.Stop()
+
+	r.fire(t, time.Second)
+	for i, sub := range subs {
+		b := recvBatch(t, sub)
+		if got := len(b.Tables["s"]); got != devices {
+			t.Fatalf("sub %d: batch carries %d tuples, want %d", i, got, devices)
+		}
+		if b.Seq != 1 {
+			t.Fatalf("sub %d: Seq = %d, want 1", i, b.Seq)
+		}
+	}
+
+	if got := r.scans.Load(); got != 1 {
+		t.Fatalf("epoch with %d subscribers issued %d scans, want exactly 1", queries, got)
+	}
+	m := r.fabric.Metrics()
+	if m.TypeScans != 1 || m.DeviceScans != devices {
+		t.Fatalf("TypeScans/DeviceScans = %d/%d, want 1/%d", m.TypeScans, m.DeviceScans, devices)
+	}
+	if m.ScansCoalesced != queries-1 {
+		t.Fatalf("ScansCoalesced = %d, want %d", m.ScansCoalesced, queries-1)
+	}
+	if m.BatchesDelivered != queries {
+		t.Fatalf("BatchesDelivered = %d, want %d", m.BatchesDelivered, queries)
+	}
+}
+
+// TestPredicateRouting checks that the per-type index narrows each
+// subscription's batch to the tuples its predicates admit.
+func TestPredicateRouting(t *testing.T) {
+	r := newTestRig(10)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	hot := r.fabric.Subscribe(time.Second, sensorSpec(
+		match.Predicate{Attr: "accel_x", Op: match.OpGT, Value: float64(500)}))
+	one := r.fabric.Subscribe(time.Second, sensorSpec(
+		match.Predicate{Attr: "id", Op: match.OpEQ, Value: "mote-3"}))
+	all := r.fabric.Subscribe(time.Second, sensorSpec())
+	r.fabric.Start(ctx)
+	defer r.fabric.Stop()
+
+	r.fire(t, time.Second)
+	if got := len(recvBatch(t, hot).Tables["s"]); got != 4 {
+		t.Errorf("accel_x > 500 routed %d tuples, want 4", got)
+	}
+	b := recvBatch(t, one)
+	if got := len(b.Tables["s"]); got != 1 {
+		t.Fatalf("id = mote-3 routed %d tuples, want 1", got)
+	}
+	if id := b.Tables["s"][0]["id"]; id != "mote-3" {
+		t.Errorf("routed tuple id = %v, want mote-3", id)
+	}
+	if got := len(recvBatch(t, all).Tables["s"]); got != 10 {
+		t.Errorf("residual subscription routed %d tuples, want all 10", got)
+	}
+
+	m := r.fabric.Metrics()
+	if m.IndexProbes != 10 {
+		t.Errorf("IndexProbes = %d, want 10", m.IndexProbes)
+	}
+	if m.IndexHits != 5 { // 4 range hits + 1 equality hit
+		t.Errorf("IndexHits = %d, want 5", m.IndexHits)
+	}
+	if m.ResidualHits != 10 {
+		t.Errorf("ResidualHits = %d, want 10", m.ResidualHits)
+	}
+}
+
+// TestEpochAlignment: a 3s subscription joins the 1s cohort with stride 3 —
+// one shared loop, with the slower query served every third tick.
+func TestEpochAlignment(t *testing.T) {
+	r := newTestRig(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	fast := r.fabric.Subscribe(time.Second, sensorSpec())
+	slow := r.fabric.Subscribe(3*time.Second, sensorSpec())
+	r.fabric.Start(ctx)
+	defer r.fabric.Stop()
+
+	if m := r.fabric.Metrics(); m.Cohorts != 1 {
+		t.Fatalf("compatible epochs built %d cohorts, want 1", m.Cohorts)
+	}
+
+	for tick := 1; tick <= 3; tick++ {
+		r.fire(t, time.Second)
+		if b := recvBatch(t, fast); b.Seq != int64(tick) {
+			t.Fatalf("fast sub: Seq = %d at tick %d", b.Seq, tick)
+		}
+		if tick < 3 {
+			select {
+			case b := <-slow.C:
+				t.Fatalf("slow sub received Seq %d before its stride was due", b.Seq)
+			default:
+			}
+		}
+	}
+	if b := recvBatch(t, slow); b.Seq != 3 {
+		t.Fatalf("slow sub: Seq = %d, want 3", b.Seq)
+	}
+
+	// An incompatible epoch founds its own cohort.
+	odd := r.fabric.Subscribe(2500*time.Millisecond, sensorSpec())
+	defer odd.Close()
+	if m := r.fabric.Metrics(); m.Cohorts != 2 {
+		t.Fatalf("incompatible epoch: %d cohorts, want 2", m.Cohorts)
+	}
+}
+
+// TestEpochAlignmentOrderIndependent: a finer epoch arriving after coarser
+// cohorts absorbs them — the cohort set does not depend on which query
+// subscribed first, and the merged cohort serves every stride exactly.
+func TestEpochAlignmentOrderIndependent(t *testing.T) {
+	r := newTestRig(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	slowA := r.fabric.Subscribe(2*time.Second, sensorSpec())
+	defer slowA.Close()
+	slowB := r.fabric.Subscribe(3*time.Second, sensorSpec())
+	defer slowB.Close()
+	if m := r.fabric.Metrics(); m.Cohorts != 2 {
+		t.Fatalf("before merge: %d cohorts, want 2", m.Cohorts)
+	}
+	fast := r.fabric.Subscribe(time.Second, sensorSpec())
+	defer fast.Close()
+	if m := r.fabric.Metrics(); m.Cohorts != 1 {
+		t.Fatalf("after 1s subscription: %d cohorts, want 1 (coarser cohorts absorbed)", m.Cohorts)
+	}
+
+	r.fabric.Start(ctx)
+	defer r.fabric.Stop()
+
+	// Six unit ticks serve fast 6×, the 2s sub 3×, the 3s sub 2×.
+	got := map[string]int{}
+	expected := 0
+	for tick := 1; tick <= 6; tick++ {
+		r.fire(t, time.Second)
+		expected = tick + tick/2 + tick/3
+		deadline := time.Now().Add(5 * time.Second)
+		for r.fabric.Metrics().BatchesDelivered != int64(expected) {
+			if time.Now().After(deadline) {
+				t.Fatalf("tick %d: delivered %d batches, want %d",
+					tick, r.fabric.Metrics().BatchesDelivered, expected)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		for name, sub := range map[string]*Subscription{"fast": fast, "slowA": slowA, "slowB": slowB} {
+			select {
+			case <-sub.C:
+				got[name]++
+			default:
+			}
+		}
+	}
+	if got["fast"] != 6 || got["slowA"] != 3 || got["slowB"] != 2 {
+		t.Fatalf("deliveries = %v, want fast=6 slowA=3 slowB=2", got)
+	}
+	if got := r.scans.Load(); got != 6 {
+		t.Fatalf("6 merged ticks issued %d scans, want 6", got)
+	}
+}
+
+// TestRuntimeCohortMerge: absorbing a running cohort mid-flight migrates
+// its subscriptions onto the finer loop without losing service.
+func TestRuntimeCohortMerge(t *testing.T) {
+	r := newTestRig(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r.fabric.Start(ctx)
+	defer r.fabric.Stop()
+
+	slow := r.fabric.Subscribe(2*time.Second, sensorSpec())
+	defer slow.Close()
+	awaitWaiters(t, r.clk, 1) // the 2s cohort loop is running
+	fast := r.fabric.Subscribe(time.Second, sensorSpec())
+	defer fast.Close()
+	if m := r.fabric.Metrics(); m.Cohorts != 1 {
+		t.Fatalf("after merge: %d cohorts, want 1", m.Cohorts)
+	}
+
+	// The cancelled 2s loop leaves a stale clock waiter, so drive by
+	// repeated unit advances until both subscriptions are served.
+	gotFast, gotSlow := 0, 0
+	deadline := time.Now().Add(5 * time.Second)
+	for gotFast < 2 || gotSlow < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("deliveries after merge: fast=%d slow=%d, want ≥2/≥1", gotFast, gotSlow)
+		}
+		if r.clk.Waiters() > 0 {
+			r.clk.Advance(time.Second)
+		}
+		for drained := true; drained; {
+			drained = false
+			select {
+			case <-fast.C:
+				gotFast++
+				drained = true
+			case <-slow.C:
+				gotSlow++
+				drained = true
+			default:
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestUnsubscribeMidEpoch is the DROP guard: closing a subscription while
+// its cohort is mid-scan neither blocks the fabric nor leaks the
+// subscription or its index entries.
+func TestUnsubscribeMidEpoch(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	fabric := New(clk, func(context.Context, string, []string) ([]comm.Tuple, error) {
+		entered <- struct{}{}
+		<-release
+		return []comm.Tuple{{"id": "mote-0", "accel_x": 100.0}}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	keep := fabric.Subscribe(time.Second, sensorSpec())
+	drop := fabric.Subscribe(time.Second, sensorSpec(
+		match.Predicate{Attr: "accel_x", Op: match.OpGE, Value: float64(0)}))
+	fabric.Start(ctx)
+	defer fabric.Stop()
+
+	awaitWaiters(t, clk, 1)
+	clk.Advance(time.Second)
+	<-entered // the epoch is now in flight, blocked inside the scan
+
+	closed := make(chan struct{})
+	go func() {
+		drop.Close()
+		drop.Close() // idempotent
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked during an in-flight epoch")
+	}
+	close(release)
+
+	// The surviving subscription still gets its batch; the fabric did not
+	// stall on the departed one.
+	if got := len(recvBatch(t, keep).Tables["s"]); got != 1 {
+		t.Fatalf("surviving sub received %d tuples, want 1", got)
+	}
+
+	// No leaks: the subscription, its index entries, and — once the last
+	// member leaves — the cohort itself are gone.
+	if m := fabric.Metrics(); m.Subscribers != 1 || m.Cohorts != 1 {
+		t.Fatalf("after mid-epoch close: %d subscribers / %d cohorts, want 1/1", m.Subscribers, m.Cohorts)
+	}
+	keep.Close()
+	if m := fabric.Metrics(); m.Subscribers != 0 || m.Cohorts != 0 {
+		t.Fatalf("after last close: %d subscribers / %d cohorts, want 0/0", m.Subscribers, m.Cohorts)
+	}
+	fabric.mu.Lock()
+	leaked := len(fabric.idx)
+	fabric.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d per-type predicate indexes leaked after all closes", leaked)
+	}
+}
+
+// TestSlowConsumerDropsNotBlocks: a subscriber that stops draining misses
+// epochs (counted) while the fabric keeps ticking.
+func TestSlowConsumerDropsNotBlocks(t *testing.T) {
+	r := newTestRig(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sub := r.fabric.Subscribe(time.Second, sensorSpec())
+	r.fabric.Start(ctx)
+	defer r.fabric.Stop()
+
+	const ticks = subChanBuf + 3
+	for i := 0; i < ticks; i++ {
+		r.fire(t, time.Second)
+		// Wait for the tick to finish delivering before firing the next,
+		// so the drop accounting is deterministic.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			m := r.fabric.Metrics()
+			if m.BatchesDelivered+m.BatchesDropped == int64(i+1) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("tick %d never completed delivery", i+1)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	m := r.fabric.Metrics()
+	if m.BatchesDelivered != subChanBuf {
+		t.Fatalf("BatchesDelivered = %d, want %d", m.BatchesDelivered, subChanBuf)
+	}
+	if m.BatchesDropped != ticks-subChanBuf {
+		t.Fatalf("BatchesDropped = %d, want %d", m.BatchesDropped, ticks-subChanBuf)
+	}
+
+	// The fabric recovered: drain the buffer and the next epoch arrives.
+	for i := 0; i < subChanBuf; i++ {
+		recvBatch(t, sub)
+	}
+	r.fire(t, time.Second)
+	recvBatch(t, sub)
+}
+
+// TestScanErrorPropagates: a failing scan surfaces on the batch rather than
+// killing the cohort.
+func TestScanErrorPropagates(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	boom := errors.New("catalog gone")
+	var fail atomic.Bool
+	fabric := New(clk, func(context.Context, string, []string) ([]comm.Tuple, error) {
+		if fail.Load() {
+			return nil, boom
+		}
+		return []comm.Tuple{{"id": "mote-0"}}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sub := fabric.Subscribe(time.Second, sensorSpec())
+	defer sub.Close()
+	fabric.Start(ctx)
+	defer fabric.Stop()
+
+	fail.Store(true)
+	awaitWaiters(t, clk, 1)
+	clk.Advance(time.Second)
+	if b := recvBatch(t, sub); !errors.Is(b.Err, boom) {
+		t.Fatalf("batch Err = %v, want %v", b.Err, boom)
+	}
+	if m := fabric.Metrics(); m.ScanErrors != 1 {
+		t.Fatalf("ScanErrors = %d, want 1", m.ScanErrors)
+	}
+
+	fail.Store(false)
+	awaitWaiters(t, clk, 1)
+	clk.Advance(time.Second)
+	if b := recvBatch(t, sub); b.Err != nil || len(b.Tables["s"]) != 1 {
+		t.Fatalf("cohort did not recover after a scan error: %+v", b)
+	}
+}
+
+// TestStopAndRestart: Stop parks the fabric without losing subscriptions;
+// Start resumes the cohorts.
+func TestStopAndRestart(t *testing.T) {
+	r := newTestRig(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sub := r.fabric.Subscribe(time.Second, sensorSpec())
+	defer sub.Close()
+	r.fabric.Start(ctx)
+	r.fire(t, time.Second)
+	recvBatch(t, sub)
+
+	r.fabric.Stop()
+	r.clk.Advance(time.Second) // flushes the abandoned clock waiter
+	select {
+	case b := <-sub.C:
+		t.Fatalf("received Seq %d while stopped", b.Seq)
+	default:
+	}
+
+	r.fabric.Start(ctx)
+	defer r.fabric.Stop()
+	r.fire(t, time.Second)
+	if b := recvBatch(t, sub); len(b.Tables["s"]) != 1 {
+		t.Fatalf("no delivery after restart: %+v", b)
+	}
+}
+
+// TestSharing reports the coalesced scan groups for SHOW SCANS.
+func TestSharing(t *testing.T) {
+	r := newTestRig(1)
+	s1 := r.fabric.Subscribe(time.Second, sensorSpec())
+	defer s1.Close()
+	s2 := r.fabric.Subscribe(2*time.Second, sensorSpec())
+	defer s2.Close()
+	s3 := r.fabric.Subscribe(time.Second, []TableSpec{
+		{Alias: "c", DeviceType: "camera", Attrs: []string{"id", "ip"}},
+		{Alias: "s", DeviceType: "sensor", Attrs: []string{"id", "loc"}},
+	})
+	defer s3.Close()
+
+	got := r.fabric.Sharing()
+	want := []ShareInfo{
+		{DeviceType: "camera", Epoch: time.Second, Queries: 1, Attrs: []string{"id", "ip"}},
+		{DeviceType: "sensor", Epoch: time.Second, Queries: 3, Attrs: []string{"accel_x", "id", "loc"}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Sharing returned %d groups, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].DeviceType != want[i].DeviceType || got[i].Epoch != want[i].Epoch || got[i].Queries != want[i].Queries {
+			t.Errorf("group %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if fmt.Sprint(got[1].Attrs) != fmt.Sprint(want[1].Attrs) {
+		t.Errorf("sensor attr union = %v, want %v", got[1].Attrs, want[1].Attrs)
+	}
+}
+
+// BenchmarkTick100Subs measures one coalesced epoch serving 100 routed
+// subscriptions over 50 devices.
+func BenchmarkTick100Subs(b *testing.B) {
+	r := newTestRig(50)
+	for i := 0; i < 100; i++ {
+		sub := r.fabric.Subscribe(time.Second, sensorSpec(
+			match.Predicate{Attr: "accel_x", Op: match.OpGT, Value: float64((i % 10) * 500)}))
+		defer sub.Close()
+	}
+	r.fabric.mu.Lock()
+	c := r.fabric.cohorts[time.Second]
+	r.fabric.mu.Unlock()
+
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.fabric.tick(ctx, c)
+	}
+}

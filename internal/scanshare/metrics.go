@@ -1,0 +1,76 @@
+package scanshare
+
+import "sync/atomic"
+
+// fabricCounters are the fabric's hot-path counters. All atomic: ticks from
+// different cohorts update them concurrently.
+type fabricCounters struct {
+	epochs         atomic.Int64
+	typeScans      atomic.Int64
+	deviceScans    atomic.Int64
+	scansCoalesced atomic.Int64
+	tuplesFanned   atomic.Int64
+	delivered      atomic.Int64
+	dropped        atomic.Int64
+	scanErrors     atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time view of the fabric, including the
+// aggregated predicate-index counters across device types.
+type MetricsSnapshot struct {
+	// Cohorts and Subscribers describe the current fabric shape.
+	Cohorts     int `json:"cohorts"`
+	Subscribers int `json:"subscribers"`
+
+	// Epochs counts ticks that had at least one due subscription;
+	// TypeScans the coalesced device-type scans those ticks issued;
+	// DeviceScans the tuples (≈ devices) those scans returned.
+	Epochs      int64 `json:"epochs"`
+	TypeScans   int64 `json:"type_scans"`
+	DeviceScans int64 `json:"device_scans"`
+
+	// ScansCoalesced counts scans that sharing avoided: for each (type,
+	// tick) with k due subscriber-tables, k−1 scans were saved.
+	ScansCoalesced int64 `json:"scans_coalesced"`
+
+	// TuplesFanned counts tuple deliveries into per-query batches;
+	// BatchesDelivered / BatchesDropped split batch handoffs by whether
+	// the subscriber's buffer had room.
+	TuplesFanned     int64 `json:"tuples_fanned"`
+	BatchesDelivered int64 `json:"batches_delivered"`
+	BatchesDropped   int64 `json:"batches_dropped"`
+	ScanErrors       int64 `json:"scan_errors"`
+
+	// IndexProbes / IndexHits / ResidualHits aggregate the per-type
+	// predicate indexes: probes are routed tuples, hits are
+	// index-qualified deliveries, residual hits went to subscriptions
+	// with no indexable predicates.
+	IndexProbes  int64 `json:"index_probes"`
+	IndexHits    int64 `json:"index_hits"`
+	ResidualHits int64 `json:"residual_hits"`
+}
+
+// Metrics captures the current counters.
+func (f *Fabric) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Epochs:           f.m.epochs.Load(),
+		TypeScans:        f.m.typeScans.Load(),
+		DeviceScans:      f.m.deviceScans.Load(),
+		ScansCoalesced:   f.m.scansCoalesced.Load(),
+		TuplesFanned:     f.m.tuplesFanned.Load(),
+		BatchesDelivered: f.m.delivered.Load(),
+		BatchesDropped:   f.m.dropped.Load(),
+		ScanErrors:       f.m.scanErrors.Load(),
+	}
+	f.mu.Lock()
+	snap.Cohorts = len(f.cohorts)
+	snap.Subscribers = len(f.subs)
+	for _, x := range f.idx {
+		st := x.Stats()
+		snap.IndexProbes += st.Probes
+		snap.IndexHits += st.Hits
+		snap.ResidualHits += st.ResidualHits
+	}
+	f.mu.Unlock()
+	return snap
+}

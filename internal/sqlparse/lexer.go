@@ -50,7 +50,8 @@ var keywords = map[string]bool{
 	"PROFILE": true, "SELECT": true, "FROM": true, "WHERE": true,
 	"AND": true, "OR": true, "NOT": true, "TRUE": true, "FALSE": true,
 	"DROP": true, "STOP": true, "START": true, "SHOW": true,
-	"QUERIES": true, "ACTIONS": true, "DEVICES": true, "EVERY": true,
+	"QUERIES": true, "ACTIONS": true, "DEVICES": true, "SCANS": true,
+	"EVERY": true,
 	"EXPLAIN": true, "GROUP": true, "BY": true,
 }
 

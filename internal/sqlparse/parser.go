@@ -121,8 +121,8 @@ func (p *parser) statement() (Statement, error) {
 		return &StartAQ{Name: name.Text}, nil
 	case p.accept(TokenKeyword, "SHOW"):
 		t := p.next()
-		if t.Kind != TokenKeyword || (t.Text != "QUERIES" && t.Text != "ACTIONS" && t.Text != "DEVICES") {
-			return nil, p.errorf("expected QUERIES, ACTIONS or DEVICES after SHOW, found %s", t)
+		if t.Kind != TokenKeyword || (t.Text != "QUERIES" && t.Text != "ACTIONS" && t.Text != "DEVICES" && t.Text != "SCANS") {
+			return nil, p.errorf("expected QUERIES, ACTIONS, DEVICES or SCANS after SHOW, found %s", t)
 		}
 		return &Show{What: t.Text}, nil
 	case p.accept(TokenKeyword, "EXPLAIN"):

@@ -136,6 +136,7 @@ func TestParseDropStopStartShow(t *testing.T) {
 		{"SHOW QUERIES", "SHOW QUERIES"},
 		{"SHOW ACTIONS", "SHOW ACTIONS"},
 		{"SHOW DEVICES", "SHOW DEVICES"},
+		{"SHOW SCANS", "SHOW SCANS"},
 	}
 	for _, tt := range tests {
 		stmt, err := Parse(tt.in)
