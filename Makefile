@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke churn-smoke qscale-smoke clean
+.PHONY: all build vet test race bench bench-smoke churn-smoke qscale-smoke crashrec-smoke clean
 
 all: build vet test
 
@@ -24,6 +24,11 @@ race:
 # check the failure detector's numbers print sanely.
 churn-smoke:
 	$(GO) run ./cmd/aortabench -exp churn -minutes 3
+
+# The crash-recovery study: five engine kill/restart cycles over one
+# journal; fails loudly if any outcome or query is lost.
+crashrec-smoke:
+	$(GO) run ./cmd/aortabench -exp crashrec
 
 # The full query-scaling study: scan coalescing at O(D) plus
 # index-vs-brute routing timings (fast — manual clock + microbenchmark).

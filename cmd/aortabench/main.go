@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|qscale|all")
+		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|qscale|crashrec|all")
 		runs    = flag.Int("runs", 10, "independent runs per data point (paper: 10)")
 		seed    = flag.Int64("seed", 2005, "random seed")
 		cameras = flag.Int("cameras", 10, "camera count for the scheduling studies (paper: 10)")
@@ -175,8 +175,19 @@ func run(exp string, runs int, seed int64, cameras, minutes int) error {
 		experiments.PrintQScaleStudy(out, qcfg, points)
 		fmt.Fprintln(out)
 	}
+	if all || wanted["crashrec"] {
+		ran = true
+		rcfg := experiments.DefaultCrashRecConfig()
+		rcfg.Seed = seed
+		res, err := experiments.CrashRecStudy(rcfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCrashRecStudy(out, rcfg, res)
+		fmt.Fprintln(out)
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|qscale|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|qscale|crashrec|all)", exp)
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -42,23 +43,46 @@ import (
 	"aorta/internal/netsim"
 	"aorta/internal/scanshare"
 	"aorta/internal/vclock"
+	"aorta/internal/wal"
 )
 
 func main() {
-	var (
-		listen  = flag.String("listen", "127.0.0.1:7730", "SQL service address")
-		devices = flag.String("devices", "", "external farm manifest (from devfarm); empty = built-in lab")
-		cameras = flag.Int("cameras", 2, "built-in lab: cameras")
-		motes   = flag.Int("motes", 10, "built-in lab: motes")
-		phones  = flag.Int("phones", 1, "built-in lab: phones")
-		scale   = flag.Float64("scale", 1, "built-in lab: clock scale")
-		verbose = flag.Bool("v", false, "log engine events to stderr")
-	)
+	var opts options
+	flag.StringVar(&opts.listen, "listen", "127.0.0.1:7730", "SQL service address")
+	flag.StringVar(&opts.devices, "devices", "", "external farm manifest (from devfarm); empty = built-in lab")
+	flag.IntVar(&opts.cameras, "cameras", 2, "built-in lab: cameras")
+	flag.IntVar(&opts.motes, "motes", 10, "built-in lab: motes")
+	flag.IntVar(&opts.phones, "phones", 1, "built-in lab: phones")
+	flag.Float64Var(&opts.scale, "scale", 1, "built-in lab: clock scale")
+	flag.StringVar(&opts.dataDir, "data", "", "durable state directory (write-ahead journal); empty = in-memory only")
+	flag.BoolVar(&opts.verbose, "v", false, "log engine events to stderr")
 	flag.Parse()
-	if err := run(*listen, *devices, *cameras, *motes, *phones, *scale, *verbose); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "aortad:", err)
 		os.Exit(1)
 	}
+}
+
+// options configures one daemon run. Tests drive run directly with a
+// private shutdown channel instead of delivering real signals.
+type options struct {
+	listen  string
+	devices string
+	cameras int
+	motes   int
+	phones  int
+	scale   float64
+	// dataDir, when set, makes engine state durable: catalog mutations and
+	// action intents/outcomes go through a write-ahead journal there, and
+	// startup replays it before serving.
+	dataDir string
+	verbose bool
+	// shutdown delivers the stop request; nil means install the real
+	// SIGINT/SIGTERM handler.
+	shutdown chan os.Signal
+	// ready, when non-nil, receives the bound listen address once the
+	// daemon is serving.
+	ready chan<- net.Addr
 }
 
 // server holds the running daemon state.
@@ -67,12 +91,30 @@ type server struct {
 	lab    *lab.Lab // nil in external-farm mode
 }
 
-func run(listen, devicesPath string, cameras, motes, phones int, scale float64, verbose bool) error {
+func run(opts options) error {
 	srv := &server{}
 	ctx := context.Background()
 	var logger *slog.Logger
-	if verbose {
+	if opts.verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	// Open the journal before anything else touches the data dir: the
+	// directory lock is the single-writer guarantee, so a second daemon on
+	// the same -data must be refused here, not after it has half-started.
+	var j *wal.Journal
+	if opts.dataDir != "" {
+		var err error
+		j, err = wal.Open(opts.dataDir, wal.Options{})
+		if errors.Is(err, wal.ErrLocked) {
+			return fmt.Errorf("data dir %s is in use by another aortad: %w", opts.dataDir, err)
+		}
+		if err != nil {
+			return err
+		}
+		// Deferred first so it runs last (LIFO): the engine's Stop flushes
+		// its final outcome records before Close syncs and drops the lock.
+		defer j.Close()
 	}
 
 	// Long-running daemons need the active health prober: a device whose
@@ -80,10 +122,10 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 	// evidence, so probing is its only road back to Up.
 	const probeInterval = 5 * time.Second
 
-	if devicesPath == "" {
+	if opts.devices == "" {
 		l, err := lab.New(lab.Config{
-			Cameras: cameras, Motes: motes, Phones: phones, ClockScale: scale,
-			Engine: core.Config{Logger: logger, LivenessProbeInterval: probeInterval},
+			Cameras: opts.cameras, Motes: opts.motes, Phones: opts.phones, ClockScale: opts.scale,
+			Engine: core.Config{Logger: logger, LivenessProbeInterval: probeInterval, Journal: j},
 		})
 		if err != nil {
 			return err
@@ -92,9 +134,9 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 		srv.lab = l
 		srv.engine = l.Engine
 		fmt.Printf("built-in lab: %d cameras, %d motes, %d phones (clock %gx)\n",
-			cameras, motes, phones, scale)
+			opts.cameras, opts.motes, opts.phones, opts.scale)
 	} else {
-		m, err := manifest.Read(devicesPath)
+		m, err := manifest.Read(opts.devices)
 		if err != nil {
 			return err
 		}
@@ -103,6 +145,7 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 			Dialer:                &netsim.TCP{Timeout: 2 * time.Second},
 			Logger:                logger,
 			LivenessProbeInterval: probeInterval,
+			Journal:               j,
 		})
 		if err != nil {
 			return err
@@ -119,7 +162,20 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 			}
 		}
 		srv.engine = eng
-		fmt.Printf("external farm: %d devices from %s\n", len(m.Devices), devicesPath)
+		fmt.Printf("external farm: %d devices from %s\n", len(m.Devices), opts.devices)
+	}
+
+	if j != nil {
+		stats, err := srv.engine.Recover(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovered from %s: %d records (%d devices, %d queries), %d pending intents (%d re-dispatched, %d expired) in %s\n",
+			opts.dataDir, stats.Replayed, stats.Devices, stats.Queries,
+			stats.PendingIntents, stats.Redispatched, stats.Expired, stats.ReplayLatency.Round(time.Microsecond))
+		if stats.SkippedQueries > 0 {
+			fmt.Printf("warning: %d journaled queries no longer compile and were dropped\n", stats.SkippedQueries)
+		}
 	}
 
 	if err := srv.engine.Start(ctx); err != nil {
@@ -127,16 +183,30 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 	}
 	defer srv.engine.Stop()
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", opts.listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	fmt.Printf("aortad listening on %s\n", ln.Addr())
+	if opts.ready != nil {
+		opts.ready <- ln.Addr()
+	}
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	stop := opts.shutdown
+	if stop == nil {
+		stop = make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(stop)
+	}
 
+	// Track live client connections so shutdown can sever them: a handler
+	// blocked reading an idle client would otherwise stall wg.Wait() — and
+	// with it the engine drain and journal close — indefinitely.
+	var (
+		connMu sync.Mutex
+		conns  = make(map[net.Conn]struct{})
+	)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -146,9 +216,17 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 			if err != nil {
 				return
 			}
+			connMu.Lock()
+			conns[conn] = struct{}{}
+			connMu.Unlock()
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					connMu.Lock()
+					delete(conns, conn)
+					connMu.Unlock()
+				}()
 				srv.handle(ctx, conn)
 			}()
 		}
@@ -157,6 +235,11 @@ func run(listen, devicesPath string, cameras, motes, phones int, scale float64, 
 	<-stop
 	fmt.Println("shutting down")
 	ln.Close()
+	connMu.Lock()
+	for conn := range conns {
+		conn.Close()
+	}
+	connMu.Unlock()
 	wg.Wait()
 	return nil
 }

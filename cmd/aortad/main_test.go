@@ -4,12 +4,17 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
+	"os"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
 	"aorta/internal/lab"
+	"aorta/internal/wal"
 )
 
 // startServer builds a lab-backed server and serves its line protocol
@@ -132,6 +137,142 @@ func TestProtocolSQLAndCommands(t *testing.T) {
 	resp = exchange(t, conn, sc, `\stimulate nope`)
 	if resp.Error == "" {
 		t.Fatalf("malformed stimulate = %+v", resp)
+	}
+}
+
+// startDaemon runs the full daemon loop against dataDir and returns its
+// bound address plus a stop function that delivers the SIGTERM-equivalent
+// shutdown and waits for a clean exit.
+func startDaemon(t *testing.T, dataDir string) (net.Addr, func() error) {
+	t.Helper()
+	shutdown := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(options{
+			listen: "127.0.0.1:0", cameras: 1, motes: 2, phones: 1,
+			dataDir: dataDir, shutdown: shutdown, ready: ready,
+		})
+	}()
+	select {
+	case addr := <-ready:
+		return addr, sync.OnceValue(func() error {
+			shutdown <- syscall.SIGTERM
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(10 * time.Second):
+				return errors.New("daemon did not exit")
+			}
+		})
+	case err := <-errc:
+		t.Fatalf("daemon failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return nil, nil
+}
+
+// dialDaemon opens a line-protocol client connection to a running daemon.
+func dialDaemon(t *testing.T, addr net.Addr) (net.Conn, *bufio.Scanner) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return conn, sc
+}
+
+func TestDaemonRefusesLockedDataDir(t *testing.T) {
+	dir := t.TempDir()
+	_, stop := startDaemon(t, dir)
+	defer stop()
+
+	// A second daemon on the same data dir must be refused up front by the
+	// journal's directory lock, before it binds anything.
+	err := run(options{listen: "127.0.0.1:0", dataDir: dir})
+	if !errors.Is(err, wal.ErrLocked) {
+		t.Fatalf("second daemon on locked dir: err = %v, want wal.ErrLocked", err)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestDaemonShutdownClosesJournalCleanly(t *testing.T) {
+	dir := t.TempDir()
+	addr, stop := startDaemon(t, dir)
+	conn, sc := dialDaemon(t, addr)
+
+	resp := exchange(t, conn, sc, `CREATE AQ durable AS SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc) EVERY "2s"`)
+	if !resp.OK {
+		t.Fatalf("create = %+v", resp)
+	}
+	conn.Close()
+
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The lock must be released and the journal tail whole: reopening
+	// succeeds, truncates nothing, and replays the CREATE AQ record.
+	j, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("reopen after shutdown: %v", err)
+	}
+	defer j.Close()
+	if torn := j.Stats().TornTailBytes; torn != 0 {
+		t.Fatalf("clean shutdown left %d torn bytes", torn)
+	}
+	var created int
+	if err := j.Replay(func(rec wal.Record) error {
+		if rec.Kind == wal.KindCreateQuery {
+			created++
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if created != 1 {
+		t.Fatalf("replayed %d create-query records, want 1", created)
+	}
+}
+
+func TestDaemonRestartRecoversCatalog(t *testing.T) {
+	dir := t.TempDir()
+	addr, stop := startDaemon(t, dir)
+	conn, sc := dialDaemon(t, addr)
+	resp := exchange(t, conn, sc, `CREATE AQ snap AS SELECT photo(c.ip, s.loc, "d") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc) EVERY "2s"`)
+	if !resp.OK {
+		t.Fatalf("create = %+v", resp)
+	}
+	conn.Close()
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Second life on the same data dir: the query catalog must come back
+	// without any client re-issuing statements.
+	addr, stop = startDaemon(t, dir)
+	defer stop()
+	conn, sc = dialDaemon(t, addr)
+	resp = exchange(t, conn, sc, "SHOW QUERIES")
+	if !resp.OK || len(resp.Queries) != 1 || resp.Queries[0].Name != "snap" {
+		t.Fatalf("after restart SHOW QUERIES = %+v", resp)
+	}
+	if !resp.Queries[0].Running {
+		t.Fatalf("recovered query not running: %+v", resp.Queries[0])
+	}
+	resp = exchange(t, conn, sc, "SHOW DEVICES")
+	if !resp.OK || len(resp.Names) != 4 {
+		t.Fatalf("after restart SHOW DEVICES = %+v", resp)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }
 

@@ -3,6 +3,8 @@ package comm
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -92,6 +94,64 @@ func TestBreakerHalfOpenTrial(t *testing.T) {
 	// Successful trial closes the breaker completely.
 	b.record(id, true)
 	for i := 0; i < 3; i++ {
+		if err := b.allow(id); err != nil {
+			t.Fatalf("closed breaker shed a call: %v", err)
+		}
+	}
+}
+
+// The half-open trial slot under contention: when the cooldown expires
+// and a stampede of callers arrives at once, exactly one wins the trial
+// and every loser is shed with the breaker-open error. Run with -race
+// this also proves allow() is safe to call from many goroutines.
+func TestBreakerHalfOpenConcurrentTrials(t *testing.T) {
+	l, clk := newBreakerLayer(t, BreakerConfig{Threshold: 2, Window: 30 * time.Second, Cooldown: 10 * time.Second})
+	b := l.breaker
+	id := "cam-1"
+	b.record(id, false)
+	b.record(id, false) // open
+	clk.Advance(11 * time.Second)
+
+	const callers = 32
+	var (
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+		admitted atomic.Int32
+	)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := b.allow(id); err == nil {
+				admitted.Add(1)
+			} else {
+				errs[i] = err
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d callers admitted to the half-open trial, want exactly 1", got)
+	}
+	// The issue calls the shed error "ErrBackoff"; this layer's breaker
+	// sheds with ErrBreakerOpen, which like ErrBackoff also matches
+	// ErrUnreachable so shed devices degrade to absent tuples.
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrBreakerOpen) || !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("loser %d error %v does not match ErrBreakerOpen+ErrUnreachable", i, err)
+		}
+	}
+
+	// The winner's success closes the breaker for everyone.
+	b.record(id, true)
+	for i := 0; i < callers; i++ {
 		if err := b.allow(id); err != nil {
 			t.Fatalf("closed breaker shed a call: %v", err)
 		}

@@ -37,7 +37,11 @@ func newActionOperator(e *Engine, def *ActionDef) *actionOperator {
 
 // submit enqueues a request. The first request of a batch arms the batch
 // window; when it elapses all pending requests are scheduled together.
+// With a journal configured the request's intent is written ahead of
+// everything else, so a crash anywhere after this point hands the request
+// to recovery instead of losing it.
 func (op *actionOperator) submit(req *ActionRequest) {
+	op.engine.journalIntent(req)
 	op.mu.Lock()
 	op.pending = append(op.pending, req)
 	op.queries[req.QueryID] = true
@@ -111,6 +115,8 @@ func (op *actionOperator) dispatch(ctx context.Context, batch []*ActionRequest) 
 		return
 	}
 	e := op.engine
+	e.inFlight.Add(int64(len(batch)))
+	defer e.inFlight.Add(-int64(len(batch)))
 
 	// 1. Probe the union of candidate devices (paper §4's probing
 	// mechanism): availability check + physical status acquisition.
@@ -417,6 +423,7 @@ func (op *actionOperator) finish(req *ActionRequest, devID string, result any, e
 		Action:    req.Action,
 		DeviceID:  devID,
 		EventKey:  req.EventKey,
+		Deadline:  req.Deadline,
 		Latency:   e.clk.Since(req.CreatedAt),
 		Result:    result,
 		Err:       err,
@@ -431,6 +438,9 @@ func (op *actionOperator) finish(req *ActionRequest, devID string, result any, e
 		e.lg.Debug("action completed", "action", req.Action, "query", req.Query,
 			"device", devID, "latency", outcome.Latency, "attempts", req.attempts)
 	}
+	// The outcome becomes durable before observers see it; a crash after
+	// the append can no longer re-dispatch this intent.
+	e.journalOutcome(req, outcome)
 	e.metrics.record(outcome)
 	e.metrics.noteOutcomesDropped(e.outcomes.add(outcome))
 }

@@ -22,6 +22,7 @@ import (
 	"aorta/internal/sched"
 	"aorta/internal/sqlparse"
 	"aorta/internal/vclock"
+	"aorta/internal/wal"
 )
 
 // Config configures an Engine. Zero values select production defaults.
@@ -129,6 +130,14 @@ type Config struct {
 	// Logger receives structured engine events (query lifecycle, batch
 	// dispatch, action failures). Nil discards them.
 	Logger *slog.Logger
+
+	// Journal makes the engine's state durable: catalog mutations (device
+	// membership, query lifecycle) and action intents/outcomes are written
+	// ahead, and Start replays them after a crash — restoring the catalog
+	// and re-dispatching every intent that has no outcome. Nil runs the
+	// engine purely in memory. The engine takes over the journal's
+	// snapshot function; close the journal after Engine.Stop.
+	Journal *wal.Journal
 }
 
 // DefaultMaxAttempts is the default per-request execution attempt budget
@@ -185,6 +194,16 @@ type Engine struct {
 	photos   *photoStore
 	metrics  *EngineMetrics
 	outcomes *outcomeLog
+
+	// glue wires the write-ahead journal in; nil without Config.Journal.
+	glue *journalGlue
+	// inFlight counts action requests currently inside a dispatch.
+	inFlight atomic.Int64
+	// recovered holds journal-recovered intents awaiting re-submission;
+	// Start drains it. recoveryStats memoizes the replay for Recover's
+	// idempotent second call. Both under e.mu.
+	recovered     []*recoveredIntent
+	recoveryStats RecoveryStats
 }
 
 // New builds an engine over the given transport.
@@ -284,6 +303,9 @@ func New(cfg Config) (*Engine, error) {
 		e.live.Subscribe(e.onLivenessEvent)
 		layer.SetGate(e.live.AdmitTrial)
 		layer.SetObserver(e.live.Observe)
+	}
+	if cfg.Journal != nil {
+		e.glue = newJournalGlue(cfg.Journal)
 	}
 	if err := e.registerBuiltinActions(); err != nil {
 		return nil, err
@@ -408,6 +430,7 @@ func (e *Engine) RegisterDevice(info comm.DeviceInfo, mount geo.Mount) error {
 		e.live.Forget(info.ID)
 	}
 	e.layer.Readmit(info.ID)
+	e.journalRegisterDevice(info)
 	return nil
 }
 
@@ -425,6 +448,7 @@ func (e *Engine) UnregisterDevice(id string) {
 	if e.locks.Reclaim(id) {
 		e.lg.Warn("reclaimed lock stranded on unregistered device", "device", id)
 	}
+	e.journalUnregisterDevice(id)
 	e.lg.Info("device unregistered", "device", id)
 }
 
@@ -546,11 +570,19 @@ func (e *Engine) registerBuiltinBoolFuncs() {
 	}
 }
 
-// Start launches the continuous-query loops. It may be called once.
+// Start launches the continuous-query loops. It may be called once. With
+// a journal configured it first recovers any state a previous process
+// left behind (an explicit Recover beforehand is equivalent), then
+// re-submits every recovered intent whose deadline is still live.
 func (e *Engine) Start(ctx context.Context) error {
+	if e.glue != nil && !e.glue.didRecover() {
+		if _, err := e.Recover(ctx); err != nil {
+			return err
+		}
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.started {
+		e.mu.Unlock()
 		return errors.New("core: engine already started")
 	}
 	e.started = true
@@ -568,6 +600,16 @@ func (e *Engine) Start(ctx context.Context) error {
 	}
 	for _, q := range e.queries {
 		e.startQueryLocked(q)
+	}
+	recovered := e.recovered
+	e.recovered = nil
+	e.mu.Unlock()
+	// Re-submission happens after releasing e.mu: the shared operators
+	// take it, and the submit path needs the run context armed above.
+	for _, ri := range recovered {
+		e.lg.Info("re-dispatching recovered intent", "query", ri.req.Query,
+			"action", ri.req.Action, "event", ri.req.EventKey)
+		e.operatorFor(ri.def).submit(ri.req)
 	}
 	return nil
 }
@@ -595,6 +637,13 @@ func (e *Engine) Stop() {
 		// nothing ran and nothing was drained, so don't log it again.
 		return
 	}
+	if e.glue != nil {
+		// Push every buffered record to stable storage before the caller
+		// proceeds to exit; errors degrade durability, not the shutdown.
+		if err := e.glue.j.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			e.lg.Error("journal sync at stop failed", "err", err)
+		}
+	}
 	e.lg.Info("transport pool drained",
 		"open_sessions", snap.OpenSessions,
 		"dials", snap.Dials,
@@ -606,11 +655,13 @@ func (e *Engine) Stop() {
 		"suppressed_dials", snap.SuppressedDials)
 }
 
-// startQueryLocked launches one query loop. Caller holds e.mu.
+// startQueryLocked launches one query loop. Caller holds e.mu. Stopped
+// queries (STOP AQ, possibly in a previous process) stay in the catalog
+// but do not run until START AQ clears the flag.
 func (e *Engine) startQueryLocked(q *Query) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.running || !e.started {
+	if q.running || q.stopped || !e.started {
 		return
 	}
 	qctx, cancel := context.WithCancel(e.runCtx)
@@ -764,6 +815,9 @@ func (e *Engine) execCreateAQ(st *sqlparse.CreateAQ) (*ExecResult, error) {
 	e.queries[st.Name] = q
 	e.startQueryLocked(q)
 	e.mu.Unlock()
+	e.journalQuery(wal.KindCreateQuery, &wal.QueryRecord{
+		ID: q.ID, Name: q.Name, SQL: q.sel.String(), EpochNS: int64(q.Epoch),
+	})
 	e.lg.Info("query registered", "query", q.Name, "id", q.ID, "epoch", q.Epoch)
 	return &ExecResult{
 		Kind:    "ok",
@@ -784,6 +838,7 @@ func (e *Engine) execDropAQ(name string) (*ExecResult, error) {
 	}
 	stopQuery(q)
 	e.forgetQuery(q.ID)
+	e.journalQuery(wal.KindDropQuery, &wal.QueryRefRecord{Name: name})
 	e.lg.Info("query dropped", "query", name)
 	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s dropped", name)}, nil
 }
@@ -796,18 +851,27 @@ func (e *Engine) execStopAQ(name string) (*ExecResult, error) {
 		return nil, fmt.Errorf("core: no query %q", name)
 	}
 	stopQuery(q)
+	q.mu.Lock()
+	q.stopped = true
+	q.mu.Unlock()
 	e.forgetQuery(q.ID)
+	e.journalQuery(wal.KindStopQuery, &wal.QueryRefRecord{Name: name})
 	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s stopped", name)}, nil
 }
 
 func (e *Engine) execStartAQ(name string) (*ExecResult, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	q, ok := e.queries[name]
 	if !ok {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("core: no query %q", name)
 	}
+	q.mu.Lock()
+	q.stopped = false
+	q.mu.Unlock()
 	e.startQueryLocked(q)
+	e.mu.Unlock()
+	e.journalQuery(wal.KindStartQuery, &wal.QueryRefRecord{Name: name})
 	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s started", name)}, nil
 }
 

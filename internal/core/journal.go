@@ -1,0 +1,620 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/geo"
+	"aorta/internal/sqlparse"
+	"aorta/internal/wal"
+)
+
+// ErrExpired fails a journaled intent whose deadline passed while the
+// engine was down: recovery refuses to fire a stale action, so the intent
+// is closed with a FailExpired outcome instead of being re-dispatched.
+var ErrExpired = errors.New("core: intent deadline expired before recovery")
+
+// IntentDedupKey derives the durable identity of an action intent: query
+// name, trigger-tuple hash and deadline. Two submissions of the same
+// logical action (same query, same triggering event, same epoch deadline)
+// collide on it, which is what lets recovery suppress duplicates — an
+// outcome journaled under the key proves the intent ran.
+func IntentDedupKey(query, eventKey string, deadline time.Time) string {
+	h := fnv.New64a()
+	h.Write([]byte(eventKey))
+	var d int64
+	if !deadline.IsZero() {
+		d = deadline.UnixNano()
+	}
+	return fmt.Sprintf("%s|%016x|%d", query, h.Sum64(), d)
+}
+
+// journalGlue wires a wal.Journal into the engine. It owns the in-memory
+// mirror of the journal's pending-intent set (intents appended with no
+// outcome yet) and the armed flag that keeps replayed state from being
+// re-journaled during recovery.
+//
+// Lock ordering: the journal invokes the snapshot function while holding
+// its own mutex, and the snapshot function takes e.mu, glue.mu and q.mu.
+// Therefore no Append may ever be issued while holding any engine lock —
+// every hook below journals only after releasing them.
+type journalGlue struct {
+	j *wal.Journal
+
+	mu        sync.Mutex
+	armed     bool
+	recovered bool
+	pending   map[string]*wal.IntentRecord
+}
+
+func newJournalGlue(j *wal.Journal) *journalGlue {
+	return &journalGlue{j: j, pending: make(map[string]*wal.IntentRecord)}
+}
+
+func (g *journalGlue) isArmed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.armed
+}
+
+func (g *journalGlue) didRecover() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.recovered
+}
+
+// append journals one record, logging rather than propagating failures:
+// a full disk must degrade durability, not availability.
+func (e *Engine) journalAppend(kind wal.Kind, payload any) {
+	rec, err := wal.NewRecord(kind, payload)
+	if err == nil {
+		err = e.glue.j.Append(rec)
+	}
+	if err != nil && !errors.Is(err, wal.ErrClosed) {
+		e.lg.Error("journal append failed", "kind", kind.String(), "err", err)
+	}
+}
+
+// deviceRecordOf renders a registered device for the journal. The typed
+// PTZ mount is lifted out of Static so replay can restore it with its
+// concrete type; everything else in Static survives a JSON round-trip
+// (asPoint tolerates map-shaped locations).
+func deviceRecordOf(info comm.DeviceInfo) wal.DeviceRecord {
+	dr := wal.DeviceRecord{ID: info.ID, Type: info.Type, Addr: info.Addr}
+	if len(info.Static) > 0 {
+		dr.Static = make(map[string]any, len(info.Static))
+		for k, v := range info.Static {
+			if k == "mount" {
+				if m, ok := v.(geo.Mount); ok {
+					mc := m
+					dr.Mount = &mc
+					continue
+				}
+			}
+			dr.Static[k] = v
+		}
+	}
+	return dr
+}
+
+func (e *Engine) journalRegisterDevice(info comm.DeviceInfo) {
+	if e.glue == nil || !e.glue.isArmed() {
+		return
+	}
+	e.journalAppend(wal.KindRegisterDevice, deviceRecordOf(info))
+}
+
+func (e *Engine) journalUnregisterDevice(id string) {
+	if e.glue == nil || !e.glue.isArmed() {
+		return
+	}
+	e.journalAppend(wal.KindUnregisterDevice, wal.DeviceRecord{ID: id})
+}
+
+// journalQuery journals a catalog mutation (create/drop/stop/start).
+// Callers must have released e.mu.
+func (e *Engine) journalQuery(kind wal.Kind, payload any) {
+	if e.glue == nil || !e.glue.isArmed() {
+		return
+	}
+	e.journalAppend(kind, payload)
+}
+
+// journalIntent appends the durable intent of an action request before it
+// executes. The per-candidate argument lists are evaluated now — the bind
+// closure does not survive a restart, its values do. Requests whose key is
+// already pending (recovered intents being re-submitted) are not
+// re-appended: their record is already on disk.
+func (e *Engine) journalIntent(req *ActionRequest) {
+	if e.glue == nil || !e.glue.isArmed() {
+		return
+	}
+	key := IntentDedupKey(req.Query, req.EventKey, req.Deadline)
+	ir := &wal.IntentRecord{
+		DedupKey:  key,
+		RequestID: req.ID,
+		QueryID:   req.QueryID,
+		Query:     req.Query,
+		Action:    req.Action,
+		EventKey:  req.EventKey,
+		CreatedNS: req.CreatedAt.UnixNano(),
+	}
+	if !req.Deadline.IsZero() {
+		ir.DeadlineNS = req.Deadline.UnixNano()
+	}
+	for _, c := range req.Candidates {
+		ir.Candidates = append(ir.Candidates, wal.CandidateRecord{ID: c.ID, Tuple: c.Tuple})
+		if req.bind != nil {
+			if args, err := req.bind(c.ID); err == nil {
+				if ir.Args == nil {
+					ir.Args = make(map[string][]any, len(req.Candidates))
+				}
+				ir.Args[c.ID] = args
+			}
+		}
+	}
+	g := e.glue
+	g.mu.Lock()
+	_, already := g.pending[key]
+	if !already {
+		g.pending[key] = ir
+	}
+	g.mu.Unlock()
+	if already {
+		return
+	}
+	e.journalAppend(wal.KindIntent, ir)
+}
+
+// journalOutcome closes a journaled intent. The pending entry is removed
+// before the outcome record is appended: if a compaction snapshot races in
+// between, the snapshot may miss an intent whose outcome exists (harmless)
+// but can never keep an intent whose outcome the compaction discarded
+// (which would re-dispatch it after every subsequent crash).
+//
+// ErrShutdown outcomes are deliberately not journaled: a request drained
+// at graceful shutdown never executed, so its intent must stay pending and
+// be re-dispatched when the engine restarts.
+func (e *Engine) journalOutcome(req *ActionRequest, o *Outcome) {
+	if e.glue == nil || !e.glue.isArmed() || errors.Is(o.Err, ErrShutdown) {
+		return
+	}
+	key := IntentDedupKey(req.Query, req.EventKey, req.Deadline)
+	g := e.glue
+	g.mu.Lock()
+	_, present := g.pending[key]
+	delete(g.pending, key)
+	g.mu.Unlock()
+	if !present {
+		return // intent predates the journal (or was never journaled)
+	}
+	or := &wal.OutcomeRecord{
+		DedupKey:  key,
+		RequestID: o.RequestID,
+		DeviceID:  o.DeviceID,
+		Failure:   o.Failure.String(),
+		Attempts:  o.Attempts,
+		LatencyNS: int64(o.Latency),
+	}
+	if o.Err != nil {
+		or.Err = o.Err.Error()
+	}
+	e.journalAppend(wal.KindOutcome, or)
+}
+
+// JournalPending reports how many journaled intents have no journaled
+// outcome yet — the work a crash right now would hand to recovery.
+func (e *Engine) JournalPending() int {
+	if e.glue == nil {
+		return 0
+	}
+	e.glue.mu.Lock()
+	defer e.glue.mu.Unlock()
+	return len(e.glue.pending)
+}
+
+// InFlight reports how many action requests are currently inside a
+// dispatch (probing, scheduled or executing). Requests parked in a batch
+// window do not count: their intents are journaled and they are exactly
+// the work recovery can reconstruct.
+func (e *Engine) InFlight() int64 { return e.inFlight.Load() }
+
+// journalSnapshot renders the full engine state for segment compaction:
+// device membership, the query catalog (with stopped flags) and the
+// pending-intent set. Called by the journal with its own mutex held — see
+// the lock-ordering note on journalGlue.
+func (e *Engine) journalSnapshot() ([]byte, error) {
+	snap := wal.Snapshot{NextRequestID: e.reqSeq.Load()}
+	for _, d := range e.layer.Devices() {
+		snap.Devices = append(snap.Devices, deviceRecordOf(*d))
+	}
+	e.mu.Lock()
+	snap.NextQueryID = e.nextQID
+	for _, q := range e.queries {
+		q.mu.Lock()
+		sq := wal.SnapshotQuery{
+			QueryRecord: wal.QueryRecord{
+				ID: q.ID, Name: q.Name, SQL: q.sel.String(), EpochNS: int64(q.Epoch),
+			},
+			Stopped: q.stopped,
+		}
+		q.mu.Unlock()
+		snap.Queries = append(snap.Queries, sq)
+	}
+	e.mu.Unlock()
+	sort.Slice(snap.Queries, func(i, j int) bool { return snap.Queries[i].ID < snap.Queries[j].ID })
+	g := e.glue
+	g.mu.Lock()
+	for _, ir := range g.pending {
+		snap.Pending = append(snap.Pending, *ir)
+	}
+	g.mu.Unlock()
+	sort.Slice(snap.Pending, func(i, j int) bool { return snap.Pending[i].RequestID < snap.Pending[j].RequestID })
+	rec, err := wal.NewRecord(wal.KindSnapshot, &snap)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Data, nil
+}
+
+// RecoveryStats summarizes one journal replay.
+type RecoveryStats struct {
+	// Replayed counts journal records applied.
+	Replayed int
+	// Devices and Queries are catalog entries restored from the journal
+	// (pre-registered duplicates are skipped, not counted).
+	Devices int
+	Queries int
+	// SkippedQueries counts journaled queries that no longer compile —
+	// typically a user action whose library was not re-registered before
+	// recovery. They are dropped with a warning, not silently.
+	SkippedQueries int
+	// PendingIntents is how many journaled intents had no journaled
+	// outcome: the work the crash interrupted.
+	PendingIntents int
+	// Redispatched is how many of those Start will re-submit (deadline
+	// still live); Expired is how many were closed with FailExpired
+	// outcomes instead.
+	Redispatched int
+	Expired      int
+	// ReplayLatency is the wall-clock cost of the replay; JournalBytes is
+	// the journal size it covered.
+	ReplayLatency time.Duration
+	JournalBytes  int64
+}
+
+// recoveredIntent is a pending intent rebuilt from the journal, waiting
+// for Start to re-submit it.
+type recoveredIntent struct {
+	def *ActionDef
+	req *ActionRequest
+}
+
+// Recover replays the journal into the engine: devices re-register, the
+// query catalog is rebuilt from its journaled SQL, and every intent
+// without an outcome is either staged for re-dispatch (deadline still
+// live) or closed with a FailExpired outcome. It must run before Start —
+// Start calls it automatically when a journal is configured — and is
+// idempotent: a second call returns the first call's stats.
+func (e *Engine) Recover(ctx context.Context) (RecoveryStats, error) {
+	if e.glue == nil {
+		return RecoveryStats{}, errors.New("core: no journal configured")
+	}
+	g := e.glue
+	g.mu.Lock()
+	if g.recovered {
+		stats := e.recoveryStats
+		g.mu.Unlock()
+		return stats, nil
+	}
+	g.mu.Unlock()
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return RecoveryStats{}, errors.New("core: Recover must run before Start")
+	}
+	e.mu.Unlock()
+
+	start := time.Now()
+	var stats RecoveryStats
+	var maxReqID int64
+	pending := make(map[string]*wal.IntentRecord)
+	err := g.j.Replay(func(rec wal.Record) error {
+		stats.Replayed++
+		return e.applyRecord(rec, pending, &stats, &maxReqID)
+	})
+	if err != nil {
+		return RecoveryStats{}, fmt.Errorf("core: journal replay: %w", err)
+	}
+	stats.PendingIntents = len(pending)
+	if cur := e.reqSeq.Load(); maxReqID > cur {
+		e.reqSeq.Store(maxReqID)
+	}
+
+	// Partition the pending intents: live deadlines are staged for Start
+	// to re-submit; expired ones are closed now, because firing a stale
+	// action is worse than admitting the crash lost its moment.
+	now := e.clk.Now()
+	var live []*wal.IntentRecord
+	var expired []*wal.IntentRecord
+	for _, ir := range pending {
+		if ir.DeadlineNS != 0 && now.After(time.Unix(0, ir.DeadlineNS)) {
+			expired = append(expired, ir)
+		} else {
+			live = append(live, ir)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].RequestID < live[j].RequestID })
+	sort.Slice(expired, func(i, j int) bool { return expired[i].RequestID < expired[j].RequestID })
+
+	g.mu.Lock()
+	g.pending = pending
+	g.armed = true
+	g.recovered = true
+	g.mu.Unlock()
+
+	for _, ir := range expired {
+		e.expireIntent(ir, now)
+		stats.Expired++
+	}
+	for _, ir := range live {
+		ri, err := e.stageIntent(ir)
+		if err != nil {
+			e.lg.Warn("cannot re-dispatch recovered intent", "dedup_key", ir.DedupKey, "err", err)
+			g.mu.Lock()
+			delete(g.pending, ir.DedupKey)
+			g.mu.Unlock()
+			continue
+		}
+		e.mu.Lock()
+		e.recovered = append(e.recovered, ri)
+		e.mu.Unlock()
+		stats.Redispatched++
+	}
+
+	// Armed journal + fresh snapshot: compaction folds the replayed
+	// history (and any state registered before recovery, e.g. by a device
+	// manifest) into a single snapshot segment.
+	g.j.SetSnapshotFunc(e.journalSnapshot)
+	if err := g.j.Compact(); err != nil && !errors.Is(err, wal.ErrClosed) {
+		e.lg.Error("post-recovery compaction failed", "err", err)
+	}
+	stats.ReplayLatency = time.Since(start)
+	stats.JournalBytes = g.j.Stats().Bytes
+	e.recoveryStats = stats
+	e.lg.Info("journal recovered",
+		"records", stats.Replayed, "devices", stats.Devices,
+		"queries", stats.Queries, "pending", stats.PendingIntents,
+		"redispatch", stats.Redispatched, "expired", stats.Expired,
+		"latency", stats.ReplayLatency)
+	return stats, nil
+}
+
+// applyRecord folds one journal record into engine state during replay.
+func (e *Engine) applyRecord(rec wal.Record, pending map[string]*wal.IntentRecord, stats *RecoveryStats, maxReqID *int64) error {
+	switch rec.Kind {
+	case wal.KindSnapshot:
+		var snap wal.Snapshot
+		if err := rec.Decode(&snap); err != nil {
+			return err
+		}
+		for _, dr := range snap.Devices {
+			e.applyDeviceRecord(dr, stats)
+		}
+		for _, sq := range snap.Queries {
+			e.applyQueryRecord(sq.QueryRecord, sq.Stopped, stats)
+		}
+		for i := range snap.Pending {
+			ir := snap.Pending[i]
+			pending[ir.DedupKey] = &ir
+			if ir.RequestID > *maxReqID {
+				*maxReqID = ir.RequestID
+			}
+		}
+		e.mu.Lock()
+		if snap.NextQueryID > e.nextQID {
+			e.nextQID = snap.NextQueryID
+		}
+		e.mu.Unlock()
+		if snap.NextRequestID > *maxReqID {
+			*maxReqID = snap.NextRequestID
+		}
+	case wal.KindRegisterDevice:
+		var dr wal.DeviceRecord
+		if err := rec.Decode(&dr); err != nil {
+			return err
+		}
+		e.applyDeviceRecord(dr, stats)
+	case wal.KindUnregisterDevice:
+		var dr wal.DeviceRecord
+		if err := rec.Decode(&dr); err != nil {
+			return err
+		}
+		e.UnregisterDevice(dr.ID)
+	case wal.KindCreateQuery:
+		var qr wal.QueryRecord
+		if err := rec.Decode(&qr); err != nil {
+			return err
+		}
+		e.applyQueryRecord(qr, false, stats)
+	case wal.KindDropQuery:
+		var ref wal.QueryRefRecord
+		if err := rec.Decode(&ref); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		q, ok := e.queries[ref.Name]
+		if ok {
+			delete(e.queries, ref.Name)
+		}
+		e.mu.Unlock()
+		if ok {
+			e.forgetQuery(q.ID)
+		}
+	case wal.KindStopQuery, wal.KindStartQuery:
+		var ref wal.QueryRefRecord
+		if err := rec.Decode(&ref); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		if q, ok := e.queries[ref.Name]; ok {
+			q.mu.Lock()
+			q.stopped = rec.Kind == wal.KindStopQuery
+			q.mu.Unlock()
+		}
+		e.mu.Unlock()
+	case wal.KindIntent:
+		var ir wal.IntentRecord
+		if err := rec.Decode(&ir); err != nil {
+			return err
+		}
+		pending[ir.DedupKey] = &ir
+		if ir.RequestID > *maxReqID {
+			*maxReqID = ir.RequestID
+		}
+	case wal.KindOutcome:
+		var or wal.OutcomeRecord
+		if err := rec.Decode(&or); err != nil {
+			return err
+		}
+		delete(pending, or.DedupKey)
+	default:
+		e.lg.Warn("skipping unknown journal record", "kind", rec.Kind.String())
+	}
+	return nil
+}
+
+// applyDeviceRecord re-registers a journaled device. Devices already
+// registered (a lab or manifest pre-populates membership before recovery)
+// are kept as-is: live registration wins over journaled history.
+func (e *Engine) applyDeviceRecord(dr wal.DeviceRecord, stats *RecoveryStats) {
+	if _, exists := e.layer.Device(dr.ID); exists {
+		return
+	}
+	info := comm.DeviceInfo{ID: dr.ID, Type: dr.Type, Addr: dr.Addr}
+	if len(dr.Static) > 0 {
+		info.Static = make(map[string]any, len(dr.Static))
+		for k, v := range dr.Static {
+			info.Static[k] = v
+		}
+	}
+	var mount geo.Mount
+	if dr.Mount != nil {
+		mount = *dr.Mount
+	}
+	if err := e.RegisterDevice(info, mount); err != nil {
+		e.lg.Warn("cannot restore journaled device", "device", dr.ID, "err", err)
+		return
+	}
+	stats.Devices++
+}
+
+// applyQueryRecord rebuilds a journaled query by re-compiling its SQL.
+// The parser guarantees parse→render→parse stability, so the journaled
+// rendering compiles back to the query the user created.
+func (e *Engine) applyQueryRecord(qr wal.QueryRecord, stopped bool, stats *RecoveryStats) {
+	sel, err := parseSelect(qr.SQL)
+	if err == nil {
+		var q *Query
+		q, err = e.compileQuery(qr.Name, sel)
+		if err == nil {
+			q.ID = qr.ID
+			if qr.EpochNS > 0 {
+				q.Epoch = time.Duration(qr.EpochNS)
+			}
+			q.stopped = stopped
+			e.mu.Lock()
+			if _, dup := e.queries[qr.Name]; !dup {
+				e.queries[qr.Name] = q
+				if qr.ID > e.nextQID {
+					e.nextQID = qr.ID
+				}
+				stats.Queries++
+			}
+			e.mu.Unlock()
+			return
+		}
+	}
+	stats.SkippedQueries++
+	e.lg.Warn("cannot restore journaled query (re-register its actions before Start?)",
+		"query", qr.Name, "err", err)
+}
+
+// expireIntent closes a recovered intent whose deadline passed while the
+// engine was down.
+func (e *Engine) expireIntent(ir *wal.IntentRecord, now time.Time) {
+	req := requestOfIntent(ir)
+	outcome := &Outcome{
+		RequestID: ir.RequestID,
+		QueryID:   ir.QueryID,
+		Query:     ir.Query,
+		Action:    ir.Action,
+		EventKey:  ir.EventKey,
+		Deadline:  req.Deadline,
+		Latency:   now.Sub(time.Unix(0, ir.CreatedNS)),
+		Err:       fmt.Errorf("%w (deadline %s)", ErrExpired, time.Unix(0, ir.DeadlineNS).Format(time.RFC3339)),
+		Failure:   FailExpired,
+	}
+	e.lg.Warn("recovered intent expired", "query", ir.Query, "action", ir.Action,
+		"event", ir.EventKey, "deadline", time.Unix(0, ir.DeadlineNS))
+	e.journalOutcome(req, outcome)
+	e.metrics.record(outcome)
+	e.metrics.noteOutcomesDropped(e.outcomes.add(outcome))
+}
+
+// stageIntent rebuilds the ActionRequest of a live recovered intent. The
+// bind closure serves the argument lists journaled at intent time.
+func (e *Engine) stageIntent(ir *wal.IntentRecord) (*recoveredIntent, error) {
+	e.mu.Lock()
+	def, ok := e.actions[ir.Action]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("action %q not registered", ir.Action)
+	}
+	return &recoveredIntent{def: def, req: requestOfIntent(ir)}, nil
+}
+
+// parseSelect parses a journaled SELECT rendering.
+func parseSelect(sql string) (*sqlparse.Select, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: journaled SQL is a %T, not a SELECT", stmt)
+	}
+	return sel, nil
+}
+
+// requestOfIntent converts a journaled intent back into an ActionRequest.
+func requestOfIntent(ir *wal.IntentRecord) *ActionRequest {
+	req := &ActionRequest{
+		ID:        ir.RequestID,
+		QueryID:   ir.QueryID,
+		Query:     ir.Query,
+		Action:    ir.Action,
+		EventKey:  ir.EventKey,
+		CreatedAt: time.Unix(0, ir.CreatedNS),
+	}
+	if ir.DeadlineNS != 0 {
+		req.Deadline = time.Unix(0, ir.DeadlineNS)
+	}
+	for _, cr := range ir.Candidates {
+		req.Candidates = append(req.Candidates, CandidateDevice{ID: cr.ID, Tuple: comm.Tuple(cr.Tuple)})
+	}
+	args := ir.Args
+	req.bind = func(deviceID string) ([]any, error) {
+		if a, ok := args[deviceID]; ok {
+			return a, nil
+		}
+		return nil, fmt.Errorf("core: recovered intent has no journaled args for device %s", deviceID)
+	}
+	return req
+}

@@ -27,8 +27,12 @@ type Query struct {
 	groupBy     []*sqlparse.ColumnRef
 	projItems   []sqlparse.Expr
 
-	mu        sync.Mutex
-	running   bool
+	mu      sync.Mutex
+	running bool
+	// stopped marks a STOP AQ'd query: it stays in the catalog (and in
+	// journal snapshots) but is not launched until START AQ clears it —
+	// including across an engine restart.
+	stopped   bool
 	cancel    context.CancelFunc
 	evals     int64
 	evalErrs  int64

@@ -1,0 +1,412 @@
+package core
+
+// Crash-recovery tests: deterministic Manual-clock engines over a shared
+// journal directory, restarted the way a crashed daemon would be. They
+// pin the durability contract — the catalog replays byte-for-byte, every
+// outcome-less intent is re-dispatched exactly once, expired intents are
+// closed instead of fired, and a torn journal tail never blocks reopen.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aorta/internal/comm"
+	"aorta/internal/geo"
+	"aorta/internal/netsim"
+	"aorta/internal/vclock"
+	"aorta/internal/wal"
+)
+
+// journaledEngine builds an engine (not started) over dir's journal on
+// the shared Manual clock and network.
+func journaledEngine(t *testing.T, dir string, clk *vclock.Manual, network *netsim.Network, mut func(*Config)) (*Engine, *wal.Journal) {
+	t.Helper()
+	j, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Clock:           clk,
+		Dialer:          network,
+		Journal:         j,
+		DisableProbing:  true,
+		DisableLiveness: true,
+		BatchWindow:     10 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, j
+}
+
+// pumpOutcomes advances the shared Manual clock in batch-window steps
+// until n outcomes are recorded. Unlike fireBatch it does not rely on the
+// clock's waiter count, which stale timers from a previous engine life
+// (abandoned batch windows on the same clock) would confuse.
+func pumpOutcomes(t *testing.T, e *Engine, clk *vclock.Manual, n int) []*Outcome {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(e.Outcomes()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d outcomes arrived", len(e.Outcomes()), n)
+		}
+		clk.Advance(e.cfg.BatchWindow + time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	return e.Outcomes()
+}
+
+func mustExec(t *testing.T, e *Engine, sql string) *ExecResult {
+	t.Helper()
+	res, err := e.Exec(context.Background(), sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}
+
+// catalogView captures what SHOW QUERIES / SHOW DEVICES render, minus the
+// volatile eval counters.
+func catalogView(t *testing.T, e *Engine) ([]Info, []string) {
+	t.Helper()
+	qres := mustExec(t, e, "SHOW QUERIES")
+	infos := make([]Info, len(qres.Queries))
+	for i, info := range qres.Queries {
+		info.Evals, info.Errors = 0, 0
+		infos[i] = info
+	}
+	dres := mustExec(t, e, "SHOW DEVICES")
+	return infos, dres.Names
+}
+
+// The query catalog and device membership must survive a restart
+// byte-for-byte: SHOW QUERIES and SHOW DEVICES render identically, drops
+// stay dropped, and a STOP AQ'd query comes back stopped.
+func TestRecoverCatalogByteForByte(t *testing.T) {
+	dir := t.TempDir()
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	network := netsim.NewNetwork(clk, 1)
+
+	e1, j1 := journaledEngine(t, dir, clk, network, nil)
+	mount := geo.Mount{Position: geo.Point{X: 1, Y: 2, Z: 3}, PanRangeDeg: 170, TiltMaxDeg: 90, RangeM: 10}
+	if err := e1.RegisterDevice(deviceInfo("cam-1", "camera", "10.0.0.1:1"), mount); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations after Start flow through the journal as records; the
+	// pre-Start camera is captured by the recovery-time snapshot.
+	if err := e1.RegisterDevice(deviceInfo("mote-1", "sensor", "10.0.0.2:1"), geo.Mount{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.RegisterDevice(deviceInfo("mote-2", "sensor", "10.0.0.3:1"), geo.Mount{}); err != nil {
+		t.Fatal(err)
+	}
+	e1.UnregisterDevice("mote-2")
+	mustExec(t, e1, `CREATE AQ watch AS SELECT photo(c.ip, s.loc, "shots") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc) EVERY "60s"`)
+	mustExec(t, e1, `CREATE AQ paused AS SELECT s.accel_x FROM sensor s EVERY "30s"`)
+	mustExec(t, e1, `CREATE AQ doomed AS SELECT s.accel_x FROM sensor s EVERY "30s"`)
+	mustExec(t, e1, "STOP AQ paused")
+	mustExec(t, e1, "DROP AQ doomed")
+	wantQueries, wantDevices := catalogView(t, e1)
+	e1.Stop()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, j2 := journaledEngine(t, dir, clk, network, nil)
+	defer j2.Close()
+	stats, err := e2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Devices counts registrations applied (mote-2's replayed register is
+	// counted before its unregister removes it again).
+	if stats.Devices != 3 || stats.Queries != 3 || stats.SkippedQueries != 0 {
+		t.Fatalf("recovery stats = %+v, want 3 devices and 3 queries applied", stats)
+	}
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Stop()
+	gotQueries, gotDevices := catalogView(t, e2)
+	if !reflect.DeepEqual(gotQueries, wantQueries) {
+		t.Errorf("SHOW QUERIES after recovery:\n got %+v\nwant %+v", gotQueries, wantQueries)
+	}
+	if !reflect.DeepEqual(gotDevices, wantDevices) {
+		t.Errorf("SHOW DEVICES after recovery:\n got %v\nwant %v", gotDevices, wantDevices)
+	}
+	// The stopped query must not be running, but START AQ must revive it.
+	if info, _ := e2.QueryInfo("paused"); info.Running {
+		t.Error("STOP AQ'd query came back running")
+	}
+	mustExec(t, e2, "START AQ paused")
+	if info, _ := e2.QueryInfo("paused"); !info.Running {
+		t.Error("START AQ did not revive the recovered query")
+	}
+	// The camera's typed mount survived the JSON round-trip.
+	if m, ok := e2.MountOf("cam-1"); !ok || m.Position != mount.Position {
+		t.Errorf("recovered mount = %+v ok=%v, want %+v", m, ok, mount)
+	}
+	// Second Recover is idempotent: same stats, no double-application.
+	again, err := e2.Recover(context.Background())
+	if err != nil || again.Replayed != stats.Replayed {
+		t.Errorf("second Recover = %+v, %v; want first call's stats", again, err)
+	}
+}
+
+func deviceInfo(id, typ, addr string) comm.DeviceInfo {
+	return comm.DeviceInfo{ID: id, Type: typ, Addr: addr}
+}
+
+// An intent journaled before a crash, with no outcome, is re-dispatched
+// exactly once; once its outcome is journaled, further restarts leave it
+// alone.
+func TestRecoverRedispatchExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	network := netsim.NewNetwork(clk, 1)
+
+	var execs atomic.Int64
+	action := func(ctx context.Context, actx *ActionContext, args []any) (any, error) {
+		execs.Add(1)
+		return "done", nil
+	}
+
+	e1, j1 := journaledEngine(t, dir, clk, network, nil)
+	registerRetryAction(t, e1, "testact", action)
+	if err := e1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := newRetryRequest(e1, "dev-a", "dev-b")
+	e1.operatorFor(e1.actions["testact"]).submit(req)
+	if got := e1.JournalPending(); got != 1 {
+		t.Fatalf("JournalPending = %d after submit, want 1", got)
+	}
+	// Crash while the request sits in its batch window: the process dies,
+	// the intent is on disk, the action never ran.
+	j1.Crash()
+	e1.Stop()
+	if n := execs.Load(); n != 0 {
+		t.Fatalf("action ran %d times before the crash", n)
+	}
+
+	e2, j2 := journaledEngine(t, dir, clk, network, nil)
+	registerRetryAction(t, e2, "testact", action)
+	stats, err := e2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PendingIntents != 1 || stats.Redispatched != 1 || stats.Expired != 0 {
+		t.Fatalf("recovery stats = %+v, want 1 pending re-dispatched", stats)
+	}
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	outs := pumpOutcomes(t, e2, clk, 1)
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("action ran %d times after recovery, want exactly 1", n)
+	}
+	if !outs[0].OK() || outs[0].RequestID != req.ID {
+		t.Fatalf("recovered outcome = %+v, want success for request %d", outs[0], req.ID)
+	}
+	if got := e2.JournalPending(); got != 0 {
+		t.Fatalf("JournalPending = %d after outcome, want 0", got)
+	}
+	e2.Stop()
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third life: the journaled outcome suppresses any duplicate.
+	e3, j3 := journaledEngine(t, dir, clk, network, nil)
+	defer j3.Close()
+	registerRetryAction(t, e3, "testact", action)
+	stats, err = e3.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PendingIntents != 0 || stats.Redispatched != 0 {
+		t.Fatalf("third-life stats = %+v, want nothing pending", stats)
+	}
+	if err := e3.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e3.Stop()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("action ran %d times across three lives, want exactly 1", n)
+	}
+}
+
+// A graceful Stop drains batched requests with ErrShutdown — which is
+// deliberately not journaled, so the intent survives and the restarted
+// engine executes it.
+func TestGracefulShutdownRedispatches(t *testing.T) {
+	dir := t.TempDir()
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	network := netsim.NewNetwork(clk, 1)
+
+	var execs atomic.Int64
+	action := func(ctx context.Context, actx *ActionContext, args []any) (any, error) {
+		execs.Add(1)
+		return nil, nil
+	}
+
+	e1, j1 := journaledEngine(t, dir, clk, network, nil)
+	registerRetryAction(t, e1, "testact", action)
+	if err := e1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e1.operatorFor(e1.actions["testact"]).submit(newRetryRequest(e1, "dev-a"))
+	e1.Stop() // drains the batch window with ErrShutdown
+	outs := e1.Outcomes()
+	if len(outs) != 1 || !errors.Is(outs[0].Err, ErrShutdown) {
+		t.Fatalf("outcomes at shutdown = %+v, want one ErrShutdown", outs)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, j2 := journaledEngine(t, dir, clk, network, nil)
+	defer j2.Close()
+	registerRetryAction(t, e2, "testact", action)
+	stats, err := e2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Redispatched != 1 {
+		t.Fatalf("recovery stats = %+v, want the drained intent re-dispatched", stats)
+	}
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Stop()
+	pumpOutcomes(t, e2, clk, 1)
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("action ran %d times, want 1 (after the restart)", n)
+	}
+}
+
+// An intent whose deadline passed while the engine was down is closed
+// with a FailExpired outcome, never fired.
+func TestRecoverExpiresStaleIntents(t *testing.T) {
+	dir := t.TempDir()
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	network := netsim.NewNetwork(clk, 1)
+
+	var execs atomic.Int64
+	action := func(ctx context.Context, actx *ActionContext, args []any) (any, error) {
+		execs.Add(1)
+		return nil, nil
+	}
+
+	e1, j1 := journaledEngine(t, dir, clk, network, nil)
+	registerRetryAction(t, e1, "testact", action)
+	if err := e1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := newRetryRequest(e1, "dev-a")
+	req.Deadline = clk.Now().Add(10 * time.Second)
+	e1.operatorFor(e1.actions["testact"]).submit(req)
+	j1.Crash()
+	e1.Stop()
+
+	clk.Advance(time.Minute) // the deadline passes while "down"
+
+	e2, j2 := journaledEngine(t, dir, clk, network, nil)
+	defer j2.Close()
+	registerRetryAction(t, e2, "testact", action)
+	stats, err := e2.Recover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PendingIntents != 1 || stats.Expired != 1 || stats.Redispatched != 0 {
+		t.Fatalf("recovery stats = %+v, want the intent expired", stats)
+	}
+	outs := e2.Outcomes()
+	if len(outs) != 1 || outs[0].Failure != FailExpired || !errors.Is(outs[0].Err, ErrExpired) {
+		t.Fatalf("outcomes = %+v, want one FailExpired", outs)
+	}
+	if n := execs.Load(); n != 0 {
+		t.Fatalf("expired intent still executed %d times", n)
+	}
+	// The expiry outcome itself is journaled: the intent never comes back.
+	if err := e2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	e2.Stop()
+	if got := e2.JournalPending(); got != 0 {
+		t.Fatalf("JournalPending = %d after expiry, want 0", got)
+	}
+}
+
+// A torn final record — the classic mid-write crash — is truncated on
+// reopen and recovery proceeds over everything before it.
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	network := netsim.NewNetwork(clk, 1)
+
+	e1, j1 := journaledEngine(t, dir, clk, network, nil)
+	if err := e1.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e1, `CREATE AQ survivor AS SELECT s.accel_x FROM sensor s EVERY "30s"`)
+	e1.Stop()
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail of the newest segment.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	newest := entries[len(entries)-1]
+	f, err := os.OpenFile(newest, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	e2, j2 := journaledEngine(t, dir, clk, network, nil)
+	defer j2.Close()
+	stats, err := e2.Recover(context.Background())
+	if err != nil {
+		t.Fatalf("recovery over torn tail: %v", err)
+	}
+	if stats.Queries != 1 {
+		t.Fatalf("recovery stats = %+v, want the query restored", stats)
+	}
+	if j2.Stats().TornTailBytes != 3 {
+		t.Errorf("TornTailBytes = %d, want 3", j2.Stats().TornTailBytes)
+	}
+}
+
+// The data-directory lock: a second engine cannot open a journal a live
+// one holds.
+func TestJournalDirLockedAgainstSecondEngine(t *testing.T) {
+	dir := t.TempDir()
+	j, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := wal.Open(dir, wal.Options{}); !errors.Is(err, wal.ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+}

@@ -33,6 +33,10 @@ const (
 	// is the graceful-degradation floor — queries keep running with fewer
 	// candidates and only report FailNoDevice when nobody is left.
 	FailNoDevice
+	// FailExpired marks a journaled intent whose deadline passed while the
+	// engine was down: recovery closes it with this outcome instead of
+	// firing a stale action. Always terminal; never retried.
+	FailExpired
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +56,8 @@ func (k FailureKind) String() string {
 		return "retried-exhausted"
 	case FailNoDevice:
 		return "no-device"
+	case FailExpired:
+		return "expired"
 	default:
 		return "other"
 	}
@@ -67,7 +73,7 @@ func (k FailureKind) MarshalText() ([]byte, error) {
 // UnmarshalText parses a kind name produced by MarshalText; unknown names
 // decode as FailOther so old clients survive new kinds.
 func (k *FailureKind) UnmarshalText(text []byte) error {
-	for kind := FailNone; kind <= FailNoDevice; kind++ {
+	for kind := FailNone; kind <= FailExpired; kind++ {
 		if kind.String() == string(text) {
 			*k = kind
 			return nil
@@ -86,6 +92,8 @@ func classifyFailure(err error) FailureKind {
 		return FailBlurred
 	case errors.Is(err, ErrWrongPosition):
 		return FailWrongPosition
+	case errors.Is(err, ErrExpired):
+		return FailExpired
 	case errors.Is(err, ErrStale), errors.Is(err, ErrShutdown):
 		return FailStale
 	case errors.Is(err, errNoCandidates):
@@ -125,7 +133,8 @@ func retryableFailure(err error) bool {
 		return false
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return false
-	case errors.Is(err, ErrStale), errors.Is(err, ErrShutdown), errors.Is(err, errNoCandidates):
+	case errors.Is(err, ErrStale), errors.Is(err, ErrShutdown), errors.Is(err, ErrExpired),
+		errors.Is(err, errNoCandidates):
 		return false
 	case errors.Is(err, ErrBlurred), errors.Is(err, ErrWrongPosition), errors.Is(err, ErrNotCoverable):
 		return false
@@ -148,6 +157,11 @@ type Outcome struct {
 	Action    string
 	DeviceID  string
 	EventKey  string
+	// Deadline is the request's staleness deadline (zero if none). With
+	// Query and EventKey it reconstructs the request's journal dedup key
+	// (IntentDedupKey), which is how observers match outcomes to durable
+	// intents across restarts.
+	Deadline time.Time
 	// Latency is event-to-completion time on the engine clock.
 	Latency time.Duration
 	Result  any
@@ -233,9 +247,9 @@ func (m *EngineMetrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
-		Requests:  m.requests,
-		Successes: m.successes,
-		Failures:  make(map[FailureKind]int64, len(m.failures)),
+		Requests:        m.requests,
+		Successes:       m.successes,
+		Failures:        make(map[FailureKind]int64, len(m.failures)),
 		Retries:         m.retries,
 		Dropped:         m.dropped,
 		OutcomesDropped: m.outcomesDropped,

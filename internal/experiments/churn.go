@@ -52,11 +52,11 @@ func DefaultChurnConfig() ChurnConfig {
 
 // churnFault is one kill/revive pair, as fractions of the run length.
 type churnFault struct {
-	device  string
-	killAt  float64
-	backAt  float64
+	device string
+	killAt float64
+	backAt float64
 	// virtual clock times recorded when the fault was injected.
-	killedAt time.Time
+	killedAt  time.Time
 	revivedAt time.Time
 }
 

@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"aorta/internal/core"
+	"aorta/internal/lab"
+	"aorta/internal/wal"
+)
+
+// CrashRecConfig controls the crash fault-injection study: photo queries
+// on the simulated lab while the engine process is repeatedly "killed"
+// (its journal severed without sync, Crash) and restarted over the same
+// journal directory. The device farm survives every crash — only the
+// engine dies — so recovery is measured against a live, answering world.
+type CrashRecConfig struct {
+	// Cycles is the number of engine lives. Every life but the last ends
+	// in a crash with work in flight; the last shuts down cleanly.
+	Cycles int
+	// Queries is the number of photo queries, one per mote.
+	Queries int
+	// Cameras is the camera count.
+	Cameras int
+	// ClockScale speeds up virtual time.
+	ClockScale float64
+	// Seed drives device randomness.
+	Seed int64
+	// SegmentBytes is the journal rotation threshold; the default is small
+	// enough that compaction (snapshot + old-segment deletion) happens
+	// mid-study, so replay-from-snapshot is exercised, not just replay
+	// -from-genesis.
+	SegmentBytes int64
+	// StaleAfter is the virtual deadline attached to every action intent.
+	// Before the last life the study idles past it, so that life recovers
+	// only stale intents and must close them FailExpired instead of
+	// firing late actions.
+	StaleAfter time.Duration
+	// Dir is the journal directory; empty means a fresh temp dir.
+	Dir string
+}
+
+// DefaultCrashRecConfig sizes the study per the durability acceptance
+// bar: five kill/restart cycles, each interrupting live dispatch work.
+func DefaultCrashRecConfig() CrashRecConfig {
+	return CrashRecConfig{
+		Cycles:       5,
+		Queries:      6,
+		Cameras:      2,
+		ClockScale:   150,
+		Seed:         2005,
+		SegmentBytes: 64 << 10,
+		StaleAfter:   5 * time.Minute,
+	}
+}
+
+// CrashRecLife is one engine life: what it recovered at birth and how it
+// ended.
+type CrashRecLife struct {
+	Life     int
+	Recovery core.RecoveryStats
+	// Queries is the catalog size after recovery; every life must see the
+	// full set without any client re-issuing statements.
+	Queries int
+	// Outcomes and Successes count completions observed during this life
+	// (including FailExpired closures from recovery itself).
+	Outcomes  int
+	Successes int
+	// PendingAtCrash is the journal-pending intent count sampled just
+	// before the journal was severed (0 for the clean final life).
+	PendingAtCrash int
+	// Crashed distinguishes a severed journal from the final clean close.
+	Crashed bool
+	// ExpiryGap marks a life entered after idling past StaleAfter, so its
+	// recovered intents were all stale.
+	ExpiryGap bool
+}
+
+// CrashRecResult aggregates the study.
+type CrashRecResult struct {
+	Lives []CrashRecLife
+	// IntentsObserved is the number of distinct intent dedup keys whose
+	// outcomes the study saw across all lives.
+	IntentsObserved int
+	// Redispatched and Expired total the per-life recovery counters.
+	Redispatched int
+	Expired      int
+	// DuplicateExecutions counts successful executions beyond the first
+	// per dedup key: the at-least-once cost paid when a crash lands
+	// between execution and the outcome record. Reported, never lost.
+	DuplicateExecutions int
+	// LostOutcomes is the number of journaled intents with no journaled
+	// outcome after the final clean shutdown — the post-mortem replay of
+	// the journal itself. The durability guarantee demands 0.
+	LostOutcomes int
+	// LostQueries counts lives that recovered fewer queries than created.
+	// The guarantee demands 0.
+	LostQueries int
+	// Compactions, JournalBytes and JournalSegments describe the journal
+	// after the final shutdown.
+	Compactions     int64
+	JournalBytes    int64
+	JournalSegments int
+}
+
+// crashRecBatchWindow matches the churn study: at high clock scales the
+// default batch window is below goroutine-scheduling jitter.
+const crashRecBatchWindow = 2 * time.Second
+
+// CrashRecStudy runs the crash/restart cycles and verifies the journal's
+// contract from the outside: catalog recovered every life, interrupted
+// intents re-dispatched or expired, no journaled intent left without an
+// outcome, duplicates counted rather than silently absorbed.
+func CrashRecStudy(cfg CrashRecConfig) (*CrashRecResult, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "aorta-crashrec-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	wopts := wal.Options{SegmentBytes: cfg.SegmentBytes}
+	ecfg := func(j *wal.Journal) core.Config {
+		return core.Config{
+			// One attempt and no availability machinery: the study isolates
+			// the journal's recovery semantics from failover and probing.
+			MaxAttempts:      1,
+			DisableProbing:   true,
+			DialBackoff:      -1,
+			BreakerThreshold: -1,
+			DisableLiveness:  true,
+			BatchWindow:      crashRecBatchWindow,
+			StaleAfter:       cfg.StaleAfter,
+			Journal:          j,
+		}
+	}
+
+	j, err := wal.Open(dir, wopts)
+	if err != nil {
+		return nil, err
+	}
+	l, err := lab.New(lab.Config{
+		Cameras:    cfg.Cameras,
+		Motes:      cfg.Queries,
+		ClockScale: cfg.ClockScale,
+		Seed:       cfg.Seed,
+		Engine:     ecfg(j),
+	})
+	if err != nil {
+		j.Crash()
+		return nil, err
+	}
+	defer l.Close()
+
+	// Cross-life observer state: the experiment survives every "crash", so
+	// it can see duplicate executions the engine itself cannot.
+	var (
+		obsMu     sync.Mutex
+		successes = map[string]int{} // dedup key → successful executions
+		observed  = map[string]bool{}
+	)
+
+	res := &CrashRecResult{}
+	ctx := context.Background()
+	virtualEpoch := 60 * time.Second
+	epochWall := time.Duration(float64(virtualEpoch) / cfg.ClockScale)
+	stimDur := time.Duration(cfg.Cycles+2) * 10 * virtualEpoch
+
+	for life := 1; life <= cfg.Cycles; life++ {
+		eng := l.Engine
+		rec := CrashRecLife{Life: life}
+
+		// Subscribe before Recover so the FailExpired closures recovery
+		// journals are observed too.
+		outcomeCh := eng.SubscribeOutcomes(8192)
+		var lifeOutcomes, lifeSuccesses int
+		var obsWG sync.WaitGroup
+		obsDone := make(chan struct{})
+		obsWG.Add(1)
+		go func() {
+			defer obsWG.Done()
+			record := func(o *core.Outcome) {
+				key := core.IntentDedupKey(o.Query, o.EventKey, o.Deadline)
+				obsMu.Lock()
+				observed[key] = true
+				lifeOutcomes++
+				if o.OK() {
+					successes[key]++
+					lifeSuccesses++
+				}
+				obsMu.Unlock()
+			}
+			for {
+				select {
+				case o := <-outcomeCh:
+					record(o)
+				case <-obsDone:
+					for {
+						select {
+						case o := <-outcomeCh:
+							record(o)
+						default:
+							return
+						}
+					}
+				}
+			}
+		}()
+
+		stats, err := eng.Recover(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("life %d: recover: %w", life, err)
+		}
+		rec.Recovery = stats
+		res.Redispatched += stats.Redispatched
+		res.Expired += stats.Expired
+		if err := eng.Start(ctx); err != nil {
+			return nil, fmt.Errorf("life %d: start: %w", life, err)
+		}
+
+		if life == 1 {
+			for i := 1; i <= cfg.Queries; i++ {
+				sql := fmt.Sprintf(`CREATE AQ crash%d AS
+					SELECT photo(c.ip, s.loc, "photos/crashrec")
+					FROM sensor s, camera c
+					WHERE s.accel_x > 500 AND s.id = "mote-%d" AND coverage(c.id, s.loc)
+					EVERY "60s"`, i, i)
+				if _, err := eng.Exec(ctx, sql); err != nil {
+					return nil, fmt.Errorf("life 1: %w", err)
+				}
+			}
+		}
+		result, err := eng.Exec(ctx, "SHOW QUERIES")
+		if err != nil {
+			return nil, fmt.Errorf("life %d: show queries: %w", life, err)
+		}
+		rec.Queries = len(result.Queries)
+		if rec.Queries < cfg.Queries {
+			res.LostQueries++
+		}
+
+		for i := 0; i < cfg.Queries; i++ {
+			l.StimulateMote(i, 900, stimDur)
+		}
+
+		// Let the life do real work: wait for at least one epoch's worth of
+		// fresh successes, so a crash always interrupts a warm engine.
+		waitUntil := time.Now().Add(20*epochWall + 2*time.Second)
+		for time.Now().Before(waitUntil) {
+			obsMu.Lock()
+			n := lifeSuccesses
+			obsMu.Unlock()
+			if n >= cfg.Queries {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		if life < cfg.Cycles {
+			// Catch the engine with journaled intents whose outcomes have
+			// not landed, then sever the journal without sync — the kill.
+			crashBy := time.Now().Add(5*epochWall + 2*time.Second)
+			for time.Now().Before(crashBy) {
+				if n := eng.JournalPending(); n > 0 {
+					rec.PendingAtCrash = n
+					break
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			res.Compactions += j.Stats().Compactions
+			j.Crash()
+			rec.Crashed = true
+			eng.Stop()
+		} else {
+			// Final life: quiesce, then shut down cleanly.
+			quiesceBy := time.Now().Add(20*epochWall + 5*time.Second)
+			for time.Now().Before(quiesceBy) {
+				if eng.JournalPending() == 0 && eng.InFlight() == 0 {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			eng.Stop()
+			res.Compactions += j.Stats().Compactions
+			if err := j.Close(); err != nil {
+				return nil, fmt.Errorf("life %d: close journal: %w", life, err)
+			}
+		}
+		close(obsDone)
+		obsWG.Wait()
+		rec.Outcomes = lifeOutcomes
+		rec.Successes = lifeSuccesses
+		res.Lives = append(res.Lives, rec)
+
+		if life < cfg.Cycles {
+			if life == cfg.Cycles-1 {
+				// Idle past every pending intent's deadline so the last
+				// life exercises the FailExpired path.
+				res.Lives[len(res.Lives)-1].ExpiryGap = true
+				time.Sleep(time.Duration(1.5 * float64(cfg.StaleAfter) / cfg.ClockScale))
+			}
+			j, err = wal.Open(dir, wopts)
+			if err != nil {
+				return nil, fmt.Errorf("life %d: reopen journal: %w", life+1, err)
+			}
+			if _, err := l.NewEngine(ecfg(j)); err != nil {
+				j.Crash()
+				return nil, fmt.Errorf("life %d: new engine: %w", life+1, err)
+			}
+		}
+	}
+
+	// Post-mortem: replay the journal the way the next life would and
+	// count intents that never got an outcome. After a clean shutdown the
+	// durability contract demands zero.
+	pm, err := wal.Open(dir, wopts)
+	if err != nil {
+		return nil, fmt.Errorf("post-mortem open: %w", err)
+	}
+	defer pm.Close()
+	pending := map[string]bool{}
+	err = pm.Replay(func(rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindSnapshot:
+			var snap wal.Snapshot
+			if err := rec.Decode(&snap); err != nil {
+				return err
+			}
+			pending = map[string]bool{}
+			for _, ir := range snap.Pending {
+				pending[ir.DedupKey] = true
+			}
+		case wal.KindIntent:
+			var ir wal.IntentRecord
+			if err := rec.Decode(&ir); err != nil {
+				return err
+			}
+			pending[ir.DedupKey] = true
+		case wal.KindOutcome:
+			var or wal.OutcomeRecord
+			if err := rec.Decode(&or); err != nil {
+				return err
+			}
+			delete(pending, or.DedupKey)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("post-mortem replay: %w", err)
+	}
+	res.LostOutcomes = len(pending)
+	st := pm.Stats()
+	res.JournalBytes = st.Bytes
+	res.JournalSegments = st.Segments
+
+	obsMu.Lock()
+	res.IntentsObserved = len(observed)
+	for _, n := range successes {
+		if n > 1 {
+			res.DuplicateExecutions += n - 1
+		}
+	}
+	obsMu.Unlock()
+	sort.Slice(res.Lives, func(i, k int) bool { return res.Lives[i].Life < res.Lives[k].Life })
+	return res, nil
+}
+
+// PrintCrashRecStudy renders the per-life table and the totals.
+func PrintCrashRecStudy(w io.Writer, cfg CrashRecConfig, res *CrashRecResult) {
+	fmt.Fprintf(w, "Crash recovery — %d engine lives over one journal (%d queries, StaleAfter %v virtual)\n",
+		cfg.Cycles, cfg.Queries, cfg.StaleAfter)
+	fmt.Fprintf(w, "%-5s%9s%9s%9s%9s%10s%10s%11s%12s  %s\n",
+		"Life", "Replayed", "Queries", "Redisp", "Expired", "Outcomes", "Pending", "Replay", "Journal", "End")
+	for _, life := range res.Lives {
+		end := "clean close"
+		if life.Crashed {
+			end = "crash"
+			if life.ExpiryGap {
+				end = "crash + idle past deadline"
+			}
+		}
+		fmt.Fprintf(w, "%-5d%9d%9d%9d%9d%10d%10d%11s%12s  %s\n",
+			life.Life, life.Recovery.Replayed, life.Queries,
+			life.Recovery.Redispatched, life.Recovery.Expired,
+			life.Outcomes, life.PendingAtCrash,
+			life.Recovery.ReplayLatency.Round(100*time.Microsecond),
+			formatBytes(life.Recovery.JournalBytes), end)
+	}
+	fmt.Fprintf(w, "intents observed: %d, re-dispatched: %d, expired: %d, duplicate executions: %d\n",
+		res.IntentsObserved, res.Redispatched, res.Expired, res.DuplicateExecutions)
+	fmt.Fprintf(w, "lost outcomes: %d (want 0), lost queries: %d (want 0)\n",
+		res.LostOutcomes, res.LostQueries)
+	fmt.Fprintf(w, "final journal: %s in %d segment(s)\n",
+		formatBytes(res.JournalBytes), res.JournalSegments)
+}
+
+// formatBytes renders a byte count compactly.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

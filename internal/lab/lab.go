@@ -167,6 +167,23 @@ func New(cfg Config) (*Lab, error) {
 	return l, nil
 }
 
+// NewEngine replaces the lab's engine with a fresh one built from ecfg;
+// Clock and Dialer are set to the lab's own, and no devices are
+// registered. The crash-recovery study uses it to restart an engine over
+// the same simulated device farm: the device servers keep listening
+// across engine lives, and the new engine's catalog comes from its
+// journal, not from re-registration.
+func (l *Lab) NewEngine(ecfg core.Config) (*core.Engine, error) {
+	ecfg.Clock = l.Clock
+	ecfg.Dialer = l.Network
+	engine, err := core.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	l.Engine = engine
+	return engine, nil
+}
+
 // Close shuts down the engine and every device server.
 func (l *Lab) Close() {
 	l.Engine.Stop()

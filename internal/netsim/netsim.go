@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aorta/internal/vclock"
@@ -30,6 +31,10 @@ var (
 	ErrNoListener = errors.New("netsim: no listener at address")
 	ErrLinkDown   = errors.New("netsim: link is down")
 	ErrDialFailed = errors.New("netsim: dial failed (injected)")
+	// ErrConnReset is returned by writes on a connection severed mid-stream
+	// by ResetAfterBytes or WriteErrProb — how a device crash mid-exchange
+	// looks to the engine: the dial succeeded, then the stream died.
+	ErrConnReset = errors.New("netsim: connection reset (injected)")
 )
 
 // TCP dials real TCP connections.
@@ -66,6 +71,16 @@ type LinkConfig struct {
 	// unresponsive device does. The prober's TIMEOUT handling is tested
 	// against this.
 	Blackhole bool
+	// ResetAfterBytes severs a connection mid-stream: once a conn has
+	// written this many bytes, its next write closes the transport and
+	// returns ErrConnReset. The budget is per connection and per direction,
+	// and checked before each write, so one write may overshoot it. Zero
+	// disables.
+	ResetAfterBytes int64
+	// WriteErrProb is the per-write probability that the write fails with
+	// ErrConnReset and closes the transport — a lossy stream rather than a
+	// byte-counted one.
+	WriteErrProb float64
 }
 
 // Network is an in-memory network of listeners with per-link fault
@@ -171,6 +186,14 @@ func (n *Network) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	}
 }
 
+// roll draws one uniform [0,1) sample under the network lock, so
+// concurrent connections share the seeded source without racing it.
+func (n *Network) roll() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64()
+}
+
 func (n *Network) linkDelay(cfg LinkConfig) time.Duration {
 	d := cfg.Latency
 	if cfg.Jitter > 0 {
@@ -226,22 +249,35 @@ type memAddr string
 func (a memAddr) Network() string { return "aorta-sim" }
 func (a memAddr) String() string  { return string(a) }
 
-// latConn injects the link's current write latency into an in-memory
-// connection.
+// latConn injects the link's current write latency and mid-stream faults
+// into an in-memory connection.
 type latConn struct {
 	net.Conn
 	net  *Network
 	addr string
+	// written counts bytes this conn has delivered, for ResetAfterBytes.
+	written atomic.Int64
 }
 
 // Write delays by the link latency before delivering, modelling one-way
-// network delay.
+// network delay, and injects mid-stream resets per the link's current
+// configuration.
 func (c *latConn) Write(p []byte) (int, error) {
 	cfg := c.net.Link(c.addr)
+	if cfg.ResetAfterBytes > 0 && c.written.Load() >= cfg.ResetAfterBytes {
+		c.Conn.Close()
+		return 0, fmt.Errorf("netsim: write %s: %w", c.addr, ErrConnReset)
+	}
+	if cfg.WriteErrProb > 0 && c.net.roll() < cfg.WriteErrProb {
+		c.Conn.Close()
+		return 0, fmt.Errorf("netsim: write %s: %w", c.addr, ErrConnReset)
+	}
 	if d := c.net.linkDelay(cfg); d > 0 {
 		c.net.clk.Sleep(d)
 	}
-	return c.Conn.Write(p)
+	n, err := c.Conn.Write(p)
+	c.written.Add(int64(n))
+	return n, err
 }
 
 // LocalAddr implements net.Conn.

@@ -259,6 +259,132 @@ func TestConnDeadline(t *testing.T) {
 	wg.Wait()
 }
 
+// discardServe accepts one connection and drains it until EOF, reporting
+// how many bytes arrived on done.
+func discardServe(t *testing.T, l net.Listener, done chan<- int64) {
+	t.Helper()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- -1
+			return
+		}
+		defer conn.Close()
+		n, _ := io.Copy(io.Discard, conn)
+		done <- n
+	}()
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("mote-5")
+	defer l.Close()
+	done := make(chan int64, 1)
+	discardServe(t, l, done)
+	n.SetLink("mote-5", LinkConfig{ResetAfterBytes: 8})
+
+	conn, err := n.Dial(context.Background(), "mote-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The budget is checked before each write, so the first write delivers
+	// even though it lands exactly on the limit.
+	if _, err := conn.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	if _, err := conn.Write([]byte{'x'}); !errors.Is(err, ErrConnReset) {
+		t.Fatalf("write past budget: err = %v, want ErrConnReset", err)
+	}
+	// The reset severed the transport, not just the one write.
+	if _, err := conn.Write([]byte{'x'}); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+	if got := <-done; got != 8 {
+		t.Fatalf("peer received %d bytes, want 8", got)
+	}
+}
+
+func TestWriteErrProbAlwaysFails(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("mote-6")
+	defer l.Close()
+	done := make(chan int64, 1)
+	discardServe(t, l, done)
+	n.SetLink("mote-6", LinkConfig{WriteErrProb: 1.0})
+
+	conn, err := n.Dial(context.Background(), "mote-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("doomed")); !errors.Is(err, ErrConnReset) {
+		t.Fatalf("err = %v, want ErrConnReset", err)
+	}
+	if got := <-done; got != 0 {
+		t.Fatalf("peer received %d bytes, want 0", got)
+	}
+}
+
+// TestWriteErrProbConcurrent exercises the shared fault RNG from many
+// connections at once; run with -race it proves roll() serialises access.
+func TestWriteErrProbConcurrent(t *testing.T) {
+	n := newNet()
+	l, _ := n.Listen("mote-7")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // persistent drain acceptor
+		defer wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				_, _ = io.Copy(io.Discard, conn)
+			}()
+		}
+	}()
+	n.SetLink("mote-7", LinkConfig{WriteErrProb: 0.5})
+
+	const conns = 16
+	resets := make(chan int, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := n.Dial(context.Background(), "mote-7")
+			if err != nil {
+				resets <- 0
+				return
+			}
+			defer conn.Close()
+			for w := 0; w < 20; w++ {
+				if _, err := conn.Write([]byte("ping")); err != nil {
+					resets <- 1
+					return
+				}
+			}
+			resets <- 0
+		}()
+	}
+	total := 0
+	for i := 0; i < conns; i++ {
+		total += <-resets
+	}
+	l.Close()
+	wg.Wait()
+	// With p=0.5 per write and 20 writes per conn, every conn resetting is
+	// a near certainty; a handful is all the assertion needs.
+	if total < conns/2 {
+		t.Fatalf("only %d of %d connections saw an injected reset", total, conns)
+	}
+}
+
 func TestTCPDialer(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -170,7 +170,10 @@ func (s *Select) String() string {
 		}
 	}
 	if s.Every > 0 {
-		fmt.Fprintf(&sb, " EVERY %s", s.Every)
+		// Quoted Go duration: compound renderings like "1m30s" only parse
+		// through the string-literal form, and a Select's rendering must
+		// always re-parse (the engine journals queries as their SQL).
+		fmt.Fprintf(&sb, " EVERY %q", s.Every.String())
 	}
 	return sb.String()
 }

@@ -51,7 +51,7 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true, "TRUE": true, "FALSE": true,
 	"DROP": true, "STOP": true, "START": true, "SHOW": true,
 	"QUERIES": true, "ACTIONS": true, "DEVICES": true, "SCANS": true,
-	"EVERY": true,
+	"EVERY":   true,
 	"EXPLAIN": true, "GROUP": true, "BY": true,
 }
 

@@ -318,6 +318,10 @@ func TestStringRoundTrip(t *testing.T) {
 	inputs := []string{
 		`CREATE AQ snapshot AS SELECT photo(c.ip, s.loc, "photos/admin") FROM sensor s, camera c WHERE s.accel_x > 500 AND coverage(c.id, s.loc)`,
 		`SELECT temp, light FROM sensor WHERE temp > 30 EVERY 5 seconds`,
+		// Compound duration renderings ("1m0s", "1h30m0s") must survive the
+		// round trip — the engine's journal replays queries from their SQL.
+		`SELECT temp FROM sensor EVERY "60s"`,
+		`SELECT temp FROM sensor EVERY 90 minutes`,
 		`CREATE ACTION sendphoto(String phone_no, String path) AS "lib/sp.dll" PROFILE "sp.xml"`,
 	}
 	for _, in := range inputs {

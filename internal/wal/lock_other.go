@@ -1,0 +1,35 @@
+//go:build !unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// dirLock without flock: exclusive creation of the LOCK file stands in.
+// Unlike the flock variant a crashed process leaves the file behind;
+// non-unix hosts must clear it by hand after a crash.
+type dirLock struct {
+	path string
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w (%s)", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("wal: create lock file: %w", err)
+	}
+	f.Close()
+	return &dirLock{path: path}, nil
+}
+
+func (l *dirLock) release() {
+	if l == nil || l.path == "" {
+		return
+	}
+	_ = os.Remove(l.path)
+	l.path = ""
+}

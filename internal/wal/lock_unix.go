@@ -1,0 +1,40 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// dirLock is an advisory flock on the journal directory's LOCK file. The
+// kernel releases it automatically when the process dies, so a crashed
+// daemon never leaves a stale lock behind.
+type dirLock struct {
+	f *os.File
+}
+
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, fmt.Errorf("%w (%s)", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("wal: flock: %w", err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() {
+	if l == nil || l.f == nil {
+		return
+	}
+	_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	_ = l.f.Close()
+	l.f = nil
+}

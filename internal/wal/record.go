@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"aorta/internal/geo"
+)
+
+// Kind identifies what a journal record describes.
+type Kind uint8
+
+// Record kinds. Catalog mutations (device membership and query lifecycle)
+// replay into engine state; Intent/Outcome pairs carry the at-least-once
+// action guarantee: an intent with no outcome at replay time is work the
+// crash interrupted.
+const (
+	KindSnapshot Kind = iota + 1
+	KindRegisterDevice
+	KindUnregisterDevice
+	KindCreateQuery
+	KindDropQuery
+	KindStopQuery
+	KindStartQuery
+	KindIntent
+	KindOutcome
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSnapshot:
+		return "snapshot"
+	case KindRegisterDevice:
+		return "register-device"
+	case KindUnregisterDevice:
+		return "unregister-device"
+	case KindCreateQuery:
+		return "create-query"
+	case KindDropQuery:
+		return "drop-query"
+	case KindStopQuery:
+		return "stop-query"
+	case KindStartQuery:
+		return "start-query"
+	case KindIntent:
+		return "intent"
+	case KindOutcome:
+		return "outcome"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Record is one journal entry: a kind tag and its JSON payload.
+type Record struct {
+	Kind Kind            `json:"k"`
+	Data json.RawMessage `json:"d,omitempty"`
+}
+
+// NewRecord builds a record from a typed payload.
+func NewRecord(kind Kind, payload any) (Record, error) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: marshal %s payload: %w", kind, err)
+	}
+	return Record{Kind: kind, Data: data}, nil
+}
+
+// Decode unmarshals the record's payload into out.
+func (r Record) Decode(out any) error {
+	if err := json.Unmarshal(r.Data, out); err != nil {
+		return fmt.Errorf("wal: decode %s payload: %w", r.Kind, err)
+	}
+	return nil
+}
+
+func (r Record) marshal() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("wal: marshal record: %w", err)
+	}
+	return b, nil
+}
+
+func (r *Record) unmarshal(b []byte) error { return json.Unmarshal(b, r) }
+
+// DeviceRecord journals one device registration (or, with only ID set,
+// an unregistration). The PTZ mount rides as a typed field rather than
+// inside Static, so replay restores it with its concrete type intact.
+type DeviceRecord struct {
+	ID     string         `json:"id"`
+	Type   string         `json:"type,omitempty"`
+	Addr   string         `json:"addr,omitempty"`
+	Static map[string]any `json:"static,omitempty"`
+	Mount  *geo.Mount     `json:"mount,omitempty"`
+}
+
+// QueryRecord journals one CREATE AQ. The query is stored as its SQL
+// rendering — the parser guarantees parse→render→parse stability — plus
+// the resolved epoch, so a change of the engine's default epoch across a
+// restart cannot silently retime an old query.
+type QueryRecord struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	SQL     string `json:"sql"`
+	EpochNS int64  `json:"epoch_ns"`
+}
+
+// QueryRefRecord journals DROP/STOP/START AQ by name.
+type QueryRefRecord struct {
+	Name string `json:"name"`
+}
+
+// CandidateRecord is one eligible device of a journaled intent, with the
+// tuple that qualified it.
+type CandidateRecord struct {
+	ID    string         `json:"id"`
+	Tuple map[string]any `json:"tuple,omitempty"`
+}
+
+// IntentRecord journals one action request before execution. The dedup
+// key (query name + trigger-tuple hash + deadline) identifies the logical
+// action across crashes: recovery re-dispatches an intent only while no
+// outcome record carries its key. Args holds the action's argument list
+// pre-bound per candidate device, evaluated at intent-write time — the
+// closure that bound them does not survive a restart, the values do.
+type IntentRecord struct {
+	DedupKey   string            `json:"dedup_key"`
+	RequestID  int64             `json:"request_id"`
+	QueryID    int               `json:"query_id"`
+	Query      string            `json:"query"`
+	Action     string            `json:"action"`
+	EventKey   string            `json:"event_key,omitempty"`
+	CreatedNS  int64             `json:"created_ns"`
+	DeadlineNS int64             `json:"deadline_ns,omitempty"`
+	Candidates []CandidateRecord `json:"candidates,omitempty"`
+	Args       map[string][]any  `json:"args,omitempty"`
+}
+
+// OutcomeRecord journals the completion of a journaled intent, keyed by
+// the same dedup key. Its presence is what suppresses duplicate
+// re-dispatch after a crash.
+type OutcomeRecord struct {
+	DedupKey  string `json:"dedup_key"`
+	RequestID int64  `json:"request_id"`
+	DeviceID  string `json:"device_id,omitempty"`
+	Failure   string `json:"failure"`
+	Err       string `json:"err,omitempty"`
+	Attempts  int    `json:"attempts"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+// SnapshotQuery is one catalog entry inside a snapshot.
+type SnapshotQuery struct {
+	QueryRecord
+	// Stopped preserves STOP AQ across restarts: a stopped query replays
+	// into the catalog but is not started.
+	Stopped bool `json:"stopped,omitempty"`
+}
+
+// Snapshot is the full engine state written at compaction: replaying it
+// is equivalent to replaying the entire history it replaced.
+type Snapshot struct {
+	NextQueryID   int             `json:"next_query_id"`
+	NextRequestID int64           `json:"next_request_id"`
+	Devices       []DeviceRecord  `json:"devices,omitempty"`
+	Queries       []SnapshotQuery `json:"queries,omitempty"`
+	// Pending holds the intents that had no outcome at snapshot time; they
+	// carry the at-least-once guarantee across compaction.
+	Pending []IntentRecord `json:"pending,omitempty"`
+}

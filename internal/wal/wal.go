@@ -1,0 +1,550 @@
+// Package wal implements the engine's write-ahead journal: the durable
+// backing for the query catalog, device membership and in-flight action
+// intents, so a crashed daemon restarts into the state it committed to
+// rather than an empty engine.
+//
+// The journal is a directory of numbered segment files. Every record is a
+// CRC32-framed JSON envelope; appends go to the newest segment, and when
+// it outgrows Options.SegmentBytes the journal rotates: a new segment is
+// started with a full state snapshot (asked from the owner through
+// SetSnapshotFunc) as its first record, and the older segments are
+// deleted — compaction keeps replay time proportional to live state, not
+// to history. On open, a torn final record (the classic mid-write crash)
+// is detected by its checksum and truncated away; corruption anywhere
+// else is an error, never silently skipped.
+//
+// A lock file guards the directory so two daemons can never interleave
+// writes into one journal.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors returned by the journal.
+var (
+	// ErrLocked: another process holds the data directory's lock.
+	ErrLocked = errors.New("wal: data directory locked by another process")
+	// ErrClosed: the journal was closed (or crashed) and cannot accept
+	// further operations.
+	ErrClosed = errors.New("wal: journal closed")
+	// ErrCorrupt: a record failed its checksum somewhere other than the
+	// tail of the final segment, where truncation would lose committed
+	// history.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append — the default: an acknowledged
+	// catalog mutation or intent survives an immediate power cut.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncEvery of wall time;
+	// a crash may lose the records appended since the last sync.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache (Close still syncs).
+	// Process crashes lose nothing — only power loss does.
+	SyncNever
+)
+
+// Defaults.
+const (
+	DefaultSegmentBytes = int64(4 << 20)
+	DefaultSyncEvery    = 100 * time.Millisecond
+
+	segmentSuffix = ".wal"
+	lockFileName  = "LOCK"
+	// headerSize frames each record: 4-byte big-endian length + 4-byte
+	// CRC32-Castagnoli of the body.
+	headerSize = 8
+	// maxRecordSize bounds a single record so a corrupt length prefix
+	// cannot force a huge allocation during replay.
+	maxRecordSize = 16 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a journal. Zero values select defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold of the active segment.
+	SegmentBytes int64
+	// Sync is the fsync policy for appends.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period.
+	SyncEvery time.Duration
+}
+
+func (o Options) resolve() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	return o
+}
+
+// Stats is a point-in-time view of the journal's counters.
+type Stats struct {
+	// Segments is the live segment-file count.
+	Segments int
+	// ActiveSegment is the sequence number of the append segment.
+	ActiveSegment uint64
+	// Bytes is the total size of all live segments.
+	Bytes int64
+	// Appends counts records appended this session.
+	Appends int64
+	// Syncs counts fsync calls this session.
+	Syncs int64
+	// Compactions counts snapshot rotations that deleted older segments.
+	Compactions int64
+	// TornTailBytes is how many bytes of torn final record were truncated
+	// away when the journal was opened.
+	TornTailBytes int64
+}
+
+// Journal is a segmented, checksummed write-ahead log over one directory.
+// It is safe for concurrent use.
+type Journal struct {
+	dir  string
+	opts Options
+	lock *dirLock
+
+	mu         sync.Mutex
+	active     *os.File
+	activeSeq  uint64
+	activeSize int64
+	closed     bool
+	lastSync   time.Time
+	snapshotFn func() ([]byte, error)
+	stats      Stats
+}
+
+// Open opens (creating if necessary) the journal in dir and acquires its
+// exclusive lock; a directory already locked by a live process returns
+// ErrLocked. A torn final record left by a crash is truncated away here,
+// so the journal always reopens ending on a record boundary.
+func Open(dir string, opts Options) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	lock, err := acquireDirLock(filepath.Join(dir, lockFileName))
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{dir: dir, opts: opts.resolve(), lock: lock}
+	if err := j.openSegments(); err != nil {
+		lock.release()
+		return nil, err
+	}
+	return j, nil
+}
+
+// openSegments finds the existing segment chain, truncates any torn tail
+// off the final segment and opens it for appending (creating segment 1
+// for an empty directory).
+func (j *Journal) openSegments() error {
+	segs, err := j.listSegments()
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return j.createSegment(1)
+	}
+	last := segs[len(segs)-1]
+	path := j.segmentPath(last)
+	validLen, invalid, err := forEachRecord(path, func(Record) error { return nil })
+	if err != nil {
+		return err
+	}
+	if invalid != nil {
+		info, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("wal: stat %s: %w", path, err)
+		}
+		j.stats.TornTailBytes = info.Size() - validLen
+		if err := os.Truncate(path, validLen); err != nil {
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	j.active = f
+	j.activeSeq = last
+	j.activeSize = validLen
+	return nil
+}
+
+// SetSnapshotFunc installs the compaction source: at every rotation fn is
+// asked for a full-state snapshot, which becomes the first record of the
+// new segment, and all older segments are deleted. Without it rotation
+// still happens but history accumulates.
+func (j *Journal) SetSnapshotFunc(fn func() ([]byte, error)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.snapshotFn = fn
+}
+
+// Append writes one record, syncs it per the policy and rotates the
+// segment past the size threshold.
+func (j *Journal) Append(rec Record) error {
+	body, err := rec.marshal()
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.appendLocked(body); err != nil {
+		return err
+	}
+	if err := j.maybeSyncLocked(); err != nil {
+		return err
+	}
+	if j.activeSize >= j.opts.SegmentBytes {
+		return j.rotateLocked()
+	}
+	return nil
+}
+
+// appendLocked frames and writes one marshaled record body.
+func (j *Journal) appendLocked(body []byte) error {
+	if len(body) > maxRecordSize {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(body), maxRecordSize)
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	if _, err := j.active.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := j.active.Write(body); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	j.activeSize += int64(headerSize + len(body))
+	j.stats.Appends++
+	return nil
+}
+
+func (j *Journal) maybeSyncLocked() error {
+	switch j.opts.Sync {
+	case SyncAlways:
+		return j.syncLocked()
+	case SyncInterval:
+		// Wall time, deliberately: the fsync budget is a property of the
+		// host's disk, not of any virtual clock the engine runs on.
+		if time.Since(j.lastSync) >= j.opts.SyncEvery {
+			return j.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.active.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	j.stats.Syncs++
+	j.lastSync = time.Now()
+	return nil
+}
+
+// rotateLocked starts the next segment. With a snapshot source installed
+// the new segment opens with a full-state snapshot and every older
+// segment is deleted (compaction); otherwise the chain just grows.
+func (j *Journal) rotateLocked() error {
+	var snap []byte
+	if j.snapshotFn != nil {
+		var err error
+		snap, err = j.snapshotFn()
+		if err != nil {
+			// A failed snapshot must not lose history: keep appending to the
+			// old chain and let a later rotation try again.
+			return fmt.Errorf("wal: snapshot for compaction: %w", err)
+		}
+	}
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.active.Close(); err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	prev := j.activeSeq
+	if err := j.createSegment(prev + 1); err != nil {
+		return err
+	}
+	if snap != nil {
+		body, err := Record{Kind: KindSnapshot, Data: snap}.marshal()
+		if err != nil {
+			return err
+		}
+		if err := j.appendLocked(body); err != nil {
+			return err
+		}
+		// The snapshot must be durable before the history it replaces goes.
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+		segs, err := j.listSegments()
+		if err != nil {
+			return err
+		}
+		for _, seq := range segs {
+			if seq < j.activeSeq {
+				if err := os.Remove(j.segmentPath(seq)); err != nil {
+					return fmt.Errorf("wal: compact: %w", err)
+				}
+			}
+		}
+		j.stats.Compactions++
+	}
+	return nil
+}
+
+func (j *Journal) createSegment(seq uint64) error {
+	f, err := os.OpenFile(j.segmentPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	j.active = f
+	j.activeSeq = seq
+	j.activeSize = 0
+	return nil
+}
+
+// Compact forces a rotation now, folding all state into one fresh
+// snapshot segment. Requires a snapshot source.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.snapshotFn == nil {
+		return errors.New("wal: Compact needs SetSnapshotFunc")
+	}
+	return j.rotateLocked()
+}
+
+// Sync flushes the active segment to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.syncLocked()
+}
+
+// Close syncs, closes the active segment and releases the directory
+// lock. It is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.active.Sync()
+	if cerr := j.active.Close(); err == nil {
+		err = cerr
+	}
+	j.lock.release()
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Crash severs the journal without syncing, the way a killed process
+// does: file descriptors and the lock just vanish; whatever the OS has
+// already accepted survives, everything else is the crash's business.
+// Fault-injection hook for the recovery tests and the crashrec study.
+func (j *Journal) Crash() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	_ = j.active.Close()
+	j.lock.release()
+}
+
+// Stats returns the journal's counters. Bytes and Segments are computed
+// from the live segment files.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stats
+	s.ActiveSegment = j.activeSeq
+	segs, err := j.listSegments()
+	if err != nil {
+		return s
+	}
+	s.Segments = len(segs)
+	for _, seq := range segs {
+		if info, err := os.Stat(j.segmentPath(seq)); err == nil {
+			s.Bytes += info.Size()
+		}
+	}
+	return s
+}
+
+// Dir returns the journal's data directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Replay streams every committed record, oldest first, into fn. It starts
+// at the most recent segment that opens with a snapshot (everything older
+// is superseded); an invalid record in the final segment ends the stream
+// — that is the torn tail Open truncates — while one in any earlier
+// segment is ErrCorrupt. A non-nil error from fn aborts the replay.
+//
+// Replay may be called while the journal is open for appending; it reads
+// the segment files independently.
+func (j *Journal) Replay(fn func(Record) error) error {
+	j.mu.Lock()
+	segs, err := j.listSegments()
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	start := 0
+	for i := len(segs) - 1; i > 0; i-- {
+		leads, err := leadsWithSnapshot(j.segmentPath(segs[i]))
+		if err != nil {
+			return err
+		}
+		if leads {
+			start = i
+			break
+		}
+	}
+	for i := start; i < len(segs); i++ {
+		path := j.segmentPath(segs[i])
+		_, invalid, err := forEachRecord(path, fn)
+		if err != nil {
+			return err
+		}
+		if invalid != nil && i != len(segs)-1 {
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), invalid)
+		}
+	}
+	return nil
+}
+
+// leadsWithSnapshot reports whether the segment's first record is a
+// snapshot.
+func leadsWithSnapshot(path string) (bool, error) {
+	var kind Kind
+	found := false
+	stop := errors.New("stop")
+	_, _, err := forEachRecord(path, func(rec Record) error {
+		kind = rec.Kind
+		found = true
+		return stop
+	})
+	if err != nil && !errors.Is(err, stop) {
+		return false, err
+	}
+	return found && kind == KindSnapshot, nil
+}
+
+// forEachRecord streams the valid prefix of one segment file into fn. It
+// returns the byte length of that prefix and, when the file ends
+// mid-record or fails a checksum, a non-nil invalid describing where.
+// Errors from fn abort the scan and are returned as err.
+func forEachRecord(path string, fn func(Record) error) (validLen int64, invalid error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	r := &countingReader{r: f}
+	for {
+		var hdr [headerSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return validLen, nil, nil // clean record boundary
+			}
+			return validLen, fmt.Errorf("partial header at offset %d", validLen), nil
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		if n > maxRecordSize {
+			return validLen, fmt.Errorf("implausible record length %d at offset %d", n, validLen), nil
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return validLen, fmt.Errorf("partial body at offset %d", validLen), nil
+		}
+		if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(hdr[4:8]); got != want {
+			return validLen, fmt.Errorf("checksum mismatch at offset %d", validLen), nil
+		}
+		var rec Record
+		if uerr := rec.unmarshal(body); uerr != nil {
+			return validLen, fmt.Errorf("undecodable record at offset %d: %v", validLen, uerr), nil
+		}
+		if ferr := fn(rec); ferr != nil {
+			return validLen, nil, ferr
+		}
+		validLen = r.n
+	}
+}
+
+// countingReader tracks how many bytes have been consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (j *Journal) segmentPath(seq uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%08d%s", seq, segmentSuffix))
+}
+
+// listSegments returns the live segment sequence numbers, ascending.
+func (j *Journal) listSegments() ([]uint64, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, seq)
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	return segs, nil
+}

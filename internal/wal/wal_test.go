@@ -1,0 +1,329 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type testPayload struct {
+	N int    `json:"n"`
+	S string `json:"s,omitempty"`
+}
+
+func mustAppend(t *testing.T, j *Journal, kind Kind, payload any) {
+	t.Helper()
+	rec, err := NewRecord(kind, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayAll(t *testing.T, j *Journal) []Record {
+	t.Helper()
+	var out []Record
+	if err := j.Replay(func(rec Record) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		mustAppend(t, j, KindIntent, &testPayload{N: i, S: "record"})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	recs := replayAll(t, j2)
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Kind != KindIntent {
+			t.Fatalf("record %d kind = %v", i, rec.Kind)
+		}
+		var p testPayload
+		if err := rec.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p.N != i || p.S != "record" {
+			t.Fatalf("record %d payload = %+v", i, p)
+		}
+	}
+	if got := j2.Stats().TornTailBytes; got != 0 {
+		t.Fatalf("TornTailBytes = %d on a clean journal", got)
+	}
+}
+
+// A crash mid-write leaves a torn final record; reopening must truncate
+// it away without error and replay everything before it.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	for name, tail := range map[string][]byte{
+		"partial-header": {0x00, 0x00},
+		"partial-body":   {0x00, 0x00, 0x00, 0x40, 0xde, 0xad, 0xbe, 0xef, 'x', 'y'},
+		"bad-checksum":   {0x00, 0x00, 0x00, 0x02, 0xde, 0xad, 0xbe, 0xef, '{', '}'},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				mustAppend(t, j, KindCreateQuery, &testPayload{N: i})
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			seg := filepath.Join(dir, "00000001.wal")
+			f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			j2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("open with torn tail: %v", err)
+			}
+			defer j2.Close()
+			if got := j2.Stats().TornTailBytes; got != int64(len(tail)) {
+				t.Errorf("TornTailBytes = %d, want %d", got, len(tail))
+			}
+			if recs := replayAll(t, j2); len(recs) != 3 {
+				t.Fatalf("replayed %d records after truncation, want 3", len(recs))
+			}
+			// The journal must keep accepting appends after truncation.
+			mustAppend(t, j2, KindOutcome, &testPayload{N: 99})
+			if recs := replayAll(t, j2); len(recs) != 4 {
+				t.Fatalf("replayed %d records after post-truncation append, want 4", len(recs))
+			}
+		})
+	}
+}
+
+// Corruption in a non-final segment is committed history going bad — it
+// must surface as ErrCorrupt, never be skipped.
+func TestMidChainCorruptionIsError(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 256}) // tiny: force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		mustAppend(t, j, KindIntent, &testPayload{N: i, S: "padding-padding-padding"})
+	}
+	if got := j.Stats().Segments; got < 2 {
+		t.Fatalf("segments = %d, want >= 2 (rotation did not happen)", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte in the first segment.
+	seg := filepath.Join(dir, "00000001.wal")
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+2] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err) // only the final segment is truncate-on-open
+	}
+	defer j2.Close()
+	err = j2.Replay(func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay over corrupt mid-chain segment = %v, want ErrCorrupt", err)
+	}
+}
+
+// Rotation with a snapshot source compacts: older segments are deleted
+// and replay starts from the snapshot.
+func TestRotationCompactsIntoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	state := 0
+	j.SetSnapshotFunc(func() ([]byte, error) {
+		return json.Marshal(&testPayload{N: state, S: "snapshot"})
+	})
+	for i := 0; i < 50; i++ {
+		state = i
+		mustAppend(t, j, KindIntent, &testPayload{N: i, S: "fill-fill-fill-fill-fill"})
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("no compactions despite tiny segments")
+	}
+	if st.Segments != 1 {
+		t.Fatalf("segments = %d after compaction, want 1", st.Segments)
+	}
+	recs := replayAll(t, j)
+	if len(recs) == 0 || recs[0].Kind != KindSnapshot {
+		t.Fatalf("replay does not start with a snapshot: %+v", recs)
+	}
+	var snap testPayload
+	if err := recs[0].Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Every record after the snapshot must be newer than the state the
+	// snapshot captured.
+	for _, rec := range recs[1:] {
+		var p testPayload
+		if err := rec.Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		if p.N < snap.N {
+			t.Fatalf("record %d predates snapshot state %d", p.N, snap.N)
+		}
+	}
+}
+
+func TestCompactForcesSnapshotNow(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, KindCreateQuery, &testPayload{N: 1})
+	if err := j.Compact(); err == nil {
+		t.Fatal("Compact without a snapshot source must fail")
+	}
+	j.SetSnapshotFunc(func() ([]byte, error) { return json.Marshal(&testPayload{N: 7}) })
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	recs := replayAll(t, j)
+	if len(recs) != 1 || recs[0].Kind != KindSnapshot {
+		t.Fatalf("after Compact replay = %+v, want one snapshot", recs)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	always, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer always.Close()
+	never, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer never.Close()
+	for i := 0; i < 20; i++ {
+		mustAppend(t, always, KindIntent, &testPayload{N: i})
+		mustAppend(t, never, KindIntent, &testPayload{N: i})
+	}
+	if got := always.Stats().Syncs; got < 20 {
+		t.Errorf("SyncAlways synced %d times for 20 appends", got)
+	}
+	if got := never.Stats().Syncs; got != 0 {
+		t.Errorf("SyncNever synced %d times before Close", got)
+	}
+}
+
+// The directory lock: a second Open must refuse with ErrLocked while the
+// first holds the journal; Close and Crash both release it.
+func TestDirectoryLock(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	j2.Crash()
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Crash: %v", err)
+	}
+	j3.Close()
+}
+
+// After Crash every operation fails with ErrClosed — the process is gone.
+func TestCrashSeversJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, KindIntent, &testPayload{N: 1})
+	j.Crash()
+	rec, _ := NewRecord(KindIntent, &testPayload{N: 2})
+	if err := j.Append(rec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Crash = %v, want ErrClosed", err)
+	}
+	if err := j.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Crash = %v, want ErrClosed", err)
+	}
+	// The appended record survived the crash (process death, not power
+	// loss: the OS already had the bytes).
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if recs := replayAll(t, j2); len(recs) != 1 {
+		t.Fatalf("replayed %d records after crash, want 1", len(recs))
+	}
+}
+
+// Replay must be callable mid-session (the engine recovers, then keeps
+// appending to the same journal).
+func TestReplayWhileOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, KindCreateQuery, &testPayload{N: 1})
+	if recs := replayAll(t, j); len(recs) != 1 {
+		t.Fatalf("replayed %d, want 1", len(recs))
+	}
+	mustAppend(t, j, KindDropQuery, &testPayload{N: 2})
+	if recs := replayAll(t, j); len(recs) != 2 {
+		t.Fatalf("replayed %d, want 2", len(recs))
+	}
+}

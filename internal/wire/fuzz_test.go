@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -19,6 +20,15 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
 	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	// Truncated mid-body: header promises 100 bytes, only 3 arrive.
+	f.Add([]byte{0, 0, 0, 100, 'a', 'b', 'c'})
+	// Header alone, body never starts.
+	f.Add([]byte{0, 0, 0, 8})
+	// Oversized: header one past MaxFrameSize; must be rejected before any
+	// body allocation.
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, MaxFrameSize+1)
+	f.Add(oversize)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadFrame(bytes.NewReader(data))

@@ -122,6 +122,12 @@ func (e *ErrorPayload) Err() error {
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
 	ErrClosed        = errors.New("wire: connection closed")
+	// ErrFrameTruncated: the stream ended partway through a frame body —
+	// the header promised more bytes than arrived. Distinct from ErrClosed
+	// (clean close at a frame boundary) because it means the peer died or
+	// the link was severed mid-message; callers treat it as evidence of a
+	// failed exchange, not an orderly hangup.
+	ErrFrameTruncated = errors.New("wire: frame truncated mid-body")
 )
 
 // MustPayload marshals v into a payload, panicking on marshal failure —
@@ -159,7 +165,7 @@ func WriteFrame(w io.Writer, m *Message) error {
 		return fmt.Errorf("wire: marshal frame: %w", err)
 	}
 	if len(body) > MaxFrameSize {
-		return ErrFrameTooLarge
+		return fmt.Errorf("%w: %d-byte frame (max %d)", ErrFrameTooLarge, len(body), MaxFrameSize)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -183,10 +189,15 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, ErrFrameTooLarge
+		// Reject before allocating: a corrupt or hostile header must not
+		// size a buffer.
+		return nil, fmt.Errorf("%w: %d-byte frame (max %d)", ErrFrameTooLarge, n, MaxFrameSize)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: header promised %d bytes", ErrFrameTruncated, n)
+		}
 		return nil, fmt.Errorf("wire: read frame body: %w", err)
 	}
 	var m Message

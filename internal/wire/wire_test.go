@@ -79,8 +79,26 @@ func TestReadFrameTruncatedBody(t *testing.T) {
 	binary.BigEndian.PutUint32(hdr[:], 100)
 	buf.Write(hdr[:])
 	buf.WriteString("short")
-	if _, err := ReadFrame(&buf); err == nil {
-		t.Fatal("expected error for truncated body")
+	_, err := ReadFrame(&buf)
+	if !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("err = %v, want ErrFrameTruncated", err)
+	}
+	// Mid-body death is not a clean hangup: the two conditions must stay
+	// distinguishable for callers classifying peer failures.
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("truncated body also matches ErrClosed: %v", err)
+	}
+	if !strings.Contains(err.Error(), "100") {
+		t.Fatalf("truncation error does not name the promised size: %v", err)
+	}
+}
+
+func TestReadFrameBodyNeverStarts(t *testing.T) {
+	// A complete header followed by EOF is still a truncated frame, not a
+	// clean close: the peer committed to a body it never sent.
+	_, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 8}))
+	if !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("err = %v, want ErrFrameTruncated", err)
 	}
 }
 
@@ -89,8 +107,12 @@ func TestReadFrameTooLarge(t *testing.T) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
 	buf.Write(hdr[:])
-	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+	_, err := ReadFrame(&buf)
+	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if !strings.Contains(err.Error(), "1048577") {
+		t.Fatalf("oversize error does not name the offending size: %v", err)
 	}
 }
 
