@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke churn-smoke qscale-smoke crashrec-smoke clean
+.PHONY: all build vet test race bench bench-smoke bench-record bench-drift churn-smoke qscale-smoke crashrec-smoke clean
+
+# The columnar hot-path benchmarks: each has /before (row-map era) and
+# /after (columnar) variants so the committed record carries its own
+# baseline.
+BENCH_PKGS = ./internal/match/ ./internal/core/ ./internal/scanshare/
+BENCH_RE   = 'RoutePath|PredicateCompile|ScanFanout'
 
 all: build vet test
 
@@ -38,10 +44,23 @@ qscale-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# One iteration of every match/scanshare benchmark: catches bit-rot in
-# the benchmark code itself without paying for real measurements.
+# One iteration of every match/core/scanshare benchmark under the race
+# detector: catches bit-rot (and data races) in the benchmark code
+# itself without paying for real measurements.
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime=1x ./internal/match/ ./internal/scanshare/
+	$(GO) test -race -run xxx -bench . -benchtime=1x $(BENCH_PKGS)
+
+# Re-measure the routing benchmarks and rewrite the committed record.
+bench-record:
+	$(GO) test -run xxx -bench $(BENCH_RE) -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -o BENCH_routing.json
+
+# Compare a fresh run against the committed record. Informational by
+# default; set MAX_DRIFT_PCT to fail on regressions beyond that bound.
+MAX_DRIFT_PCT ?= 0
+bench-drift:
+	$(GO) test -run xxx -bench $(BENCH_RE) -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -drift BENCH_routing.json -max $(MAX_DRIFT_PCT)
 
 clean:
 	$(GO) clean ./...

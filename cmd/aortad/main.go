@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -55,6 +57,7 @@ func main() {
 	flag.IntVar(&opts.phones, "phones", 1, "built-in lab: phones")
 	flag.Float64Var(&opts.scale, "scale", 1, "built-in lab: clock scale")
 	flag.StringVar(&opts.dataDir, "data", "", "durable state directory (write-ahead journal); empty = in-memory only")
+	flag.StringVar(&opts.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = off")
 	flag.BoolVar(&opts.verbose, "v", false, "log engine events to stderr")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -76,6 +79,9 @@ type options struct {
 	// action intents/outcomes go through a write-ahead journal there, and
 	// startup replays it before serving.
 	dataDir string
+	// pprof, when set, serves net/http/pprof on that address so routing
+	// hot paths can be profiled against a live daemon.
+	pprof   string
 	verbose bool
 	// shutdown delivers the stop request; nil means install the real
 	// SIGINT/SIGTERM handler.
@@ -83,6 +89,8 @@ type options struct {
 	// ready, when non-nil, receives the bound listen address once the
 	// daemon is serving.
 	ready chan<- net.Addr
+	// pprofReady, when non-nil, receives the bound pprof address.
+	pprofReady chan<- net.Addr
 }
 
 // server holds the running daemon state.
@@ -182,6 +190,22 @@ func run(opts options) error {
 		return err
 	}
 	defer srv.engine.Stop()
+
+	// The pprof endpoint rides the side import's DefaultServeMux
+	// registration; binding the listener here (rather than inside the
+	// goroutine) surfaces a bad -pprof address as a startup error.
+	if opts.pprof != "" {
+		pln, err := net.Listen("tcp", opts.pprof)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		defer pln.Close()
+		go func() { _ = http.Serve(pln, nil) }()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pln.Addr())
+		if opts.pprofReady != nil {
+			opts.pprofReady <- pln.Addr()
+		}
+	}
 
 	ln, err := net.Listen("tcp", opts.listen)
 	if err != nil {

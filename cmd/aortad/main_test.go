@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -273,6 +275,60 @@ func TestDaemonRestartRecoversCatalog(t *testing.T) {
 	}
 	if err := stop(); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestDaemonPprofEndpoint(t *testing.T) {
+	shutdown := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	pprofReady := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(options{
+			listen: "127.0.0.1:0", pprof: "127.0.0.1:0",
+			cameras: 1, motes: 2, phones: 1,
+			shutdown: shutdown, ready: ready, pprofReady: pprofReady,
+		})
+	}()
+	defer func() {
+		shutdown <- syscall.SIGTERM
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("daemon exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not exit")
+		}
+	}()
+	var paddr net.Addr
+	select {
+	case paddr = <-pprofReady:
+	case err := <-errc:
+		t.Fatalf("daemon failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("pprof endpoint never became ready")
+	}
+	<-ready
+
+	// The goroutine profile always exists and is cheap; debug=1 renders it
+	// as text with a recognizable header.
+	resp, err := http.Get("http://" + paddr.String() + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatalf("pprof fetch: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine profile:") {
+		t.Fatalf("pprof goroutine: status %d, body %.120s", resp.StatusCode, body)
+	}
+
+	// A bad pprof address must fail startup, not be discovered later.
+	if err := run(options{listen: "127.0.0.1:0", pprof: "256.0.0.1:0"}); err == nil {
+		t.Fatal("bad -pprof address did not fail startup")
 	}
 }
 

@@ -1,0 +1,268 @@
+// Command benchjson turns `go test -bench` output into a committed,
+// benchstat-comparable benchmark record, and checks fresh runs against
+// that record for drift.
+//
+// Record mode (default): parse a benchmark run from stdin and write a
+// JSON document holding the raw benchstat-format lines, the parsed
+// per-benchmark numbers, and the before/after speedup for every
+// benchmark that has /before and /after variants.
+//
+//	go test -run xxx -bench 'RoutePath|PredicateCompile|ScanFanout' \
+//	    -benchmem ./internal/... | benchjson -o BENCH_routing.json
+//
+// Drift mode (-drift <baseline.json>): parse a fresh run from stdin and
+// compare its ns/op against the committed baseline. If benchstat is
+// installed it gets the raw lines of both runs; otherwise a built-in
+// table is printed. The report is informational unless -max is set, in
+// which case any benchmark slower than the baseline by more than max
+// percent fails the run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string   `json:"name"`
+	Iters       int64    `json:"iters"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Record is the committed BENCH_routing.json document.
+type Record struct {
+	RecordedAt string `json:"recorded_at"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	// Raw holds the benchmark lines verbatim, in benchstat's input
+	// format, so `benchstat old.txt new.txt` style comparisons can be
+	// reconstructed from the committed record alone.
+	Raw     []string `json:"raw"`
+	Results []Result `json:"results"`
+	// Speedups maps each benchmark family with /before and /after
+	// variants to before-ns ÷ after-ns.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the record to this file instead of stdout")
+	drift := flag.String("drift", "", "compare stdin's run against this committed baseline instead of recording")
+	maxPct := flag.Float64("max", 0, "with -drift: fail if any benchmark regresses by more than this percent (0 = informational)")
+	flag.Parse()
+
+	raw, results, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (expected `go test -bench` output)"))
+	}
+
+	if *drift != "" {
+		if err := reportDrift(*drift, raw, results, *maxPct); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	rec := Record{
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Raw:        raw,
+		Results:    results,
+		Speedups:   speedups(results),
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBench pulls benchmark lines out of `go test -bench` output. A
+// benchmark line starts with "Benchmark" and carries at least an
+// iteration count and a ns/op pair; -benchmem adds B/op and allocs/op.
+func parseBench(sc *bufio.Scanner) (raw []string, results []Result, err error) {
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(f[1], 10, 64)
+		ns, err2 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		r := Result{Name: trimProcs(f[0]), Iters: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, verr := strconv.ParseFloat(f[i], 64)
+			if verr != nil {
+				break
+			}
+			switch f[i+1] {
+			case "B/op":
+				r.BytesPerOp = &v
+			case "allocs/op":
+				r.AllocsPerOp = &v
+			}
+		}
+		raw = append(raw, line)
+		results = append(results, r)
+	}
+	return raw, results, sc.Err()
+}
+
+// trimProcs drops the -GOMAXPROCS suffix go test appends to benchmark
+// names, so records taken on machines with different core counts still
+// key to the same benchmark.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// speedups pairs every Benchmark<Family>/before with its /after and
+// reports before÷after.
+func speedups(results []Result) map[string]float64 {
+	ns := make(map[string]float64, len(results))
+	for _, r := range results {
+		ns[r.Name] = r.NsPerOp
+	}
+	out := make(map[string]float64)
+	for name, before := range ns {
+		fam, ok := strings.CutSuffix(name, "/before")
+		if !ok {
+			continue
+		}
+		after, ok := ns[fam+"/after"]
+		if !ok || after <= 0 {
+			continue
+		}
+		out[strings.TrimPrefix(fam, "Benchmark")] = before / after
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// reportDrift compares a fresh run against the committed baseline:
+// benchstat over the raw lines when available, a built-in table
+// otherwise. Only benchmarks present in both runs are compared.
+func reportDrift(baselinePath string, freshRaw []string, fresh []Result, maxPct float64) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Record
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+
+	if path, err := exec.LookPath("benchstat"); err == nil {
+		if err := runBenchstat(path, base.Raw, freshRaw); err == nil {
+			return checkDrift(base.Results, fresh, maxPct)
+		}
+		// benchstat present but failed: fall through to the table.
+	}
+
+	baseNs := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, r := range fresh {
+		old, ok := baseNs[r.Name]
+		if !ok || old <= 0 {
+			continue
+		}
+		pct := (r.NsPerOp - old) / old * 100
+		fmt.Printf("%-40s %14.1f %14.1f %+8.1f%%\n", r.Name, old, r.NsPerOp, pct)
+	}
+	fmt.Printf("baseline: %s (%s, %s/%s)\n", base.RecordedAt, base.GoVersion, base.GOOS, base.GOARCH)
+	return checkDrift(base.Results, fresh, maxPct)
+}
+
+// runBenchstat writes both runs' raw lines to temp files and lets
+// benchstat render the comparison.
+func runBenchstat(path string, baseRaw, freshRaw []string) error {
+	dir, err := os.MkdirTemp("", "benchjson")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	oldF := dir + "/old.txt"
+	newF := dir + "/new.txt"
+	if err := os.WriteFile(oldF, []byte(strings.Join(baseRaw, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(newF, []byte(strings.Join(freshRaw, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	cmd := exec.Command(path, oldF, newF)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd.Run()
+}
+
+// checkDrift enforces -max: any benchmark slower than baseline by more
+// than maxPct percent is a failure.
+func checkDrift(base, fresh []Result, maxPct float64) error {
+	if maxPct <= 0 {
+		return nil
+	}
+	baseNs := make(map[string]float64, len(base))
+	for _, r := range base {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	var bad []string
+	for _, r := range fresh {
+		old, ok := baseNs[r.Name]
+		if !ok || old <= 0 {
+			continue
+		}
+		if pct := (r.NsPerOp - old) / old * 100; pct > maxPct {
+			bad = append(bad, fmt.Sprintf("%s +%.1f%%", r.Name, pct))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("drift beyond %.0f%%: %s", maxPct, strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,441 @@
+package comm
+
+// Columnar scan batches: the typed, batch-amortized representation of one
+// virtual-table scan.
+//
+// The row-map representation (Tuple = map[string]any) pays one map
+// allocation per device per epoch plus a hash probe per attribute access —
+// the dominant cost of the scan→route→eval path once pooling removed the
+// network cost. A Batch stores one typed slice per attribute instead:
+// contiguous []float64 / []string columns that the predicate index and the
+// compiled WHERE evaluators walk positionally. Tuple survives as a
+// compatibility view (Batch.Row) so the wire format, action binding and
+// result rows are unchanged.
+//
+// Lifecycle: batches are reference-counted and recycled through a
+// sync.Pool. The producer (Layer.ScanBatch, or the scan fabric) creates a
+// batch with one reference; every fan-out view retains it once and every
+// consumer releases when done. The last Release resets the batch — column
+// backing arrays keep their capacity — and returns it to the pool, so a
+// steady-state epoch loop allocates no per-tuple memory at all.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aorta/internal/profile"
+)
+
+// Kind is the storage class of one column.
+type Kind uint8
+
+// Column storage classes. KindAny is the boxed fallback for structured
+// values (points, orientations) and mixed-type columns.
+const (
+	KindAny Kind = iota
+	KindFloat
+	KindString
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return "any"
+	}
+}
+
+// KindOf maps a catalog attribute type to its column storage class:
+// numeric attribute types get float64 columns (JSON numbers decode to
+// float64 on the wire anyway), strings get string columns, structured
+// types (point, orientation) stay boxed.
+func KindOf(attrType string) Kind {
+	switch attrType {
+	case "float", "int":
+		return KindFloat
+	case "string":
+		return KindString
+	default:
+		return KindAny
+	}
+}
+
+// Schema is the ordered attribute layout of a batch: names plus storage
+// kinds. A device type publishes its schema once (derived from its
+// catalog); scans project it to the requested attribute subset. Schemas
+// are immutable after construction and safe to share.
+type Schema struct {
+	names []string
+	kinds []Kind
+	index map[string]int
+}
+
+// NewSchema builds a schema from parallel name/kind slices. Kinds may be
+// nil, in which case every column starts as KindAny and adopts the kind of
+// its first appended value.
+func NewSchema(names []string, kinds []Kind) *Schema {
+	s := &Schema{
+		names: append([]string(nil), names...),
+		kinds: make([]Kind, len(names)),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if kinds != nil {
+			s.kinds[i] = kinds[i]
+		}
+		s.index[n] = i
+	}
+	return s
+}
+
+// SchemaFromCatalog derives the published schema of a device type from its
+// catalog, projected to attrs (nil means every catalog attribute, in
+// catalog order).
+func SchemaFromCatalog(cat *profile.Catalog, attrs []string) (*Schema, error) {
+	if attrs == nil {
+		for _, a := range cat.Attributes {
+			attrs = append(attrs, a.Name)
+		}
+	}
+	kinds := make([]Kind, len(attrs))
+	for i, name := range attrs {
+		def, ok := cat.Attr(name)
+		if !ok {
+			return nil, fmt.Errorf("comm: device type %q has no attribute %q", cat.DeviceType, name)
+		}
+		kinds[i] = KindOf(def.Type)
+	}
+	return NewSchema(attrs, kinds), nil
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Name returns column i's attribute name.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Kind returns column i's declared storage class.
+func (s *Schema) Kind(i int) Kind { return s.kinds[i] }
+
+// Col returns the column index of an attribute.
+func (s *Schema) Col(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Names returns the attribute names in column order. The slice is shared;
+// callers must not mutate it.
+func (s *Schema) Names() []string { return s.names }
+
+// Col is one column of a batch: a typed slice when every value so far fits
+// the column's kind, demoted to a boxed []any otherwise. Columns are
+// written by the batch producer only; once a batch is published, columns
+// are read-only and safe for concurrent readers.
+type Col struct {
+	kind Kind
+	// adopted reports whether an initially-KindAny column has chosen a
+	// typed representation from its first value.
+	adopted bool
+	f       []float64
+	s       []string
+	a       []any
+}
+
+// Kind returns the column's current storage class.
+func (c *Col) Kind() Kind { return c.kind }
+
+// Floats returns the column's contiguous float64 backing array, or nil if
+// the column is not float-typed. Read-only.
+func (c *Col) Floats() []float64 {
+	if c.kind == KindFloat {
+		return c.f
+	}
+	return nil
+}
+
+// Strings returns the column's contiguous string backing array, or nil if
+// the column is not string-typed. Read-only.
+func (c *Col) Strings() []string {
+	if c.kind == KindString {
+		return c.s
+	}
+	return nil
+}
+
+// Value returns row i's boxed value.
+func (c *Col) Value(i int) any {
+	switch c.kind {
+	case KindFloat:
+		return c.f[i]
+	case KindString:
+		return c.s[i]
+	default:
+		return c.a[i]
+	}
+}
+
+// Float returns row i widened to float64, with ok=false for non-numeric or
+// nil values — the same widening rule as predicate evaluation.
+func (c *Col) Float(i int) (float64, bool) {
+	switch c.kind {
+	case KindFloat:
+		return c.f[i], true
+	case KindString:
+		return 0, false
+	default:
+		return anyToFloat(c.a[i])
+	}
+}
+
+// Str returns row i as a string, with ok=false for non-string values.
+func (c *Col) Str(i int) (string, bool) {
+	switch c.kind {
+	case KindString:
+		return c.s[i], true
+	case KindFloat:
+		return "", false
+	default:
+		s, ok := c.a[i].(string)
+		return s, ok
+	}
+}
+
+// reset prepares the column for reuse under a (possibly different)
+// declared kind, keeping backing-array capacity.
+func (c *Col) reset(kind Kind) {
+	c.kind = kind
+	c.adopted = kind != KindAny
+	c.f = c.f[:0]
+	c.s = c.s[:0]
+	for i := range c.a {
+		c.a[i] = nil // drop references so pooled batches don't pin values
+	}
+	c.a = c.a[:0]
+}
+
+// append adds one value, demoting the column to KindAny when the value
+// does not fit the current typed representation. A column declared KindAny
+// adopts the kind of its first non-nil value so schema-less batches (tests,
+// synthetic workloads) still get typed columns.
+func (c *Col) append(n int, v any) {
+	if !c.adopted {
+		c.adopted = true
+		switch v.(type) {
+		case float64:
+			c.kind = KindFloat
+		case string:
+			c.kind = KindString
+		default:
+			c.kind = KindAny
+		}
+	}
+	switch c.kind {
+	case KindFloat:
+		if f, ok := v.(float64); ok {
+			c.f = append(c.f, f)
+			return
+		}
+		// Non-float64 numerics widen; anything else demotes the column.
+		if f, ok := anyToFloat(v); ok {
+			c.f = append(c.f, f)
+			return
+		}
+		c.demote(n)
+	case KindString:
+		if s, ok := v.(string); ok {
+			c.s = append(c.s, s)
+			return
+		}
+		c.demote(n)
+	}
+	c.a = append(c.a, v)
+}
+
+// demote rewrites the typed representation as boxed values.
+func (c *Col) demote(n int) {
+	a := c.a[:0]
+	if cap(a) < n {
+		a = make([]any, 0, n+1)
+	}
+	switch c.kind {
+	case KindFloat:
+		for _, f := range c.f {
+			a = append(a, f)
+		}
+		c.f = c.f[:0]
+	case KindString:
+		for _, s := range c.s {
+			a = append(a, s)
+		}
+		c.s = c.s[:0]
+	}
+	c.a = a
+	c.kind = KindAny
+}
+
+// Batch is one scan's worth of tuples in columnar form: one Col per schema
+// attribute, all the same length. Batches are reference-counted; see the
+// package comment on lifecycle.
+type Batch struct {
+	schema *Schema
+	cols   []Col
+	n      int
+	refs   atomic.Int32
+}
+
+// batchPool recycles batches whose last reference was released. Backing
+// arrays keep their capacity across uses, so steady-state scan loops stop
+// allocating per epoch.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// batchRecycled counts pool round trips, for tests and metrics.
+var batchRecycled atomic.Int64
+
+// BatchesRecycled reports how many batches have been returned to the pool
+// since process start.
+func BatchesRecycled() int64 { return batchRecycled.Load() }
+
+// NewBatch returns an empty batch over the schema with one reference held
+// by the caller.
+func NewBatch(schema *Schema) *Batch {
+	b := batchPool.Get().(*Batch)
+	b.schema = schema
+	if cap(b.cols) < schema.Len() {
+		b.cols = make([]Col, schema.Len())
+	} else {
+		b.cols = b.cols[:schema.Len()]
+	}
+	for i := range b.cols {
+		b.cols[i].reset(schema.Kind(i))
+	}
+	b.n = 0
+	b.refs.Store(1)
+	return b
+}
+
+// Schema returns the batch's column layout.
+func (b *Batch) Schema() *Schema { return b.schema }
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.n }
+
+// Col returns column i.
+func (b *Batch) Col(i int) *Col { return &b.cols[i] }
+
+// ColByName returns the column of an attribute, or nil when the batch does
+// not carry it.
+func (b *Batch) ColByName(name string) *Col {
+	i, ok := b.schema.Col(name)
+	if !ok {
+		return nil
+	}
+	return &b.cols[i]
+}
+
+// Append adds one row; vals must be in schema column order.
+func (b *Batch) Append(vals []any) {
+	for i, v := range vals {
+		b.cols[i].append(b.n, v)
+	}
+	b.n++
+}
+
+// AppendTuple adds one row from a row-map, taking nil for absent
+// attributes — the compatibility ingest path.
+func (b *Batch) AppendTuple(t Tuple) {
+	for i, name := range b.schema.names {
+		b.cols[i].append(b.n, t[name])
+	}
+	b.n++
+}
+
+// Row materializes row i as a Tuple — the compatibility view handed to
+// code that still consumes row-maps. The returned map is freshly built and
+// does not alias the batch.
+func (b *Batch) Row(i int) Tuple {
+	t := make(Tuple, len(b.cols))
+	for c := range b.cols {
+		t[b.schema.names[c]] = b.cols[c].Value(i)
+	}
+	return t
+}
+
+// Tuples materializes every row — the full compatibility view.
+func (b *Batch) Tuples() []Tuple {
+	out := make([]Tuple, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.Row(i)
+	}
+	return out
+}
+
+// Retain adds one reference. Every fan-out view of a shared batch holds
+// its own reference.
+func (b *Batch) Retain() { b.refs.Add(1) }
+
+// Release drops one reference; the last release resets the batch and
+// returns it to the pool. Using a batch after releasing the last reference
+// is a bug (the backing arrays may be rewritten by the next scan).
+func (b *Batch) Release() {
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		for i := range b.cols {
+			b.cols[i].reset(KindAny)
+		}
+		b.schema = nil
+		b.n = 0
+		batchRecycled.Add(1)
+		batchPool.Put(b)
+	case n < 0:
+		panic("comm: Batch released more times than retained")
+	}
+}
+
+// BatchFromTuples builds a batch from row-maps — the ingest path for
+// synthetic scans in tests and experiments. attrs fixes the column order;
+// nil derives it from the union of tuple keys, sorted. Columns adopt the
+// kind of their first value, so numeric/string columns come out typed.
+func BatchFromTuples(attrs []string, tuples []Tuple) *Batch {
+	if attrs == nil {
+		set := make(map[string]bool)
+		for _, t := range tuples {
+			for k := range t {
+				set[k] = true
+			}
+		}
+		for k := range set {
+			attrs = append(attrs, k)
+		}
+		sort.Strings(attrs)
+	}
+	b := NewBatch(NewSchema(attrs, nil))
+	for _, t := range tuples {
+		b.AppendTuple(t)
+	}
+	return b
+}
+
+// anyToFloat widens any numeric value to float64 — the same rule as
+// predicate and expression evaluation.
+func anyToFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	default:
+		return 0, false
+	}
+}

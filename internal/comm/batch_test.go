@@ -1,0 +1,138 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+
+	"aorta/internal/profile"
+)
+
+func TestBatchTypedColumnsAndRowView(t *testing.T) {
+	sch := NewSchema([]string{"id", "accel_x", "depth"}, []Kind{KindString, KindFloat, KindFloat})
+	b := NewBatch(sch)
+	defer b.Release()
+
+	b.Append([]any{"mote-0", 100.5, 3})
+	b.Append([]any{"mote-1", 200.5, 4})
+
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if got := b.ColByName("accel_x").Floats(); !reflect.DeepEqual(got, []float64{100.5, 200.5}) {
+		t.Fatalf("accel_x floats = %v", got)
+	}
+	// int static values widen into float columns.
+	if got := b.ColByName("depth").Floats(); !reflect.DeepEqual(got, []float64{3, 4}) {
+		t.Fatalf("depth floats = %v", got)
+	}
+	if got := b.ColByName("id").Strings(); !reflect.DeepEqual(got, []string{"mote-0", "mote-1"}) {
+		t.Fatalf("id strings = %v", got)
+	}
+
+	row := b.Row(1)
+	if row["id"] != "mote-1" || row["accel_x"] != 200.5 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+}
+
+func TestBatchColumnDemotion(t *testing.T) {
+	sch := NewSchema([]string{"v"}, []Kind{KindFloat})
+	b := NewBatch(sch)
+	defer b.Release()
+
+	b.Append([]any{1.5})
+	b.Append([]any{nil}) // unreadable value demotes the column
+	b.Append([]any{2.5})
+
+	c := b.ColByName("v")
+	if c.Kind() != KindAny {
+		t.Fatalf("kind = %v, want any", c.Kind())
+	}
+	if c.Floats() != nil {
+		t.Fatal("demoted column still exposes Floats()")
+	}
+	// Values survive the demotion, including the pre-demotion prefix.
+	want := []any{1.5, nil, 2.5}
+	for i, w := range want {
+		if got := c.Value(i); got != w {
+			t.Fatalf("Value(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if f, ok := c.Float(0); !ok || f != 1.5 {
+		t.Fatalf("Float(0) = %v, %v", f, ok)
+	}
+	if _, ok := c.Float(1); ok {
+		t.Fatal("Float(1) ok for nil value")
+	}
+}
+
+func TestBatchKindAdoption(t *testing.T) {
+	// Schema-less batches adopt the kind of the first value per column.
+	b := BatchFromTuples(nil, []Tuple{
+		{"id": "a", "x": 1.0},
+		{"id": "b", "x": 2.0},
+	})
+	defer b.Release()
+
+	if k := b.ColByName("x").Kind(); k != KindFloat {
+		t.Fatalf("x kind = %v, want float", k)
+	}
+	if k := b.ColByName("id").Kind(); k != KindString {
+		t.Fatalf("id kind = %v, want string", k)
+	}
+	// Column order is the sorted key union.
+	if got := b.Schema().Names(); !reflect.DeepEqual(got, []string{"id", "x"}) {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestBatchRefcountRecycle(t *testing.T) {
+	before := BatchesRecycled()
+	sch := NewSchema([]string{"id"}, []Kind{KindString})
+	b := NewBatch(sch)
+	b.Append([]any{"d-0"})
+
+	b.Retain() // a second consumer
+	b.Release()
+	if BatchesRecycled() != before {
+		t.Fatal("batch recycled while a reference was live")
+	}
+	if got := b.Row(0)["id"]; got != "d-0" {
+		t.Fatalf("row after partial release = %v", got)
+	}
+	b.Release()
+	if BatchesRecycled() != before+1 {
+		t.Fatalf("recycled = %d, want %d", BatchesRecycled(), before+1)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestSchemaFromCatalogKinds(t *testing.T) {
+	reg, err := profile.DefaultRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, ok := reg.Catalog("sensor")
+	if !ok {
+		t.Fatal("no sensor catalog")
+	}
+	sch, err := SchemaFromCatalog(cat, []string{"id", "accel_x", "depth", "loc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KindString, KindFloat, KindFloat, KindAny}
+	for i, k := range want {
+		if sch.Kind(i) != k {
+			t.Fatalf("kind[%d] = %v, want %v", i, sch.Kind(i), k)
+		}
+	}
+	if _, err := SchemaFromCatalog(cat, []string{"bogus"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}

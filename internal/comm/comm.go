@@ -245,6 +245,12 @@ type Layer struct {
 	devices  map[string]*DeviceInfo
 	timeouts map[string]time.Duration
 
+	// plans caches per-(type, attrs) scan layouts: the published schema
+	// plus the static/sensory column split. Catalogs are fixed after
+	// startup, so entries never invalidate.
+	planMu sync.RWMutex
+	plans  map[string]*scanPlan
+
 	metrics Metrics
 }
 
@@ -258,6 +264,7 @@ func New(dialer netsim.Dialer, clk vclock.Clock, reg *profile.Registry) *Layer {
 		reg:      reg,
 		devices:  make(map[string]*DeviceInfo),
 		timeouts: make(map[string]time.Duration),
+		plans:    make(map[string]*scanPlan),
 	}
 	l.pool = newPool(l, PoolConfig{})
 	l.breaker = newBreaker(l, BreakerConfig{})
@@ -412,6 +419,24 @@ func (l *Layer) DevicesOfType(deviceType string) []*DeviceInfo {
 			out = append(out, d.clone())
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// devicesOfTypeRef returns the registry's own entries for a device type,
+// sorted by ID — no cloning. Registry entries are immutable after
+// Register, so internal hot paths (scans) read them in place instead of
+// deep-copying every device's Static map per epoch. Callers must not
+// mutate the returned entries.
+func (l *Layer) devicesOfTypeRef(deviceType string) []*DeviceInfo {
+	l.mu.RLock()
+	var out []*DeviceInfo
+	for _, d := range l.devices {
+		if d.Type == deviceType {
+			out = append(out, d)
+		}
+	}
+	l.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"strings"
 	"sync"
 )
 
@@ -21,106 +21,171 @@ type ScanReport struct {
 	InBackoff int
 }
 
-// Scan materializes the virtual relational table for a device type: one
-// tuple per currently reachable device of that type (paper §3.2).
-//
-// attrs selects the columns; nil means every attribute in the device
-// type's catalog. Non-sensory attributes come from the registry; sensory
-// attributes are acquired from the device over one session. Devices are
-// scanned concurrently.
-func (l *Layer) Scan(ctx context.Context, deviceType string, attrs []string) ([]Tuple, *ScanReport, error) {
+// scanPlan is the per-(type, attrs) scan layout, computed once and cached:
+// the projected schema plus the static/sensory split as column indexes.
+// The device type's schema is published once from its catalog; every scan
+// of the same projection reuses the plan.
+type scanPlan struct {
+	schema  *Schema
+	static  []int // column indexes filled from the registry
+	sensory []int // column indexes acquired from the live device
+}
+
+// scanPlanFor returns the cached scan plan for one device type and
+// attribute projection, building and caching it on first use.
+func (l *Layer) scanPlanFor(deviceType string, attrs []string) (*scanPlan, error) {
+	key := deviceType + "\x00" + strings.Join(attrs, "\x00")
+	l.planMu.RLock()
+	p, ok := l.plans[key]
+	l.planMu.RUnlock()
+	if ok {
+		return p, nil
+	}
+
 	cat, ok := l.reg.Catalog(deviceType)
 	if !ok {
-		return nil, nil, fmt.Errorf("comm: no catalog for device type %q", deviceType)
+		return nil, fmt.Errorf("comm: no catalog for device type %q", deviceType)
 	}
 	if attrs == nil {
 		for _, a := range cat.Attributes {
 			attrs = append(attrs, a.Name)
 		}
 	}
-	// Split requested columns into static and sensory.
-	var sensory, static []string
+	// Every scan tuple carries the device id, whether or not it was asked
+	// for (it keys routing and action binding downstream).
+	hasID := false
 	for _, name := range attrs {
+		if name == "id" {
+			hasID = true
+			break
+		}
+	}
+	if !hasID {
+		attrs = append([]string{"id"}, attrs...)
+	}
+	p = &scanPlan{}
+	names := make([]string, len(attrs))
+	kinds := make([]Kind, len(attrs))
+	for i, name := range attrs {
 		def, ok := cat.Attr(name)
 		if !ok {
-			return nil, nil, fmt.Errorf("comm: device type %q has no attribute %q", deviceType, name)
+			return nil, fmt.Errorf("comm: device type %q has no attribute %q", deviceType, name)
 		}
+		names[i] = name
+		kinds[i] = KindOf(def.Type)
 		if def.Sensory {
-			sensory = append(sensory, name)
+			p.sensory = append(p.sensory, i)
 		} else {
-			static = append(static, name)
+			p.static = append(p.static, i)
 		}
+	}
+	p.schema = NewSchema(names, kinds)
+
+	l.planMu.Lock()
+	l.plans[key] = p
+	l.planMu.Unlock()
+	return p, nil
+}
+
+// ScanBatch materializes the virtual relational table for a device type as
+// one columnar batch: one row per currently reachable device of that type
+// (paper §3.2), one typed column per attribute.
+//
+// attrs selects the columns; nil means every attribute in the device
+// type's catalog, and "id" is always included. Non-sensory attributes come
+// from the registry; sensory attributes are acquired from the device over
+// one pooled session. Devices are scanned concurrently; rows appear in
+// device-ID order.
+//
+// The returned batch is reference-counted with one reference held by the
+// caller, who must Release it when done.
+func (l *Layer) ScanBatch(ctx context.Context, deviceType string, attrs []string) (*Batch, *ScanReport, error) {
+	plan, err := l.scanPlanFor(deviceType, attrs)
+	if err != nil {
+		return nil, nil, err
 	}
 
-	devices := l.DevicesOfType(deviceType)
-	type row struct {
-		id        string
-		tuple     Tuple
-		inBackoff bool
-	}
-	rows := make([]row, len(devices))
+	devices := l.devicesOfTypeRef(deviceType)
+	nCols := plan.schema.Len()
+
+	// Each device goroutine fills its own slice of one flat scratch
+	// array; columnar append happens sequentially afterwards so typed
+	// columns can demote without racing.
+	scratch := make([]any, len(devices)*nCols)
+	ok := make([]bool, len(devices))
+	backoff := make([]bool, len(devices))
 	var wg sync.WaitGroup
 	for i, dev := range devices {
 		wg.Add(1)
 		go func(i int, dev *DeviceInfo) {
 			defer wg.Done()
-			t, inBackoff := l.scanDevice(ctx, dev, static, sensory)
-			rows[i] = row{id: dev.ID, tuple: t, inBackoff: inBackoff}
+			vals := scratch[i*nCols : (i+1)*nCols]
+			ok[i], backoff[i] = l.scanDeviceCols(ctx, dev, plan, vals)
 		}(i, dev)
 	}
 	wg.Wait()
 
 	report := &ScanReport{}
-	var out []Tuple
-	for _, r := range rows {
-		if r.tuple == nil {
+	b := NewBatch(plan.schema)
+	for i := range devices {
+		if !ok[i] {
 			report.Skipped++
-			if r.inBackoff {
+			if backoff[i] {
 				report.InBackoff++
 			}
 			continue
 		}
 		report.Scanned++
-		out = append(out, r.tuple)
+		b.Append(scratch[i*nCols : (i+1)*nCols])
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, _ := out[i]["id"].(string)
-		b, _ := out[j]["id"].(string)
-		return a < b
-	})
+	return b, report, nil
+}
+
+// Scan is the row-map compatibility wrapper over ScanBatch: it
+// materializes the batch as []Tuple and releases it. New code should use
+// ScanBatch and keep the columnar form.
+func (l *Layer) Scan(ctx context.Context, deviceType string, attrs []string) ([]Tuple, *ScanReport, error) {
+	b, report, err := l.ScanBatch(ctx, deviceType, attrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Tuple
+	if b.Len() > 0 {
+		out = b.Tuples()
+	}
+	b.Release()
 	return out, report, nil
 }
 
-// scanDevice builds one tuple over a pooled session, or returns nil when
-// the device is unreachable or a sensory read fails. Concurrent scans of
-// the same device share one live session instead of racing dials. The
-// second return reports whether the device was skipped without dialing
-// because it is inside its dial-failure backoff window.
-func (l *Layer) scanDevice(ctx context.Context, dev *DeviceInfo, static, sensory []string) (Tuple, bool) {
-	t := make(Tuple, len(static)+len(sensory)+1)
-	t["id"] = dev.ID
-	for _, name := range static {
-		if v, ok := dev.Static[name]; ok {
-			t[name] = v
-		} else {
-			t[name] = nil
-		}
+// scanDeviceCols fills one device's row into vals (schema column order)
+// over a pooled session. ok=false means the device was unreachable or a
+// sensory read failed and the row must be dropped; inBackoff reports
+// whether it was skipped without dialing because of its dial-failure
+// backoff window.
+//
+// Static values are taken from the registry entry by reference — registry
+// entries are immutable after Register, and batch consumers treat tuple
+// values as read-only — so a scan no longer deep-copies every device's
+// Static map per epoch.
+func (l *Layer) scanDeviceCols(ctx context.Context, dev *DeviceInfo, plan *scanPlan, vals []any) (ok, inBackoff bool) {
+	for _, i := range plan.static {
+		vals[i] = dev.Static[plan.schema.Name(i)]
 	}
-	if len(sensory) == 0 {
-		return t, false
+	if len(plan.sensory) == 0 {
+		return true, false
 	}
 	err := l.WithSession(ctx, dev.ID, func(s *Session) error {
-		for _, name := range sensory {
-			v, err := s.Read(ctx, name)
+		for _, i := range plan.sensory {
+			v, err := s.Read(ctx, plan.schema.Name(i))
 			if err != nil {
 				return err
 			}
-			t[name] = v
+			vals[i] = v
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, errors.Is(err, ErrBackoff)
+		return false, errors.Is(err, ErrBackoff)
 	}
-	return t, false
+	return true, false
 }

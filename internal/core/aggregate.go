@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 
+	"aorta/internal/comm"
+	"aorta/internal/scanshare"
 	"aorta/internal/sqlparse"
 )
 
@@ -70,6 +72,11 @@ func (st *aggState) add(env *evalEnv) error {
 	if err != nil {
 		return err
 	}
+	return st.addValue(v)
+}
+
+// addValue folds one already-evaluated argument value.
+func (st *aggState) addValue(v any) error {
 	if v == nil {
 		return nil // NULLs don't participate
 	}
@@ -81,6 +88,12 @@ func (st *aggState) add(env *evalEnv) error {
 	if !ok {
 		return fmt.Errorf("core: %s() argument %s is %T, not numeric", st.item.fn, st.item.arg, v)
 	}
+	st.fold(f)
+	return nil
+}
+
+// fold accumulates one numeric value.
+func (st *aggState) fold(f float64) {
 	if st.count == 0 {
 		st.min, st.max = f, f
 	} else {
@@ -89,7 +102,6 @@ func (st *aggState) add(env *evalEnv) error {
 	}
 	st.count++
 	st.sum += f
-	return nil
 }
 
 // result produces the aggregate's output value; empty inputs yield 0 for
@@ -118,6 +130,75 @@ func (st *aggState) result() any {
 	default:
 		return nil
 	}
+}
+
+// evalAggregatesColumnar is the vectorized aggregation path for
+// single-table queries without GROUP BY: the compiled filter and the
+// aggregate folds run straight over the scan batch's columns, with no
+// tuple materialization and no Row maps. Returns ok=false when an
+// aggregate argument is not a plain column of the batch — the caller then
+// takes the generic materializing path, whose semantics this one must
+// match exactly (same NULL skipping, same non-numeric error).
+func evalAggregatesColumnar(q *Query, view scanshare.TableView, cw *compiledWhere, fr *frame) ([]map[string]any, bool, error) {
+	type aggCol struct {
+		st  *aggState
+		col *comm.Col // nil for count(*)
+		fs  []float64 // typed fast path when the column is float-kinded
+	}
+	acs := make([]aggCol, len(q.aggItems))
+	for i, item := range q.aggItems {
+		acs[i] = aggCol{st: &aggState{item: item}}
+		if item.arg == nil {
+			continue
+		}
+		ref, isRef := item.arg.(*sqlparse.ColumnRef)
+		if !isRef {
+			return nil, false, nil
+		}
+		if view.Batch != nil {
+			col := view.Batch.ColByName(ref.Column)
+			if col == nil {
+				// The interpreter would error per-row on a missing column;
+				// keep that behaviour on the generic path.
+				return nil, false, nil
+			}
+			acs[i].col = col
+			acs[i].fs = col.Floats()
+		}
+	}
+
+	for p, np := 0, view.Len(); p < np; p++ {
+		r := view.RowIndex(p)
+		if cw != nil {
+			fr.rows[0] = r
+			ok, err := cw.eval(fr)
+			if err != nil {
+				return nil, true, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		for i := range acs {
+			ac := &acs[i]
+			switch {
+			case ac.col == nil: // count(*)
+				ac.st.count++
+			case ac.fs != nil:
+				ac.st.fold(ac.fs[r])
+			default:
+				if err := ac.st.addValue(ac.col.Value(r)); err != nil {
+					return nil, true, err
+				}
+			}
+		}
+	}
+
+	row := make(map[string]any, len(acs))
+	for i := range acs {
+		row[acs[i].st.item.key] = acs[i].st.result()
+	}
+	return []map[string]any{row}, true, nil
 }
 
 // evalAggregates folds every passing row into the query's aggregates,

@@ -1,0 +1,424 @@
+package core
+
+// Compiled WHERE clauses: at query-compile time the WHERE expression tree
+// is flattened once into closures over positional column accessors, so the
+// per-row evaluation loop does no AST walking, no map lookups and no
+// boxing on the float64/string fast paths.
+//
+// The compiled form is an optimization, never a semantic fork: the
+// interpreted evalExpr stays the reference implementation, compilation
+// falls back to it on any shape it does not handle, and the
+// FuzzCompiledEval differential fuzzer holds both to identical values AND
+// identical error text. Type specialization therefore happens at run time
+// against the column's actual Kind — a column demoted to boxed values by a
+// mixed-type scan takes the same general compare() path the interpreter
+// takes.
+
+import (
+	"errors"
+	"fmt"
+
+	"aorta/internal/comm"
+	"aorta/internal/sqlparse"
+)
+
+// frame is the per-epoch evaluation context of a compiled clause: the
+// resolved column of every slot (nil when the epoch's batch lacks it) and
+// the current physical batch row per table.
+type frame struct {
+	cols []*comm.Col
+	rows []int
+}
+
+// valFn and boolFn are compiled expression nodes.
+type valFn func(fr *frame) (any, error)
+type boolFn func(fr *frame) (bool, error)
+
+// slotRef names one column access of a compiled clause: table index and
+// attribute, resolved into frame.cols once per batch.
+type slotRef struct {
+	tbl  int
+	attr string
+}
+
+// compiledWhere is one query's compiled filter.
+type compiledWhere struct {
+	slots []slotRef
+	eval  boolFn
+}
+
+// bind resolves the clause's slots against one epoch's batches (indexed by
+// table position; nil entries leave the slot unresolved).
+func (cw *compiledWhere) bind(fr *frame, batches []*comm.Batch) {
+	for i, s := range cw.slots {
+		if b := batches[s.tbl]; b != nil {
+			fr.cols[i] = b.ColByName(s.attr)
+		} else {
+			fr.cols[i] = nil
+		}
+	}
+}
+
+// newFrame allocates a frame sized for the clause over n tables.
+func (cw *compiledWhere) newFrame(n int) *frame {
+	return &frame{cols: make([]*comm.Col, len(cw.slots)), rows: make([]int, n)}
+}
+
+// whereCompiler carries compile-time context: the query's alias bindings
+// (table order and per-table attribute sets) and the engine's boolean
+// functions, captured by value so compiled closures never touch the live
+// registry map.
+type whereCompiler struct {
+	aliases []string
+	attrs   []map[string]bool
+	bools   map[string]BoolFunc
+	slots   []slotRef
+}
+
+// errNotCompilable aborts compilation; the caller falls back to the
+// interpreted evaluator.
+var errNotCompilable = errors.New("core: expression not compilable")
+
+// compileWhere flattens a query's WHERE clause. A nil return (with error)
+// means the clause has a shape the compiler does not handle and the
+// interpreted path must be used.
+func compileWhere(q *Query, bools map[string]BoolFunc) (*compiledWhere, error) {
+	c := &whereCompiler{bools: bools}
+	for _, bt := range q.tables {
+		c.aliases = append(c.aliases, bt.alias)
+		set := make(map[string]bool, len(bt.attrs))
+		for _, a := range bt.attrs {
+			set[a] = true
+		}
+		c.attrs = append(c.attrs, set)
+	}
+	eval, err := c.compileBool(q.sel.Where)
+	if err != nil {
+		return nil, err
+	}
+	return &compiledWhere{slots: c.slots, eval: eval}, nil
+}
+
+// resolve maps a column reference to (table index, slot index) using the
+// same rule as compileQuery's collect: a qualified reference belongs to
+// its qualifier, an unqualified one to the unique table carrying the
+// column. References the rule cannot place are not compilable.
+func (c *whereCompiler) resolve(ref *sqlparse.ColumnRef) (tbl, slot int, missErr error, err error) {
+	tbl = -1
+	if ref.Qualifier != "" {
+		for i, a := range c.aliases {
+			if a == ref.Qualifier {
+				tbl = i
+				break
+			}
+		}
+		if tbl < 0 || !c.attrs[tbl][ref.Column] {
+			return 0, 0, nil, errNotCompilable
+		}
+		missErr = fmt.Errorf("%w: %s.%s", errUnknownColumn, ref.Qualifier, ref.Column)
+	} else {
+		for i := range c.aliases {
+			if c.attrs[i][ref.Column] {
+				if tbl >= 0 {
+					return 0, 0, nil, errNotCompilable // ambiguous
+				}
+				tbl = i
+			}
+		}
+		if tbl < 0 {
+			return 0, 0, nil, errNotCompilable
+		}
+		missErr = fmt.Errorf("%w: %s", errUnknownColumn, ref.Column)
+	}
+	slot = len(c.slots)
+	c.slots = append(c.slots, slotRef{tbl: tbl, attr: ref.Column})
+	return tbl, slot, missErr, nil
+}
+
+// compileVal compiles an expression node into a value closure.
+func (c *whereCompiler) compileVal(e sqlparse.Expr) (valFn, error) {
+	switch ex := e.(type) {
+	case *sqlparse.Literal:
+		v := ex.Value
+		return func(*frame) (any, error) { return v, nil }, nil
+
+	case *sqlparse.ColumnRef:
+		tbl, slot, missErr, err := c.resolve(ex)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (any, error) {
+			col := fr.cols[slot]
+			if col == nil {
+				return nil, missErr
+			}
+			return col.Value(fr.rows[tbl]), nil
+		}, nil
+
+	case *sqlparse.Call:
+		fn, ok := c.bools[ex.Func]
+		if !ok {
+			// Mirror the interpreter's runtime error; compileQuery rejects
+			// this upstream for real queries.
+			callErr := fmt.Errorf("core: unknown function %q in expression", ex.Func)
+			return func(*frame) (any, error) { return nil, callErr }, nil
+		}
+		args := make([]valFn, len(ex.Args))
+		for i, a := range ex.Args {
+			af, err := c.compileVal(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = af
+		}
+		return func(fr *frame) (any, error) {
+			vals := make([]any, len(args))
+			for i, af := range args {
+				v, err := af(fr)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			return fn(vals)
+		}, nil
+
+	case *sqlparse.Compare:
+		return c.compileCompare(ex)
+
+	case *sqlparse.Logic, *sqlparse.Not:
+		b, err := c.compileBool(e)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (any, error) { return b(fr) }, nil
+
+	case *sqlparse.Star:
+		starErr := errors.New("core: * is not valid in this position")
+		return func(*frame) (any, error) { return nil, starErr }, nil
+
+	default:
+		nodeErr := fmt.Errorf("core: unsupported expression %T", e)
+		return func(*frame) (any, error) { return nil, nodeErr }, nil
+	}
+}
+
+// compileCompare compiles a comparison, specializing the column-vs-literal
+// forms: when the epoch's column is typed, the closure compares straight
+// off the typed slice; otherwise it falls back to the interpreter's shared
+// compare() on the boxed value, keeping error semantics identical.
+func (c *whereCompiler) compileCompare(ex *sqlparse.Compare) (valFn, error) {
+	op := ex.Op
+
+	// Constant fold: literal OP literal is decided at compile time.
+	if ll, lok := ex.Left.(*sqlparse.Literal); lok {
+		if rl, rok := ex.Right.(*sqlparse.Literal); rok {
+			v, err := compare(op, ll.Value, rl.Value)
+			return func(*frame) (any, error) { return v, err }, nil
+		}
+	}
+
+	// Column-vs-literal specialization, both orientations.
+	ref, lit, colLeft := compareAnchor(ex)
+	if ref != nil {
+		tbl, slot, missErr, err := c.resolve(ref)
+		if err != nil {
+			return nil, err
+		}
+		litVal := lit.Value
+		if k, isNum := toFloat(litVal); isNum {
+			cmp := floatCmp(op)
+			return func(fr *frame) (any, error) {
+				col := fr.cols[slot]
+				if col == nil {
+					return nil, missErr
+				}
+				row := fr.rows[tbl]
+				if fs := col.Floats(); fs != nil {
+					if colLeft {
+						return cmp(fs[row], k), nil
+					}
+					return cmp(k, fs[row]), nil
+				}
+				return compareOriented(op, col.Value(row), litVal, colLeft)
+			}, nil
+		}
+		if ks, isStr := litVal.(string); isStr {
+			cmp := stringCmp(op)
+			return func(fr *frame) (any, error) {
+				col := fr.cols[slot]
+				if col == nil {
+					return nil, missErr
+				}
+				row := fr.rows[tbl]
+				if ss := col.Strings(); ss != nil {
+					if colLeft {
+						return cmp(ss[row], ks), nil
+					}
+					return cmp(ks, ss[row]), nil
+				}
+				return compareOriented(op, col.Value(row), litVal, colLeft)
+			}, nil
+		}
+		// bool or structured literal: general boxed path below.
+	}
+
+	l, err := c.compileVal(ex.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compileVal(ex.Right)
+	if err != nil {
+		return nil, err
+	}
+	return func(fr *frame) (any, error) {
+		lv, err := l(fr)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := r(fr)
+		if err != nil {
+			return nil, err
+		}
+		return compare(op, lv, rv)
+	}, nil
+}
+
+// compareAnchor extracts the (column, literal) pair of a comparison, if it
+// has one; colLeft reports the orientation.
+func compareAnchor(ex *sqlparse.Compare) (ref *sqlparse.ColumnRef, lit *sqlparse.Literal, colLeft bool) {
+	if r, ok := ex.Left.(*sqlparse.ColumnRef); ok {
+		if l, ok := ex.Right.(*sqlparse.Literal); ok {
+			return r, l, true
+		}
+	}
+	if r, ok := ex.Right.(*sqlparse.ColumnRef); ok {
+		if l, ok := ex.Left.(*sqlparse.Literal); ok {
+			return r, l, false
+		}
+	}
+	return nil, nil, false
+}
+
+// compareOriented calls the shared compare() with the column value on the
+// side it appeared on in the source.
+func compareOriented(op string, colVal, litVal any, colLeft bool) (bool, error) {
+	if colLeft {
+		return compare(op, colVal, litVal)
+	}
+	return compare(op, litVal, colVal)
+}
+
+// floatCmp returns the float64 comparator for an operator.
+func floatCmp(op string) func(a, b float64) bool {
+	switch op {
+	case "=":
+		return func(a, b float64) bool { return a == b }
+	case "!=":
+		return func(a, b float64) bool { return a != b }
+	case "<":
+		return func(a, b float64) bool { return a < b }
+	case "<=":
+		return func(a, b float64) bool { return a <= b }
+	case ">":
+		return func(a, b float64) bool { return a > b }
+	default:
+		return func(a, b float64) bool { return a >= b }
+	}
+}
+
+// stringCmp returns the lexical comparator for an operator.
+func stringCmp(op string) func(a, b string) bool {
+	switch op {
+	case "=":
+		return func(a, b string) bool { return a == b }
+	case "!=":
+		return func(a, b string) bool { return a != b }
+	case "<":
+		return func(a, b string) bool { return a < b }
+	case "<=":
+		return func(a, b string) bool { return a <= b }
+	case ">":
+		return func(a, b string) bool { return a > b }
+	default:
+		return func(a, b string) bool { return a >= b }
+	}
+}
+
+// compileBool compiles an expression that must produce a boolean,
+// reproducing evalBool's type check (and its exact error text) for nodes
+// that are not statically boolean.
+func (c *whereCompiler) compileBool(e sqlparse.Expr) (boolFn, error) {
+	switch ex := e.(type) {
+	case *sqlparse.Logic:
+		l, err := c.compileBool(ex.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compileBool(ex.Right)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == "AND" {
+			return func(fr *frame) (bool, error) {
+				lv, err := l(fr)
+				if err != nil || !lv {
+					return false, err
+				}
+				return r(fr)
+			}, nil
+		}
+		return func(fr *frame) (bool, error) {
+			lv, err := l(fr)
+			if err != nil || lv {
+				return lv, err
+			}
+			return r(fr)
+		}, nil
+
+	case *sqlparse.Not:
+		inner, err := c.compileBool(ex.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) (bool, error) {
+			v, err := inner(fr)
+			if err != nil {
+				return false, err
+			}
+			return !v, nil
+		}, nil
+
+	case *sqlparse.Compare:
+		v, err := c.compileCompare(ex)
+		if err != nil {
+			return nil, err
+		}
+		// Compare yields bool on every non-error path: skip the check.
+		return func(fr *frame) (bool, error) {
+			val, err := v(fr)
+			if err != nil {
+				return false, err
+			}
+			return val.(bool), nil
+		}, nil
+
+	default:
+		v, err := c.compileVal(e)
+		if err != nil {
+			return nil, err
+		}
+		src := e.String()
+		return func(fr *frame) (bool, error) {
+			val, err := v(fr)
+			if err != nil {
+				return false, err
+			}
+			b, ok := val.(bool)
+			if !ok {
+				return false, fmt.Errorf("core: expression %s is %T, not boolean", src, val)
+			}
+			return b, nil
+		}, nil
+	}
+}

@@ -290,9 +290,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	// The fabric scans through the layer, so pooled sessions, dial backoff,
 	// circuit breakers and the liveness gate all apply to shared scans.
-	e.fabric = scanshare.New(clk, func(ctx context.Context, deviceType string, attrs []string) ([]comm.Tuple, error) {
-		tuples, _, err := layer.Scan(ctx, deviceType, attrs)
-		return tuples, err
+	e.fabric = scanshare.New(clk, func(ctx context.Context, deviceType string, attrs []string) (*comm.Batch, error) {
+		b, _, err := layer.ScanBatch(ctx, deviceType, attrs)
+		return b, err
 	})
 	if !cfg.DisableLiveness {
 		e.live = liveness.New(clk, liveness.Config{

@@ -26,6 +26,10 @@ type Query struct {
 	aggItems    []*aggItem
 	groupBy     []*sqlparse.ColumnRef
 	projItems   []sqlparse.Expr
+	// where is the WHERE clause compiled into flat closures over column
+	// accessors; nil when the clause is absent or has a shape the compiler
+	// does not handle (the interpreted evalExpr then filters instead).
+	where *compiledWhere
 
 	mu      sync.Mutex
 	running bool
@@ -247,6 +251,11 @@ func (e *Engine) compileQuery(name string, sel *sqlparse.Select) (*Query, error)
 		}
 		q.tables = append(q.tables, bt)
 	}
+	if sel.Where != nil {
+		// Best effort: a clause the compiler cannot flatten leaves q.where
+		// nil and the interpreted reference evaluator filters instead.
+		q.where, _ = compileWhere(q, e.boolFuncs)
+	}
 	return q, nil
 }
 
@@ -320,35 +329,101 @@ func walkExprs(e sqlparse.Expr, fn func(sqlparse.Expr)) {
 // this direct path; continuous queries receive their scans from the shared
 // fabric and enter at evalScanned.
 func (e *Engine) evalOnce(ctx context.Context, q *Query) ([]map[string]any, error) {
-	// Scan every table. Unreachable devices simply produce no tuple.
-	scans := make(map[string][]comm.Tuple, len(q.tables))
+	// Scan every table into a columnar batch. Unreachable devices simply
+	// produce no row.
+	views := make(map[string]scanshare.TableView, len(q.tables))
+	defer func() {
+		for _, v := range views {
+			v.Batch.Release()
+		}
+	}()
 	for _, bt := range q.tables {
-		tuples, _, err := e.layer.Scan(ctx, bt.deviceType, bt.attrs)
+		b, _, err := e.layer.ScanBatch(ctx, bt.deviceType, bt.attrs)
 		if err != nil {
 			return nil, err
 		}
-		scans[bt.alias] = tuples
+		views[bt.alias] = scanshare.TableView{Batch: b, Attrs: bt.attrs}
 	}
-	return e.evalScanned(q, scans)
+	return e.evalScanned(q, views)
 }
 
-// evalScanned runs the post-scan half of an epoch over already-materialized
-// table scans: join, filter, and either emit action requests or produce
-// projected rows.
-func (e *Engine) evalScanned(q *Query, scans map[string][]comm.Tuple) ([]map[string]any, error) {
-	// Cartesian product with WHERE filtering.
+// evalScanned runs the post-scan half of an epoch over the epoch's table
+// views: join, filter, and either emit action requests or produce
+// projected rows. Filtering runs the compiled WHERE positionally over the
+// shared columnar batches; row-map tuples are materialized only for the
+// combinations that pass (memoized per table row, since a passing row of
+// one table can appear in many join combinations).
+func (e *Engine) evalScanned(q *Query, tables map[string]scanshare.TableView) ([]map[string]any, error) {
+	n := len(q.tables)
+	views := make([]scanshare.TableView, n)
+	batches := make([]*comm.Batch, n)
+	for i, bt := range q.tables {
+		views[i] = tables[bt.alias]
+		batches[i] = views[i].Batch
+	}
+
+	cw := q.where
+	var fr *frame
+	if cw != nil {
+		fr = cw.newFrame(n)
+		cw.bind(fr, batches)
+	}
+
+	// Vectorized fast path: single-table aggregates without GROUP BY fold
+	// straight off the column slices, no tuple materialization at all.
+	if len(q.aggItems) > 0 && n == 1 && len(q.groupBy) == 0 &&
+		(q.sel.Where == nil || cw != nil) {
+		if out, ok, err := evalAggregatesColumnar(q, views[0], cw, fr); ok {
+			return out, err
+		}
+	}
+
+	// memo caches materialized tuples per (table, view position): one
+	// table row joins into many combinations but materializes once.
+	memo := make([]map[int]comm.Tuple, n)
+	tupleAt := func(tbl, pos int) comm.Tuple {
+		m := memo[tbl]
+		if m == nil {
+			m = make(map[int]comm.Tuple)
+			memo[tbl] = m
+		}
+		t, ok := m[pos]
+		if !ok {
+			t = views[tbl].Row(pos)
+			m[pos] = t
+		}
+		return t
+	}
+
+	// Cartesian product with WHERE filtering over row positions.
 	env := &evalEnv{bools: e.boolFuncs}
+	pos := make([]int, n)
+	rowAt := func() Row {
+		row := make(Row, n)
+		for t := 0; t < n; t++ {
+			row[q.tables[t].alias] = tupleAt(t, pos[t])
+		}
+		return row
+	}
 	var passing []Row
 	var joinErr error
-	var build func(i int, row Row)
-	build = func(i int, row Row) {
+	var build func(i int)
+	build = func(i int) {
 		if joinErr != nil {
 			return
 		}
-		if i == len(q.tables) {
+		if i == n {
+			var row Row
 			if q.sel.Where != nil {
-				env.row = row
-				ok, err := env.evalBool(q.sel.Where)
+				var ok bool
+				var err error
+				if cw != nil {
+					ok, err = cw.eval(fr)
+				} else {
+					row = rowAt()
+					env.row = row
+					ok, err = env.evalBool(q.sel.Where)
+				}
 				if err != nil {
 					joinErr = err
 					return
@@ -357,21 +432,22 @@ func (e *Engine) evalScanned(q *Query, scans map[string][]comm.Tuple) ([]map[str
 					return
 				}
 			}
-			clone := make(Row, len(row))
-			for k, v := range row {
-				clone[k] = v
+			if row == nil {
+				row = rowAt()
 			}
-			passing = append(passing, clone)
+			passing = append(passing, row)
 			return
 		}
-		bt := q.tables[i]
-		for _, t := range scans[bt.alias] {
-			row[bt.alias] = t
-			build(i+1, row)
+		v := views[i]
+		for p := 0; p < v.Len(); p++ {
+			pos[i] = p
+			if fr != nil {
+				fr.rows[i] = v.RowIndex(p)
+			}
+			build(i + 1)
 		}
-		delete(row, bt.alias)
 	}
-	build(0, make(Row, len(q.tables)))
+	build(0)
 	if joinErr != nil {
 		return nil, joinErr
 	}
@@ -530,12 +606,9 @@ func (e *Engine) runQuery(ctx context.Context, q *Query) {
 		}
 		err := batch.Err
 		if err == nil {
-			scans := make(map[string][]comm.Tuple, len(q.tables))
-			for _, bt := range q.tables {
-				scans[bt.alias] = batch.Tables[bt.alias]
-			}
-			_, err = e.evalScanned(q, scans)
+			_, err = e.evalScanned(q, batch.Tables)
 		}
+		batch.Release()
 		q.mu.Lock()
 		q.evals++
 		if err != nil && ctx.Err() == nil {

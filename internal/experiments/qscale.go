@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"aorta/internal/comm"
@@ -56,11 +57,23 @@ type QScalePoint struct {
 	// TuplesFanned counts tuple deliveries into per-query batches across
 	// the run — the routing volume behind the per-tuple timings.
 	TuplesFanned int64
-	// IndexNsPerTuple and BruteNsPerTuple time one tuple's routing through
-	// the predicate index versus the brute-force linear evaluation of all
-	// Q subscriptions.
-	IndexNsPerTuple float64
+	// RowNsPerTuple times the pre-columnar routing path: one index Match
+	// per row-map tuple. ColNsPerTuple is the current path: MatchBatch
+	// over epoch-sized columnar batches, amortized per tuple.
+	// BruteNsPerTuple is the brute-force linear baseline over all Q
+	// subscriptions.
+	RowNsPerTuple   float64
+	ColNsPerTuple   float64
 	BruteNsPerTuple float64
+}
+
+// ColSpeedup is the columnar routing path's per-tuple speedup over the
+// row-map path — the ROADMAP's tuples/sec criterion.
+func (p QScalePoint) ColSpeedup() float64 {
+	if p.ColNsPerTuple <= 0 {
+		return 0
+	}
+	return p.RowNsPerTuple / p.ColNsPerTuple
 }
 
 // QScaleStudy measures scan coalescing and routing cost at each Q.
@@ -109,15 +122,13 @@ func runQScale(cfg QScaleConfig, q int) (*QScalePoint, error) {
 	// Part 1: the fabric on a manual clock over a synthetic device table.
 	// Q subscriptions share the epoch; per-epoch scan count must stay 1.
 	clk := vclock.NewManual(time.Unix(1_000_000, 0))
-	fabric := scanshare.New(clk, func(context.Context, string, []string) ([]comm.Tuple, error) {
-		tuples := make([]comm.Tuple, cfg.Devices)
-		for i := range tuples {
-			tuples[i] = comm.Tuple{
-				"id":      fmt.Sprintf("mote-%d", i),
-				"accel_x": qscaleReading(rng),
-			}
+	schema := comm.NewSchema([]string{"id", "accel_x"}, []comm.Kind{comm.KindString, comm.KindFloat})
+	fabric := scanshare.New(clk, func(context.Context, string, []string) (*comm.Batch, error) {
+		b := comm.NewBatch(schema)
+		for i := 0; i < cfg.Devices; i++ {
+			b.Append([]any{fmt.Sprintf("mote-%d", i), qscaleReading(rng)})
 		}
-		return tuples, nil
+		return b, nil
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -152,8 +163,10 @@ func runQScale(cfg QScaleConfig, q int) (*QScalePoint, error) {
 		TuplesFanned:   fm.TuplesFanned,
 	}
 
-	// Part 2: per-tuple routing cost, index versus brute force, over the
-	// same predicate population.
+	// Part 2: per-tuple routing cost over the same predicate population —
+	// the row-map path (one Match per tuple, pre-columnar main), the
+	// columnar path (MatchBatch over epoch-sized batches) and the
+	// brute-force linear baseline.
 	idx := match.NewIndex()
 	for i := 0; i < q; i++ {
 		idx.Insert(match.Sub{ID: i}, qscalePreds(rng, i, cfg.Devices))
@@ -165,11 +178,40 @@ func runQScale(cfg QScaleConfig, q int) (*QScalePoint, error) {
 			"accel_x": qscaleReading(rng),
 		}
 	}
+	// The same tuples chunked into epoch-sized (D-row) columnar batches.
+	var routeBatches []*comm.Batch
+	batched := 0
+	for at := 0; at+cfg.Devices <= len(probes); at += cfg.Devices {
+		b := comm.NewBatch(schema)
+		for _, t := range probes[at : at+cfg.Devices] {
+			b.Append([]any{t["id"], t["accel_x"]})
+		}
+		routeBatches = append(routeBatches, b)
+		batched += cfg.Devices
+	}
+
+	// Each routing path is timed after a full collection so one section's
+	// garbage (notably part 1's fabric run) is not charged to the next.
+	runtime.GC()
 	start := time.Now()
 	for _, t := range probes {
 		idx.Match(t)
 	}
-	p.IndexNsPerTuple = float64(time.Since(start).Nanoseconds()) / float64(cfg.Probes)
+	p.RowNsPerTuple = float64(time.Since(start).Nanoseconds()) / float64(cfg.Probes)
+
+	runtime.GC()
+	start = time.Now()
+	for _, b := range routeBatches {
+		idx.MatchBatch(b)
+	}
+	if batched > 0 {
+		p.ColNsPerTuple = float64(time.Since(start).Nanoseconds()) / float64(batched)
+	}
+	for _, b := range routeBatches {
+		b.Release()
+	}
+
+	runtime.GC()
 	start = time.Now()
 	for _, t := range probes {
 		idx.BruteMatch(t)
@@ -194,16 +236,13 @@ func awaitQScale(cond func() bool) error {
 func PrintQScaleStudy(w io.Writer, cfg QScaleConfig, points []QScalePoint) {
 	fmt.Fprintf(w, "Query scaling — shared scan fabric + predicate index (D=%d devices, %d epochs, %d routed tuples)\n",
 		cfg.Devices, cfg.Epochs, cfg.Probes)
-	fmt.Fprintf(w, "%8s%15s%14s%12s%12s%14s%14s%9s\n",
-		"Q", "fabric scans", "naive scans", "coalesced", "fanned", "index ns/tup", "brute ns/tup", "speedup")
+	fmt.Fprintf(w, "%8s%15s%14s%12s%12s%12s%12s%14s%9s\n",
+		"Q", "fabric scans", "naive scans", "coalesced", "fanned", "row ns/tup", "col ns/tup", "brute ns/tup", "speedup")
 	for _, p := range points {
-		speedup := 0.0
-		if p.IndexNsPerTuple > 0 {
-			speedup = p.BruteNsPerTuple / p.IndexNsPerTuple
-		}
-		fmt.Fprintf(w, "%8d%15d%14d%12d%12d%14.0f%14.0f%8.1fx\n",
+		fmt.Fprintf(w, "%8d%15d%14d%12d%12d%12.0f%12.0f%14.0f%8.1fx\n",
 			p.Queries, p.FabricScans, p.NaiveScans, p.ScansCoalesced,
-			p.TuplesFanned, p.IndexNsPerTuple, p.BruteNsPerTuple, speedup)
+			p.TuplesFanned, p.RowNsPerTuple, p.ColNsPerTuple, p.BruteNsPerTuple, p.ColSpeedup())
 	}
 	fmt.Fprintln(w, "fabric scans stay at one per epoch regardless of Q; naive = Q scans per epoch.")
+	fmt.Fprintln(w, "speedup = row-map routing vs columnar MatchBatch routing, per tuple.")
 }

@@ -34,7 +34,7 @@ func TestQScaleStudySmall(t *testing.T) {
 		if p.ScansCoalesced != int64((p.Queries-1)*cfg.Epochs) {
 			t.Errorf("Q=%d: coalesced = %d, want %d", p.Queries, p.ScansCoalesced, (p.Queries-1)*cfg.Epochs)
 		}
-		if p.IndexNsPerTuple <= 0 || p.BruteNsPerTuple <= 0 {
+		if p.RowNsPerTuple <= 0 || p.ColNsPerTuple <= 0 || p.BruteNsPerTuple <= 0 {
 			t.Errorf("Q=%d: non-positive timings: %+v", p.Queries, p)
 		}
 	}

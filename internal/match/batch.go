@@ -1,0 +1,183 @@
+package match
+
+// Columnar routing: MatchBatch probes a whole scan batch through the index
+// at once. Attribute→column resolution happens once per batch instead of
+// one map lookup per tuple per attribute, numeric probes walk contiguous
+// []float64 slices without boxing, and the result is a row selection per
+// subscription instead of a []Sub per tuple.
+
+import (
+	"slices"
+	"sort"
+
+	"aorta/internal/comm"
+)
+
+// Selection is the set of batch rows routed to one subscription. Rows is
+// ascending; nil Rows means every row of the batch (a residual
+// subscription, which matches unconditionally).
+type Selection struct {
+	Sub  Sub
+	Rows []int32
+}
+
+// matchScratch is MatchBatch's pooled working memory: the flat
+// conjunct-tally plane (always all-zero at rest), the dirtied tally slots,
+// and the completed (id, row) hits packed as id<<32|row so they sort with
+// the scalar sort fast path.
+type matchScratch struct {
+	counts []uint16
+	dirty  []int32
+	hits   []uint64
+}
+
+// MatchBatch routes every row of a batch: it returns one Selection per
+// subscription that matched at least one row, plus every residual
+// subscription, sorted for determinism. Equivalent to calling Match on
+// each materialized row, but probes columns positionally.
+//
+// Satisfied-conjunct tallies live in one flat scratch array indexed by the
+// subscription's dense id × row — a bump is an array increment, no map
+// traffic on the hot path. A (sub, row) pair is recorded the moment its
+// tally reaches the subscription's conjunct count, so emission work is
+// proportional to actual deliveries, not to the id space. The scratch is
+// pooled across calls and cleaned by rewinding only the dirtied slots.
+//
+// An empty batch returns nil: no rows, no deliveries.
+func (x *Index) MatchBatch(b *comm.Batch) []Selection {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	x.probes.Add(int64(n))
+
+	sc := x.getScratch(len(x.byID) * n)
+	counts := sc.counts
+	bump := func(id int32, row int) {
+		idx := int(id)*n + row
+		v := counts[idx] + 1
+		counts[idx] = v
+		if v == 1 {
+			sc.dirty = append(sc.dirty, int32(idx))
+		}
+		if v == x.needByID[id] {
+			sc.hits = append(sc.hits, uint64(uint32(id))<<32|uint64(uint32(row)))
+		}
+	}
+
+	for attr, ai := range x.attrs {
+		col := b.ColByName(attr)
+		if col == nil {
+			continue // attribute absent from this batch: no conjunct satisfied
+		}
+		switch col.Kind() {
+		case comm.KindFloat:
+			fs := col.Floats()
+			for row, f := range fs {
+				ai.probeNum(f, row, bump)
+			}
+		case comm.KindString:
+			for row, s := range col.Strings() {
+				for _, e := range ai.eq[eqKey{str: s, isStr: true}] {
+					bump(e.id, row)
+				}
+			}
+		default:
+			// Demoted or structured column: per-row boxed probing with
+			// Match's exact nil/type semantics.
+			for row := 0; row < n; row++ {
+				v := col.Value(row)
+				if v == nil {
+					continue
+				}
+				if f, isNum := toFloat(v); isNum {
+					ai.probeNum(f, row, bump)
+				} else if s, isStr := v.(string); isStr {
+					for _, e := range ai.eq[eqKey{str: s, isStr: true}] {
+						bump(e.id, row)
+					}
+				}
+			}
+		}
+	}
+
+	// Group the completed hits into per-subscription row selections: the
+	// packed keys sort by (id, row), every group subslices one shared
+	// backing array.
+	hits := sc.hits
+	slices.Sort(hits)
+	out := make([]Selection, 0, len(x.residual))
+	rowsBuf := make([]int32, len(hits))
+	for i := range hits {
+		rowsBuf[i] = int32(uint32(hits[i]))
+	}
+	for i := 0; i < len(hits); {
+		id := int32(hits[i] >> 32)
+		j := i
+		for j < len(hits) && int32(hits[j]>>32) == id {
+			j++
+		}
+		out = append(out, Selection{Sub: x.byID[id], Rows: rowsBuf[i:j:j]})
+		i = j
+	}
+	x.hits.Add(int64(len(hits)))
+	for sub := range x.residual {
+		out = append(out, Selection{Sub: sub}) // nil Rows: all rows
+	}
+	x.resHits.Add(int64(len(x.residual)) * int64(n))
+	sort.Slice(out, func(i, j int) bool { return subLess(out[i].Sub, out[j].Sub) })
+
+	x.putScratch(sc)
+	return out
+}
+
+// getScratch returns pooled working memory with an all-zero tally plane of
+// at least the given size.
+func (x *Index) getScratch(size int) *matchScratch {
+	sc, _ := x.scratch.Get().(*matchScratch)
+	if sc == nil {
+		sc = &matchScratch{}
+	}
+	if cap(sc.counts) < size {
+		sc.counts = make([]uint16, size)
+	} else {
+		sc.counts = sc.counts[:size]
+	}
+	return sc
+}
+
+// putScratch rewinds the dirtied tally slots and recycles the scratch.
+func (x *Index) putScratch(sc *matchScratch) {
+	for _, idx := range sc.dirty {
+		sc.counts[idx] = 0
+	}
+	sc.dirty = sc.dirty[:0]
+	sc.hits = sc.hits[:0]
+	x.scratch.Put(sc)
+}
+
+// probeNum probes one numeric value through an attribute's boundary trees
+// and equality buckets, bumping each satisfied conjunct's subscription id.
+func (ai *attrIndex) probeNum(f float64, row int, bump func(int32, int)) {
+	// Lower bounds: prefix of ascending (c, non-strict-first) order.
+	ai.lower.InOrder(func(e boundEntry) bool {
+		if e.c > f || (e.c == f && e.strict) {
+			return false
+		}
+		bump(e.id, row)
+		return true
+	})
+	// Upper bounds: prefix of descending (c, non-strict-first) order.
+	ai.upper.InOrder(func(e boundEntry) bool {
+		if e.c < f || (e.c == f && e.strict) {
+			return false
+		}
+		bump(e.id, row)
+		return true
+	})
+	for _, e := range ai.eq[eqKey{num: f}] {
+		bump(e.id, row)
+	}
+}

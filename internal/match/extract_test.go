@@ -1,0 +1,86 @@
+package match
+
+import (
+	"reflect"
+	"testing"
+
+	"aorta/internal/sqlparse"
+)
+
+// TestExtractEdgeCases pins the conservative boundaries of conjunct
+// extraction: negated subtrees contribute nothing, duplicate-attribute
+// conjuncts all survive, and non-constant comparisons are left to the full
+// WHERE evaluation.
+func TestExtractEdgeCases(t *testing.T) {
+	owns := func(ref *sqlparse.ColumnRef) bool {
+		return ref.Qualifier == "s" || ref.Qualifier == ""
+	}
+	parse := func(sql string) sqlparse.Expr {
+		t.Helper()
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		return stmt.(*sqlparse.Select).Where
+	}
+
+	tests := []struct {
+		name  string
+		where string
+		want  []Predicate
+	}{
+		{
+			// NOT flips truth: a conjunct under NOT must not be indexed,
+			// but its AND-siblings outside the NOT still are.
+			"not over conjunct",
+			`SELECT s.id FROM sensor s WHERE NOT (s.accel_x > 500) AND s.temp < 30`,
+			[]Predicate{{Attr: "temp", Op: OpLT, Value: 30.0}},
+		},
+		{
+			// NOT over a whole AND subtree suppresses both conjuncts.
+			"not over and subtree",
+			`SELECT s.id FROM sensor s WHERE NOT (s.accel_x > 500 AND s.temp < 30)`,
+			nil,
+		},
+		{
+			// Duplicate-attribute conjuncts each become a predicate: the
+			// counting algorithm needs the full conjunct multiset, a > 100
+			// alone must not satisfy a sub that also requires a > 500.
+			"duplicate attribute conjuncts",
+			`SELECT s.id FROM sensor s WHERE s.accel_x > 100 AND s.accel_x > 500 AND s.accel_x <= 900`,
+			[]Predicate{
+				{Attr: "accel_x", Op: OpGT, Value: 100.0},
+				{Attr: "accel_x", Op: OpGT, Value: 500.0},
+				{Attr: "accel_x", Op: OpLE, Value: 900.0},
+			},
+		},
+		{
+			// Column-to-column and literal-to-literal comparisons have no
+			// (column, constant) anchor and stay out of the index.
+			"non-constant comparisons",
+			`SELECT s.id FROM sensor s WHERE s.accel_x > s.accel_y AND 1 < 2 AND s.temp >= 10`,
+			[]Predicate{{Attr: "temp", Op: OpGE, Value: 10.0}},
+		},
+		{
+			// != has no prefix property in either tree and is skipped.
+			"not-equal skipped",
+			`SELECT s.id FROM sensor s WHERE s.depth != 3 AND s.depth <= 9`,
+			[]Predicate{{Attr: "depth", Op: OpLE, Value: 9.0}},
+		},
+		{
+			// String ordering comparisons are not indexable; string
+			// equality is.
+			"string operators",
+			`SELECT s.id FROM sensor s WHERE s.id > "mote-1" AND s.id = "mote-4"`,
+			[]Predicate{{Attr: "id", Op: OpEQ, Value: "mote-4"}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Extract(parse(tt.where), owns)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Fatalf("Extract(%s) = %v, want %v", tt.where, got, tt.want)
+			}
+		})
+	}
+}

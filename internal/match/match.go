@@ -130,7 +130,8 @@ type boundEntry struct {
 	c      float64
 	strict bool // > / < rather than >= / <=
 	sub    Sub
-	cid    int // conjunct index within the subscription, for duplicates
+	cid    int   // conjunct index within the subscription, for duplicates
+	id     int32 // the subscription's dense id, for MatchBatch tallying
 }
 
 // lowerLess orders a lower-bound tree (x > c, x >= c) so that for any probe
@@ -178,6 +179,7 @@ type eqKey struct {
 type eqEntry struct {
 	sub Sub
 	cid int
+	id  int32
 }
 
 // attrIndex holds every indexed conjunct anchored on one attribute.
@@ -203,6 +205,7 @@ func (ai *attrIndex) empty() bool {
 type subInfo struct {
 	preds   []Predicate // all predicates, indexable or not (for BruteMatch)
 	indexed int         // count of indexed conjuncts; 0 means residual
+	id      int32       // dense id for MatchBatch's flat tally arrays
 }
 
 // Index routes tuples to the subscriptions whose indexed conjuncts they
@@ -213,6 +216,18 @@ type Index struct {
 	subs     map[Sub]*subInfo
 	attrs    map[string]*attrIndex
 	residual map[Sub]struct{}
+
+	// Dense subscription numbering for MatchBatch: byID maps a
+	// subscription's id back to its Sub, needByID caches its indexed
+	// conjunct count. Freed ids are recycled so the dense range stays
+	// compact under churn.
+	byID     []Sub
+	needByID []uint16
+	freeIDs  []int32
+
+	// scratch pools MatchBatch's flat tally arrays (*[]uint16); every
+	// pooled array is all-zero.
+	scratch sync.Pool
 
 	// Routing counters are atomics: Match runs under the read lock so
 	// concurrent probes may update them simultaneously.
@@ -248,6 +263,15 @@ func (x *Index) Insert(s Sub, preds []Predicate) {
 		x.removeLocked(s)
 	}
 	info := &subInfo{preds: preds}
+	if k := len(x.freeIDs); k > 0 {
+		info.id = x.freeIDs[k-1]
+		x.freeIDs = x.freeIDs[:k-1]
+		x.byID[info.id] = s
+	} else {
+		info.id = int32(len(x.byID))
+		x.byID = append(x.byID, s)
+		x.needByID = append(x.needByID, 0)
+	}
 	for cid, p := range preds {
 		if !p.indexable() {
 			continue
@@ -260,17 +284,18 @@ func (x *Index) Insert(s Sub, preds []Predicate) {
 		}
 		if p.Op == OpEQ {
 			k := eqKeyOf(p.Value)
-			ai.eq[k] = append(ai.eq[k], eqEntry{sub: s, cid: cid})
+			ai.eq[k] = append(ai.eq[k], eqEntry{sub: s, cid: cid, id: info.id})
 			continue
 		}
 		c, _ := toFloat(p.Value)
-		e := boundEntry{c: c, strict: p.Op == OpGT || p.Op == OpLT, sub: s, cid: cid}
+		e := boundEntry{c: c, strict: p.Op == OpGT || p.Op == OpLT, sub: s, cid: cid, id: info.id}
 		if p.Op == OpGT || p.Op == OpGE {
 			ai.lower.Insert(e)
 		} else {
 			ai.upper.Insert(e)
 		}
 	}
+	x.needByID[info.id] = uint16(info.indexed)
 	if info.indexed == 0 {
 		x.residual[s] = struct{}{}
 	}
@@ -291,6 +316,9 @@ func (x *Index) removeLocked(s Sub) {
 	}
 	delete(x.subs, s)
 	delete(x.residual, s)
+	x.byID[info.id] = Sub{}
+	x.needByID[info.id] = 0
+	x.freeIDs = append(x.freeIDs, info.id)
 	for cid, p := range info.preds {
 		if !p.indexable() {
 			continue
@@ -313,7 +341,7 @@ func (x *Index) removeLocked(s Sub) {
 			}
 		} else {
 			c, _ := toFloat(p.Value)
-			e := boundEntry{c: c, strict: p.Op == OpGT || p.Op == OpLT, sub: s, cid: cid}
+			e := boundEntry{c: c, strict: p.Op == OpGT || p.Op == OpLT, sub: s, cid: cid, id: info.id}
 			if p.Op == OpGT || p.Op == OpGE {
 				ai.lower.Delete(e)
 			} else {

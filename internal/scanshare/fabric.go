@@ -8,12 +8,15 @@
 // with their table needs (device type, attribute set, predicates) and an
 // epoch; subscriptions with compatible EVERY clauses are grouped into epoch
 // cohorts that tick together. Each tick scans every needed device type once
-// with the union of the subscribers' attribute sets, routes the scanned
-// tuples through a per-type predicate index (internal/match) so each tuple
-// reaches only the queries whose indexable predicates it satisfies, and
-// fans the per-query batches out over non-blocking buffered channels — a
-// slow query drops epochs rather than stalling the fabric, the same
-// results-hub discipline as the engine's outcome log.
+// — producing one columnar comm.Batch with the union of the subscribers'
+// attribute sets — routes the whole batch through a per-type predicate
+// index (internal/match.MatchBatch) so each row reaches only the queries
+// whose indexable predicates it satisfies, and fans out TableViews: row
+// selections over the shared batch (reference-counted, zero tuple copies)
+// with a per-subscription attribute projection. Delivery is over
+// non-blocking buffered channels — a slow query drops epochs rather than
+// stalling the fabric, the same results-hub discipline as the engine's
+// outcome log.
 //
 // Epoch alignment: a subscription with epoch E joins an existing cohort
 // with base B when E is an integer multiple of B (choosing the largest
@@ -41,9 +44,10 @@ import (
 	"aorta/internal/vclock"
 )
 
-// ScanFunc materializes the virtual table of one device type: one tuple
-// per reachable device, restricted to attrs.
-type ScanFunc func(ctx context.Context, deviceType string, attrs []string) ([]comm.Tuple, error)
+// ScanFunc materializes the virtual table of one device type as one
+// columnar batch: one row per reachable device, restricted to attrs. The
+// fabric takes over the caller reference of the returned batch.
+type ScanFunc func(ctx context.Context, deviceType string, attrs []string) (*comm.Batch, error)
 
 // TableSpec is one FROM-table need of a subscribing query.
 type TableSpec struct {
@@ -60,19 +64,91 @@ type TableSpec struct {
 	Preds []match.Predicate
 }
 
-// Batch is one epoch's delivery to one subscription: the scanned tuples of
-// each of its tables that passed predicate routing.
+// TableView is one table's routed rows in a delivered batch: a selection
+// over the epoch's shared columnar scan batch. The backing batch is shared
+// by every subscriber of the device type; the view holds one reference,
+// released by Batch.Release.
+type TableView struct {
+	// Batch is the shared columnar scan of the device type. Read-only.
+	Batch *comm.Batch
+	// Rows are the batch rows routed to this subscription, ascending; nil
+	// means every row.
+	Rows []int32
+	// Attrs is the subscription's attribute projection for materialized
+	// tuples; nil means every batch column.
+	Attrs []string
+}
+
+// Len returns the number of routed rows.
+func (v TableView) Len() int {
+	if v.Rows != nil {
+		return len(v.Rows)
+	}
+	if v.Batch == nil {
+		return 0
+	}
+	return v.Batch.Len()
+}
+
+// RowIndex maps view position i to its physical batch row.
+func (v TableView) RowIndex(i int) int {
+	if v.Rows != nil {
+		return int(v.Rows[i])
+	}
+	return i
+}
+
+// Row materializes the view's i-th routed row as a Tuple, projected to the
+// view's attribute set.
+func (v TableView) Row(i int) comm.Tuple {
+	r := v.RowIndex(i)
+	if v.Attrs == nil {
+		return v.Batch.Row(r)
+	}
+	t := make(comm.Tuple, len(v.Attrs))
+	for _, a := range v.Attrs {
+		if c := v.Batch.ColByName(a); c != nil {
+			t[a] = c.Value(r)
+		}
+	}
+	return t
+}
+
+// Tuples materializes every routed row — the row-map compatibility view.
+func (v TableView) Tuples() []comm.Tuple {
+	out := make([]comm.Tuple, v.Len())
+	for i := range out {
+		out[i] = v.Row(i)
+	}
+	return out
+}
+
+// Batch is one epoch's delivery to one subscription: a view over each of
+// its tables' shared scan batches, restricted to the rows that passed
+// predicate routing. The consumer must call Release when done with it —
+// the views pin the epoch's pooled scan batches until then.
 type Batch struct {
 	// Seq is the cohort's tick counter at scan time.
 	Seq int64
 	// At is the scan time on the fabric clock.
 	At time.Time
-	// Tables maps the subscription's aliases to their routed tuples; an
-	// alias with no surviving tuples is simply absent.
-	Tables map[string][]comm.Tuple
+	// Tables maps the subscription's aliases to their routed views; an
+	// alias with no surviving rows is simply absent.
+	Tables map[string]TableView
 	// Err carries a scan failure for the epoch (unknown catalog or
 	// attribute — compile-checked upstream, so effectively never).
 	Err error
+}
+
+// Release drops the batch's references on the shared scan batches. Call
+// exactly once per delivered batch, after the tables are consumed.
+func (b *Batch) Release() {
+	for _, v := range b.Tables {
+		if v.Batch != nil {
+			v.Batch.Release()
+		}
+	}
+	b.Tables = nil
 }
 
 // Subscription is one query's tap into the fabric.
@@ -295,20 +371,21 @@ func (f *Fabric) runCohort(ctx context.Context, c *cohort) {
 }
 
 // tick runs one epoch: snapshot the due subscribers, scan each needed
-// device type once with the union attribute set, route tuples through the
-// predicate index, and fan batches out without blocking.
+// device type once into a shared columnar batch with the union attribute
+// set, route the batch through the predicate index, and fan out retained
+// row views without blocking.
 func (f *Fabric) tick(ctx context.Context, c *cohort) {
 	seq := c.seq.Add(1)
 
 	f.mu.Lock()
-	var due []*subState
+	due := make(map[int]*subState)
 	needed := make(map[string]map[string]bool) // type → attr union
 	demand := make(map[string]int)             // type → due subscriber-tables
 	for _, s := range c.subs {
 		if seq%s.stride != 0 {
 			continue
 		}
-		due = append(due, s)
+		due[s.id] = s
 		for _, t := range s.tables {
 			set := needed[t.DeviceType]
 			if set == nil {
@@ -333,8 +410,8 @@ func (f *Fabric) tick(ctx context.Context, c *cohort) {
 
 	now := f.clk.Now()
 	batches := make(map[int]*Batch, len(due))
-	for _, s := range due {
-		batches[s.id] = &Batch{Seq: seq, At: now, Tables: make(map[string][]comm.Tuple)}
+	for id := range due {
+		batches[id] = &Batch{Seq: seq, At: now, Tables: make(map[string]TableView)}
 	}
 
 	types := make([]string, 0, len(needed))
@@ -349,7 +426,7 @@ func (f *Fabric) tick(ctx context.Context, c *cohort) {
 		}
 		sort.Strings(attrs)
 
-		tuples, err := f.scan(ctx, dt, attrs)
+		scan, err := f.scan(ctx, dt, attrs)
 		f.m.typeScans.Add(1)
 		f.m.scansCoalesced.Add(int64(demand[dt] - 1))
 		if err != nil {
@@ -361,29 +438,40 @@ func (f *Fabric) tick(ctx context.Context, c *cohort) {
 			}
 			continue
 		}
-		f.m.deviceScans.Add(int64(len(tuples)))
+		f.m.deviceScans.Add(int64(scan.Len()))
 		idx := indexes[dt]
 		if idx == nil {
+			scan.Release()
 			continue
 		}
-		for _, t := range tuples {
-			for _, sub := range idx.Match(t) {
-				b, ok := batches[sub.ID]
-				if !ok {
-					continue // other cohort, or not due this tick
-				}
-				b.Tables[sub.Tag] = append(b.Tables[sub.Tag], t)
-				f.m.tuplesFanned.Add(1)
+		for _, sel := range idx.MatchBatch(scan) {
+			b, ok := batches[sel.Sub.ID]
+			if !ok {
+				continue // other cohort, or not due this tick
 			}
+			view := TableView{Batch: scan, Rows: sel.Rows}
+			if s := due[sel.Sub.ID]; s != nil {
+				for _, t := range s.tables {
+					if t.Alias == sel.Sub.Tag {
+						view.Attrs = t.Attrs
+						break
+					}
+				}
+			}
+			scan.Retain()
+			b.Tables[sel.Sub.Tag] = view
+			f.m.tuplesFanned.Add(int64(view.Len()))
 		}
+		scan.Release() // the fabric's own creator reference
 	}
 
-	for _, s := range due {
+	for id, s := range due {
 		select {
-		case s.ch <- *batches[s.id]:
+		case s.ch <- *batches[id]:
 			f.m.delivered.Add(1)
 		default:
 			f.m.dropped.Add(1)
+			batches[id].Release() // nobody will consume the views
 		}
 	}
 }

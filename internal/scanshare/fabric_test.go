@@ -27,7 +27,7 @@ func newTestRig(devices int) *testRig {
 		clk:       vclock.NewManual(time.Unix(1_000_000, 0)),
 		typeScans: map[string]*atomic.Int64{},
 	}
-	r.fabric = New(r.clk, func(_ context.Context, deviceType string, _ []string) ([]comm.Tuple, error) {
+	r.fabric = New(r.clk, func(_ context.Context, deviceType string, _ []string) (*comm.Batch, error) {
 		r.scans.Add(1)
 		if c, ok := r.typeScans[deviceType]; ok {
 			c.Add(1)
@@ -39,7 +39,7 @@ func newTestRig(devices int) *testRig {
 				"accel_x": float64(i * 100),
 			}
 		}
-		return tuples, nil
+		return comm.BatchFromTuples([]string{"id", "accel_x"}, tuples), nil
 	})
 	return r
 }
@@ -99,12 +99,13 @@ func TestScanCountIndependentOfQueries(t *testing.T) {
 	r.fire(t, time.Second)
 	for i, sub := range subs {
 		b := recvBatch(t, sub)
-		if got := len(b.Tables["s"]); got != devices {
+		if got := b.Tables["s"].Len(); got != devices {
 			t.Fatalf("sub %d: batch carries %d tuples, want %d", i, got, devices)
 		}
 		if b.Seq != 1 {
 			t.Fatalf("sub %d: Seq = %d, want 1", i, b.Seq)
 		}
+		b.Release()
 	}
 
 	if got := r.scans.Load(); got != 1 {
@@ -138,19 +139,24 @@ func TestPredicateRouting(t *testing.T) {
 	defer r.fabric.Stop()
 
 	r.fire(t, time.Second)
-	if got := len(recvBatch(t, hot).Tables["s"]); got != 4 {
+	hb := recvBatch(t, hot)
+	if got := hb.Tables["s"].Len(); got != 4 {
 		t.Errorf("accel_x > 500 routed %d tuples, want 4", got)
 	}
+	hb.Release()
 	b := recvBatch(t, one)
-	if got := len(b.Tables["s"]); got != 1 {
+	if got := b.Tables["s"].Len(); got != 1 {
 		t.Fatalf("id = mote-3 routed %d tuples, want 1", got)
 	}
-	if id := b.Tables["s"][0]["id"]; id != "mote-3" {
+	if id := b.Tables["s"].Row(0)["id"]; id != "mote-3" {
 		t.Errorf("routed tuple id = %v, want mote-3", id)
 	}
-	if got := len(recvBatch(t, all).Tables["s"]); got != 10 {
+	b.Release()
+	ab := recvBatch(t, all)
+	if got := ab.Tables["s"].Len(); got != 10 {
 		t.Errorf("residual subscription routed %d tuples, want all 10", got)
 	}
+	ab.Release()
 
 	m := r.fabric.Metrics()
 	if m.IndexProbes != 10 {
@@ -311,10 +317,11 @@ func TestUnsubscribeMidEpoch(t *testing.T) {
 	clk := vclock.NewManual(time.Unix(1_000_000, 0))
 	entered := make(chan struct{})
 	release := make(chan struct{})
-	fabric := New(clk, func(context.Context, string, []string) ([]comm.Tuple, error) {
+	fabric := New(clk, func(context.Context, string, []string) (*comm.Batch, error) {
 		entered <- struct{}{}
 		<-release
-		return []comm.Tuple{{"id": "mote-0", "accel_x": 100.0}}, nil
+		return comm.BatchFromTuples([]string{"id", "accel_x"},
+			[]comm.Tuple{{"id": "mote-0", "accel_x": 100.0}}), nil
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -344,9 +351,11 @@ func TestUnsubscribeMidEpoch(t *testing.T) {
 
 	// The surviving subscription still gets its batch; the fabric did not
 	// stall on the departed one.
-	if got := len(recvBatch(t, keep).Tables["s"]); got != 1 {
+	kb := recvBatch(t, keep)
+	if got := kb.Tables["s"].Len(); got != 1 {
 		t.Fatalf("surviving sub received %d tuples, want 1", got)
 	}
+	kb.Release()
 
 	// No leaks: the subscription, its index entries, and — once the last
 	// member leaves — the cohort itself are gone.
@@ -416,11 +425,11 @@ func TestScanErrorPropagates(t *testing.T) {
 	clk := vclock.NewManual(time.Unix(1_000_000, 0))
 	boom := errors.New("catalog gone")
 	var fail atomic.Bool
-	fabric := New(clk, func(context.Context, string, []string) ([]comm.Tuple, error) {
+	fabric := New(clk, func(context.Context, string, []string) (*comm.Batch, error) {
 		if fail.Load() {
 			return nil, boom
 		}
-		return []comm.Tuple{{"id": "mote-0"}}, nil
+		return comm.BatchFromTuples([]string{"id"}, []comm.Tuple{{"id": "mote-0"}}), nil
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -443,8 +452,10 @@ func TestScanErrorPropagates(t *testing.T) {
 	fail.Store(false)
 	awaitWaiters(t, clk, 1)
 	clk.Advance(time.Second)
-	if b := recvBatch(t, sub); b.Err != nil || len(b.Tables["s"]) != 1 {
+	if b := recvBatch(t, sub); b.Err != nil || b.Tables["s"].Len() != 1 {
 		t.Fatalf("cohort did not recover after a scan error: %+v", b)
+	} else {
+		b.Release()
 	}
 }
 
@@ -472,8 +483,10 @@ func TestStopAndRestart(t *testing.T) {
 	r.fabric.Start(ctx)
 	defer r.fabric.Stop()
 	r.fire(t, time.Second)
-	if b := recvBatch(t, sub); len(b.Tables["s"]) != 1 {
+	if b := recvBatch(t, sub); b.Tables["s"].Len() != 1 {
 		t.Fatalf("no delivery after restart: %+v", b)
+	} else {
+		b.Release()
 	}
 }
 
@@ -526,4 +539,40 @@ func BenchmarkTick100Subs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r.fabric.tick(ctx, c)
 	}
+}
+
+// BenchmarkScanFanout compares fan-out strategies for one 50-device scan
+// delivered to 100 subscriptions: before copies the scan into per-query
+// tuple slices (the pre-columnar fabric), after hands each subscription a
+// refcounted column view over the shared batch.
+func BenchmarkScanFanout(b *testing.B) {
+	const devices, queries = 50, 100
+	schema := comm.NewSchema([]string{"id", "accel_x"}, []comm.Kind{comm.KindString, comm.KindFloat})
+	scan := comm.NewBatch(schema)
+	for i := 0; i < devices; i++ {
+		scan.Append([]any{fmt.Sprintf("mote-%d", i), float64(i * 100)})
+	}
+	attrs := []string{"id", "accel_x"}
+
+	b.Run("before", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < queries; q++ {
+				tuples := make([]comm.Tuple, devices)
+				for r := 0; r < devices; r++ {
+					tuples[r] = scan.Row(r)
+				}
+				_ = tuples
+			}
+		}
+	})
+	b.Run("after", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for q := 0; q < queries; q++ {
+				scan.Retain()
+				v := TableView{Batch: scan, Attrs: attrs}
+				_ = v
+				scan.Release()
+			}
+		}
+	})
 }
