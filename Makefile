@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-record bench-drift churn-smoke qscale-smoke crashrec-smoke clean
+.PHONY: all build vet test race bench bench-smoke bench-record bench-drift frontdoor-smoke bench-record-frontdoor bench-drift-frontdoor churn-smoke qscale-smoke crashrec-smoke clean
 
 # The columnar hot-path benchmarks: each has /before (row-map era) and
 # /after (columnar) variants so the committed record carries its own
 # baseline.
-BENCH_PKGS = ./internal/match/ ./internal/core/ ./internal/scanshare/
+BENCH_PKGS = ./internal/match/ ./internal/core/ ./internal/scanshare/ ./internal/frontdoor/
 BENCH_RE   = 'RoutePath|PredicateCompile|ScanFanout'
+# The front-door pipelining benchmark keeps its own record: its numbers
+# move with scheduler behaviour, not routing code.
+FD_BENCH_RE = 'FrontdoorWindow'
 
 all: build vet test
 
@@ -41,6 +44,11 @@ crashrec-smoke:
 qscale-smoke:
 	$(GO) run ./cmd/aortabench -exp qscale
 
+# A short front-door study under the race detector: concurrent pipelined
+# clients against the real door over simulated high-latency links.
+frontdoor-smoke:
+	$(GO) run -race ./cmd/aortabench -exp frontdoor -clients 60
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
@@ -61,6 +69,15 @@ MAX_DRIFT_PCT ?= 0
 bench-drift:
 	$(GO) test -run xxx -bench $(BENCH_RE) -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -drift BENCH_routing.json -max $(MAX_DRIFT_PCT)
+
+# Re-measure the front-door window benchmark and rewrite its record.
+bench-record-frontdoor:
+	$(GO) test -run xxx -bench $(FD_BENCH_RE) -benchmem ./internal/frontdoor/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_frontdoor.json
+
+bench-drift-frontdoor:
+	$(GO) test -run xxx -bench $(FD_BENCH_RE) -benchmem ./internal/frontdoor/ \
+		| $(GO) run ./cmd/benchjson -drift BENCH_frontdoor.json -max $(MAX_DRIFT_PCT)
 
 clean:
 	$(GO) clean ./...

@@ -19,20 +19,21 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|qscale|crashrec|all")
+		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|qscale|crashrec|frontdoor|all")
 		runs    = flag.Int("runs", 10, "independent runs per data point (paper: 10)")
 		seed    = flag.Int64("seed", 2005, "random seed")
 		cameras = flag.Int("cameras", 10, "camera count for the scheduling studies (paper: 10)")
 		minutes = flag.Int("minutes", 10, "virtual minutes for the sync study (paper ran continuously)")
+		clients = flag.Int("clients", 0, "concurrent clients for the frontdoor study (0 = default 120)")
 	)
 	flag.Parse()
-	if err := run(*exp, *runs, *seed, *cameras, *minutes); err != nil {
+	if err := run(*exp, *runs, *seed, *cameras, *minutes, *clients); err != nil {
 		fmt.Fprintln(os.Stderr, "aortabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, runs int, seed int64, cameras, minutes int) error {
+func run(exp string, runs int, seed int64, cameras, minutes, clients int) error {
 	cfg := experiments.DefaultConfig()
 	cfg.Runs = runs
 	cfg.Seed = seed
@@ -186,8 +187,22 @@ func run(exp string, runs int, seed int64, cameras, minutes int) error {
 		experiments.PrintCrashRecStudy(out, rcfg, res)
 		fmt.Fprintln(out)
 	}
+	if all || wanted["frontdoor"] {
+		ran = true
+		fcfg := experiments.DefaultFrontdoorConfig()
+		fcfg.Seed = seed
+		if clients > 0 {
+			fcfg.Clients = clients
+		}
+		serial, pipelined, err := experiments.FrontdoorStudy(fcfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFrontdoorStudy(out, fcfg, serial, pipelined)
+		fmt.Fprintln(out)
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|qscale|crashrec|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|qscale|crashrec|frontdoor|all)", exp)
 	}
 	return nil
 }

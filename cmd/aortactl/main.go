@@ -1,9 +1,17 @@
 // Command aortactl is the interactive client for cmd/aortad: a small SQL
 // shell over the daemon's line protocol.
 //
-//	aortactl                          # interactive shell
-//	aortactl -e 'SHOW DEVICES'        # one-shot statement
-//	echo 'SHOW QUERIES' | aortactl    # piped statements
+//	aortactl                               # interactive shell
+//	aortactl -e 'SHOW DEVICES'             # one-shot statement
+//	aortactl -e 'SHOW DEVICES; SHOW ACTIONS' -pipeline 8
+//	                                       # pipelined: ';'-separated
+//	                                       # statements tagged #<seq> and
+//	                                       # kept in flight concurrently
+//	echo 'SHOW QUERIES' | aortactl         # piped statements
+//
+// With -pipeline N, statements are sent tagged ("#<seq> <stmt>") with up
+// to N outstanding at once; responses may arrive out of order and are
+// reordered before printing, so output order always matches input order.
 package main
 
 import (
@@ -21,17 +29,18 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7730", "aortad address")
-		stmt = flag.String("e", "", "execute one statement and exit")
+		addr     = flag.String("addr", "127.0.0.1:7730", "aortad address")
+		stmt     = flag.String("e", "", "execute one statement (or several, ';'-separated) and exit")
+		pipeline = flag.Int("pipeline", 0, "send statements tagged with up to N in flight (0 = serial)")
 	)
 	flag.Parse()
-	if err := run(*addr, *stmt); err != nil {
+	if err := run(*addr, *stmt, *pipeline); err != nil {
 		fmt.Fprintln(os.Stderr, "aortactl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, oneShot string) error {
+func run(addr, oneShot string, pipeline int) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("connect to aortad at %s: %w", addr, err)
@@ -55,7 +64,16 @@ func run(addr, oneShot string) error {
 	}
 
 	if oneShot != "" {
-		return exec(oneShot)
+		stmts := splitStatements(oneShot)
+		if pipeline > 0 {
+			return execPipelined(conn, server, os.Stdout, stmts, pipeline)
+		}
+		for _, s := range stmts {
+			if err := exec(s); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	interactive := isTerminal()
@@ -81,6 +99,90 @@ func run(addr, oneShot string) error {
 			return err
 		}
 	}
+}
+
+// splitStatements splits a -e argument on ';', dropping empties, so one
+// flag can carry a whole pipelined batch.
+func splitStatements(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// execPipelined sends stmts tagged "#<seq>" with up to window in flight,
+// reorders responses by tag, and prints them in request order. Control
+// (backslash) statements are sent tagged too: the daemon echoes the tag,
+// so they pipeline like everything else.
+func execPipelined(conn io.Writer, server *bufio.Scanner, w io.Writer, stmts []string, window int) error {
+	type frame struct {
+		data []byte
+		err  error
+	}
+	pending := make(map[string][]byte, window)
+	frames := make(chan frame, window)
+	go func() {
+		for server.Scan() {
+			data := make([]byte, len(server.Bytes()))
+			copy(data, server.Bytes())
+			frames <- frame{data: data}
+		}
+		err := server.Err()
+		if err == nil {
+			err = io.EOF
+		}
+		frames <- frame{err: err}
+	}()
+
+	next := 0 // next response sequence to print
+	recv := func() error {
+		f := <-frames
+		if f.err != nil {
+			return f.err
+		}
+		var tag struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(f.data, &tag); err != nil || tag.ID == "" {
+			// Untagged frame (e.g. a connection-level error): print as-is.
+			printResponse(w, f.data)
+			return nil
+		}
+		pending[tag.ID] = f.data
+		for {
+			data, ok := pending[fmt.Sprintf("s%d", next)]
+			if !ok {
+				return nil
+			}
+			delete(pending, fmt.Sprintf("s%d", next))
+			printResponse(w, data)
+			next++
+		}
+	}
+
+	inFlight := 0
+	for i, stmt := range stmts {
+		for inFlight >= window {
+			if err := recv(); err != nil {
+				return err
+			}
+			inFlight--
+		}
+		if _, err := fmt.Fprintf(conn, "#s%d %s\n", i, stmt); err != nil {
+			return err
+		}
+		inFlight++
+	}
+	for inFlight > 0 {
+		if err := recv(); err != nil {
+			return err
+		}
+		inFlight--
+	}
+	return nil
 }
 
 // printResponse pretty-prints one JSON response line.
@@ -153,6 +255,9 @@ func printResponse(w io.Writer, data []byte) {
 		}
 	case resp.Message != "":
 		fmt.Fprintln(w, resp.Message)
+	case !resp.OK:
+		// A failure with no error text must still read as a failure.
+		fmt.Fprintln(w, "error: (no error message)")
 	default:
 		fmt.Fprintln(w, "ok")
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -71,5 +73,68 @@ func TestPrintTableMissingCells(t *testing.T) {
 	out := render(t, `{"ok":true,"rows":[{"a":1},{"b":2}]}`)
 	if !strings.Contains(out, "(2 rows)") {
 		t.Errorf("out = %q", out)
+	}
+}
+
+// TestPrintResponseFailureWithoutMessage: an ok:false frame with no
+// error text must never print "ok" — that is how the phantom-success
+// \stimulate bug stayed hidden.
+func TestPrintResponseFailureWithoutMessage(t *testing.T) {
+	out := strings.TrimSpace(render(t, `{"ok":false}`))
+	if !strings.HasPrefix(out, "error:") {
+		t.Fatalf("ok:false printed %q, want an error line", out)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	got := splitStatements(" SHOW DEVICES ;; SHOW ACTIONS ; ")
+	if len(got) != 2 || got[0] != "SHOW DEVICES" || got[1] != "SHOW ACTIONS" {
+		t.Fatalf("splitStatements = %q", got)
+	}
+	if got := splitStatements("SELECT 1"); len(got) != 1 || got[0] != "SELECT 1" {
+		t.Fatalf("single statement = %q", got)
+	}
+}
+
+// TestExecPipelinedReorders feeds responses out of order and checks the
+// client both tags requests sequentially and prints output in request
+// order.
+func TestExecPipelinedReorders(t *testing.T) {
+	// Server responses arrive s2, s0, s1.
+	responses := strings.Join([]string{
+		`{"id":"s2","ok":true,"message":"third"}`,
+		`{"id":"s0","ok":true,"message":"first"}`,
+		`{"id":"s1","ok":true,"message":"second"}`,
+	}, "\n") + "\n"
+	server := bufio.NewScanner(strings.NewReader(responses))
+
+	var sent, out bytes.Buffer
+	stmts := []string{"SHOW A", "SHOW B", "SHOW C"}
+	if err := execPipelined(&sent, server, &out, stmts, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	wantSent := "#s0 SHOW A\n#s1 SHOW B\n#s2 SHOW C\n"
+	if sent.String() != wantSent {
+		t.Fatalf("sent %q, want %q", sent.String(), wantSent)
+	}
+	wantOut := "first\nsecond\nthird\n"
+	if out.String() != wantOut {
+		t.Fatalf("printed %q, want %q", out.String(), wantOut)
+	}
+}
+
+// TestExecPipelinedWindow: with window 1 the client must alternate
+// write/read, so tags and output stay strictly in order.
+func TestExecPipelinedWindow(t *testing.T) {
+	responses := `{"id":"s0","ok":true,"message":"a"}` + "\n" +
+		`{"id":"s1","ok":true,"message":"b"}` + "\n"
+	server := bufio.NewScanner(strings.NewReader(responses))
+	var sent, out bytes.Buffer
+	if err := execPipelined(&sent, server, &out, []string{"X", "Y"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "a\nb\n" {
+		t.Fatalf("printed %q", out.String())
 	}
 }

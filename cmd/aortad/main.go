@@ -2,6 +2,16 @@
 // accepting extended-SQL statements over TCP (one statement per line,
 // one JSON response per line). Use cmd/aortactl as the client.
 //
+// The line protocol is pipelined: a statement may carry an optional
+// request tag ("#<id> <stmt>"), in which case it executes concurrently
+// with other tagged statements (bounded by the per-connection window and
+// the shared worker pool) and its response frame echoes the id. Bare
+// lines keep the legacy one-at-a-time in-order semantics. Ad-hoc
+// SELECTs are admission-controlled: rate limited per connection
+// (-adhoc-rate) and shed with a typed "overloaded" error when the pool
+// is saturated, so continuous-query management is never starved. See
+// internal/frontdoor.
+//
 // Two farm modes:
 //
 //   - built-in simulated lab (default): -cameras/-motes/-phones devices on
@@ -18,9 +28,7 @@
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +46,7 @@ import (
 
 	"aorta/internal/comm"
 	"aorta/internal/core"
+	"aorta/internal/frontdoor"
 	"aorta/internal/geo"
 	"aorta/internal/lab"
 	"aorta/internal/liveness"
@@ -58,6 +67,10 @@ func main() {
 	flag.Float64Var(&opts.scale, "scale", 1, "built-in lab: clock scale")
 	flag.StringVar(&opts.dataDir, "data", "", "durable state directory (write-ahead journal); empty = in-memory only")
 	flag.StringVar(&opts.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = off")
+	flag.IntVar(&opts.workers, "workers", 0, "statement worker pool size (0 = 2x GOMAXPROCS)")
+	flag.IntVar(&opts.window, "window", 0, "per-connection in-flight window for tagged statements (0 = default 32)")
+	flag.Float64Var(&opts.adhocRate, "adhoc-rate", 0, "per-connection ad-hoc SELECT rate limit per second (0 = unlimited)")
+	flag.Float64Var(&opts.adhocBurst, "adhoc-burst", 0, "ad-hoc rate limit burst (0 = max(1, adhoc-rate))")
 	flag.BoolVar(&opts.verbose, "v", false, "log engine events to stderr")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -81,8 +94,15 @@ type options struct {
 	dataDir string
 	// pprof, when set, serves net/http/pprof on that address so routing
 	// hot paths can be profiled against a live daemon.
-	pprof   string
-	verbose bool
+	pprof string
+	// workers/window/adhocRate/adhocBurst size the front door: the shared
+	// statement pool, the per-connection pipelining window, and the
+	// ad-hoc SELECT admission policy.
+	workers    int
+	window     int
+	adhocRate  float64
+	adhocBurst float64
+	verbose    bool
 	// shutdown delivers the stop request; nil means install the real
 	// SIGINT/SIGTERM handler.
 	shutdown chan os.Signal
@@ -97,6 +117,8 @@ type options struct {
 type server struct {
 	engine *core.Engine
 	lab    *lab.Lab // nil in external-farm mode
+	door   *frontdoor.Door
+	logger *slog.Logger
 }
 
 func run(opts options) error {
@@ -191,6 +213,20 @@ func run(opts options) error {
 	}
 	defer srv.engine.Stop()
 
+	// The front door owns all client-path concurrency: its pool is the
+	// single bound on statement execution. Deferred after engine Stop
+	// registration (LIFO) so the drained pool closes before the engine.
+	srv.logger = logger
+	srv.door = frontdoor.New(frontdoor.Config{
+		Workers:     opts.workers,
+		Window:      opts.window,
+		AdHocPerSec: opts.adhocRate,
+		AdHocBurst:  opts.adhocBurst,
+		Clock:       vclock.Real{},
+		Logger:      logger,
+	})
+	defer srv.door.Close()
+
 	// The pprof endpoint rides the side import's DefaultServeMux
 	// registration; binding the listener here (rather than inside the
 	// goroutine) surfaces a bad -pprof address as a startup error.
@@ -270,6 +306,9 @@ func run(opts options) error {
 
 // response is the JSON reply to one statement.
 type response struct {
+	// ID echoes the request tag of a pipelined ("#<id> ...") statement so
+	// the client can match out-of-order responses; empty for bare lines.
+	ID      string                `json:"id,omitempty"`
 	OK      bool                  `json:"ok"`
 	Error   string                `json:"error,omitempty"`
 	Message string                `json:"message,omitempty"`
@@ -285,7 +324,10 @@ type response struct {
 	ScanGroups []scanshare.ShareInfo `json:"scan_groups,omitempty"`
 	// Liveness is the failure detector's per-device health view.
 	Liveness map[string]liveness.DeviceHealth `json:"liveness,omitempty"`
-	Photos   []photoInfo                      `json:"photos,omitempty"`
+	// Frontdoor is the admission-control view: shed/rate-limited counts,
+	// pool occupancy, and the pipelining window.
+	Frontdoor *frontdoor.MetricsSnapshot `json:"frontdoor,omitempty"`
+	Photos    []photoInfo                `json:"photos,omitempty"`
 }
 
 type photoInfo struct {
@@ -296,37 +338,30 @@ type photoInfo struct {
 }
 
 func (s *server) handle(ctx context.Context, conn net.Conn) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	enc := json.NewEncoder(conn)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "\\") {
-			if line == "\\quit" {
-				return
-			}
-			_ = enc.Encode(s.command(line))
-			continue
-		}
-		resp := response{OK: true}
-		res, err := s.engine.Exec(ctx, line)
-		if err != nil {
-			resp.OK = false
-			resp.Error = err.Error()
-		} else {
-			resp.Message = res.Message
-			resp.Rows = res.Rows
-			resp.Queries = res.Queries
-			resp.Names = res.Names
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
+	s.door.Serve(ctx, conn, s.execLine)
+}
+
+// execLine runs one admitted statement for the front door. id is the
+// request tag ("" for bare lines); the returned value is the response
+// frame the door's per-connection writer will encode.
+func (s *server) execLine(ctx context.Context, id, line string) any {
+	if strings.HasPrefix(line, "\\") {
+		resp := s.command(line)
+		resp.ID = id
+		return resp
 	}
+	resp := &response{ID: id, OK: true}
+	res, err := s.engine.Exec(ctx, line)
+	if err != nil {
+		resp.OK = false
+		resp.Error = err.Error()
+	} else {
+		resp.Message = res.Message
+		resp.Rows = res.Rows
+		resp.Queries = res.Queries
+		resp.Names = res.Names
+	}
+	return resp
 }
 
 // command handles backslash commands.
@@ -337,11 +372,16 @@ func (s *server) command(line string) *response {
 		m := s.engine.Metrics()
 		cm := s.engine.CommMetrics()
 		sm := s.engine.ScanMetrics()
-		return &response{
+		resp := &response{
 			OK: true, Metrics: &m, Comm: &cm, Scanshare: &sm,
 			ScanGroups: s.engine.ScanSharing(),
 			Liveness:   s.engine.LivenessSnapshot(),
 		}
+		if s.door != nil {
+			fm := s.door.Metrics()
+			resp.Frontdoor = &fm
+		}
+		return resp
 	case "\\photos":
 		var out []photoInfo
 		for _, p := range s.engine.Photos() {
@@ -364,7 +404,9 @@ func (s *server) command(line string) *response {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return &response{Error: "usage: \\stimulate <mote-index> <magnitude> <seconds>"}
 		}
-		s.lab.StimulateMote(idx, mag, time.Duration(secs*float64(time.Second)))
+		if !s.lab.StimulateMote(idx, mag, time.Duration(secs*float64(time.Second))) {
+			return &response{Error: fmt.Sprintf("unknown mote index %d (have %d motes)", idx, len(s.lab.Motes))}
+		}
 		return &response{OK: true, Message: fmt.Sprintf("mote %d stimulated at %.0f mg for %.0fs", idx, mag, secs)}
 	default:
 		return &response{Error: "unknown command " + fields[0]}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"aorta/internal/frontdoor"
 	"aorta/internal/lab"
 	"aorta/internal/wal"
 )
@@ -31,7 +33,8 @@ func startServer(t *testing.T) (net.Conn, *server) {
 	if err := l.Engine.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	srv := &server{engine: l.Engine, lab: l}
+	srv := &server{engine: l.Engine, lab: l, door: frontdoor.New(frontdoor.Config{})}
+	t.Cleanup(srv.door.Close)
 	client, serverConn := net.Pipe()
 	done := make(chan struct{})
 	go func() {
@@ -329,6 +332,112 @@ func TestDaemonPprofEndpoint(t *testing.T) {
 	// A bad pprof address must fail startup, not be discovered later.
 	if err := run(options{listen: "127.0.0.1:0", pprof: "256.0.0.1:0"}); err == nil {
 		t.Fatal("bad -pprof address did not fail startup")
+	}
+}
+
+// TestProtocolTaggedPipelining drives tagged statements concurrently
+// over the real line protocol and matches responses by echoed ID.
+func TestProtocolTaggedPipelining(t *testing.T) {
+	conn, _ := startServer(t)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		stmt := "SHOW DEVICES"
+		if i%2 == 1 {
+			stmt = "SELECT s.id FROM sensor s WHERE s.temp > -100"
+		}
+		if _, err := fmt.Fprintf(conn, "#q%d %s\n", i, stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[string]response, n)
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			t.Fatalf("response %d missing: %v", i, sc.Err())
+		}
+		var resp response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response %q: %v", sc.Text(), err)
+		}
+		if resp.ID == "" {
+			t.Fatalf("tagged response lost its id: %+v", resp)
+		}
+		if _, dup := seen[resp.ID]; dup {
+			t.Fatalf("duplicate response id %q", resp.ID)
+		}
+		seen[resp.ID] = resp
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("q%d", i)
+		resp, ok := seen[id]
+		if !ok {
+			t.Fatalf("no response for %s", id)
+		}
+		if !resp.OK {
+			t.Fatalf("%s failed: %+v", id, resp)
+		}
+		if i%2 == 0 && len(resp.Names) != 6 {
+			t.Fatalf("%s SHOW DEVICES = %+v", id, resp)
+		}
+		if i%2 == 1 && len(resp.Rows) != 3 {
+			t.Fatalf("%s select = %+v", id, resp)
+		}
+	}
+}
+
+// TestStimulateUnknownMote: an out-of-range mote index must be an
+// error, not a phantom success.
+func TestStimulateUnknownMote(t *testing.T) {
+	conn, _ := startServer(t)
+	sc := bufio.NewScanner(conn)
+	resp := exchange(t, conn, sc, `\stimulate 99 900 30`)
+	if resp.OK {
+		t.Fatalf("stimulating mote 99 of 3 reported success: %+v", resp)
+	}
+	if !strings.Contains(resp.Error, "unknown mote index 99") || !strings.Contains(resp.Error, "3 motes") {
+		t.Fatalf("stimulate error = %q", resp.Error)
+	}
+	// Negative index too.
+	resp = exchange(t, conn, sc, `\stimulate -1 900 30`)
+	if resp.OK || !strings.Contains(resp.Error, "unknown mote index -1") {
+		t.Fatalf("stimulate -1 = %+v", resp)
+	}
+}
+
+// TestProtocolOversizedLine: a statement over the line limit must get a
+// typed JSON error frame before the server closes the connection —
+// not a silent drop.
+func TestProtocolOversizedLine(t *testing.T) {
+	conn, _ := startServer(t)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	// Write from a goroutine: net.Pipe writes are synchronous and the
+	// server stops reading mid-line once the scanner passes its limit, so
+	// the tail of this write only unblocks when the server closes the pipe.
+	huge := strings.Repeat("x", 2*1024*1024)
+	go func() {
+		_, _ = conn.Write([]byte("SELECT " + huge + "\n"))
+	}()
+	if !sc.Scan() {
+		t.Fatalf("no error frame for oversized statement: %v", sc.Err())
+	}
+	var frame frontdoor.ErrorResponse
+	if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+		t.Fatalf("bad frame %q: %v", sc.Text(), err)
+	}
+	if frame.OK || frame.Code != frontdoor.CodeTooLong {
+		t.Fatalf("oversized frame = %+v", frame)
+	}
+	// The server closes the connection after the error frame.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
 	}
 }
 

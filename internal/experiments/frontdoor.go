@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"aorta/internal/frontdoor"
+	"aorta/internal/netsim"
+	"aorta/internal/vclock"
+)
+
+// FrontdoorConfig sizes the front-door pipelining study: many concurrent
+// clients issuing statements over high-latency simulated links, serial
+// (bare lines, one outstanding statement) versus pipelined (tagged
+// "#<id>" lines, a window of statements in flight). The study runs the
+// real frontdoor.Door and the real line framing; only statement
+// execution is synthetic — a fixed virtual-time service sleep — because
+// under a scaled clock real CPU work would dominate virtual elapsed time
+// and hide the protocol effect being measured.
+type FrontdoorConfig struct {
+	// Clients is the concurrent connection count.
+	Clients int
+	// Statements is how many statements each client issues.
+	Statements int
+	// Window is the pipelined mode's per-connection in-flight cap.
+	Window int
+	// Workers sizes the door's shared pool.
+	Workers int
+	// PropDelay is the link's one-way propagation delay (virtual time);
+	// Jitter widens it uniformly.
+	PropDelay time.Duration
+	Jitter    time.Duration
+	// Service is the synthetic per-statement execution time (virtual).
+	Service time.Duration
+	// ClockScale speeds up virtual time.
+	ClockScale float64
+	// Seed drives link jitter.
+	Seed int64
+}
+
+// DefaultFrontdoorConfig exercises the acceptance point: 100+ concurrent
+// clients over lossy-latency links, where serial clients spend almost
+// all their time waiting on round trips.
+func DefaultFrontdoorConfig() FrontdoorConfig {
+	return FrontdoorConfig{
+		Clients:    120,
+		Statements: 24,
+		Window:     8,
+		Workers:    64,
+		PropDelay:  300 * time.Millisecond,
+		Jitter:     100 * time.Millisecond,
+		Service:    20 * time.Millisecond,
+		ClockScale: 100,
+		Seed:       2005,
+	}
+}
+
+// FrontdoorResult is one mode's aggregate measurements, in virtual time.
+type FrontdoorResult struct {
+	Mode       string        // "serial" or "pipelined"
+	Statements int           // completed statements across all clients
+	Errors     int           // non-OK frames (should be 0)
+	Elapsed    time.Duration // virtual wall time for the whole run
+	Throughput float64       // statements per virtual second
+	// P50/P99/P999 are per-statement send→response latencies.
+	P50, P99, P999 time.Duration
+	// Shed is the door's overload-rejection count (0 in this study: the
+	// pool queue is sized to the offered load).
+	Shed int64
+}
+
+// Speedup is pipelined throughput over serial throughput.
+func FrontdoorSpeedup(serial, pipelined FrontdoorResult) float64 {
+	if serial.Throughput <= 0 {
+		return 0
+	}
+	return pipelined.Throughput / serial.Throughput
+}
+
+// FrontdoorStudy runs the serial and pipelined modes over identical
+// simulated networks and returns both results.
+func FrontdoorStudy(cfg FrontdoorConfig) (serial, pipelined FrontdoorResult, err error) {
+	serial, err = runFrontdoorMode(cfg, false)
+	if err != nil {
+		return
+	}
+	pipelined, err = runFrontdoorMode(cfg, true)
+	return
+}
+
+// fdFrame is the response frame the study's synthetic executor returns
+// and its clients decode.
+type fdFrame struct {
+	ID string `json:"id,omitempty"`
+	OK bool   `json:"ok"`
+}
+
+func runFrontdoorMode(cfg FrontdoorConfig, pipelined bool) (FrontdoorResult, error) {
+	clk := vclock.NewScaled(cfg.ClockScale)
+	network := netsim.NewNetwork(clk, cfg.Seed)
+	const addr = "aortad"
+	lis, err := network.Listen(addr)
+	if err != nil {
+		return FrontdoorResult{}, err
+	}
+	defer lis.Close()
+	network.SetLink(addr, netsim.LinkConfig{
+		PropagationDelay: cfg.PropDelay,
+		Jitter:           cfg.Jitter,
+	})
+
+	door := frontdoor.New(frontdoor.Config{
+		Workers: cfg.Workers,
+		// Queue sized to the offered load: this study measures pipelining,
+		// not shedding, so nothing should be rejected.
+		Queue:  cfg.Clients*cfg.Window + 64,
+		Window: cfg.Window,
+		Clock:  clk,
+	})
+	exec := func(ctx context.Context, id, stmt string) any {
+		clk.Sleep(cfg.Service)
+		return fdFrame{ID: id, OK: true}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var serveWG sync.WaitGroup
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			serveWG.Add(1)
+			go func() {
+				defer serveWG.Done()
+				door.Serve(ctx, conn, exec)
+			}()
+		}
+	}()
+
+	// Each client connects up front so dial latency is outside the
+	// measured window, then issues its statements at the mode's window.
+	conns := make([]net.Conn, cfg.Clients)
+	for i := range conns {
+		c, err := network.Dial(ctx, addr)
+		if err != nil {
+			return FrontdoorResult{}, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	window := 1
+	if pipelined {
+		window = cfg.Window
+	}
+	type clientOut struct {
+		lats []time.Duration
+		errs int
+		err  error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	start := clk.Now()
+	var wg sync.WaitGroup
+	for i, conn := range conns {
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			lats, errs, err := fdClient(clk, conn, cfg.Statements, window, pipelined)
+			outs[i] = clientOut{lats: lats, errs: errs, err: err}
+		}(i, conn)
+	}
+	wg.Wait()
+	elapsed := clk.Now().Sub(start)
+
+	for _, c := range conns {
+		c.Close()
+	}
+	lis.Close()
+	serveWG.Wait()
+	door.Close()
+
+	var all []time.Duration
+	res := FrontdoorResult{Mode: "serial", Elapsed: elapsed}
+	if pipelined {
+		res.Mode = "pipelined"
+	}
+	for _, o := range outs {
+		if o.err != nil {
+			return res, o.err
+		}
+		all = append(all, o.lats...)
+		res.Statements += len(o.lats)
+		res.Errors += o.errs
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Statements) / elapsed.Seconds()
+	}
+	res.P50, res.P99, res.P999 = percentiles(all)
+	res.Shed = door.Metrics().Shed
+	return res, nil
+}
+
+// fdClient issues n statements over conn with up to window in flight,
+// returning each statement's send→response virtual latency. In serial
+// mode statements are bare lines; pipelined they carry "#s<i>" tags.
+func fdClient(clk vclock.Clock, conn net.Conn, n, window int, tagged bool) ([]time.Duration, int, error) {
+	sent := make([]time.Time, n)
+	lats := make([]time.Duration, 0, n)
+	errs := 0
+
+	dec := json.NewDecoder(conn)
+	recv := func() error {
+		var f fdFrame
+		if err := dec.Decode(&f); err != nil {
+			return err
+		}
+		idx := len(lats)
+		if tagged {
+			if _, err := fmt.Sscanf(f.ID, "s%d", &idx); err != nil {
+				return fmt.Errorf("bad response id %q: %w", f.ID, err)
+			}
+		}
+		lats = append(lats, clk.Now().Sub(sent[idx]))
+		if !f.OK {
+			errs++
+		}
+		return nil
+	}
+
+	inFlight := 0
+	for i := 0; i < n; i++ {
+		for inFlight >= window {
+			if err := recv(); err != nil {
+				return nil, errs, err
+			}
+			inFlight--
+		}
+		line := fmt.Sprintf("SELECT %d\n", i)
+		if tagged {
+			line = fmt.Sprintf("#s%d SELECT %d\n", i, i)
+		}
+		sent[i] = clk.Now()
+		if _, err := conn.Write([]byte(line)); err != nil {
+			return nil, errs, err
+		}
+		inFlight++
+	}
+	for inFlight > 0 {
+		if err := recv(); err != nil {
+			return nil, errs, err
+		}
+		inFlight--
+	}
+	return lats, errs, nil
+}
+
+// percentiles returns p50/p99/p999 of lats.
+func percentiles(lats []time.Duration) (p50, p99, p999 time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.99), at(0.999)
+}
+
+// PrintFrontdoorStudy renders both modes and the speedup.
+func PrintFrontdoorStudy(w io.Writer, cfg FrontdoorConfig, serial, pipelined FrontdoorResult) {
+	fmt.Fprintf(w, "Front door — %d clients × %d statements, %v one-way propagation (+%v jitter), %v service, window %d (virtual time)\n",
+		cfg.Clients, cfg.Statements, cfg.PropDelay, cfg.Jitter, cfg.Service, cfg.Window)
+	fmt.Fprintf(w, "%-11s%12s%14s%12s%12s%12s%8s%8s\n",
+		"Mode", "Statements", "Stmts/sec", "p50", "p99", "p999", "Errors", "Shed")
+	for _, r := range []FrontdoorResult{serial, pipelined} {
+		fmt.Fprintf(w, "%-11s%12d%14.1f%12s%12s%12s%8d%8d\n",
+			r.Mode, r.Statements, r.Throughput,
+			r.P50.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+			r.P999.Round(time.Millisecond), r.Errors, r.Shed)
+	}
+	fmt.Fprintf(w, "pipelined/serial throughput: %.1f×\n", FrontdoorSpeedup(serial, pipelined))
+}

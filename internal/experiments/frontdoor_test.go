@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFrontdoorStudySmall runs a scaled-down study and checks the
+// structural invariants: every statement completes, nothing errors or
+// sheds, and pipelining beats serial when round trips dominate service
+// time.
+func TestFrontdoorStudySmall(t *testing.T) {
+	cfg := FrontdoorConfig{
+		Clients:    8,
+		Statements: 8,
+		Window:     4,
+		Workers:    16,
+		PropDelay:  200 * time.Millisecond,
+		Jitter:     50 * time.Millisecond,
+		Service:    10 * time.Millisecond,
+		ClockScale: 200,
+		Seed:       1,
+	}
+	if raceEnabled {
+		cfg.Clients = 4
+		cfg.ClockScale = 100
+	}
+	serial, pipelined, err := FrontdoorStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Clients * cfg.Statements
+	for _, r := range []FrontdoorResult{serial, pipelined} {
+		if r.Statements != want {
+			t.Fatalf("%s completed %d statements, want %d", r.Mode, r.Statements, want)
+		}
+		if r.Errors != 0 || r.Shed != 0 {
+			t.Fatalf("%s errors=%d shed=%d, want 0", r.Mode, r.Errors, r.Shed)
+		}
+		if r.Throughput <= 0 || r.P50 <= 0 {
+			t.Fatalf("%s degenerate measurements: %+v", r.Mode, r)
+		}
+	}
+	// With a 200ms one-way delay and 10ms service, a window of 4 must
+	// overlap round trips. Demand a conservative 1.5× here (the full
+	// study's acceptance bar is 3×; small configs are noisier).
+	if sp := FrontdoorSpeedup(serial, pipelined); sp < 1.5 {
+		t.Fatalf("pipelined speedup %.2f×, want >= 1.5×\nserial: %+v\npipelined: %+v",
+			sp, serial, pipelined)
+	}
+	// Serial p50 must be at least one full round trip.
+	if serial.P50 < 2*cfg.PropDelay {
+		t.Fatalf("serial p50 %v below one round trip (%v)", serial.P50, 2*cfg.PropDelay)
+	}
+}

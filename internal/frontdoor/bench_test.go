@@ -1,0 +1,69 @@
+package frontdoor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkFrontdoorWindow measures what the pipelined protocol buys on
+// one connection when statement service time dominates: before issues
+// bare lines one at a time (each statement waits for the previous
+// response), after keeps a window of tagged statements in flight so
+// their service times overlap in the shared pool. The synthetic
+// executor sleeps a fixed service time, standing in for engine work.
+func BenchmarkFrontdoorWindow(b *testing.B) {
+	const (
+		service = 200 * time.Microsecond
+		window  = 16
+	)
+	run := func(b *testing.B, window int, tagged bool) {
+		d := New(Config{Workers: window, Window: window})
+		defer d.Close()
+		client, server := net.Pipe()
+		defer client.Close()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			d.Serve(context.Background(), server, func(ctx context.Context, id, stmt string) any {
+				time.Sleep(service)
+				return ErrorResponse{ID: id, OK: true}
+			})
+		}()
+		defer func() { client.Close(); <-done }()
+
+		dec := json.NewDecoder(client)
+		recv := func() {
+			var f ErrorResponse
+			if err := dec.Decode(&f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		inFlight := 0
+		for i := 0; i < b.N; i++ {
+			for inFlight >= window {
+				recv()
+				inFlight--
+			}
+			line := "SELECT 1\n"
+			if tagged {
+				line = fmt.Sprintf("#s%d SELECT 1\n", i)
+			}
+			if _, err := client.Write([]byte(line)); err != nil {
+				b.Fatal(err)
+			}
+			inFlight++
+		}
+		for inFlight > 0 {
+			recv()
+			inFlight--
+		}
+	}
+
+	b.Run("before", func(b *testing.B) { run(b, 1, false) })
+	b.Run("after", func(b *testing.B) { run(b, window, true) })
+}

@@ -1,0 +1,443 @@
+// Package frontdoor implements the daemon's concurrent client path: a
+// pipelined line protocol with optional request tags, a shared bounded
+// worker pool, and admission control that protects continuous-query
+// management from ad-hoc query floods.
+//
+// # Protocol
+//
+// The wire format stays one statement per line, one JSON response per
+// line. A line may carry an optional request tag:
+//
+//	#<id> <statement>
+//
+// Tagged statements execute concurrently (bounded by the per-connection
+// in-flight window) and their responses, which carry the same id, may
+// arrive in any order. Bare lines keep the legacy in-order semantics:
+// each executes to completion before the next line is read, and its
+// response is the next frame on the wire. Existing clients that never
+// send tags observe exactly the pre-pipelining protocol.
+//
+// # Admission
+//
+// Statements are classified before execution: backslash commands are
+// control (executed inline, never queued, so \metrics works even under
+// overload), SELECT/EXPLAIN are ad-hoc, and everything else — the
+// continuous-query catalog traffic — is management. All SQL execution
+// flows through one shared worker pool; ad-hoc statements are admitted
+// only while the pool queue has headroom beyond a reserve kept for
+// management, and are otherwise rejected immediately with a typed
+// "overloaded" error. A per-connection token bucket additionally rate
+// limits ad-hoc statements when configured. Management statements are
+// never shed; at worst they exert backpressure on their own connection.
+package frontdoor
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+
+	"aorta/internal/vclock"
+)
+
+// Exec executes one statement and returns the value to encode as its
+// JSON response frame. id is the client's request tag ("" for bare
+// lines); implementations must echo it in the response so clients can
+// match out-of-order replies.
+type Exec func(ctx context.Context, id, stmt string) any
+
+// Error codes carried by frames the front door emits itself.
+const (
+	// CodeOverloaded rejects an ad-hoc statement because the shared pool
+	// has no ad-hoc headroom left.
+	CodeOverloaded = "overloaded"
+	// CodeRateLimited rejects an ad-hoc statement that exceeded the
+	// connection's token bucket.
+	CodeRateLimited = "rate_limited"
+	// CodeTooLong reports a statement over the line-length limit; the
+	// connection closes after this frame because the stream position is
+	// lost.
+	CodeTooLong = "statement_too_long"
+)
+
+// ErrorResponse is the error frame the front door emits without
+// consulting the statement handler. Its shape matches the daemon's
+// response frame so clients need only one decoder.
+type ErrorResponse struct {
+	ID    string `json:"id,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Class is a statement's admission class.
+type Class int
+
+const (
+	// ClassControl is a backslash command: executed inline, never queued.
+	ClassControl Class = iota
+	// ClassManagement is catalog traffic (CREATE/DROP/STOP/START/SHOW…):
+	// pooled but never shed.
+	ClassManagement
+	// ClassAdHoc is a one-shot SELECT or EXPLAIN: rate limited and shed
+	// before it can starve management.
+	ClassAdHoc
+)
+
+// Classify assigns stmt its admission class.
+func Classify(stmt string) Class {
+	if strings.HasPrefix(stmt, "\\") {
+		return ClassControl
+	}
+	kw := stmt
+	if i := strings.IndexAny(kw, " \t"); i >= 0 {
+		kw = kw[:i]
+	}
+	switch strings.ToUpper(kw) {
+	case "SELECT", "EXPLAIN":
+		return ClassAdHoc
+	}
+	return ClassManagement
+}
+
+// SplitTag splits an optional "#<id> " request tag off a protocol line.
+// Lines not starting with "#" (every legal SQL statement and backslash
+// command) are returned unchanged with tagged=false.
+func SplitTag(line string) (id, stmt string, tagged bool) {
+	rest, ok := strings.CutPrefix(line, "#")
+	if !ok {
+		return "", line, false
+	}
+	i := strings.IndexAny(rest, " \t")
+	if i < 0 {
+		if rest == "" {
+			return "", line, false
+		}
+		return rest, "", true
+	}
+	if rest[:i] == "" {
+		return "", line, false
+	}
+	return rest[:i], strings.TrimSpace(rest[i+1:]), true
+}
+
+// Config sizes one front door.
+type Config struct {
+	// Workers is the shared pool size (default 2×GOMAXPROCS).
+	Workers int
+	// Queue is the pool's pending-statement capacity (default 256).
+	Queue int
+	// AdHocReserve is how many queue slots are held back from ad-hoc
+	// statements so management always has room (default Queue/4).
+	AdHocReserve int
+	// Window bounds concurrently executing tagged statements per
+	// connection; the reader blocks once it is full (default 32).
+	Window int
+	// AdHocPerSec rate-limits ad-hoc statements per connection via a
+	// token bucket; 0 disables.
+	AdHocPerSec float64
+	// AdHocBurst is the bucket depth (default max(1, AdHocPerSec)).
+	AdHocBurst float64
+	// MaxLine is the statement byte limit (default 1 MiB). A longer line
+	// gets a typed error frame before the connection closes.
+	MaxLine int
+	// Clock feeds the rate limiter; tests use vclock.Manual.
+	Clock vclock.Clock
+	// Logger, when set, records read errors and shed decisions.
+	Logger *slog.Logger
+}
+
+// Door is a running front door: one shared pool serving every
+// connection's sessions.
+type Door struct {
+	cfg  Config
+	pool *pool
+	m    metrics
+}
+
+// New builds a Door. Call Close after every Serve call has returned.
+func New(cfg Config) *Door {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 256
+	}
+	if cfg.AdHocReserve <= 0 || cfg.AdHocReserve >= cfg.Queue {
+		cfg.AdHocReserve = cfg.Queue / 4
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.AdHocBurst < 1 {
+		cfg.AdHocBurst = max(1, cfg.AdHocPerSec)
+	}
+	if cfg.MaxLine <= 0 {
+		cfg.MaxLine = 1 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	return &Door{cfg: cfg, pool: newPool(cfg.Workers, cfg.Queue, cfg.AdHocReserve)}
+}
+
+// Close stops the pool after draining queued statements. Serve must not
+// be running.
+func (d *Door) Close() { d.pool.close() }
+
+// Metrics snapshots the door's counters and pool gauges.
+func (d *Door) Metrics() MetricsSnapshot {
+	s := d.m.snapshot()
+	s.Queued = int64(len(d.pool.jobs))
+	s.InFlight = d.pool.inflight.Load()
+	s.Workers = d.cfg.Workers
+	s.Window = d.cfg.Window
+	return s
+}
+
+// Serve runs the line protocol on conn until the client disconnects,
+// sends \quit, or oversteps the line limit. It blocks; run it from the
+// per-connection goroutine. conn is closed on return.
+func (d *Door) Serve(ctx context.Context, conn net.Conn, exec Exec) {
+	defer conn.Close()
+	d.m.sessions.Add(1)
+	d.m.active.Add(1)
+	defer d.m.active.Add(-1)
+
+	s := &session{
+		door:     d,
+		conn:     conn,
+		exec:     exec,
+		window:   make(chan struct{}, d.cfg.Window),
+		maxQueue: 2*d.cfg.Window + 64,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if d.cfg.AdHocPerSec > 0 {
+		s.limiter = NewLimiter(d.cfg.Clock, d.cfg.AdHocPerSec, d.cfg.AdHocBurst)
+	}
+	writerDone := make(chan struct{})
+	go s.writer(writerDone)
+
+	sc := bufio.NewScanner(conn)
+	// The scanner's effective limit is max(cap(buf), MaxLine), so the
+	// initial buffer must not exceed MaxLine or small limits are ignored.
+	sc.Buffer(make([]byte, 0, min(64*1024, d.cfg.MaxLine)), d.cfg.MaxLine)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		id, stmt, tagged := SplitTag(line)
+		if stmt == "\\quit" {
+			break
+		}
+		if tagged && stmt == "" {
+			s.push(&ErrorResponse{ID: id, Error: "empty statement"})
+			continue
+		}
+		if tagged {
+			s.tagged(ctx, id, stmt)
+		} else {
+			s.untagged(ctx, stmt)
+		}
+	}
+	// The scan loop ends for exactly three reasons: clean EOF/\quit, a
+	// statement over the line limit, or a transport error. The latter two
+	// used to be silently swallowed.
+	switch err := sc.Err(); {
+	case err == nil:
+	case errors.Is(err, bufio.ErrTooLong):
+		d.m.oversized.Add(1)
+		s.push(&ErrorResponse{
+			Error: fmt.Sprintf("statement exceeds %d-byte line limit", d.cfg.MaxLine),
+			Code:  CodeTooLong,
+		})
+	default:
+		d.m.readErrors.Add(1)
+		if d.cfg.Logger != nil {
+			d.cfg.Logger.Warn("frontdoor: client read error", "remote", conn.RemoteAddr(), "err", err)
+		}
+	}
+	s.jobs.Wait() // drain in-flight tagged statements; their frames still flush
+	s.closeOut()
+	<-writerDone
+}
+
+// session is one connection's state: the in-flight window and the
+// serialized response writer.
+type session struct {
+	door    *Door
+	conn    net.Conn
+	exec    Exec
+	limiter *Limiter
+	// window is the tagged in-flight semaphore; acquiring it in the read
+	// loop converts window overflow into reader backpressure.
+	window chan struct{}
+	// jobs tracks pooled statements so Serve can drain before closing.
+	jobs sync.WaitGroup
+
+	// The response queue. Workers push frames here and never block on the
+	// client's socket; the writer goroutine drains it in push order so
+	// concurrent encoders cannot interleave JSON.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []any
+	maxQueue int
+	closed   bool // no more frames coming; writer exits once drained
+	dead     bool // writer failed or client too slow; drop frames
+}
+
+// push enqueues one response frame. A client that stops reading while
+// statements keep completing would grow the queue without bound, so past
+// maxQueue the connection is killed instead — workers must never block
+// on a slow consumer.
+func (s *session) push(v any) {
+	s.mu.Lock()
+	if s.dead || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.queue) >= s.maxQueue {
+		s.dead = true
+		s.mu.Unlock()
+		s.door.m.slowClients.Add(1)
+		s.conn.Close()
+		s.cond.Signal()
+		return
+	}
+	s.queue = append(s.queue, v)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// closeOut marks the queue complete; the writer exits after flushing.
+func (s *session) closeOut() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// writer is the connection's single encoder goroutine.
+func (s *session) writer(done chan<- struct{}) {
+	defer close(done)
+	enc := json.NewEncoder(s.conn)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed && !s.dead {
+			s.cond.Wait()
+		}
+		if s.dead || (s.closed && len(s.queue) == 0) {
+			s.mu.Unlock()
+			return
+		}
+		v := s.queue[0]
+		s.queue[0] = nil
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		if err := enc.Encode(v); err != nil {
+			s.mu.Lock()
+			s.dead = true
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// admit applies ad-hoc admission (rate limit) for one statement,
+// pushing the rejection frame itself. Control and management always
+// pass.
+func (s *session) admit(class Class, id string) bool {
+	if class != ClassAdHoc {
+		return true
+	}
+	if !s.limiter.Allow() {
+		s.door.m.rateLimited.Add(1)
+		s.push(&ErrorResponse{
+			ID:    id,
+			Error: "ad-hoc statement rate limit exceeded for this connection",
+			Code:  CodeRateLimited,
+		})
+		return false
+	}
+	return true
+}
+
+// untagged runs one bare line with legacy in-order semantics: through
+// the shared pool (so admission applies uniformly), but the read loop
+// waits for completion before consuming the next line.
+func (s *session) untagged(ctx context.Context, stmt string) {
+	d := s.door
+	class := Classify(stmt)
+	if class == ClassControl {
+		d.m.untagged.Add(1)
+		s.push(s.exec(ctx, "", stmt))
+		return
+	}
+	if !s.admit(class, "") {
+		return
+	}
+	done := make(chan struct{})
+	job := func() {
+		defer close(done)
+		s.push(s.exec(ctx, "", stmt))
+	}
+	if class == ClassAdHoc {
+		if !d.pool.trySubmitAdHoc(job) {
+			d.m.shed.Add(1)
+			s.push(&ErrorResponse{
+				Error: "overloaded: ad-hoc statement shed, retry later",
+				Code:  CodeOverloaded,
+			})
+			return
+		}
+	} else {
+		d.pool.submit(job)
+	}
+	d.m.untagged.Add(1)
+	<-done
+}
+
+// tagged dispatches one tagged statement into the pool, bounded by the
+// connection's in-flight window.
+func (s *session) tagged(ctx context.Context, id, stmt string) {
+	d := s.door
+	class := Classify(stmt)
+	if class == ClassControl {
+		d.m.tagged.Add(1)
+		s.push(s.exec(ctx, id, stmt))
+		return
+	}
+	if !s.admit(class, id) {
+		return
+	}
+	s.window <- struct{}{} // blocks at Window in flight: reader backpressure
+	s.jobs.Add(1)
+	job := func() {
+		defer s.jobs.Done()
+		defer func() { <-s.window }()
+		s.push(s.exec(ctx, id, stmt))
+	}
+	if class == ClassAdHoc {
+		if !d.pool.trySubmitAdHoc(job) {
+			s.jobs.Done()
+			<-s.window
+			d.m.shed.Add(1)
+			s.push(&ErrorResponse{
+				ID:    id,
+				Error: "overloaded: ad-hoc statement shed, retry later",
+				Code:  CodeOverloaded,
+			})
+			return
+		}
+	} else {
+		d.pool.submit(job)
+	}
+	d.m.tagged.Add(1)
+}

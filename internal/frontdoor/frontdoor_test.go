@@ -1,0 +1,387 @@
+package frontdoor
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+// testResp is the frame shape the test handlers return.
+type testResp struct {
+	ID      string `json:"id,omitempty"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Code    string `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// startDoor serves one in-memory connection through a fresh door and
+// returns the client side.
+func startDoor(t *testing.T, cfg Config, exec Exec) (net.Conn, *Door) {
+	t.Helper()
+	d := New(cfg)
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.Serve(context.Background(), server, exec)
+	}()
+	t.Cleanup(func() {
+		client.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not exit")
+		}
+		d.Close()
+	})
+	return client, d
+}
+
+// echoExec responds with the statement it was given.
+func echoExec(_ context.Context, id, stmt string) any {
+	return &testResp{ID: id, OK: true, Message: stmt}
+}
+
+func readFrame(t *testing.T, sc *bufio.Scanner) testResp {
+	t.Helper()
+	if !sc.Scan() {
+		t.Fatalf("no frame: %v", sc.Err())
+	}
+	var r testResp
+	if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+		t.Fatalf("bad frame %q: %v", sc.Text(), err)
+	}
+	return r
+}
+
+func TestSplitTag(t *testing.T) {
+	cases := []struct {
+		line, id, stmt string
+		tagged         bool
+	}{
+		{"SELECT 1", "", "SELECT 1", false},
+		{"#7 SELECT 1", "7", "SELECT 1", true},
+		{"#q-42 \\metrics", "q-42", "\\metrics", true},
+		{"#9", "9", "", true},
+		{"#", "", "#", false},
+		{"# SELECT 1", "", "# SELECT 1", false},
+		{"#a\tSHOW QUERIES", "a", "SHOW QUERIES", true},
+	}
+	for _, c := range cases {
+		id, stmt, tagged := SplitTag(c.line)
+		if id != c.id || stmt != c.stmt || tagged != c.tagged {
+			t.Errorf("SplitTag(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.line, id, stmt, tagged, c.id, c.stmt, c.tagged)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		stmt string
+		want Class
+	}{
+		{"SELECT s.id FROM sensor s", ClassAdHoc},
+		{"select 1", ClassAdHoc},
+		{"EXPLAIN SELECT 1", ClassAdHoc},
+		{"CREATE AQ x AS SELECT 1", ClassManagement},
+		{"SHOW QUERIES", ClassManagement},
+		{"DROP AQ x", ClassManagement},
+		{"\\metrics", ClassControl},
+	}
+	for _, c := range cases {
+		if got := Classify(c.stmt); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.stmt, got, c.want)
+		}
+	}
+}
+
+// Concurrent tagged statements on one connection: every response must
+// come back exactly once with its request's id, regardless of order.
+func TestTaggedConcurrentIDMatching(t *testing.T) {
+	const n = 64
+	client, _ := startDoor(t, Config{Workers: 8, Window: 16}, func(_ context.Context, id, stmt string) any {
+		return &testResp{ID: id, OK: true, Message: stmt}
+	})
+	go func() {
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(client, "#req-%d SELECT %d\n", i, i)
+		}
+	}()
+	sc := bufio.NewScanner(client)
+	seen := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		r := readFrame(t, sc)
+		if !r.OK {
+			t.Fatalf("frame not ok: %+v", r)
+		}
+		if _, dup := seen[r.ID]; dup {
+			t.Fatalf("duplicate response for id %s", r.ID)
+		}
+		seen[r.ID] = r.Message
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("req-%d", i)
+		want := fmt.Sprintf("SELECT %d", i)
+		if seen[id] != want {
+			t.Errorf("response %s = %q, want %q (cross-matched ids)", id, seen[id], want)
+		}
+	}
+}
+
+// The in-flight window bounds how many tagged statements execute
+// concurrently; the reader must block rather than overshoot.
+func TestWindowEnforcement(t *testing.T) {
+	const window = 2
+	var cur, peak atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	exec := func(_ context.Context, id, _ string) any {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		started <- struct{}{}
+		<-release
+		cur.Add(-1)
+		return &testResp{ID: id, OK: true}
+	}
+	client, _ := startDoor(t, Config{Workers: 8, Window: window}, exec)
+	go func() {
+		for i := 0; i < 6; i++ {
+			fmt.Fprintf(client, "#%d SELECT 1\n", i)
+		}
+	}()
+	// Wait for the window to fill, then give any overshoot time to show.
+	for i := 0; i < window; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("window never filled")
+		}
+	}
+	select {
+	case <-started:
+		t.Fatalf("more than %d statements in flight", window)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	sc := bufio.NewScanner(client)
+	for i := 0; i < 6; i++ {
+		if r := readFrame(t, sc); !r.OK {
+			t.Fatalf("frame %d not ok: %+v", i, r)
+		}
+	}
+	if p := peak.Load(); p > window {
+		t.Fatalf("peak concurrency %d exceeds window %d", p, window)
+	}
+}
+
+// Bare lines keep the legacy semantics: in order, one at a time, even
+// when later statements would finish first.
+func TestUntaggedInOrder(t *testing.T) {
+	var calls atomic.Int64
+	exec := func(_ context.Context, id, stmt string) any {
+		n := calls.Add(1)
+		if n == 1 {
+			time.Sleep(30 * time.Millisecond) // first statement is slowest
+		}
+		return &testResp{ID: id, OK: true, Message: stmt}
+	}
+	client, _ := startDoor(t, Config{Workers: 8, Window: 8}, exec)
+	go func() {
+		fmt.Fprintln(client, "SELECT 1")
+		fmt.Fprintln(client, "SELECT 2")
+		fmt.Fprintln(client, "SELECT 3")
+	}()
+	sc := bufio.NewScanner(client)
+	for i, want := range []string{"SELECT 1", "SELECT 2", "SELECT 3"} {
+		r := readFrame(t, sc)
+		if r.Message != want {
+			t.Fatalf("frame %d = %q, want %q (untagged order broken)", i, r.Message, want)
+		}
+		if r.ID != "" {
+			t.Fatalf("untagged response carries id %q", r.ID)
+		}
+	}
+}
+
+// A statement over the line limit must produce a typed error frame, not
+// a silent connection drop.
+func TestOversizedStatementError(t *testing.T) {
+	client, d := startDoor(t, Config{Workers: 2, Window: 2, MaxLine: 1024}, echoExec)
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = 'x'
+	}
+	go client.Write(append(big, '\n'))
+	sc := bufio.NewScanner(client)
+	r := readFrame(t, sc)
+	if r.OK || r.Code != CodeTooLong {
+		t.Fatalf("oversized statement frame = %+v, want code %q", r, CodeTooLong)
+	}
+	// The stream position is lost, so the server must close the
+	// connection after the error frame.
+	if sc.Scan() {
+		t.Fatalf("unexpected extra frame %q", sc.Text())
+	}
+	if m := d.Metrics(); m.Oversized != 1 {
+		t.Fatalf("oversized counter = %d, want 1", m.Oversized)
+	}
+}
+
+// Saturating the pool must shed ad-hoc SELECTs with a typed overloaded
+// error while management statements still go through.
+func TestShedUnderLoad(t *testing.T) {
+	release := make(chan struct{})
+	exec := func(_ context.Context, id, stmt string) any {
+		if stmt == "CREATE AQ block AS SELECT 1" {
+			<-release
+		}
+		return &testResp{ID: id, OK: true, Message: stmt}
+	}
+	// One worker, queue of 2 with 1 slot reserved for management: the
+	// blocked worker plus one queued job exhaust the ad-hoc share.
+	client, d := startDoor(t, Config{Workers: 1, Queue: 2, AdHocReserve: 1, Window: 8}, exec)
+	sc := bufio.NewScanner(client)
+
+	// Occupy the worker, then the single ad-hoc queue slot.
+	fmt.Fprintln(client, "#w CREATE AQ block AS SELECT 1")
+	awaitCond(t, func() bool { return d.Metrics().InFlight == 1 })
+	fmt.Fprintln(client, "#q1 SELECT 1")
+	awaitCond(t, func() bool { return d.Metrics().Queued == 1 })
+
+	// The next ad-hoc statement must be shed immediately.
+	fmt.Fprintln(client, "#q2 SELECT 2")
+	r := readFrame(t, sc)
+	if r.ID != "q2" || r.OK || r.Code != CodeOverloaded {
+		t.Fatalf("saturated ad-hoc = %+v, want id q2 with code %q", r, CodeOverloaded)
+	}
+	if m := d.Metrics(); m.Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", m.Shed)
+	}
+
+	// Management still has its reserved slot.
+	fmt.Fprintln(client, "#m SHOW QUERIES")
+	awaitCond(t, func() bool { return d.Metrics().Queued == 2 })
+
+	close(release)
+	got := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		fr := readFrame(t, sc)
+		if !fr.OK {
+			t.Fatalf("post-release frame not ok: %+v", fr)
+		}
+		got[fr.ID] = true
+	}
+	for _, id := range []string{"w", "q1", "m"} {
+		if !got[id] {
+			t.Errorf("no response for %s after release", id)
+		}
+	}
+}
+
+// The per-connection token bucket rejects ad-hoc statements beyond the
+// burst and refills on the (manual) clock.
+func TestAdHocRateLimitManualClock(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1_000_000, 0))
+	cfg := Config{Workers: 2, Window: 4, AdHocPerSec: 1, AdHocBurst: 2, Clock: clk}
+	client, d := startDoor(t, cfg, echoExec)
+	sc := bufio.NewScanner(client)
+
+	for i := 0; i < 2; i++ {
+		fmt.Fprintf(client, "#a%d SELECT 1\n", i)
+		if r := readFrame(t, sc); !r.OK {
+			t.Fatalf("burst statement %d rejected: %+v", i, r)
+		}
+	}
+	fmt.Fprintln(client, "#a2 SELECT 1")
+	if r := readFrame(t, sc); r.OK || r.Code != CodeRateLimited {
+		t.Fatalf("over-burst statement = %+v, want code %q", r, CodeRateLimited)
+	}
+	// Management is exempt from the ad-hoc bucket.
+	fmt.Fprintln(client, "#m SHOW QUERIES")
+	if r := readFrame(t, sc); !r.OK {
+		t.Fatalf("management rate-limited: %+v", r)
+	}
+	// One virtual second refills one token.
+	clk.Advance(time.Second)
+	fmt.Fprintln(client, "#a3 SELECT 1")
+	if r := readFrame(t, sc); !r.OK {
+		t.Fatalf("statement after refill rejected: %+v", r)
+	}
+	if m := d.Metrics(); m.RateLimited != 1 {
+		t.Fatalf("rate-limited counter = %d, want 1", m.RateLimited)
+	}
+}
+
+// A client that stops reading while responses pile up must be
+// disconnected rather than block pool workers.
+func TestSlowClientDisconnected(t *testing.T) {
+	client, d := startDoor(t, Config{Workers: 4, Window: 4}, echoExec)
+	// Never read; keep writing until the server kills the connection.
+	deadline := time.Now().Add(10 * time.Second)
+	var writeErr error
+	for i := 0; writeErr == nil; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("server never disconnected the slow client")
+		}
+		_, writeErr = fmt.Fprintf(client, "#%d SELECT 1\n", i)
+	}
+	awaitCond(t, func() bool { return d.Metrics().SlowClients == 1 })
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	client, _ := startDoor(t, Config{Workers: 2, Window: 2}, echoExec)
+	fmt.Fprintln(client, "\\quit")
+	buf := make([]byte, 1)
+	client.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := client.Read(buf); err == nil {
+		t.Fatal("connection still open after \\quit")
+	}
+}
+
+// Control statements execute inline even when the pool is saturated, so
+// \metrics stays observable under overload.
+func TestControlBypassesPool(t *testing.T) {
+	release := make(chan struct{})
+	exec := func(_ context.Context, id, stmt string) any {
+		if stmt == "CREATE AQ block AS SELECT 1" {
+			<-release
+		}
+		return &testResp{ID: id, OK: true, Message: stmt}
+	}
+	client, d := startDoor(t, Config{Workers: 1, Queue: 2, AdHocReserve: 1, Window: 4}, exec)
+	defer close(release)
+	sc := bufio.NewScanner(client)
+	fmt.Fprintln(client, "#w CREATE AQ block AS SELECT 1")
+	awaitCond(t, func() bool { return d.Metrics().InFlight == 1 })
+	fmt.Fprintln(client, "\\metrics")
+	r := readFrame(t, sc)
+	if !r.OK || r.Message != "\\metrics" {
+		t.Fatalf("control under load = %+v", r)
+	}
+}
+
+// awaitCond polls cond with a wall-clock deadline.
+func awaitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

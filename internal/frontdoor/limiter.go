@@ -1,0 +1,48 @@
+package frontdoor
+
+import (
+	"sync"
+	"time"
+
+	"aorta/internal/vclock"
+)
+
+// Limiter is a token bucket on a virtual clock: perSec tokens accrue up
+// to burst, one statement spends one token. Reading time through
+// vclock.Clock keeps admission tests deterministic (vclock.Manual) and
+// lets scaled-clock studies rate-limit in virtual time.
+type Limiter struct {
+	clk vclock.Clock
+
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns a full bucket. perSec <= 0 disables the limiter
+// (Allow always true).
+func NewLimiter(clk vclock.Clock, perSec, burst float64) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{clk: clk, rate: perSec, burst: burst, tokens: burst, last: clk.Now()}
+}
+
+// Allow spends one token if available. A nil limiter admits everything.
+func (l *Limiter) Allow() bool {
+	if l == nil || l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clk.Now()
+	l.tokens = min(l.burst, l.tokens+now.Sub(l.last).Seconds()*l.rate)
+	l.last = now
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}

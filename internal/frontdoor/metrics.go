@@ -1,0 +1,58 @@
+package frontdoor
+
+import "sync/atomic"
+
+// metrics is the door's internal counter set.
+type metrics struct {
+	sessions    atomic.Int64
+	active      atomic.Int64
+	tagged      atomic.Int64
+	untagged    atomic.Int64
+	shed        atomic.Int64
+	rateLimited atomic.Int64
+	oversized   atomic.Int64
+	readErrors  atomic.Int64
+	slowClients atomic.Int64
+}
+
+// MetricsSnapshot is the front door's externally visible state, carried
+// on the daemon's \metrics frame.
+type MetricsSnapshot struct {
+	// Sessions counts connections ever served; ActiveSessions is the
+	// current gauge.
+	Sessions       int64 `json:"sessions"`
+	ActiveSessions int64 `json:"active_sessions"`
+	// Tagged/Untagged count admitted statements by framing.
+	Tagged   int64 `json:"tagged_statements"`
+	Untagged int64 `json:"untagged_statements"`
+	// Shed counts ad-hoc statements rejected with CodeOverloaded;
+	// RateLimited those rejected by a connection's token bucket.
+	Shed        int64 `json:"shed"`
+	RateLimited int64 `json:"rate_limited"`
+	// Oversized counts statements over the line limit; ReadErrors other
+	// transport read failures; SlowClients connections killed because
+	// their response queue overflowed.
+	Oversized   int64 `json:"oversized_statements"`
+	ReadErrors  int64 `json:"read_errors"`
+	SlowClients int64 `json:"slow_clients"`
+	// Queued and InFlight are the shared pool's gauges at snapshot time.
+	Queued   int64 `json:"queued"`
+	InFlight int64 `json:"in_flight"`
+	// Workers and Window echo the door's configuration.
+	Workers int `json:"workers"`
+	Window  int `json:"window"`
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Sessions:       m.sessions.Load(),
+		ActiveSessions: m.active.Load(),
+		Tagged:         m.tagged.Load(),
+		Untagged:       m.untagged.Load(),
+		Shed:           m.shed.Load(),
+		RateLimited:    m.rateLimited.Load(),
+		Oversized:      m.oversized.Load(),
+		ReadErrors:     m.readErrors.Load(),
+		SlowClients:    m.slowClients.Load(),
+	}
+}

@@ -1,0 +1,80 @@
+package frontdoor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the shared bounded worker pool behind every session. One pool
+// serves the whole daemon: it is the single concurrency bound on
+// statement execution, so 100k idle connections cost goroutines but not
+// engine pressure, and a burst on one connection cannot fan out into an
+// unbounded goroutine burst.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+	// adhocMax is the queue occupancy at which ad-hoc statements are
+	// shed; the slots above it are the management reserve.
+	adhocMax int
+	inflight atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newPool(workers, queue, adhocReserve int) *pool {
+	p := &pool{
+		jobs:     make(chan func(), queue),
+		adhocMax: queue - adhocReserve,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		p.inflight.Add(1)
+		job()
+		p.inflight.Add(-1)
+	}
+}
+
+// submit enqueues a management/control job, blocking while the queue is
+// full. The ad-hoc reserve guarantees shed ad-hoc traffic cannot keep
+// this wait unbounded.
+func (p *pool) submit(job func()) {
+	p.jobs <- job
+}
+
+// trySubmitAdHoc enqueues an ad-hoc job unless the queue has reached
+// the ad-hoc share; false means the statement must be shed. The
+// occupancy check is approximate under concurrency, which only ever
+// sheds slightly early or late — never blocks.
+func (p *pool) trySubmitAdHoc(job func()) bool {
+	if len(p.jobs) >= p.adhocMax {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// close drains queued jobs and stops the workers. Callers must
+// guarantee no concurrent submit — the daemon does so by closing every
+// session first.
+func (p *pool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

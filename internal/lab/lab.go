@@ -267,11 +267,15 @@ func moteLocation(i, n int) geo.Point {
 }
 
 // StimulateMote injects a physical event at mote index i: the
-// accelerometer x-axis reads magnitude for dur of virtual time.
-func (l *Lab) StimulateMote(i int, magnitude float64, dur time.Duration) {
-	if i >= 0 && i < len(l.Motes) {
-		l.Motes[i].Stimulate("x", magnitude, dur)
+// accelerometer x-axis reads magnitude for dur of virtual time. It
+// reports whether i names a mote; an out-of-range index is a no-op and
+// returns false so callers cannot mistake it for a delivered stimulus.
+func (l *Lab) StimulateMote(i int, magnitude float64, dur time.Duration) bool {
+	if i < 0 || i >= len(l.Motes) {
+		return false
 	}
+	l.Motes[i].Stimulate("x", magnitude, dur)
+	return true
 }
 
 // CoveredBy returns the IDs of cameras whose envelope covers mote i's

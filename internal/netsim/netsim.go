@@ -81,6 +81,14 @@ type LinkConfig struct {
 	// ErrConnReset and closes the transport — a lossy stream rather than a
 	// byte-counted one.
 	WriteErrProb float64
+	// PropagationDelay models long-haul latency without occupying the
+	// sender: writes return immediately and the bytes are delivered after
+	// the delay by a per-connection pump, so many frames can be in flight
+	// at once. Latency, by contrast, blocks the writer for the duration —
+	// a serialization/bandwidth model. When PropagationDelay is set,
+	// Jitter widens the propagation delay instead of the occupancy
+	// latency. Delivery order is preserved per connection.
+	PropagationDelay time.Duration
 }
 
 // Network is an in-memory network of listeners with per-link fault
@@ -161,7 +169,7 @@ func (n *Network) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	if cfg.DialFailProb > 0 && roll < cfg.DialFailProb {
 		return nil, fmt.Errorf("netsim: dial %s: %w", addr, ErrDialFailed)
 	}
-	if d := n.linkDelay(cfg); d > 0 {
+	if d := n.linkDelay(cfg) + cfg.PropagationDelay; d > 0 {
 		if err := vclock.SleepCtx(ctx, n.clk, d); err != nil {
 			return nil, fmt.Errorf("netsim: dial %s: %w", addr, err)
 		}
@@ -171,10 +179,10 @@ func (n *Network) Dial(ctx context.Context, addr string) (net.Conn, error) {
 	}
 
 	client, server := net.Pipe()
-	wrapped := &latConn{Conn: server, net: n, addr: addr}
+	wrapped := newLatConn(server, n, addr)
 	select {
 	case l.accept <- wrapped:
-		return &latConn{Conn: client, net: n, addr: addr}, nil
+		return newLatConn(client, n, addr), nil
 	case <-l.done:
 		client.Close()
 		server.Close()
@@ -257,11 +265,31 @@ type latConn struct {
 	addr string
 	// written counts bytes this conn has delivered, for ResetAfterBytes.
 	written atomic.Int64
+
+	closeOnce sync.Once
+	done      chan struct{}
+
+	// Propagation-delay pump state: a single goroutine delivering queued
+	// chunks after their due time, preserving write order.
+	pumpMu   sync.Mutex
+	pump     chan delayedChunk
+	asyncErr error
+}
+
+func newLatConn(conn net.Conn, n *Network, addr string) *latConn {
+	return &latConn{Conn: conn, net: n, addr: addr, done: make(chan struct{})}
+}
+
+// delayedChunk is one in-flight write awaiting propagation delivery.
+type delayedChunk struct {
+	data []byte
+	due  time.Time
 }
 
 // Write delays by the link latency before delivering, modelling one-way
 // network delay, and injects mid-stream resets per the link's current
-// configuration.
+// configuration. With PropagationDelay configured the write returns
+// immediately and delivery happens asynchronously after the delay.
 func (c *latConn) Write(p []byte) (int, error) {
 	cfg := c.net.Link(c.addr)
 	if cfg.ResetAfterBytes > 0 && c.written.Load() >= cfg.ResetAfterBytes {
@@ -272,12 +300,99 @@ func (c *latConn) Write(p []byte) (int, error) {
 		c.Conn.Close()
 		return 0, fmt.Errorf("netsim: write %s: %w", c.addr, ErrConnReset)
 	}
+	if cfg.PropagationDelay > 0 || c.hasPump() {
+		return c.writeDelayed(p, cfg)
+	}
 	if d := c.net.linkDelay(cfg); d > 0 {
 		c.net.clk.Sleep(d)
 	}
 	n, err := c.Conn.Write(p)
 	c.written.Add(int64(n))
 	return n, err
+}
+
+func (c *latConn) hasPump() bool {
+	c.pumpMu.Lock()
+	defer c.pumpMu.Unlock()
+	return c.pump != nil
+}
+
+// writeDelayed queues p for delivery PropagationDelay (+ jitter) from
+// now. Latency, if also set, still blocks the writer first — the
+// serialization half of the physical model. Once a pump exists every
+// write routes through it, so delivery order survives a mid-connection
+// link reconfiguration. A pump delivery failure is surfaced on the next
+// write.
+func (c *latConn) writeDelayed(p []byte, cfg LinkConfig) (int, error) {
+	if cfg.Latency > 0 {
+		c.net.clk.Sleep(cfg.Latency)
+	}
+	c.pumpMu.Lock()
+	if err := c.asyncErr; err != nil {
+		c.pumpMu.Unlock()
+		return 0, err
+	}
+	ch := c.pump
+	if ch == nil {
+		ch = make(chan delayedChunk, 256)
+		c.pump = ch
+		go c.runPump(ch)
+	}
+	c.pumpMu.Unlock()
+
+	delay := cfg.PropagationDelay
+	if cfg.Jitter > 0 {
+		c.net.mu.Lock()
+		delay += time.Duration(c.net.rng.Int63n(int64(cfg.Jitter)))
+		c.net.mu.Unlock()
+	}
+	chunk := delayedChunk{
+		data: append([]byte(nil), p...),
+		due:  c.net.clk.Now().Add(delay),
+	}
+	// Refuse closed connections before racing the (buffered) queue send.
+	select {
+	case <-c.done:
+		return 0, net.ErrClosed
+	default:
+	}
+	select {
+	case ch <- chunk:
+		c.written.Add(int64(len(p)))
+		return len(p), nil
+	case <-c.done:
+		return 0, net.ErrClosed
+	}
+}
+
+// runPump delivers queued chunks in order once their due time passes.
+func (c *latConn) runPump(ch chan delayedChunk) {
+	for {
+		select {
+		case chunk := <-ch:
+			if d := chunk.due.Sub(c.net.clk.Now()); d > 0 {
+				c.net.clk.Sleep(d)
+			}
+			if _, err := c.Conn.Write(chunk.data); err != nil {
+				c.pumpMu.Lock()
+				if c.asyncErr == nil {
+					c.asyncErr = err
+				}
+				c.pumpMu.Unlock()
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Close severs the connection and stops the propagation pump; queued
+// undelivered chunks are dropped, as a real network drops in-flight
+// packets when the path dies.
+func (c *latConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.Conn.Close()
 }
 
 // LocalAddr implements net.Conn.

@@ -421,3 +421,145 @@ func TestAddrStrings(t *testing.T) {
 		t.Errorf("Network = %q", l.Addr().Network())
 	}
 }
+
+// Propagation delay must not occupy the sender: many writes complete
+// immediately and all deliver, in order, once the delay elapses.
+func TestPropagationDelayNonBlocking(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(0, 0))
+	n := NewNetwork(clk, 1)
+	l, err := n.Listen("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetLink("dev", LinkConfig{PropagationDelay: time.Second})
+
+	var got []byte
+	var mu sync.Mutex
+	received := make(chan struct{}, 16)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64)
+		for {
+			k, err := conn.Read(buf)
+			if k > 0 {
+				mu.Lock()
+				got = append(got, buf[:k]...)
+				mu.Unlock()
+				received <- struct{}{}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Dial sleeps the propagation delay on the manual clock; drive it.
+	dialDone := make(chan net.Conn, 1)
+	go func() {
+		conn, err := n.Dial(context.Background(), "dev")
+		if err != nil {
+			t.Error(err)
+			dialDone <- nil
+			return
+		}
+		dialDone <- conn
+	}()
+	awaitWaiters(t, clk, 1)
+	clk.Advance(time.Second)
+	conn := <-dialDone
+	if conn == nil {
+		t.FailNow()
+	}
+	defer conn.Close()
+
+	// Three writes complete without any clock advancement: the sender is
+	// not occupied by the delay.
+	for _, s := range []string{"aa", "bb", "cc"} {
+		if _, err := conn.Write([]byte(s)); err != nil {
+			t.Fatalf("write %q: %v", s, err)
+		}
+	}
+	select {
+	case <-received:
+		t.Fatal("bytes arrived before the propagation delay elapsed")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Advance past the due time: everything arrives, in write order.
+	awaitWaiters(t, clk, 1) // the pump parked on the first chunk
+	clk.Advance(2 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		s := string(got)
+		mu.Unlock()
+		if s == "aabbcc" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %q, want %q", s, "aabbcc")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn.Close()
+	wg.Wait()
+}
+
+// awaitWaiters polls until at least k goroutines are parked on the
+// manual clock.
+func awaitWaiters(t *testing.T, clk *vclock.Manual, k int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Waiters() < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d clock waiters", clk.Waiters())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Closing a connection with queued propagation chunks terminates the
+// pump and fails subsequent writes.
+func TestPropagationDelayCloseDropsQueue(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(0, 0))
+	n := NewNetwork(clk, 1)
+	l, err := n.Listen("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err == nil {
+			defer conn.Close()
+			_, _ = io.Copy(io.Discard, conn)
+		}
+	}()
+	dialDone := make(chan net.Conn, 1)
+	go func() {
+		conn, _ := n.Dial(context.Background(), "dev")
+		dialDone <- conn
+	}()
+	conn := <-dialDone
+	if conn == nil {
+		t.Fatal("dial failed")
+	}
+	n.SetLink("dev", LinkConfig{PropagationDelay: time.Hour})
+	if _, err := conn.Write([]byte("queued")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := conn.Write([]byte("after close")); err == nil {
+		t.Fatal("write succeeded on a closed delayed connection")
+	}
+	wg.Wait()
+}
