@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-record bench-drift frontdoor-smoke bench-record-frontdoor bench-drift-frontdoor churn-smoke qscale-smoke crashrec-smoke clean
+.PHONY: all build vet test race bench bench-smoke bench-record bench-drift frontdoor-smoke bench-record-frontdoor bench-drift-frontdoor churn-smoke qscale-smoke crashrec-smoke chaos-smoke clean
 
 # The columnar hot-path benchmarks: each has /before (row-map era) and
 # /after (columnar) variants so the committed record carries its own
@@ -48,6 +48,12 @@ qscale-smoke:
 # clients against the real door over simulated high-latency links.
 frontdoor-smoke:
 	$(GO) run -race ./cmd/aortabench -exp frontdoor -clients 60
+
+# The chaos study under the race detector: evaluation panics, WAL
+# faults, camera churn, and slow links against one engine process;
+# exits non-zero if any fail-operational invariant breaks.
+chaos-smoke:
+	$(GO) run -race ./cmd/aortabench -exp chaos
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -17,6 +17,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,29 +33,46 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7730", "aortad address")
 		stmt     = flag.String("e", "", "execute one statement (or several, ';'-separated) and exit")
 		pipeline = flag.Int("pipeline", 0, "send statements tagged with up to N in flight (0 = serial)")
+		timeout  = flag.Duration("timeout", 0, "dial timeout and per-response read deadline (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*addr, *stmt, *pipeline); err != nil {
+	if err := run(*addr, *stmt, *pipeline, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "aortactl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, oneShot string, pipeline int) error {
-	conn, err := net.Dial("tcp", addr)
+func run(addr, oneShot string, pipeline int, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout) // 0 means no timeout
 	if err != nil {
 		return fmt.Errorf("connect to aortad at %s: %w", addr, err)
 	}
 	defer conn.Close()
 	server := bufio.NewScanner(conn)
 	server.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	// armRead (re)arms the read deadline before each wait for a response
+	// frame, so a wedged or vanished daemon fails the shell in bounded
+	// time instead of hanging it. The deadline covers waiting, not idling:
+	// it is set only when a response is owed.
+	armRead := func() error {
+		if timeout <= 0 {
+			return nil
+		}
+		return conn.SetReadDeadline(time.Now().Add(timeout))
+	}
 
 	exec := func(line string) error {
 		if _, err := fmt.Fprintln(conn, line); err != nil {
 			return err
 		}
+		if err := armRead(); err != nil {
+			return err
+		}
 		if !server.Scan() {
 			if err := server.Err(); err != nil {
+				if timeout > 0 && errors.Is(err, os.ErrDeadlineExceeded) {
+					return fmt.Errorf("no response within %v: %w", timeout, err)
+				}
 				return err
 			}
 			return io.EOF
@@ -66,7 +84,7 @@ func run(addr, oneShot string, pipeline int) error {
 	if oneShot != "" {
 		stmts := splitStatements(oneShot)
 		if pipeline > 0 {
-			return execPipelined(conn, server, os.Stdout, stmts, pipeline)
+			return execPipelined(conn, server, os.Stdout, stmts, pipeline, armRead)
 		}
 		for _, s := range stmts {
 			if err := exec(s); err != nil {
@@ -116,8 +134,10 @@ func splitStatements(s string) []string {
 // execPipelined sends stmts tagged "#<seq>" with up to window in flight,
 // reorders responses by tag, and prints them in request order. Control
 // (backslash) statements are sent tagged too: the daemon echoes the tag,
-// so they pipeline like everything else.
-func execPipelined(conn io.Writer, server *bufio.Scanner, w io.Writer, stmts []string, window int) error {
+// so they pipeline like everything else. armRead re-arms the connection
+// read deadline before every wait for the next frame (no-op without
+// -timeout).
+func execPipelined(conn io.Writer, server *bufio.Scanner, w io.Writer, stmts []string, window int, armRead func() error) error {
 	type frame struct {
 		data []byte
 		err  error
@@ -125,7 +145,14 @@ func execPipelined(conn io.Writer, server *bufio.Scanner, w io.Writer, stmts []s
 	pending := make(map[string][]byte, window)
 	frames := make(chan frame, window)
 	go func() {
-		for server.Scan() {
+		for {
+			if err := armRead(); err != nil {
+				frames <- frame{err: err}
+				return
+			}
+			if !server.Scan() {
+				break
+			}
 			data := make([]byte, len(server.Bytes()))
 			copy(data, server.Bytes())
 			frames <- frame{data: data}

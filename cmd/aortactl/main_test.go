@@ -110,7 +110,7 @@ func TestExecPipelinedReorders(t *testing.T) {
 
 	var sent, out bytes.Buffer
 	stmts := []string{"SHOW A", "SHOW B", "SHOW C"}
-	if err := execPipelined(&sent, server, &out, stmts, 3); err != nil {
+	if err := execPipelined(&sent, server, &out, stmts, 3, func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 
@@ -131,7 +131,7 @@ func TestExecPipelinedWindow(t *testing.T) {
 		`{"id":"s1","ok":true,"message":"b"}` + "\n"
 	server := bufio.NewScanner(strings.NewReader(responses))
 	var sent, out bytes.Buffer
-	if err := execPipelined(&sent, server, &out, []string{"X", "Y"}, 1); err != nil {
+	if err := execPipelined(&sent, server, &out, []string{"X", "Y"}, 1, func() error { return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if out.String() != "a\nb\n" {

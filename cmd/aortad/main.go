@@ -71,6 +71,7 @@ func main() {
 	flag.IntVar(&opts.window, "window", 0, "per-connection in-flight window for tagged statements (0 = default 32)")
 	flag.Float64Var(&opts.adhocRate, "adhoc-rate", 0, "per-connection ad-hoc SELECT rate limit per second (0 = unlimited)")
 	flag.Float64Var(&opts.adhocBurst, "adhoc-burst", 0, "ad-hoc rate limit burst (0 = max(1, adhoc-rate))")
+	flag.DurationVar(&opts.stmtTimeout, "stmt-timeout", 0, "per-statement execution deadline; expired statements get a typed deadline_exceeded error (0 = none)")
 	flag.BoolVar(&opts.verbose, "v", false, "log engine events to stderr")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -102,7 +103,10 @@ type options struct {
 	window     int
 	adhocRate  float64
 	adhocBurst float64
-	verbose    bool
+	// stmtTimeout bounds each statement's execution; the deadline
+	// propagates frontdoor → engine → comm → device session.
+	stmtTimeout time.Duration
+	verbose     bool
 	// shutdown delivers the stop request; nil means install the real
 	// SIGINT/SIGTERM handler.
 	shutdown chan os.Signal
@@ -222,6 +226,7 @@ func run(opts options) error {
 		Window:      opts.window,
 		AdHocPerSec: opts.adhocRate,
 		AdHocBurst:  opts.adhocBurst,
+		StmtTimeout: opts.stmtTimeout,
 		Clock:       vclock.Real{},
 		Logger:      logger,
 	})
@@ -308,8 +313,13 @@ func run(opts options) error {
 type response struct {
 	// ID echoes the request tag of a pipelined ("#<id> ...") statement so
 	// the client can match out-of-order responses; empty for bare lines.
-	ID      string                `json:"id,omitempty"`
-	OK      bool                  `json:"ok"`
+	ID string `json:"id,omitempty"`
+	OK bool   `json:"ok"`
+	// Code is the typed error class (deadline_exceeded, degraded,
+	// quarantined, panic — plus the door's own overloaded/rate_limited/
+	// statement_too_long) so clients can react by kind instead of parsing
+	// Error text.
+	Code    string                `json:"code,omitempty"`
 	Error   string                `json:"error,omitempty"`
 	Message string                `json:"message,omitempty"`
 	Rows    []map[string]any      `json:"rows,omitempty"`
@@ -327,7 +337,11 @@ type response struct {
 	// Frontdoor is the admission-control view: shed/rate-limited counts,
 	// pool occupancy, and the pipelining window.
 	Frontdoor *frontdoor.MetricsSnapshot `json:"frontdoor,omitempty"`
-	Photos    []photoInfo                `json:"photos,omitempty"`
+	// Wal is the write-ahead journal's counter set; its AppendErrors/
+	// SyncErrors are the early warning that degraded mode is near (or the
+	// record of why it fired). Absent without -data.
+	Wal    *wal.Stats  `json:"wal,omitempty"`
+	Photos []photoInfo `json:"photos,omitempty"`
 }
 
 type photoInfo struct {
@@ -355,6 +369,7 @@ func (s *server) execLine(ctx context.Context, id, line string) any {
 	if err != nil {
 		resp.OK = false
 		resp.Error = err.Error()
+		resp.Code = errorCode(ctx, err)
 	} else {
 		resp.Message = res.Message
 		resp.Rows = res.Rows
@@ -362,6 +377,29 @@ func (s *server) execLine(ctx context.Context, id, line string) any {
 		resp.Names = res.Names
 	}
 	return resp
+}
+
+// errorCode maps an engine error to its wire-level error class. The
+// deadline check also consults the statement context's cancellation
+// cause: -stmt-timeout cancellation surfaces from arbitrary depths
+// (device sessions, pooled transports) as wrapped context errors, and
+// the cause is the one reliable witness that the deadline — not a client
+// disconnect — fired.
+func errorCode(ctx context.Context, err error) string {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(err, core.ErrDegraded):
+		return frontdoor.CodeDegraded
+	case errors.Is(err, core.ErrQuarantined):
+		return frontdoor.CodeQuarantined
+	case errors.Is(err, core.ErrPanic):
+		return frontdoor.CodePanic
+	case errors.Is(err, context.DeadlineExceeded),
+		ctx.Err() != nil && errors.Is(cause, context.DeadlineExceeded):
+		return frontdoor.CodeDeadlineExceeded
+	default:
+		return ""
+	}
 }
 
 // command handles backslash commands.
@@ -380,6 +418,9 @@ func (s *server) command(line string) *response {
 		if s.door != nil {
 			fm := s.door.Metrics()
 			resp.Frontdoor = &fm
+		}
+		if ws, ok := s.engine.JournalStats(); ok {
+			resp.Wal = &ws
 		}
 		return resp
 	case "\\photos":

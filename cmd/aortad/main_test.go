@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -279,6 +280,61 @@ func TestDaemonRestartRecoversCatalog(t *testing.T) {
 	if err := stop(); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
+}
+
+// TestDaemonSigtermDrainsPipelinedStatements: SIGTERM arriving while a
+// client still has tagged statements in flight must produce a graceful
+// drain — run() returns nil, and every goroutine the daemon started
+// (listener, sessions, session writers, pool workers, engine, lab
+// devices) is gone afterwards, within a small budget over the
+// pre-daemon count.
+func TestDaemonSigtermDrainsPipelinedStatements(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	addr, stop := startDaemon(t, dir)
+	conn, sc := dialDaemon(t, addr)
+
+	// Keep a window of tagged statements in flight, reading only a few
+	// responses so the shutdown lands mid-stream.
+	const n = 32
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(conn, "#p%d SELECT s.id FROM sensor s WHERE s.temp > -100\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !sc.Scan() {
+			t.Fatalf("response %d missing before shutdown: %v", i, sc.Err())
+		}
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown with statements in flight: %v", err)
+	}
+
+	// Whatever the daemon still sent must be well-formed frames; the
+	// connection then closes rather than wedging the client.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for sc.Scan() {
+		var resp response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("torn frame during drain: %q", sc.Text())
+		}
+	}
+
+	// Goroutine budget: poll because conn teardown and runtime
+	// bookkeeping lag the daemon's exit slightly.
+	budget := before + 3
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= budget {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked: %d now vs %d before daemon (budget +3)\n%s",
+		runtime.NumGoroutine(), before, buf[:runtime.Stack(buf, true)])
 }
 
 func TestDaemonPprofEndpoint(t *testing.T) {

@@ -467,6 +467,10 @@ type Session struct {
 
 	writeMu sync.Mutex
 	seq     atomic.Uint64
+	// broken is set the instant a frame write fails: the stream may hold
+	// a half-written frame, so the session is dead even if the reader
+	// goroutine has not yet observed the closed connection.
+	broken atomic.Bool
 
 	mu      sync.Mutex
 	pending map[uint64]chan *wire.Message
@@ -536,10 +540,15 @@ func (s *Session) readLoop() {
 	}
 }
 
-// alive reports whether the session's reader goroutine is still running —
-// the pool's liveness check. A false return means the connection is dead
-// and every future round trip on this session would fail.
+// alive reports whether the session is still usable — the pool's
+// liveness check. A false return means the connection is dead and every
+// future round trip on this session would fail. The broken flag covers
+// the race where a write saw the closed connection before the reader
+// goroutine did.
 func (s *Session) alive() bool {
+	if s.broken.Load() {
+		return false
+	}
 	select {
 	case <-s.done:
 		return false
@@ -600,6 +609,7 @@ func (s *Session) roundTrip(ctx context.Context, msg wire.Message) (*wire.Messag
 	select {
 	case err := <-writeErr:
 		if err != nil {
+			s.broken.Store(true)
 			unregister()
 			return nil, fmt.Errorf("comm: send to %s: %w", s.info.ID, err)
 		}

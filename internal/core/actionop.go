@@ -386,9 +386,14 @@ func (op *actionOperator) attemptLocked(ctx context.Context, devID string, req *
 	return op.attempt(ctx, devID, req)
 }
 
-// attempt runs one execution attempt of req on the selected device.
-func (op *actionOperator) attempt(ctx context.Context, devID string, req *ActionRequest) (any, error) {
+// attempt runs one execution attempt of req on the selected device. The
+// action handler runs behind the engine's panic-containment boundary: a
+// panicking handler yields a FailPanic outcome for this request instead
+// of killing the executor — which would also strand executeRound's result
+// collector forever.
+func (op *actionOperator) attempt(ctx context.Context, devID string, req *ActionRequest) (result any, err error) {
 	e := op.engine
+	defer func() { e.containPanic(recover(), &err, "action handler", req.Action) }()
 	if ctx.Err() != nil {
 		return nil, ErrShutdown
 	}

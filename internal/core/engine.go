@@ -127,6 +127,13 @@ type Config struct {
 	// order — just without the cross-operator lock guarantee.
 	InterferenceAblation bool
 
+	// QuarantineAfter auto-stops (quarantines) a continuous query after
+	// this many contained evaluation panics: the query is STOPped with a
+	// recorded reason instead of poisoning every subsequent epoch, and
+	// START AQ refuses it until DROP AQ discards it (default
+	// DefaultQuarantineAfter; negative disables quarantine).
+	QuarantineAfter int
+
 	// Logger receives structured engine events (query lifecycle, batch
 	// dispatch, action failures). Nil discards them.
 	Logger *slog.Logger
@@ -144,6 +151,10 @@ type Config struct {
 // (first attempt plus up to two failover retries).
 const DefaultMaxAttempts = 3
 
+// DefaultQuarantineAfter is the default contained-panic count that
+// quarantines a continuous query.
+const DefaultQuarantineAfter = 3
+
 // engineConfig is the resolved form used internally.
 type engineConfig struct {
 	DefaultEpoch  time.Duration
@@ -157,6 +168,8 @@ type engineConfig struct {
 	ExcludeBusy   bool
 	Interference  bool
 	ProbeInterval time.Duration // active liveness probing (0 = off)
+	// QuarantineAfter is the contained-panic threshold (0 = disabled).
+	QuarantineAfter int
 }
 
 // Engine is the Aorta pervasive query processing engine.
@@ -197,6 +210,12 @@ type Engine struct {
 
 	// glue wires the write-ahead journal in; nil without Config.Journal.
 	glue *journalGlue
+	// degraded flags journal-degraded (read-only) mode: a journal append
+	// failed for a storage reason, so mutating statements are refused with
+	// ErrDegraded until a journal write succeeds again. Continuous queries
+	// keep streaming throughout — a full disk degrades durability, never
+	// availability.
+	degraded atomic.Bool
 	// inFlight counts action requests currently inside a dispatch.
 	inFlight atomic.Int64
 	// recovered holds journal-recovered intents awaiting re-submission;
@@ -224,16 +243,23 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	resolved := engineConfig{
-		DefaultEpoch: cfg.DefaultEpoch,
-		BatchWindow:  cfg.BatchWindow,
-		Scheduler:    cfg.Scheduler,
-		StaleAfter:   cfg.StaleAfter,
-		LockLease:    cfg.LockLease,
-		MaxAttempts:  cfg.MaxAttempts,
-		Locking:      !cfg.DisableLocking,
-		Probing:      !cfg.DisableProbing,
-		ExcludeBusy:  !cfg.ScheduleBusyDevices,
-		Interference: cfg.DisableLocking && cfg.InterferenceAblation,
+		DefaultEpoch:    cfg.DefaultEpoch,
+		BatchWindow:     cfg.BatchWindow,
+		Scheduler:       cfg.Scheduler,
+		StaleAfter:      cfg.StaleAfter,
+		LockLease:       cfg.LockLease,
+		MaxAttempts:     cfg.MaxAttempts,
+		Locking:         !cfg.DisableLocking,
+		Probing:         !cfg.DisableProbing,
+		ExcludeBusy:     !cfg.ScheduleBusyDevices,
+		Interference:    cfg.DisableLocking && cfg.InterferenceAblation,
+		QuarantineAfter: cfg.QuarantineAfter,
+	}
+	if resolved.QuarantineAfter == 0 {
+		resolved.QuarantineAfter = DefaultQuarantineAfter
+	}
+	if resolved.QuarantineAfter < 0 {
+		resolved.QuarantineAfter = 0 // quarantine disabled
 	}
 	if !cfg.DisableLiveness && cfg.LivenessProbeInterval > 0 {
 		resolved.ProbeInterval = cfg.LivenessProbeInterval
@@ -376,7 +402,61 @@ func (e *Engine) Clock() vclock.Clock { return e.clk }
 func (e *Engine) Registry() *profile.Registry { return e.reg }
 
 // Metrics returns the engine's action metrics.
-func (e *Engine) Metrics() MetricsSnapshot { return e.metrics.Snapshot() }
+func (e *Engine) Metrics() MetricsSnapshot {
+	snap := e.metrics.Snapshot()
+	snap.Degraded = e.degraded.Load()
+	return snap
+}
+
+// Degraded reports whether the engine is currently in journal-degraded
+// (read-only) mode.
+func (e *Engine) Degraded() bool { return e.degraded.Load() }
+
+// JournalStats returns the write-ahead journal's counters (including the
+// AppendErrors/SyncErrors early-warning counters degraded mode fires on),
+// or false when the engine runs without a journal.
+func (e *Engine) JournalStats() (wal.Stats, bool) {
+	if e.glue == nil {
+		return wal.Stats{}, false
+	}
+	return e.glue.j.Stats(), true
+}
+
+// enterDegraded flips the engine read-only after a journal write failed
+// for a storage reason. Idempotent; only the transition is counted.
+func (e *Engine) enterDegraded(cause error) {
+	if e.degraded.CompareAndSwap(false, true) {
+		e.metrics.noteDegraded(true)
+		e.lg.Error("journal write failed: engine entering degraded (read-only) mode",
+			"err", cause)
+	}
+}
+
+// exitDegraded clears degraded mode after a journal write or probe
+// succeeded. Idempotent; only the transition is counted.
+func (e *Engine) exitDegraded() {
+	if e.degraded.CompareAndSwap(true, false) {
+		e.metrics.noteDegraded(false)
+		e.lg.Info("journal writes succeeding again: engine exiting degraded mode")
+	}
+}
+
+// checkDegraded gates a mutating statement. In degraded mode it first
+// re-probes the journal with a sync — recovery (an admin freeing disk
+// space) is discovered by the next mutation rather than requiring a
+// restart — and refuses with ErrDegraded only if the probe still fails.
+func (e *Engine) checkDegraded() error {
+	if !e.degraded.Load() {
+		return nil
+	}
+	if e.glue != nil {
+		if err := e.glue.j.Sync(); err == nil {
+			e.exitDegraded()
+			return nil
+		}
+	}
+	return ErrDegraded
+}
 
 // CommMetrics returns a snapshot of the communication layer's transport
 // counters, including the session pool (hits, misses, evictions,
@@ -726,9 +806,25 @@ type ExecResult struct {
 
 // Exec parses and executes one extended-SQL statement.
 func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
+	// A statement whose deadline already expired fails typed up front;
+	// mid-statement expiry during a scan instead degrades to partial
+	// results (network data independence: a device that did not answer
+	// in time contributes no tuple).
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
+	}
+	// Statements that mutate journaled state are refused while the
+	// journal cannot accept writes; reads and continuous evaluation
+	// continue untouched.
+	switch stmt.(type) {
+	case *sqlparse.CreateAQ, *sqlparse.DropAQ, *sqlparse.StopAQ, *sqlparse.StartAQ:
+		if err := e.checkDegraded(); err != nil {
+			return nil, err
+		}
 	}
 	switch st := stmt.(type) {
 	case *sqlparse.CreateAction:
@@ -757,6 +853,13 @@ func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 		rows, err := e.evalOnce(ctx, q)
 		if err != nil {
 			return nil, err
+		}
+		// A statement deadline that expired mid-scan is an error for an
+		// ad-hoc query, not silently truncated rows: device-level
+		// timeouts skip tuples (network data independence), but the
+		// statement's own bound breaching is the client's signal.
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
 		}
 		return &ExecResult{Kind: "rows", Rows: rows}, nil
 	default:
@@ -867,12 +970,36 @@ func (e *Engine) execStartAQ(name string) (*ExecResult, error) {
 		return nil, fmt.Errorf("core: no query %q", name)
 	}
 	q.mu.Lock()
+	if q.quarantined {
+		reason := q.quarReason
+		q.mu.Unlock()
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (DROP AQ %s to discard it)", ErrQuarantined, reason, name)
+	}
 	q.stopped = false
 	q.mu.Unlock()
 	e.startQueryLocked(q)
 	e.mu.Unlock()
 	e.journalQuery(wal.KindStartQuery, &wal.QueryRefRecord{Name: name})
 	return &ExecResult{Kind: "ok", Message: fmt.Sprintf("query %s started", name)}, nil
+}
+
+// quarantineQuery auto-stops a query whose evaluation panicked
+// QuarantineAfter times: the same catalog transition as STOP AQ (journaled,
+// so a restart keeps it stopped) plus a recorded reason SHOW QUERIES and
+// START AQ surface. Called from the query's own loop with no locks held.
+func (e *Engine) quarantineQuery(q *Query, cause error) {
+	stopQuery(q)
+	q.mu.Lock()
+	q.stopped = true
+	q.quarantined = true
+	q.quarReason = fmt.Sprintf("quarantined after %d evaluation panics, last: %v", q.panics, cause)
+	reason := q.quarReason
+	q.mu.Unlock()
+	e.forgetQuery(q.ID)
+	e.journalQuery(wal.KindStopQuery, &wal.QueryRefRecord{Name: q.Name})
+	e.metrics.noteQuarantine()
+	e.lg.Error("query quarantined", "query", q.Name, "id", q.ID, "reason", reason)
 }
 
 func stopQuery(q *Query) {

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// This file is the fail-operational vocabulary: the typed errors that
+// fault containment converts panics and storage faults into, so callers
+// (frontdoor, aortad, tests) can react by kind instead of crashing or
+// string-matching. DESIGN.md "Failure taxonomy" enumerates how these map
+// to wire-level error codes.
+
+// ErrPanic marks an error that began life as a panic inside per-query
+// evaluation or action execution and was contained at a recover()
+// boundary. Never retryable: re-running the same poisoned input would
+// panic again.
+var ErrPanic = errors.New("core: evaluation panicked")
+
+// ErrDegraded rejects a mutating statement while the engine is in
+// journal-degraded (read-only) mode: the WAL stopped accepting writes
+// (full disk, I/O error), so nothing that must be durable may be
+// accepted. Continuous queries keep streaming; the mode clears once a
+// journal probe succeeds.
+var ErrDegraded = errors.New("core: journal degraded, engine is read-only")
+
+// ErrQuarantined rejects START AQ for a query the engine auto-stopped
+// after repeated panics. The quarantine reason stays visible in SHOW
+// QUERIES; DROP AQ is the only exit.
+var ErrQuarantined = errors.New("core: query is quarantined")
+
+// PanicError carries the recovered panic value and its stack. It unwraps
+// to ErrPanic so classification and retry logic match by sentinel while
+// logs keep the full trace.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrPanic, p.Value)
+}
+
+func (p *PanicError) Unwrap() error { return ErrPanic }
+
+// containPanic is the shared recover() boundary body: call as
+//
+//	defer func() { e.containPanic(recover(), &err, "query evaluation", q.Name) }()
+//
+// inside any function whose panic must become a typed error instead of
+// unwinding into the daemon's runtime. A nil recovered value is a no-op;
+// otherwise *err is replaced with a *PanicError, the panic is counted,
+// and the full stack is logged once here (callers surface only the
+// value).
+func (e *Engine) containPanic(v any, err *error, in, name string) {
+	if v == nil {
+		return
+	}
+	pe := &PanicError{Value: v, Stack: debug.Stack()}
+	*err = pe
+	e.metrics.noteEvalPanic()
+	e.lg.Error("panic contained", "in", in, "name", name, "panic", v,
+		"stack", string(pe.Stack))
+}

@@ -70,14 +70,27 @@ func (g *journalGlue) didRecover() bool {
 }
 
 // append journals one record, logging rather than propagating failures:
-// a full disk must degrade durability, not availability.
+// a full disk must degrade durability, not availability. A storage-level
+// append failure additionally flips the engine into degraded (read-only)
+// mode — mutating statements are refused until a journal write succeeds
+// again — and any later successful append auto-heals the mode.
 func (e *Engine) journalAppend(kind wal.Kind, payload any) {
 	rec, err := wal.NewRecord(kind, payload)
-	if err == nil {
-		err = e.glue.j.Append(rec)
-	}
-	if err != nil && !errors.Is(err, wal.ErrClosed) {
+	if err != nil {
+		// An unmarshalable payload is a programming error, not a storage
+		// fault: log it, but do not flip the engine read-only over it.
 		e.lg.Error("journal append failed", "kind", kind.String(), "err", err)
+		return
+	}
+	if err := e.glue.j.Append(rec); err != nil {
+		if !errors.Is(err, wal.ErrClosed) {
+			e.lg.Error("journal append failed", "kind", kind.String(), "err", err)
+			e.enterDegraded(err)
+		}
+		return
+	}
+	if e.degraded.Load() {
+		e.exitDegraded()
 	}
 }
 

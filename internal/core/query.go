@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -41,6 +42,12 @@ type Query struct {
 	evals     int64
 	evalErrs  int64
 	lastError error
+	// panics counts evaluation panics contained by the engine's recover()
+	// boundary; at Config.QuarantineAfter the query is quarantined:
+	// auto-stopped with quarReason recorded, refused by START AQ.
+	panics      int64
+	quarantined bool
+	quarReason  string
 }
 
 // boundTable is one FROM entry bound to a device type with the attribute
@@ -75,6 +82,12 @@ type Info struct {
 	SQL     string
 	Evals   int64
 	Errors  int64
+	// Panics counts evaluation panics contained for this query;
+	// Quarantined marks a query auto-stopped at the panic threshold, with
+	// Reason recording why.
+	Panics      int64
+	Quarantined bool
+	Reason      string
 }
 
 // Info returns a snapshot of the query's state.
@@ -84,6 +97,7 @@ func (q *Query) Info() Info {
 	return Info{
 		ID: q.ID, Name: q.Name, Running: q.running, Epoch: q.Epoch,
 		SQL: q.sel.String(), Evals: q.evals, Errors: q.evalErrs,
+		Panics: q.panics, Quarantined: q.quarantined, Reason: q.quarReason,
 	}
 }
 
@@ -344,7 +358,17 @@ func (e *Engine) evalOnce(ctx context.Context, q *Query) ([]map[string]any, erro
 		}
 		views[bt.alias] = scanshare.TableView{Batch: b, Attrs: bt.attrs}
 	}
-	return e.evalScanned(q, views)
+	return e.safeEvalScanned(q, views)
+}
+
+// safeEvalScanned is evalScanned behind the engine's panic-containment
+// boundary: a panic anywhere in join/filter/aggregate evaluation
+// (compiled predicates, user boolean functions, argument binding) becomes
+// a typed *PanicError for this query instead of unwinding into the
+// daemon's runtime.
+func (e *Engine) safeEvalScanned(q *Query, tables map[string]scanshare.TableView) (rows []map[string]any, err error) {
+	defer func() { e.containPanic(recover(), &err, "query evaluation", q.Name) }()
+	return e.evalScanned(q, tables)
 }
 
 // evalScanned runs the post-scan half of an epoch over the epoch's table
@@ -606,15 +630,29 @@ func (e *Engine) runQuery(ctx context.Context, q *Query) {
 		}
 		err := batch.Err
 		if err == nil {
-			_, err = e.evalScanned(q, batch.Tables)
+			_, err = e.safeEvalScanned(q, batch.Tables)
 		}
 		batch.Release()
+		quarantine := false
 		q.mu.Lock()
 		q.evals++
 		if err != nil && ctx.Err() == nil {
 			q.evalErrs++
 			q.lastError = err
+			if errors.Is(err, ErrPanic) {
+				q.panics++
+				if e.cfg.QuarantineAfter > 0 && q.panics >= int64(e.cfg.QuarantineAfter) && !q.quarantined {
+					quarantine = true
+				}
+			}
 		}
 		q.mu.Unlock()
+		if quarantine {
+			// A poison query: the same input panics every epoch. Stop it
+			// here — its own loop — rather than letting it grind on; the
+			// cancel below also makes this loop's next select return.
+			e.quarantineQuery(q, err)
+			return
+		}
 	}
 }

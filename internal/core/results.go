@@ -37,6 +37,10 @@ const (
 	// engine was down: recovery closes it with this outcome instead of
 	// firing a stale action. Always terminal; never retried.
 	FailExpired
+	// FailPanic marks an action whose handler panicked and was contained
+	// at the executor's recover() boundary. Terminal: the same input
+	// would panic again, so retrying only burns the attempt budget.
+	FailPanic
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +62,8 @@ func (k FailureKind) String() string {
 		return "no-device"
 	case FailExpired:
 		return "expired"
+	case FailPanic:
+		return "panic"
 	default:
 		return "other"
 	}
@@ -73,7 +79,7 @@ func (k FailureKind) MarshalText() ([]byte, error) {
 // UnmarshalText parses a kind name produced by MarshalText; unknown names
 // decode as FailOther so old clients survive new kinds.
 func (k *FailureKind) UnmarshalText(text []byte) error {
-	for kind := FailNone; kind <= FailExpired; kind++ {
+	for kind := FailNone; kind <= FailPanic; kind++ {
 		if kind.String() == string(text) {
 			*k = kind
 			return nil
@@ -88,6 +94,8 @@ func classifyFailure(err error) FailureKind {
 	switch {
 	case err == nil:
 		return FailNone
+	case errors.Is(err, ErrPanic):
+		return FailPanic
 	case errors.Is(err, ErrBlurred):
 		return FailBlurred
 	case errors.Is(err, ErrWrongPosition):
@@ -138,6 +146,8 @@ func retryableFailure(err error) bool {
 		return false
 	case errors.Is(err, ErrBlurred), errors.Is(err, ErrWrongPosition), errors.Is(err, ErrNotCoverable):
 		return false
+	case errors.Is(err, ErrPanic):
+		return false // poisoned input: repeating it would panic again
 	case comm.Retryable(err):
 		return true
 	case errors.Is(err, devsync.ErrNotLocked):
@@ -187,6 +197,10 @@ type EngineMetrics struct {
 	retries         int64
 	dropped         int64
 	outcomesDropped int64
+	evalPanics      int64
+	quarantined     int64
+	degradedEntries int64
+	degradedExits   int64
 }
 
 func newEngineMetrics() *EngineMetrics {
@@ -221,6 +235,32 @@ func (m *EngineMetrics) noteOutcomesDropped(n int) {
 	m.mu.Unlock()
 }
 
+// noteEvalPanic counts a panic contained during per-query evaluation.
+func (m *EngineMetrics) noteEvalPanic() {
+	m.mu.Lock()
+	m.evalPanics++
+	m.mu.Unlock()
+}
+
+// noteQuarantine counts a query auto-stopped after repeated panics.
+func (m *EngineMetrics) noteQuarantine() {
+	m.mu.Lock()
+	m.quarantined++
+	m.mu.Unlock()
+}
+
+// noteDegraded counts a transition into (entered) or out of journal-
+// degraded mode.
+func (m *EngineMetrics) noteDegraded(entered bool) {
+	m.mu.Lock()
+	if entered {
+		m.degradedEntries++
+	} else {
+		m.degradedExits++
+	}
+	m.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of the metrics.
 type MetricsSnapshot struct {
 	Requests  int64
@@ -240,6 +280,18 @@ type MetricsSnapshot struct {
 	// SubscribeOutcomes channel was full — the hub never blocks the
 	// executor on a slow consumer; it sheds instead and counts here.
 	OutcomesDropped int64
+	// EvalPanics counts panics contained at per-query evaluation
+	// boundaries (compiled predicates, aggregates, action handlers).
+	EvalPanics int64
+	// QuarantinedQueries counts queries auto-stopped after panicking
+	// QuarantineAfter times.
+	QuarantinedQueries int64
+	// Degraded reports whether the engine is currently in journal-
+	// degraded (read-only) mode; DegradedEntries/DegradedExits count the
+	// transitions.
+	Degraded        bool
+	DegradedEntries int64
+	DegradedExits   int64
 }
 
 // Snapshot returns a copy of the current counters.
@@ -250,9 +302,13 @@ func (m *EngineMetrics) Snapshot() MetricsSnapshot {
 		Requests:        m.requests,
 		Successes:       m.successes,
 		Failures:        make(map[FailureKind]int64, len(m.failures)),
-		Retries:         m.retries,
-		Dropped:         m.dropped,
-		OutcomesDropped: m.outcomesDropped,
+		Retries:            m.retries,
+		Dropped:            m.dropped,
+		OutcomesDropped:    m.outcomesDropped,
+		EvalPanics:         m.evalPanics,
+		QuarantinedQueries: m.quarantined,
+		DegradedEntries:    m.degradedEntries,
+		DegradedExits:      m.degradedExits,
 	}
 	var failed int64
 	for k, v := range m.failures {

@@ -1,0 +1,449 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"aorta/internal/core"
+	"aorta/internal/lab"
+	"aorta/internal/netsim"
+	"aorta/internal/wal"
+)
+
+// ChaosConfig controls the fail-operational chaos study: one engine
+// process drives a photo workload on the simulated lab while the study
+// injects every fault class the engine claims to contain — a poisoned
+// query that panics on evaluation, WAL append/sync faults, camera
+// kill/revive churn, and slow camera links. The study asserts the
+// fail-operational invariants from the outside: the process never dies,
+// the poisoned query is quarantined, degraded mode is entered and
+// exited, and the journal closes with no intent left outcome-less.
+type ChaosConfig struct {
+	// Queries is the number of healthy photo queries, one per mote. A
+	// poisoned query rides alongside them.
+	Queries int
+	// Cameras is the camera count; churn kills and revives them in turn.
+	Cameras int
+	// ClockScale speeds up virtual time.
+	ClockScale float64
+	// Seed drives device randomness.
+	Seed int64
+	// QuarantineAfter is the engine's panic threshold for the poisoned
+	// query.
+	QuarantineAfter int
+	// ChurnRounds is the number of camera kill/revive cycles run under
+	// the live workload.
+	ChurnRounds int
+	// LinkDelay and LinkJitter degrade every camera link (virtual time):
+	// the "slow links" fault class, on for the whole study.
+	LinkDelay  time.Duration
+	LinkJitter time.Duration
+	// StaleAfter is the virtual deadline attached to every action intent.
+	StaleAfter time.Duration
+	// Dir is the journal directory; empty means a fresh temp dir.
+	Dir string
+}
+
+// DefaultChaosConfig sizes the study per the robustness acceptance bar:
+// all fault classes in one process, small enough to run under -race in
+// CI.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Queries:         4,
+		Cameras:         2,
+		ClockScale:      150,
+		Seed:            2008,
+		QuarantineAfter: 2,
+		ChurnRounds:     3,
+		LinkDelay:       200 * time.Millisecond,
+		LinkJitter:      100 * time.Millisecond,
+		StaleAfter:      5 * time.Minute,
+	}
+}
+
+// ChaosResult aggregates the study's observations and invariant checks.
+type ChaosResult struct {
+	// PanicsContained is the engine's contained-evaluation-panic count;
+	// QuarantinedQueries how many queries were auto-stopped for it.
+	PanicsContained    int64
+	QuarantinedQueries int64
+	// QuarantineReason is the recorded reason on the poisoned query.
+	QuarantineReason string
+	// StartRefused reports that START AQ on the quarantined query was
+	// refused with the typed error.
+	StartRefused bool
+
+	// DegradedEntries/DegradedExits count journal-degraded transitions;
+	// MutationsRefused counts mutating statements refused with
+	// ErrDegraded while the WAL faults were live.
+	DegradedEntries  int64
+	DegradedExits    int64
+	MutationsRefused int
+	// StreamedWhileDegraded reports that continuous queries kept
+	// evaluating during the degraded window.
+	StreamedWhileDegraded bool
+	// WalAppendErrors/WalSyncErrors are the journal's failure counters
+	// after the study (injected faults included).
+	WalAppendErrors int64
+	WalSyncErrors   int64
+
+	// Kills/Revives count camera churn events.
+	Kills, Revives int
+	// Outcomes and Successes count action completions observed across
+	// the study; IntentsObserved distinct dedup keys.
+	Outcomes        int
+	Successes       int
+	IntentsObserved int
+	// LostOutcomes is the number of journaled intents with no journaled
+	// outcome after the clean shutdown. The invariant demands 0.
+	LostOutcomes int
+
+	// Violations lists every fail-operational invariant the study saw
+	// broken; empty means the engine held its contract under all fault
+	// classes at once.
+	Violations []string
+}
+
+// ChaosStudy runs the mixed-fault workload and audits the
+// fail-operational invariants.
+func ChaosStudy(cfg ChaosConfig) (*ChaosResult, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "aorta-chaos-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	j, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	l, err := lab.New(lab.Config{
+		Cameras:    cfg.Cameras,
+		Motes:      cfg.Queries,
+		ClockScale: cfg.ClockScale,
+		Seed:       cfg.Seed,
+		// Slow links are on for the entire study.
+		CameraLink: netsim.LinkConfig{
+			PropagationDelay: cfg.LinkDelay,
+			Jitter:           cfg.LinkJitter,
+		},
+		Engine: core.Config{
+			// One attempt and no availability machinery, as in the crash
+			// study: chaos isolates containment semantics, not failover.
+			MaxAttempts:      1,
+			DisableProbing:   true,
+			DialBackoff:      -1,
+			BreakerThreshold: -1,
+			DisableLiveness:  true,
+			BatchWindow:      crashRecBatchWindow,
+			StaleAfter:       cfg.StaleAfter,
+			QuarantineAfter:  cfg.QuarantineAfter,
+			Journal:          j,
+		},
+	})
+	if err != nil {
+		j.Crash()
+		return nil, err
+	}
+	defer l.Close()
+	eng := l.Engine
+
+	res := &ChaosResult{}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// The poisoned predicate: every evaluation of the poisoned query
+	// panics inside the engine's containment boundary.
+	eng.RegisterBoolFunc("chaos_panic", func(args []any) (bool, error) {
+		panic("chaos: poisoned predicate")
+	})
+
+	// Outcome observer, as in the crash study.
+	var (
+		obsMu     sync.Mutex
+		observed  = map[string]bool{}
+		successes int
+		outcomes  int
+	)
+	outcomeCh := eng.SubscribeOutcomes(8192)
+	obsDone := make(chan struct{})
+	var obsWG sync.WaitGroup
+	obsWG.Add(1)
+	go func() {
+		defer obsWG.Done()
+		record := func(o *core.Outcome) {
+			key := core.IntentDedupKey(o.Query, o.EventKey, o.Deadline)
+			obsMu.Lock()
+			observed[key] = true
+			outcomes++
+			if o.OK() {
+				successes++
+			}
+			obsMu.Unlock()
+		}
+		for {
+			select {
+			case o := <-outcomeCh:
+				record(o)
+			case <-obsDone:
+				for {
+					select {
+					case o := <-outcomeCh:
+						record(o)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	virtualEpoch := 60 * time.Second
+	epochWall := time.Duration(float64(virtualEpoch) / cfg.ClockScale)
+
+	if _, err := eng.Recover(ctx); err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	if err := eng.Start(ctx); err != nil {
+		return nil, fmt.Errorf("start: %w", err)
+	}
+
+	for i := 1; i <= cfg.Queries; i++ {
+		sql := fmt.Sprintf(`CREATE AQ chaos%d AS
+			SELECT photo(c.ip, s.loc, "photos/chaos")
+			FROM sensor s, camera c
+			WHERE s.accel_x > 500 AND s.id = "mote-%d" AND coverage(c.id, s.loc)
+			EVERY "60s"`, i, i)
+		if _, err := eng.Exec(ctx, sql); err != nil {
+			return nil, fmt.Errorf("create chaos%d: %w", i, err)
+		}
+	}
+	if _, err := eng.Exec(ctx,
+		`CREATE AQ poison AS SELECT s.id FROM sensor s WHERE chaos_panic() EVERY "60s"`); err != nil {
+		return nil, fmt.Errorf("create poison: %w", err)
+	}
+
+	// Fault class 1: evaluation panics. Wait for the quarantine to fire.
+	deadline := time.Now().Add(60*epochWall + 5*time.Second)
+	for time.Now().Before(deadline) {
+		if info, ok := eng.QueryInfo("poison"); ok && info.Quarantined {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if info, ok := eng.QueryInfo("poison"); ok && info.Quarantined {
+		res.QuarantineReason = info.Reason
+	} else {
+		violate("poisoned query was not quarantined (info=%+v)", info)
+	}
+	if _, err := eng.Exec(ctx, "START AQ poison"); errors.Is(err, core.ErrQuarantined) {
+		res.StartRefused = true
+	} else {
+		violate("START AQ poison: err=%v, want ErrQuarantined", err)
+	}
+
+	// Fault class 2: the disk under the journal fails. Every append and
+	// sync errors until cleared; the first mutating statement trips the
+	// engine into degraded mode, later ones are refused typed.
+	evalsBefore := queryEvals(eng, "chaos1")
+	j.InjectFaults(1<<20, 1<<20, nil)
+	if _, err := eng.Exec(ctx, "STOP AQ chaos1"); err != nil {
+		violate("STOP AQ chaos1 under WAL fault: %v (gate should pass before the append fails)", err)
+	}
+	if !eng.Degraded() {
+		violate("engine not degraded after journal append fault")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Exec(ctx, "START AQ chaos1"); errors.Is(err, core.ErrDegraded) {
+			res.MutationsRefused++
+		}
+	}
+	if res.MutationsRefused == 0 {
+		violate("no mutation refused with ErrDegraded while WAL faults live")
+	}
+	// Reads and streaming must survive degraded mode.
+	if _, err := eng.Exec(ctx, "SHOW QUERIES"); err != nil {
+		violate("SHOW QUERIES failed in degraded mode: %v", err)
+	}
+	streamBy := time.Now().Add(30*epochWall + 5*time.Second)
+	for time.Now().Before(streamBy) {
+		if queryEvals(eng, "chaos2") > evalsBefore {
+			res.StreamedWhileDegraded = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !res.StreamedWhileDegraded {
+		violate("continuous queries stopped evaluating in degraded mode")
+	}
+	// The disk heals: the next mutating statement re-probes, exits
+	// degraded mode, and succeeds.
+	j.InjectFaults(0, 0, nil)
+	if _, err := eng.Exec(ctx, "START AQ chaos1"); err != nil {
+		violate("START AQ chaos1 after WAL heal: %v", err)
+	}
+	if eng.Degraded() {
+		violate("engine still degraded after successful journal write")
+	}
+
+	// Fault classes 3+4: camera churn under the live workload, over the
+	// always-slow links. Outcomes must keep landing and every journaled
+	// intent must close.
+	stimDur := time.Duration(cfg.ChurnRounds+4) * 20 * virtualEpoch
+	for i := 0; i < cfg.Queries; i++ {
+		l.StimulateMote(i, 900, stimDur)
+	}
+	for round := 0; round < cfg.ChurnRounds; round++ {
+		id := fmt.Sprintf("camera-%d", round%cfg.Cameras+1)
+		l.Kill(id)
+		res.Kills++
+		time.Sleep(2 * epochWall)
+		l.Revive(id)
+		res.Revives++
+		time.Sleep(2 * epochWall)
+	}
+	successBy := time.Now().Add(40*epochWall + 5*time.Second)
+	for time.Now().Before(successBy) {
+		obsMu.Lock()
+		n := successes
+		obsMu.Unlock()
+		if n >= cfg.Queries {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stop the queries first so no fresh epoch can mint an intent behind
+	// the quiesce check, then drain and shut down cleanly.
+	for i := 1; i <= cfg.Queries; i++ {
+		if _, err := eng.Exec(ctx, fmt.Sprintf("STOP AQ chaos%d", i)); err != nil {
+			violate("STOP AQ chaos%d at shutdown: %v", i, err)
+		}
+	}
+	quiesceBy := time.Now().Add(40*epochWall + 10*time.Second)
+	for time.Now().Before(quiesceBy) {
+		if eng.JournalPending() == 0 && eng.InFlight() == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	m := eng.Metrics()
+	res.PanicsContained = m.EvalPanics
+	res.QuarantinedQueries = m.QuarantinedQueries
+	res.DegradedEntries = m.DegradedEntries
+	res.DegradedExits = m.DegradedExits
+	if ws, ok := eng.JournalStats(); ok {
+		res.WalAppendErrors = ws.AppendErrors
+		res.WalSyncErrors = ws.SyncErrors
+	}
+	if res.PanicsContained < int64(cfg.QuarantineAfter) {
+		violate("contained panics = %d, want >= %d", res.PanicsContained, cfg.QuarantineAfter)
+	}
+	if res.QuarantinedQueries < 1 {
+		violate("quarantined queries = %d, want >= 1", res.QuarantinedQueries)
+	}
+	if res.DegradedEntries < 1 || res.DegradedExits < 1 {
+		violate("degraded entries/exits = %d/%d, want >= 1 each",
+			res.DegradedEntries, res.DegradedExits)
+	}
+
+	eng.Stop()
+	if err := j.Close(); err != nil {
+		return nil, fmt.Errorf("close journal: %w", err)
+	}
+	close(obsDone)
+	obsWG.Wait()
+	obsMu.Lock()
+	res.Outcomes = outcomes
+	res.Successes = successes
+	res.IntentsObserved = len(observed)
+	obsMu.Unlock()
+	if res.Successes < cfg.Queries {
+		violate("successes = %d, want >= %d (one per healthy query)", res.Successes, cfg.Queries)
+	}
+
+	// Post-mortem: replay the journal and count intents with no outcome.
+	pm, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("post-mortem open: %w", err)
+	}
+	defer pm.Close()
+	pending := map[string]bool{}
+	err = pm.Replay(func(rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindSnapshot:
+			var snap wal.Snapshot
+			if err := rec.Decode(&snap); err != nil {
+				return err
+			}
+			pending = map[string]bool{}
+			for _, ir := range snap.Pending {
+				pending[ir.DedupKey] = true
+			}
+		case wal.KindIntent:
+			var ir wal.IntentRecord
+			if err := rec.Decode(&ir); err != nil {
+				return err
+			}
+			pending[ir.DedupKey] = true
+		case wal.KindOutcome:
+			var or wal.OutcomeRecord
+			if err := rec.Decode(&or); err != nil {
+				return err
+			}
+			delete(pending, or.DedupKey)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("post-mortem replay: %w", err)
+	}
+	res.LostOutcomes = len(pending)
+	if res.LostOutcomes != 0 {
+		violate("lost outcomes = %d, want 0", res.LostOutcomes)
+	}
+	return res, nil
+}
+
+// queryEvals reads a query's evaluation counter, 0 if unknown.
+func queryEvals(eng *core.Engine, name string) int64 {
+	if info, ok := eng.QueryInfo(name); ok {
+		return info.Evals
+	}
+	return 0
+}
+
+// PrintChaosStudy renders the fault classes, observations, and the
+// invariant verdicts.
+func PrintChaosStudy(w io.Writer, cfg ChaosConfig, res *ChaosResult) {
+	fmt.Fprintf(w, "Chaos — %d photo queries + 1 poisoned, %d cameras, links +%v±%v, %d churn rounds, one process\n",
+		cfg.Queries, cfg.Cameras, cfg.LinkDelay, cfg.LinkJitter, cfg.ChurnRounds)
+	fmt.Fprintf(w, "panic containment:  %d panics contained, %d query quarantined (reason: %s), START refused: %v\n",
+		res.PanicsContained, res.QuarantinedQueries, res.QuarantineReason, res.StartRefused)
+	fmt.Fprintf(w, "journal faults:     degraded entered %d / exited %d, %d mutations refused typed, streamed while degraded: %v\n",
+		res.DegradedEntries, res.DegradedExits, res.MutationsRefused, res.StreamedWhileDegraded)
+	fmt.Fprintf(w, "                    wal append errors %d, sync errors %d\n",
+		res.WalAppendErrors, res.WalSyncErrors)
+	fmt.Fprintf(w, "device churn:       %d kills, %d revives\n", res.Kills, res.Revives)
+	fmt.Fprintf(w, "workload:           %d outcomes (%d ok) over %d intents, lost outcomes: %d (want 0)\n",
+		res.Outcomes, res.Successes, res.IntentsObserved, res.LostOutcomes)
+	if len(res.Violations) == 0 {
+		fmt.Fprintf(w, "invariants:         all held (process alive, quarantine fired, degraded entered+exited, no lost outcomes)\n")
+		return
+	}
+	fmt.Fprintf(w, "invariants VIOLATED (%d):\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(w, "  - %s\n", v)
+	}
+}

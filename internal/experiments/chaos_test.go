@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// The chaos study must hold every fail-operational invariant with all
+// fault classes injected into one engine process.
+func TestChaosStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos study is wall-clock bound")
+	}
+	cfg := DefaultChaosConfig()
+	cfg.ChurnRounds = 2
+	res, err := ChaosStudy(cfg)
+	if err != nil {
+		t.Fatalf("ChaosStudy: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	if res.PanicsContained < int64(cfg.QuarantineAfter) || res.QuarantinedQueries != 1 {
+		t.Errorf("panics=%d quarantined=%d, want >=%d and 1",
+			res.PanicsContained, res.QuarantinedQueries, cfg.QuarantineAfter)
+	}
+	if res.DegradedEntries < 1 || res.DegradedExits < 1 {
+		t.Errorf("degraded entries/exits = %d/%d, want >=1 each", res.DegradedEntries, res.DegradedExits)
+	}
+	if res.LostOutcomes != 0 {
+		t.Errorf("lost outcomes = %d, want 0", res.LostOutcomes)
+	}
+	PrintChaosStudy(io.Discard, cfg, res)
+}

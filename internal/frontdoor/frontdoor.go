@@ -40,8 +40,10 @@ import (
 	"log/slog"
 	"net"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"aorta/internal/vclock"
 )
@@ -64,6 +66,24 @@ const (
 	// connection closes after this frame because the stream position is
 	// lost.
 	CodeTooLong = "statement_too_long"
+	// CodePanic reports a statement whose execution panicked and was
+	// contained at the session's recover() boundary: the statement failed
+	// but the daemon and the connection live on.
+	CodePanic = "panic"
+
+	// The remaining protocol codes are emitted by the statement handler
+	// (the daemon), not the door itself; they are declared here so client
+	// and server share one vocabulary. See DESIGN.md "Failure taxonomy".
+
+	// CodeDeadlineExceeded reports a statement cancelled by the
+	// per-statement deadline (Config.StmtTimeout / aortad -stmt-timeout).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeDegraded rejects a mutating statement while the engine is in
+	// journal-degraded (read-only) mode.
+	CodeDegraded = "degraded"
+	// CodeQuarantined rejects START AQ for a query auto-stopped after
+	// repeated evaluation panics.
+	CodeQuarantined = "quarantined"
 )
 
 // ErrorResponse is the error frame the front door emits without
@@ -147,6 +167,12 @@ type Config struct {
 	// MaxLine is the statement byte limit (default 1 MiB). A longer line
 	// gets a typed error frame before the connection closes.
 	MaxLine int
+	// StmtTimeout bounds each statement's execution with a context
+	// deadline on Clock; the deadline propagates through the handler into
+	// the engine, comm layer and device sessions, so a statement wedged
+	// on a partitioned device releases its pool worker instead of holding
+	// it forever. 0 disables.
+	StmtTimeout time.Duration
 	// Clock feeds the rate limiter; tests use vclock.Manual.
 	Clock vclock.Clock
 	// Logger, when set, records read errors and shed decisions.
@@ -184,7 +210,15 @@ func New(cfg Config) *Door {
 	if cfg.Clock == nil {
 		cfg.Clock = vclock.Real{}
 	}
-	return &Door{cfg: cfg, pool: newPool(cfg.Workers, cfg.Queue, cfg.AdHocReserve)}
+	d := &Door{cfg: cfg}
+	d.pool = newPool(cfg.Workers, cfg.Queue, cfg.AdHocReserve, func(v any) {
+		d.m.panics.Add(1)
+		if cfg.Logger != nil {
+			cfg.Logger.Error("frontdoor: panic contained in pool worker",
+				"panic", v, "stack", string(debug.Stack()))
+		}
+	})
+	return d
 }
 
 // Close stops the pool after draining queued statements. Serve must not
@@ -369,6 +403,36 @@ func (s *session) admit(class Class, id string) bool {
 	return true
 }
 
+// runExec executes one statement through the handler behind the
+// session's fault boundaries: a per-statement deadline (Config.
+// StmtTimeout) that the handler propagates all the way to device
+// sessions, and a recover() boundary that converts a panicking handler
+// into a typed error frame — the connection and the daemon survive a
+// statement that would otherwise unwind a worker or the read loop.
+func (s *session) runExec(ctx context.Context, id, stmt string) (resp any) {
+	d := s.door
+	defer func() {
+		if v := recover(); v != nil {
+			d.m.panics.Add(1)
+			if d.cfg.Logger != nil {
+				d.cfg.Logger.Error("frontdoor: panic contained in statement execution",
+					"stmt", stmt, "panic", v, "stack", string(debug.Stack()))
+			}
+			resp = &ErrorResponse{
+				ID:    id,
+				Error: fmt.Sprintf("internal error: statement execution panicked: %v", v),
+				Code:  CodePanic,
+			}
+		}
+	}()
+	if d.cfg.StmtTimeout > 0 {
+		tctx, cancel := vclock.WithTimeout(ctx, d.cfg.Clock, d.cfg.StmtTimeout)
+		defer cancel()
+		ctx = tctx
+	}
+	return s.exec(ctx, id, stmt)
+}
+
 // untagged runs one bare line with legacy in-order semantics: through
 // the shared pool (so admission applies uniformly), but the read loop
 // waits for completion before consuming the next line.
@@ -377,7 +441,7 @@ func (s *session) untagged(ctx context.Context, stmt string) {
 	class := Classify(stmt)
 	if class == ClassControl {
 		d.m.untagged.Add(1)
-		s.push(s.exec(ctx, "", stmt))
+		s.push(s.runExec(ctx, "", stmt))
 		return
 	}
 	if !s.admit(class, "") {
@@ -386,7 +450,7 @@ func (s *session) untagged(ctx context.Context, stmt string) {
 	done := make(chan struct{})
 	job := func() {
 		defer close(done)
-		s.push(s.exec(ctx, "", stmt))
+		s.push(s.runExec(ctx, "", stmt))
 	}
 	if class == ClassAdHoc {
 		if !d.pool.trySubmitAdHoc(job) {
@@ -411,7 +475,7 @@ func (s *session) tagged(ctx context.Context, id, stmt string) {
 	class := Classify(stmt)
 	if class == ClassControl {
 		d.m.tagged.Add(1)
-		s.push(s.exec(ctx, id, stmt))
+		s.push(s.runExec(ctx, id, stmt))
 		return
 	}
 	if !s.admit(class, id) {
@@ -422,7 +486,7 @@ func (s *session) tagged(ctx context.Context, id, stmt string) {
 	job := func() {
 		defer s.jobs.Done()
 		defer func() { <-s.window }()
-		s.push(s.exec(ctx, id, stmt))
+		s.push(s.runExec(ctx, id, stmt))
 	}
 	if class == ClassAdHoc {
 		if !d.pool.trySubmitAdHoc(job) {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync/atomic"
@@ -383,5 +384,69 @@ func awaitCond(t *testing.T, cond func() bool) {
 			t.Fatal("condition never held")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// A handler that panics must produce a typed "panic" error frame on the
+// statement's own id — the connection keeps serving and the daemon-side
+// pool worker survives.
+func TestHandlerPanicContained(t *testing.T) {
+	client, d := startDoor(t, Config{Workers: 2, Window: 4}, func(_ context.Context, id, stmt string) any {
+		if stmt == "SELECT boom" {
+			panic("predicate bug")
+		}
+		return &testResp{ID: id, OK: true, Message: stmt}
+	})
+	fmt.Fprintln(client, "#1 SELECT boom")
+	fmt.Fprintln(client, "#2 SELECT fine")
+	sc := bufio.NewScanner(client)
+	frames := map[string]testResp{}
+	for i := 0; i < 2; i++ {
+		r := readFrame(t, sc)
+		frames[r.ID] = r
+	}
+	if r := frames["1"]; r.OK || r.Code != CodePanic {
+		t.Fatalf("panicking statement frame = %+v, want code %q", r, CodePanic)
+	}
+	if r := frames["2"]; !r.OK || r.Message != "SELECT fine" {
+		t.Fatalf("statement after panic = %+v, want ok", r)
+	}
+	if got := d.Metrics().Panics; got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+}
+
+// StmtTimeout must hand the handler a context that expires, and the
+// expiry must release the pool worker even when the handler only returns
+// on cancellation — a wedged device session cannot hold a slot forever.
+func TestStmtTimeoutReleasesWorker(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(0, 0))
+	cause := make(chan error, 1)
+	client, _ := startDoor(t, Config{
+		Workers: 1, Window: 4, Clock: clk, StmtTimeout: time.Second,
+	}, func(ctx context.Context, id, stmt string) any {
+		if stmt == "SELECT hang" {
+			<-ctx.Done() // a statement wedged until its deadline fires
+			cause <- context.Cause(ctx)
+			return &testResp{ID: id, Error: "deadline", Code: "deadline_exceeded"}
+		}
+		return &testResp{ID: id, OK: true, Message: stmt}
+	})
+	fmt.Fprintln(client, "#1 SELECT hang")
+	// Give the hang statement time to occupy the single worker, then
+	// fire its deadline.
+	time.Sleep(50 * time.Millisecond)
+	clk.Advance(2 * time.Second)
+	sc := bufio.NewScanner(client)
+	if r := readFrame(t, sc); r.Code != "deadline_exceeded" {
+		t.Fatalf("frame = %+v, want deadline_exceeded", r)
+	}
+	if err := <-cause; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("context cause = %v, want DeadlineExceeded", err)
+	}
+	// The single worker must be free again for the next statement.
+	fmt.Fprintln(client, "#2 SELECT after")
+	if r := readFrame(t, sc); !r.OK || r.ID != "2" {
+		t.Fatalf("statement after timeout = %+v, want ok", r)
 	}
 }

@@ -13,6 +13,7 @@ type metrics struct {
 	oversized   atomic.Int64
 	readErrors  atomic.Int64
 	slowClients atomic.Int64
+	panics      atomic.Int64
 }
 
 // MetricsSnapshot is the front door's externally visible state, carried
@@ -35,6 +36,9 @@ type MetricsSnapshot struct {
 	Oversized   int64 `json:"oversized_statements"`
 	ReadErrors  int64 `json:"read_errors"`
 	SlowClients int64 `json:"slow_clients"`
+	// Panics counts statements whose execution panicked and was contained
+	// at the session or pool recover() boundary.
+	Panics int64 `json:"panics"`
 	// Queued and InFlight are the shared pool's gauges at snapshot time.
 	Queued   int64 `json:"queued"`
 	InFlight int64 `json:"in_flight"`
@@ -54,5 +58,6 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		Oversized:      m.oversized.Load(),
 		ReadErrors:     m.readErrors.Load(),
 		SlowClients:    m.slowClients.Load(),
+		Panics:         m.panics.Load(),
 	}
 }

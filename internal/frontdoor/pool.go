@@ -17,15 +17,23 @@ type pool struct {
 	// shed; the slots above it are the management reserve.
 	adhocMax int
 	inflight atomic.Int64
+	// onPanic observes a panic that escaped a job into the worker loop —
+	// the last containment boundary before a shared worker (and with it
+	// the whole pool, eventually) would die. Set by New; never nil.
+	onPanic func(v any)
 
 	mu     sync.Mutex
 	closed bool
 }
 
-func newPool(workers, queue, adhocReserve int) *pool {
+func newPool(workers, queue, adhocReserve int, onPanic func(v any)) *pool {
+	if onPanic == nil {
+		onPanic = func(any) {}
+	}
 	p := &pool{
 		jobs:     make(chan func(), queue),
 		adhocMax: queue - adhocReserve,
+		onPanic:  onPanic,
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
@@ -38,9 +46,22 @@ func (p *pool) worker() {
 	defer p.wg.Done()
 	for job := range p.jobs {
 		p.inflight.Add(1)
-		job()
+		p.run(job)
 		p.inflight.Add(-1)
 	}
+}
+
+// run executes one job behind the pool's recover backstop: statement
+// execution has its own boundary in the session, so anything reaching
+// here is a bug in the session plumbing itself — contain it and keep the
+// worker alive rather than leaking a pool slot forever.
+func (p *pool) run(job func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.onPanic(v)
+		}
+	}()
+	job()
 }
 
 // submit enqueues a management/control job, blocking while the queue is

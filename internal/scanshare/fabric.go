@@ -357,7 +357,11 @@ func (f *Fabric) startCohortLocked(c *cohort) {
 	go f.runCohort(cctx, c)
 }
 
-// runCohort ticks the cohort every base epoch until cancelled.
+// runCohort ticks the cohort every base epoch until cancelled. Each tick
+// runs under a deadline of one base epoch: a scan wedged on a slow or
+// partitioned device is cancelled before it can make the cohort skip
+// epochs indefinitely — subscribers see the epoch's error and the next
+// epoch starts on time.
 func (f *Fabric) runCohort(ctx context.Context, c *cohort) {
 	defer f.wg.Done()
 	for {
@@ -366,7 +370,9 @@ func (f *Fabric) runCohort(ctx context.Context, c *cohort) {
 			return
 		case <-f.clk.After(c.base):
 		}
-		f.tick(ctx, c)
+		tctx, cancel := vclock.WithTimeout(ctx, f.clk, c.base)
+		f.tick(tctx, c)
+		cancel()
 	}
 }
 

@@ -111,6 +111,11 @@ type Stats struct {
 	Syncs int64
 	// Compactions counts snapshot rotations that deleted older segments.
 	Compactions int64
+	// AppendErrors and SyncErrors count failed appends and fsyncs this
+	// session (injected faults included). A non-zero value is the early
+	// warning the engine's degraded mode fires on.
+	AppendErrors int64
+	SyncErrors   int64
 	// TornTailBytes is how many bytes of torn final record were truncated
 	// away when the journal was opened.
 	TornTailBytes int64
@@ -131,6 +136,13 @@ type Journal struct {
 	lastSync   time.Time
 	snapshotFn func() ([]byte, error)
 	stats      Stats
+
+	// failAppends/failSyncs make the next N appends/fsyncs fail with the
+	// injected error — the disk-fault hook for degraded-mode tests and the
+	// chaos study (ENOSPC, I/O errors). Guarded by mu.
+	failAppends int
+	failSyncs   int
+	failErr     error
 }
 
 // Open opens (creating if necessary) the journal in dir and acquires its
@@ -229,13 +241,20 @@ func (j *Journal) appendLocked(body []byte) error {
 	if len(body) > maxRecordSize {
 		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(body), maxRecordSize)
 	}
+	if j.failAppends > 0 {
+		j.failAppends--
+		j.stats.AppendErrors++
+		return fmt.Errorf("wal: append: %w", j.injectedErr())
+	}
 	var hdr [headerSize]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
 	if _, err := j.active.Write(hdr[:]); err != nil {
+		j.stats.AppendErrors++
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if _, err := j.active.Write(body); err != nil {
+		j.stats.AppendErrors++
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	j.activeSize += int64(headerSize + len(body))
@@ -258,12 +277,46 @@ func (j *Journal) maybeSyncLocked() error {
 }
 
 func (j *Journal) syncLocked() error {
+	if j.failSyncs > 0 {
+		j.failSyncs--
+		j.stats.SyncErrors++
+		return fmt.Errorf("wal: sync: %w", j.injectedErr())
+	}
 	if err := j.active.Sync(); err != nil {
+		j.stats.SyncErrors++
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	j.stats.Syncs++
 	j.lastSync = time.Now()
 	return nil
+}
+
+// ErrNoSpace is the default injected fault: what a full disk under the
+// journal directory looks like.
+var ErrNoSpace = errors.New("wal: no space left on device")
+
+// InjectFaults makes the next appends appends and syncs fsyncs fail with
+// err (ErrNoSpace when err is nil) instead of touching the disk. The
+// fault-injection hook behind the WAL degraded-mode tests and the chaos
+// study: a journal whose disk fills must degrade durability, flip the
+// engine read-only, and recover once writes succeed again. Passing 0, 0
+// clears any armed faults.
+func (j *Journal) InjectFaults(appends, syncs int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err == nil {
+		err = ErrNoSpace
+	}
+	j.failAppends = appends
+	j.failSyncs = syncs
+	j.failErr = err
+}
+
+func (j *Journal) injectedErr() error {
+	if j.failErr != nil {
+		return j.failErr
+	}
+	return ErrNoSpace
 }
 
 // rotateLocked starts the next segment. With a snapshot source installed

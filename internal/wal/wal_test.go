@@ -327,3 +327,51 @@ func TestReplayWhileOpen(t *testing.T) {
 		t.Fatalf("replayed %d, want 2", len(recs))
 	}
 }
+
+// Injected disk faults must fail the arranged number of operations,
+// count into AppendErrors/SyncErrors, and then clear — with the journal
+// fully usable afterward. This is the hook the engine's degraded mode
+// and the chaos study stand on.
+func TestInjectedFaultsCountAndClear(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	j.InjectFaults(2, 0, nil)
+	for i := 0; i < 2; i++ {
+		rec, err := NewRecord(KindIntent, &testPayload{N: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(rec); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("append %d under injection: err = %v, want ErrNoSpace", i, err)
+		}
+	}
+	mustAppend(t, j, KindIntent, &testPayload{N: 2})
+
+	custom := errors.New("wal_test: scribble")
+	j.InjectFaults(0, 1, custom)
+	if err := j.Sync(); !errors.Is(err, custom) {
+		t.Fatalf("sync under injection: err = %v, want %v", err, custom)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatalf("sync after injection cleared: %v", err)
+	}
+
+	st := j.Stats()
+	if st.AppendErrors != 2 {
+		t.Fatalf("AppendErrors = %d, want 2", st.AppendErrors)
+	}
+	if st.SyncErrors != 1 {
+		t.Fatalf("SyncErrors = %d, want 1", st.SyncErrors)
+	}
+
+	// Nothing from the failed appends may survive on disk.
+	recs := replayAll(t, j)
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1 (failed appends must not land)", len(recs))
+	}
+}
