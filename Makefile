@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-record bench-drift frontdoor-smoke bench-record-frontdoor bench-drift-frontdoor churn-smoke qscale-smoke crashrec-smoke chaos-smoke clean
+.PHONY: all build vet test race bench bench-smoke bench-record bench-drift frontdoor-smoke bench-record-frontdoor bench-drift-frontdoor churn-smoke qscale-smoke crashrec-smoke chaos-smoke cluster-smoke clean
 
 # The columnar hot-path benchmarks: each has /before (row-map era) and
 # /after (columnar) variants so the committed record carries its own
@@ -54,6 +54,13 @@ frontdoor-smoke:
 # exits non-zero if any fail-operational invariant breaks.
 chaos-smoke:
 	$(GO) run -race ./cmd/aortabench -exp chaos
+
+# The sharded-cluster study under the race detector: router fan-out and
+# id-pruned placement at 1/2/4/8 shards, the aggregate-throughput
+# scaling bar, and the kill-one-shard WAL handoff; exits non-zero if
+# placement, scaling, or the zero-loss audit breaks.
+cluster-smoke:
+	$(GO) run -race ./cmd/aortabench -exp cluster
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

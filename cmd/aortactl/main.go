@@ -12,6 +12,12 @@
 // With -pipeline N, statements are sent tagged ("#<seq> <stmt>") with up
 // to N outstanding at once; responses may arrive out of order and are
 // reordered before printing, so output order always matches input order.
+//
+// Against an aortad -router (cluster front door), -shards exposes the
+// cluster structure: merged rows keep their source-shard column,
+// broadcast responses print the per-shard status codes, and \metrics
+// adds a per-shard breakdown table under the aggregate. Without -shards
+// the cluster looks like one big daemon.
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "send statements tagged with up to N in flight (0 = serial)")
 		timeout  = flag.Duration("timeout", 0, "dial timeout and per-response read deadline (0 = none)")
 	)
+	flag.BoolVar(&shardView, "shards", false, "cluster view: show source shards on rows, per-shard codes, and the \\metrics per-shard breakdown")
 	flag.Parse()
 	if err := run(*addr, *stmt, *pipeline, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "aortactl:", err)
@@ -212,10 +219,16 @@ func execPipelined(conn io.Writer, server *bufio.Scanner, w io.Writer, stmts []s
 	return nil
 }
 
+// shardView, set by -shards, keeps the cluster visible in the output:
+// source-shard columns on merged rows, per-shard status codes, and the
+// \metrics per-shard breakdown.
+var shardView bool
+
 // printResponse pretty-prints one JSON response line.
 func printResponse(w io.Writer, data []byte) {
 	var resp struct {
 		OK      bool             `json:"ok"`
+		Code    string           `json:"code"`
 		Error   string           `json:"error"`
 		Message string           `json:"message"`
 		Rows    []map[string]any `json:"rows"`
@@ -231,16 +244,43 @@ func printResponse(w io.Writer, data []byte) {
 		// consecutive_failures, since).
 		Liveness map[string]map[string]any `json:"liveness"`
 		Photos   []map[string]any          `json:"photos"`
+		// Cluster and Shards come from an aortad -router: the per-shard
+		// \metrics breakdown and the shard→status map of a fanned-out
+		// statement.
+		Cluster *struct {
+			Shards []struct {
+				Shard     string         `json:"shard"`
+				Metrics   map[string]any `json:"metrics"`
+				Frontdoor map[string]any `json:"frontdoor"`
+				Wal       map[string]any `json:"wal"`
+			} `json:"shards"`
+		} `json:"cluster"`
+		Shards map[string]string `json:"shards"`
 	}
 	if err := json.Unmarshal(data, &resp); err != nil {
 		fmt.Fprintln(w, string(data))
 		return
 	}
+	if !shardView {
+		// Single-daemon view: hide the router's source-shard row tags.
+		for _, r := range resp.Rows {
+			delete(r, "shard")
+		}
+	}
 	switch {
 	case resp.Error != "":
 		fmt.Fprintln(w, "error:", resp.Error)
+		// A partial cluster failure names the diverging shards so the
+		// operator knows where to look (always — hiding which half of the
+		// cluster failed would make -shards load-bearing for correctness).
+		if resp.Code == "partial" || (shardView && len(resp.Shards) > 0) {
+			printShardCodes(w, resp.Shards)
+		}
 	case len(resp.Rows) > 0:
 		printTable(w, resp.Rows)
+		if shardView && len(resp.Shards) > 0 {
+			printShardCodes(w, resp.Shards)
+		}
 	case len(resp.Queries) > 0:
 		printTable(w, resp.Queries)
 	case len(resp.Photos) > 0:
@@ -249,9 +289,32 @@ func printResponse(w io.Writer, data []byte) {
 		for _, n := range resp.Names {
 			fmt.Fprintln(w, " ", n)
 		}
+		if shardView && len(resp.Shards) > 0 {
+			printShardCodes(w, resp.Shards)
+		}
 	case resp.Metrics != nil:
 		out, _ := json.MarshalIndent(resp.Metrics, "", "  ")
 		fmt.Fprintln(w, string(out))
+		if shardView && resp.Cluster != nil && len(resp.Cluster.Shards) > 0 {
+			fmt.Fprintln(w, "per shard:")
+			rows := make([]map[string]any, 0, len(resp.Cluster.Shards))
+			for _, sm := range resp.Cluster.Shards {
+				row := map[string]any{"shard": sm.Shard}
+				for _, k := range []string{"Requests", "Successes", "FailureRate", "Retries"} {
+					if v, ok := sm.Metrics[k]; ok {
+						row[k] = v
+					}
+				}
+				if v, ok := sm.Metrics["MeanLatency"]; ok {
+					row["MeanLatency"] = formatEpoch(v)
+				}
+				if v, ok := sm.Metrics["Degraded"]; ok {
+					row["Degraded"] = v
+				}
+				rows = append(rows, row)
+			}
+			printTable(w, rows)
+		}
 		if resp.Comm != nil {
 			out, _ := json.MarshalIndent(resp.Comm, "", "  ")
 			fmt.Fprintln(w, "comm:", string(out))
@@ -288,6 +351,21 @@ func printResponse(w io.Writer, data []byte) {
 	default:
 		fmt.Fprintln(w, "ok")
 	}
+}
+
+// printShardCodes renders a router response's shard→status map, one
+// sorted line, so partial failures read at a glance.
+func printShardCodes(w io.Writer, codes map[string]string) {
+	ids := make([]string, 0, len(codes))
+	for id := range codes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		parts = append(parts, id+"="+codes[id])
+	}
+	fmt.Fprintln(w, "shards:", strings.Join(parts, " "))
 }
 
 // formatEpoch renders a ShareInfo epoch (nanoseconds in JSON) as a

@@ -86,6 +86,64 @@ func TestPrintResponseFailureWithoutMessage(t *testing.T) {
 	}
 }
 
+// TestPrintResponseShardView: with -shards, merged rows keep their
+// source-shard column and broadcast responses print per-shard codes;
+// without it the cluster renders like a single daemon.
+func TestPrintResponseShardView(t *testing.T) {
+	payload := `{"ok":true,"rows":[{"s.id":"mote-1","shard":"shard-1"},{"s.id":"mote-9","shard":"shard-2"}],"shards":{"shard-1":"ok","shard-2":"ok"}}`
+
+	out := render(t, payload)
+	if strings.Contains(out, "shard-1") {
+		t.Errorf("shard tags leaked without -shards: %q", out)
+	}
+
+	shardView = true
+	defer func() { shardView = false }()
+	out = render(t, payload)
+	if !strings.Contains(out, "shard-1") || !strings.Contains(out, "shard-2") {
+		t.Errorf("shard column missing with -shards: %q", out)
+	}
+	if !strings.Contains(out, "shards: shard-1=ok shard-2=ok") {
+		t.Errorf("shard codes missing: %q", out)
+	}
+}
+
+// TestPrintResponsePartialFailure: a partial cluster failure always
+// names the diverging shards, -shards or not.
+func TestPrintResponsePartialFailure(t *testing.T) {
+	out := render(t, `{"ok":false,"code":"partial","error":"shard-2: disk full","shards":{"shard-1":"ok","shard-2":"degraded"}}`)
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "disk full") {
+		t.Errorf("out = %q", out)
+	}
+	if !strings.Contains(out, "shard-2=degraded") {
+		t.Errorf("partial failure hid the failing shard: %q", out)
+	}
+}
+
+// TestPrintResponseClusterMetrics: -shards adds the per-shard breakdown
+// table under the aggregate.
+func TestPrintResponseClusterMetrics(t *testing.T) {
+	payload := `{"ok":true,"metrics":{"Requests":30,"Successes":27},` +
+		`"cluster":{"shards":[` +
+		`{"shard":"shard-1","metrics":{"Requests":10,"Successes":9,"MeanLatency":2000000}},` +
+		`{"shard":"shard-2","metrics":{"Requests":20,"Successes":18,"MeanLatency":1000000}}]}}`
+
+	out := render(t, payload)
+	if strings.Contains(out, "per shard:") {
+		t.Errorf("breakdown shown without -shards: %q", out)
+	}
+
+	shardView = true
+	defer func() { shardView = false }()
+	out = render(t, payload)
+	if !strings.Contains(out, "per shard:") || !strings.Contains(out, "shard-2") {
+		t.Errorf("breakdown missing: %q", out)
+	}
+	if !strings.Contains(out, "2ms") {
+		t.Errorf("latency not rendered as a duration: %q", out)
+	}
+}
+
 func TestSplitStatements(t *testing.T) {
 	got := splitStatements(" SHOW DEVICES ;; SHOW ACTIONS ; ")
 	if len(got) != 2 || got[0] != "SHOW DEVICES" || got[1] != "SHOW ACTIONS" {

@@ -19,6 +19,14 @@
 //   - external farm: -devices farm.json registers the TCP devices served
 //     by cmd/devfarm.
 //
+// Two cluster modes (see internal/cluster and DESIGN.md "Cluster"):
+//
+//   - -shard <id>: serve one shard of a cluster manifest — register only
+//     the devices the manifest's shard map assigns to <id>;
+//   - -router: serve no engine at all; fan statements out to the
+//     manifest's shard daemons and merge their responses. The router
+//     speaks the same line protocol, so aortactl works unchanged.
+//
 // Besides SQL, the protocol accepts backslash commands:
 //
 //	\metrics              engine action metrics + transport/pool + scan fabric counters
@@ -44,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"aorta/internal/cluster"
 	"aorta/internal/comm"
 	"aorta/internal/core"
 	"aorta/internal/frontdoor"
@@ -61,6 +70,8 @@ func main() {
 	var opts options
 	flag.StringVar(&opts.listen, "listen", "127.0.0.1:7730", "SQL service address")
 	flag.StringVar(&opts.devices, "devices", "", "external farm manifest (from devfarm); empty = built-in lab")
+	flag.BoolVar(&opts.router, "router", false, "cluster router mode: fan statements out to the manifest's shards (requires -devices with a shards section)")
+	flag.StringVar(&opts.shard, "shard", "", "cluster shard mode: register only the devices the manifest assigns to this shard id")
 	flag.IntVar(&opts.cameras, "cameras", 2, "built-in lab: cameras")
 	flag.IntVar(&opts.motes, "motes", 10, "built-in lab: motes")
 	flag.IntVar(&opts.phones, "phones", 1, "built-in lab: phones")
@@ -85,6 +96,11 @@ func main() {
 type options struct {
 	listen  string
 	devices string
+	// router serves the cluster fan-out/merge front door instead of an
+	// engine; shard restricts device registration to one shard's slice of
+	// the manifest. Both need -devices with a shards section.
+	router  bool
+	shard   string
 	cameras int
 	motes   int
 	phones  int
@@ -133,6 +149,12 @@ func run(opts options) error {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
 
+	// The router is a different daemon shape: no engine, no journal, no
+	// devices of its own — just the fan-out/merge front door.
+	if opts.router {
+		return runRouter(ctx, opts, logger)
+	}
+
 	// Open the journal before anything else touches the data dir: the
 	// directory lock is the single-writer guarantee, so a second daemon on
 	// the same -data must be refused here, not after it has half-started.
@@ -156,6 +178,9 @@ func run(opts options) error {
 	// evidence, so probing is its only road back to Up.
 	const probeInterval = 5 * time.Second
 
+	if opts.shard != "" && opts.devices == "" {
+		return errors.New("-shard requires -devices with a shards section")
+	}
 	if opts.devices == "" {
 		l, err := lab.New(lab.Config{
 			Cameras: opts.cameras, Motes: opts.motes, Phones: opts.phones, ClockScale: opts.scale,
@@ -174,6 +199,19 @@ func run(opts options) error {
 		if err != nil {
 			return err
 		}
+		// In shard mode this daemon owns only its slice of the farm: the
+		// manifest's shard map (hash + pins) decides which devices register
+		// here, and the router sends it only statements those can answer.
+		var smap *cluster.Map
+		if opts.shard != "" {
+			smap, err = m.ShardMap()
+			if err != nil {
+				return err
+			}
+			if !smap.Contains(opts.shard) {
+				return fmt.Errorf("shard %q is not in %s (have %v)", opts.shard, opts.devices, smap.Shards())
+			}
+		}
 		eng, err := core.New(core.Config{
 			Clock:                 vclock.Real{},
 			Dialer:                &netsim.TCP{Timeout: 2 * time.Second},
@@ -184,8 +222,12 @@ func run(opts options) error {
 		if err != nil {
 			return err
 		}
+		registered := 0
 		for i := range m.Devices {
 			d := &m.Devices[i]
+			if smap != nil && smap.Owner(d.ID) != opts.shard {
+				continue
+			}
 			var mount geo.Mount
 			if d.Mount != nil {
 				mount = *d.Mount
@@ -194,9 +236,14 @@ func run(opts options) error {
 			if err := eng.RegisterDevice(info, mount); err != nil {
 				return err
 			}
+			registered++
 		}
 		srv.engine = eng
-		fmt.Printf("external farm: %d devices from %s\n", len(m.Devices), opts.devices)
+		if opts.shard != "" {
+			fmt.Printf("shard %s: %d of %d devices from %s\n", opts.shard, registered, len(m.Devices), opts.devices)
+		} else {
+			fmt.Printf("external farm: %d devices from %s\n", registered, opts.devices)
+		}
 	}
 
 	if j != nil {
@@ -232,6 +279,64 @@ func run(opts options) error {
 	})
 	defer srv.door.Close()
 
+	return serveLoop(ctx, opts, srv.door, srv.execLine)
+}
+
+// runRouter serves the cluster front door: no engine of its own, just a
+// manifest-configured fan-out/merge router behind the same pipelined
+// line protocol as a single-shard daemon.
+func runRouter(ctx context.Context, opts options, logger *slog.Logger) error {
+	if opts.devices == "" {
+		return errors.New("-router requires -devices with a shards section")
+	}
+	if opts.dataDir != "" {
+		return errors.New("-router keeps no durable state; -data belongs on the shard daemons")
+	}
+	m, err := manifest.Read(opts.devices)
+	if err != nil {
+		return err
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("%s declares no shards; -router needs a cluster manifest", opts.devices)
+	}
+	pins := make(map[string]string, len(m.Assignments))
+	for _, a := range m.Assignments {
+		pins[a.Device] = a.Shard
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards: m.ShardInfos(),
+		Pins:   pins,
+		Dialer: &netsim.TCP{Timeout: 2 * time.Second},
+		Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	entries := make([]cluster.DeviceEntry, 0, len(m.Devices))
+	for i := range m.Devices {
+		entries = append(entries, cluster.DeviceEntry{ID: m.Devices[i].ID, Type: m.Devices[i].Type})
+	}
+	rt.SetDevices(entries)
+	fmt.Printf("router: %d shards, %d devices from %s\n", len(m.Shards), len(m.Devices), opts.devices)
+
+	door := frontdoor.New(frontdoor.Config{
+		Workers:     opts.workers,
+		Window:      opts.window,
+		AdHocPerSec: opts.adhocRate,
+		AdHocBurst:  opts.adhocBurst,
+		StmtTimeout: opts.stmtTimeout,
+		Clock:       vclock.Real{},
+		Logger:      logger,
+	})
+	defer door.Close()
+
+	return serveLoop(ctx, opts, door, rt.Exec)
+}
+
+// serveLoop binds the SQL (and optional pprof) listeners and accepts
+// clients until shutdown. Shared by the engine and router daemon shapes.
+func serveLoop(ctx context.Context, opts options, door *frontdoor.Door, exec frontdoor.Exec) error {
 	// The pprof endpoint rides the side import's DefaultServeMux
 	// registration; binding the listener here (rather than inside the
 	// goroutine) surfaces a bad -pprof address as a startup error.
@@ -292,7 +397,7 @@ func run(opts options) error {
 					delete(conns, conn)
 					connMu.Unlock()
 				}()
-				srv.handle(ctx, conn)
+				door.Serve(ctx, conn, exec)
 			}()
 		}
 	}()

@@ -510,6 +510,130 @@ func TestProtocolQuit(t *testing.T) {
 	}
 }
 
+// startWith runs the full daemon loop with arbitrary options and returns
+// its bound address plus a stop function.
+func startWith(t *testing.T, opts options) (net.Addr, func() error) {
+	t.Helper()
+	shutdown := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	opts.listen = "127.0.0.1:0"
+	opts.shutdown = shutdown
+	opts.ready = ready
+	go func() { errc <- run(opts) }()
+	select {
+	case addr := <-ready:
+		return addr, sync.OnceValue(func() error {
+			shutdown <- syscall.SIGTERM
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(10 * time.Second):
+				return errors.New("daemon did not exit")
+			}
+		})
+	case err := <-errc:
+		t.Fatalf("daemon failed to start: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return nil, nil
+}
+
+// TestDaemonRouterMode is the two-shard quick-start from the README: two
+// lab-backed daemons as shards, one -router daemon in front, and a plain
+// line-protocol client seeing the merged cluster.
+func TestDaemonRouterMode(t *testing.T) {
+	addr1, stop1 := startWith(t, options{cameras: 1, motes: 2, phones: 1})
+	defer stop1()
+	addr2, stop2 := startWith(t, options{cameras: 1, motes: 2, phones: 1})
+	defer stop2()
+
+	// The cluster manifest: where the shards listen, and which devices the
+	// farm holds (the router prunes fan-out by this inventory). Assignments
+	// pin two sensors per shard so neither shard validates as empty.
+	manifestJSON := fmt.Sprintf(`{
+	  "devices": [
+	    {"id": "mote-a", "type": "sensor", "addr": "127.0.0.1:1", "loc": {"x": 0, "y": 0}},
+	    {"id": "mote-b", "type": "sensor", "addr": "127.0.0.1:1", "loc": {"x": 1, "y": 0}},
+	    {"id": "mote-c", "type": "sensor", "addr": "127.0.0.1:1", "loc": {"x": 2, "y": 0}},
+	    {"id": "mote-d", "type": "sensor", "addr": "127.0.0.1:1", "loc": {"x": 3, "y": 0}}
+	  ],
+	  "shards": [
+	    {"id": "shard-1", "addr": %q},
+	    {"id": "shard-2", "addr": %q}
+	  ],
+	  "assignments": [
+	    {"device": "mote-a", "shard": "shard-1"},
+	    {"device": "mote-b", "shard": "shard-1"},
+	    {"device": "mote-c", "shard": "shard-2"},
+	    {"device": "mote-d", "shard": "shard-2"}
+	  ]
+	}`, addr1.String(), addr2.String())
+	path := t.TempDir() + "/cluster.json"
+	if err := os.WriteFile(path, []byte(manifestJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	raddr, stopR := startWith(t, options{router: true, devices: path})
+	defer stopR()
+	conn, sc := dialDaemon(t, raddr)
+
+	// A broadcast merges both shards and reports who answered.
+	if _, err := conn.Write([]byte("SHOW DEVICES\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatalf("no response: %v", sc.Err())
+	}
+	var resp struct {
+		OK     bool              `json:"ok"`
+		Names  []string          `json:"names"`
+		Rows   []map[string]any  `json:"rows"`
+		Shards map[string]string `json:"shards"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("bad frame %q: %v", sc.Text(), err)
+	}
+	if !resp.OK || len(resp.Names) == 0 {
+		t.Fatalf("SHOW DEVICES via router = %+v", resp)
+	}
+	if resp.Shards["shard-1"] != "ok" || resp.Shards["shard-2"] != "ok" {
+		t.Fatalf("shard codes = %v, want both ok", resp.Shards)
+	}
+
+	// A sensor SELECT fans out to both shards (each claims sensors) and the
+	// merged rows carry their source shard.
+	if _, err := conn.Write([]byte("SELECT s.id FROM sensor s WHERE s.temp > -100\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatalf("no response: %v", sc.Err())
+	}
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("bad frame %q: %v", sc.Text(), err)
+	}
+	if !resp.OK || len(resp.Rows) != 4 {
+		t.Fatalf("cluster select = %+v, want 2 rows per shard", resp)
+	}
+	fromShard := map[string]int{}
+	for _, row := range resp.Rows {
+		shard, _ := row["shard"].(string)
+		fromShard[shard]++
+	}
+	if fromShard["shard-1"] != 2 || fromShard["shard-2"] != 2 {
+		t.Fatalf("rows by shard = %v, want 2 from each", fromShard)
+	}
+
+	// Router misconfiguration fails startup, not at first statement.
+	if err := run(options{listen: "127.0.0.1:0", router: true}); err == nil {
+		t.Fatal("-router without -devices did not fail startup")
+	}
+	if err := run(options{listen: "127.0.0.1:0", shard: "shard-9", devices: path}); err == nil {
+		t.Fatal("-shard with unknown id did not fail startup")
+	}
+}
+
 func TestProtocolSkipsBlankLines(t *testing.T) {
 	conn, _ := startServer(t)
 	sc := bufio.NewScanner(conn)

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"aorta/internal/comm"
+	"aorta/internal/core"
+	"aorta/internal/geo"
+	"aorta/internal/wal"
+)
+
+// HandoffSet is the slice of a departed shard's journaled state destined
+// for one surviving shard: the devices it now owns, the continuous
+// queries that must run wherever those devices landed, and the pending
+// action intents (journaled, no outcome yet) whose candidate devices it
+// received.
+type HandoffSet struct {
+	Shard   string
+	Devices []wal.DeviceRecord
+	Queries []wal.SnapshotQuery
+	Intents []wal.IntentRecord
+}
+
+// PlanHandoff replays a departed shard's write-ahead journal — the same
+// post-mortem walk the crash-recovery study performs — and partitions the
+// resulting state among new owners. owner maps a device id to its
+// surviving shard (typically Map.Owner after WithShards removed the
+// departed member).
+//
+// Devices go to their new owner. Queries go to every set: a continuous
+// query evaluated over the departed shard's local devices, and those
+// devices may scatter across several survivors — each must evaluate it
+// over its inherited slice (applying a query a shard already runs is a
+// skipped duplicate, so over-delivery is harmless). Pending intents
+// follow their first candidate device; their dedup keys make adoption
+// idempotent and let the post-handoff audit prove zero loss.
+//
+// The journal directory must be unlocked (the departed shard's process
+// closed it, or crashed — the lock dies with the process).
+func PlanHandoff(journalDir string, owner func(deviceID string) string) (map[string]*HandoffSet, error) {
+	j, err := wal.Open(journalDir, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open departed journal: %w", err)
+	}
+	defer j.Close()
+
+	devices := make(map[string]wal.DeviceRecord)
+	queries := make(map[string]wal.SnapshotQuery)
+	pending := make(map[string]wal.IntentRecord)
+	err = j.Replay(func(rec wal.Record) error {
+		switch rec.Kind {
+		case wal.KindSnapshot:
+			var snap wal.Snapshot
+			if err := rec.Decode(&snap); err != nil {
+				return err
+			}
+			// A snapshot is the full state at compaction time: replace,
+			// don't merge.
+			devices = make(map[string]wal.DeviceRecord, len(snap.Devices))
+			queries = make(map[string]wal.SnapshotQuery, len(snap.Queries))
+			pending = make(map[string]wal.IntentRecord, len(snap.Pending))
+			for _, dr := range snap.Devices {
+				devices[dr.ID] = dr
+			}
+			for _, sq := range snap.Queries {
+				queries[sq.Name] = sq
+			}
+			for _, ir := range snap.Pending {
+				pending[ir.DedupKey] = ir
+			}
+		case wal.KindRegisterDevice:
+			var dr wal.DeviceRecord
+			if err := rec.Decode(&dr); err != nil {
+				return err
+			}
+			devices[dr.ID] = dr
+		case wal.KindUnregisterDevice:
+			var dr wal.DeviceRecord
+			if err := rec.Decode(&dr); err != nil {
+				return err
+			}
+			delete(devices, dr.ID)
+		case wal.KindCreateQuery:
+			var qr wal.QueryRecord
+			if err := rec.Decode(&qr); err != nil {
+				return err
+			}
+			queries[qr.Name] = wal.SnapshotQuery{QueryRecord: qr}
+		case wal.KindDropQuery:
+			var ref wal.QueryRefRecord
+			if err := rec.Decode(&ref); err != nil {
+				return err
+			}
+			delete(queries, ref.Name)
+		case wal.KindStopQuery, wal.KindStartQuery:
+			var ref wal.QueryRefRecord
+			if err := rec.Decode(&ref); err != nil {
+				return err
+			}
+			if sq, ok := queries[ref.Name]; ok {
+				sq.Stopped = rec.Kind == wal.KindStopQuery
+				queries[ref.Name] = sq
+			}
+		case wal.KindIntent:
+			var ir wal.IntentRecord
+			if err := rec.Decode(&ir); err != nil {
+				return err
+			}
+			pending[ir.DedupKey] = ir
+		case wal.KindOutcome:
+			var or wal.OutcomeRecord
+			if err := rec.Decode(&or); err != nil {
+				return err
+			}
+			delete(pending, or.DedupKey)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replay departed journal: %w", err)
+	}
+
+	sets := make(map[string]*HandoffSet)
+	get := func(shard string) *HandoffSet {
+		s, ok := sets[shard]
+		if !ok {
+			s = &HandoffSet{Shard: shard}
+			sets[shard] = s
+		}
+		return s
+	}
+	devIDs := make([]string, 0, len(devices))
+	for id := range devices {
+		devIDs = append(devIDs, id)
+	}
+	sort.Strings(devIDs)
+	for _, id := range devIDs {
+		get(owner(id)).Devices = append(get(owner(id)).Devices, devices[id])
+	}
+	keys := make([]string, 0, len(pending))
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ir := pending[k]
+		shard := ""
+		if len(ir.Candidates) > 0 {
+			shard = owner(ir.Candidates[0].ID)
+		} else if len(devIDs) > 0 {
+			shard = owner(devIDs[0])
+		}
+		if shard == "" {
+			return nil, fmt.Errorf("cluster: intent %s has no candidate devices to follow", ir.DedupKey)
+		}
+		get(shard).Intents = append(get(shard).Intents, ir)
+	}
+	var qs []wal.SnapshotQuery
+	for _, sq := range queries {
+		qs = append(qs, sq)
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i].ID < qs[j].ID })
+	for _, set := range sets {
+		set.Queries = append(set.Queries, qs...)
+	}
+	return sets, nil
+}
+
+// AdoptStats summarizes one Adopt call.
+type AdoptStats struct {
+	// Devices registered (DevicesSkipped were already registered here).
+	Devices        int
+	DevicesSkipped int
+	// Queries created (QueriesSkipped already ran here — the expected
+	// outcome when several sets carry the same query).
+	Queries        int
+	QueriesSkipped int
+	// IntentsAdopted were re-journaled and re-dispatched here;
+	// IntentsClosed were duplicates of already-pending intents or expired
+	// in transit (closed with FailExpired outcomes by the engine).
+	IntentsAdopted int
+	IntentsClosed  int
+}
+
+// Adopt applies one handoff set to a surviving shard's engine: devices
+// register (already-known ones are skipped), queries are re-created from
+// their journaled SQL with their stopped state preserved, and pending
+// intents transplant via Engine.AdoptIntent — re-journaled locally, then
+// re-dispatched or closed as expired. The engine must be started with a
+// recovered journal. Adopt is idempotent: re-applying a set only
+// increments the Skipped/Closed counters.
+func Adopt(ctx context.Context, eng *core.Engine, set *HandoffSet) (AdoptStats, error) {
+	var st AdoptStats
+	for _, dr := range set.Devices {
+		if _, exists := eng.Layer().Device(dr.ID); exists {
+			st.DevicesSkipped++
+			continue
+		}
+		info := comm.DeviceInfo{ID: dr.ID, Type: dr.Type, Addr: dr.Addr}
+		if len(dr.Static) > 0 {
+			info.Static = make(map[string]any, len(dr.Static))
+			for k, v := range dr.Static {
+				info.Static[k] = v
+			}
+		}
+		var mount geo.Mount
+		if dr.Mount != nil {
+			mount = *dr.Mount
+		}
+		if err := eng.RegisterDevice(info, mount); err != nil {
+			return st, fmt.Errorf("cluster: adopt device %s: %w", dr.ID, err)
+		}
+		st.Devices++
+	}
+	for _, sq := range set.Queries {
+		if _, exists := eng.QueryInfo(sq.Name); exists {
+			st.QueriesSkipped++
+			continue
+		}
+		stmt := fmt.Sprintf("CREATE AQ %s AS %s", sq.Name, sq.SQL)
+		if _, err := eng.Exec(ctx, stmt); err != nil {
+			return st, fmt.Errorf("cluster: adopt query %s: %w", sq.Name, err)
+		}
+		st.Queries++
+		if sq.Stopped {
+			if _, err := eng.Exec(ctx, "STOP AQ "+sq.Name); err != nil {
+				return st, fmt.Errorf("cluster: adopt query %s (stop): %w", sq.Name, err)
+			}
+		}
+	}
+	for i := range set.Intents {
+		adopted, err := eng.AdoptIntent(&set.Intents[i])
+		if err != nil {
+			return st, fmt.Errorf("cluster: adopt intent %s: %w", set.Intents[i].DedupKey, err)
+		}
+		if adopted {
+			st.IntentsAdopted++
+		} else {
+			st.IntentsClosed++
+		}
+	}
+	return st, nil
+}

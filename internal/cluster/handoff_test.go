@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aorta/internal/core"
+	"aorta/internal/device"
+	"aorta/internal/device/phone"
+	"aorta/internal/netsim"
+	"aorta/internal/vclock"
+	"aorta/internal/wal"
+)
+
+func appendRec(t *testing.T, j *wal.Journal, kind wal.Kind, payload any) {
+	t.Helper()
+	rec, err := wal.NewRecord(kind, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanHandoff partitions a synthesized departed-shard journal:
+// devices go to their new owners, queries go to every receiving set, and
+// only outcome-less intents survive, following their first candidate.
+func TestPlanHandoff(t *testing.T) {
+	dir := t.TempDir()
+	j, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"m1", "m2", "m3", "m4"} {
+		appendRec(t, j, wal.KindRegisterDevice, wal.DeviceRecord{ID: id, Type: "sensor", Addr: id})
+	}
+	appendRec(t, j, wal.KindRegisterDevice, wal.DeviceRecord{ID: "gone", Type: "sensor", Addr: "gone"})
+	appendRec(t, j, wal.KindUnregisterDevice, wal.DeviceRecord{ID: "gone"})
+	appendRec(t, j, wal.KindCreateQuery, wal.QueryRecord{ID: 1, Name: "q1", SQL: `SELECT s.accel_x FROM sensor s EVERY "60s"`})
+	appendRec(t, j, wal.KindCreateQuery, wal.QueryRecord{ID: 2, Name: "q2", SQL: `SELECT s.accel_x FROM sensor s EVERY "60s"`})
+	appendRec(t, j, wal.KindStopQuery, wal.QueryRefRecord{Name: "q2"})
+	appendRec(t, j, wal.KindCreateQuery, wal.QueryRecord{ID: 3, Name: "dropped", SQL: `SELECT s.accel_x FROM sensor s EVERY "60s"`})
+	appendRec(t, j, wal.KindDropQuery, wal.QueryRefRecord{Name: "dropped"})
+	appendRec(t, j, wal.KindIntent, wal.IntentRecord{
+		DedupKey: "q1|a|0", RequestID: 1, Query: "q1", Action: "beep",
+		Candidates: []wal.CandidateRecord{{ID: "m1"}},
+	})
+	appendRec(t, j, wal.KindIntent, wal.IntentRecord{
+		DedupKey: "q1|b|0", RequestID: 2, Query: "q1", Action: "beep",
+		Candidates: []wal.CandidateRecord{{ID: "m3"}},
+	})
+	appendRec(t, j, wal.KindOutcome, wal.OutcomeRecord{DedupKey: "q1|a|0", RequestID: 1})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	owner := func(deviceID string) string {
+		if deviceID == "m1" || deviceID == "m2" {
+			return "shard-A"
+		}
+		return "shard-B"
+	}
+	sets, err := PlanHandoff(dir, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("got %d handoff sets, want 2", len(sets))
+	}
+	a, b := sets["shard-A"], sets["shard-B"]
+	if a == nil || b == nil {
+		t.Fatalf("missing sets: %v", sets)
+	}
+	if len(a.Devices) != 2 || a.Devices[0].ID != "m1" || a.Devices[1].ID != "m2" {
+		t.Errorf("shard-A devices = %v", a.Devices)
+	}
+	if len(b.Devices) != 2 || b.Devices[0].ID != "m3" || b.Devices[1].ID != "m4" {
+		t.Errorf("shard-B devices = %v", b.Devices)
+	}
+	for _, set := range []*HandoffSet{a, b} {
+		if len(set.Queries) != 2 {
+			t.Fatalf("%s queries = %v, want q1+q2 (dropped query must not replay)", set.Shard, set.Queries)
+		}
+		if set.Queries[0].Name != "q1" || set.Queries[0].Stopped {
+			t.Errorf("%s queries[0] = %+v, want running q1", set.Shard, set.Queries[0])
+		}
+		if set.Queries[1].Name != "q2" || !set.Queries[1].Stopped {
+			t.Errorf("%s queries[1] = %+v, want stopped q2", set.Shard, set.Queries[1])
+		}
+	}
+	// Intent 1 has an outcome — gone. Intent 2 follows candidate m3 → B.
+	if len(a.Intents) != 0 {
+		t.Errorf("shard-A intents = %v, want none", a.Intents)
+	}
+	if len(b.Intents) != 1 || b.Intents[0].DedupKey != "q1|b|0" {
+		t.Errorf("shard-B intents = %v, want the outcome-less one", b.Intents)
+	}
+}
+
+// TestAdoptTransplantsIntent runs a real adoption: a surviving engine
+// receives a handoff set carrying a phone device, a notify query, and a
+// pending notify intent with journaled args — and must execute the intent
+// to a successful outcome, with the intent re-journaled locally first.
+func TestAdoptTransplantsIntent(t *testing.T) {
+	clk := vclock.NewScaled(100)
+	network := netsim.NewNetwork(clk, 7)
+	lis, err := network.Listen("phone-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := device.Serve(lis, phone.New("phone-1", "+85255501", "manager", clk))
+	defer srv.Close()
+
+	j, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	eng, err := core.New(core.Config{
+		Clock: clk, Dialer: network, Journal: j,
+		DisableLiveness: true, MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	outcomes := eng.SubscribeOutcomes(64)
+	if err := eng.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	now := clk.Now()
+	deadline := now.Add(10 * time.Minute)
+	set := &HandoffSet{
+		Shard: "survivor",
+		Devices: []wal.DeviceRecord{{
+			ID: "phone-1", Type: "phone", Addr: "phone-1",
+			Static: map[string]any{"number": "+85255501", "owner": "manager"},
+		}},
+		Queries: []wal.SnapshotQuery{{
+			QueryRecord: wal.QueryRecord{
+				ID: 1, Name: "alerts",
+				SQL: `SELECT notify(p.number, "moved") FROM phone p EVERY "30m"`,
+			},
+		}},
+		Intents: []wal.IntentRecord{{
+			DedupKey:   core.IntentDedupKey("alerts", "evt-1", deadline),
+			RequestID:  42,
+			QueryID:    1,
+			Query:      "alerts",
+			Action:     "notify",
+			EventKey:   "evt-1",
+			CreatedNS:  now.UnixNano(),
+			DeadlineNS: deadline.UnixNano(),
+			Candidates: []wal.CandidateRecord{{ID: "phone-1"}},
+			Args:       map[string][]any{"phone-1": {"+85255501", "moved"}},
+		}},
+	}
+
+	st, err := Adopt(ctx, eng, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Devices != 1 || st.Queries != 1 || st.IntentsAdopted != 1 {
+		t.Fatalf("adopt stats = %+v, want 1 device, 1 query, 1 intent adopted", st)
+	}
+	if _, ok := eng.QueryInfo("alerts"); !ok {
+		t.Fatal("adopted query not in catalog")
+	}
+
+	// The transplanted intent must run to completion on the survivor.
+	waitUntil := time.After(10 * time.Second)
+	for {
+		select {
+		case o := <-outcomes:
+			if o.EventKey != "evt-1" {
+				continue // the adopted query's own epochs may fire too
+			}
+			if o.Err != nil {
+				t.Fatalf("adopted intent failed: %v (%s)", o.Err, o.Failure)
+			}
+			if o.DeviceID != "phone-1" {
+				t.Fatalf("adopted intent ran on %s, want phone-1", o.DeviceID)
+			}
+			if eng.JournalPending() != 0 {
+				t.Fatalf("journal pending = %d after outcome, want 0", eng.JournalPending())
+			}
+			// Re-applying the set must be a no-op.
+			st2, err := Adopt(ctx, eng, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st2.Devices != 0 || st2.Queries != 0 || st2.IntentsAdopted != 0 {
+				t.Fatalf("second adopt stats = %+v, want all skipped", st2)
+			}
+			return
+		case <-waitUntil:
+			t.Fatal("adopted intent produced no outcome within 10s")
+		}
+	}
+}
+
+// TestAdoptExpiredIntent: an intent whose deadline passed in transit is
+// closed with a FailExpired outcome, not fired stale.
+func TestAdoptExpiredIntent(t *testing.T) {
+	clk := vclock.NewScaled(100)
+	network := netsim.NewNetwork(clk, 7)
+	j, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	eng, err := core.New(core.Config{Clock: clk, Dialer: network, Journal: j, DisableLiveness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.Recover(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+
+	deadline := clk.Now().Add(-time.Minute)
+	set := &HandoffSet{
+		Shard: "survivor",
+		Intents: []wal.IntentRecord{{
+			DedupKey:   core.IntentDedupKey("alerts", "evt-2", deadline),
+			RequestID:  43,
+			Query:      "alerts",
+			Action:     "notify",
+			EventKey:   "evt-2",
+			CreatedNS:  deadline.Add(-time.Minute).UnixNano(),
+			DeadlineNS: deadline.UnixNano(),
+			Candidates: []wal.CandidateRecord{{ID: "phone-1"}},
+			Args:       map[string][]any{"phone-1": {"+85255501", "late"}},
+		}},
+	}
+	st, err := Adopt(ctx, eng, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IntentsAdopted != 0 || st.IntentsClosed != 1 {
+		t.Fatalf("adopt stats = %+v, want the intent closed as expired", st)
+	}
+	if eng.JournalPending() != 0 {
+		t.Fatalf("journal pending = %d, want 0 (expired intent must close)", eng.JournalPending())
+	}
+	m := eng.Metrics()
+	if m.Failures[core.FailExpired] != 1 {
+		t.Fatalf("failures = %v, want one FailExpired", m.Failures)
+	}
+}

@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"aorta/internal/frontdoor"
+	"aorta/internal/netsim"
+	"aorta/internal/vclock"
+)
+
+// stubShard is a scripted shard front door on a netsim listener: it
+// records every statement it receives and answers from a canned handler.
+type stubShard struct {
+	id string
+
+	mu    sync.Mutex
+	stmts []string
+	reply func(stmt string) map[string]any
+}
+
+func (s *stubShard) record(stmt string) {
+	s.mu.Lock()
+	s.stmts = append(s.stmts, stmt)
+	s.mu.Unlock()
+}
+
+func (s *stubShard) received() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.stmts...)
+}
+
+func (s *stubShard) serve(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				enc := json.NewEncoder(conn)
+				for sc.Scan() {
+					line := strings.TrimSpace(sc.Text())
+					if line == "" {
+						continue
+					}
+					id, stmt, _ := frontdoor.SplitTag(line)
+					s.record(stmt)
+					frame := map[string]any{"ok": true}
+					if s.reply != nil {
+						frame = s.reply(stmt)
+					}
+					frame["id"] = id
+					if err := enc.Encode(frame); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+// clusterHarness wires N stub shards behind a router on one netsim
+// network.
+func clusterHarness(t *testing.T, n int) (*Router, []*stubShard) {
+	t.Helper()
+	net := netsim.NewNetwork(vclock.Real{}, 1)
+	var infos []ShardInfo
+	var stubs []*stubShard
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("shard-%d", i)
+		ln, err := net.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		stub := &stubShard{id: id}
+		stub.serve(t, ln)
+		stubs = append(stubs, stub)
+		infos = append(infos, ShardInfo{ID: id, Addr: id})
+	}
+	r, err := NewRouter(RouterConfig{Shards: infos, Dialer: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, stubs
+}
+
+func asResponse(t *testing.T, v any) *Response {
+	t.Helper()
+	resp, ok := v.(*Response)
+	if !ok {
+		t.Fatalf("Exec returned %T, want *Response", v)
+	}
+	return resp
+}
+
+// TestRouterTypePruning: a camera-only query must never land on a shard
+// holding only motes.
+func TestRouterTypePruning(t *testing.T) {
+	r, stubs := clusterHarness(t, 3)
+	// shard-1: motes only; shard-2: cameras; shard-3: motes + cameras.
+	r.SetDevices([]DeviceEntry{
+		{ID: "m1", Type: "sensor"}, {ID: "m2", Type: "sensor"},
+		{ID: "c1", Type: "camera"}, {ID: "c2", Type: "camera"},
+	})
+	// Force ownership via pins so the test controls the layout exactly.
+	r.mu.Lock()
+	smap, err := NewMap(r.smap.Shards(), map[string]string{
+		"m1": "shard-1", "m2": "shard-3", "c1": "shard-2", "c2": "shard-3",
+	})
+	if err != nil {
+		r.mu.Unlock()
+		t.Fatal(err)
+	}
+	r.smap = smap
+	r.reindexLocked()
+	r.mu.Unlock()
+
+	resp := asResponse(t, r.Exec(context.Background(), "q1", `SELECT c.ip FROM camera c`))
+	if !resp.OK {
+		t.Fatalf("camera SELECT failed: %s", resp.Error)
+	}
+	if got := stubs[0].received(); len(got) != 0 {
+		t.Errorf("mote-only shard-1 received camera-only statements: %v", got)
+	}
+	for _, s := range []*stubShard{stubs[1], stubs[2]} {
+		if got := s.received(); len(got) != 1 {
+			t.Errorf("camera shard %s received %v, want 1 statement", s.id, got)
+		}
+	}
+}
+
+// TestRouterIDPruning: pinning a table's id to a literal routes to the
+// owner shard only.
+func TestRouterIDPruning(t *testing.T) {
+	r, stubs := clusterHarness(t, 3)
+	r.mu.Lock()
+	smap, err := NewMap(r.smap.Shards(), map[string]string{
+		"m1": "shard-1", "m2": "shard-2", "m3": "shard-3",
+	})
+	if err != nil {
+		r.mu.Unlock()
+		t.Fatal(err)
+	}
+	r.smap = smap
+	r.mu.Unlock()
+	r.SetDevices([]DeviceEntry{
+		{ID: "m1", Type: "sensor"}, {ID: "m2", Type: "sensor"}, {ID: "m3", Type: "sensor"},
+	})
+
+	resp := asResponse(t, r.Exec(context.Background(), "",
+		`CREATE AQ watch AS SELECT s.accel_x FROM sensor s WHERE s.id = "m2" EVERY "5s"`))
+	if !resp.OK {
+		t.Fatalf("CREATE AQ failed: %s", resp.Error)
+	}
+	if got := stubs[1].received(); len(got) != 1 {
+		t.Fatalf("owner shard-2 received %v, want the CREATE AQ", got)
+	}
+	for _, s := range []*stubShard{stubs[0], stubs[2]} {
+		if got := s.received(); len(got) != 0 {
+			t.Errorf("non-owner %s received %v", s.id, got)
+		}
+	}
+
+	// The catalog remembers where the query went: DROP follows it.
+	resp = asResponse(t, r.Exec(context.Background(), "", "DROP AQ watch"))
+	if !resp.OK {
+		t.Fatalf("DROP AQ failed: %s", resp.Error)
+	}
+	if got := stubs[1].received(); len(got) != 2 {
+		t.Errorf("owner shard-2 received %v, want CREATE + DROP", got)
+	}
+	if got := stubs[0].received(); len(got) != 0 {
+		t.Errorf("shard-1 received %v, want nothing", got)
+	}
+}
+
+// TestRouterMergeTagsRows: merged ad-hoc rows carry their source shard.
+func TestRouterMergeTagsRows(t *testing.T) {
+	r, stubs := clusterHarness(t, 2)
+	for i, s := range stubs {
+		i := i
+		s.reply = func(stmt string) map[string]any {
+			return map[string]any{"ok": true, "rows": []map[string]any{{"accel_x": float64(100 + i)}}}
+		}
+	}
+	resp := asResponse(t, r.Exec(context.Background(), "q9", `SELECT s.accel_x FROM sensor s`))
+	if !resp.OK {
+		t.Fatalf("SELECT failed: %s", resp.Error)
+	}
+	if resp.ID != "q9" {
+		t.Errorf("response id = %q, want q9", resp.ID)
+	}
+	if len(resp.Rows) != 2 {
+		t.Fatalf("merged %d rows, want 2", len(resp.Rows))
+	}
+	var shards []string
+	for _, row := range resp.Rows {
+		shard, _ := row["shard"].(string)
+		shards = append(shards, shard)
+	}
+	sort.Strings(shards)
+	if shards[0] != "shard-1" || shards[1] != "shard-2" {
+		t.Errorf("row shard tags = %v, want [shard-1 shard-2]", shards)
+	}
+}
+
+// TestRouterPartialFailure: mixed success/failure surfaces the typed
+// partial error with per-shard codes — not first-error-wins.
+func TestRouterPartialFailure(t *testing.T) {
+	r, stubs := clusterHarness(t, 3)
+	stubs[1].reply = func(stmt string) map[string]any {
+		return map[string]any{"ok": false, "error": "disk full", "code": "degraded"}
+	}
+	resp := asResponse(t, r.Exec(context.Background(), "p1", `CREATE AQ x AS SELECT s.accel_x FROM sensor s EVERY "5s"`))
+	if resp.OK {
+		t.Fatal("partial failure reported as success")
+	}
+	if resp.Code != frontdoor.CodePartial {
+		t.Errorf("code = %q, want %q", resp.Code, frontdoor.CodePartial)
+	}
+	want := map[string]string{"shard-1": "ok", "shard-2": "degraded", "shard-3": "ok"}
+	for shard, code := range want {
+		if resp.Shards[shard] != code {
+			t.Errorf("shards[%s] = %q, want %q", shard, resp.Shards[shard], code)
+		}
+	}
+	if !strings.Contains(resp.Error, "disk full") {
+		t.Errorf("error %q does not carry the shard failure", resp.Error)
+	}
+	// A partial CREATE AQ must not be recorded as routed: DROP broadcasts.
+	if _, ok := r.catalog["x"]; ok {
+		t.Error("failed CREATE AQ left a catalog entry")
+	}
+}
+
+// TestRouterUniformFailure: when every shard fails the same way the
+// shared code propagates instead of "partial".
+func TestRouterUniformFailure(t *testing.T) {
+	r, stubs := clusterHarness(t, 2)
+	for _, s := range stubs {
+		s.reply = func(stmt string) map[string]any {
+			return map[string]any{"ok": false, "error": "read-only", "code": "degraded"}
+		}
+	}
+	resp := asResponse(t, r.Exec(context.Background(), "", `CREATE AQ y AS SELECT s.accel_x FROM sensor s EVERY "5s"`))
+	if resp.OK {
+		t.Fatal("uniform failure reported as success")
+	}
+	if resp.Code != "degraded" {
+		t.Errorf("code = %q, want degraded (uniform failure is not partial)", resp.Code)
+	}
+}
+
+// TestRouterMetricsAggregation: \metrics merges per-shard frames into a
+// breakdown plus summed aggregate.
+func TestRouterMetricsAggregation(t *testing.T) {
+	r, stubs := clusterHarness(t, 2)
+	for i, s := range stubs {
+		i := i
+		s.reply = func(stmt string) map[string]any {
+			return map[string]any{"ok": true, "metrics": map[string]any{
+				"Requests":    float64(10 * (i + 1)),
+				"Successes":   float64(9 * (i + 1)),
+				"MeanLatency": float64(1000 * (i + 1)),
+				"Failures":    map[string]any{"expired": float64(i + 1)},
+			}}
+		}
+	}
+	resp := asResponse(t, r.Exec(context.Background(), "", `\metrics`))
+	if !resp.OK {
+		t.Fatalf("\\metrics failed: %s", resp.Error)
+	}
+	if resp.Cluster == nil || len(resp.Cluster.Shards) != 2 {
+		t.Fatalf("cluster breakdown missing: %+v", resp.Cluster)
+	}
+	agg := resp.Cluster.Aggregate
+	if got := agg["Requests"]; got != float64(30) {
+		t.Errorf("aggregate Requests = %v, want 30", got)
+	}
+	if got := agg["Successes"]; got != float64(27) {
+		t.Errorf("aggregate Successes = %v, want 27", got)
+	}
+	// Weighted mean: (10*1000 + 20*2000) / 30.
+	if got := agg["MeanLatency"]; got != float64(50000)/30 {
+		t.Errorf("aggregate MeanLatency = %v, want %v", got, float64(50000)/30)
+	}
+	if f, ok := agg["Failures"].(map[string]any); !ok || f["expired"] != float64(3) {
+		t.Errorf("aggregate Failures = %v, want expired=3", agg["Failures"])
+	}
+}
+
+// TestRouterRetire: a retired shard stops receiving statements and its
+// catalog entries recompute to the survivors.
+func TestRouterRetire(t *testing.T) {
+	r, stubs := clusterHarness(t, 2)
+	r.mu.Lock()
+	smap, err := NewMap(r.smap.Shards(), map[string]string{"m1": "shard-2"})
+	if err != nil {
+		r.mu.Unlock()
+		t.Fatal(err)
+	}
+	r.smap = smap
+	r.mu.Unlock()
+	r.SetDevices([]DeviceEntry{{ID: "m1", Type: "sensor"}})
+
+	resp := asResponse(t, r.Exec(context.Background(), "",
+		`CREATE AQ z AS SELECT s.accel_x FROM sensor s WHERE s.id = "m1" EVERY "5s"`))
+	if !resp.OK {
+		t.Fatalf("CREATE AQ failed: %s", resp.Error)
+	}
+	if got := stubs[1].received(); len(got) != 1 {
+		t.Fatalf("shard-2 received %v", got)
+	}
+
+	if err := r.Retire("shard-2"); err != nil {
+		t.Fatal(err)
+	}
+	// m1's owner is now shard-1 (the pin's shard is gone), so the catalog
+	// entry must have been recomputed and DROP routes to shard-1.
+	resp = asResponse(t, r.Exec(context.Background(), "", "DROP AQ z"))
+	if !resp.OK {
+		t.Fatalf("DROP AQ after retire failed: %s", resp.Error)
+	}
+	if got := stubs[0].received(); len(got) != 1 || !strings.HasPrefix(got[0], "DROP") {
+		t.Errorf("survivor shard-1 received %v, want the DROP", got)
+	}
+
+	if err := r.Retire("shard-1"); err == nil {
+		t.Error("retiring the last shard succeeded")
+	}
+}
+
+// TestRouterNoCoverageSelect: with inventory present and no shard holding
+// the queried type, an ad-hoc SELECT answers locally with zero rows.
+func TestRouterNoCoverageSelect(t *testing.T) {
+	r, stubs := clusterHarness(t, 2)
+	r.SetDevices([]DeviceEntry{{ID: "m1", Type: "sensor"}})
+	resp := asResponse(t, r.Exec(context.Background(), "", `SELECT p.number FROM phone p`))
+	if !resp.OK {
+		t.Fatalf("zero-coverage SELECT failed: %s", resp.Error)
+	}
+	if len(resp.Rows) != 0 {
+		t.Errorf("zero-coverage SELECT returned rows: %v", resp.Rows)
+	}
+	for _, s := range stubs {
+		for _, stmt := range s.received() {
+			if strings.HasPrefix(stmt, "SELECT p.number") {
+				t.Errorf("zero-coverage SELECT reached shard %s", s.id)
+			}
+		}
+	}
+}

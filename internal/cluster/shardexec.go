@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+
+	"aorta/internal/core"
+	"aorta/internal/frontdoor"
+	"aorta/internal/wal"
+)
+
+// shardResponse is the shard-side response frame: the subset of the
+// daemon's frame an in-process shard serves. Field names and JSON keys
+// match cmd/aortad so the router decodes both identically.
+type shardResponse struct {
+	ID        string                     `json:"id,omitempty"`
+	OK        bool                       `json:"ok"`
+	Code      string                     `json:"code,omitempty"`
+	Error     string                     `json:"error,omitempty"`
+	Message   string                     `json:"message,omitempty"`
+	Rows      []map[string]any           `json:"rows,omitempty"`
+	Queries   []core.Info                `json:"queries,omitempty"`
+	Names     []string                   `json:"names,omitempty"`
+	Metrics   *core.MetricsSnapshot      `json:"metrics,omitempty"`
+	Frontdoor *frontdoor.MetricsSnapshot `json:"frontdoor,omitempty"`
+	Wal       *wal.Stats                 `json:"wal,omitempty"`
+}
+
+// ShardExec returns a frontdoor.Exec serving one engine — the shard-side
+// half of an in-process cluster (the cluster study, tests). It executes
+// SQL through the engine and answers \metrics; cmd/aortad's richer exec
+// (photos, lab stimulation) is a superset with the same frame shape.
+func ShardExec(eng *core.Engine, door *frontdoor.Door) frontdoor.Exec {
+	return func(ctx context.Context, id, stmt string) any {
+		if strings.HasPrefix(stmt, "\\") {
+			resp := &shardResponse{ID: id}
+			if strings.Fields(stmt)[0] == "\\metrics" {
+				m := eng.Metrics()
+				resp.OK = true
+				resp.Metrics = &m
+				if door != nil {
+					fm := door.Metrics()
+					resp.Frontdoor = &fm
+				}
+				if ws, ok := eng.JournalStats(); ok {
+					resp.Wal = &ws
+				}
+			} else {
+				resp.Error = "unknown command " + stmt
+			}
+			return resp
+		}
+		resp := &shardResponse{ID: id, OK: true}
+		res, err := eng.Exec(ctx, stmt)
+		if err != nil {
+			resp.OK = false
+			resp.Error = err.Error()
+			resp.Code = shardErrorCode(ctx, err)
+		} else {
+			resp.Message = res.Message
+			resp.Rows = res.Rows
+			resp.Queries = res.Queries
+			resp.Names = res.Names
+		}
+		return resp
+	}
+}
+
+// shardErrorCode maps an engine error to its wire code (the daemon's
+// errorCode, minus lab-only cases).
+func shardErrorCode(ctx context.Context, err error) string {
+	cause := context.Cause(ctx)
+	switch {
+	case errors.Is(err, core.ErrDegraded):
+		return frontdoor.CodeDegraded
+	case errors.Is(err, core.ErrQuarantined):
+		return frontdoor.CodeQuarantined
+	case errors.Is(err, core.ErrPanic):
+		return frontdoor.CodePanic
+	case errors.Is(err, context.DeadlineExceeded),
+		ctx.Err() != nil && errors.Is(cause, context.DeadlineExceeded):
+		return frontdoor.CodeDeadlineExceeded
+	default:
+		return ""
+	}
+}

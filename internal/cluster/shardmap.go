@@ -1,0 +1,136 @@
+// Package cluster scales the Aorta engine horizontally: the device
+// population is partitioned across N independent engine instances
+// (shards) by a deterministic shard map, a router fans statements out to
+// the shards whose device coverage they can touch and merges the
+// responses, and shard handoff replays a departed shard's write-ahead
+// journal into the surviving owners so rebalancing keeps the single-
+// engine zero-loss guarantee.
+//
+// The shard map uses rendezvous (highest-random-weight) hashing: every
+// (shard, device) pair is scored with an FNV-64a hash and the device
+// belongs to the highest-scoring shard. The mapping needs no coordination
+// and no state beyond the member list — two processes holding the same
+// member list compute identical owners — and membership change moves only
+// the devices whose maximum moved: adding a shard steals ~1/N of each
+// existing shard's devices, removing one redistributes exactly its own.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Map assigns device IDs to shards. It is immutable; membership changes
+// produce a new Map via WithShards.
+type Map struct {
+	shards []string          // sorted, unique
+	pins   map[string]string // device id → shard id (manifest affinity)
+}
+
+// NewMap builds a shard map over the given shard IDs. pins overrides the
+// hash for specific devices (zone/type affinity from the manifest); a pin
+// to a shard not in the member list is ignored, so pins survive the
+// pinned shard's departure by falling back to the hash.
+func NewMap(shards []string, pins map[string]string) (*Map, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: shard map needs at least one shard")
+	}
+	sorted := make([]string, 0, len(shards))
+	seen := make(map[string]bool, len(shards))
+	for _, s := range shards {
+		if s == "" {
+			return nil, fmt.Errorf("cluster: empty shard id")
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", s)
+		}
+		seen[s] = true
+		sorted = append(sorted, s)
+	}
+	sort.Strings(sorted)
+	m := &Map{shards: sorted}
+	if len(pins) > 0 {
+		m.pins = make(map[string]string, len(pins))
+		for dev, shard := range pins {
+			m.pins[dev] = shard
+		}
+	}
+	return m, nil
+}
+
+// Shards returns the member shard IDs in sorted order.
+func (m *Map) Shards() []string {
+	out := make([]string, len(m.shards))
+	copy(out, m.shards)
+	return out
+}
+
+// Contains reports whether shard is a member.
+func (m *Map) Contains(shard string) bool {
+	i := sort.SearchStrings(m.shards, shard)
+	return i < len(m.shards) && m.shards[i] == shard
+}
+
+// Owner returns the shard owning deviceID: its pin when pinned to a live
+// member, else the rendezvous winner. The result depends only on the
+// member list and the pins, never on call order or process identity.
+func (m *Map) Owner(deviceID string) string {
+	if shard, ok := m.pins[deviceID]; ok && m.Contains(shard) {
+		return shard
+	}
+	best := ""
+	var bestScore uint64
+	for _, shard := range m.shards {
+		s := score(shard, deviceID)
+		// Strict > with the sorted member list makes ties (astronomically
+		// rare) break toward the lexicographically first shard, keeping the
+		// mapping total-order deterministic.
+		if best == "" || s > bestScore {
+			best, bestScore = shard, s
+		}
+	}
+	return best
+}
+
+// WithShards returns a map over a new member list with the same pins.
+func (m *Map) WithShards(shards []string) (*Map, error) {
+	return NewMap(shards, m.pins)
+}
+
+// Partition groups deviceIDs by owner. Every member shard gets an entry,
+// so empty shards are visible to callers (manifest validation reports
+// them as defects).
+func (m *Map) Partition(deviceIDs []string) map[string][]string {
+	out := make(map[string][]string, len(m.shards))
+	for _, s := range m.shards {
+		out[s] = nil
+	}
+	for _, id := range deviceIDs {
+		owner := m.Owner(id)
+		out[owner] = append(out[owner], id)
+	}
+	for _, ids := range out {
+		sort.Strings(ids)
+	}
+	return out
+}
+
+// score is the rendezvous weight of one (shard, device) pair: FNV-64a
+// over "shard\x00device" pushed through a splitmix64 finalizer. Raw FNV
+// avalanches poorly on short sequential keys ("mote-1", "mote-2", ...),
+// which skews ownership badly; the finalizer restores uniform spread while
+// staying just as deterministic across platforms and processes.
+func score(shard, deviceID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(shard))
+	h.Write([]byte{0})
+	h.Write([]byte(deviceID))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

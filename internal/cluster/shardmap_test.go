@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func deviceIDs(n int) []string {
+	ids := make([]string, 0, n)
+	for i := 1; i <= n; i++ {
+		ids = append(ids, fmt.Sprintf("mote-%d", i))
+	}
+	return ids
+}
+
+func shardIDs(n int) []string {
+	ids := make([]string, 0, n)
+	for i := 1; i <= n; i++ {
+		ids = append(ids, fmt.Sprintf("shard-%d", i))
+	}
+	return ids
+}
+
+func TestMapRejectsBadMembership(t *testing.T) {
+	if _, err := NewMap(nil, nil); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewMap([]string{"a", ""}, nil); err == nil {
+		t.Fatal("empty shard id accepted")
+	}
+	if _, err := NewMap([]string{"a", "a"}, nil); err == nil {
+		t.Fatal("duplicate shard id accepted")
+	}
+}
+
+// TestMapDeterministic asserts the mapping depends only on inputs: two
+// independently constructed maps (shard list given in different orders)
+// agree on every owner. This is the cross-process identity guarantee —
+// there is no seed, no process state, no call-order dependence.
+func TestMapDeterministic(t *testing.T) {
+	a, err := NewMap([]string{"shard-1", "shard-2", "shard-3"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMap([]string{"shard-3", "shard-1", "shard-2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range deviceIDs(500) {
+		if ao, bo := a.Owner(dev), b.Owner(dev); ao != bo {
+			t.Fatalf("owner(%s) differs across maps: %s vs %s", dev, ao, bo)
+		}
+	}
+}
+
+// TestMapGoldenOwners pins a handful of concrete assignments. FNV-64a is
+// stable across platforms and Go versions, so these never move unless the
+// hashing scheme itself changes — which would silently remap every
+// deployed cluster and must be caught.
+func TestMapGoldenOwners(t *testing.T) {
+	m, err := NewMap(shardIDs(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"mote-1":   "shard-4",
+		"mote-2":   "shard-4",
+		"mote-3":   "shard-2",
+		"camera-1": "shard-3",
+		"phone-1":  "shard-4",
+	}
+	for dev, want := range golden {
+		if got := m.Owner(dev); got != want {
+			t.Errorf("owner(%s) = %s, want %s (hash scheme changed?)", dev, got, want)
+		}
+	}
+}
+
+// TestMapStabilityOnGrowth asserts the rendezvous property exactly: when a
+// shard joins, the devices that move are precisely those the new shard now
+// owns — no device migrates between two surviving shards — and the moved
+// fraction is close to the ideal 1/N.
+func TestMapStabilityOnGrowth(t *testing.T) {
+	devices := deviceIDs(2000)
+	for _, n := range []int{1, 2, 4, 8} {
+		before, err := NewMap(shardIDs(n), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := fmt.Sprintf("shard-%d", n+1)
+		after, err := before.WithShards(append(shardIDs(n), joined))
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, dev := range devices {
+			was, is := before.Owner(dev), after.Owner(dev)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != joined {
+				t.Fatalf("n=%d: %s moved %s→%s, but only moves onto the joining shard are allowed", n, dev, was, is)
+			}
+		}
+		// Ideal is len(devices)/(n+1). FNV spreads well enough that 2000
+		// devices land within ±35% of ideal for every n tested here; the
+		// bound is deterministic because the hash is.
+		ideal := float64(len(devices)) / float64(n+1)
+		if f := float64(moved); f < 0.65*ideal || f > 1.35*ideal {
+			t.Errorf("n=%d→%d: moved %d devices, want ~%.0f (±35%%)", n, n+1, moved, ideal)
+		}
+	}
+}
+
+// TestMapStabilityOnRemoval is the inverse property: removing a shard
+// moves exactly the devices it owned, and nothing else.
+func TestMapStabilityOnRemoval(t *testing.T) {
+	devices := deviceIDs(2000)
+	before, err := NewMap(shardIDs(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = "shard-3"
+	var survivors []string
+	for _, s := range shardIDs(4) {
+		if s != victim {
+			survivors = append(survivors, s)
+		}
+	}
+	after, err := before.WithShards(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, dev := range devices {
+		was, is := before.Owner(dev), after.Owner(dev)
+		if was != victim {
+			if was != is {
+				t.Fatalf("%s moved %s→%s although its owner survived", dev, was, is)
+			}
+			continue
+		}
+		moved++
+		if is == victim {
+			t.Fatalf("%s still owned by removed shard", dev)
+		}
+	}
+	ideal := float64(len(devices)) / 4
+	if f := float64(moved); f < 0.65*ideal || f > 1.35*ideal {
+		t.Errorf("removal moved %d devices, want ~%.0f (±35%%)", moved, ideal)
+	}
+}
+
+// TestMapPins asserts pinned devices follow their pin while it is a live
+// member and fall back to the hash when it is not.
+func TestMapPins(t *testing.T) {
+	pins := map[string]string{"phone-1": "shard-2", "phone-2": "shard-9"}
+	m, err := NewMap(shardIDs(4), pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Owner("phone-1"); got != "shard-2" {
+		t.Errorf("pinned owner = %s, want shard-2", got)
+	}
+	// phone-2 is pinned to a non-member: hash decides.
+	unpinned, err := NewMap(shardIDs(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Owner("phone-2"), unpinned.Owner("phone-2"); got != want {
+		t.Errorf("dead pin owner = %s, want hash fallback %s", got, want)
+	}
+	// Pins survive membership change.
+	grown, err := m.WithShards(shardIDs(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grown.Owner("phone-1"); got != "shard-2" {
+		t.Errorf("pin lost across WithShards: owner = %s", got)
+	}
+}
+
+func TestPartitionCoversEveryShard(t *testing.T) {
+	m, err := NewMap(shardIDs(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := m.Partition(deviceIDs(3)) // fewer devices than shards
+	if len(parts) != 8 {
+		t.Fatalf("partition has %d entries, want 8 (empty shards must be visible)", len(parts))
+	}
+	total := 0
+	for _, ids := range parts {
+		total += len(ids)
+	}
+	if total != 3 {
+		t.Fatalf("partition assigned %d devices, want 3", total)
+	}
+}

@@ -127,6 +127,14 @@ type Config struct {
 	// order — just without the cross-operator lock guarantee.
 	InterferenceAblation bool
 
+	// EvalWorkers caps how many continuous-query epoch evaluations may run
+	// concurrently on this engine; further epochs queue behind the cap (and
+	// the fabric's bounded delivery buffer sheds batches that back up past
+	// it, so a saturated engine degrades by skipping epochs, not by growing
+	// without bound). This is the engine's evaluation capacity: a cluster
+	// multiplies it by adding shards. 0 means unlimited (no admission gate).
+	EvalWorkers int
+
 	// QuarantineAfter auto-stops (quarantines) a continuous query after
 	// this many contained evaluation panics: the query is STOPped with a
 	// recorded reason instead of poisoning every subsequent epoch, and
@@ -187,6 +195,9 @@ type Engine struct {
 	// table needs and every (device type, epoch) pair is sampled once per
 	// epoch regardless of how many queries ride it.
 	fabric *scanshare.Fabric
+	// evalSem bounds concurrent continuous-query evaluations when
+	// Config.EvalWorkers > 0; nil means unlimited.
+	evalSem chan struct{}
 
 	mu        sync.Mutex
 	queries   map[string]*Query
@@ -313,6 +324,9 @@ func New(cfg Config) (*Engine, error) {
 		photos:    &photoStore{},
 		metrics:   newEngineMetrics(),
 		outcomes:  &outcomeLog{},
+	}
+	if cfg.EvalWorkers > 0 {
+		e.evalSem = make(chan struct{}, cfg.EvalWorkers)
 	}
 	// The fabric scans through the layer, so pooled sessions, dial backoff,
 	// circuit breakers and the liveness gate all apply to shared scans.

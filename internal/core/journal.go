@@ -51,10 +51,19 @@ type journalGlue struct {
 	armed     bool
 	recovered bool
 	pending   map[string]*wal.IntentRecord
+	// adopted remembers dedup keys transplanted in via AdoptIntent, even
+	// after their outcomes cleared them from pending, so replaying the same
+	// handoff set cannot re-run a completed action. Bounded by handoff
+	// volume, not workload volume.
+	adopted map[string]bool
 }
 
 func newJournalGlue(j *wal.Journal) *journalGlue {
-	return &journalGlue{j: j, pending: make(map[string]*wal.IntentRecord)}
+	return &journalGlue{
+		j:       j,
+		pending: make(map[string]*wal.IntentRecord),
+		adopted: make(map[string]bool),
+	}
 }
 
 func (g *journalGlue) isArmed() bool {
@@ -591,6 +600,67 @@ func (e *Engine) stageIntent(ir *wal.IntentRecord) (*recoveredIntent, error) {
 		return nil, fmt.Errorf("action %q not registered", ir.Action)
 	}
 	return &recoveredIntent{def: def, req: requestOfIntent(ir)}, nil
+}
+
+// AdoptIntent transplants a pending intent journaled by another engine —
+// a departed cluster shard — into this one. The record is re-journaled
+// locally first, so from this point on this engine's own crash recovery
+// owns the intent; then it is re-dispatched, or closed with a FailExpired
+// outcome when its deadline already passed in transit. An intent whose
+// dedup key is already pending here is a no-op (adopted=false, err=nil),
+// which makes handoff replay idempotent. The engine must have a recovered
+// journal and be started.
+func (e *Engine) AdoptIntent(ir *wal.IntentRecord) (redispatched bool, err error) {
+	if e.glue == nil {
+		return false, errors.New("core: no journal configured")
+	}
+	if !e.glue.isArmed() {
+		return false, errors.New("core: AdoptIntent requires a recovered journal")
+	}
+	e.mu.Lock()
+	started := e.started
+	e.mu.Unlock()
+	if !started {
+		return false, errors.New("core: AdoptIntent requires a started engine")
+	}
+	cp := *ir // decouple from the caller's replay buffer
+	g := e.glue
+	g.mu.Lock()
+	_, dup := g.pending[cp.DedupKey]
+	dup = dup || g.adopted[cp.DedupKey]
+	if !dup {
+		g.pending[cp.DedupKey] = &cp
+		g.adopted[cp.DedupKey] = true
+	}
+	g.mu.Unlock()
+	if dup {
+		return false, nil
+	}
+	// Request IDs are per-engine: lift reqSeq above the adopted ID so this
+	// engine's future requests never collide with it.
+	for {
+		cur := e.reqSeq.Load()
+		if cp.RequestID <= cur || e.reqSeq.CompareAndSwap(cur, cp.RequestID) {
+			break
+		}
+	}
+	e.journalAppend(wal.KindIntent, &cp)
+	now := e.clk.Now()
+	if cp.DeadlineNS != 0 && now.After(time.Unix(0, cp.DeadlineNS)) {
+		e.expireIntent(&cp, now)
+		return false, nil
+	}
+	ri, err := e.stageIntent(&cp)
+	if err != nil {
+		// Same posture as Recover: an intent whose action is not registered
+		// here cannot run; drop it from pending with the error surfaced.
+		g.mu.Lock()
+		delete(g.pending, cp.DedupKey)
+		g.mu.Unlock()
+		return false, err
+	}
+	e.operatorFor(ri.def).submit(ri.req)
+	return true, nil
 }
 
 // parseSelect parses a journaled SELECT rendering.

@@ -602,6 +602,21 @@ func (e *Engine) emitRequests(q *Query, item *actionItem, rows []Row) {
 	}
 }
 
+// acquireEvalSlot blocks until an evaluation slot frees up (the
+// Config.EvalWorkers admission gate) or the query's context is cancelled.
+// Without a cap it admits immediately.
+func (e *Engine) acquireEvalSlot(ctx context.Context) (release func(), ok bool) {
+	if e.evalSem == nil {
+		return func() {}, true
+	}
+	select {
+	case <-ctx.Done():
+		return nil, false
+	case e.evalSem <- struct{}{}:
+		return func() { <-e.evalSem }, true
+	}
+}
+
 // runQuery is the continuous-query loop. Instead of scanning on its own
 // timer, the query subscribes its table needs to the shared scan fabric:
 // the fabric samples each device type once per epoch for every subscriber
@@ -630,7 +645,13 @@ func (e *Engine) runQuery(ctx context.Context, q *Query) {
 		}
 		err := batch.Err
 		if err == nil {
+			release, ok := e.acquireEvalSlot(ctx)
+			if !ok {
+				batch.Release()
+				return
+			}
 			_, err = e.safeEvalScanned(q, batch.Tables)
+			release()
 		}
 		batch.Release()
 		quarantine := false

@@ -299,9 +299,9 @@ func (m *EngineMetrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	snap := MetricsSnapshot{
-		Requests:        m.requests,
-		Successes:       m.successes,
-		Failures:        make(map[FailureKind]int64, len(m.failures)),
+		Requests:           m.requests,
+		Successes:          m.successes,
+		Failures:           make(map[FailureKind]int64, len(m.failures)),
 		Retries:            m.retries,
 		Dropped:            m.dropped,
 		OutcomesDropped:    m.outcomesDropped,

@@ -1,0 +1,712 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"aorta/internal/cluster"
+	"aorta/internal/comm"
+	"aorta/internal/core"
+	"aorta/internal/device"
+	"aorta/internal/device/mote"
+	"aorta/internal/device/phone"
+	"aorta/internal/frontdoor"
+	"aorta/internal/geo"
+	"aorta/internal/netsim"
+	"aorta/internal/profile"
+	"aorta/internal/vclock"
+	"aorta/internal/wal"
+)
+
+// ClusterConfig controls the sharded-cluster study. Two phases:
+//
+// Throughput: for each shard count, the device farm is partitioned by
+// the cluster shard map (motes pinned round-robin, so ownership is even
+// and the measurement isolates capacity, not hash luck), one continuous
+// query per mote is created THROUGH the fan-out router (so id-pruning
+// places each query on its mote's owner shard), and a synthetic
+// per-evaluation cost plus a bounded per-engine eval-worker pool make
+// CQ evaluation the bottleneck. Per-shard capacity is
+// EvalWorkers/EvalCost regardless of demand, so aggregate evaluation
+// throughput must scale linearly with shard count until demand
+// (one evaluation per query per epoch) is met.
+//
+// Handoff: a journaled 4-shard cluster runs notify-action queries, one
+// shard is killed with journaled intents still open (its WAL severed
+// without sync, as in the crash study), and the departed shard's
+// journal is replayed into handoff sets adopted by the survivors. The
+// study audits zero loss from the outside: every victim query must run
+// on a survivor, and every outcome-less victim intent must reach a
+// journaled outcome in some survivor's WAL.
+type ClusterConfig struct {
+	// ShardCounts are the cluster sizes the throughput phase sweeps.
+	ShardCounts []int
+	// Motes is the global device-farm size; queries are one per mote.
+	Motes int
+	// EvalWorkers bounds concurrent CQ evaluations per engine — the
+	// per-shard capacity the cluster multiplies.
+	EvalWorkers int
+	// EvalCost is the synthetic wall-clock cost the cluster_slow()
+	// predicate charges per evaluation epoch, making evaluation CPU the
+	// bottleneck resource. (The scan fabric's predicate index already
+	// narrows each id-pinned query to one tuple per epoch, so the cost
+	// is charged once per evaluation, not per device.)
+	EvalCost time.Duration
+	// Warmup and Window are the wall-clock settle and measurement
+	// durations per shard count.
+	Warmup, Window time.Duration
+	// ClockScale speeds up virtual time.
+	ClockScale float64
+	// Seed drives device randomness.
+	Seed int64
+	// HandoffShards and HandoffMotes size the kill-one-shard phase.
+	HandoffShards int
+	HandoffMotes  int
+	// StaleAfter is the virtual deadline attached to action intents in
+	// the handoff phase.
+	StaleAfter time.Duration
+	// MinScaling is the aggregate throughput factor demanded from the
+	// first to the 4-shard point (the acceptance bar: >= 3x).
+	MinScaling float64
+}
+
+// DefaultClusterConfig sizes the study so both the 1- and 4-shard
+// points are eval-capacity-bound: at clock scale 150 an epoch is 0.4s
+// of wall clock, so one shard completes at most
+// EvalWorkers*0.4s/EvalCost = 5.3 evaluations per virtual minute
+// against a demand of 32, and four shards complete ~21.3 — a 4x
+// capacity ratio against the 3x acceptance bar.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		ShardCounts:   []int{1, 2, 4, 8},
+		Motes:         32,
+		EvalWorkers:   4,
+		EvalCost:      300 * time.Millisecond,
+		Warmup:        time.Second,
+		Window:        3 * time.Second,
+		ClockScale:    150,
+		Seed:          2013,
+		HandoffShards: 4,
+		HandoffMotes:  8,
+		StaleAfter:    10 * time.Minute,
+		MinScaling:    3,
+	}
+}
+
+// ClusterPoint is one shard count's throughput measurement.
+type ClusterPoint struct {
+	Shards int
+	// QueriesPerShard is the catalog size per shard after routed CREATEs;
+	// the sum must equal Motes (id-pruning placed each query exactly once).
+	QueriesPerShard []int
+	// PerShard is each shard's CQ evaluation throughput in evaluations
+	// per virtual minute (one epoch = 60 virtual seconds, so the
+	// unsaturated ideal is 1.0 per query).
+	PerShard []float64
+	// Aggregate sums PerShard.
+	Aggregate float64
+}
+
+// ClusterResult aggregates both phases.
+type ClusterResult struct {
+	Points []ClusterPoint
+	// ScalingX is Aggregate at 4 shards over Aggregate at 1 shard (or
+	// last over first when the sweep is custom).
+	ScalingX float64
+
+	// Handoff phase.
+	Victim         string
+	VictimMotes    int
+	VictimQueries  int
+	PendingAtKill  int
+	DevicesAdopted int
+	QueriesAdopted int
+	IntentsAdopted int
+	IntentsClosed  int
+	// LostOutcomes counts victim intents (journaled, outcome-less at the
+	// kill) with no journaled outcome in any survivor WAL; LostQueries
+	// counts victim queries running on no survivor. Both must be 0.
+	LostOutcomes int
+	LostQueries  int
+
+	// Violations lists every broken invariant; empty means the cluster
+	// held its contract.
+	Violations []string
+}
+
+// clusterShard is one engine instance of a study cluster.
+type clusterShard struct {
+	id      string
+	eng     *core.Engine
+	journal *wal.Journal
+	dir     string
+	door    *frontdoor.Door
+	doorLis net.Listener
+	motes   []string
+}
+
+// clusterTrial is one fully wired cluster: a shared simulated network,
+// globally named devices partitioned across shard engines, a front door
+// per shard, and the fan-out router in front.
+type clusterTrial struct {
+	clk     *vclock.Scaled
+	network *netsim.Network
+	smap    *cluster.Map
+	shards  []*clusterShard
+	router  *cluster.Router
+	servers []*device.Server
+	motes   map[string]*mote.Mote
+}
+
+func (t *clusterTrial) shard(id string) *clusterShard {
+	for _, s := range t.shards {
+		if s.id == id {
+			return s
+		}
+	}
+	return nil
+}
+
+func (t *clusterTrial) close() {
+	if t.router != nil {
+		t.router.Close()
+	}
+	for _, s := range t.shards {
+		if s.doorLis != nil {
+			s.doorLis.Close()
+		}
+		if s.door != nil {
+			s.door.Close()
+		}
+		if s.eng != nil {
+			s.eng.Stop()
+		}
+		if s.journal != nil {
+			s.journal.Close()
+		}
+		if s.dir != "" {
+			os.RemoveAll(s.dir)
+		}
+	}
+	for _, srv := range t.servers {
+		srv.Close()
+	}
+}
+
+// buildClusterTrial wires n shards over one simulated network: motes
+// mote-1..mote-nMotes are served once and registered with their owner
+// shard; with phones, phone-i is pinned to shard-i so every shard can
+// execute notify actions locally. journaled gives each shard its own
+// WAL directory (the handoff phase's raw material).
+func buildClusterTrial(cfg ClusterConfig, n, nMotes int, phones, journaled bool) (*clusterTrial, error) {
+	clk := vclock.NewScaled(cfg.ClockScale)
+	network := netsim.NewNetwork(clk, cfg.Seed)
+	t := &clusterTrial{clk: clk, network: network, motes: map[string]*mote.Mote{}}
+
+	ids := make([]string, n)
+	infos := make([]cluster.ShardInfo, n)
+	pins := map[string]string{}
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("shard-%d", i+1)
+		infos[i] = cluster.ShardInfo{ID: ids[i], Addr: "fd-" + ids[i]}
+		if phones {
+			pins[fmt.Sprintf("phone-%d", i+1)] = ids[i]
+		}
+	}
+	// Pin motes round-robin: the study measures capacity scaling, so
+	// ownership must be even by construction. Hash-based placement and
+	// its stability have their own tests in internal/cluster.
+	for k := 1; k <= nMotes; k++ {
+		pins[fmt.Sprintf("mote-%d", k)] = ids[(k-1)%n]
+	}
+	smap, err := cluster.NewMap(ids, pins)
+	if err != nil {
+		return nil, err
+	}
+	t.smap = smap
+
+	serve := func(id string, m device.Model) error {
+		lis, err := network.Listen(id)
+		if err != nil {
+			return err
+		}
+		t.servers = append(t.servers, device.Serve(lis, m))
+		return nil
+	}
+	entries := make([]cluster.DeviceEntry, 0, nMotes+n)
+	for k := 1; k <= nMotes; k++ {
+		id := fmt.Sprintf("mote-%d", k)
+		m := mote.New(id, geo.Point{X: float64(k), Y: 1}, clk, mote.Config{Depth: 1, Seed: cfg.Seed + int64(k)})
+		if err := serve(id, m); err != nil {
+			t.close()
+			return nil, err
+		}
+		t.motes[id] = m
+		entries = append(entries, cluster.DeviceEntry{ID: id, Type: profile.DeviceSensor})
+	}
+	if phones {
+		for i := 1; i <= n; i++ {
+			id := fmt.Sprintf("phone-%d", i)
+			p := phone.New(id, fmt.Sprintf("+8525550%02d", i), fmt.Sprintf("manager-%d", i), clk)
+			if err := serve(id, p); err != nil {
+				t.close()
+				return nil, err
+			}
+			entries = append(entries, cluster.DeviceEntry{ID: id, Type: profile.DevicePhone})
+		}
+	}
+
+	ctx := context.Background()
+	for i, id := range ids {
+		s := &clusterShard{id: id}
+		t.shards = append(t.shards, s)
+		ecfg := core.Config{
+			Clock:  clk,
+			Dialer: network,
+			// One attempt and no availability machinery, as in the crash and
+			// chaos studies: the cluster phases isolate partitioned-capacity
+			// and handoff semantics from failover and probing.
+			MaxAttempts:      1,
+			DisableProbing:   true,
+			DialBackoff:      -1,
+			BreakerThreshold: -1,
+			DisableLiveness:  true,
+			BatchWindow:      crashRecBatchWindow,
+			StaleAfter:       cfg.StaleAfter,
+			EvalWorkers:      cfg.EvalWorkers,
+		}
+		if journaled {
+			dir, err := os.MkdirTemp("", "aorta-cluster-*")
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			s.dir = dir
+			j, err := wal.Open(dir, wal.Options{})
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			s.journal = j
+			ecfg.Journal = j
+		}
+		eng, err := core.New(ecfg)
+		if err != nil {
+			t.close()
+			return nil, err
+		}
+		s.eng = eng
+		// The synthetic evaluation cost: each delivered tuple charges
+		// EvalCost of wall-clock "CPU" inside the eval-worker slot (one
+		// tuple per evaluation for the study's id-pinned queries).
+		cost := cfg.EvalCost
+		eng.RegisterBoolFunc("cluster_slow", func(args []any) (bool, error) {
+			time.Sleep(cost)
+			return true, nil
+		})
+		for k := 1; k <= nMotes; k++ {
+			mid := fmt.Sprintf("mote-%d", k)
+			if smap.Owner(mid) != id {
+				continue
+			}
+			s.motes = append(s.motes, mid)
+			if err := eng.RegisterDevice(comm.DeviceInfo{
+				ID: mid, Type: profile.DeviceSensor, Addr: mid,
+				Static: map[string]any{"loc": geo.Point{X: float64(k), Y: 1}, "depth": 1},
+			}, geo.Mount{}); err != nil {
+				t.close()
+				return nil, err
+			}
+		}
+		if phones {
+			pid := fmt.Sprintf("phone-%d", i+1)
+			if err := eng.RegisterDevice(comm.DeviceInfo{
+				ID: pid, Type: profile.DevicePhone, Addr: pid,
+				Static: map[string]any{"number": fmt.Sprintf("+8525550%02d", i+1), "owner": fmt.Sprintf("manager-%d", i+1)},
+			}, geo.Mount{}); err != nil {
+				t.close()
+				return nil, err
+			}
+		}
+		if journaled {
+			if _, err := eng.Recover(ctx); err != nil {
+				t.close()
+				return nil, err
+			}
+		}
+		if err := eng.Start(ctx); err != nil {
+			t.close()
+			return nil, err
+		}
+		// The shard's front door: the router speaks the real line protocol
+		// to it, exactly as aortad -shard serves it.
+		s.door = frontdoor.New(frontdoor.Config{Clock: vclock.Real{}})
+		lis, err := network.Listen("fd-" + id)
+		if err != nil {
+			t.close()
+			return nil, err
+		}
+		s.doorLis = lis
+		exec := cluster.ShardExec(eng, s.door)
+		go func(door *frontdoor.Door) {
+			for {
+				conn, err := lis.Accept()
+				if err != nil {
+					return
+				}
+				go door.Serve(ctx, conn, exec)
+			}
+		}(s.door)
+	}
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Shards: infos, Pins: pins, Dialer: network})
+	if err != nil {
+		t.close()
+		return nil, err
+	}
+	rt.SetDevices(entries)
+	t.router = rt
+	return t, nil
+}
+
+// routeStatement runs one statement through the router and fails loudly
+// on any non-OK response.
+func routeStatement(ctx context.Context, rt *cluster.Router, stmt string) error {
+	switch resp := rt.Exec(ctx, "", stmt).(type) {
+	case *cluster.Response:
+		if !resp.OK {
+			return fmt.Errorf("route %q: %s (%s)", stmt, resp.Error, resp.Code)
+		}
+		return nil
+	case *frontdoor.ErrorResponse:
+		return fmt.Errorf("route %q: %s", stmt, resp.Error)
+	default:
+		return fmt.Errorf("route %q: unexpected response %T", stmt, resp)
+	}
+}
+
+// shardEvals sums evaluation counters over a shard's catalog.
+func shardEvals(eng *core.Engine) (int64, int, error) {
+	res, err := eng.Exec(context.Background(), "SHOW QUERIES")
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	for _, q := range res.Queries {
+		total += q.Evals
+	}
+	return total, len(res.Queries), nil
+}
+
+// ClusterStudy runs the throughput sweep and the kill-one-shard handoff,
+// auditing the scaling bar and the zero-loss contract.
+func ClusterStudy(cfg ClusterConfig) (*ClusterResult, error) {
+	res := &ClusterResult{}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	ctx := context.Background()
+
+	// Phase 1: throughput sweep.
+	for _, n := range cfg.ShardCounts {
+		t, err := buildClusterTrial(cfg, n, cfg.Motes, false, false)
+		if err != nil {
+			return nil, fmt.Errorf("cluster trial %d shards: %w", n, err)
+		}
+		for k := 1; k <= cfg.Motes; k++ {
+			stmt := fmt.Sprintf(
+				`CREATE AQ cq%d AS SELECT m.accel_x FROM sensor m WHERE cluster_slow() AND m.id = "mote-%d" EVERY "60s"`, k, k)
+			if err := routeStatement(ctx, t.router, stmt); err != nil {
+				t.close()
+				return nil, err
+			}
+		}
+		point := ClusterPoint{Shards: n}
+		placed := 0
+		for _, s := range t.shards {
+			_, count, err := shardEvals(s.eng)
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			point.QueriesPerShard = append(point.QueriesPerShard, count)
+			placed += count
+		}
+		if placed != cfg.Motes {
+			violate("%d shards: %d queries placed for %d motes (id-pruning must place each exactly once)", n, placed, cfg.Motes)
+		}
+		time.Sleep(cfg.Warmup)
+		before := make([]int64, len(t.shards))
+		for i, s := range t.shards {
+			if before[i], _, err = shardEvals(s.eng); err != nil {
+				t.close()
+				return nil, err
+			}
+		}
+		time.Sleep(cfg.Window)
+		// Evaluations per virtual minute: one 60s-epoch per query is 1.0.
+		vminutes := cfg.Window.Seconds() * cfg.ClockScale / 60
+		for i, s := range t.shards {
+			after, _, err := shardEvals(s.eng)
+			if err != nil {
+				t.close()
+				return nil, err
+			}
+			tput := float64(after-before[i]) / vminutes
+			point.PerShard = append(point.PerShard, tput)
+			point.Aggregate += tput
+		}
+		res.Points = append(res.Points, point)
+		t.close()
+	}
+	if len(res.Points) > 1 {
+		first, at4 := res.Points[0].Aggregate, res.Points[len(res.Points)-1].Aggregate
+		for _, p := range res.Points {
+			if p.Shards == 4 {
+				at4 = p.Aggregate
+			}
+		}
+		if first > 0 {
+			res.ScalingX = at4 / first
+		}
+		if res.ScalingX < cfg.MinScaling {
+			violate("aggregate throughput scaled %.2fx from %d to 4 shards, want >= %.1fx",
+				res.ScalingX, res.Points[0].Shards, cfg.MinScaling)
+		}
+	}
+
+	// Phase 2: kill-one-shard handoff.
+	if err := clusterHandoffPhase(ctx, cfg, res, violate); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// clusterHandoffPhase kills the busiest shard of a journaled cluster
+// mid-workload and audits the handoff's zero-loss contract.
+func clusterHandoffPhase(ctx context.Context, cfg ClusterConfig, res *ClusterResult, violate func(string, ...any)) error {
+	t, err := buildClusterTrial(cfg, cfg.HandoffShards, cfg.HandoffMotes, true, true)
+	if err != nil {
+		return fmt.Errorf("cluster handoff trial: %w", err)
+	}
+	defer t.close()
+
+	virtualEpoch := 60 * time.Second
+	epochWall := time.Duration(float64(virtualEpoch) / cfg.ClockScale)
+
+	for k := 1; k <= cfg.HandoffMotes; k++ {
+		stmt := fmt.Sprintf(
+			`CREATE AQ alert%d AS SELECT notify(p.number, "shard alert %d") FROM sensor m, phone p WHERE m.accel_x > 500 AND m.id = "mote-%d" EVERY "60s"`, k, k, k)
+		if err := routeStatement(ctx, t.router, stmt); err != nil {
+			return err
+		}
+	}
+
+	// Victim: the shard owning the most motes, so the handoff moves real
+	// state. Slowing its phone's link holds outcomes open long enough for
+	// the kill to land with journaled, outcome-less intents.
+	var victim *clusterShard
+	for _, s := range t.shards {
+		if victim == nil || len(s.motes) > len(victim.motes) {
+			victim = s
+		}
+	}
+	res.Victim = victim.id
+	res.VictimMotes = len(victim.motes)
+	victimPhone := ""
+	for i, s := range t.shards {
+		if s == victim {
+			victimPhone = fmt.Sprintf("phone-%d", i+1)
+		}
+	}
+	t.network.SetLink(victimPhone, netsim.LinkConfig{PropagationDelay: 2 * virtualEpoch})
+
+	stimDur := 60 * virtualEpoch
+	for _, mid := range victim.motes {
+		t.motes[mid].Stimulate("x", 900, stimDur)
+	}
+
+	killBy := time.Now().Add(30*epochWall + 5*time.Second)
+	for time.Now().Before(killBy) {
+		if n := victim.eng.JournalPending(); n > 0 {
+			res.PendingAtKill = n
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if res.PendingAtKill == 0 {
+		violate("victim was never caught with journaled pending intents; the kill is vacuous")
+	}
+
+	// The kill: sever the WAL without sync, stop the engine, close its
+	// front door, retire it from the router.
+	victim.journal.Crash()
+	victim.eng.Stop()
+	victim.doorLis.Close()
+	victim.door.Close()
+	if err := t.router.Retire(victim.id); err != nil {
+		return fmt.Errorf("retire %s: %w", victim.id, err)
+	}
+	// The phone's slow link served its purpose; heal it so adopted
+	// intents complete promptly on the survivors.
+	t.network.SetLink(victimPhone, netsim.LinkConfig{})
+
+	var survivorIDs []string
+	survivors := map[string]*clusterShard{}
+	for _, s := range t.shards {
+		if s != victim {
+			survivorIDs = append(survivorIDs, s.id)
+			survivors[s.id] = s
+		}
+	}
+	smap2, err := t.smap.WithShards(survivorIDs)
+	if err != nil {
+		return err
+	}
+	sets, err := cluster.PlanHandoff(victim.dir, smap2.Owner)
+	if err != nil {
+		return fmt.Errorf("plan handoff: %w", err)
+	}
+
+	victimPending := map[string]bool{}
+	victimQueries := map[string]bool{}
+	for _, set := range sets {
+		for _, ir := range set.Intents {
+			victimPending[ir.DedupKey] = true
+		}
+		for _, sq := range set.Queries {
+			victimQueries[sq.Name] = true
+		}
+	}
+	res.VictimQueries = len(victimQueries)
+
+	for shard, set := range sets {
+		s := survivors[shard]
+		if s == nil {
+			return fmt.Errorf("handoff set for unknown shard %s", shard)
+		}
+		st, err := cluster.Adopt(ctx, s.eng, set)
+		if err != nil {
+			return fmt.Errorf("adopt into %s: %w", shard, err)
+		}
+		res.DevicesAdopted += st.Devices
+		res.QueriesAdopted += st.Queries
+		res.IntentsAdopted += st.IntentsAdopted
+		res.IntentsClosed += st.IntentsClosed
+	}
+	if res.IntentsAdopted+res.IntentsClosed == 0 && res.PendingAtKill > 0 {
+		violate("pending intents at kill (%d) but none adopted or closed", res.PendingAtKill)
+	}
+
+	// Every victim query must now run on at least one survivor.
+	for name := range victimQueries {
+		found := false
+		for _, s := range survivors {
+			if _, ok := s.eng.QueryInfo(name); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.LostQueries++
+		}
+	}
+	if res.LostQueries > 0 {
+		violate("lost queries = %d, want 0", res.LostQueries)
+	}
+
+	// Quiesce the survivors, shut them down cleanly, then audit their
+	// journals: every transplanted intent must have a journaled outcome.
+	quiesceBy := time.Now().Add(60*epochWall + 10*time.Second)
+	for time.Now().Before(quiesceBy) {
+		idle := true
+		for _, s := range survivors {
+			if s.eng.JournalPending() != 0 || s.eng.InFlight() != 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	outcomes := map[string]bool{}
+	for _, s := range survivors {
+		s.eng.Stop()
+		if err := s.journal.Close(); err != nil {
+			return fmt.Errorf("close %s journal: %w", s.id, err)
+		}
+		pm, err := wal.Open(s.dir, wal.Options{})
+		if err != nil {
+			return fmt.Errorf("post-mortem open %s: %w", s.id, err)
+		}
+		err = pm.Replay(func(rec wal.Record) error {
+			if rec.Kind != wal.KindOutcome {
+				return nil
+			}
+			var or wal.OutcomeRecord
+			if err := rec.Decode(&or); err != nil {
+				return err
+			}
+			outcomes[or.DedupKey] = true
+			return nil
+		})
+		pm.Close()
+		if err != nil {
+			return fmt.Errorf("post-mortem replay %s: %w", s.id, err)
+		}
+	}
+	lost := make([]string, 0)
+	for key := range victimPending {
+		if !outcomes[key] {
+			lost = append(lost, key)
+		}
+	}
+	sort.Strings(lost)
+	res.LostOutcomes = len(lost)
+	if res.LostOutcomes > 0 {
+		violate("lost outcomes = %d, want 0 (first: %s)", res.LostOutcomes, lost[0])
+	}
+	return nil
+}
+
+// PrintClusterStudy renders the scaling table and the handoff audit.
+func PrintClusterStudy(w io.Writer, cfg ClusterConfig, res *ClusterResult) {
+	fmt.Fprintf(w, "Cluster — %d motes, 1 CQ each, %d eval workers/shard, %v/eval cost (epoch 60s virtual)\n",
+		cfg.Motes, cfg.EvalWorkers, cfg.EvalCost)
+	fmt.Fprintf(w, "%-8s%10s%14s  %s\n", "Shards", "Queries", "Aggregate", "Per-shard evals/vmin")
+	for _, p := range res.Points {
+		per := make([]string, len(p.PerShard))
+		for i, v := range p.PerShard {
+			per[i] = fmt.Sprintf("%.1f", v)
+		}
+		fmt.Fprintf(w, "%-8d%10d%14.1f  %v\n", p.Shards, sum(p.QueriesPerShard), p.Aggregate, per)
+	}
+	fmt.Fprintf(w, "scaling 1→4 shards: %.2fx (want >= %.1fx)\n", res.ScalingX, cfg.MinScaling)
+	fmt.Fprintf(w, "handoff: killed %s (%d motes, %d queries, %d pending intents) → adopted %d devices, %d queries, %d intents (%d closed)\n",
+		res.Victim, res.VictimMotes, res.VictimQueries, res.PendingAtKill,
+		res.DevicesAdopted, res.QueriesAdopted, res.IntentsAdopted, res.IntentsClosed)
+	fmt.Fprintf(w, "lost outcomes: %d (want 0), lost queries: %d (want 0)\n", res.LostOutcomes, res.LostQueries)
+	if len(res.Violations) == 0 {
+		fmt.Fprintf(w, "invariants: all held (pruned placement, >= %.1fx scaling, zero-loss handoff)\n", cfg.MinScaling)
+		return
+	}
+	fmt.Fprintf(w, "invariants VIOLATED (%d):\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(w, "  - %s\n", v)
+	}
+}
+
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

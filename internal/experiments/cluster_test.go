@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestClusterStudySmoke runs a reduced sweep (1 and 4 shards) plus the
+// kill-one-shard handoff and fails on any violated invariant: pruned
+// query placement, aggregate throughput scaling, and the zero-loss
+// handoff audit.
+func TestClusterStudySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster study needs wall-clock windows; skipped in -short")
+	}
+	cfg := DefaultClusterConfig()
+	cfg.ShardCounts = []int{1, 4}
+	// Keep the default mote count: scaling headroom comes from a single
+	// shard being eval-capacity-bound, which needs the full scan width.
+	cfg.Warmup = 500 * time.Millisecond
+	cfg.Window = 1500 * time.Millisecond
+	cfg.HandoffMotes = 6
+
+	res, err := ClusterStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	PrintClusterStudy(io.Discard, cfg, res)
+	if t.Failed() {
+		PrintClusterStudy(testWriter{t}, cfg, res)
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

@@ -84,6 +84,10 @@ const (
 	// CodeQuarantined rejects START AQ for a query auto-stopped after
 	// repeated evaluation panics.
 	CodeQuarantined = "quarantined"
+	// CodePartial reports a fanned-out statement that succeeded on some
+	// cluster shards and failed on others; the response carries the
+	// per-shard codes so the client sees exactly which shards diverged.
+	CodePartial = "partial"
 )
 
 // ErrorResponse is the error frame the front door emits without

@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 
+	"aorta/internal/cluster"
 	"aorta/internal/geo"
 )
 
@@ -30,9 +31,31 @@ type Device struct {
 	Owner  string `json:"owner,omitempty"`
 }
 
-// Manifest is a whole farm.
+// Shard is one engine instance of a sharded cluster deployment.
+type Shard struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"` // the shard daemon's front-door host:port
+}
+
+// Assignment pins one device to a specific shard (zone/type affinity),
+// overriding the consistent hash. Devices without an assignment follow
+// the hash.
+type Assignment struct {
+	Device string `json:"device"`
+	Shard  string `json:"shard"`
+}
+
+// Manifest is a whole farm. Shards and Assignments are optional: present
+// only for cluster deployments, where aortad -router fans statements out
+// across the shard daemons.
 type Manifest struct {
 	Devices []Device `json:"devices"`
+	// Shards lists the cluster's engine instances; empty means a single-
+	// engine deployment.
+	Shards []Shard `json:"shards,omitempty"`
+	// Assignments pins devices to shards (affinity). Only meaningful with
+	// Shards present.
+	Assignments []Assignment `json:"assignments,omitempty"`
 }
 
 // Validate checks the manifest as a deployment descriptor and reports
@@ -90,10 +113,114 @@ func (m *Manifest) Validate() error {
 			errs = append(errs, fmt.Errorf("%s: unknown type %q (want camera, sensor or phone)", name, d.Type))
 		}
 	}
+	// Cluster topology: shard list, device→shard affinity claims, and the
+	// resulting partition. Same posture as the device checks — every
+	// defect reported, one error each.
+	shardIdx := make(map[string]int)
+	shardsValid := len(m.Shards) > 0
+	for i, s := range m.Shards {
+		name := s.ID
+		if name == "" {
+			name = fmt.Sprintf("shard %d", i)
+		}
+		if s.ID == "" {
+			errs = append(errs, fmt.Errorf("shard %d: missing id", i))
+			shardsValid = false
+		} else if first, dup := shardIdx[s.ID]; dup {
+			errs = append(errs, fmt.Errorf("shard %s: duplicate id (first used by shard %d)", name, first))
+			shardsValid = false
+		} else {
+			shardIdx[s.ID] = i
+		}
+		switch s.Addr {
+		case "":
+			errs = append(errs, fmt.Errorf("shard %s: missing addr", name))
+		default:
+			if _, _, err := net.SplitHostPort(s.Addr); err != nil {
+				errs = append(errs, fmt.Errorf("shard %s: addr %q is not host:port: %v", name, s.Addr, err))
+			}
+		}
+	}
+	if len(m.Assignments) > 0 && len(m.Shards) == 0 {
+		errs = append(errs, errors.New("assignments present but no shards declared"))
+	}
+	claimed := make(map[string]int)
+	pins := make(map[string]string, len(m.Assignments))
+	for i, a := range m.Assignments {
+		switch {
+		case a.Device == "":
+			errs = append(errs, fmt.Errorf("assignment %d: missing device", i))
+			continue
+		case len(m.Devices) > 0:
+			if _, known := seen[a.Device]; !known {
+				errs = append(errs, fmt.Errorf("assignment %d: unknown device %q", i, a.Device))
+			}
+		}
+		if first, dup := claimed[a.Device]; dup {
+			errs = append(errs, fmt.Errorf("assignment %d: device %q already assigned by assignment %d", i, a.Device, first))
+			continue
+		}
+		claimed[a.Device] = i
+		if a.Shard == "" {
+			errs = append(errs, fmt.Errorf("assignment %d: missing shard", i))
+		} else if _, known := shardIdx[a.Shard]; len(m.Shards) > 0 && !known {
+			errs = append(errs, fmt.Errorf("assignment %d: unknown shard %q", i, a.Shard))
+		} else {
+			pins[a.Device] = a.Shard
+		}
+	}
+	// An empty shard is a provisioning defect: it consumes an instance and
+	// serves no devices. Detectable only when the shard list itself is
+	// well-formed, because the partition comes from the shard map.
+	if shardsValid && len(m.Devices) > 0 {
+		ids := make([]string, 0, len(m.Shards))
+		for _, s := range m.Shards {
+			ids = append(ids, s.ID)
+		}
+		if smap, err := cluster.NewMap(ids, pins); err == nil {
+			devIDs := make([]string, 0, len(m.Devices))
+			for _, d := range m.Devices {
+				if d.ID != "" {
+					devIDs = append(devIDs, d.ID)
+				}
+			}
+			for shard, owned := range smap.Partition(devIDs) {
+				if len(owned) == 0 {
+					errs = append(errs, fmt.Errorf("shard %s: owns no devices", shard))
+				}
+			}
+		}
+	}
 	if len(errs) == 0 {
 		return nil
 	}
 	return fmt.Errorf("manifest: invalid:\n%w", errors.Join(errs...))
+}
+
+// ShardMap builds the deterministic device→shard map the manifest
+// describes: the declared shard membership plus assignment pins.
+func (m *Manifest) ShardMap() (*cluster.Map, error) {
+	if len(m.Shards) == 0 {
+		return nil, errors.New("manifest: no shards declared")
+	}
+	ids := make([]string, 0, len(m.Shards))
+	for _, s := range m.Shards {
+		ids = append(ids, s.ID)
+	}
+	pins := make(map[string]string, len(m.Assignments))
+	for _, a := range m.Assignments {
+		pins[a.Device] = a.Shard
+	}
+	return cluster.NewMap(ids, pins)
+}
+
+// ShardInfos renders the shard list in the router's membership form.
+func (m *Manifest) ShardInfos() []cluster.ShardInfo {
+	out := make([]cluster.ShardInfo, 0, len(m.Shards))
+	for _, s := range m.Shards {
+		out = append(out, cluster.ShardInfo{ID: s.ID, Addr: s.Addr})
+	}
+	return out
 }
 
 // Write validates and saves the manifest as JSON, so a generator bug

@@ -161,6 +161,110 @@ func TestStaticDefaultsDepth(t *testing.T) {
 	}
 }
 
+// TestValidateShardDefects: every cluster-topology defect surfaces in
+// one pass — duplicate shard id, malformed shard addr, assignment to an
+// unknown shard, assignment of an unknown device, and a duplicated
+// device→shard claim.
+func TestValidateShardDefects(t *testing.T) {
+	m := sample()
+	m.Shards = []Shard{
+		{ID: "shard-1", Addr: "127.0.0.1:7001"},
+		{ID: "shard-1", Addr: "no-port"}, // dup id, bad addr
+		{ID: "", Addr: "127.0.0.1:7003"}, // missing id
+	}
+	m.Assignments = []Assignment{
+		{Device: "camera-1", Shard: "shard-9"}, // unknown shard
+		{Device: "ghost", Shard: "shard-1"},    // unknown device
+		{Device: "camera-1", Shard: "shard-1"}, // duplicate claim
+	}
+	err := m.Validate()
+	if err == nil {
+		t.Fatal("broken cluster topology validated")
+	}
+	for _, want := range []string{
+		"duplicate id (first used by shard 0)",
+		`addr "no-port" is not host:port`,
+		"shard 2: missing id",
+		`unknown shard "shard-9"`,
+		`unknown device "ghost"`,
+		`device "camera-1" already assigned by assignment 0`,
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error does not mention %q:\n%v", want, err)
+		}
+	}
+}
+
+// TestValidateEmptyShard: a shard that owns no devices is a provisioning
+// defect — all three sample devices pinned onto shard-1 starves shard-2.
+func TestValidateEmptyShard(t *testing.T) {
+	m := sample()
+	m.Shards = []Shard{
+		{ID: "shard-1", Addr: "127.0.0.1:7001"},
+		{ID: "shard-2", Addr: "127.0.0.1:7002"},
+	}
+	m.Assignments = []Assignment{
+		{Device: "camera-1", Shard: "shard-1"},
+		{Device: "mote-1", Shard: "shard-1"},
+		{Device: "phone-1", Shard: "shard-1"},
+	}
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "shard shard-2: owns no devices") {
+		t.Fatalf("starved shard not reported: %v", err)
+	}
+}
+
+func TestValidateAssignmentsWithoutShards(t *testing.T) {
+	m := sample()
+	m.Assignments = []Assignment{{Device: "camera-1", Shard: "shard-1"}}
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "assignments present but no shards") {
+		t.Fatalf("orphan assignments not reported: %v", err)
+	}
+}
+
+// TestShardMapRoundTrip: a valid cluster manifest yields a shard map
+// honoring its pins, and survives the JSON round trip.
+func TestShardMapRoundTrip(t *testing.T) {
+	m := sample()
+	m.Shards = []Shard{
+		{ID: "shard-1", Addr: "127.0.0.1:7001"},
+		{ID: "shard-2", Addr: "127.0.0.1:7002"},
+	}
+	m.Assignments = []Assignment{{Device: "phone-1", Shard: "shard-2"}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := Write(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Shards) != 2 || len(got.Assignments) != 1 {
+		t.Fatalf("round trip lost topology: %+v", got)
+	}
+	smap, err := got.ShardMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner := smap.Owner("phone-1"); owner != "shard-2" {
+		t.Errorf("pinned phone-1 owned by %s, want shard-2", owner)
+	}
+	infos := got.ShardInfos()
+	if len(infos) != 2 || infos[0].ID != "shard-1" || infos[1].Addr != "127.0.0.1:7002" {
+		t.Errorf("shard infos = %+v", infos)
+	}
+}
+
+func TestShardMapWithoutShards(t *testing.T) {
+	if _, err := sample().ShardMap(); err == nil {
+		t.Fatal("shard map built from shardless manifest")
+	}
+}
+
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
