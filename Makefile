@@ -1,15 +1,18 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-record bench-drift frontdoor-smoke bench-record-frontdoor bench-drift-frontdoor churn-smoke qscale-smoke crashrec-smoke chaos-smoke cluster-smoke clean
+.PHONY: all build vet test race bench bench-smoke bench-record bench-drift frontdoor-smoke bench-record-frontdoor bench-drift-frontdoor bench-record-cluster bench-drift-cluster churn-smoke qscale-smoke crashrec-smoke chaos-smoke cluster-smoke selfheal-smoke clean
 
 # The columnar hot-path benchmarks: each has /before (row-map era) and
 # /after (columnar) variants so the committed record carries its own
 # baseline.
-BENCH_PKGS = ./internal/match/ ./internal/core/ ./internal/scanshare/ ./internal/frontdoor/
+BENCH_PKGS = ./internal/match/ ./internal/core/ ./internal/scanshare/ ./internal/frontdoor/ ./internal/cluster/
 BENCH_RE   = 'RoutePath|PredicateCompile|ScanFanout'
 # The front-door pipelining benchmark keeps its own record: its numbers
 # move with scheduler behaviour, not routing code.
 FD_BENCH_RE = 'FrontdoorWindow'
+# The router fan-out benchmark records what the shard-health apparatus
+# (breaker + backoff + detector evidence) costs on the hot path.
+CL_BENCH_RE = 'RouterFanout'
 
 all: build vet test
 
@@ -62,6 +65,14 @@ chaos-smoke:
 cluster-smoke:
 	$(GO) run -race ./cmd/aortabench -exp cluster
 
+# The self-healing study under the race detector: kill a shard mid-
+# stream (auto-detect + auto-retire + WAL handoff), flap a shard inside
+# the grace window (no false retirement), and DRAIN SHARD under
+# concurrent fan-outs (zero loss, zero dropped statements); exits
+# non-zero if any invariant breaks.
+selfheal-smoke:
+	$(GO) run -race ./cmd/aortabench -exp selfheal
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
@@ -91,6 +102,15 @@ bench-record-frontdoor:
 bench-drift-frontdoor:
 	$(GO) test -run xxx -bench $(FD_BENCH_RE) -benchmem ./internal/frontdoor/ \
 		| $(GO) run ./cmd/benchjson -drift BENCH_frontdoor.json -max $(MAX_DRIFT_PCT)
+
+# Re-measure the router fan-out benchmark and rewrite its record.
+bench-record-cluster:
+	$(GO) test -run xxx -bench $(CL_BENCH_RE) -benchmem ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_cluster.json
+
+bench-drift-cluster:
+	$(GO) test -run xxx -bench $(CL_BENCH_RE) -benchmem ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson -drift BENCH_cluster.json -max $(MAX_DRIFT_PCT)
 
 clean:
 	$(GO) clean ./...

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|qscale|crashrec|frontdoor|chaos|cluster|all")
+		exp     = flag.String("exp", "all", "experiment: fig4|fig5|fig6|ratio|costmodel|optimal|ablation|scale|latency|sync|failover|churn|qscale|crashrec|frontdoor|chaos|cluster|selfheal|all")
 		runs    = flag.Int("runs", 10, "independent runs per data point (paper: 10)")
 		seed    = flag.Int64("seed", 2005, "random seed")
 		cameras = flag.Int("cameras", 10, "camera count for the scheduling studies (paper: 10)")
@@ -229,8 +229,22 @@ func run(exp string, runs int, seed int64, cameras, minutes, clients int) error 
 			return fmt.Errorf("cluster: %d invariant violation(s)", len(res.Violations))
 		}
 	}
+	if all || wanted["selfheal"] {
+		ran = true
+		scfg := experiments.DefaultSelfhealConfig()
+		scfg.Seed = seed
+		res, err := experiments.SelfhealStudy(scfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSelfhealStudy(out, scfg, res)
+		fmt.Fprintln(out)
+		if len(res.Violations) > 0 {
+			return fmt.Errorf("selfheal: %d invariant violation(s)", len(res.Violations))
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|qscale|crashrec|frontdoor|chaos|cluster|all)", exp)
+		return fmt.Errorf("unknown experiment %q (want fig4|fig5|fig6|ratio|costmodel|optimal|sync|failover|churn|qscale|crashrec|frontdoor|chaos|cluster|selfheal|all)", exp)
 	}
 	return nil
 }

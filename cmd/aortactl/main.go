@@ -16,8 +16,11 @@
 // Against an aortad -router (cluster front door), -shards exposes the
 // cluster structure: merged rows keep their source-shard column,
 // broadcast responses print the per-shard status codes, and \metrics
-// adds a per-shard breakdown table under the aggregate. Without -shards
-// the cluster looks like one big daemon.
+// adds a per-shard breakdown table plus the router's shard-health view
+// (detector state, breaker/backoff flags, recent membership events)
+// under the aggregate. Without -shards the cluster looks like one big
+// daemon. -drain <shard> asks the router to live-drain a shard: flush
+// it, hand its devices/queries/intents to the survivors, retire it.
 package main
 
 import (
@@ -40,9 +43,16 @@ func main() {
 		stmt     = flag.String("e", "", "execute one statement (or several, ';'-separated) and exit")
 		pipeline = flag.Int("pipeline", 0, "send statements tagged with up to N in flight (0 = serial)")
 		timeout  = flag.Duration("timeout", 0, "dial timeout and per-response read deadline (0 = none)")
+		drain    = flag.String("drain", "", "drain shard ID through the router (DRAIN SHARD <id>) and exit")
 	)
-	flag.BoolVar(&shardView, "shards", false, "cluster view: show source shards on rows, per-shard codes, and the \\metrics per-shard breakdown")
+	flag.BoolVar(&shardView, "shards", false, "cluster view: show source shards on rows, per-shard codes, shard health, and the \\metrics per-shard breakdown")
 	flag.Parse()
+	if *drain != "" {
+		// -drain is sugar for the cooperative rebalance statement; the
+		// router flushes the shard, hands its state to the survivors,
+		// and retires it from membership.
+		*stmt = "DRAIN SHARD " + *drain
+	}
 	if err := run(*addr, *stmt, *pipeline, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "aortactl:", err)
 		os.Exit(1)
@@ -256,6 +266,24 @@ func printResponse(w io.Writer, data []byte) {
 			} `json:"shards"`
 		} `json:"cluster"`
 		Shards map[string]string `json:"shards"`
+		// Router is the router's cluster-membership health view: per-shard
+		// failure-detector state and the recent membership events.
+		Router *struct {
+			Shards map[string]struct {
+				State               string `json:"state"`
+				ConsecutiveFailures int    `json:"consecutive_failures"`
+				Draining            bool   `json:"draining"`
+				BreakerOpen         bool   `json:"breaker_open"`
+				DialBackoff         bool   `json:"dial_backoff"`
+			} `json:"shards"`
+			Events []struct {
+				At     time.Time `json:"at"`
+				Shard  string    `json:"shard"`
+				Action string    `json:"action"`
+				Reason string    `json:"reason"`
+			} `json:"events"`
+			AutoRetire bool `json:"auto_retire"`
+		} `json:"router"`
 	}
 	if err := json.Unmarshal(data, &resp); err != nil {
 		fmt.Fprintln(w, string(data))
@@ -314,6 +342,48 @@ func printResponse(w io.Writer, data []byte) {
 				rows = append(rows, row)
 			}
 			printTable(w, rows)
+		}
+		if shardView && resp.Router != nil && len(resp.Router.Shards) > 0 {
+			fmt.Fprintf(w, "shard health (auto-retire %v):\n", resp.Router.AutoRetire)
+			rows := make([]map[string]any, 0, len(resp.Router.Shards))
+			for id, h := range resp.Router.Shards {
+				row := map[string]any{
+					"shard":    id,
+					"state":    h.State,
+					"failures": h.ConsecutiveFailures,
+				}
+				flags := make([]string, 0, 3)
+				if h.Draining {
+					flags = append(flags, "draining")
+				}
+				if h.BreakerOpen {
+					flags = append(flags, "breaker-open")
+				}
+				if h.DialBackoff {
+					flags = append(flags, "dial-backoff")
+				}
+				row["flags"] = strings.Join(flags, ",")
+				rows = append(rows, row)
+			}
+			sort.Slice(rows, func(i, j int) bool {
+				return rows[i]["shard"].(string) < rows[j]["shard"].(string)
+			})
+			printTable(w, rows)
+			if n := len(resp.Router.Events); n > 0 {
+				fmt.Fprintln(w, "membership events:")
+				// Last few only: the full journal is in the router's -memlog.
+				start := 0
+				if n > 8 {
+					start = n - 8
+				}
+				for _, ev := range resp.Router.Events[start:] {
+					line := fmt.Sprintf("  %s %s %s", ev.At.Format(time.RFC3339), ev.Action, ev.Shard)
+					if ev.Reason != "" {
+						line += " (" + ev.Reason + ")"
+					}
+					fmt.Fprintln(w, line)
+				}
+			}
 		}
 		if resp.Comm != nil {
 			out, _ := json.MarshalIndent(resp.Comm, "", "  ")

@@ -32,6 +32,8 @@
 //	\metrics              engine action metrics + transport/pool + scan fabric counters
 //	\photos               photos stored by photo()
 //	\stimulate <i> <mg> <sec>   inject an event at mote i (lab mode)
+//	\ping                 liveness probe (the cluster router's health checks)
+//	\drain                cooperative drain: refuse new placements, flush intents, sync the WAL
 //	\quit                 close the connection
 package main
 
@@ -83,6 +85,12 @@ func main() {
 	flag.Float64Var(&opts.adhocRate, "adhoc-rate", 0, "per-connection ad-hoc SELECT rate limit per second (0 = unlimited)")
 	flag.Float64Var(&opts.adhocBurst, "adhoc-burst", 0, "ad-hoc rate limit burst (0 = max(1, adhoc-rate))")
 	flag.DurationVar(&opts.stmtTimeout, "stmt-timeout", 0, "per-statement execution deadline; expired statements get a typed deadline_exceeded error (0 = none)")
+	flag.DurationVar(&opts.drainTimeout, "drain-timeout", 30*time.Second, "flush bound for the \\drain command (engine/shard modes) and for DRAIN SHARD forwarded by the router")
+	flag.DurationVar(&opts.probeInterval, "probe-interval", 5*time.Second, "router mode: shard health probe period (0 = passive evidence only)")
+	flag.DurationVar(&opts.grace, "grace", cluster.DefaultGraceWindow, "router mode: how long a shard must stay down before auto-retire")
+	flag.BoolVar(&opts.autoRetire, "auto-retire", false, "router mode: automatically retire shards that stay down through the grace window")
+	flag.Float64Var(&opts.quorum, "quorum", cluster.DefaultQuorum, "router mode: fraction of peer shards that must be reachable for auto-retire to proceed")
+	flag.StringVar(&opts.memlog, "memlog", "", "router mode: append membership events (retire/drain) as JSON lines to this file")
 	flag.BoolVar(&opts.verbose, "v", false, "log engine events to stderr")
 	flag.Parse()
 	if err := run(opts); err != nil {
@@ -122,7 +130,16 @@ type options struct {
 	// stmtTimeout bounds each statement's execution; the deadline
 	// propagates frontdoor → engine → comm → device session.
 	stmtTimeout time.Duration
-	verbose     bool
+	// drainTimeout bounds the \drain flush (and the router's forwarded
+	// drain); probeInterval/grace/autoRetire/quorum/memlog configure the
+	// router's shard health detector and auto-retire control loop.
+	drainTimeout  time.Duration
+	probeInterval time.Duration
+	grace         time.Duration
+	autoRetire    bool
+	quorum        float64
+	memlog        string
+	verbose       bool
 	// shutdown delivers the stop request; nil means install the real
 	// SIGINT/SIGTERM handler.
 	shutdown chan os.Signal
@@ -139,10 +156,12 @@ type server struct {
 	lab    *lab.Lab // nil in external-farm mode
 	door   *frontdoor.Door
 	logger *slog.Logger
+	// drainTimeout bounds the \drain command's flush.
+	drainTimeout time.Duration
 }
 
 func run(opts options) error {
-	srv := &server{}
+	srv := &server{drainTimeout: opts.drainTimeout}
 	ctx := context.Background()
 	var logger *slog.Logger
 	if opts.verbose {
@@ -303,11 +322,41 @@ func runRouter(ctx context.Context, opts options, logger *slog.Logger) error {
 	for _, a := range m.Assignments {
 		pins[a.Device] = a.Shard
 	}
-	rt, err := cluster.NewRouter(cluster.RouterConfig{
+	hcfg := cluster.HealthConfig{
+		ProbeInterval: opts.probeInterval,
+		GraceWindow:   opts.grace,
+		AutoRetire:    opts.autoRetire,
+		Quorum:        opts.quorum,
+	}
+	if opts.memlog != "" {
+		f, err := os.OpenFile(opts.memlog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("membership log: %w", err)
+		}
+		defer f.Close()
+		hcfg.MembershipLog = f
+	}
+	// DRAIN SHARD from a wire-only router forwards \drain to the victim
+	// daemon: it stops accepting placements, flushes its intents and
+	// syncs its WAL. Its state stays in that WAL — adoption into
+	// survivors needs the journal directory, which lives with the shard
+	// process — so the drained daemon can be stopped and handed off
+	// offline with zero loss.
+	var rt *cluster.Router
+	hcfg.Drainer = func(ctx context.Context, victim string, owner func(string) string) (cluster.DrainReport, error) {
+		dctx, cancel := context.WithTimeout(ctx, opts.drainTimeout)
+		defer cancel()
+		if err := rt.ShardCommand(dctx, victim, "\\drain"); err != nil {
+			return cluster.DrainReport{}, err
+		}
+		return cluster.DrainReport{Note: "shard flushed and synced its WAL; stop the daemon and adopt its journal to finish the move"}, nil
+	}
+	rt, err = cluster.NewRouter(cluster.RouterConfig{
 		Shards: m.ShardInfos(),
 		Pins:   pins,
 		Dialer: &netsim.TCP{Timeout: 2 * time.Second},
 		Logger: logger,
+		Health: hcfg,
 	})
 	if err != nil {
 		return err
@@ -493,6 +542,8 @@ func (s *server) execLine(ctx context.Context, id, line string) any {
 func errorCode(ctx context.Context, err error) string {
 	cause := context.Cause(ctx)
 	switch {
+	case errors.Is(err, core.ErrDraining):
+		return frontdoor.CodeDraining
 	case errors.Is(err, core.ErrDegraded):
 		return frontdoor.CodeDegraded
 	case errors.Is(err, core.ErrQuarantined):
@@ -511,6 +562,23 @@ func errorCode(ctx context.Context, err error) string {
 func (s *server) command(line string) *response {
 	fields := strings.Fields(line)
 	switch fields[0] {
+	case "\\ping":
+		// The cluster router's health probe.
+		return &response{OK: true, Message: "pong"}
+	case "\\drain":
+		// Cooperative drain: refuse new placements, flush journaled
+		// intents and in-flight dispatches, sync the WAL. The daemon keeps
+		// serving reads afterwards; stop it to release the journal for
+		// handoff. Queries keep evaluating until then.
+		ctx, cancel := context.WithTimeout(context.Background(), s.drainTimeout)
+		defer cancel()
+		st, err := s.engine.Drain(ctx)
+		if err != nil {
+			return &response{Error: err.Error()}
+		}
+		return &response{OK: true, Message: fmt.Sprintf(
+			"drained: flushed %d pending intents, %d in-flight dispatches in %s; WAL synced, new placements refused",
+			st.PendingAtEntry, st.InFlightAtEntry, st.Waited.Round(time.Millisecond))}
 	case "\\metrics":
 		m := s.engine.Metrics()
 		cm := s.engine.CommMetrics()

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"aorta/internal/frontdoor"
+	"aorta/internal/netsim"
+	"aorta/internal/vclock"
+)
+
+// benchServe answers every tagged statement with an ok frame — the
+// stubShard serve loop without the *testing.T plumbing.
+func benchServe(ln net.Listener) {
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				enc := json.NewEncoder(conn)
+				for sc.Scan() {
+					line := strings.TrimSpace(sc.Text())
+					if line == "" {
+						continue
+					}
+					id, _, _ := frontdoor.SplitTag(line)
+					if err := enc.Encode(map[string]any{"ok": true, "id": id}); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+// BenchmarkRouterFanout measures what the health apparatus costs on the
+// fan-out hot path: before routes with health fully disabled, after
+// carries the per-shard breaker, backoff bookkeeping, and detector
+// evidence on every result. The stubs answer instantly, so the delta
+// is pure router overhead.
+func BenchmarkRouterFanout(b *testing.B) {
+	const shards = 4
+	run := func(b *testing.B, hcfg HealthConfig) {
+		net := netsim.NewNetwork(vclock.Real{}, 1)
+		var infos []ShardInfo
+		for i := 1; i <= shards; i++ {
+			id := fmt.Sprintf("shard-%d", i)
+			ln, err := net.Listen(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			benchServe(ln)
+			infos = append(infos, ShardInfo{ID: id, Addr: id})
+		}
+		r, err := NewRouter(RouterConfig{Shards: infos, Dialer: net, Health: hcfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+
+		ctx := context.Background()
+		exec := func() {
+			resp, ok := r.Exec(ctx, "", "SHOW DEVICES").(*Response)
+			if !ok || !resp.OK {
+				b.Fatalf("fan-out failed: %+v", resp)
+			}
+		}
+		exec() // dial all shard connections outside the timed region
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			exec()
+		}
+	}
+
+	b.Run("before", func(b *testing.B) { run(b, HealthConfig{Disabled: true}) })
+	b.Run("after", func(b *testing.B) { run(b, HealthConfig{}) })
+}

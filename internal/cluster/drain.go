@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"aorta/internal/core"
+)
+
+// PlanDrain partitions a live, drained engine's state among new owners
+// — the graceful sibling of PlanHandoff, sourced from the running
+// engine instead of a dead shard's journal. Devices go to their new
+// owner; queries go to every set (each survivor evaluates them over its
+// inherited device slice, duplicates are skipped on adopt); leftover
+// pending intents — empty after a full flush, populated only when the
+// drain's flush deadline expired — follow their first candidate device,
+// exactly as in the crash handoff.
+func PlanDrain(eng *core.Engine, owner func(deviceID string) string) (map[string]*HandoffSet, error) {
+	devices, queries, pending := eng.DrainState()
+	sets := make(map[string]*HandoffSet)
+	get := func(shard string) *HandoffSet {
+		s, ok := sets[shard]
+		if !ok {
+			s = &HandoffSet{Shard: shard}
+			sets[shard] = s
+		}
+		return s
+	}
+	for _, dr := range devices {
+		get(owner(dr.ID)).Devices = append(get(owner(dr.ID)).Devices, dr)
+	}
+	for _, ir := range pending {
+		shard := ""
+		if len(ir.Candidates) > 0 {
+			shard = owner(ir.Candidates[0].ID)
+		} else if len(devices) > 0 {
+			shard = owner(devices[0].ID)
+		}
+		if shard == "" {
+			return nil, fmt.Errorf("cluster: drained intent %s has no candidate devices to follow", ir.DedupKey)
+		}
+		get(shard).Intents = append(get(shard).Intents, ir)
+	}
+	for _, set := range sets {
+		set.Queries = append(set.Queries, queries...)
+	}
+	return sets, nil
+}
+
+// EngineDrainer wires DrainFunc for an in-process cluster (the studies,
+// tests, and any embedder holding the shard engines directly): drain
+// the victim engine, plan the handoff from its live state, adopt every
+// set into its surviving engine, then stop the victim. lookup maps a
+// shard id to its engine; the victim must resolve, and so must every
+// survivor a set lands on.
+func EngineDrainer(lookup func(shardID string) *core.Engine) DrainFunc {
+	return func(ctx context.Context, victim string, owner func(deviceID string) string) (DrainReport, error) {
+		var rep DrainReport
+		eng := lookup(victim)
+		if eng == nil {
+			return rep, fmt.Errorf("cluster: no engine for shard %q", victim)
+		}
+		st, err := eng.Drain(ctx)
+		if err != nil {
+			eng.CancelDrain()
+			return rep, err
+		}
+		rep.FlushedIntents = st.PendingAtEntry
+		sets, err := PlanDrain(eng, owner)
+		if err != nil {
+			eng.CancelDrain()
+			return rep, err
+		}
+		for shard, set := range sets {
+			dst := lookup(shard)
+			if dst == nil {
+				eng.CancelDrain()
+				return rep, fmt.Errorf("cluster: drain set for unknown survivor %q", shard)
+			}
+			ast, err := Adopt(ctx, dst, set)
+			if err != nil {
+				eng.CancelDrain()
+				return rep, fmt.Errorf("cluster: adopt into %s: %w", shard, err)
+			}
+			rep.Devices += ast.Devices
+			rep.Queries += ast.Queries
+			rep.Intents += ast.IntentsAdopted + ast.IntentsClosed
+		}
+		eng.Stop()
+		return rep, nil
+	}
+}

@@ -1,0 +1,484 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aorta/internal/frontdoor"
+	"aorta/internal/netsim"
+	"aorta/internal/vclock"
+)
+
+// healthHarness wires N stub shards behind a router with an explicit
+// health config (clusterHarness keeps the defaults).
+func healthHarness(t *testing.T, n int, hcfg HealthConfig, pins map[string]string) (*Router, []*stubShard) {
+	t.Helper()
+	net := netsim.NewNetwork(vclock.Real{}, 1)
+	var infos []ShardInfo
+	var stubs []*stubShard
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("shard-%d", i)
+		ln, err := net.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		stub := &stubShard{id: id}
+		stub.serve(t, ln)
+		stubs = append(stubs, stub)
+		infos = append(infos, ShardInfo{ID: id, Addr: id})
+	}
+	r, err := NewRouter(RouterConfig{Shards: infos, Pins: pins, Dialer: net, Health: hcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, stubs
+}
+
+// TestRetireRacesFanout: retiring a shard while a fan-out statement is
+// in flight on it must fail that shard's slice typed — "partial" with
+// an "unreachable" code — and never hang or panic. Run under -race.
+func TestRetireRacesFanout(t *testing.T) {
+	r, stubs := clusterHarness(t, 2)
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	stubs[1].reply = func(stmt string) map[string]any {
+		<-block // hold the statement in flight until the test releases it
+		return map[string]any{"ok": true}
+	}
+
+	done := make(chan *Response, 1)
+	go func() {
+		done <- asResponse(t, r.Exec(context.Background(), "race",
+			`CREATE AQ r AS SELECT s.accel_x FROM sensor s EVERY "5s"`))
+	}()
+
+	// Wait until the statement is demonstrably in flight on shard-2,
+	// then yank shard-2 out of the membership underneath it.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(stubs[1].received()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("statement never reached shard-2")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := r.Retire("shard-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case resp := <-done:
+		if resp.OK {
+			t.Fatal("fan-out raced by Retire reported success")
+		}
+		if resp.Code != frontdoor.CodePartial {
+			t.Errorf("code = %q, want %q", resp.Code, frontdoor.CodePartial)
+		}
+		if got := resp.Shards["shard-2"]; got != frontdoor.CodeUnreachable {
+			t.Errorf("shards[shard-2] = %q, want %q", got, frontdoor.CodeUnreachable)
+		}
+		if got := resp.Shards["shard-1"]; got != "ok" {
+			t.Errorf("shards[shard-1] = %q, want ok", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fan-out hung after Retire of an in-flight shard")
+	}
+}
+
+// TestShardConnBackoffShedsAndEvidence: after a dial failure the next
+// statement inside the backoff window is shed without a redial and
+// without feeding the detector fresh failure evidence; once the window
+// passes, the redial runs and the failure streak grows.
+func TestShardConnBackoffShedsAndEvidence(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1000, 0))
+	net := netsim.NewNetwork(clk, 1)
+	ln, err := net.Listen("shard-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	stub := &stubShard{id: "shard-1"}
+	stub.serve(t, ln)
+	// shard-2 has no listener: every dial fails immediately.
+	r, err := NewRouter(RouterConfig{
+		Shards: []ShardInfo{{ID: "shard-1", Addr: "shard-1"}, {ID: "shard-2", Addr: "shard-2"}},
+		Dialer: net,
+		Health: HealthConfig{Clock: clk, BreakerThreshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	exec := func() *Response {
+		return asResponse(t, r.Exec(context.Background(), "", "SHOW DEVICES"))
+	}
+	fails := func() int {
+		h := r.Health()
+		if h == nil {
+			t.Fatal("health view disabled")
+		}
+		return h.Shards["shard-2"].ConsecutiveFailures
+	}
+
+	if resp := exec(); resp.OK || resp.Shards["shard-2"] != frontdoor.CodeUnreachable {
+		t.Fatalf("first broadcast = %+v, want shard-2 unreachable", resp)
+	}
+	if got := fails(); got != 1 {
+		t.Fatalf("failures after dial error = %d, want 1", got)
+	}
+	// Inside the backoff window: shed, no dial, no fresh evidence.
+	if resp := exec(); resp.OK || resp.Shards["shard-2"] != frontdoor.CodeUnreachable {
+		t.Fatalf("shed broadcast = %+v, want shard-2 unreachable", resp)
+	}
+	if !strings.Contains(strings.ToLower(exec().Error), "backoff") {
+		t.Error("shed failure does not name the dial backoff")
+	}
+	if got := fails(); got != 1 {
+		t.Errorf("failures after shed statement = %d, want still 1 (shed carries no evidence)", got)
+	}
+	if h := r.Health(); !h.Shards["shard-2"].DialBackoff {
+		t.Error("health view does not show shard-2 in dial backoff")
+	}
+	// Past the window the redial runs (and fails) again.
+	clk.Advance(10 * time.Second)
+	exec()
+	if got := fails(); got != 2 {
+		t.Errorf("failures after backoff expiry = %d, want 2", got)
+	}
+}
+
+// TestAutoRetireAfterGrace: a shard Down past the grace window is
+// retired by the router itself and the handoff hook runs with the
+// post-retirement owner map.
+func TestAutoRetireAfterGrace(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1000, 0))
+	var mu sync.Mutex
+	var handoffVictim, handoffOwner string
+	hcfg := HealthConfig{
+		Clock:       clk,
+		AutoRetire:  true,
+		GraceWindow: time.Minute,
+		Handoff: func(ctx context.Context, victim string, owner func(string) string) (AdoptStats, error) {
+			mu.Lock()
+			handoffVictim, handoffOwner = victim, owner("m1")
+			mu.Unlock()
+			return AdoptStats{Devices: 1}, nil
+		},
+	}
+	r, _ := healthHarness(t, 3, hcfg, map[string]string{"m1": "shard-3"})
+
+	// Three consecutive failures: shard-3 goes Down and the grace timer
+	// arms. The evidence is fed directly — the wire path has its own tests.
+	for i := 0; i < 3; i++ {
+		r.observeShard("shard-3", false)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Map().Contains("shard-3") {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard-3 never auto-retired (events: %v)", r.MembershipEvents())
+		}
+		clk.Advance(2 * time.Minute)
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	retireDeadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		victim, owner := handoffVictim, handoffOwner
+		mu.Unlock()
+		if victim != "" {
+			if victim != "shard-3" {
+				t.Fatalf("handoff victim = %q, want shard-3", victim)
+			}
+			if owner == "shard-3" || owner == "" {
+				t.Fatalf("handoff owner(m1) = %q, want a survivor", owner)
+			}
+			break
+		}
+		if time.Now().After(retireDeadline) {
+			t.Fatal("handoff hook never ran after auto-retire")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var sawRetire, sawHandoff bool
+	for _, ev := range r.MembershipEvents() {
+		if ev.Shard == "shard-3" && ev.Action == "auto-retired" {
+			sawRetire = true
+		}
+		if ev.Shard == "shard-3" && ev.Action == "handoff" {
+			sawHandoff = true
+		}
+	}
+	if !sawRetire || !sawHandoff {
+		t.Errorf("membership journal missing auto-retired/handoff for shard-3: %v", r.MembershipEvents())
+	}
+}
+
+// TestAutoRetireQuorumGuard: when most of the membership looks Down at
+// once — the signature of a partitioned ROUTER, not dead shards — the
+// grace timer must hold its fire instead of amputating the cluster.
+func TestAutoRetireQuorumGuard(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1000, 0))
+	hcfg := HealthConfig{Clock: clk, AutoRetire: true, GraceWindow: time.Minute}
+	r, _ := healthHarness(t, 4, hcfg, nil)
+
+	// 3 of 4 shards Down: for any victim only 1 of its 3 peers is up,
+	// under the default 50% quorum (need 1.5).
+	for _, id := range []string{"shard-2", "shard-3", "shard-4"} {
+		for i := 0; i < 3; i++ {
+			r.observeShard(id, false)
+		}
+	}
+	skipped := false
+	deadline := time.Now().Add(5 * time.Second)
+	for !skipped && time.Now().Before(deadline) {
+		clk.Advance(2 * time.Minute)
+		time.Sleep(2 * time.Millisecond)
+		for _, ev := range r.MembershipEvents() {
+			if ev.Action == "retire-skipped" {
+				skipped = true
+			}
+			if ev.Action == "auto-retired" || ev.Action == "retired" {
+				t.Fatalf("shard %s retired below quorum: %s", ev.Shard, ev.Reason)
+			}
+		}
+	}
+	if !skipped {
+		t.Fatal("quorum guard never recorded a retire-skipped event")
+	}
+	if got := len(r.Map().Shards()); got != 4 {
+		t.Errorf("membership shrank to %d below quorum, want 4", got)
+	}
+}
+
+// TestShardBreaker: threshold failures inside the window open the
+// circuit; the cooldown admits exactly one half-open trial whose
+// outcome closes or re-opens it.
+func TestShardBreaker(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b := newShardBreaker(3, 10*time.Second, 5*time.Second)
+
+	b.record(t0, false)
+	b.record(t0.Add(time.Second), false)
+	if !b.allow(t0.Add(2 * time.Second)) {
+		t.Fatal("breaker open below threshold")
+	}
+	b.record(t0.Add(2*time.Second), false)
+	if b.allow(t0.Add(3 * time.Second)) {
+		t.Fatal("breaker closed after threshold failures inside the window")
+	}
+	// Cooldown: one half-open trial, not a floodgate.
+	if !b.allow(t0.Add(8 * time.Second)) {
+		t.Fatal("half-open trial refused after cooldown")
+	}
+	if b.allow(t0.Add(8 * time.Second)) {
+		t.Fatal("second statement admitted during the half-open trial")
+	}
+	// Failed trial restarts the cooldown.
+	b.record(t0.Add(9*time.Second), false)
+	if b.allow(t0.Add(10 * time.Second)) {
+		t.Fatal("breaker closed right after a failed half-open trial")
+	}
+	if !b.allow(t0.Add(15 * time.Second)) {
+		t.Fatal("no new trial after the restarted cooldown")
+	}
+	b.record(t0.Add(15*time.Second), true)
+	if !b.allow(t0.Add(15 * time.Second)) {
+		t.Fatal("breaker still open after a successful trial")
+	}
+
+	// Window expiry: old failures age out instead of accumulating.
+	b2 := newShardBreaker(3, 10*time.Second, 5*time.Second)
+	b2.record(t0, false)
+	b2.record(t0.Add(time.Second), false)
+	b2.record(t0.Add(20*time.Second), false) // first two aged out
+	if !b2.allow(t0.Add(21 * time.Second)) {
+		t.Error("stale failures outside the window opened the breaker")
+	}
+
+	// Disabled breaker (negative threshold) is a nil receiver: all no-ops.
+	var nb *shardBreaker = newShardBreaker(-1, 0, 0)
+	if nb != nil {
+		t.Fatal("negative threshold did not disable the breaker")
+	}
+	if !nb.allow(t0) || nb.isOpen() {
+		t.Error("nil breaker blocked a statement")
+	}
+	nb.record(t0, false)
+}
+
+// TestBackoffFor: the doubling schedule with its cap.
+func TestBackoffFor(t *testing.T) {
+	base, max := time.Second, 60*time.Second
+	for _, tc := range []struct {
+		fails int
+		want  time.Duration
+	}{
+		{1, time.Second}, {2, 2 * time.Second}, {3, 4 * time.Second},
+		{6, 32 * time.Second}, {7, 60 * time.Second}, {20, 60 * time.Second},
+	} {
+		if got := backoffFor(base, max, tc.fails); got != tc.want {
+			t.Errorf("backoffFor(%d) = %v, want %v", tc.fails, got, tc.want)
+		}
+	}
+}
+
+// TestParseDrainShard: the DRAIN SHARD statement grammar.
+func TestParseDrainShard(t *testing.T) {
+	for _, tc := range []struct {
+		stmt   string
+		victim string
+		ok     bool
+	}{
+		{"DRAIN SHARD shard-2", "shard-2", true},
+		{"drain shard s1;", "s1", true},
+		{"  Drain  Shard  x  ", "x", true},
+		{"DRAIN SHARD", "", false},
+		{"DRAIN SHARD a b", "", false},
+		{"SELECT s.x FROM sensor s", "", false},
+		{"DRAINAGE SHARD x", "", false},
+	} {
+		victim, ok := parseDrainShard(tc.stmt)
+		if ok != tc.ok || victim != tc.victim {
+			t.Errorf("parseDrainShard(%q) = (%q, %v), want (%q, %v)", tc.stmt, victim, ok, tc.victim, tc.ok)
+		}
+	}
+}
+
+// TestExecDrain: the router-side drain path — validation, the drainer
+// contract (survivor-only owner map), retirement, and the membership
+// journal.
+func TestExecDrain(t *testing.T) {
+	var mu sync.Mutex
+	var drainVictim, drainOwner string
+	hcfg := HealthConfig{
+		Drainer: func(ctx context.Context, victim string, owner func(string) string) (DrainReport, error) {
+			mu.Lock()
+			drainVictim, drainOwner = victim, owner("m1")
+			mu.Unlock()
+			return DrainReport{Devices: 2, Queries: 1}, nil
+		},
+	}
+	r, _ := healthHarness(t, 2, hcfg, map[string]string{"m1": "shard-2"})
+
+	if resp := asResponse(t, r.Exec(context.Background(), "", "DRAIN SHARD nope")); resp.OK ||
+		!strings.Contains(resp.Error, "unknown shard") {
+		t.Fatalf("draining an unknown shard = %+v", resp)
+	}
+
+	resp := asResponse(t, r.Exec(context.Background(), "d1", "DRAIN SHARD shard-2"))
+	if !resp.OK {
+		t.Fatalf("DRAIN SHARD failed: %s", resp.Error)
+	}
+	if !strings.Contains(resp.Message, "drained") || !strings.Contains(resp.Message, "2 devices") {
+		t.Errorf("drain message %q does not carry the moved counts", resp.Message)
+	}
+	mu.Lock()
+	if drainVictim != "shard-2" {
+		t.Errorf("drainer victim = %q, want shard-2", drainVictim)
+	}
+	if drainOwner != "shard-1" {
+		t.Errorf("drainer owner(m1) = %q, want the survivor shard-1 (the m1 pin must not survive the drain)", drainOwner)
+	}
+	mu.Unlock()
+	if r.Map().Contains("shard-2") {
+		t.Error("drained shard still in the membership")
+	}
+	var sawDraining, sawDrained bool
+	for _, ev := range r.MembershipEvents() {
+		if ev.Shard == "shard-2" && ev.Action == "draining" {
+			sawDraining = true
+		}
+		if ev.Shard == "shard-2" && ev.Action == "drained" {
+			sawDrained = true
+		}
+	}
+	if !sawDraining || !sawDrained {
+		t.Errorf("membership journal missing draining/drained: %v", r.MembershipEvents())
+	}
+
+	// The survivor is the last shard: refuse to drain it.
+	if resp := asResponse(t, r.Exec(context.Background(), "", "DRAIN SHARD shard-1")); resp.OK ||
+		!strings.Contains(resp.Error, "last shard") {
+		t.Fatalf("draining the last shard = %+v", resp)
+	}
+}
+
+// TestDrainWithoutDrainer: a router with no drainer refuses the
+// statement instead of silently retiring the shard.
+func TestDrainWithoutDrainer(t *testing.T) {
+	r, _ := clusterHarness(t, 2)
+	resp := asResponse(t, r.Exec(context.Background(), "", "DRAIN SHARD shard-2"))
+	if resp.OK || !strings.Contains(resp.Error, "no drainer") {
+		t.Fatalf("drain without a drainer = %+v", resp)
+	}
+	if !r.Map().Contains("shard-2") {
+		t.Error("shard-2 left the membership without a drainer")
+	}
+}
+
+// TestShardCommand: the single-shard control used by the wire-only
+// drain path.
+func TestShardCommand(t *testing.T) {
+	r, stubs := clusterHarness(t, 2)
+	if err := r.ShardCommand(context.Background(), "shard-2", "\\drain"); err != nil {
+		t.Fatalf("ShardCommand: %v", err)
+	}
+	if got := stubs[1].received(); len(got) != 1 || got[0] != "\\drain" {
+		t.Errorf("shard-2 received %v, want the forwarded \\drain", got)
+	}
+	if got := stubs[0].received(); len(got) != 0 {
+		t.Errorf("shard-1 received %v, want nothing (single-shard command)", got)
+	}
+	if err := r.ShardCommand(context.Background(), "nope", "\\drain"); err == nil {
+		t.Error("ShardCommand to an unknown shard succeeded")
+	}
+	stubs[1].reply = func(stmt string) map[string]any {
+		return map[string]any{"ok": false, "error": "boom"}
+	}
+	if err := r.ShardCommand(context.Background(), "shard-2", "\\drain"); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Errorf("ShardCommand error = %v, want the shard's failure", err)
+	}
+}
+
+// TestMetricsCarriesRouterHealth: the \metrics frame includes the
+// per-shard health view when the apparatus is on, and omits it when
+// disabled.
+func TestMetricsCarriesRouterHealth(t *testing.T) {
+	r, _ := clusterHarness(t, 2)
+	resp := asResponse(t, r.Exec(context.Background(), "", `\metrics`))
+	if resp.Router == nil {
+		t.Fatal("\\metrics frame has no router health section")
+	}
+	if len(resp.Router.Shards) != 2 {
+		t.Errorf("router health covers %d shards, want 2", len(resp.Router.Shards))
+	}
+
+	net := netsim.NewNetwork(vclock.Real{}, 1)
+	ln, err := net.Listen("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	(&stubShard{id: "s1"}).serve(t, ln)
+	rd, err := NewRouter(RouterConfig{
+		Shards: []ShardInfo{{ID: "s1", Addr: "s1"}},
+		Dialer: net,
+		Health: HealthConfig{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rd.Close)
+	if resp := asResponse(t, rd.Exec(context.Background(), "", `\metrics`)); resp.Router != nil {
+		t.Error("disabled health apparatus still reports a router health section")
+	}
+}

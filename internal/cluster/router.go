@@ -11,11 +11,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"aorta/internal/frontdoor"
+	"aorta/internal/liveness"
 	"aorta/internal/match"
 	"aorta/internal/netsim"
 	"aorta/internal/sqlparse"
+	"aorta/internal/vclock"
 )
 
 // ShardInfo names one engine instance and where to reach its front door.
@@ -42,6 +45,10 @@ type RouterConfig struct {
 	Dialer netsim.Dialer
 	// Logger receives routing events. Nil discards them.
 	Logger *slog.Logger
+	// Health tunes the per-shard failure detector, breaker/backoff and
+	// the auto-retire control loop (see HealthConfig; the zero value
+	// enables passive detection with defaults).
+	Health HealthConfig
 }
 
 // Router fans front-door statements out to the shards whose device
@@ -71,6 +78,15 @@ type RouterConfig struct {
 type Router struct {
 	lg     *slog.Logger
 	dialer netsim.Dialer
+	clk    vclock.Clock
+	hcfg   HealthConfig
+	// health is the per-shard failure detector (nil when disabled): the
+	// same Up→Suspect→Down machine internal/liveness runs per device,
+	// fed passively by every fan-out result plus the probe loop.
+	health    *liveness.Detector
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
 
 	mu    sync.Mutex
 	smap  *Map
@@ -84,6 +100,12 @@ type Router struct {
 	// catalog records which shards hold each continuous query, and the
 	// parsed SELECT so targets can be recomputed after membership change.
 	catalog map[string]*catalogEntry
+	// draining marks shards mid-DRAIN; healing marks shards with an
+	// armed auto-retire grace timer; memEvents is the bounded
+	// membership journal.
+	draining  map[string]bool
+	healing   map[string]bool
+	memEvents []MembershipEvent
 }
 
 type catalogEntry struct {
@@ -110,18 +132,56 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if lg == nil {
 		lg = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	hcfg := cfg.Health.resolve()
 	r := &Router{
-		lg:      lg,
-		dialer:  cfg.Dialer,
-		smap:    smap,
-		addrs:   addrs,
-		conns:   make(map[string]*shardConn, len(ids)),
-		catalog: make(map[string]*catalogEntry),
+		lg:       lg,
+		dialer:   cfg.Dialer,
+		clk:      hcfg.Clock,
+		hcfg:     hcfg,
+		smap:     smap,
+		addrs:    addrs,
+		conns:    make(map[string]*shardConn, len(ids)),
+		catalog:  make(map[string]*catalogEntry),
+		draining: make(map[string]bool),
+		healing:  make(map[string]bool),
+	}
+	r.runCtx, r.runCancel = context.WithCancel(context.Background())
+	if !hcfg.Disabled {
+		r.health = liveness.New(hcfg.Clock, liveness.Config{
+			SuspectAfter: hcfg.SuspectAfter,
+			DownAfter:    hcfg.DownAfter,
+			DownRetry:    hcfg.DownRetry,
+		})
+		r.health.Subscribe(func(ev liveness.Event) {
+			if ev.To == liveness.Down {
+				r.onShardDown(ev.Device, ev.Reason)
+			}
+		})
 	}
 	for _, s := range cfg.Shards {
-		r.conns[s.ID] = &shardConn{id: s.ID, addr: s.Addr, dialer: cfg.Dialer, lg: lg}
+		r.conns[s.ID] = r.newShardConn(s.ID, s.Addr)
+	}
+	if r.health != nil && hcfg.ProbeInterval > 0 {
+		r.wg.Add(1)
+		go r.probeLoop()
 	}
 	return r, nil
+}
+
+// newShardConn builds the persistent pipelined connection handle for
+// one shard, wired to the router's clock, breaker, dial backoff and
+// failure detector.
+func (r *Router) newShardConn(id, addr string) *shardConn {
+	c := &shardConn{
+		id: id, addr: addr, dialer: r.dialer, lg: r.lg, clk: r.clk,
+	}
+	if !r.hcfg.Disabled {
+		c.backoffBase = r.hcfg.BackoffBase
+		c.backoffMax = r.hcfg.BackoffMax
+		c.brk = newShardBreaker(r.hcfg.BreakerThreshold, r.hcfg.BreakerWindow, r.hcfg.BreakerCooldown)
+		c.onEvidence = func(alive bool) { r.observeShard(id, alive) }
+	}
+	return c
 }
 
 // Map returns the current shard map.
@@ -190,16 +250,26 @@ func (r *Router) Retire(shardID string) error {
 	delete(r.conns, shardID)
 	delete(r.addrs, shardID)
 	r.reindexLocked()
+	r.mu.Unlock()
+	if r.health != nil {
+		// The shard left the membership; its detector entry would
+		// otherwise hold stale Down state if the id ever rejoins.
+		r.health.Forget(shardID)
+	}
+	r.recordEvent(shardID, "retired", "removed from membership")
+	r.mu.Lock()
 	return nil
 }
 
-// Close drops every shard connection.
+// Close drops every shard connection and stops the health apparatus.
 func (r *Router) Close() {
+	r.runCancel()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, c := range r.conns {
 		c.close()
 	}
+	r.mu.Unlock()
+	r.wg.Wait()
 }
 
 // Response is the router's JSON frame: the single-shard daemon response
@@ -223,6 +293,9 @@ type Response struct {
 	// diverged across shards (Code == "partial") — and for broadcasts, so
 	// clients always see who answered.
 	Shards map[string]string `json:"shards,omitempty"`
+	// Router carries the per-shard health view and the membership
+	// journal on \metrics frames.
+	Router *RouterHealth `json:"router,omitempty"`
 }
 
 // ClusterMetrics is the aggregated \metrics view.
@@ -244,7 +317,17 @@ type ShardMetrics struct {
 // protocol.
 func (r *Router) Exec(ctx context.Context, id, stmt string) any {
 	if strings.HasPrefix(stmt, "\\") {
-		return r.merge(id, stmt, r.fanout(ctx, stmt, r.allShards()))
+		resp := r.merge(id, stmt, r.fanout(ctx, stmt, r.allShards()))
+		if f := strings.Fields(stmt); len(f) > 0 && f[0] == "\\metrics" {
+			// The membership view rides the metrics frame even when a dead
+			// shard makes the fan-out partial — that is exactly when the
+			// client needs it.
+			resp.Router = r.Health()
+		}
+		return resp
+	}
+	if victim, ok := parseDrainShard(stmt); ok {
+		return r.execDrain(ctx, id, victim)
 	}
 	st, err := sqlparse.Parse(stmt)
 	if err != nil {
@@ -423,7 +506,7 @@ func (r *Router) merge(id, stmt string, results []shardResult) *Response {
 	for _, res := range results {
 		switch {
 		case res.err != nil:
-			codes[res.shard] = "unreachable"
+			codes[res.shard] = frontdoor.CodeUnreachable
 			failures = append(failures, fmt.Sprintf("%s: %v", res.shard, res.err))
 		case !res.frame.OK:
 			code := res.frame.Code
@@ -587,31 +670,82 @@ type shardFrame struct {
 // response frames to their waiters by tag, and a transport error fails
 // every pending statement and drops the conn — the next statement
 // redials.
+//
+// Two gates keep a dead or flapping shard from stalling every
+// statement: an exponential dial backoff (the transport pool's
+// schedule, per shard) sheds statements in microseconds while a redial
+// would only burn a dial timeout, and a windowed circuit breaker sheds
+// while a shard flaps — connects, fails a few statements, dies —
+// faster than consecutive-failure counting can catch. Shed statements
+// fail with ErrShardShed and carry no detector evidence.
 type shardConn struct {
 	id     string
 	addr   string
 	dialer netsim.Dialer
 	lg     *slog.Logger
+	clk    vclock.Clock
+	// backoffBase <= 0 disables redial suppression; brk is nil when the
+	// breaker is disabled; onEvidence feeds the router's detector.
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	brk         *shardBreaker
+	onEvidence  func(alive bool)
 
 	mu      sync.Mutex
 	conn    net.Conn
 	seq     int64
 	pending map[string]chan *shardFrame
 	closed  bool
+	// dialFails/dialNotBefore is the redial backoff state.
+	dialFails     int
+	dialNotBefore time.Time
+}
+
+// report records one real statement outcome with the breaker and the
+// failure detector. Must be called without c.mu held.
+func (c *shardConn) report(alive bool) {
+	c.brk.record(c.clk.Now(), alive)
+	if c.onEvidence != nil {
+		c.onEvidence(alive)
+	}
+}
+
+// inBackoff reports whether the redial suppression window is open.
+func (c *shardConn) inBackoff(now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn == nil && !c.dialNotBefore.IsZero() && now.Before(c.dialNotBefore)
 }
 
 func (c *shardConn) do(ctx context.Context, stmt string) (*shardFrame, error) {
+	now := c.clk.Now()
+	if !c.brk.allow(now) {
+		return nil, fmt.Errorf("cluster: shard %s circuit open: %w", c.id, ErrShardShed)
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("cluster: shard %s connection closed", c.id)
 	}
 	if c.conn == nil {
+		if c.backoffBase > 0 && !c.dialNotBefore.IsZero() && now.Before(c.dialNotBefore) {
+			fails := c.dialFails
+			c.mu.Unlock()
+			return nil, fmt.Errorf("cluster: shard %s in dial backoff (%d consecutive dial failures): %w",
+				c.id, fails, ErrShardShed)
+		}
 		conn, err := c.dialer.Dial(ctx, c.addr)
 		if err != nil {
+			if c.backoffBase > 0 {
+				c.dialFails++
+				c.dialNotBefore = now.Add(backoffFor(c.backoffBase, c.backoffMax, c.dialFails))
+			}
 			c.mu.Unlock()
+			c.report(false)
 			return nil, fmt.Errorf("cluster: dial shard %s (%s): %w", c.id, c.addr, err)
 		}
+		c.dialFails = 0
+		c.dialNotBefore = time.Time{}
 		c.conn = conn
 		c.pending = make(map[string]chan *shardFrame)
 		go c.readLoop(conn)
@@ -629,18 +763,23 @@ func (c *shardConn) do(ctx context.Context, stmt string) (*shardFrame, error) {
 			c.failLocked()
 		}
 		c.mu.Unlock()
+		c.report(false)
 		return nil, fmt.Errorf("cluster: shard %s write: %w", c.id, err)
 	}
 	select {
 	case f, ok := <-ch:
 		if !ok {
+			c.report(false)
 			return nil, fmt.Errorf("cluster: shard %s connection lost mid-statement", c.id)
 		}
+		c.report(true)
 		return f, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, tag)
 		c.mu.Unlock()
+		// Cancellation is the caller's doing, not shard evidence; probe
+		// timeouts are reported as failures by the probe loop itself.
 		return nil, context.Cause(ctx)
 	}
 }

@@ -35,19 +35,27 @@ func ShardExec(eng *core.Engine, door *frontdoor.Door) frontdoor.Exec {
 	return func(ctx context.Context, id, stmt string) any {
 		if strings.HasPrefix(stmt, "\\") {
 			resp := &shardResponse{ID: id}
-			if strings.Fields(stmt)[0] == "\\metrics" {
-				m := eng.Metrics()
+			switch strings.Fields(stmt)[0] {
+			case "\\ping":
+				// The router's health probe: any response frame proves the
+				// shard alive, this one just costs nothing to serve.
 				resp.OK = true
-				resp.Metrics = &m
-				if door != nil {
-					fm := door.Metrics()
-					resp.Frontdoor = &fm
-				}
-				if ws, ok := eng.JournalStats(); ok {
-					resp.Wal = &ws
-				}
-			} else {
+				resp.Message = "pong"
+				return resp
+			case "\\metrics":
+			default:
 				resp.Error = "unknown command " + stmt
+				return resp
+			}
+			m := eng.Metrics()
+			resp.OK = true
+			resp.Metrics = &m
+			if door != nil {
+				fm := door.Metrics()
+				resp.Frontdoor = &fm
+			}
+			if ws, ok := eng.JournalStats(); ok {
+				resp.Wal = &ws
 			}
 			return resp
 		}
@@ -72,6 +80,8 @@ func ShardExec(eng *core.Engine, door *frontdoor.Door) frontdoor.Exec {
 func shardErrorCode(ctx context.Context, err error) string {
 	cause := context.Cause(ctx)
 	switch {
+	case errors.Is(err, core.ErrDraining):
+		return frontdoor.CodeDraining
 	case errors.Is(err, core.ErrDegraded):
 		return frontdoor.CodeDegraded
 	case errors.Is(err, core.ErrQuarantined):

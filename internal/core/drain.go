@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"aorta/internal/vclock"
+	"aorta/internal/wal"
+)
+
+// ErrDraining rejects a new placement (CREATE AQ / CREATE ACTION) on an
+// engine that is cooperatively draining: its state is flushing and
+// about to hand off to surviving shards. Reads, lifecycle statements
+// and running continuous queries are unaffected until Stop.
+var ErrDraining = errors.New("core: engine is draining")
+
+// drainTick is the flush-poll period on the engine clock.
+const drainTick = 100 * time.Millisecond
+
+// DrainStats summarizes one Drain call.
+type DrainStats struct {
+	// PendingAtEntry/InFlightAtEntry is the work the drain had to flush:
+	// journaled intents without outcomes, and dispatches mid-flight.
+	PendingAtEntry  int
+	InFlightAtEntry int64
+	// Waited is the flush duration on the engine clock.
+	Waited time.Duration
+}
+
+// Draining reports whether the engine is in drain mode.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// CancelDrain lifts drain mode without stopping the engine — the escape
+// hatch when a handoff aborts and the shard must resume normal service.
+func (e *Engine) CancelDrain() { e.draining.Store(false) }
+
+// Drain puts the engine into drain mode and flushes it: new placements
+// are refused with ErrDraining while continuous queries keep evaluating
+// and in-flight actions run to completion; Drain returns once every
+// journaled intent has an outcome and no dispatch is in flight, with
+// the journal synced — the point at which DrainState is a complete,
+// durable picture a successor can adopt with zero loss. ctx bounds the
+// flush; on expiry the engine stays draining (leftover intents are
+// still journaled, so a crash-style handoff loses nothing).
+func (e *Engine) Drain(ctx context.Context) (DrainStats, error) {
+	st := DrainStats{
+		PendingAtEntry:  e.JournalPending(),
+		InFlightAtEntry: e.InFlight(),
+	}
+	if !e.draining.Swap(true) {
+		e.lg.Info("engine draining", "pending_intents", st.PendingAtEntry, "in_flight", st.InFlightAtEntry)
+	}
+	start := e.clk.Now()
+	for e.JournalPending() != 0 || e.InFlight() != 0 {
+		if err := vclock.SleepCtx(ctx, e.clk, drainTick); err != nil {
+			st.Waited = e.clk.Since(start)
+			return st, fmt.Errorf("core: drain flush interrupted with %d pending, %d in flight: %w",
+				e.JournalPending(), e.InFlight(), err)
+		}
+	}
+	st.Waited = e.clk.Since(start)
+	if e.glue != nil {
+		if err := e.glue.j.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			return st, fmt.Errorf("core: drain journal sync: %w", err)
+		}
+	}
+	e.lg.Info("engine drained", "waited", st.Waited)
+	return st, nil
+}
+
+// DrainState snapshots the state a drained engine hands to its
+// successors — the live-engine equivalent of replaying its journal:
+// device membership, the query catalog with stopped flags, and any
+// pending intents a bounded Drain could not flush (empty after a full
+// flush). The record types are the WAL's, so cluster.Adopt consumes
+// both crash handoffs and live drains identically.
+func (e *Engine) DrainState() ([]wal.DeviceRecord, []wal.SnapshotQuery, []wal.IntentRecord) {
+	var devices []wal.DeviceRecord
+	for _, d := range e.layer.Devices() {
+		devices = append(devices, deviceRecordOf(*d))
+	}
+	var queries []wal.SnapshotQuery
+	e.mu.Lock()
+	for _, q := range e.queries {
+		q.mu.Lock()
+		queries = append(queries, wal.SnapshotQuery{
+			QueryRecord: wal.QueryRecord{
+				ID: q.ID, Name: q.Name, SQL: q.sel.String(), EpochNS: int64(q.Epoch),
+			},
+			Stopped: q.stopped,
+		})
+		q.mu.Unlock()
+	}
+	e.mu.Unlock()
+	sort.Slice(queries, func(i, j int) bool { return queries[i].ID < queries[j].ID })
+	var pending []wal.IntentRecord
+	if e.glue != nil {
+		e.glue.mu.Lock()
+		for _, ir := range e.glue.pending {
+			pending = append(pending, *ir)
+		}
+		e.glue.mu.Unlock()
+		sort.Slice(pending, func(i, j int) bool { return pending[i].RequestID < pending[j].RequestID })
+	}
+	return devices, queries, pending
+}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aorta/internal/core"
+	"aorta/internal/lab"
+)
+
+// TestDrainGatesPlacements: a draining engine keeps serving reads and
+// running queries but refuses new placements with the typed
+// ErrDraining; CancelDrain restores normal service.
+func TestDrainGatesPlacements(t *testing.T) {
+	l := newLab(t, lab.Config{})
+	eng := l.Engine
+	ctx := context.Background()
+
+	if _, err := eng.Exec(ctx, snapshotSQL); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := eng.Drain(ctx)
+	if err != nil {
+		t.Fatalf("Drain on an idle engine: %v", err)
+	}
+	if st.PendingAtEntry != 0 || st.InFlightAtEntry != 0 {
+		t.Errorf("idle drain stats = %+v, want nothing to flush", st)
+	}
+	if !eng.Draining() {
+		t.Fatal("engine not in drain mode after Drain")
+	}
+
+	// New placements are refused, typed.
+	_, err = eng.Exec(ctx, `CREATE AQ late AS SELECT s.accel_x FROM sensor s EVERY "2s"`)
+	if !errors.Is(err, core.ErrDraining) {
+		t.Fatalf("CREATE AQ while draining = %v, want ErrDraining", err)
+	}
+
+	// Reads and lifecycle statements keep flowing.
+	if res, err := eng.Exec(ctx, "SHOW QUERIES"); err != nil {
+		t.Fatalf("SHOW QUERIES while draining: %v", err)
+	} else if res.Kind != "queries" || len(res.Queries) != 1 {
+		t.Fatalf("SHOW QUERIES while draining = %+v", res)
+	}
+	if _, err := eng.Exec(ctx, "STOP AQ snapshot"); err != nil {
+		t.Fatalf("STOP AQ while draining: %v", err)
+	}
+
+	// DrainState is the handoff picture: the catalog with stopped flags.
+	devices, queries, pending := eng.DrainState()
+	if len(devices) == 0 {
+		t.Error("DrainState lost the device membership")
+	}
+	if len(queries) != 1 || queries[0].Name != "snapshot" || !queries[0].Stopped {
+		t.Errorf("DrainState queries = %+v, want the stopped snapshot query", queries)
+	}
+	if len(pending) != 0 {
+		t.Errorf("DrainState pending = %+v after a full flush", pending)
+	}
+
+	// CancelDrain is the abort path: placements work again.
+	eng.CancelDrain()
+	if eng.Draining() {
+		t.Fatal("engine still draining after CancelDrain")
+	}
+	if _, err := eng.Exec(ctx, `CREATE AQ late AS SELECT s.accel_x FROM sensor s EVERY "2s"`); err != nil {
+		t.Fatalf("CREATE AQ after CancelDrain: %v", err)
+	}
+}

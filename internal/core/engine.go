@@ -227,6 +227,10 @@ type Engine struct {
 	// keep streaming throughout — a full disk degrades durability, never
 	// availability.
 	degraded atomic.Bool
+
+	// draining refuses new placements while the engine flushes for a
+	// cooperative shard drain (see Drain).
+	draining atomic.Bool
 	// inFlight counts action requests currently inside a dispatch.
 	inFlight atomic.Int64
 	// recovered holds journal-recovered intents awaiting re-submission;
@@ -838,6 +842,14 @@ func (e *Engine) Exec(ctx context.Context, sql string) (*ExecResult, error) {
 	case *sqlparse.CreateAQ, *sqlparse.DropAQ, *sqlparse.StopAQ, *sqlparse.StartAQ:
 		if err := e.checkDegraded(); err != nil {
 			return nil, err
+		}
+	}
+	// A draining engine accepts no new placements — its state is being
+	// handed off — but keeps serving reads and lifecycle statements.
+	switch stmt.(type) {
+	case *sqlparse.CreateAQ, *sqlparse.CreateAction:
+		if e.draining.Load() {
+			return nil, ErrDraining
 		}
 	}
 	switch st := stmt.(type) {

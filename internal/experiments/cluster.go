@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"aorta/internal/cluster"
@@ -148,6 +149,24 @@ type clusterShard struct {
 	door    *frontdoor.Door
 	doorLis net.Listener
 	motes   []string
+
+	// connMu guards the door's accepted connections, tracked so the
+	// selfheal study can sever them: closing the listener and the door
+	// stops NEW work, but the router's persistent pipelined connection
+	// stays up — a kill or partition must cut it explicitly.
+	connMu    sync.Mutex
+	doorConns []net.Conn
+}
+
+// severConns cuts every accepted front-door connection — the
+// router-visible part of a crash or partition.
+func (s *clusterShard) severConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for _, c := range s.doorConns {
+		c.Close()
+	}
+	s.doorConns = nil
 }
 
 // clusterTrial is one fully wired cluster: a shared simulated network,
@@ -161,6 +180,13 @@ type clusterTrial struct {
 	router  *cluster.Router
 	servers []*device.Server
 	motes   map[string]*mote.Mote
+
+	// Self-heal accounting: what the router's automatic handoff and the
+	// DRAIN SHARD path moved, accumulated by the hooks buildClusterTrial
+	// wires into a health-enabled router.
+	healMu  sync.Mutex
+	adopted cluster.AdoptStats
+	drains  []cluster.DrainReport
 }
 
 func (t *clusterTrial) shard(id string) *clusterShard {
@@ -198,12 +224,79 @@ func (t *clusterTrial) close() {
 	}
 }
 
+// serveDoor (re)starts a shard's front door on the simulated network —
+// initial wiring and the flap phase's revival both go through it.
+func (t *clusterTrial) serveDoor(ctx context.Context, s *clusterShard) error {
+	s.door = frontdoor.New(frontdoor.Config{Clock: vclock.Real{}})
+	lis, err := t.network.Listen("fd-" + s.id)
+	if err != nil {
+		return err
+	}
+	s.doorLis = lis
+	exec := cluster.ShardExec(s.eng, s.door)
+	go func(door *frontdoor.Door, lis net.Listener) {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			s.connMu.Lock()
+			s.doorConns = append(s.doorConns, conn)
+			s.connMu.Unlock()
+			go door.Serve(ctx, conn, exec)
+		}
+	}(s.door, lis)
+	return nil
+}
+
+// autoHandoff is the HandoffFunc buildClusterTrial wires into a
+// health-enabled router: replay the (dead) victim's journal into
+// handoff sets and adopt them into the surviving engines — exactly the
+// operator sequence of the cluster study's handoff phase, run by the
+// router's own auto-retire loop instead.
+func (t *clusterTrial) autoHandoff(ctx context.Context, victim string, owner func(deviceID string) string) (cluster.AdoptStats, error) {
+	var total cluster.AdoptStats
+	s := t.shard(victim)
+	if s == nil || s.dir == "" {
+		return total, fmt.Errorf("no journal dir for shard %q", victim)
+	}
+	sets, err := cluster.PlanHandoff(s.dir, owner)
+	if err != nil {
+		return total, err
+	}
+	for shard, set := range sets {
+		dst := t.shard(shard)
+		if dst == nil {
+			return total, fmt.Errorf("handoff set for unknown shard %q", shard)
+		}
+		st, err := cluster.Adopt(ctx, dst.eng, set)
+		if err != nil {
+			return total, fmt.Errorf("adopt into %s: %w", shard, err)
+		}
+		total.Devices += st.Devices
+		total.Queries += st.Queries
+		total.IntentsAdopted += st.IntentsAdopted
+		total.IntentsClosed += st.IntentsClosed
+	}
+	t.healMu.Lock()
+	t.adopted.Devices += total.Devices
+	t.adopted.Queries += total.Queries
+	t.adopted.IntentsAdopted += total.IntentsAdopted
+	t.adopted.IntentsClosed += total.IntentsClosed
+	t.healMu.Unlock()
+	return total, nil
+}
+
 // buildClusterTrial wires n shards over one simulated network: motes
 // mote-1..mote-nMotes are served once and registered with their owner
 // shard; with phones, phone-i is pinned to shard-i so every shard can
 // execute notify actions locally. journaled gives each shard its own
-// WAL directory (the handoff phase's raw material).
-func buildClusterTrial(cfg ClusterConfig, n, nMotes int, phones, journaled bool) (*clusterTrial, error) {
+// WAL directory (the handoff phase's raw material). A non-nil health
+// config arms the router's shard failure detector; its Clock defaults
+// to the trial's scaled clock and its Handoff/Drainer hooks (unless
+// pre-set) to PlanHandoff+Adopt and EngineDrainer over the trial's
+// engines, with what moved accumulated on the trial for the audits.
+func buildClusterTrial(cfg ClusterConfig, n, nMotes int, phones, journaled bool, health *cluster.HealthConfig) (*clusterTrial, error) {
 	clk := vclock.NewScaled(cfg.ClockScale)
 	network := netsim.NewNetwork(clk, cfg.Seed)
 	t := &clusterTrial{clk: clk, network: network, motes: map[string]*mote.Mote{}}
@@ -345,26 +438,41 @@ func buildClusterTrial(cfg ClusterConfig, n, nMotes int, phones, journaled bool)
 		}
 		// The shard's front door: the router speaks the real line protocol
 		// to it, exactly as aortad -shard serves it.
-		s.door = frontdoor.New(frontdoor.Config{Clock: vclock.Real{}})
-		lis, err := network.Listen("fd-" + id)
-		if err != nil {
+		if err := t.serveDoor(ctx, s); err != nil {
 			t.close()
 			return nil, err
 		}
-		s.doorLis = lis
-		exec := cluster.ShardExec(eng, s.door)
-		go func(door *frontdoor.Door) {
-			for {
-				conn, err := lis.Accept()
-				if err != nil {
-					return
-				}
-				go door.Serve(ctx, conn, exec)
-			}
-		}(s.door)
 	}
 
-	rt, err := cluster.NewRouter(cluster.RouterConfig{Shards: infos, Pins: pins, Dialer: network})
+	rcfg := cluster.RouterConfig{Shards: infos, Pins: pins, Dialer: network}
+	if health != nil {
+		hcfg := *health
+		if hcfg.Clock == nil {
+			hcfg.Clock = clk
+		}
+		if hcfg.Handoff == nil {
+			hcfg.Handoff = t.autoHandoff
+		}
+		if hcfg.Drainer == nil {
+			base := cluster.EngineDrainer(func(shardID string) *core.Engine {
+				if s := t.shard(shardID); s != nil {
+					return s.eng
+				}
+				return nil
+			})
+			hcfg.Drainer = func(ctx context.Context, victim string, owner func(deviceID string) string) (cluster.DrainReport, error) {
+				rep, err := base(ctx, victim, owner)
+				if err == nil {
+					t.healMu.Lock()
+					t.drains = append(t.drains, rep)
+					t.healMu.Unlock()
+				}
+				return rep, err
+			}
+		}
+		rcfg.Health = hcfg
+	}
+	rt, err := cluster.NewRouter(rcfg)
 	if err != nil {
 		t.close()
 		return nil, err
@@ -414,7 +522,7 @@ func ClusterStudy(cfg ClusterConfig) (*ClusterResult, error) {
 
 	// Phase 1: throughput sweep.
 	for _, n := range cfg.ShardCounts {
-		t, err := buildClusterTrial(cfg, n, cfg.Motes, false, false)
+		t, err := buildClusterTrial(cfg, n, cfg.Motes, false, false, nil)
 		if err != nil {
 			return nil, fmt.Errorf("cluster trial %d shards: %w", n, err)
 		}
@@ -490,7 +598,7 @@ func ClusterStudy(cfg ClusterConfig) (*ClusterResult, error) {
 // clusterHandoffPhase kills the busiest shard of a journaled cluster
 // mid-workload and audits the handoff's zero-loss contract.
 func clusterHandoffPhase(ctx context.Context, cfg ClusterConfig, res *ClusterResult, violate func(string, ...any)) error {
-	t, err := buildClusterTrial(cfg, cfg.HandoffShards, cfg.HandoffMotes, true, true)
+	t, err := buildClusterTrial(cfg, cfg.HandoffShards, cfg.HandoffMotes, true, true, nil)
 	if err != nil {
 		return fmt.Errorf("cluster handoff trial: %w", err)
 	}

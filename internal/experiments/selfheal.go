@@ -1,0 +1,566 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aorta/internal/cluster"
+	"aorta/internal/liveness"
+	"aorta/internal/netsim"
+	"aorta/internal/wal"
+)
+
+// SelfhealConfig controls the self-healing cluster study: a journaled,
+// health-enabled cluster (active probes, auto-retire, wired handoff and
+// drainer) is subjected to the three membership transitions the router
+// must survive without operator help while continuous queries stream:
+//
+// Kill: one shard is crashed mid-workload with journaled, outcome-less
+// intents open. The router's failure detector must notice (bounded
+// detection latency), auto-retire the shard after the grace window, and
+// run the handoff itself — with the same zero-loss contract the
+// operator-driven cluster study audits from the outside.
+//
+// Flap: one shard goes dark briefly and comes back within the grace
+// window. The detector must see it Down and Up again, and the
+// auto-retire loop must NOT amputate it: zero false-positive
+// retirements.
+//
+// Drain: DRAIN SHARD retires a healthy shard cooperatively while
+// statements are in flight through the router. Every concurrent
+// statement must be answered (none dropped), and every query the victim
+// ran must continue on a survivor.
+type SelfhealConfig struct {
+	// Shards and Motes size the cluster; one streaming CQ per mote.
+	Shards int
+	Motes  int
+	// EvalWorkers bounds concurrent CQ evaluations per engine.
+	EvalWorkers int
+	// ClockScale speeds up virtual time (probes, grace windows, epochs).
+	ClockScale float64
+	// Seed drives device randomness.
+	Seed int64
+	// StaleAfter is the virtual deadline attached to action intents.
+	StaleAfter time.Duration
+
+	// ProbeInterval/ProbeTimeout drive the router's \ping probes
+	// (virtual time).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// SuspectAfter/DownAfter are the detector's consecutive-failure
+	// thresholds.
+	SuspectAfter int
+	DownAfter    int
+	// GraceWindow is how long Down must persist before auto-retire; the
+	// flap outage resolves well inside it by construction.
+	GraceWindow time.Duration
+	// Quorum is the reachable-membership fraction auto-retire requires.
+	Quorum float64
+
+	// MaxDetect bounds kill→auto-retire latency in virtual time. Nominal
+	// is DownAfter*ProbeInterval + GraceWindow; the bound leaves room for
+	// scheduling jitter, which the scaled clock amplifies.
+	MaxDetect time.Duration
+	// DrainStatements is how many concurrent statements are held in
+	// flight through the router while the drain runs.
+	DrainStatements int
+}
+
+// DefaultSelfhealConfig mirrors the cluster study's scale: 4 shards,
+// 32 streaming CQs, clock scale 150 (one 60s epoch = 0.4s wall). At
+// these settings detection nominally lands at DownAfter*ProbeInterval =
+// 15s virtual and auto-retire at +60s grace — 0.5s wall — against a
+// 300s virtual acceptance bound.
+func DefaultSelfhealConfig() SelfhealConfig {
+	return SelfhealConfig{
+		Shards:          4,
+		Motes:           32,
+		EvalWorkers:     4,
+		ClockScale:      150,
+		Seed:            2013,
+		StaleAfter:      10 * time.Minute,
+		ProbeInterval:   5 * time.Second,
+		ProbeTimeout:    2 * time.Second,
+		SuspectAfter:    1,
+		DownAfter:       3,
+		GraceWindow:     60 * time.Second,
+		Quorum:          0.5,
+		MaxDetect:       300 * time.Second,
+		DrainStatements: 16,
+	}
+}
+
+// SelfhealResult aggregates the three phases' audits.
+type SelfhealResult struct {
+	// Kill phase.
+	KillVictim    string
+	PendingAtKill int
+	// DetectLatency is kill → auto-retired in virtual time.
+	DetectLatency    time.Duration
+	KillAdopted      cluster.AdoptStats
+	KillLostOutcomes int
+	KillLostQueries  int
+
+	// Flap phase.
+	FlapVictim       string
+	FlapDowned       bool
+	FlapRecovered    bool
+	FlapFalseRetires int
+
+	// Drain phase.
+	DrainVictim      string
+	DrainMoved       cluster.DrainReport
+	DrainStatements  int
+	DrainDropped     int
+	DrainLostQueries int
+
+	// Violations lists every broken invariant; empty means the cluster
+	// healed itself within contract.
+	Violations []string
+}
+
+// clusterConfig adapts the selfheal knobs onto the shared trial builder.
+func (cfg SelfhealConfig) clusterConfig() ClusterConfig {
+	ccfg := DefaultClusterConfig()
+	ccfg.ClockScale = cfg.ClockScale
+	ccfg.Seed = cfg.Seed
+	ccfg.EvalWorkers = cfg.EvalWorkers
+	ccfg.StaleAfter = cfg.StaleAfter
+	return ccfg
+}
+
+// healthConfig is the router health apparatus under study: probes on,
+// detector thresholds from the config, auto-retire as requested. Clock,
+// Handoff and Drainer are wired by buildClusterTrial.
+func (cfg SelfhealConfig) healthConfig(autoRetire bool) *cluster.HealthConfig {
+	return &cluster.HealthConfig{
+		SuspectAfter:  cfg.SuspectAfter,
+		DownAfter:     cfg.DownAfter,
+		ProbeInterval: cfg.ProbeInterval,
+		ProbeTimeout:  cfg.ProbeTimeout,
+		AutoRetire:    autoRetire,
+		GraceWindow:   cfg.GraceWindow,
+		Quorum:        cfg.Quorum,
+	}
+}
+
+// waitMembershipEvent polls the router's membership journal for the
+// first event matching shard and action, bounded by a wall deadline.
+func waitMembershipEvent(rt *cluster.Router, shard, action string, deadline time.Time) (cluster.MembershipEvent, bool) {
+	for time.Now().Before(deadline) {
+		for _, ev := range rt.MembershipEvents() {
+			if ev.Shard == shard && ev.Action == action {
+				return ev, true
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cluster.MembershipEvent{}, false
+}
+
+// SelfhealStudy runs the kill, flap and drain phases and audits the
+// self-healing contract.
+func SelfhealStudy(cfg SelfhealConfig) (*SelfhealResult, error) {
+	res := &SelfhealResult{}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if err := selfhealKillPhase(cfg, res, violate); err != nil {
+		return nil, fmt.Errorf("kill phase: %w", err)
+	}
+	if err := selfhealFlapPhase(cfg, res, violate); err != nil {
+		return nil, fmt.Errorf("flap phase: %w", err)
+	}
+	if err := selfhealDrainPhase(cfg, res, violate); err != nil {
+		return nil, fmt.Errorf("drain phase: %w", err)
+	}
+	return res, nil
+}
+
+// selfhealKillPhase crashes the busiest shard of a journaled cluster
+// with pending intents open and lets the router heal on its own: detect,
+// auto-retire after the grace window, hand off. The audit is the
+// cluster study's, minus the operator.
+func selfhealKillPhase(cfg SelfhealConfig, res *SelfhealResult, violate func(string, ...any)) error {
+	ccfg := cfg.clusterConfig()
+	t, err := buildClusterTrial(ccfg, cfg.Shards, cfg.Motes, true, true, cfg.healthConfig(true))
+	if err != nil {
+		return err
+	}
+	defer t.close()
+	ctx := context.Background()
+
+	virtualEpoch := 60 * time.Second
+	epochWall := time.Duration(float64(virtualEpoch) / cfg.ClockScale)
+
+	for k := 1; k <= cfg.Motes; k++ {
+		stmt := fmt.Sprintf(
+			`CREATE AQ heal%d AS SELECT notify(p.number, "selfheal alert %d") FROM sensor m, phone p WHERE m.accel_x > 500 AND m.id = "mote-%d" EVERY "60s"`, k, k, k)
+		if err := routeStatement(ctx, t.router, stmt); err != nil {
+			return err
+		}
+	}
+
+	// Victim: the shard owning the most motes. Its phone link is slowed
+	// so the kill lands with journaled, outcome-less intents — the state
+	// the automatic handoff must not lose.
+	var victim *clusterShard
+	victimPhone := ""
+	for i, s := range t.shards {
+		if victim == nil || len(s.motes) > len(victim.motes) {
+			victim = s
+			victimPhone = fmt.Sprintf("phone-%d", i+1)
+		}
+	}
+	res.KillVictim = victim.id
+	t.network.SetLink(victimPhone, netsim.LinkConfig{PropagationDelay: 2 * virtualEpoch})
+	for _, mid := range victim.motes {
+		t.motes[mid].Stimulate("x", 900, 60*virtualEpoch)
+	}
+
+	killBy := time.Now().Add(30*epochWall + 5*time.Second)
+	for time.Now().Before(killBy) {
+		if n := victim.eng.JournalPending(); n > 0 {
+			res.PendingAtKill = n
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if res.PendingAtKill == 0 {
+		violate("kill: victim was never caught with journaled pending intents; the kill is vacuous")
+	}
+
+	// The kill: sever the WAL without sync, stop the engine, close the
+	// front door — and do NOT tell the router. Detection is its job.
+	killAt := t.clk.Now()
+	victim.journal.Crash()
+	victim.eng.Stop()
+	victim.doorLis.Close()
+	victim.door.Close()
+	victim.severConns()
+
+	retired, ok := waitMembershipEvent(t.router, victim.id, "auto-retired", time.Now().Add(30*time.Second))
+	if !ok {
+		violate("kill: shard %s was never auto-retired (events: %v)", victim.id, t.router.MembershipEvents())
+		return nil
+	}
+	res.DetectLatency = retired.At.Sub(killAt)
+	if res.DetectLatency > cfg.MaxDetect {
+		violate("kill: detection latency %v exceeds bound %v", res.DetectLatency, cfg.MaxDetect)
+	}
+	if _, ok := waitMembershipEvent(t.router, victim.id, "handoff", time.Now().Add(30*time.Second)); !ok {
+		violate("kill: auto-retire of %s ran no successful handoff (events: %v)", victim.id, t.router.MembershipEvents())
+		return nil
+	}
+	// The slow phone link served its purpose; heal it so adopted intents
+	// complete promptly on the survivors.
+	t.network.SetLink(victimPhone, netsim.LinkConfig{})
+	t.healMu.Lock()
+	res.KillAdopted = t.adopted
+	t.healMu.Unlock()
+
+	// Enumerate what the victim owed from its journal (the handoff's own
+	// source of truth), then audit the survivors from the outside.
+	sets, err := cluster.PlanHandoff(victim.dir, t.router.Map().Owner)
+	if err != nil {
+		return fmt.Errorf("post-mortem plan: %w", err)
+	}
+	victimPending := map[string]bool{}
+	victimQueries := map[string]bool{}
+	for _, set := range sets {
+		for _, ir := range set.Intents {
+			victimPending[ir.DedupKey] = true
+		}
+		for _, sq := range set.Queries {
+			victimQueries[sq.Name] = true
+		}
+	}
+
+	survivors := []*clusterShard{}
+	for _, s := range t.shards {
+		if s != victim {
+			survivors = append(survivors, s)
+		}
+	}
+	for name := range victimQueries {
+		found := false
+		for _, s := range survivors {
+			if _, ok := s.eng.QueryInfo(name); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.KillLostQueries++
+		}
+	}
+	if res.KillLostQueries > 0 {
+		violate("kill: lost queries = %d, want 0", res.KillLostQueries)
+	}
+
+	quiesceBy := time.Now().Add(60*epochWall + 10*time.Second)
+	for time.Now().Before(quiesceBy) {
+		idle := true
+		for _, s := range survivors {
+			if s.eng.JournalPending() != 0 || s.eng.InFlight() != 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	outcomes := map[string]bool{}
+	for _, s := range survivors {
+		s.eng.Stop()
+		if err := s.journal.Close(); err != nil {
+			return fmt.Errorf("close %s journal: %w", s.id, err)
+		}
+		pm, err := wal.Open(s.dir, wal.Options{})
+		if err != nil {
+			return fmt.Errorf("post-mortem open %s: %w", s.id, err)
+		}
+		err = pm.Replay(func(rec wal.Record) error {
+			if rec.Kind != wal.KindOutcome {
+				return nil
+			}
+			var or wal.OutcomeRecord
+			if err := rec.Decode(&or); err != nil {
+				return err
+			}
+			outcomes[or.DedupKey] = true
+			return nil
+		})
+		pm.Close()
+		if err != nil {
+			return fmt.Errorf("post-mortem replay %s: %w", s.id, err)
+		}
+	}
+	lost := make([]string, 0)
+	for key := range victimPending {
+		if !outcomes[key] {
+			lost = append(lost, key)
+		}
+	}
+	sort.Strings(lost)
+	res.KillLostOutcomes = len(lost)
+	if res.KillLostOutcomes > 0 {
+		violate("kill: lost outcomes = %d, want 0 (first: %s)", res.KillLostOutcomes, lost[0])
+	}
+	// A healthy shard auto-retired alongside the victim would be masked
+	// by the victim's own success; sweep the whole journal.
+	for _, ev := range t.router.MembershipEvents() {
+		if ev.Action == "auto-retired" && ev.Shard != victim.id {
+			violate("kill: healthy shard %s was auto-retired (%s)", ev.Shard, ev.Reason)
+		}
+	}
+	return nil
+}
+
+// selfhealFlapPhase takes one shard dark just long enough for the
+// detector to call it Down, revives it inside the grace window, and
+// asserts the auto-retire loop held its fire.
+func selfhealFlapPhase(cfg SelfhealConfig, res *SelfhealResult, violate func(string, ...any)) error {
+	ccfg := cfg.clusterConfig()
+	t, err := buildClusterTrial(ccfg, cfg.Shards, cfg.Motes, false, false, cfg.healthConfig(true))
+	if err != nil {
+		return err
+	}
+	defer t.close()
+	ctx := context.Background()
+
+	for k := 1; k <= cfg.Motes; k++ {
+		stmt := fmt.Sprintf(
+			`CREATE AQ flap%d AS SELECT m.accel_x FROM sensor m WHERE m.id = "mote-%d" EVERY "60s"`, k, k)
+		if err := routeStatement(ctx, t.router, stmt); err != nil {
+			return err
+		}
+	}
+
+	flap := t.shards[0]
+	res.FlapVictim = flap.id
+	// The blip: take the link down (refusing redials), sever the serving
+	// door and its live connections. The engine keeps running — only the
+	// router's view goes dark.
+	t.network.SetLink("fd-"+flap.id, netsim.LinkConfig{Down: true})
+	flap.doorLis.Close()
+	flap.door.Close()
+	flap.severConns()
+
+	down, ok := waitMembershipEvent(t.router, flap.id, "down", time.Now().Add(30*time.Second))
+	if !ok {
+		violate("flap: shard %s going dark was never detected", flap.id)
+		return nil
+	}
+	res.FlapDowned = true
+
+	// Revive well inside the grace window (detection took DownAfter
+	// probes; redial backoff adds a few more intervals before the next
+	// real dial).
+	t.network.SetLink("fd-"+flap.id, netsim.LinkConfig{})
+	if err := t.serveDoor(ctx, flap); err != nil {
+		return fmt.Errorf("revive %s: %w", flap.id, err)
+	}
+	upBy := time.Now().Add(30 * time.Second)
+	for time.Now().Before(upBy) {
+		if h := t.router.Health(); h != nil && h.Shards[flap.id].State == liveness.Up {
+			res.FlapRecovered = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !res.FlapRecovered {
+		violate("flap: shard %s never recovered to Up after revival", flap.id)
+	}
+
+	// Outlive the grace timer (it was armed at the Down transition),
+	// then audit: the revived shard must still be a member.
+	settleUntil := down.At.Add(cfg.GraceWindow + 3*cfg.ProbeInterval)
+	settleBy := time.Now().Add(30 * time.Second)
+	for time.Now().Before(settleBy) && t.clk.Now().Before(settleUntil) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, ev := range t.router.MembershipEvents() {
+		if ev.Action == "auto-retired" || ev.Action == "retired" {
+			res.FlapFalseRetires++
+			violate("flap: shard %s was retired despite recovering within the grace window (%s)", ev.Shard, ev.Reason)
+		}
+	}
+	return nil
+}
+
+// selfhealDrainPhase drains a healthy shard through the router's DRAIN
+// SHARD statement while statements are in flight, and audits the
+// cooperative contract: drain succeeds, nothing in flight is dropped,
+// and every victim query continues on a survivor.
+func selfhealDrainPhase(cfg SelfhealConfig, res *SelfhealResult, violate func(string, ...any)) error {
+	ccfg := cfg.clusterConfig()
+	// Auto-retire stays off here: the drain is an operator action and
+	// must not race a grace timer in the audit.
+	t, err := buildClusterTrial(ccfg, cfg.Shards, cfg.Motes, true, true, cfg.healthConfig(false))
+	if err != nil {
+		return err
+	}
+	defer t.close()
+	ctx := context.Background()
+
+	for k := 1; k <= cfg.Motes; k++ {
+		stmt := fmt.Sprintf(
+			`CREATE AQ drain%d AS SELECT m.accel_x FROM sensor m WHERE m.id = "mote-%d" EVERY "60s"`, k, k)
+		if err := routeStatement(ctx, t.router, stmt); err != nil {
+			return err
+		}
+	}
+
+	var victim *clusterShard
+	for _, s := range t.shards {
+		if victim == nil || len(s.motes) > len(victim.motes) {
+			victim = s
+		}
+	}
+	res.DrainVictim = victim.id
+	qres, err := victim.eng.Exec(ctx, "SHOW QUERIES")
+	if err != nil {
+		return fmt.Errorf("victim catalog: %w", err)
+	}
+	victimQueries := make([]string, 0, len(qres.Queries))
+	for _, q := range qres.Queries {
+		victimQueries = append(victimQueries, q.Name)
+	}
+
+	// Hold a pipeline of broadcast statements in flight across the
+	// membership change. Every one must come back typed — partial is
+	// fine (the victim leaves mid-broadcast), silence is not.
+	res.DrainStatements = cfg.DrainStatements
+	var dropped atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.DrainStatements; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Stagger so statements land before, during and after the drain.
+			time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+			sctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+			switch t.router.Exec(sctx, fmt.Sprintf("d%d", i), "SHOW DEVICES").(type) {
+			case *cluster.Response:
+			default:
+				dropped.Add(1)
+			}
+		}(i)
+	}
+
+	switch resp := t.router.Exec(ctx, "", "DRAIN SHARD "+victim.id).(type) {
+	case *cluster.Response:
+		if !resp.OK {
+			violate("drain: DRAIN SHARD %s failed: %s (%s)", victim.id, resp.Error, resp.Code)
+		}
+	default:
+		violate("drain: DRAIN SHARD %s returned unexpected response type %T", victim.id, resp)
+	}
+	wg.Wait()
+	res.DrainDropped = int(dropped.Load())
+	if res.DrainDropped > 0 {
+		violate("drain: %d of %d in-flight statements dropped, want 0", res.DrainDropped, cfg.DrainStatements)
+	}
+
+	t.healMu.Lock()
+	if len(t.drains) > 0 {
+		res.DrainMoved = t.drains[0]
+	}
+	t.healMu.Unlock()
+	if res.DrainMoved.Devices < len(victim.motes) {
+		violate("drain: moved %d devices, want at least the victim's %d motes", res.DrainMoved.Devices, len(victim.motes))
+	}
+
+	for _, name := range victimQueries {
+		found := false
+		for _, s := range t.shards {
+			if s == victim {
+				continue
+			}
+			if _, ok := s.eng.QueryInfo(name); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.DrainLostQueries++
+		}
+	}
+	if res.DrainLostQueries > 0 {
+		violate("drain: lost queries = %d, want 0", res.DrainLostQueries)
+	}
+	return nil
+}
+
+// PrintSelfhealStudy renders the three phases' audits.
+func PrintSelfhealStudy(w io.Writer, cfg SelfhealConfig, res *SelfhealResult) {
+	fmt.Fprintf(w, "Self-heal — %d shards, %d streaming CQs, probes every %v, grace %v, quorum %.0f%%\n",
+		cfg.Shards, cfg.Motes, cfg.ProbeInterval, cfg.GraceWindow, cfg.Quorum*100)
+	fmt.Fprintf(w, "kill:  crashed %s with %d pending intents → auto-retired in %v virtual (bound %v)\n",
+		res.KillVictim, res.PendingAtKill, res.DetectLatency.Round(time.Millisecond), cfg.MaxDetect)
+	fmt.Fprintf(w, "       handoff adopted %d devices, %d queries, %d intents (%d closed); lost outcomes %d, lost queries %d (want 0/0)\n",
+		res.KillAdopted.Devices, res.KillAdopted.Queries, res.KillAdopted.IntentsAdopted, res.KillAdopted.IntentsClosed,
+		res.KillLostOutcomes, res.KillLostQueries)
+	fmt.Fprintf(w, "flap:  %s downed=%v recovered=%v false retirements %d (want 0)\n",
+		res.FlapVictim, res.FlapDowned, res.FlapRecovered, res.FlapFalseRetires)
+	fmt.Fprintf(w, "drain: %s moved %d devices, %d queries, %d intents (flushed %d); %d/%d statements answered, lost queries %d (want 0)\n",
+		res.DrainVictim, res.DrainMoved.Devices, res.DrainMoved.Queries, res.DrainMoved.Intents, res.DrainMoved.FlushedIntents,
+		res.DrainStatements-res.DrainDropped, res.DrainStatements, res.DrainLostQueries)
+	if len(res.Violations) == 0 {
+		fmt.Fprintf(w, "invariants: all held (bounded detection, zero-loss auto-handoff, no false retirements, lossless drain)\n")
+		return
+	}
+	fmt.Fprintf(w, "invariants VIOLATED (%d):\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(w, "  - %s\n", v)
+	}
+}

@@ -88,6 +88,15 @@ const (
 	// cluster shards and failed on others; the response carries the
 	// per-shard codes so the client sees exactly which shards diverged.
 	CodePartial = "partial"
+	// CodeUnreachable reports a shard that could not be contacted at the
+	// transport level: dial refused, connection lost mid-statement, or
+	// shed in microseconds by the router's dial backoff / circuit
+	// breaker while the shard is down.
+	CodeUnreachable = "unreachable"
+	// CodeDraining rejects a new placement (CREATE AQ / CREATE ACTION)
+	// on an engine that is cooperatively draining: in-flight work is
+	// flushing and its state is about to hand off to surviving shards.
+	CodeDraining = "draining"
 )
 
 // ErrorResponse is the error frame the front door emits without
